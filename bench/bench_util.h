@@ -1,0 +1,40 @@
+// Shared helpers for the figure-reproduction benches. Each bench binary
+// prints the rows/series of one paper table or figure (simulated SoC time),
+// then runs a few google-benchmark measurements of the host-side runtime
+// costs (planning, simulation) so `--benchmark_*` flags remain useful.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "core/runtime.h"
+#include "models/model.h"
+
+namespace ulayer::benchutil {
+
+inline std::vector<SocSpec> BothSocs() { return {MakeExynos7420(), MakeExynos7880()}; }
+
+inline const char* SocLabel(const SocSpec& soc) {
+  return soc.name == "Exynos7420" ? "High-end (Exynos 7420)" : "Mid-range (Exynos 7880)";
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("(all latencies/energies are simulated SoC time; see DESIGN.md)\n");
+  std::printf("================================================================\n");
+}
+
+inline double GeoMean(const std::vector<double>& v) {
+  double log_sum = 0.0;
+  for (const double x : v) {
+    log_sum += std::log(x);
+  }
+  return v.empty() ? 0.0 : std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+}  // namespace ulayer::benchutil

@@ -1,0 +1,70 @@
+// Figure 5: per-layer execution latency of VGG-16 on the CPU and the GPU of
+// both SoCs (F32, ARM Compute Library setting of the paper's Section 3.1).
+//
+// Expected shape: on the high-end SoC the GPU is ~1.40x faster on average;
+// on the mid-range SoC the CPU is ~26% faster overall.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "soc/timing.h"
+#include "soc/work.h"
+
+namespace ulayer {
+namespace {
+
+void PrintFigure5() {
+  benchutil::PrintHeader("Figure 5: VGG-16 per-layer latency, CPU vs GPU",
+                         "Kim et al., EuroSys'19, Figure 5 (Section 3.1)");
+  const Model vgg = MakeVgg16();
+  for (const SocSpec& soc : benchutil::BothSocs()) {
+    const TimingModel tm(soc);
+    std::printf("\n--- %s: VGG-16 per-layer latency (F32), ms ---\n",
+                benchutil::SocLabel(soc));
+    std::printf("%-12s %10s %10s %8s\n", "layer", "CPU", "GPU", "GPU/CPU");
+    double cpu_total = 0.0, gpu_total = 0.0;
+    std::vector<double> speedups;
+    for (const Node& n : vgg.graph.nodes()) {
+      if (n.desc.kind != LayerKind::kConv && n.desc.kind != LayerKind::kFullyConnected) {
+        continue;
+      }
+      const LayerWork w = ComputeWork(vgg.graph, n, DType::kF32);
+      const double cpu = tm.KernelLatencyUs(w, ProcKind::kCpu, DType::kF32) * 1e-3;
+      const double gpu = tm.KernelLatencyUs(w, ProcKind::kGpu, DType::kF32) * 1e-3;
+      cpu_total += cpu;
+      gpu_total += gpu;
+      speedups.push_back(cpu / gpu);
+      std::printf("%-12s %10.2f %10.2f %8.2fx\n", n.desc.name.c_str(), cpu, gpu, cpu / gpu);
+    }
+    std::printf("%-12s %10.2f %10.2f\n", "TOTAL", cpu_total, gpu_total);
+    std::printf("average GPU speedup over CPU: %.2fx (paper: 1.40x high-end; "
+                "CPU 26.1%% faster mid-range)\n",
+                benchutil::GeoMean(speedups));
+    std::printf("whole-network: CPU is %+.1f%% vs GPU\n",
+                (gpu_total - cpu_total) / gpu_total * 100.0);
+  }
+}
+
+// Host-side cost of evaluating the analytic model over all VGG-16 layers.
+void BM_PerLayerTiming(benchmark::State& state) {
+  const Model vgg = MakeVgg16();
+  const TimingModel tm(MakeExynos7420());
+  for (auto _ : state) {
+    double total = 0.0;
+    for (const Node& n : vgg.graph.nodes()) {
+      const LayerWork w = ComputeWork(vgg.graph, n, DType::kF32);
+      total += tm.KernelLatencyUs(w, ProcKind::kCpu, DType::kF32);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_PerLayerTiming);
+
+}  // namespace
+}  // namespace ulayer
+
+int main(int argc, char** argv) {
+  ulayer::PrintFigure5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

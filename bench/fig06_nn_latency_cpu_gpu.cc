@@ -1,0 +1,48 @@
+// Figure 6: whole-NN execution latency on the CPUs and GPUs of both SoCs
+// (F32). Expected shape: the two processors achieve comparable latency —
+// the premise of cooperative single-layer acceleration (Section 3.1).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ulayer {
+namespace {
+
+void PrintFigure6() {
+  benchutil::PrintHeader("Figure 6: NN execution latency, CPU vs GPU (F32)",
+                         "Kim et al., EuroSys'19, Figure 6 (Section 3.1)");
+  const std::vector<Model> models = MakeEvaluationModels();
+  for (const SocSpec& soc : benchutil::BothSocs()) {
+    std::printf("\n--- %s ---\n", benchutil::SocLabel(soc));
+    std::printf("%-16s %10s %10s %10s\n", "network", "CPU ms", "GPU ms", "CPU/GPU");
+    for (const Model& m : models) {
+      const double cpu =
+          RunSingleProcessor(m, soc, ProcKind::kCpu, ExecConfig::AllF32()).latency_ms();
+      const double gpu =
+          RunSingleProcessor(m, soc, ProcKind::kGpu, ExecConfig::AllF32()).latency_ms();
+      std::printf("%-16s %10.1f %10.1f %10.2f\n", m.name.c_str(), cpu, gpu, cpu / gpu);
+    }
+  }
+  std::printf("\nExpected shape: ratios near 1 on both SoCs -> well-balanced "
+              "processors (paper's premise for cooperative acceleration).\n");
+}
+
+void BM_WholeNetworkSimulation(benchmark::State& state) {
+  const Model m = MakeGoogLeNet();
+  const SocSpec soc = MakeExynos7420();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunSingleProcessor(m, soc, ProcKind::kCpu, ExecConfig::AllF32()).latency_us);
+  }
+}
+BENCHMARK(BM_WholeNetworkSimulation);
+
+}  // namespace
+}  // namespace ulayer
+
+int main(int argc, char** argv) {
+  ulayer::PrintFigure6();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

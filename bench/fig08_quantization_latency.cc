@@ -1,0 +1,64 @@
+// Figure 8: impact of quantization (F32 / F16 / QUInt8) on NN execution
+// latency per processor, normalized to CPU-F32.
+//
+// Expected shape (Section 4.1): the CPU gains a lot from QUInt8 and nothing
+// from F16 (no vector F16 ALUs); the GPU gains from F16 while QUInt8 hurts
+// it relative to F16 (32-bit accumulation halves concurrency).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ulayer {
+namespace {
+
+void PrintFigure8() {
+  benchutil::PrintHeader("Figure 8: quantization impact on latency",
+                         "Kim et al., EuroSys'19, Figure 8 (Section 4.1)");
+  const std::vector<Model> models = MakeEvaluationModels();
+  const struct {
+    const char* label;
+    ExecConfig config;
+  } dtypes[] = {{"F32", ExecConfig::AllF32()},
+                {"F16", ExecConfig::AllF16()},
+                {"QUInt8", ExecConfig::AllQU8()}};
+  for (const SocSpec& soc : benchutil::BothSocs()) {
+    std::printf("\n--- %s (normalized to CPU-F32; lower is better) ---\n",
+                benchutil::SocLabel(soc));
+    std::printf("%-16s | %6s %6s %6s | %6s %6s %6s\n", "network", "C-F32", "C-F16", "C-U8",
+                "G-F32", "G-F16", "G-U8");
+    for (const Model& m : models) {
+      const double base =
+          RunSingleProcessor(m, soc, ProcKind::kCpu, ExecConfig::AllF32()).latency_us;
+      double row[2][3];
+      for (int pi = 0; pi < 2; ++pi) {
+        for (int di = 0; di < 3; ++di) {
+          const ProcKind proc = pi == 0 ? ProcKind::kCpu : ProcKind::kGpu;
+          row[pi][di] = RunSingleProcessor(m, soc, proc, dtypes[di].config).latency_us / base;
+        }
+      }
+      std::printf("%-16s | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f\n", m.name.c_str(), row[0][0],
+                  row[0][1], row[0][2], row[1][0], row[1][1], row[1][2]);
+    }
+  }
+  std::printf("\nExpected shape: C-U8 << C-F32 ~= C-F16; G-F16 < G-F32 and G-F16 < G-U8.\n");
+}
+
+void BM_DtypeSweepSimulation(benchmark::State& state) {
+  const Model m = MakeMobileNetV1();
+  const SocSpec soc = MakeExynos7880();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunSingleProcessor(m, soc, ProcKind::kGpu, ExecConfig::AllF16()).latency_us);
+  }
+}
+BENCHMARK(BM_DtypeSweepSimulation);
+
+}  // namespace
+}  // namespace ulayer
+
+int main(int argc, char** argv) {
+  ulayer::PrintFigure8();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 16: NN execution latency of the single-processor mechanism, the
+// layer-to-processor mechanism (state of the art), and ulayer — both SoCs,
+// all five evaluation NNs — normalized to layer-to-processor.
+//
+// Paper headline: ulayer improves speed by up to 59.9% (high-end) and 69.6%
+// (mid-range), geometric means 30.5% / 35.3%.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ulayer {
+namespace {
+
+void PrintFigure16() {
+  benchutil::PrintHeader("Figure 16: ulayer vs single-processor and layer-to-processor",
+                         "Kim et al., EuroSys'19, Figure 16 (Section 7.2)");
+  const std::vector<Model> models = MakeEvaluationModels();
+  for (const SocSpec& soc : benchutil::BothSocs()) {
+    std::printf("\n--- %s (latency normalized to layer-to-processor) ---\n",
+                benchutil::SocLabel(soc));
+    std::printf("%-16s %9s %9s %9s %9s | %10s %12s\n", "network", "CPU-U8", "GPU-F16", "L2P-U8",
+                "uLayer", "uLayer ms", "speed +%");
+    std::vector<double> speedups;
+    for (const Model& m : models) {
+      const double cpu =
+          RunSingleProcessor(m, soc, ProcKind::kCpu, ExecConfig::AllQU8()).latency_us;
+      const double gpu =
+          RunSingleProcessor(m, soc, ProcKind::kGpu, ExecConfig::AllF16()).latency_us;
+      const double l2p = RunLayerToProcessor(m, soc, ExecConfig::AllQU8()).latency_us;
+      ULayerRuntime rt(m, soc);
+      const double ul = rt.Run().latency_us;
+      speedups.push_back(l2p / ul);
+      std::printf("%-16s %9.2f %9.2f %9.2f %9.2f | %10.1f %+11.1f%%\n", m.name.c_str(),
+                  cpu / l2p, gpu / l2p, 1.0, ul / l2p, ul * 1e-3, (l2p / ul - 1.0) * 100.0);
+    }
+    std::printf("geomean speed improvement over layer-to-processor: %+.1f%%  "
+                "(paper: %s)\n",
+                (benchutil::GeoMean(speedups) - 1.0) * 100.0,
+                soc.name == "Exynos7420" ? "+30.5% geomean, up to +59.9%"
+                                         : "+35.3% geomean, up to +69.6%");
+  }
+}
+
+void BM_FullULayerPipeline(benchmark::State& state) {
+  const Model m = MakeGoogLeNet();
+  const SocSpec soc = MakeExynos7420();
+  for (auto _ : state) {
+    ULayerRuntime rt(m, soc);  // Predictor fit + partitioning + simulation.
+    benchmark::DoNotOptimize(rt.Run().latency_us);
+  }
+}
+BENCHMARK(BM_FullULayerPipeline);
+
+}  // namespace
+}  // namespace ulayer
+
+int main(int argc, char** argv) {
+  ulayer::PrintFigure16();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 17: contribution of ulayer's three optimizations, applied
+// incrementally — channel-wise workload distribution (Ch.Dist), processor-
+// friendly quantization (+Proc.Quant), branch distribution (+Br.Dist) —
+// normalized to the complete ulayer.
+//
+// Expected shape: Ch.Dist dominates for AlexNet (few large layers),
+// Proc.Quant dominates for GoogLeNet (many small layers), Br.Dist helps
+// only the branchy NNs (GoogLeNet, SqueezeNet).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ulayer {
+namespace {
+
+void PrintFigure17() {
+  benchutil::PrintHeader("Figure 17: ablation of ulayer's optimizations",
+                         "Kim et al., EuroSys'19, Figure 17 (Section 7.2)");
+  const std::vector<Model> models = MakeEvaluationModels();
+  for (const SocSpec& soc : benchutil::BothSocs()) {
+    std::printf("\n--- %s (normalized to complete ulayer; 1.00 = full) ---\n",
+                benchutil::SocLabel(soc));
+    std::printf("%-16s %9s %12s %10s %12s\n", "network", "Ch.Dist", "+Proc.Quant", "+Br.Dist",
+                "full ms");
+
+    for (const Model& m : models) {
+      ULayerRuntime::Options ch;  // Channel distribution only, both procs QUInt8.
+      ch.config = ExecConfig::AllQU8();
+      ch.partitioner.branch_distribution = false;
+
+      ULayerRuntime::Options pq;  // + processor-friendly quantization.
+      pq.config = ExecConfig::ProcessorFriendly();
+      pq.partitioner.branch_distribution = false;
+
+      ULayerRuntime::Options full;  // + branch distribution = complete ulayer.
+
+      const double t_ch = ULayerRuntime(m, soc, ch).Run().latency_us;
+      const double t_pq = ULayerRuntime(m, soc, pq).Run().latency_us;
+      const double t_full = ULayerRuntime(m, soc, full).Run().latency_us;
+      std::printf("%-16s %9.2f %12.2f %10.2f %12.1f\n", m.name.c_str(), t_ch / t_full,
+                  t_pq / t_full, 1.0, t_full * 1e-3);
+    }
+  }
+  std::printf("\nExpected shape: Ch.Dist column largest for AlexNet/VGG-16; the\n"
+              "+Proc.Quant step largest for GoogLeNet; +Br.Dist only moves\n"
+              "GoogLeNet and SqueezeNet (Table 1 applicability).\n");
+}
+
+void BM_PartitionerAblation(benchmark::State& state) {
+  const Model m = MakeSqueezeNetV11();
+  const SocSpec soc = MakeExynos7880();
+  for (auto _ : state) {
+    ULayerRuntime::Options o;
+    o.partitioner.branch_distribution = state.range(0) != 0;
+    ULayerRuntime rt(m, soc, o);
+    benchmark::DoNotOptimize(rt.Run().latency_us);
+  }
+}
+BENCHMARK(BM_PartitionerAblation)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace ulayer
+
+int main(int argc, char** argv) {
+  ulayer::PrintFigure17();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 18: energy consumption of the single-processor mechanism, the
+// layer-to-processor mechanism and ulayer, normalized to layer-to-processor.
+//
+// Paper: ulayer improves energy efficiency by geomeans of 1.26x (high-end)
+// and 1.34x (mid-range) over layer-to-processor, and is comparable to the
+// single-processor mechanism.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ulayer {
+namespace {
+
+void PrintFigure18() {
+  benchutil::PrintHeader("Figure 18: energy consumption",
+                         "Kim et al., EuroSys'19, Figure 18 (Section 7.3)");
+  const std::vector<Model> models = MakeEvaluationModels();
+  for (const SocSpec& soc : benchutil::BothSocs()) {
+    std::printf("\n--- %s (energy normalized to layer-to-processor) ---\n",
+                benchutil::SocLabel(soc));
+    std::printf("%-16s %9s %9s %9s %9s | %11s\n", "network", "CPU-U8", "GPU-F16", "L2P-U8",
+                "uLayer", "uLayer mJ");
+    std::vector<double> gains;
+    for (const Model& m : models) {
+      const double cpu =
+          RunSingleProcessor(m, soc, ProcKind::kCpu, ExecConfig::AllQU8()).total_energy_mj;
+      const double gpu =
+          RunSingleProcessor(m, soc, ProcKind::kGpu, ExecConfig::AllF16()).total_energy_mj;
+      const double l2p = RunLayerToProcessor(m, soc, ExecConfig::AllQU8()).total_energy_mj;
+      ULayerRuntime rt(m, soc);
+      const double ul = rt.Run().total_energy_mj;
+      gains.push_back(l2p / ul);
+      std::printf("%-16s %9.2f %9.2f %9.2f %9.2f | %11.1f\n", m.name.c_str(), cpu / l2p,
+                  gpu / l2p, 1.0, ul / l2p, ul);
+    }
+    std::printf("geomean energy-efficiency gain over layer-to-processor: %.2fx "
+                "(paper: %s)\n",
+                benchutil::GeoMean(gains),
+                soc.name == "Exynos7420" ? "1.26x" : "1.34x");
+  }
+}
+
+void BM_EnergyAccounting(benchmark::State& state) {
+  const Model m = MakeVgg16();
+  const SocSpec soc = MakeExynos7880();
+  PreparedModel pm(m, ExecConfig::ProcessorFriendly());
+  Executor ex(pm, soc);
+  const Plan plan = MakeSingleProcessorPlan(m.graph, ProcKind::kCpu);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.Run(plan).total_energy_mj);
+  }
+}
+BENCHMARK(BM_EnergyAccounting);
+
+}  // namespace
+}  // namespace ulayer
+
+int main(int argc, char** argv) {
+  ulayer::PrintFigure18();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

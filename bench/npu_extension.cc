@@ -1,0 +1,70 @@
+// Extension study (paper Section 8.3): cooperative single-layer
+// acceleration with a third processor (an Edge-TPU-class NPU) added to the
+// high-end SoC. The paper claims all three mechanisms extend naturally; this
+// bench quantifies the headroom.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "multi/multi.h"
+
+namespace ulayer {
+namespace {
+
+void PrintNpuStudy() {
+  benchutil::PrintHeader("Extension: CPU+GPU+NPU cooperative acceleration",
+                         "Kim et al., EuroSys'19, Section 8.3 (claimed extension)");
+  const multi::MultiSoc two = multi::MakeExynos7420Multi();
+  const multi::MultiSoc three = multi::MakeExynos7420WithNpu();
+  std::printf("%-16s %12s %12s %10s | %12s %12s\n", "network", "CPU+GPU ms", "+NPU ms",
+              "speedup", "CPU+GPU mJ", "+NPU mJ");
+  std::vector<double> speedups;
+  for (const Model& m : MakeEvaluationModels()) {
+    const multi::MultiRunResult r2 =
+        multi::MultiExecutor(m.graph, two).Run(multi::MultiPartitioner(m.graph, two).Build());
+    const multi::MultiRunResult r3 =
+        multi::MultiExecutor(m.graph, three).Run(multi::MultiPartitioner(m.graph, three).Build());
+    speedups.push_back(r2.latency_us / r3.latency_us);
+    std::printf("%-16s %12.2f %12.2f %9.2fx | %12.1f %12.1f\n", m.name.c_str(),
+                r2.latency_us * 1e-3, r3.latency_us * 1e-3, r2.latency_us / r3.latency_us,
+                r2.total_energy_mj, r3.total_energy_mj);
+  }
+  std::printf("geomean speedup from adding the NPU: %.2fx\n", benchutil::GeoMean(speedups));
+
+  // Per-mechanism attribution with three processors (GoogLeNet).
+  const Model goog = MakeGoogLeNet();
+  multi::MultiPartitioner::Options no_branch;
+  no_branch.branch_distribution = false;
+  multi::MultiPartitioner::Options no_split = no_branch;
+  no_split.channel_distribution = false;
+  const double base = multi::MultiExecutor(goog.graph, three)
+                          .Run(multi::MultiPartitioner(goog.graph, three, no_split).Build())
+                          .latency_us;
+  const double split = multi::MultiExecutor(goog.graph, three)
+                           .Run(multi::MultiPartitioner(goog.graph, three, no_branch).Build())
+                           .latency_us;
+  const double full = multi::MultiExecutor(goog.graph, three)
+                          .Run(multi::MultiPartitioner(goog.graph, three).Build())
+                          .latency_us;
+  std::printf("\nGoogLeNet on CPU+GPU+NPU: layer-to-processor %.2f ms, +3-way "
+              "channel split %.2f ms, +3-way branch distribution %.2f ms\n",
+              base * 1e-3, split * 1e-3, full * 1e-3);
+}
+
+void BM_ThreeWayPartitioning(benchmark::State& state) {
+  const Model m = MakeGoogLeNet();
+  const multi::MultiSoc soc = multi::MakeExynos7420WithNpu();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multi::MultiPartitioner(m.graph, soc).Build().nodes.size());
+  }
+}
+BENCHMARK(BM_ThreeWayPartitioning);
+
+}  // namespace
+}  // namespace ulayer
+
+int main(int argc, char** argv) {
+  ulayer::PrintNpuStudy();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Implementation study: fidelity of the Neurosurgeon-style latency
+// predictor (Section 6) and its effect on plan quality, versus an oracle
+// partitioner that queries the timing model directly.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ulayer {
+namespace {
+
+void PrintFidelity() {
+  benchutil::PrintHeader("Latency-predictor fidelity and plan-quality impact",
+                         "Kim et al., EuroSys'19, Section 6 (implementation study)");
+  std::printf("%-16s %-12s %12s %12s | %12s %12s %8s\n", "network", "SoC", "mean |err|",
+              "max |err|", "pred ms", "oracle ms", "gap");
+  for (const SocSpec& soc : benchutil::BothSocs()) {
+    for (const Model& m : MakeEvaluationModels()) {
+      const ExecConfig cfg = ExecConfig::ProcessorFriendly();
+      const TimingModel tm(soc);
+      const LatencyPredictor pred(tm, cfg, {&m.graph});
+      const auto fid = pred.Evaluate(m.graph);
+
+      ULayerRuntime::Options with_pred;
+      ULayerRuntime::Options with_oracle;
+      with_oracle.partitioner.use_oracle = true;
+      const double t_pred = ULayerRuntime(m, soc, with_pred).Run().latency_us;
+      const double t_oracle = ULayerRuntime(m, soc, with_oracle).Run().latency_us;
+      std::printf("%-16s %-12s %11.1f%% %11.1f%% | %12.1f %12.1f %+7.1f%%\n", m.name.c_str(),
+                  soc.name.c_str(), fid.mean_abs_rel_err * 100.0, fid.max_abs_rel_err * 100.0,
+                  t_pred * 1e-3, t_oracle * 1e-3, (t_pred / t_oracle - 1.0) * 100.0);
+    }
+  }
+  std::printf("\nShape: regression error is tolerable; plans built from the\n"
+              "predictor stay within a few percent of oracle plans.\n");
+}
+
+void BM_PredictorFit(benchmark::State& state) {
+  const Model m = MakeGoogLeNet();
+  const TimingModel tm(MakeExynos7420());
+  for (auto _ : state) {
+    const LatencyPredictor pred(tm, ExecConfig::ProcessorFriendly(), {&m.graph});
+    benchmark::DoNotOptimize(pred.Evaluate(m.graph).mean_abs_rel_err);
+  }
+}
+BENCHMARK(BM_PredictorFit);
+
+}  // namespace
+}  // namespace ulayer
+
+int main(int argc, char** argv) {
+  ulayer::PrintFidelity();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table 1: the evaluated NNs and which of ulayer's mechanisms apply to each.
+// Channel-wise distribution and processor-friendly quantization apply to all
+// five; branch distribution applies only to NNs with divergent branches
+// (GoogLeNet, SqueezeNet v1.1).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "nn/branch.h"
+#include "soc/work.h"
+
+namespace ulayer {
+namespace {
+
+void PrintTable1() {
+  benchutil::PrintHeader("Table 1: evaluated NNs and mechanism applicability",
+                         "Kim et al., EuroSys'19, Table 1 (Section 7.1)");
+  std::printf("%-16s %10s %10s %10s | %9s %8s %8s\n", "network", "Ch.Dist", "Pr.Quant",
+              "Br.Dist", "params M", "GMACs", "branches");
+  for (const Model& m : MakeEvaluationModels()) {
+    const bool branchy = HasBranches(m.graph);
+    const auto groups = FindBranchGroups(m.graph);
+    std::printf("%-16s %10s %10s %10s | %9.2f %8.2f %8zu\n", m.name.c_str(), "yes", "yes",
+                branchy ? "yes" : "-", static_cast<double>(m.ParameterCount()) / 1e6,
+                TotalMacs(m.graph) / 1e9, groups.size());
+  }
+  std::printf("\npaper Table 1: Br.Dist applies to GoogLeNet and SqueezeNet only.\n");
+}
+
+void BM_BranchDetection(benchmark::State& state) {
+  const Model m = MakeGoogLeNet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindBranchGroups(m.graph).size());
+  }
+}
+BENCHMARK(BM_BranchDetection);
+
+}  // namespace
+}  // namespace ulayer
+
+int main(int argc, char** argv) {
+  ulayer::PrintTable1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

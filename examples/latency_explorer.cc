@@ -1,0 +1,109 @@
+// Latency explorer: sweep split ratios and mechanisms for one network to
+// see *why* the partitioner picks what it picks — a debugging/tuning tool
+// for bringing ulayer to a new SoC.
+//
+//   $ ./latency_explorer [vgg16|alexnet|googlenet|squeezenet|mobilenet|
+//                          resnet18|resnet50|inceptionv3]
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/baselines.h"
+#include "core/runtime.h"
+#include "io/io.h"
+
+using namespace ulayer;
+
+namespace {
+
+Model PickModel(const char* name) {
+  if (name == nullptr || std::strcmp(name, "vgg16") == 0) {
+    return MakeVgg16();
+  }
+  if (std::strcmp(name, "alexnet") == 0) {
+    return MakeAlexNet();
+  }
+  if (std::strcmp(name, "googlenet") == 0) {
+    return MakeGoogLeNet();
+  }
+  if (std::strcmp(name, "squeezenet") == 0) {
+    return MakeSqueezeNetV11();
+  }
+  if (std::strcmp(name, "resnet18") == 0) {
+    return MakeResNet18();
+  }
+  if (std::strcmp(name, "resnet50") == 0) {
+    return MakeResNet50();
+  }
+  if (std::strcmp(name, "inceptionv3") == 0) {
+    return MakeInceptionV3();
+  }
+  return MakeMobileNetV1();
+}
+
+// Runs the model with every layer forced to the same split ratio p.
+double ForcedSplitUs(const Model& m, const SocSpec& soc, double p) {
+  PreparedModel pm(m, ExecConfig::ProcessorFriendly());
+  Executor ex(pm, soc);
+  Plan plan;
+  plan.nodes.resize(static_cast<size_t>(m.graph.size()));
+  for (const Node& n : m.graph.nodes()) {
+    NodeAssignment& a = plan.nodes[static_cast<size_t>(n.id)];
+    const bool splittable = n.desc.kind == LayerKind::kConv ||
+                            n.desc.kind == LayerKind::kDepthwiseConv ||
+                            n.desc.kind == LayerKind::kFullyConnected ||
+                            n.desc.kind == LayerKind::kPool;
+    if (splittable && p > 0.0 && p < 1.0) {
+      a = NodeAssignment{StepKind::kCooperative, ProcKind::kCpu, p};
+    } else {
+      a = NodeAssignment{StepKind::kSingle, p >= 0.5 ? ProcKind::kCpu : ProcKind::kGpu, 1.0};
+    }
+  }
+  return ex.Run(plan).latency_us;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Model m = PickModel(argc > 1 ? argv[1] : nullptr);
+  std::printf("exploring %s\n", m.name.c_str());
+  for (const SocSpec& soc : {MakeExynos7420(), MakeExynos7880()}) {
+    std::printf("\n=== %s ===\n", soc.name.c_str());
+    std::printf("uniform split sweep (p = CPU fraction of every layer):\n");
+    for (const double p : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      std::printf("  p=%.2f -> %8.2f ms%s\n", p, ForcedSplitUs(m, soc, p) * 1e-3,
+                  p == 0.0 ? "  (GPU-only)" : (p == 1.0 ? "  (CPU-only)" : ""));
+    }
+    ULayerRuntime rt(m, soc);
+    const RunResult r = rt.Run();
+    std::printf("per-layer partitioner (ulayer): %8.2f ms  "
+                "(%.0f%% layers cooperative, %zu branch groups)\n",
+                r.latency_ms(), rt.plan().CooperativeFraction() * 100.0,
+                rt.plan().branch_plans.size());
+    std::printf("%s", TraceToText(r, m.graph).c_str());
+
+    // Show the first few per-layer decisions.
+    std::printf("first decisions:\n");
+    int shown = 0;
+    for (const Node& n : m.graph.nodes()) {
+      if (n.desc.kind == LayerKind::kInput) {
+        continue;
+      }
+      const NodeAssignment& a = rt.plan().nodes[static_cast<size_t>(n.id)];
+      const char* what = a.kind == StepKind::kCooperative ? "split"
+                         : a.kind == StepKind::kBranch    ? "branch"
+                                                          : "single";
+      std::printf("  %-22s %-7s", n.desc.name.c_str(), what);
+      if (a.kind == StepKind::kCooperative) {
+        std::printf(" p=%.2f", a.cpu_fraction);
+      } else {
+        std::printf(" on %s", std::string(ProcKindName(a.proc)).c_str());
+      }
+      std::printf("\n");
+      if (++shown >= 12) {
+        std::printf("  ... (%d more layers)\n", m.graph.size() - shown - 1);
+        break;
+      }
+    }
+  }
+  return 0;
+}

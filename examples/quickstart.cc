@@ -1,0 +1,49 @@
+// Quickstart: plan and execute GoogLeNet with ulayer on a simulated
+// high-end SoC, and compare against the single-processor baselines.
+//
+//   $ ./quickstart
+//
+// Walks through the three steps of the public API:
+//  1. build (or load) a Model,
+//  2. construct a ULayerRuntime for a target SoC,
+//  3. Run() — simulate-only here; pass an input tensor for functional runs.
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "core/runtime.h"
+
+using namespace ulayer;
+
+int main() {
+  // 1. A network from the model zoo (build your own with ulayer::Graph).
+  const Model model = MakeGoogLeNet();
+  std::printf("network: %s (%lld params, %d layers)\n", model.name.c_str(),
+              static_cast<long long>(model.ParameterCount()), model.graph.size());
+
+  // 2. Target SoC. MakeExynos7420() is the paper's high-end phone; you can
+  //    also describe your own silicon by filling in a SocSpec.
+  const SocSpec soc = MakeExynos7420();
+  ULayerRuntime runtime(model, soc);
+
+  // Inspect the plan the NN partitioner chose.
+  const Plan& plan = runtime.plan();
+  std::printf("plan: %.0f%% of layers run cooperatively, %zu branch groups "
+              "distributed\n",
+              plan.CooperativeFraction() * 100.0, plan.branch_plans.size());
+
+  // 3. Execute (simulate-only: latency and energy, no tensor math).
+  const RunResult r = runtime.Run();
+  std::printf("ulayer:            %7.2f ms   %7.1f mJ   (%d CPU-GPU syncs)\n", r.latency_ms(),
+              r.total_energy_mj, r.sync_count);
+
+  // Baselines for context.
+  const RunResult cpu = RunSingleProcessor(model, soc, ProcKind::kCpu, ExecConfig::AllQU8());
+  const RunResult gpu = RunSingleProcessor(model, soc, ProcKind::kGpu, ExecConfig::AllF16());
+  const RunResult l2p = RunLayerToProcessor(model, soc, ExecConfig::AllQU8());
+  std::printf("CPU-only (QUInt8): %7.2f ms   %7.1f mJ\n", cpu.latency_ms(), cpu.total_energy_mj);
+  std::printf("GPU-only (F16):    %7.2f ms   %7.1f mJ\n", gpu.latency_ms(), gpu.total_energy_mj);
+  std::printf("layer-to-proc:     %7.2f ms   %7.1f mJ\n", l2p.latency_ms(), l2p.total_energy_mj);
+  std::printf("speed improvement over layer-to-processor: %+.1f%%\n",
+              (l2p.latency_us / r.latency_us - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "baselines/baselines.h"
+
+namespace ulayer {
+
+Plan MakeSingleProcessorPlan(const Graph& g, ProcKind proc) {
+  Plan plan;
+  plan.nodes.assign(static_cast<size_t>(g.size()), NodeAssignment{StepKind::kSingle, proc, 1.0});
+  return plan;
+}
+
+Plan MakeLayerToProcessorPlan(const Graph& g, const TimingModel& timing, const ExecConfig& config,
+                              const LatencyPredictor& predictor) {
+  Partitioner::Options opts;
+  opts.channel_distribution = false;
+  opts.branch_distribution = false;
+  return Partitioner(g, timing, config, predictor, opts).Build();
+}
+
+RunResult RunSingleProcessor(const Model& m, const SocSpec& soc, ProcKind proc,
+                             const ExecConfig& config, const Tensor* input) {
+  PreparedModel pm(m, config);
+  Executor ex(pm, soc);
+  return ex.Run(MakeSingleProcessorPlan(m.graph, proc), input);
+}
+
+RunResult RunLayerToProcessor(const Model& m, const SocSpec& soc, const ExecConfig& config,
+                              const Tensor* input) {
+  const TimingModel timing(soc);
+  const LatencyPredictor predictor(timing, config, {&m.graph});
+  PreparedModel pm(m, config);
+  Executor ex(pm, soc);
+  return ex.Run(MakeLayerToProcessorPlan(m.graph, timing, config, predictor), input);
+}
+
+ThroughputResult RunNetworkToProcessor(const Model& m, const SocSpec& soc,
+                                       const ExecConfig& config, int num_inputs) {
+  // Whole-network latency on each processor (simulate-only).
+  const double cpu_us =
+      RunSingleProcessor(m, soc, ProcKind::kCpu, config, nullptr).latency_us;
+  const double gpu_us =
+      RunSingleProcessor(m, soc, ProcKind::kGpu, config, nullptr).latency_us;
+
+  ThroughputResult r;
+  r.first_input_us = std::min(cpu_us, gpu_us);
+  double cpu_free = 0.0;
+  double gpu_free = 0.0;
+  for (int i = 0; i < num_inputs; ++i) {
+    // Greedy: give the next input to the processor that would finish it
+    // sooner (MCDNN-style load balancing).
+    if (cpu_free + cpu_us <= gpu_free + gpu_us) {
+      cpu_free += cpu_us;
+      ++r.cpu_inputs;
+    } else {
+      gpu_free += gpu_us;
+      ++r.gpu_inputs;
+    }
+  }
+  r.makespan_us = std::max(cpu_free, gpu_free);
+  r.per_input_us = num_inputs > 0 ? r.makespan_us / num_inputs : 0.0;
+  return r;
+}
+
+}  // namespace ulayer

@@ -1,0 +1,42 @@
+// Baseline NN execution mechanisms the paper evaluates against
+// (Section 2.2 / Figure 4):
+//  - single-processor:    the whole NN on the CPU or the GPU;
+//  - layer-to-processor:  each layer on its faster processor (DeepX-style);
+//  - network-to-processor: whole inputs distributed across processors
+//                          (MCDNN-style; improves throughput, not latency).
+#pragma once
+
+#include "core/executor.h"
+#include "core/partitioner.h"
+#include "models/model.h"
+
+namespace ulayer {
+
+// Plan that runs every layer on `proc`.
+Plan MakeSingleProcessorPlan(const Graph& g, ProcKind proc);
+
+// Plan that runs each layer on the processor with the lower predicted
+// latency (no channel splitting, no branch distribution).
+Plan MakeLayerToProcessorPlan(const Graph& g, const TimingModel& timing, const ExecConfig& config,
+                              const LatencyPredictor& predictor);
+
+// Convenience runners (simulate-only unless `input` is provided).
+RunResult RunSingleProcessor(const Model& m, const SocSpec& soc, ProcKind proc,
+                             const ExecConfig& config, const Tensor* input = nullptr);
+RunResult RunLayerToProcessor(const Model& m, const SocSpec& soc, const ExecConfig& config,
+                              const Tensor* input = nullptr);
+
+// Network-to-processor mapping over `num_inputs` independent inputs: each
+// input runs entirely on one processor; inputs are assigned greedily to the
+// processor that frees up first.
+struct ThroughputResult {
+  double makespan_us = 0.0;   // Until the last input completes.
+  double per_input_us = 0.0;  // makespan / num_inputs (throughput measure).
+  double first_input_us = 0.0;  // Single-input latency (unchanged by this mapping).
+  int cpu_inputs = 0;
+  int gpu_inputs = 0;
+};
+ThroughputResult RunNetworkToProcessor(const Model& m, const SocSpec& soc,
+                                       const ExecConfig& config, int num_inputs);
+
+}  // namespace ulayer

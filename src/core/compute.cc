@@ -1,0 +1,147 @@
+#include "core/compute.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "kernels/conv.h"
+#include "kernels/elementwise.h"
+#include "kernels/pool.h"
+
+namespace ulayer {
+namespace {
+
+// Copies channels [c0, c1) of `src` into `dst` (same shape and dtype).
+void CopyChannelSlice(const Tensor& src, Tensor& dst, int64_t c0, int64_t c1) {
+  const Shape& s = src.shape();
+  const int64_t elem = DTypeSize(src.dtype());
+  for (int64_t ni = 0; ni < s.n; ++ni) {
+    const int64_t off = s.Offset(ni, c0, 0, 0) * elem;
+    const int64_t len = (c1 - c0) * s.h * s.w * elem;
+    std::memcpy(dst.raw() + off, src.raw() + off, static_cast<size_t>(len));
+  }
+}
+
+}  // namespace
+
+void ComputeNodeSlice(const PreparedModel& pm, int id, ProcKind proc, std::vector<Tensor>& act,
+                      int64_t c0, int64_t c1) {
+  const Graph& g = pm.graph();
+  const Node& n = g.node(id);
+  const ExecConfig& cfg = pm.config();
+  const DType storage = cfg.storage;
+  const DType compute = cfg.ComputeFor(proc);
+  Tensor& out = act[static_cast<size_t>(id)];
+  const Tensor& in0 = act[static_cast<size_t>(n.inputs.empty() ? id : n.inputs[0])];
+
+  switch (n.desc.kind) {
+    case LayerKind::kInput:
+      return;  // Filled by the caller via PrepareInput().
+    case LayerKind::kConv:
+    case LayerKind::kFullyConnected: {
+      if (storage == DType::kF32) {
+        Conv2DF32(in0, pm.Filters(id), pm.Bias(id), n.desc.conv, out, c0, c1);
+      } else if (storage == DType::kF16) {
+        Conv2DF16(in0, pm.Filters(id), pm.Bias(id), n.desc.conv, out, c0, c1);
+      } else if (compute == DType::kF16) {
+        // GPU path: QUInt8 storage, on-the-fly F16 arithmetic (Section 4.2).
+        Conv2DQU8ViaF16(in0, pm.Filters(id), pm.BiasF32(id), n.desc.conv, out, c0, c1);
+      } else if (cfg.per_channel_weights) {
+        // CPU path with per-output-channel filter quantization (extension).
+        Conv2DQU8PerChannel(in0, pm.Filters(id), pm.FilterChannelParams(id), pm.BiasI32(id),
+                            n.desc.conv, out, c0, c1);
+      } else {
+        // CPU path: integer arithmetic with int32 accumulation.
+        Conv2DQU8(in0, pm.Filters(id), pm.BiasI32(id), n.desc.conv, out, c0, c1);
+      }
+      return;
+    }
+    case LayerKind::kDepthwiseConv: {
+      if (storage == DType::kF32) {
+        DepthwiseConv2DF32(in0, pm.Filters(id), pm.Bias(id), n.desc.conv, out, c0, c1);
+      } else if (storage == DType::kF16) {
+        DepthwiseConv2DF16(in0, pm.Filters(id), pm.Bias(id), n.desc.conv, out, c0, c1);
+      } else if (compute == DType::kF16) {
+        DepthwiseConv2DQU8ViaF16(in0, pm.Filters(id), pm.BiasF32(id), n.desc.conv, out, c0, c1);
+      } else {
+        DepthwiseConv2DQU8(in0, pm.Filters(id), pm.BiasI32(id), n.desc.conv, out, c0, c1);
+      }
+      return;
+    }
+    case LayerKind::kPool: {
+      // Pooling is monotonic / integer-friendly: run in the storage dtype on
+      // both processors (no F16 conversion needed on the GPU path).
+      if (storage == DType::kF32) {
+        Pool2DF32(in0, n.desc.pool, out, c0, c1);
+      } else if (storage == DType::kF16) {
+        Pool2DF16(in0, n.desc.pool, out, c0, c1);
+      } else {
+        Pool2DQU8(in0, n.desc.pool, out, c0, c1);
+      }
+      return;
+    }
+    case LayerKind::kGlobalAvgPool: {
+      if (storage == DType::kF32) {
+        GlobalAvgPoolF32(in0, out, c0, c1);
+      } else if (storage == DType::kF16) {
+        GlobalAvgPoolF16(in0, out, c0, c1);
+      } else {
+        GlobalAvgPoolQU8(in0, out, c0, c1);
+      }
+      return;
+    }
+    case LayerKind::kRelu: {
+      CopyChannelSlice(in0, out, c0, c1);
+      if (storage == DType::kF32) {
+        ReluF32(out, c0, c1);
+      } else if (storage == DType::kF16) {
+        ReluF16(out, c0, c1);
+      } else {
+        ReluQU8(out, c0, c1);
+      }
+      return;
+    }
+    case LayerKind::kLrn: {
+      if (storage == DType::kF32) {
+        LrnF32(in0, n.desc.lrn, out, c0, c1);
+      } else if (storage == DType::kF16) {
+        LrnF16(in0, n.desc.lrn, out, c0, c1);
+      } else {
+        LrnQU8(in0, n.desc.lrn, out, c0, c1);
+      }
+      return;
+    }
+    case LayerKind::kConcat: {
+      assert(c0 == 0 && c1 == n.out_shape.c && "concat is never channel-split");
+      std::vector<const Tensor*> ins;
+      ins.reserve(n.inputs.size());
+      for (int in : n.inputs) {
+        ins.push_back(&act[static_cast<size_t>(in)]);
+      }
+      ConcatChannels(ins, out);
+      return;
+    }
+    case LayerKind::kEltwiseAdd: {
+      assert(n.inputs.size() == 2 && "executor supports binary residual adds");
+      const Tensor& in1 = act[static_cast<size_t>(n.inputs[1])];
+      if (storage == DType::kF32) {
+        EltwiseAddF32(in0, in1, out, n.desc.conv.relu, c0, c1);
+      } else if (storage == DType::kF16) {
+        EltwiseAddF16(in0, in1, out, n.desc.conv.relu, c0, c1);
+      } else {
+        EltwiseAddQU8(in0, in1, out, n.desc.conv.relu, c0, c1);
+      }
+      return;
+    }
+    case LayerKind::kSoftmax: {
+      assert(c0 == 0 && c1 == n.out_shape.c && "softmax is never channel-split");
+      Softmax(in0, out);
+      return;
+    }
+  }
+}
+
+void ComputeNode(const PreparedModel& pm, int id, ProcKind proc, std::vector<Tensor>& act) {
+  ComputeNodeSlice(pm, id, proc, act, 0, pm.graph().node(id).out_shape.c);
+}
+
+}  // namespace ulayer

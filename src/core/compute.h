@@ -1,0 +1,26 @@
+// Functional execution of one node slice under an ExecConfig.
+//
+// This is where processor-friendly quantization becomes concrete: with
+// QUInt8 storage, a processor whose compute dtype is kQUInt8 runs the
+// integer kernels (CPU path) while a processor whose compute dtype is kF16
+// runs the on-the-fly-F16 kernels (GPU path). Both write disjoint channel
+// slices of the same output tensor, so cooperative results merge for free.
+#pragma once
+
+#include <vector>
+
+#include "core/prepared.h"
+#include "soc/spec.h"
+
+namespace ulayer {
+
+// Computes output channels [c0, c1) of node `id` into act[id]. `act` is
+// indexed by node id; producers must already be computed. For kConcat and
+// kSoftmax the range must cover all channels (they are never split).
+void ComputeNodeSlice(const PreparedModel& pm, int id, ProcKind proc, std::vector<Tensor>& act,
+                      int64_t c0, int64_t c1);
+
+// Convenience: computes the full node on one processor.
+void ComputeNode(const PreparedModel& pm, int id, ProcKind proc, std::vector<Tensor>& act);
+
+}  // namespace ulayer

@@ -1,0 +1,51 @@
+// ExecConfig: how tensors are stored and how each processor computes.
+//
+// Processor-friendly quantization (paper Section 4.2) is expressed as one
+// configuration: storage QUInt8, CPU computes QUInt8, GPU computes F16.
+#pragma once
+
+#include "tensor/dtype.h"
+#include "soc/spec.h"
+
+namespace ulayer {
+
+struct ExecConfig {
+  // Storage dtype of every network tensor (activations and filters) — this
+  // is what memory traffic is priced at.
+  DType storage = DType::kF32;
+  // Arithmetic dtype per processor. With QUInt8 storage, a processor whose
+  // compute dtype is kF16 converts values on the fly (the GPU path).
+  DType cpu_compute = DType::kF32;
+  DType gpu_compute = DType::kF32;
+
+  // Implementation optimizations of Section 6 (both on for real ulayer;
+  // switchable for the overhead-ablation bench).
+  bool zero_copy = true;    // Shared CPU-GPU memory via CL_MEM_ALLOC_HOST_PTR.
+  bool async_issue = true;  // Overlap GPU command issuing with CPU-side work.
+
+  // Extension: quantize conv/FC filters per output channel instead of per
+  // tensor (QUInt8 storage only). Improves accuracy at identical speed; see
+  // bench/per_channel_quant.
+  bool per_channel_weights = false;
+
+  DType ComputeFor(ProcKind k) const { return k == ProcKind::kCpu ? cpu_compute : gpu_compute; }
+
+  // --- Common configurations ---
+  // Everything in F32 (the mobile-framework default).
+  static ExecConfig AllF32() { return ExecConfig{}; }
+  // Everything in F16.
+  static ExecConfig AllF16() {
+    return ExecConfig{DType::kF16, DType::kF16, DType::kF16, true, true};
+  }
+  // Everything in QUInt8 (TFLite-style; both processors run integer math).
+  static ExecConfig AllQU8() {
+    return ExecConfig{DType::kQUInt8, DType::kQUInt8, DType::kQUInt8, true, true};
+  }
+  // Processor-friendly quantization: QUInt8 storage, CPU integer math,
+  // GPU F16 math (Section 4.2).
+  static ExecConfig ProcessorFriendly() {
+    return ExecConfig{DType::kQUInt8, DType::kQUInt8, DType::kF16, true, true};
+  }
+};
+
+}  // namespace ulayer

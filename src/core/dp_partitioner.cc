@@ -1,0 +1,209 @@
+#include "core/dp_partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ulayer {
+namespace {
+
+bool Splittable(LayerKind k) {
+  switch (k) {
+    case LayerKind::kConv:
+    case LayerKind::kDepthwiseConv:
+    case LayerKind::kFullyConnected:
+    case LayerKind::kPool:
+    case LayerKind::kGlobalAvgPool:
+    case LayerKind::kRelu:
+    case LayerKind::kLrn:
+    case LayerKind::kEltwiseAdd:
+      return true;
+    case LayerKind::kInput:
+    case LayerKind::kConcat:
+    case LayerKind::kSoftmax:
+      return false;
+  }
+  return false;
+}
+
+// Where a node's output is visible after executing under an assignment.
+struct Visibility {
+  bool cpu = false;
+  bool gpu = false;
+};
+
+Visibility VisOf(const NodeAssignment& a) {
+  switch (a.kind) {
+    case StepKind::kCooperative:
+      return {true, true};
+    case StepKind::kSingle:
+    case StepKind::kBranch:
+      return {a.proc == ProcKind::kCpu, a.proc == ProcKind::kGpu};
+  }
+  return {true, true};
+}
+
+// A DP state: one candidate assignment for a layer.
+struct State {
+  NodeAssignment assignment;
+  Visibility vis;
+};
+
+}  // namespace
+
+DpPartitioner::DpPartitioner(const Graph& graph, const TimingModel& timing,
+                             const ExecConfig& config, const LatencyPredictor& predictor,
+                             Options options)
+    : graph_(graph),
+      timing_(timing),
+      config_(config),
+      predictor_(predictor),
+      options_(std::move(options)) {}
+
+Plan DpPartitioner::Build() const {
+  // Start from the greedy plan: it supplies branch-group decisions and a
+  // valid assignment for anything the DP does not cover.
+  Partitioner::Options greedy_opts;
+  greedy_opts.channel_distribution = options_.channel_distribution;
+  greedy_opts.branch_distribution = options_.branch_distribution;
+  greedy_opts.split_candidates = options_.split_candidates;
+  greedy_opts.use_oracle = options_.use_oracle;
+  Partitioner greedy(graph_, timing_, config_, predictor_, greedy_opts);
+  Plan plan = greedy.Build();
+  estimated_us_ = 0.0;
+
+  // Nodes owned by branch groups are fixed.
+  std::vector<bool> fixed(static_cast<size_t>(graph_.size()), false);
+  for (const BranchPlan& bp : plan.branch_plans) {
+    for (const auto& branch : bp.group.branches) {
+      for (int id : branch) {
+        fixed[static_cast<size_t>(id)] = true;
+      }
+    }
+  }
+
+  // Consumer counts for chain detection.
+  std::vector<int> consumers(static_cast<size_t>(graph_.size()), 0);
+  for (const Node& n : graph_.nodes()) {
+    for (int in : n.inputs) {
+      ++consumers[static_cast<size_t>(in)];
+    }
+  }
+
+  // Candidate states per node kind.
+  auto states_for = [&](const Node& n) {
+    std::vector<State> states;
+    states.push_back({NodeAssignment{StepKind::kSingle, ProcKind::kCpu, 1.0}, {true, false}});
+    states.push_back({NodeAssignment{StepKind::kSingle, ProcKind::kGpu, 1.0}, {false, true}});
+    if (options_.channel_distribution && Splittable(n.desc.kind)) {
+      for (const double p : options_.split_candidates) {
+        states.push_back({NodeAssignment{StepKind::kCooperative, ProcKind::kCpu, p},
+                          {true, true}});
+      }
+    }
+    return states;
+  };
+
+  auto exec_cost = [&](const Node& n, const State& s) {
+    if (s.assignment.kind == StepKind::kCooperative) {
+      return greedy.EstimateCoopUs(n, s.assignment.cpu_fraction);
+    }
+    return greedy.EstimateSingleUs(n, s.assignment.proc);
+  };
+
+  // Transition cost: one sync whenever the consumer needs the data on a
+  // device the producers did not leave it on (mirrors Executor::ReadyTime).
+  auto transition = [&](const Visibility& prev, const State& s) {
+    const bool needs_cpu =
+        s.vis.cpu || s.assignment.kind == StepKind::kCooperative;
+    const bool needs_gpu =
+        s.vis.gpu || s.assignment.kind == StepKind::kCooperative;
+    const bool miss = (needs_cpu && !prev.cpu) || (needs_gpu && !prev.gpu);
+    return miss ? timing_.SyncUs() : 0.0;
+  };
+
+  // Entry visibility of a node = intersection over its producers' current
+  // plan assignments.
+  auto entry_vis = [&](const Node& n) {
+    Visibility v{true, true};
+    for (int in : n.inputs) {
+      if (graph_.node(in).desc.kind == LayerKind::kInput) {
+        continue;  // The input buffer is shared zero-copy memory.
+      }
+      const Visibility pv = VisOf(plan.nodes[static_cast<size_t>(in)]);
+      v.cpu = v.cpu && pv.cpu;
+      v.gpu = v.gpu && pv.gpu;
+    }
+    return v;
+  };
+
+  // Walk maximal chain segments and run the DP on each.
+  std::vector<bool> visited(static_cast<size_t>(graph_.size()), false);
+  for (const Node& start : graph_.nodes()) {
+    if (start.desc.kind == LayerKind::kInput || fixed[static_cast<size_t>(start.id)] ||
+        visited[static_cast<size_t>(start.id)]) {
+      continue;
+    }
+    // Collect the chain: consecutive single-input/single-consumer links.
+    std::vector<int> chain{start.id};
+    visited[static_cast<size_t>(start.id)] = true;
+    int cur = start.id;
+    while (consumers[static_cast<size_t>(cur)] == 1) {
+      const std::vector<int> next = graph_.Consumers(cur);
+      const Node& nx = graph_.node(next[0]);
+      if (nx.inputs.size() != 1 || fixed[static_cast<size_t>(nx.id)] ||
+          visited[static_cast<size_t>(nx.id)]) {
+        break;
+      }
+      chain.push_back(nx.id);
+      visited[static_cast<size_t>(nx.id)] = true;
+      cur = nx.id;
+    }
+
+    // DP over the chain.
+    const Visibility v0 = entry_vis(graph_.node(chain[0]));
+    std::vector<std::vector<double>> cost(chain.size());
+    std::vector<std::vector<int>> back(chain.size());
+    std::vector<std::vector<State>> all_states(chain.size());
+    for (size_t i = 0; i < chain.size(); ++i) {
+      const Node& n = graph_.node(chain[i]);
+      all_states[i] = states_for(n);
+      cost[i].assign(all_states[i].size(), std::numeric_limits<double>::infinity());
+      back[i].assign(all_states[i].size(), -1);
+      for (size_t s = 0; s < all_states[i].size(); ++s) {
+        const double exec = exec_cost(n, all_states[i][s]);
+        if (i == 0) {
+          cost[i][s] = transition(v0, all_states[i][s]) + exec;
+          continue;
+        }
+        for (size_t ps = 0; ps < all_states[i - 1].size(); ++ps) {
+          const double c =
+              cost[i - 1][ps] + transition(all_states[i - 1][ps].vis, all_states[i][s]) + exec;
+          if (c < cost[i][s]) {
+            cost[i][s] = c;
+            back[i][s] = static_cast<int>(ps);
+          }
+        }
+      }
+    }
+    // Backtrack the optimum into the plan.
+    const size_t last = chain.size() - 1;
+    size_t best = 0;
+    for (size_t s = 1; s < cost[last].size(); ++s) {
+      if (cost[last][s] < cost[last][best]) {
+        best = s;
+      }
+    }
+    estimated_us_ += cost[last][best];
+    for (size_t i = last;; --i) {
+      plan.nodes[static_cast<size_t>(chain[i])] = all_states[i][best].assignment;
+      if (i == 0) {
+        break;
+      }
+      best = static_cast<size_t>(back[i][best]);
+    }
+  }
+  return plan;
+}
+
+}  // namespace ulayer

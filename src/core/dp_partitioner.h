@@ -1,0 +1,57 @@
+// DpPartitioner: dynamic-programming plan construction that accounts for
+// *cross-layer* synchronization costs.
+//
+// The paper's NN partitioner (and our Partitioner) chooses each layer's
+// assignment locally; it never sees that putting layer i on the GPU forces a
+// CPU-GPU sync if layer i-1 lives on the CPU. That blind spot is exactly why
+// the layer-to-processor baseline can lose to a single processor (paper
+// Figure 16, VGG-16 high-end). This planner fixes it with a DP over the
+// network's backbone chain:
+//
+//   dp[i][s] = min over s' of dp[i-1][s'] + transition(s', s) + exec(i, s)
+//
+// where a state s is Single(CPU), Single(GPU) or Cooperative(p), and
+// transition() charges one sync whenever the consumer needs the data on a
+// device the producer did not leave it on.
+//
+// Branch groups are planned first (same enumeration as Partitioner) and
+// collapsed into fixed super-steps; the DP runs over the remaining backbone.
+// It is exact for chains — which is what the evaluation networks are once
+// branch groups are collapsed — and falls back to the greedy result for any
+// residual non-chain structure.
+#pragma once
+
+#include "core/partitioner.h"
+
+namespace ulayer {
+
+class DpPartitioner {
+ public:
+  struct Options {
+    bool channel_distribution = true;
+    bool branch_distribution = true;
+    std::vector<double> split_candidates = {0.25, 0.5, 0.75};
+    bool use_oracle = false;
+  };
+
+  DpPartitioner(const Graph& graph, const TimingModel& timing, const ExecConfig& config,
+                const LatencyPredictor& predictor, Options options);
+  DpPartitioner(const Graph& graph, const TimingModel& timing, const ExecConfig& config,
+                const LatencyPredictor& predictor)
+      : DpPartitioner(graph, timing, config, predictor, Options()) {}
+
+  Plan Build() const;
+
+  // Estimated end-to-end latency of the DP-optimal backbone (for studies).
+  double EstimatedBackboneUs() const { return estimated_us_; }
+
+ private:
+  const Graph& graph_;
+  TimingModel timing_;
+  ExecConfig config_;
+  const LatencyPredictor& predictor_;
+  Options options_;
+  mutable double estimated_us_ = 0.0;
+};
+
+}  // namespace ulayer

@@ -1,0 +1,204 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/compute.h"
+
+namespace ulayer {
+namespace {
+
+// CPU time spent making one asynchronous enqueue call (clEnqueueNDRangeKernel
+// returning immediately). The GPU-side launch overhead is separate and lives
+// in ProcessorSpec::kernel_launch_us.
+constexpr double kIssueCallUs = 2.0;
+
+int64_t SplitChannel(const Node& node, double cpu_fraction) {
+  const int64_t c = node.out_shape.c;
+  return std::clamp<int64_t>(
+      static_cast<int64_t>(std::llround(cpu_fraction * static_cast<double>(c))), 0, c);
+}
+
+}  // namespace
+
+Executor::Executor(const PreparedModel& pm, const SocSpec& soc) : pm_(pm), ctx_(soc) {}
+
+double Executor::ReadyTime(const Node& node, bool on_cpu, bool on_gpu,
+                           const std::vector<NodeDone>& done, int* syncs) const {
+  double ready = 0.0;
+  for (int in : node.inputs) {
+    const NodeDone& d = done[static_cast<size_t>(in)];
+    double t = d.event.complete_us;
+    // If this step needs the data on a device the producer did not run on,
+    // the dependency crosses the CPU-GPU boundary and pays one sync.
+    const bool needs_sync = (on_cpu && !d.on_cpu) || (on_gpu && !d.on_gpu);
+    if (needs_sync) {
+      t += ctx_.timing().SyncUs();
+      ++*syncs;
+    }
+    ready = std::max(ready, t);
+  }
+  return ready;
+}
+
+RunResult Executor::Run(const Plan& plan, const Tensor* input) {
+  const Graph& g = pm_.graph();
+  assert(plan.nodes.size() == static_cast<size_t>(g.size()));
+  ctx_.Reset();
+  const ExecConfig& cfg = pm_.config();
+  const TimingModel& timing = ctx_.timing();
+
+  std::vector<NodeDone> done(static_cast<size_t>(g.size()));
+  std::vector<KernelTrace> trace;
+  trace.reserve(static_cast<size_t>(g.size()) + 16);
+  int syncs = 0;
+
+  // Functional state.
+  std::vector<Tensor> act;
+  if (input != nullptr) {
+    act.resize(static_cast<size_t>(g.size()));
+    act[0] = pm_.PrepareInput(*input);
+    for (const Node& n : g.nodes()) {
+      if (n.desc.kind != LayerKind::kInput) {
+        act[static_cast<size_t>(n.id)] = pm_.MakeActivation(n.id);
+      }
+    }
+  }
+
+  for (const Node& n : g.nodes()) {
+    const NodeAssignment& a = plan.nodes[static_cast<size_t>(n.id)];
+    NodeDone& nd = done[static_cast<size_t>(n.id)];
+    if (n.desc.kind == LayerKind::kInput) {
+      // The input buffer is zero-copy shared memory: visible to both devices.
+      nd = NodeDone{ucl::Event{0.0}, true, true};
+      continue;
+    }
+
+    const int64_t oc = n.out_shape.c;
+    const bool cooperative = a.kind == StepKind::kCooperative && a.cpu_fraction > 0.0 &&
+                             a.cpu_fraction < 1.0;
+    if (!cooperative) {
+      // Single-processor step (kSingle, kBranch, or a degenerate split).
+      const ProcKind proc =
+          a.kind == StepKind::kCooperative ? (a.cpu_fraction >= 1.0 ? ProcKind::kCpu
+                                                                    : ProcKind::kGpu)
+                                           : a.proc;
+      const bool on_cpu = proc == ProcKind::kCpu;
+      const double ready = ReadyTime(n, on_cpu, !on_cpu, done, &syncs);
+      const LayerWork w = ComputeWork(g, n, cfg.storage);
+      const double body = timing.KernelBodyUs(w, proc, cfg.ComputeFor(proc));
+      const ucl::Event ev = ctx_.queue(proc).EnqueueKernelAt(ready, body, cfg.ComputeFor(proc),
+                                                             w.TotalBytes());
+      trace.push_back(KernelTrace{n.id, proc, ev.start_us, ev.complete_us});
+      nd = NodeDone{ev, on_cpu, !on_cpu};
+      if (input != nullptr) {
+        ComputeNode(pm_, n.id, proc, act);
+      }
+      continue;
+    }
+
+    // --- Cooperative step: channel-wise workload distribution -------------
+    const int64_t c_split = SplitChannel(n, a.cpu_fraction);
+    const double ready = ReadyTime(n, /*on_cpu=*/true, /*on_gpu=*/true, done, &syncs);
+
+    const LayerWork cpu_w = ComputeWork(g, n, cfg.storage, 0, c_split);
+    const LayerWork gpu_w = ComputeWork(g, n, cfg.storage, c_split, oc);
+
+    // The CPU issues the GPU command first (Section 6). Asynchronous issue
+    // costs the CPU only the enqueue call; synchronous issue blocks the CPU
+    // for the whole GPU launch.
+    ucl::Device& cpu = ctx_.device(ProcKind::kCpu);
+    double cpu_free;
+    double gpu_ready;
+    if (cfg.async_issue) {
+      cpu_free = cpu.Schedule(ready, kIssueCallUs, DType::kF32, 0.0);
+      gpu_ready = cpu_free;
+    } else {
+      cpu_free = cpu.Schedule(ready, ctx_.device(ProcKind::kGpu).spec().kernel_launch_us,
+                              DType::kF32, 0.0);
+      gpu_ready = cpu_free;
+    }
+
+    // Shared-memory handoff: zero-copy buffers pay cache maintenance only;
+    // otherwise the GPU's input view and output slice are staged through
+    // bandwidth-priced copies on the CPU.
+    if (cfg.zero_copy) {
+      gpu_ready += timing.MapUs();
+    } else {
+      const double stage_us =
+          timing.MapUs() + gpu_w.input_bytes / (ctx_.soc().copy_gb_per_s * 1e3);
+      cpu_free = cpu.Schedule(cpu_free, stage_us, DType::kF32, gpu_w.input_bytes);
+      gpu_ready = cpu_free;
+    }
+
+    const ucl::Event gpu_ev = ctx_.queue(ProcKind::kGpu)
+                                  .EnqueueKernelAt(gpu_ready, timing.KernelBodyUs(
+                                                                  gpu_w, ProcKind::kGpu,
+                                                                  cfg.ComputeFor(ProcKind::kGpu)),
+                                                   cfg.ComputeFor(ProcKind::kGpu),
+                                                   gpu_w.TotalBytes());
+    // The CPU runs its own slice; its kernel-launch overhead applies.
+    const double cpu_body =
+        timing.KernelBodyUs(cpu_w, ProcKind::kCpu, cfg.ComputeFor(ProcKind::kCpu));
+    const ucl::Event cpu_ev = ctx_.queue(ProcKind::kCpu)
+                                  .EnqueueKernelAt(cpu_free, cpu_body,
+                                                   cfg.ComputeFor(ProcKind::kCpu),
+                                                   cpu_w.TotalBytes());
+    trace.push_back(KernelTrace{n.id, ProcKind::kGpu, gpu_ev.start_us, gpu_ev.complete_us});
+    trace.push_back(KernelTrace{n.id, ProcKind::kCpu, cpu_ev.start_us, cpu_ev.complete_us});
+
+    double merged = std::max(cpu_ev.complete_us, gpu_ev.complete_us);
+    if (!cfg.zero_copy) {
+      // Stage the GPU's output slice back for CPU visibility.
+      merged = cpu.Schedule(merged, gpu_w.output_bytes / (ctx_.soc().copy_gb_per_s * 1e3),
+                            DType::kF32, gpu_w.output_bytes);
+    }
+    merged += timing.SyncUs();
+    ++syncs;
+    // Both devices resume from the merge point (the executor waits for the
+    // GPU before the next layer, Section 6).
+    ctx_.device(ProcKind::kCpu).Schedule(merged, 0.0, DType::kF32, 0.0);
+    ctx_.device(ProcKind::kGpu).Schedule(merged, 0.0, DType::kF32, 0.0);
+    nd = NodeDone{ucl::Event{merged}, true, true};
+
+    if (input != nullptr) {
+      if (c_split > 0) {
+        ComputeNodeSlice(pm_, n.id, ProcKind::kCpu, act, 0, c_split);
+      }
+      if (c_split < oc) {
+        ComputeNodeSlice(pm_, n.id, ProcKind::kGpu, act, c_split, oc);
+      }
+    }
+  }
+
+  // --- Result assembly ------------------------------------------------------
+  RunResult r;
+  r.latency_us = ctx_.NowUs();
+  r.trace = std::move(trace);
+  r.sync_count = syncs;
+  const EnergyModel energy(ctx_.soc());
+  for (const ProcKind k : {ProcKind::kCpu, ProcKind::kGpu}) {
+    const ucl::Device& d = ctx_.device(k);
+    double e = 0.0;
+    for (const DType t : {DType::kF32, DType::kF16, DType::kQUInt8}) {
+      e += energy.ComputeEnergyMj(k, t, d.BusyUs(t), 0.0);
+    }
+    e += energy.DramEnergyMj(d.TotalBytes());
+    if (k == ProcKind::kCpu) {
+      r.cpu_busy_us = d.TotalBusyUs();
+      r.cpu_energy_mj = e;
+    } else {
+      r.gpu_busy_us = d.TotalBusyUs();
+      r.gpu_energy_mj = e;
+    }
+  }
+  r.idle_energy_mj = energy.IdleEnergyMj(r.latency_us);
+  r.total_energy_mj = r.cpu_energy_mj + r.gpu_energy_mj + r.idle_energy_mj;
+  if (input != nullptr) {
+    r.output = act[static_cast<size_t>(g.OutputId())];
+  }
+  return r;
+}
+
+}  // namespace ulayer

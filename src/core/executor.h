@@ -1,0 +1,78 @@
+// NN executor (paper Section 6): runs a Plan over the ucl device timelines,
+// optionally computing real tensor values.
+//
+// Timing semantics per step:
+//  - kSingle / kBranch: one kernel on the assigned device; if a producer ran
+//    on the other device, the dependency pays one CPU-GPU sync.
+//  - kCooperative: the CPU issues the GPU command (asynchronously when
+//    config.async_issue), both devices compute their channel slices, and a
+//    merge synchronization joins the timelines:
+//        done = max(cpu_end, gpu_end) + sync_us.
+//    With zero-copy disabled, the GPU's view of the shared input/output is
+//    staged through bandwidth-priced copies (overhead-ablation path).
+#pragma once
+
+#include <optional>
+
+#include "core/plan.h"
+#include "core/prepared.h"
+#include "ucl/ucl.h"
+
+namespace ulayer {
+
+// One kernel occurrence on a device timeline (for tracing/visualization).
+struct KernelTrace {
+  int node = -1;
+  ProcKind proc = ProcKind::kCpu;
+  double start_us = 0.0;
+  double end_us = 0.0;
+};
+
+struct RunResult {
+  double latency_us = 0.0;
+
+  // Per-kernel schedule, in issue order (both devices interleaved).
+  std::vector<KernelTrace> trace;
+
+  double cpu_busy_us = 0.0;
+  double gpu_busy_us = 0.0;
+  int sync_count = 0;
+
+  double cpu_energy_mj = 0.0;
+  double gpu_energy_mj = 0.0;
+  double idle_energy_mj = 0.0;
+  double total_energy_mj = 0.0;
+
+  // Network output (softmax probabilities), present in functional runs.
+  std::optional<Tensor> output;
+
+  double latency_ms() const { return latency_us * 1e-3; }
+};
+
+class Executor {
+ public:
+  // `pm` must outlive the executor.
+  Executor(const PreparedModel& pm, const SocSpec& soc);
+
+  // Executes `plan`. If `input` is non-null the run is functional: tensor
+  // values are computed with the dtype-accurate kernels and the network
+  // output is returned. Otherwise only the timing/energy simulation runs.
+  RunResult Run(const Plan& plan, const Tensor* input = nullptr);
+
+ private:
+  struct NodeDone {
+    ucl::Event event;
+    bool on_cpu = false;
+    bool on_gpu = false;
+  };
+
+  // Dependency ready-time for running `node` on `proc` (or cooperatively on
+  // both when `both` is set), charging cross-device syncs.
+  double ReadyTime(const Node& node, bool on_cpu, bool on_gpu,
+                   const std::vector<NodeDone>& done, int* syncs) const;
+
+  const PreparedModel& pm_;
+  ucl::Context ctx_;
+};
+
+}  // namespace ulayer

@@ -1,0 +1,51 @@
+// Execution plans: the output of the NN partitioner (paper Section 6).
+//
+// A plan assigns every graph node to one of three step kinds:
+//  - kSingle:      the node runs entirely on one processor.
+//  - kCooperative: the node's output channels are split CPU:GPU = p:(1-p)
+//                  (channel-wise workload distribution, Section 3.2).
+//  - kBranch:      the node belongs to a branch group whose branches are
+//                  assigned whole to processors (branch distribution,
+//                  Section 5). The assignment is stored on the group.
+#pragma once
+
+#include <vector>
+
+#include "nn/branch.h"
+#include "soc/spec.h"
+
+namespace ulayer {
+
+enum class StepKind : uint8_t { kSingle, kCooperative, kBranch };
+
+struct NodeAssignment {
+  StepKind kind = StepKind::kSingle;
+  ProcKind proc = ProcKind::kCpu;  // kSingle / kBranch: the executing processor.
+  double cpu_fraction = 1.0;       // kCooperative: the split ratio p.
+};
+
+struct BranchPlan {
+  BranchGroup group;
+  // Processor per branch, same order as group.branches.
+  std::vector<ProcKind> assignment;
+};
+
+struct Plan {
+  // Indexed by node id.
+  std::vector<NodeAssignment> nodes;
+  std::vector<BranchPlan> branch_plans;
+
+  // Fraction of nodes executed cooperatively (reporting).
+  double CooperativeFraction() const {
+    if (nodes.empty()) {
+      return 0.0;
+    }
+    int coop = 0;
+    for (const NodeAssignment& a : nodes) {
+      coop += a.kind == StepKind::kCooperative ? 1 : 0;
+    }
+    return static_cast<double>(coop) / static_cast<double>(nodes.size());
+  }
+};
+
+}  // namespace ulayer

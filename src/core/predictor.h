@@ -1,0 +1,60 @@
+// LatencyPredictor: Neurosurgeon-style regression latency estimates.
+//
+// The NN partitioner needs per-layer latency estimates for candidate
+// split ratios without executing anything. Following the paper (Section 6),
+// we extend Neurosurgeon's logarithmic regression: for each
+// (layer kind, processor) pair we fit
+//     log t = a + b*log(1 + MACs) + c*log(1 + bytes)
+// over profiled samples, then scale the estimate by the channel fraction p.
+// The fit is deliberately approximate (the profile is the ground truth); the
+// partitioner tolerates the error, and bench/predictor_fidelity reports it.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/config.h"
+#include "nn/graph.h"
+#include "soc/timing.h"
+
+namespace ulayer {
+
+class LatencyPredictor {
+ public:
+  // Fits the regression from profiled samples of every layer in `training`
+  // graphs, measured on `timing` with the compute dtypes of `config`.
+  // In the real system this profile comes from on-device measurements; here
+  // the timing model plays that role.
+  LatencyPredictor(const TimingModel& timing, const ExecConfig& config,
+                   const std::vector<const Graph*>& training);
+
+  // Predicted latency (us) of output-channel fraction `fraction` of `node`
+  // on processor `proc` (kernel launch included).
+  double PredictUs(const Graph& g, const Node& node, ProcKind proc, double fraction = 1.0) const;
+
+  // Prediction error statistics against the timing model over a graph.
+  struct Fidelity {
+    double mean_abs_rel_err = 0.0;
+    double max_abs_rel_err = 0.0;
+    int samples = 0;
+  };
+  Fidelity Evaluate(const Graph& g) const;
+
+ private:
+  struct Coeffs {
+    double a = 0.0, b = 0.0, c = 0.0;
+    bool fitted = false;
+  };
+
+  static constexpr int kKinds = kLayerKindCount;
+  const Coeffs& CoeffsFor(LayerKind kind, ProcKind proc) const;
+
+  // Ground-truth sample used for fitting and fallback.
+  double MeasureUs(const Graph& g, const Node& node, ProcKind proc, double fraction) const;
+
+  TimingModel timing_;
+  ExecConfig config_;
+  std::array<std::array<Coeffs, 2>, kKinds> coeffs_{};
+};
+
+}  // namespace ulayer

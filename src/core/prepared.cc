@@ -1,0 +1,136 @@
+#include "core/prepared.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/reference.h"
+
+namespace ulayer {
+namespace {
+
+bool IsParameterized(LayerKind k) {
+  return k == LayerKind::kConv || k == LayerKind::kDepthwiseConv ||
+         k == LayerKind::kFullyConnected;
+}
+
+QuantParams TensorMinMaxParams(const Tensor& f32) {
+  MinMaxObserver obs;
+  obs.Observe(f32);
+  return obs.Params();
+}
+
+}  // namespace
+
+PreparedModel::PreparedModel(const Model& model, const ExecConfig& config)
+    : model_(&model), config_(config), act_qp_(static_cast<size_t>(model.graph.size())) {
+  if (!model.has_weights()) {
+    return;  // Simulate-only use: no weight conversion needed.
+  }
+  for (const Node& n : model.graph.nodes()) {
+    if (!IsParameterized(n.desc.kind)) {
+      continue;
+    }
+    const LayerWeights& w = model.weights.at(n.id);
+    PreparedWeights pw;
+    switch (config.storage) {
+      case DType::kF32:
+        pw.filters = w.filters;
+        pw.bias = w.bias;
+        break;
+      case DType::kF16:
+        pw.filters = ToF16Tensor(w.filters);
+        pw.bias = ToF16Tensor(w.bias);
+        break;
+      case DType::kQUInt8:
+        if (config.per_channel_weights && n.desc.kind != LayerKind::kDepthwiseConv) {
+          pw.filters = QuantizeFiltersPerChannel(w.filters, pw.per_channel);
+        } else {
+          pw.filters = QuantizeTensor(w.filters, TensorMinMaxParams(w.filters));
+        }
+        // bias_i32 needs the input activation scale; filled by Calibrate().
+        break;
+      case DType::kInt32:
+        assert(false && "kInt32 is not a storage dtype");
+        break;
+    }
+    weights_.emplace(n.id, std::move(pw));
+  }
+}
+
+void PreparedModel::Calibrate(const std::vector<Tensor>& inputs) {
+  assert(config_.storage == DType::kQUInt8 && "only QUInt8 storage needs calibration");
+  assert(model_->has_weights());
+  assert(!inputs.empty());
+
+  // Observe per-node F32 activation ranges across the calibration set.
+  std::vector<MinMaxObserver> obs(static_cast<size_t>(graph().size()));
+  for (const Tensor& input : inputs) {
+    const std::vector<Tensor> act = ForwardF32(*model_, input);
+    for (const Node& n : graph().nodes()) {
+      obs[static_cast<size_t>(n.id)].Observe(act[static_cast<size_t>(n.id)]);
+    }
+  }
+  for (const Node& n : graph().nodes()) {
+    act_qp_[static_cast<size_t>(n.id)] = obs[static_cast<size_t>(n.id)].Params();
+  }
+
+  // Quantize biases: bias_real = bias_i32 * (in_scale * w_scale).
+  for (const Node& n : graph().nodes()) {
+    if (!IsParameterized(n.desc.kind)) {
+      continue;
+    }
+    PreparedWeights& pw = weights_.at(n.id);
+    const Tensor& bias_f32 = model_->weights.at(n.id).bias;
+    const float in_scale = act_qp_[static_cast<size_t>(n.inputs[0])].scale;
+    pw.bias_i32 = Tensor(bias_f32.shape(), DType::kInt32);
+    const float* src = bias_f32.Data<float>();
+    int32_t* dst = pw.bias_i32.Data<int32_t>();
+    const bool per_channel = !pw.per_channel.channels.empty();
+    for (int64_t i = 0; i < bias_f32.NumElements(); ++i) {
+      const float w_scale =
+          per_channel ? pw.per_channel.channels[static_cast<size_t>(i)].scale
+                      : pw.filters.scale();
+      dst[i] = static_cast<int32_t>(std::lround(src[i] / (in_scale * w_scale)));
+    }
+  }
+  calibrated_ = true;
+}
+
+DType PreparedModel::ActivationDType(int id) const {
+  // Softmax output is class probabilities in F32 in every configuration.
+  if (graph().node(id).desc.kind == LayerKind::kSoftmax) {
+    return DType::kF32;
+  }
+  return config_.storage;
+}
+
+Tensor PreparedModel::MakeActivation(int id) const {
+  const Node& n = graph().node(id);
+  Tensor t(n.out_shape, ActivationDType(id));
+  if (t.dtype() == DType::kQUInt8) {
+    const QuantParams& qp = act_qp_[static_cast<size_t>(id)];
+    t.set_quant_params(qp.scale, qp.zero_point);
+  }
+  return t;
+}
+
+Tensor PreparedModel::PrepareInput(const Tensor& f32_input) const {
+  assert(f32_input.dtype() == DType::kF32);
+  switch (config_.storage) {
+    case DType::kF32:
+      return f32_input;
+    case DType::kF16:
+      return ToF16Tensor(f32_input);
+    case DType::kQUInt8: {
+      assert(calibrated_);
+      // The graph input is node 0 by construction.
+      return QuantizeTensor(f32_input, act_qp_[0]);
+    }
+    case DType::kInt32:
+      break;
+  }
+  assert(false && "unsupported storage dtype");
+  return f32_input;
+}
+
+}  // namespace ulayer

@@ -1,0 +1,76 @@
+// PreparedModel: a Model transformed for execution under an ExecConfig.
+//
+// For QUInt8 storage this performs what the paper assumes exists up front
+// ("ulayer assumes that the 8-bit linear quantization is already applied to
+// the given NN", Section 6): per-layer weight quantization, activation-range
+// calibration over a calibration set, and int32 bias quantization. For
+// F16/F32 storage it converts weights to the storage dtype.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "models/model.h"
+#include "quant/quantize.h"
+
+namespace ulayer {
+
+class PreparedModel {
+ public:
+  // Model must outlive the PreparedModel. Weights must be materialized when
+  // functional execution or calibration is intended.
+  PreparedModel(const Model& model, const ExecConfig& config);
+
+  const Model& model() const { return *model_; }
+  const Graph& graph() const { return model_->graph; }
+  const ExecConfig& config() const { return config_; }
+
+  // Runs the F32 reference over `inputs`, records per-node activation
+  // ranges, derives QuantParams, and quantizes biases. Required before
+  // functional QUInt8 execution. One input = the paper's naive
+  // post-training quantization; many inputs = the calibrated ("fake quant
+  // retrained") setting of Section 4.3.
+  void Calibrate(const std::vector<Tensor>& inputs);
+  bool calibrated() const { return calibrated_; }
+
+  // Activation quantization parameters of node `id` (QUInt8 storage only).
+  const QuantParams& ActivationParams(int id) const { return act_qp_[static_cast<size_t>(id)]; }
+
+  // Weights in storage dtype. QUInt8 filters carry their QuantParams.
+  const Tensor& Filters(int id) const { return weights_.at(id).filters; }
+  // Per-output-channel filter params (config().per_channel_weights only).
+  const PerChannelParams& FilterChannelParams(int id) const {
+    return weights_.at(id).per_channel;
+  }
+  // Bias variants: int32 for the CPU QUInt8 path, F32 for the GPU on-the-fly
+  // F16 path, storage-dtype for F16/F32 modes.
+  const Tensor& BiasI32(int id) const { return weights_.at(id).bias_i32; }
+  const Tensor& BiasF32(int id) const { return model_->weights.at(id).bias; }
+  const Tensor& Bias(int id) const { return weights_.at(id).bias; }
+
+  // Allocates the activation tensor for node `id` with the right dtype and
+  // quantization parameters (softmax outputs are always F32).
+  Tensor MakeActivation(int id) const;
+
+  // Converts a user-supplied F32 input into the network storage dtype.
+  Tensor PrepareInput(const Tensor& f32_input) const;
+
+ private:
+  struct PreparedWeights {
+    Tensor filters;   // storage dtype
+    Tensor bias;      // storage dtype (F32/F16 modes)
+    Tensor bias_i32;  // QUInt8 mode, filled by Calibrate().
+    PerChannelParams per_channel;  // QUInt8 + per_channel_weights mode.
+  };
+
+  DType ActivationDType(int id) const;
+
+  const Model* model_;
+  ExecConfig config_;
+  std::unordered_map<int, PreparedWeights> weights_;
+  std::vector<QuantParams> act_qp_;
+  bool calibrated_ = false;
+};
+
+}  // namespace ulayer

@@ -1,0 +1,22 @@
+// Reference F32 forward pass, used for activation-range calibration and as
+// the accuracy baseline of the quantization experiments (Figure 10).
+#pragma once
+
+#include <vector>
+
+#include "models/model.h"
+
+namespace ulayer {
+
+// Computes every node's F32 activation for `input` (which must match the
+// graph's input shape). Returns activations indexed by node id. Model
+// weights must be materialized.
+std::vector<Tensor> ForwardF32(const Model& m, const Tensor& input);
+
+// Argmax class index of an output (n=1) probability/logit tensor.
+int64_t Argmax(const Tensor& probs);
+
+// Indices of the top-k classes, highest first.
+std::vector<int64_t> TopK(const Tensor& probs, int k);
+
+}  // namespace ulayer

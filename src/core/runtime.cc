@@ -1,0 +1,22 @@
+#include "core/runtime.h"
+
+namespace ulayer {
+
+ULayerRuntime::ULayerRuntime(const Model& model, const SocSpec& soc, Options options)
+    : options_(std::move(options)),
+      timing_(soc),
+      prepared_(model, options_.config),
+      predictor_(timing_, options_.config, {&model.graph}),
+      plan_(Partitioner(model.graph, timing_, options_.config, predictor_, options_.partitioner)
+                .Build()),
+      executor_(prepared_, soc) {}
+
+void ULayerRuntime::Calibrate(const std::vector<Tensor>& inputs) {
+  if (options_.config.storage == DType::kQUInt8) {
+    prepared_.Calibrate(inputs);
+  }
+}
+
+RunResult ULayerRuntime::Run(const Tensor* input) { return executor_.Run(plan_, input); }
+
+}  // namespace ulayer

@@ -1,0 +1,54 @@
+// ULayerRuntime: the top-level facade (Figure 13) tying together the NN
+// partitioner, the latency predictor and the NN executor.
+//
+// Typical use:
+//   Model model = MakeGoogLeNet();
+//   ULayerRuntime rt(model, MakeExynos7420());
+//   RunResult r = rt.Run();                 // simulate-only
+//   // functional: materialize weights, calibrate, pass an input
+//   model.MaterializeWeights();
+//   ULayerRuntime rt2(model, MakeExynos7420());
+//   rt2.Calibrate(calibration_inputs);
+//   RunResult r2 = rt2.Run(&input);
+#pragma once
+
+#include <memory>
+
+#include "core/executor.h"
+#include "core/partitioner.h"
+
+namespace ulayer {
+
+class ULayerRuntime {
+ public:
+  struct Options {
+    ExecConfig config = ExecConfig::ProcessorFriendly();
+    Partitioner::Options partitioner;
+  };
+
+  // `model` must outlive the runtime.
+  ULayerRuntime(const Model& model, const SocSpec& soc, Options options);
+  ULayerRuntime(const Model& model, const SocSpec& soc)
+      : ULayerRuntime(model, soc, Options()) {}
+
+  // Required before functional QUInt8 runs (no-op for other storage types).
+  void Calibrate(const std::vector<Tensor>& inputs);
+
+  const Plan& plan() const { return plan_; }
+  const LatencyPredictor& predictor() const { return predictor_; }
+  const PreparedModel& prepared() const { return prepared_; }
+  const ExecConfig& config() const { return options_.config; }
+
+  // Runs the planned network. Functional when `input` != nullptr.
+  RunResult Run(const Tensor* input = nullptr);
+
+ private:
+  Options options_;
+  TimingModel timing_;
+  PreparedModel prepared_;
+  LatencyPredictor predictor_;
+  Plan plan_;
+  Executor executor_;
+};
+
+}  // namespace ulayer

@@ -1,0 +1,41 @@
+// Text serialization for graphs and execution plans.
+//
+// Graphs round-trip through a line-based format ("ulayer-graph v1") so
+// models can be stored next to deployments and plans can be inspected or
+// diffed. Weights are deliberately not serialized — they are deterministic
+// from Model::MaterializeWeights(seed) in this reproduction; a real
+// deployment would ship a standard weights container alongside.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "core/executor.h"
+#include "core/plan.h"
+#include "nn/graph.h"
+
+namespace ulayer {
+
+// Thrown by the parser on malformed input.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Serializes the graph structure. Node ids equal line order, so the format
+// is also a readable architecture listing.
+std::string GraphToText(const Graph& g);
+
+// Parses a graph produced by GraphToText (or written by hand).
+Graph GraphFromText(const std::string& text);
+
+// Human-readable plan listing: one line per node with its step kind,
+// processor / split ratio, plus the branch-group table.
+std::string PlanToText(const Plan& plan, const Graph& g);
+
+// ASCII Gantt chart of a run's kernel trace: one row per device, time
+// bucketed into `columns` cells, '#' where the device is busy. Shows the
+// CPU/GPU overlap that cooperative execution and branch distribution create.
+std::string TraceToText(const RunResult& result, const Graph& g, int columns = 72);
+
+}  // namespace ulayer

@@ -1,0 +1,365 @@
+#include "kernels/conv.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "kernels/gemm.h"
+#include "kernels/im2col.h"
+#include "quant/half.h"
+#include "quant/quantize.h"
+
+namespace ulayer {
+namespace {
+
+// Resolves oc_end == -1 and validates the range.
+int64_t ResolveEnd(int64_t end, int64_t limit) {
+  const int64_t e = end < 0 ? limit : end;
+  assert(e <= limit);
+  return e;
+}
+
+}  // namespace
+
+void Conv2DF32(const Tensor& input, const Tensor& filters, const Tensor& bias,
+               const Conv2DParams& p, Tensor& output, int64_t oc_begin, int64_t oc_end) {
+  assert(input.dtype() == DType::kF32 && filters.dtype() == DType::kF32);
+  const Shape& is = input.shape();
+  const Shape& fs = filters.shape();  // [OC, IC, KH, KW]
+  assert(fs.c == is.c && fs.h == p.kernel_h && fs.w == p.kernel_w);
+  oc_end = ResolveEnd(oc_end, fs.n);
+  const int out_h = p.OutH(static_cast<int>(is.h));
+  const int out_w = p.OutW(static_cast<int>(is.w));
+  assert(output.shape() == Shape(is.n, fs.n, out_h, out_w));
+
+  const int64_t k = fs.c * fs.h * fs.w;           // GEMM depth
+  const int64_t spatial = int64_t{out_h} * out_w;  // GEMM columns
+  std::vector<float> cols(k * spatial);
+
+  const float* bias_ptr = bias.empty() ? nullptr : bias.Data<float>() + oc_begin;
+  for (int64_t ni = 0; ni < is.n; ++ni) {
+    const float* img = input.Data<float>() + ni * is.c * is.h * is.w;
+    Im2ColF32(img, static_cast<int>(is.c), static_cast<int>(is.h), static_cast<int>(is.w), p,
+              cols.data());
+    float* out = output.Data<float>() + output.shape().Offset(ni, oc_begin, 0, 0);
+    const float* w = filters.Data<float>() + oc_begin * k;
+    GemmF32(w, cols.data(), out, oc_end - oc_begin, spatial, k, bias_ptr, p.relu);
+  }
+}
+
+void Conv2DF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
+               const Conv2DParams& p, Tensor& output, int64_t oc_begin, int64_t oc_end) {
+  assert(input.dtype() == DType::kF16 && filters.dtype() == DType::kF16);
+  const Shape& is = input.shape();
+  const Shape& fs = filters.shape();
+  oc_end = ResolveEnd(oc_end, fs.n);
+  const int out_h = p.OutH(static_cast<int>(is.h));
+  const int out_w = p.OutW(static_cast<int>(is.w));
+  assert(output.shape() == Shape(is.n, fs.n, out_h, out_w));
+
+  const int64_t k = fs.c * fs.h * fs.w;
+  const int64_t spatial = int64_t{out_h} * out_w;
+  std::vector<Half> cols(k * spatial);
+
+  const Half* bias_ptr = bias.empty() ? nullptr : bias.Data<Half>() + oc_begin;
+  for (int64_t ni = 0; ni < is.n; ++ni) {
+    const Half* img = input.Data<Half>() + ni * is.c * is.h * is.w;
+    Im2ColF16(img, static_cast<int>(is.c), static_cast<int>(is.h), static_cast<int>(is.w), p,
+              cols.data());
+    Half* out = output.Data<Half>() + output.shape().Offset(ni, oc_begin, 0, 0);
+    const Half* w = filters.Data<Half>() + oc_begin * k;
+    GemmF16(w, cols.data(), out, oc_end - oc_begin, spatial, k, bias_ptr, p.relu);
+  }
+}
+
+void Conv2DQU8(const Tensor& input, const Tensor& filters, const Tensor& bias,
+               const Conv2DParams& p, Tensor& output, int64_t oc_begin, int64_t oc_end) {
+  assert(input.dtype() == DType::kQUInt8 && filters.dtype() == DType::kQUInt8);
+  assert(output.dtype() == DType::kQUInt8);
+  const Shape& is = input.shape();
+  const Shape& fs = filters.shape();
+  oc_end = ResolveEnd(oc_end, fs.n);
+  const int out_h = p.OutH(static_cast<int>(is.h));
+  const int out_w = p.OutW(static_cast<int>(is.w));
+  assert(output.shape() == Shape(is.n, fs.n, out_h, out_w));
+
+  const int64_t k = fs.c * fs.h * fs.w;
+  const int64_t spatial = int64_t{out_h} * out_w;
+  std::vector<uint8_t> cols(k * spatial);
+
+  const double real_mult = static_cast<double>(input.scale()) * filters.scale() / output.scale();
+  const RequantScale rs = ComputeRequantScale(real_mult);
+  const uint8_t in_pad = static_cast<uint8_t>(input.zero_point());
+
+  const int32_t* bias_ptr = bias.empty() ? nullptr : bias.Data<int32_t>() + oc_begin;
+  for (int64_t ni = 0; ni < is.n; ++ni) {
+    const uint8_t* img = input.Data<uint8_t>() + ni * is.c * is.h * is.w;
+    Im2ColQU8(img, static_cast<int>(is.c), static_cast<int>(is.h), static_cast<int>(is.w), p,
+              cols.data(), in_pad);
+    uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, oc_begin, 0, 0);
+    const uint8_t* w = filters.Data<uint8_t>() + oc_begin * k;
+    GemmQU8(w, filters.zero_point(), cols.data(), input.zero_point(), out, output.zero_point(), rs,
+            oc_end - oc_begin, spatial, k, bias_ptr, p.relu);
+  }
+}
+
+void Conv2DQU8PerChannel(const Tensor& input, const Tensor& filters,
+                         const PerChannelParams& w_params, const Tensor& bias,
+                         const Conv2DParams& p, Tensor& output, int64_t oc_begin,
+                         int64_t oc_end) {
+  assert(input.dtype() == DType::kQUInt8 && filters.dtype() == DType::kQUInt8);
+  assert(output.dtype() == DType::kQUInt8);
+  const Shape& is = input.shape();
+  const Shape& fs = filters.shape();
+  oc_end = ResolveEnd(oc_end, fs.n);
+  assert(w_params.channels.size() == static_cast<size_t>(fs.n));
+  const int out_h = p.OutH(static_cast<int>(is.h));
+  const int out_w = p.OutW(static_cast<int>(is.w));
+  assert(output.shape() == Shape(is.n, fs.n, out_h, out_w));
+
+  const int64_t k = fs.c * fs.h * fs.w;
+  const int64_t spatial = int64_t{out_h} * out_w;
+  std::vector<uint8_t> cols(k * spatial);
+  const uint8_t in_pad = static_cast<uint8_t>(input.zero_point());
+
+  // Per-channel requantization multipliers.
+  std::vector<RequantScale> rs(static_cast<size_t>(oc_end - oc_begin));
+  for (int64_t oc = oc_begin; oc < oc_end; ++oc) {
+    rs[static_cast<size_t>(oc - oc_begin)] =
+        ComputeRequantScale(static_cast<double>(input.scale()) *
+                            w_params.channels[static_cast<size_t>(oc)].scale / output.scale());
+  }
+
+  std::vector<int32_t> acc(static_cast<size_t>(spatial));
+  for (int64_t ni = 0; ni < is.n; ++ni) {
+    const uint8_t* img = input.Data<uint8_t>() + ni * is.c * is.h * is.w;
+    Im2ColQU8(img, static_cast<int>(is.c), static_cast<int>(is.h), static_cast<int>(is.w), p,
+              cols.data(), in_pad);
+    for (int64_t oc = oc_begin; oc < oc_end; ++oc) {
+      const int32_t w_zp = w_params.channels[static_cast<size_t>(oc)].zero_point;
+      const uint8_t* wrow = filters.Data<uint8_t>() + oc * k;
+      const int32_t b0 = bias.empty() ? 0 : bias.Data<int32_t>()[oc];
+      std::fill(acc.begin(), acc.end(), b0);
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const int32_t wv = static_cast<int32_t>(wrow[kk]) - w_zp;
+        if (wv == 0) {
+          continue;
+        }
+        const uint8_t* crow = cols.data() + kk * spatial;
+        for (int64_t j = 0; j < spatial; ++j) {
+          acc[static_cast<size_t>(j)] +=
+              wv * (static_cast<int32_t>(crow[j]) - input.zero_point());
+        }
+      }
+      uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, oc, 0, 0);
+      const RequantScale& r = rs[static_cast<size_t>(oc - oc_begin)];
+      for (int64_t j = 0; j < spatial; ++j) {
+        uint8_t q = RequantizeOne(acc[static_cast<size_t>(j)], r, output.zero_point());
+        if (p.relu && q < output.zero_point()) {
+          q = static_cast<uint8_t>(output.zero_point());
+        }
+        out[j] = q;
+      }
+    }
+  }
+}
+
+void Conv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
+                     const Conv2DParams& p, Tensor& output, int64_t oc_begin, int64_t oc_end) {
+  assert(input.dtype() == DType::kQUInt8 && filters.dtype() == DType::kQUInt8);
+  assert(output.dtype() == DType::kQUInt8);
+  assert(bias.empty() || bias.dtype() == DType::kF32);
+  const Shape& is = input.shape();
+  const Shape& fs = filters.shape();
+  oc_end = ResolveEnd(oc_end, fs.n);
+  const int out_h = p.OutH(static_cast<int>(is.h));
+  const int out_w = p.OutW(static_cast<int>(is.w));
+  assert(output.shape() == Shape(is.n, fs.n, out_h, out_w));
+
+  const QuantParams in_qp{input.scale(), input.zero_point()};
+  const QuantParams w_qp{filters.scale(), filters.zero_point()};
+  const QuantParams out_qp{output.scale(), output.zero_point()};
+
+  const int64_t k = fs.c * fs.h * fs.w;
+  const int64_t spatial = int64_t{out_h} * out_w;
+
+  // On-the-fly conversion: dequantize the QUInt8 operands straight into F16
+  // staging buffers (this is what the GPU kernels do per load; staging keeps
+  // the reference kernel simple while producing identical values).
+  std::vector<Half> w16(static_cast<size_t>((oc_end - oc_begin) * k));
+  const uint8_t* wq = filters.Data<uint8_t>() + oc_begin * k;
+  for (size_t i = 0; i < w16.size(); ++i) {
+    w16[i] = Half(w_qp.Dequantize(wq[i]));
+  }
+  std::vector<Half> bias16(static_cast<size_t>(oc_end - oc_begin));
+  if (!bias.empty()) {
+    const float* bp = bias.Data<float>() + oc_begin;
+    for (size_t i = 0; i < bias16.size(); ++i) {
+      bias16[i] = Half(bp[i]);
+    }
+  }
+
+  std::vector<Half> img16(static_cast<size_t>(is.c * is.h * is.w));
+  std::vector<Half> cols(k * spatial);
+  std::vector<Half> out16((oc_end - oc_begin) * spatial);
+  for (int64_t ni = 0; ni < is.n; ++ni) {
+    const uint8_t* img = input.Data<uint8_t>() + ni * is.c * is.h * is.w;
+    for (size_t i = 0; i < img16.size(); ++i) {
+      img16[i] = Half(in_qp.Dequantize(img[i]));
+    }
+    Im2ColF16(img16.data(), static_cast<int>(is.c), static_cast<int>(is.h),
+              static_cast<int>(is.w), p, cols.data());
+    GemmF16(w16.data(), cols.data(), out16.data(), oc_end - oc_begin, spatial, k,
+            bias.empty() ? nullptr : bias16.data(), p.relu);
+    // Requantize the F16 results back to the shared QUInt8 output buffer.
+    uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, oc_begin, 0, 0);
+    for (int64_t i = 0; i < static_cast<int64_t>(out16.size()); ++i) {
+      out[i] = out_qp.Quantize(out16[static_cast<size_t>(i)].ToFloat());
+    }
+  }
+}
+
+namespace {
+
+template <typename T, typename Acc>
+void DepthwiseImpl(const Tensor& input, const Tensor& filters, const Tensor& bias,
+                   const Conv2DParams& p, Tensor& output, int64_t c_begin, int64_t c_end,
+                   T pad_value) {
+  const Shape& is = input.shape();
+  const int out_h = p.OutH(static_cast<int>(is.h));
+  const int out_w = p.OutW(static_cast<int>(is.w));
+  for (int64_t ni = 0; ni < is.n; ++ni) {
+    for (int64_t c = c_begin; c < c_end; ++c) {
+      const T* in_c = input.Data<T>() + is.Offset(ni, c, 0, 0);
+      const T* w = filters.Data<T>() + c * p.kernel_h * p.kernel_w;
+      const Acc b0 = bias.empty() ? Acc(0.0f) : Acc(bias.Data<T>()[c]);
+      T* out = output.Data<T>() + output.shape().Offset(ni, c, 0, 0);
+      for (int oh = 0; oh < out_h; ++oh) {
+        for (int ow = 0; ow < out_w; ++ow) {
+          Acc acc = b0;
+          for (int kh = 0; kh < p.kernel_h; ++kh) {
+            const int ih = oh * p.stride_h - p.pad_h + kh;
+            for (int kw = 0; kw < p.kernel_w; ++kw) {
+              const int iw = ow * p.stride_w - p.pad_w + kw;
+              const T v = (ih < 0 || ih >= is.h || iw < 0 || iw >= is.w)
+                              ? pad_value
+                              : in_c[ih * is.w + iw];
+              acc += Acc(v) * Acc(w[kh * p.kernel_w + kw]);
+            }
+          }
+          if (p.relu && acc < Acc(0.0f)) {
+            acc = Acc(0.0f);
+          }
+          out[oh * out_w + ow] = T(acc);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void DepthwiseConv2DF32(const Tensor& input, const Tensor& filters, const Tensor& bias,
+                        const Conv2DParams& p, Tensor& output, int64_t c_begin, int64_t c_end) {
+  assert(input.dtype() == DType::kF32);
+  c_end = ResolveEnd(c_end, input.shape().c);
+  DepthwiseImpl<float, float>(input, filters, bias, p, output, c_begin, c_end, 0.0f);
+}
+
+void DepthwiseConv2DF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
+                        const Conv2DParams& p, Tensor& output, int64_t c_begin, int64_t c_end) {
+  assert(input.dtype() == DType::kF16);
+  c_end = ResolveEnd(c_end, input.shape().c);
+  DepthwiseImpl<Half, Half>(input, filters, bias, p, output, c_begin, c_end, Half(0.0f));
+}
+
+void DepthwiseConv2DQU8(const Tensor& input, const Tensor& filters, const Tensor& bias,
+                        const Conv2DParams& p, Tensor& output, int64_t c_begin, int64_t c_end) {
+  assert(input.dtype() == DType::kQUInt8 && output.dtype() == DType::kQUInt8);
+  const Shape& is = input.shape();
+  c_end = ResolveEnd(c_end, is.c);
+  const int out_h = p.OutH(static_cast<int>(is.h));
+  const int out_w = p.OutW(static_cast<int>(is.w));
+
+  const double real_mult = static_cast<double>(input.scale()) * filters.scale() / output.scale();
+  const RequantScale rs = ComputeRequantScale(real_mult);
+  const int32_t in_zp = input.zero_point();
+  const int32_t w_zp = filters.zero_point();
+  const int32_t out_zp = output.zero_point();
+
+  for (int64_t ni = 0; ni < is.n; ++ni) {
+    for (int64_t c = c_begin; c < c_end; ++c) {
+      const uint8_t* in_c = input.Data<uint8_t>() + is.Offset(ni, c, 0, 0);
+      const uint8_t* w = filters.Data<uint8_t>() + c * p.kernel_h * p.kernel_w;
+      const int32_t b0 = bias.empty() ? 0 : bias.Data<int32_t>()[c];
+      uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, c, 0, 0);
+      for (int oh = 0; oh < out_h; ++oh) {
+        for (int ow = 0; ow < out_w; ++ow) {
+          int32_t acc = b0;
+          for (int kh = 0; kh < p.kernel_h; ++kh) {
+            const int ih = oh * p.stride_h - p.pad_h + kh;
+            for (int kw = 0; kw < p.kernel_w; ++kw) {
+              const int iw = ow * p.stride_w - p.pad_w + kw;
+              // Padding contributes (in_zp - in_zp) = 0 exactly.
+              const int32_t v = (ih < 0 || ih >= is.h || iw < 0 || iw >= is.w)
+                                    ? in_zp
+                                    : in_c[ih * is.w + iw];
+              acc += (v - in_zp) * (static_cast<int32_t>(w[kh * p.kernel_w + kw]) - w_zp);
+            }
+          }
+          uint8_t q = RequantizeOne(acc, rs, out_zp);
+          if (p.relu && q < out_zp) {
+            q = static_cast<uint8_t>(out_zp);
+          }
+          out[oh * out_w + ow] = q;
+        }
+      }
+    }
+  }
+}
+
+void DepthwiseConv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
+                              const Conv2DParams& p, Tensor& output, int64_t c_begin,
+                              int64_t c_end) {
+  assert(input.dtype() == DType::kQUInt8 && output.dtype() == DType::kQUInt8);
+  assert(bias.empty() || bias.dtype() == DType::kF32);
+  const Shape& is = input.shape();
+  c_end = ResolveEnd(c_end, is.c);
+  const int out_h = p.OutH(static_cast<int>(is.h));
+  const int out_w = p.OutW(static_cast<int>(is.w));
+
+  const QuantParams in_qp{input.scale(), input.zero_point()};
+  const QuantParams w_qp{filters.scale(), filters.zero_point()};
+  const QuantParams out_qp{output.scale(), output.zero_point()};
+
+  for (int64_t ni = 0; ni < is.n; ++ni) {
+    for (int64_t c = c_begin; c < c_end; ++c) {
+      const uint8_t* in_c = input.Data<uint8_t>() + is.Offset(ni, c, 0, 0);
+      const uint8_t* w = filters.Data<uint8_t>() + c * p.kernel_h * p.kernel_w;
+      const Half b0 = bias.empty() ? Half(0.0f) : Half(bias.Data<float>()[c]);
+      uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, c, 0, 0);
+      for (int oh = 0; oh < out_h; ++oh) {
+        for (int ow = 0; ow < out_w; ++ow) {
+          Half acc = b0;
+          for (int kh = 0; kh < p.kernel_h; ++kh) {
+            const int ih = oh * p.stride_h - p.pad_h + kh;
+            for (int kw = 0; kw < p.kernel_w; ++kw) {
+              const int iw = ow * p.stride_w - p.pad_w + kw;
+              const float v = (ih < 0 || ih >= is.h || iw < 0 || iw >= is.w)
+                                  ? 0.0f
+                                  : in_qp.Dequantize(in_c[ih * is.w + iw]);
+              acc += Half(v) * Half(w_qp.Dequantize(w[kh * p.kernel_w + kw]));
+            }
+          }
+          float r = acc.ToFloat();
+          if (p.relu) {
+            r = std::max(r, 0.0f);
+          }
+          out[oh * out_w + ow] = out_qp.Quantize(r);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ulayer

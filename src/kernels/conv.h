@@ -1,0 +1,66 @@
+// Convolution kernels (im2col + GEMM lowering) in F32, F16, QUInt8 and the
+// processor-friendly-quantization GPU path (QUInt8 storage, F16 arithmetic).
+//
+// Every kernel accepts an output-channel range [oc_begin, oc_end) and writes
+// only that slice of the (full-size) output tensor. This is the primitive
+// behind channel-wise workload distribution (paper Section 3.2): the CPU and
+// the GPU run the same kernel on disjoint channel ranges of a shared output
+// buffer, so the merge step is free.
+#pragma once
+
+#include "kernels/params.h"
+#include "quant/quantize.h"
+#include "tensor/tensor.h"
+
+namespace ulayer {
+
+// F32 convolution. filters: [OC, IC, KH, KW]; bias: [OC] (may be empty).
+// oc_end == -1 means "all output channels".
+void Conv2DF32(const Tensor& input, const Tensor& filters, const Tensor& bias,
+               const Conv2DParams& p, Tensor& output, int64_t oc_begin = 0, int64_t oc_end = -1);
+
+// F16 convolution; all tensors kF16. Arithmetic rounds to binary16 per
+// operation (native-F16-ALU semantics).
+void Conv2DF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
+               const Conv2DParams& p, Tensor& output, int64_t oc_begin = 0, int64_t oc_end = -1);
+
+// Quantized convolution (the CPU path of processor-friendly quantization).
+// input/filters/output: kQUInt8 with quant params in tensor metadata;
+// bias: kInt32 quantized with scale in_scale*filter_scale, zero_point 0.
+void Conv2DQU8(const Tensor& input, const Tensor& filters, const Tensor& bias,
+               const Conv2DParams& p, Tensor& output, int64_t oc_begin = 0, int64_t oc_end = -1);
+
+// Per-output-channel quantized convolution (extension; see
+// quant/quantize.h). Each output channel oc uses its own filter quant
+// params `w_params.channels[oc]`, its own requantization multiplier, and a
+// per-channel int32 bias quantized at scale in_scale * w_scale[oc].
+void Conv2DQU8PerChannel(const Tensor& input, const Tensor& filters,
+                         const PerChannelParams& w_params, const Tensor& bias,
+                         const Conv2DParams& p, Tensor& output, int64_t oc_begin = 0,
+                         int64_t oc_end = -1);
+
+// The GPU path of processor-friendly quantization (paper Section 4.2):
+// loads QUInt8 input and filters, converts them on the fly to F16, performs
+// all arithmetic in F16, and requantizes the result to the QUInt8 output.
+// bias: kF32 (dequantized filter bias), converted to F16 on the fly.
+void Conv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
+                     const Conv2DParams& p, Tensor& output, int64_t oc_begin = 0,
+                     int64_t oc_end = -1);
+
+// Depthwise convolution (MobileNet): one filter [C, KH, KW] per channel;
+// channel c of the output depends only on channel c of the input, so the
+// channel range distributes both input and output.
+void DepthwiseConv2DF32(const Tensor& input, const Tensor& filters, const Tensor& bias,
+                        const Conv2DParams& p, Tensor& output, int64_t c_begin = 0,
+                        int64_t c_end = -1);
+void DepthwiseConv2DF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
+                        const Conv2DParams& p, Tensor& output, int64_t c_begin = 0,
+                        int64_t c_end = -1);
+void DepthwiseConv2DQU8(const Tensor& input, const Tensor& filters, const Tensor& bias,
+                        const Conv2DParams& p, Tensor& output, int64_t c_begin = 0,
+                        int64_t c_end = -1);
+void DepthwiseConv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
+                              const Conv2DParams& p, Tensor& output, int64_t c_begin = 0,
+                              int64_t c_end = -1);
+
+}  // namespace ulayer

@@ -1,0 +1,281 @@
+#include "kernels/elementwise.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "quant/half.h"
+#include "quant/quantize.h"
+
+namespace ulayer {
+namespace {
+
+int64_t ResolveEnd(int64_t end, int64_t limit) {
+  const int64_t e = end < 0 ? limit : end;
+  assert(e <= limit);
+  return e;
+}
+
+}  // namespace
+
+void ReluF32(Tensor& t, int64_t c_begin, int64_t c_end) {
+  assert(t.dtype() == DType::kF32);
+  const Shape& s = t.shape();
+  c_end = ResolveEnd(c_end, s.c);
+  for (int64_t ni = 0; ni < s.n; ++ni) {
+    float* p = t.Data<float>() + s.Offset(ni, c_begin, 0, 0);
+    const int64_t count = (c_end - c_begin) * s.h * s.w;
+    for (int64_t i = 0; i < count; ++i) {
+      p[i] = std::max(p[i], 0.0f);
+    }
+  }
+}
+
+void ReluF16(Tensor& t, int64_t c_begin, int64_t c_end) {
+  assert(t.dtype() == DType::kF16);
+  const Shape& s = t.shape();
+  c_end = ResolveEnd(c_end, s.c);
+  const Half zero(0.0f);
+  for (int64_t ni = 0; ni < s.n; ++ni) {
+    Half* p = t.Data<Half>() + s.Offset(ni, c_begin, 0, 0);
+    const int64_t count = (c_end - c_begin) * s.h * s.w;
+    for (int64_t i = 0; i < count; ++i) {
+      if (p[i] < zero) {
+        p[i] = zero;
+      }
+    }
+  }
+}
+
+void ReluQU8(Tensor& t, int64_t c_begin, int64_t c_end) {
+  assert(t.dtype() == DType::kQUInt8);
+  const Shape& s = t.shape();
+  c_end = ResolveEnd(c_end, s.c);
+  const uint8_t zp = static_cast<uint8_t>(t.zero_point());
+  for (int64_t ni = 0; ni < s.n; ++ni) {
+    uint8_t* p = t.Data<uint8_t>() + s.Offset(ni, c_begin, 0, 0);
+    const int64_t count = (c_end - c_begin) * s.h * s.w;
+    for (int64_t i = 0; i < count; ++i) {
+      p[i] = std::max(p[i], zp);
+    }
+  }
+}
+
+namespace {
+
+// Shared F32 LRN core; `load`/`store` adapt the element type.
+template <typename Load, typename Store>
+void LrnCore(const Shape& s, const LrnParams& p, int64_t c_begin, int64_t c_end, Load load,
+             Store store) {
+  const int half_size = p.local_size / 2;
+  for (int64_t ni = 0; ni < s.n; ++ni) {
+    for (int64_t hi = 0; hi < s.h; ++hi) {
+      for (int64_t wi = 0; wi < s.w; ++wi) {
+        for (int64_t c = c_begin; c < c_end; ++c) {
+          const int64_t lo = std::max<int64_t>(0, c - half_size);
+          const int64_t hi_c = std::min<int64_t>(s.c - 1, c + half_size);
+          float sum_sq = 0.0f;
+          for (int64_t cc = lo; cc <= hi_c; ++cc) {
+            const float v = load(ni, cc, hi, wi);
+            sum_sq += v * v;
+          }
+          const float denom =
+              std::pow(p.k + p.alpha / static_cast<float>(p.local_size) * sum_sq, p.beta);
+          store(ni, c, hi, wi, load(ni, c, hi, wi) / denom);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void LrnF32(const Tensor& input, const LrnParams& p, Tensor& output, int64_t c_begin,
+            int64_t c_end) {
+  assert(input.dtype() == DType::kF32);
+  const Shape& s = input.shape();
+  c_end = ResolveEnd(c_end, s.c);
+  const float* in = input.Data<float>();
+  float* out = output.Data<float>();
+  LrnCore(
+      s, p, c_begin, c_end, [&](int64_t n, int64_t c, int64_t h, int64_t w) {
+        return in[s.Offset(n, c, h, w)];
+      },
+      [&](int64_t n, int64_t c, int64_t h, int64_t w, float v) { out[s.Offset(n, c, h, w)] = v; });
+}
+
+void LrnF16(const Tensor& input, const LrnParams& p, Tensor& output, int64_t c_begin,
+            int64_t c_end) {
+  assert(input.dtype() == DType::kF16);
+  const Shape& s = input.shape();
+  c_end = ResolveEnd(c_end, s.c);
+  const Half* in = input.Data<Half>();
+  Half* out = output.Data<Half>();
+  LrnCore(
+      s, p, c_begin, c_end, [&](int64_t n, int64_t c, int64_t h, int64_t w) {
+        return in[s.Offset(n, c, h, w)].ToFloat();
+      },
+      [&](int64_t n, int64_t c, int64_t h, int64_t w, float v) {
+        out[s.Offset(n, c, h, w)] = Half(v);
+      });
+}
+
+void LrnQU8(const Tensor& input, const LrnParams& p, Tensor& output, int64_t c_begin,
+            int64_t c_end) {
+  assert(input.dtype() == DType::kQUInt8 && output.dtype() == DType::kQUInt8);
+  const Shape& s = input.shape();
+  c_end = ResolveEnd(c_end, s.c);
+  const QuantParams in_qp{input.scale(), input.zero_point()};
+  const QuantParams out_qp{output.scale(), output.zero_point()};
+  const uint8_t* in = input.Data<uint8_t>();
+  uint8_t* out = output.Data<uint8_t>();
+  LrnCore(
+      s, p, c_begin, c_end, [&](int64_t n, int64_t c, int64_t h, int64_t w) {
+        return in_qp.Dequantize(in[s.Offset(n, c, h, w)]);
+      },
+      [&](int64_t n, int64_t c, int64_t h, int64_t w, float v) {
+        out[s.Offset(n, c, h, w)] = out_qp.Quantize(v);
+      });
+}
+
+void ConcatChannels(const std::vector<const Tensor*>& inputs, Tensor& output) {
+  assert(!inputs.empty());
+  const Shape& os = output.shape();
+  int64_t c_off = 0;
+  for (const Tensor* in : inputs) {
+    const Shape& is = in->shape();
+    assert(is.n == os.n && is.h == os.h && is.w == os.w);
+    assert(in->dtype() == output.dtype());
+    if (output.dtype() == DType::kQUInt8 &&
+        (in->scale() != output.scale() || in->zero_point() != output.zero_point())) {
+      // Requantize into the output's parameters.
+      const QuantParams in_qp{in->scale(), in->zero_point()};
+      const QuantParams out_qp{output.scale(), output.zero_point()};
+      for (int64_t ni = 0; ni < is.n; ++ni) {
+        const uint8_t* src = in->Data<uint8_t>() + is.Offset(ni, 0, 0, 0);
+        uint8_t* dst = output.Data<uint8_t>() + os.Offset(ni, c_off, 0, 0);
+        const int64_t count = is.c * is.h * is.w;
+        for (int64_t i = 0; i < count; ++i) {
+          dst[i] = out_qp.Quantize(in_qp.Dequantize(src[i]));
+        }
+      }
+    } else {
+      const int64_t elem = DTypeSize(output.dtype());
+      for (int64_t ni = 0; ni < is.n; ++ni) {
+        const uint8_t* src = in->raw() + is.Offset(ni, 0, 0, 0) * elem;
+        uint8_t* dst = output.raw() + os.Offset(ni, c_off, 0, 0) * elem;
+        std::memcpy(dst, src, static_cast<size_t>(is.c * is.h * is.w * elem));
+      }
+    }
+    c_off += is.c;
+  }
+  assert(c_off == os.c);
+}
+
+void EltwiseAddF32(const Tensor& a, const Tensor& b, Tensor& output, bool relu, int64_t c_begin,
+                   int64_t c_end) {
+  assert(a.dtype() == DType::kF32 && b.dtype() == DType::kF32);
+  assert(a.shape() == b.shape() && a.shape() == output.shape());
+  const Shape& s = a.shape();
+  c_end = ResolveEnd(c_end, s.c);
+  for (int64_t ni = 0; ni < s.n; ++ni) {
+    const int64_t off = s.Offset(ni, c_begin, 0, 0);
+    const int64_t count = (c_end - c_begin) * s.h * s.w;
+    const float* pa = a.Data<float>() + off;
+    const float* pb = b.Data<float>() + off;
+    float* po = output.Data<float>() + off;
+    for (int64_t i = 0; i < count; ++i) {
+      const float v = pa[i] + pb[i];
+      po[i] = relu ? std::max(v, 0.0f) : v;
+    }
+  }
+}
+
+void EltwiseAddF16(const Tensor& a, const Tensor& b, Tensor& output, bool relu, int64_t c_begin,
+                   int64_t c_end) {
+  assert(a.dtype() == DType::kF16 && b.dtype() == DType::kF16);
+  const Shape& s = a.shape();
+  c_end = ResolveEnd(c_end, s.c);
+  const Half zero(0.0f);
+  for (int64_t ni = 0; ni < s.n; ++ni) {
+    const int64_t off = s.Offset(ni, c_begin, 0, 0);
+    const int64_t count = (c_end - c_begin) * s.h * s.w;
+    const Half* pa = a.Data<Half>() + off;
+    const Half* pb = b.Data<Half>() + off;
+    Half* po = output.Data<Half>() + off;
+    for (int64_t i = 0; i < count; ++i) {
+      Half v = pa[i] + pb[i];
+      if (relu && v < zero) {
+        v = zero;
+      }
+      po[i] = v;
+    }
+  }
+}
+
+void EltwiseAddQU8(const Tensor& a, const Tensor& b, Tensor& output, bool relu, int64_t c_begin,
+                   int64_t c_end) {
+  assert(a.dtype() == DType::kQUInt8 && b.dtype() == DType::kQUInt8);
+  assert(output.dtype() == DType::kQUInt8);
+  const Shape& s = a.shape();
+  c_end = ResolveEnd(c_end, s.c);
+  const QuantParams a_qp{a.scale(), a.zero_point()};
+  const QuantParams b_qp{b.scale(), b.zero_point()};
+  const QuantParams o_qp{output.scale(), output.zero_point()};
+  const uint8_t o_zp = static_cast<uint8_t>(output.zero_point());
+  for (int64_t ni = 0; ni < s.n; ++ni) {
+    const int64_t off = s.Offset(ni, c_begin, 0, 0);
+    const int64_t count = (c_end - c_begin) * s.h * s.w;
+    const uint8_t* pa = a.Data<uint8_t>() + off;
+    const uint8_t* pb = b.Data<uint8_t>() + off;
+    uint8_t* po = output.Data<uint8_t>() + off;
+    for (int64_t i = 0; i < count; ++i) {
+      uint8_t q = o_qp.Quantize(a_qp.Dequantize(pa[i]) + b_qp.Dequantize(pb[i]));
+      if (relu && q < o_zp) {
+        q = o_zp;
+      }
+      po[i] = q;
+    }
+  }
+}
+
+void Softmax(const Tensor& input, Tensor& output) {
+  assert(output.dtype() == DType::kF32);
+  const Shape& s = input.shape();
+  assert(output.shape() == s);
+
+  // Materialize an F32 view of the input.
+  const Tensor* f32 = &input;
+  Tensor tmp;
+  if (input.dtype() == DType::kQUInt8) {
+    tmp = DequantizeTensor(input);
+    f32 = &tmp;
+  } else if (input.dtype() == DType::kF16) {
+    tmp = F16ToF32Tensor(input);
+    f32 = &tmp;
+  }
+
+  const float* in = f32->Data<float>();
+  float* out = output.Data<float>();
+  for (int64_t ni = 0; ni < s.n; ++ni) {
+    for (int64_t hi = 0; hi < s.h; ++hi) {
+      for (int64_t wi = 0; wi < s.w; ++wi) {
+        float max_v = in[s.Offset(ni, 0, hi, wi)];
+        for (int64_t c = 1; c < s.c; ++c) {
+          max_v = std::max(max_v, in[s.Offset(ni, c, hi, wi)]);
+        }
+        float sum = 0.0f;
+        for (int64_t c = 0; c < s.c; ++c) {
+          const float e = std::exp(in[s.Offset(ni, c, hi, wi)] - max_v);
+          out[s.Offset(ni, c, hi, wi)] = e;
+          sum += e;
+        }
+        for (int64_t c = 0; c < s.c; ++c) {
+          out[s.Offset(ni, c, hi, wi)] /= sum;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ulayer

@@ -1,0 +1,50 @@
+// Element-wise and normalization kernels: ReLU, LRN, channel concat,
+// softmax. Channel ranges follow the same distribution convention as
+// conv/pool kernels.
+#pragma once
+
+#include <vector>
+
+#include "kernels/params.h"
+#include "tensor/tensor.h"
+
+namespace ulayer {
+
+// In-place ReLU over channels [c_begin, c_end).
+void ReluF32(Tensor& t, int64_t c_begin = 0, int64_t c_end = -1);
+void ReluF16(Tensor& t, int64_t c_begin = 0, int64_t c_end = -1);
+void ReluQU8(Tensor& t, int64_t c_begin = 0, int64_t c_end = -1);
+
+// Local Response Normalization across channels (AlexNet/GoogLeNet).
+// Note: each output channel reads a window of input channels, so the output
+// channel range needs the full input — the executor accounts for that.
+void LrnF32(const Tensor& input, const LrnParams& p, Tensor& output, int64_t c_begin = 0,
+            int64_t c_end = -1);
+void LrnF16(const Tensor& input, const LrnParams& p, Tensor& output, int64_t c_begin = 0,
+            int64_t c_end = -1);
+// Quantized LRN dequantizes, normalizes in F32, and requantizes with the
+// output tensor's parameters (ACL-style fallback path).
+void LrnQU8(const Tensor& input, const LrnParams& p, Tensor& output, int64_t c_begin = 0,
+            int64_t c_end = -1);
+
+// Concatenates inputs along the channel dimension into `output`.
+// For QUInt8, inputs with differing quant params are requantized into the
+// output's parameters.
+void ConcatChannels(const std::vector<const Tensor*>& inputs, Tensor& output);
+
+// Element-wise sum over channels [c_begin, c_end) of two same-shaped
+// tensors, with optional fused ReLU (ResNet residual joins).
+void EltwiseAddF32(const Tensor& a, const Tensor& b, Tensor& output, bool relu,
+                   int64_t c_begin = 0, int64_t c_end = -1);
+void EltwiseAddF16(const Tensor& a, const Tensor& b, Tensor& output, bool relu,
+                   int64_t c_begin = 0, int64_t c_end = -1);
+// Quantized add: both operands are rescaled into the output's quantization
+// parameters before summing (TFLite-style ADD with per-input rescale).
+void EltwiseAddQU8(const Tensor& a, const Tensor& b, Tensor& output, bool relu,
+                   int64_t c_begin = 0, int64_t c_end = -1);
+
+// Softmax across channels (per (n, h, w) position). QUInt8 input is
+// dequantized; output of all variants is F32 class probabilities.
+void Softmax(const Tensor& input, Tensor& output);
+
+}  // namespace ulayer

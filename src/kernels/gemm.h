@@ -1,0 +1,31 @@
+// Reference GEMM kernels in the three data types ulayer executes.
+//
+// All matrices are row-major. The QUInt8 GEMM follows gemmlowp exactly:
+// uint8 operands with zero points, int32 accumulation, then fixed-point
+// requantization back to uint8 (see quant/quantize.h).
+#pragma once
+
+#include <cstdint>
+
+#include "quant/half.h"
+#include "quant/quantize.h"
+
+namespace ulayer {
+
+// C[M,N] = A[M,K] * B[K,N] (+ bias[M] broadcast across columns, if non-null).
+void GemmF32(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+             const float* bias = nullptr, bool relu = false);
+
+// Same contract as GemmF32 but every multiply-accumulate rounds to binary16,
+// emulating a native F16 ALU (accumulator is F16 as on Mali FP16 paths).
+void GemmF16(const Half* a, const Half* b, Half* c, int64_t m, int64_t n, int64_t k,
+             const Half* bias = nullptr, bool relu = false);
+
+// Quantized GEMM: c_q[M,N] = requantize(sum_k (a[m,k]-a_zp)*(b[k,n]-b_zp)
+//                                        + bias_i32[m]).
+// `rs` encodes (a_scale*b_scale)/c_scale; `relu` clamps at c_zp (quantized 0).
+void GemmQU8(const uint8_t* a, int32_t a_zp, const uint8_t* b, int32_t b_zp, uint8_t* c,
+             int32_t c_zp, const RequantScale& rs, int64_t m, int64_t n, int64_t k,
+             const int32_t* bias = nullptr, bool relu = false);
+
+}  // namespace ulayer

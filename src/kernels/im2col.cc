@@ -1,0 +1,56 @@
+#include "kernels/im2col.h"
+
+namespace ulayer {
+namespace {
+
+// Shared implementation across element types.
+template <typename T>
+void Im2ColImpl(const T* input, int channels, int height, int width, const Conv2DParams& p,
+                T* cols, T pad_value) {
+  const int out_h = p.OutH(height);
+  const int out_w = p.OutW(width);
+  const int64_t out_spatial = static_cast<int64_t>(out_h) * out_w;
+  int64_t row = 0;
+  for (int c = 0; c < channels; ++c) {
+    const T* in_c = input + static_cast<int64_t>(c) * height * width;
+    for (int kh = 0; kh < p.kernel_h; ++kh) {
+      for (int kw = 0; kw < p.kernel_w; ++kw, ++row) {
+        T* out_row = cols + row * out_spatial;
+        int64_t idx = 0;
+        for (int oh = 0; oh < out_h; ++oh) {
+          const int ih = oh * p.stride_h - p.pad_h + kh;
+          if (ih < 0 || ih >= height) {
+            for (int ow = 0; ow < out_w; ++ow, ++idx) {
+              out_row[idx] = pad_value;
+            }
+            continue;
+          }
+          const T* in_row = in_c + static_cast<int64_t>(ih) * width;
+          for (int ow = 0; ow < out_w; ++ow, ++idx) {
+            const int iw = ow * p.stride_w - p.pad_w + kw;
+            out_row[idx] = (iw < 0 || iw >= width) ? pad_value : in_row[iw];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Im2ColF32(const float* input, int channels, int height, int width, const Conv2DParams& p,
+               float* cols, float pad_value) {
+  Im2ColImpl(input, channels, height, width, p, cols, pad_value);
+}
+
+void Im2ColF16(const Half* input, int channels, int height, int width, const Conv2DParams& p,
+               Half* cols, Half pad_value) {
+  Im2ColImpl(input, channels, height, width, p, cols, pad_value);
+}
+
+void Im2ColQU8(const uint8_t* input, int channels, int height, int width, const Conv2DParams& p,
+               uint8_t* cols, uint8_t pad_value) {
+  Im2ColImpl(input, channels, height, width, p, cols, pad_value);
+}
+
+}  // namespace ulayer

@@ -1,0 +1,26 @@
+// im2col: unfolds convolution input patches into a matrix so that a
+// convolution becomes a single GEMM (the standard mobile conv lowering used
+// by ARM Compute Library and gemmlowp-based stacks).
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/params.h"
+#include "quant/half.h"
+
+namespace ulayer {
+
+// Unfolds one image `input` [C,H,W] into `cols` [C*kh*kw, out_h*out_w].
+// Out-of-bounds (padding) elements are written as `pad_value`.
+void Im2ColF32(const float* input, int channels, int height, int width, const Conv2DParams& p,
+               float* cols, float pad_value = 0.0f);
+
+void Im2ColF16(const Half* input, int channels, int height, int width, const Conv2DParams& p,
+               Half* cols, Half pad_value = Half(0.0f));
+
+// For quantized inputs the padding value must be the input zero point so it
+// dequantizes to real 0.
+void Im2ColQU8(const uint8_t* input, int channels, int height, int width, const Conv2DParams& p,
+               uint8_t* cols, uint8_t pad_value);
+
+}  // namespace ulayer

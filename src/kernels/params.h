@@ -1,0 +1,56 @@
+// Parameter structs shared by the convolution and pooling kernels.
+#pragma once
+
+#include <cstdint>
+
+namespace ulayer {
+
+// Spatial parameters of a 2-D convolution (square kernels are the common
+// case but rectangular ones are supported).
+struct Conv2DParams {
+  int kernel_h = 1;
+  int kernel_w = 1;
+  int stride_h = 1;
+  int stride_w = 1;
+  int pad_h = 0;
+  int pad_w = 0;
+  bool relu = false;  // Fused ReLU on the output.
+
+  // Output spatial size for a given input size.
+  int OutH(int in_h) const { return (in_h + 2 * pad_h - kernel_h) / stride_h + 1; }
+  int OutW(int in_w) const { return (in_w + 2 * pad_w - kernel_w) / stride_w + 1; }
+};
+
+enum class PoolKind : uint8_t { kMax, kAvg };
+
+struct Pool2DParams {
+  PoolKind kind = PoolKind::kMax;
+  int kernel_h = 2;
+  int kernel_w = 2;
+  int stride_h = 2;
+  int stride_w = 2;
+  int pad_h = 0;
+  int pad_w = 0;
+  // Ceil-mode output size (Caffe-style), used by GoogLeNet/SqueezeNet pools.
+  bool ceil_mode = false;
+
+  int OutDim(int in, int kernel, int stride, int pad) const {
+    const int numer = in + 2 * pad - kernel;
+    if (ceil_mode) {
+      return (numer + stride - 1) / stride + 1;
+    }
+    return numer / stride + 1;
+  }
+  int OutH(int in_h) const { return OutDim(in_h, kernel_h, stride_h, pad_h); }
+  int OutW(int in_w) const { return OutDim(in_w, kernel_w, stride_w, pad_w); }
+};
+
+// Local Response Normalization (across channels), AlexNet-style.
+struct LrnParams {
+  int local_size = 5;
+  float alpha = 1e-4f;
+  float beta = 0.75f;
+  float k = 2.0f;
+};
+
+}  // namespace ulayer

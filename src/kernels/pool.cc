@@ -1,0 +1,188 @@
+#include "kernels/pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "quant/half.h"
+
+namespace ulayer {
+namespace {
+
+int64_t ResolveEnd(int64_t end, int64_t limit) {
+  const int64_t e = end < 0 ? limit : end;
+  assert(e <= limit);
+  return e;
+}
+
+// Window iteration shared by all dtypes. `Reduce` sees the in-bounds window
+// elements; out-of-bounds elements are excluded (Caffe semantics: average
+// divides by the in-bounds count).
+template <typename T, typename Reduce>
+void PoolImpl(const Tensor& input, const Pool2DParams& p, Tensor& output, int64_t c_begin,
+              int64_t c_end, Reduce reduce) {
+  const Shape& is = input.shape();
+  const int out_h = p.OutH(static_cast<int>(is.h));
+  const int out_w = p.OutW(static_cast<int>(is.w));
+  assert(output.shape() == Shape(is.n, is.c, out_h, out_w));
+  for (int64_t ni = 0; ni < is.n; ++ni) {
+    for (int64_t c = c_begin; c < c_end; ++c) {
+      const T* in_c = input.Data<T>() + is.Offset(ni, c, 0, 0);
+      T* out = output.Data<T>() + output.shape().Offset(ni, c, 0, 0);
+      for (int oh = 0; oh < out_h; ++oh) {
+        for (int ow = 0; ow < out_w; ++ow) {
+          int h0 = std::max(oh * p.stride_h - p.pad_h, 0);
+          int w0 = std::max(ow * p.stride_w - p.pad_w, 0);
+          const int h1 = std::min(oh * p.stride_h - p.pad_h + p.kernel_h,
+                                  static_cast<int>(is.h));
+          const int w1 = std::min(ow * p.stride_w - p.pad_w + p.kernel_w,
+                                  static_cast<int>(is.w));
+          // Ceil-mode windows near the border can land fully in the padding;
+          // clamp to the nearest in-bounds element (Caffe clips the same way).
+          h0 = std::min(h0, h1 - 1);
+          w0 = std::min(w0, w1 - 1);
+          out[oh * out_w + ow] =
+              reduce(in_c, static_cast<int>(is.w), h0, h1, w0, w1);
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+T MaxWindow(const T* in, int width, int h0, int h1, int w0, int w1) {
+  T best = in[h0 * width + w0];
+  for (int h = h0; h < h1; ++h) {
+    for (int w = w0; w < w1; ++w) {
+      const T v = in[h * width + w];
+      if (best < v) {
+        best = v;
+      }
+    }
+  }
+  return best;
+}
+
+float AvgWindowF32(const float* in, int width, int h0, int h1, int w0, int w1) {
+  float sum = 0.0f;
+  for (int h = h0; h < h1; ++h) {
+    for (int w = w0; w < w1; ++w) {
+      sum += in[h * width + w];
+    }
+  }
+  return sum / static_cast<float>((h1 - h0) * (w1 - w0));
+}
+
+Half AvgWindowF16(const Half* in, int width, int h0, int h1, int w0, int w1) {
+  Half sum(0.0f);
+  for (int h = h0; h < h1; ++h) {
+    for (int w = w0; w < w1; ++w) {
+      sum += in[h * width + w];
+    }
+  }
+  return sum / Half(static_cast<float>((h1 - h0) * (w1 - w0)));
+}
+
+uint8_t AvgWindowQU8(const uint8_t* in, int width, int h0, int h1, int w0, int w1) {
+  int32_t sum = 0;
+  for (int h = h0; h < h1; ++h) {
+    for (int w = w0; w < w1; ++w) {
+      sum += in[h * width + w];
+    }
+  }
+  const int32_t count = (h1 - h0) * (w1 - w0);
+  // Round-half-away-from-zero on the non-negative sum.
+  return static_cast<uint8_t>((sum + count / 2) / count);
+}
+
+}  // namespace
+
+void Pool2DF32(const Tensor& input, const Pool2DParams& p, Tensor& output, int64_t c_begin,
+               int64_t c_end) {
+  assert(input.dtype() == DType::kF32);
+  c_end = ResolveEnd(c_end, input.shape().c);
+  if (p.kind == PoolKind::kMax) {
+    PoolImpl<float>(input, p, output, c_begin, c_end, MaxWindow<float>);
+  } else {
+    PoolImpl<float>(input, p, output, c_begin, c_end, AvgWindowF32);
+  }
+}
+
+void Pool2DF16(const Tensor& input, const Pool2DParams& p, Tensor& output, int64_t c_begin,
+               int64_t c_end) {
+  assert(input.dtype() == DType::kF16);
+  c_end = ResolveEnd(c_end, input.shape().c);
+  if (p.kind == PoolKind::kMax) {
+    PoolImpl<Half>(input, p, output, c_begin, c_end, MaxWindow<Half>);
+  } else {
+    PoolImpl<Half>(input, p, output, c_begin, c_end, AvgWindowF16);
+  }
+}
+
+void Pool2DQU8(const Tensor& input, const Pool2DParams& p, Tensor& output, int64_t c_begin,
+               int64_t c_end) {
+  assert(input.dtype() == DType::kQUInt8);
+  c_end = ResolveEnd(c_end, input.shape().c);
+  output.set_quant_params(input.scale(), input.zero_point());
+  if (p.kind == PoolKind::kMax) {
+    PoolImpl<uint8_t>(input, p, output, c_begin, c_end, MaxWindow<uint8_t>);
+  } else {
+    PoolImpl<uint8_t>(input, p, output, c_begin, c_end, AvgWindowQU8);
+  }
+}
+
+void GlobalAvgPoolF32(const Tensor& input, Tensor& output, int64_t c_begin, int64_t c_end) {
+  assert(input.dtype() == DType::kF32);
+  const Shape& is = input.shape();
+  c_end = ResolveEnd(c_end, is.c);
+  assert(output.shape() == Shape(is.n, is.c, 1, 1));
+  const int64_t spatial = is.h * is.w;
+  for (int64_t ni = 0; ni < is.n; ++ni) {
+    for (int64_t c = c_begin; c < c_end; ++c) {
+      const float* in_c = input.Data<float>() + is.Offset(ni, c, 0, 0);
+      double sum = 0.0;
+      for (int64_t i = 0; i < spatial; ++i) {
+        sum += in_c[i];
+      }
+      output.Data<float>()[ni * is.c + c] = static_cast<float>(sum / spatial);
+    }
+  }
+}
+
+void GlobalAvgPoolF16(const Tensor& input, Tensor& output, int64_t c_begin, int64_t c_end) {
+  assert(input.dtype() == DType::kF16);
+  const Shape& is = input.shape();
+  c_end = ResolveEnd(c_end, is.c);
+  const int64_t spatial = is.h * is.w;
+  for (int64_t ni = 0; ni < is.n; ++ni) {
+    for (int64_t c = c_begin; c < c_end; ++c) {
+      const Half* in_c = input.Data<Half>() + is.Offset(ni, c, 0, 0);
+      Half sum(0.0f);
+      for (int64_t i = 0; i < spatial; ++i) {
+        sum += in_c[i];
+      }
+      output.Data<Half>()[ni * is.c + c] = sum / Half(static_cast<float>(spatial));
+    }
+  }
+}
+
+void GlobalAvgPoolQU8(const Tensor& input, Tensor& output, int64_t c_begin, int64_t c_end) {
+  assert(input.dtype() == DType::kQUInt8);
+  const Shape& is = input.shape();
+  c_end = ResolveEnd(c_end, is.c);
+  output.set_quant_params(input.scale(), input.zero_point());
+  const int64_t spatial = is.h * is.w;
+  for (int64_t ni = 0; ni < is.n; ++ni) {
+    for (int64_t c = c_begin; c < c_end; ++c) {
+      const uint8_t* in_c = input.Data<uint8_t>() + is.Offset(ni, c, 0, 0);
+      int64_t sum = 0;
+      for (int64_t i = 0; i < spatial; ++i) {
+        sum += in_c[i];
+      }
+      output.Data<uint8_t>()[ni * is.c + c] =
+          static_cast<uint8_t>((sum + spatial / 2) / spatial);
+    }
+  }
+}
+
+}  // namespace ulayer

@@ -1,0 +1,31 @@
+// Pooling kernels. A pooling layer applies its window per channel, so the
+// channel range [c_begin, c_end) distributes both input and output channels
+// (paper Section 3.2, Figure 7b).
+#pragma once
+
+#include "kernels/params.h"
+#include "tensor/tensor.h"
+
+namespace ulayer {
+
+void Pool2DF32(const Tensor& input, const Pool2DParams& p, Tensor& output, int64_t c_begin = 0,
+               int64_t c_end = -1);
+void Pool2DF16(const Tensor& input, const Pool2DParams& p, Tensor& output, int64_t c_begin = 0,
+               int64_t c_end = -1);
+
+// Quantized pooling. Max pooling operates directly on the uint8 codes (the
+// affine map is monotonic); average pooling accumulates in int32 and rounds.
+// Input and output share quantization parameters.
+void Pool2DQU8(const Tensor& input, const Pool2DParams& p, Tensor& output, int64_t c_begin = 0,
+               int64_t c_end = -1);
+
+// Global average pooling (spatial -> 1x1), used by GoogLeNet / SqueezeNet /
+// MobileNet heads.
+void GlobalAvgPoolF32(const Tensor& input, Tensor& output, int64_t c_begin = 0,
+                      int64_t c_end = -1);
+void GlobalAvgPoolF16(const Tensor& input, Tensor& output, int64_t c_begin = 0,
+                      int64_t c_end = -1);
+void GlobalAvgPoolQU8(const Tensor& input, Tensor& output, int64_t c_begin = 0,
+                      int64_t c_end = -1);
+
+}  // namespace ulayer

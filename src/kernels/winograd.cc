@@ -1,0 +1,153 @@
+#include "kernels/winograd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace ulayer {
+namespace {
+
+// Filter transform U = G g G^T, G = [[1,0,0],[.5,.5,.5],[.5,-.5,.5],[0,0,1]].
+void TransformFilter(const float* g, float* u) {
+  // Rows: t = G g (4x3).
+  float t[4][3];
+  for (int c = 0; c < 3; ++c) {
+    const float g0 = g[0 * 3 + c], g1 = g[1 * 3 + c], g2 = g[2 * 3 + c];
+    t[0][c] = g0;
+    t[1][c] = 0.5f * (g0 + g1 + g2);
+    t[2][c] = 0.5f * (g0 - g1 + g2);
+    t[3][c] = g2;
+  }
+  // Columns: U = t G^T (4x4).
+  for (int r = 0; r < 4; ++r) {
+    const float t0 = t[r][0], t1 = t[r][1], t2 = t[r][2];
+    u[r * 4 + 0] = t0;
+    u[r * 4 + 1] = 0.5f * (t0 + t1 + t2);
+    u[r * 4 + 2] = 0.5f * (t0 - t1 + t2);
+    u[r * 4 + 3] = t2;
+  }
+}
+
+// Input transform V = B^T d B,
+// B^T = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]].
+void TransformInput(const float d[4][4], float* v) {
+  float t[4][4];
+  for (int c = 0; c < 4; ++c) {
+    t[0][c] = d[0][c] - d[2][c];
+    t[1][c] = d[1][c] + d[2][c];
+    t[2][c] = d[2][c] - d[1][c];
+    t[3][c] = d[1][c] - d[3][c];
+  }
+  for (int r = 0; r < 4; ++r) {
+    v[r * 4 + 0] = t[r][0] - t[r][2];
+    v[r * 4 + 1] = t[r][1] + t[r][2];
+    v[r * 4 + 2] = t[r][2] - t[r][1];
+    v[r * 4 + 3] = t[r][1] - t[r][3];
+  }
+}
+
+// Output transform y = A^T m A, A^T = [[1,1,1,0],[0,1,-1,-1]].
+void TransformOutput(const float* m, float y[2][2]) {
+  float t[2][4];
+  for (int c = 0; c < 4; ++c) {
+    t[0][c] = m[0 * 4 + c] + m[1 * 4 + c] + m[2 * 4 + c];
+    t[1][c] = m[1 * 4 + c] - m[2 * 4 + c] - m[3 * 4 + c];
+  }
+  for (int r = 0; r < 2; ++r) {
+    y[r][0] = t[r][0] + t[r][1] + t[r][2];
+    y[r][1] = t[r][1] - t[r][2] - t[r][3];
+  }
+}
+
+}  // namespace
+
+bool WinogradApplicable(const Conv2DParams& p) {
+  return p.kernel_h == 3 && p.kernel_w == 3 && p.stride_h == 1 && p.stride_w == 1;
+}
+
+void WinogradConv2DF32(const Tensor& input, const Tensor& filters, const Tensor& bias,
+                       const Conv2DParams& p, Tensor& output, int64_t oc_begin, int64_t oc_end) {
+  assert(WinogradApplicable(p));
+  assert(input.dtype() == DType::kF32 && filters.dtype() == DType::kF32);
+  const Shape& is = input.shape();
+  const Shape& fs = filters.shape();
+  if (oc_end < 0) {
+    oc_end = fs.n;
+  }
+  const int out_h = p.OutH(static_cast<int>(is.h));
+  const int out_w = p.OutW(static_cast<int>(is.w));
+  assert(output.shape() == Shape(is.n, fs.n, out_h, out_w));
+  const int64_t ic = is.c;
+
+  // Pre-transform the filter slice: U[oc - oc_begin][ic][16].
+  std::vector<float> u(static_cast<size_t>((oc_end - oc_begin) * ic * 16));
+  for (int64_t oc = oc_begin; oc < oc_end; ++oc) {
+    for (int64_t c = 0; c < ic; ++c) {
+      TransformFilter(filters.Data<float>() + fs.Offset(oc, c, 0, 0),
+                      u.data() + ((oc - oc_begin) * ic + c) * 16);
+    }
+  }
+
+  const int tiles_h = (out_h + 1) / 2;
+  const int tiles_w = (out_w + 1) / 2;
+  std::vector<float> v(static_cast<size_t>(ic) * 16);
+
+  for (int64_t ni = 0; ni < is.n; ++ni) {
+    for (int th = 0; th < tiles_h; ++th) {
+      for (int tw = 0; tw < tiles_w; ++tw) {
+        // Gather the 4x4 input tile for every input channel (with padding).
+        const int ih0 = th * 2 - p.pad_h;
+        const int iw0 = tw * 2 - p.pad_w;
+        for (int64_t c = 0; c < ic; ++c) {
+          float d[4][4];
+          const float* in_c = input.Data<float>() + is.Offset(ni, c, 0, 0);
+          for (int r = 0; r < 4; ++r) {
+            for (int cc = 0; cc < 4; ++cc) {
+              const int ih = ih0 + r;
+              const int iw = iw0 + cc;
+              d[r][cc] = (ih < 0 || ih >= is.h || iw < 0 || iw >= is.w)
+                             ? 0.0f
+                             : in_c[ih * is.w + iw];
+            }
+          }
+          TransformInput(d, v.data() + c * 16);
+        }
+        // Element-wise multiply-accumulate in the transform domain.
+        for (int64_t oc = oc_begin; oc < oc_end; ++oc) {
+          float m[16] = {};
+          const float* u_oc = u.data() + (oc - oc_begin) * ic * 16;
+          for (int64_t c = 0; c < ic; ++c) {
+            const float* uc = u_oc + c * 16;
+            const float* vc = v.data() + c * 16;
+            for (int k = 0; k < 16; ++k) {
+              m[k] += uc[k] * vc[k];
+            }
+          }
+          float y[2][2];
+          TransformOutput(m, y);
+          const float b0 = bias.empty() ? 0.0f : bias.Data<float>()[oc];
+          float* out = output.Data<float>() + output.shape().Offset(ni, oc, 0, 0);
+          for (int r = 0; r < 2; ++r) {
+            const int oh = th * 2 + r;
+            if (oh >= out_h) {
+              continue;
+            }
+            for (int cc = 0; cc < 2; ++cc) {
+              const int ow = tw * 2 + cc;
+              if (ow >= out_w) {
+                continue;
+              }
+              float val = y[r][cc] + b0;
+              if (p.relu) {
+                val = std::max(val, 0.0f);
+              }
+              out[oh * out_w + ow] = val;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ulayer

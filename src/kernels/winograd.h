@@ -1,0 +1,25 @@
+// Winograd F(2x2, 3x3) convolution (Lavin & Gray, 2016).
+//
+// ARM Compute Library ships Winograd kernels for 3x3 stride-1 convolutions;
+// they trade 36 multiplies per output tile for 16 (2.25x fewer MACs) plus
+// cheap input/filter/output transforms. ulayer's executor keeps the paper's
+// GEMM lowering (gemmlowp operates on GEMMs), but the kernel and its cost
+// model are provided for algorithm-choice studies (bench/winograd_ablation).
+#pragma once
+
+#include "kernels/params.h"
+#include "tensor/tensor.h"
+
+namespace ulayer {
+
+// True if the layer shape is eligible: 3x3 kernel, stride 1.
+bool WinogradApplicable(const Conv2DParams& p);
+
+// F32 Winograd convolution with the usual output-channel range contract.
+// Requires WinogradApplicable(p). Bit-compatible with Conv2DF32 up to
+// floating-point reassociation (the transforms reorder additions).
+void WinogradConv2DF32(const Tensor& input, const Tensor& filters, const Tensor& bias,
+                       const Conv2DParams& p, Tensor& output, int64_t oc_begin = 0,
+                       int64_t oc_end = -1);
+
+}  // namespace ulayer

@@ -1,0 +1,32 @@
+// Branch detection for branch distribution (paper Section 5).
+//
+// A branch group is a fork node whose output feeds multiple independent
+// linear chains that reconverge at a single concat node (GoogLeNet Inception
+// modules, SqueezeNet Fire modules). Branch distribution assigns whole
+// branches to processors instead of splitting each layer.
+#pragma once
+
+#include <vector>
+
+#include "nn/graph.h"
+
+namespace ulayer {
+
+struct BranchGroup {
+  int fork = -1;  // Node whose output all branches consume.
+  int join = -1;  // The concat node where branches reconverge.
+  // Each branch is the ordered list of node ids between fork and join
+  // (exclusive of both). Branches are independent linear chains.
+  std::vector<std::vector<int>> branches;
+};
+
+// Finds all branch groups in `g`. For each concat node, walks each input
+// backwards through single-input/single-consumer chains; if every chain
+// starts at the same fork node, the concat closes a branch group.
+std::vector<BranchGroup> FindBranchGroups(const Graph& g);
+
+// True if any layer of the network belongs to a branch group (Table 1's
+// "Branch Distribution applicability" column).
+bool HasBranches(const Graph& g);
+
+}  // namespace ulayer

@@ -1,0 +1,98 @@
+#include "quant/half.h"
+
+#include <cstring>
+
+namespace ulayer {
+namespace {
+
+uint32_t FloatBits(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+float BitsFloat(uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+}  // namespace
+
+uint16_t Half::FromFloat(float f) {
+  const uint32_t x = FloatBits(f);
+  const uint32_t sign = (x >> 16) & 0x8000u;
+  const uint32_t abs = x & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {
+    // Inf or NaN. Keep a quiet NaN payload bit so NaN stays NaN.
+    const uint32_t mantissa = (abs > 0x7f800000u) ? 0x0200u : 0u;
+    return static_cast<uint16_t>(sign | 0x7c00u | mantissa);
+  }
+  if (abs >= 0x47800000u) {
+    // Magnitude >= 65536 overflows binary16 -> infinity. Values in
+    // (65504, 65536) are handled by the normal path below, whose mantissa
+    // carry rounds them to infinity as IEEE requires.
+    return static_cast<uint16_t>(sign | 0x7c00u);
+  }
+  if (abs < 0x38800000u) {
+    // Subnormal half (or zero): magnitude < 2^-14.
+    if (abs < 0x33000000u) {
+      // Below half the smallest subnormal: rounds to zero.
+      return static_cast<uint16_t>(sign);
+    }
+    // Align the implicit leading 1 and shift into a subnormal mantissa with
+    // round-to-nearest-even.
+    const int shift = 113 - static_cast<int>(abs >> 23);
+    const uint32_t mant = (abs & 0x7fffffu) | 0x800000u;
+    const uint32_t shifted = mant >> (shift + 13);
+    const uint32_t remainder = mant & ((1u << (shift + 13)) - 1);
+    const uint32_t halfway = 1u << (shift + 12);
+    uint32_t result = shifted;
+    if (remainder > halfway || (remainder == halfway && (shifted & 1u))) {
+      ++result;
+    }
+    return static_cast<uint16_t>(sign | result);
+  }
+
+  // Normal range. Rebias exponent from 127 to 15 and round the 13 dropped
+  // mantissa bits to nearest-even. A mantissa carry naturally increments the
+  // exponent (and can correctly produce infinity at the top of the range).
+  const uint32_t rebased = abs - ((127 - 15) << 23);
+  const uint32_t shifted = rebased >> 13;
+  const uint32_t remainder = rebased & 0x1fffu;
+  uint32_t result = shifted;
+  if (remainder > 0x1000u || (remainder == 0x1000u && (shifted & 1u))) {
+    ++result;
+  }
+  return static_cast<uint16_t>(sign | result);
+}
+
+float Half::ToFloatImpl(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1fu;
+  const uint32_t mant = h & 0x3ffu;
+
+  if (exp == 0) {
+    if (mant == 0) {
+      return BitsFloat(sign);  // +/- zero
+    }
+    // Subnormal: normalize by shifting the mantissa up until the leading 1
+    // reaches the implicit-bit position.
+    int e = -1;
+    uint32_t m = mant;
+    do {
+      ++e;
+      m <<= 1;
+    } while ((m & 0x400u) == 0);
+    const uint32_t exp32 = static_cast<uint32_t>(127 - 15 - e);
+    return BitsFloat(sign | (exp32 << 23) | ((m & 0x3ffu) << 13));
+  }
+  if (exp == 0x1f) {
+    // Inf/NaN.
+    return BitsFloat(sign | 0x7f800000u | (mant << 13));
+  }
+  return BitsFloat(sign | ((exp + 127 - 15) << 23) | (mant << 13));
+}
+
+}  // namespace ulayer

@@ -1,0 +1,49 @@
+// Half: software IEEE 754 binary16 ("half precision", OpenCL `half`).
+//
+// Mobile GPUs (e.g. ARM Mali) have native F16 ALUs; ulayer's GPU compute
+// path performs arithmetic in F16 (Section 4.2 of the paper). This class
+// emulates that arithmetic bit-accurately: every operation converts to F32,
+// computes, and rounds the result back to binary16 with round-to-nearest-
+// even — exactly what a per-operation F16 ALU produces.
+#pragma once
+
+#include <cstdint>
+
+namespace ulayer {
+
+class Half {
+ public:
+  Half() = default;
+  explicit Half(float f) : bits_(FromFloat(f)) {}
+
+  static Half FromBits(uint16_t bits) {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  uint16_t bits() const { return bits_; }
+  float ToFloat() const { return ToFloatImpl(bits_); }
+  explicit operator float() const { return ToFloat(); }
+
+  Half operator+(Half o) const { return Half(ToFloat() + o.ToFloat()); }
+  Half operator-(Half o) const { return Half(ToFloat() - o.ToFloat()); }
+  Half operator*(Half o) const { return Half(ToFloat() * o.ToFloat()); }
+  Half operator/(Half o) const { return Half(ToFloat() / o.ToFloat()); }
+  Half& operator+=(Half o) { return *this = *this + o; }
+
+  bool operator==(const Half& o) const = default;
+  bool operator<(Half o) const { return ToFloat() < o.ToFloat(); }
+
+  // Round a float to the nearest representable binary16 value, ties to even.
+  // Overflow saturates to +/-infinity; subnormals are preserved.
+  static uint16_t FromFloat(float f);
+  static float ToFloatImpl(uint16_t h);
+
+ private:
+  uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(Half) == 2, "Half must be exactly 16 bits for tensor storage");
+
+}  // namespace ulayer

@@ -1,0 +1,79 @@
+#include "soc/spec.h"
+
+namespace ulayer {
+
+SocSpec MakeExynos7420() {
+  SocSpec soc;
+  soc.name = "Exynos7420";
+
+  // 4x Cortex-A57 @ 2.1 GHz (big cluster carries NN kernels; the A53 little
+  // cluster contributes little under ACL's big-core affinity).
+  soc.cpu.name = "4xA57";
+  soc.cpu.kind = ProcKind::kCpu;
+  soc.cpu.gmacs_f32 = 18.0;  // 128-bit NEON FMA, ~55% GEMM efficiency.
+  soc.cpu.gmacs_f16 = 18.0;  // No vector F16 ALU: emulated via F32 (Sec. 4.1).
+  soc.cpu.gmacs_qu8 = 52.0;  // gemmlowp u8 dot paths, ~2.9x over F32.
+  soc.cpu.gb_per_s = 8.0;
+  soc.cpu.kernel_launch_us = 4.0;
+  soc.cpu.active_w_f32 = 4.3;
+  soc.cpu.active_w_f16 = 4.3;
+  soc.cpu.active_w_qu8 = 3.9;
+
+  // Mali-T760 MP8 @ 700 MHz. FP16 ALUs run two lanes per FP32 lane; QUInt8
+  // loses concurrency to 32-bit accumulation (Sec. 4.1).
+  soc.gpu.name = "MaliT760MP8";
+  soc.gpu.kind = ProcKind::kGpu;
+  soc.gpu.gmacs_f32 = 25.2;  // 1.40x the CPU, matching the paper's Figure 5.
+  soc.gpu.gmacs_f16 = 38.0;
+  soc.gpu.gmacs_qu8 = 27.0;
+  soc.gpu.gb_per_s = 10.0;
+  soc.gpu.kernel_launch_us = 55.0;  // OpenCL command issue on Mali.
+  soc.gpu.active_w_f32 = 2.4;
+  soc.gpu.active_w_f16 = 1.55;
+  soc.gpu.active_w_qu8 = 2.4;
+
+  soc.sync_us = 80.0;
+  soc.map_us = 8.0;
+  soc.copy_gb_per_s = 4.0;
+  soc.dram_nj_per_byte = 0.4;
+  soc.idle_w = 1.05;
+  return soc;
+}
+
+SocSpec MakeExynos7880() {
+  SocSpec soc;
+  soc.name = "Exynos7880";
+
+  // 8x Cortex-A53 @ 1.9 GHz (in-order, 64-bit NEON datapath).
+  soc.cpu.name = "8xA53";
+  soc.cpu.kind = ProcKind::kCpu;
+  soc.cpu.gmacs_f32 = 12.0;
+  soc.cpu.gmacs_f16 = 12.0;
+  soc.cpu.gmacs_qu8 = 22.0;  // Dual-issue limits u8 gains on A53 (~1.8x).
+  soc.cpu.gb_per_s = 5.5;
+  soc.cpu.kernel_launch_us = 4.0;
+  soc.cpu.active_w_f32 = 2.7;
+  soc.cpu.active_w_f16 = 2.7;
+  soc.cpu.active_w_qu8 = 2.5;
+
+  // Mali-T830 MP3 @ 962 MHz: the CPU beats it at F32 by ~26% (Figure 5b).
+  soc.gpu.name = "MaliT830MP3";
+  soc.gpu.kind = ProcKind::kGpu;
+  soc.gpu.gmacs_f32 = 8.9;
+  soc.gpu.gmacs_f16 = 19.0;
+  soc.gpu.gmacs_qu8 = 10.0;
+  soc.gpu.gb_per_s = 4.5;
+  soc.gpu.kernel_launch_us = 75.0;
+  soc.gpu.active_w_f32 = 1.5;
+  soc.gpu.active_w_f16 = 1.05;
+  soc.gpu.active_w_qu8 = 1.5;
+
+  soc.sync_us = 110.0;
+  soc.map_us = 10.0;
+  soc.copy_gb_per_s = 3.0;
+  soc.dram_nj_per_byte = 0.5;
+  soc.idle_w = 0.85;
+  return soc;
+}
+
+}  // namespace ulayer

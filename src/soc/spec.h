@@ -1,0 +1,115 @@
+// SoC hardware specifications for the timing/energy simulator.
+//
+// ulayer executes NN arithmetic functionally on the host; wall-clock latency
+// and energy are produced by this model instead of real mobile silicon. The
+// presets below are calibrated so the *relative* behaviours the paper
+// measures hold (see DESIGN.md Section 2):
+//   - Exynos 7420: GPU ~1.40x faster than CPU on VGG-16 conv layers (F32).
+//   - Exynos 7880: CPU ~26% faster than GPU (F32).
+//   - CPUs gain ~2.5-3x from QUInt8 and nothing from F16 (emulated via F32).
+//   - GPUs gain ~1.8x from F16; QUInt8 on the GPU is worse than F16 because
+//     32-bit accumulation halves ALU concurrency.
+#pragma once
+
+#include <string>
+
+#include "tensor/dtype.h"
+
+namespace ulayer {
+
+enum class ProcKind : uint8_t { kCpu, kGpu };
+
+constexpr std::string_view ProcKindName(ProcKind k) {
+  return k == ProcKind::kCpu ? "CPU" : "GPU";
+}
+
+// One processor (CPU cluster or GPU) of a mobile SoC.
+struct ProcessorSpec {
+  std::string name;
+  ProcKind kind = ProcKind::kCpu;
+
+  // Effective arithmetic throughput in giga-MACs per second, per compute
+  // data type. "Effective" folds in achievable kernel efficiency, not the
+  // datasheet peak.
+  double gmacs_f32 = 1.0;
+  double gmacs_f16 = 1.0;
+  double gmacs_qu8 = 1.0;
+
+  // Effective memory bandwidth available to this processor (GB/s).
+  double gb_per_s = 5.0;
+
+  // Fixed overhead for issuing one kernel (microseconds). Mobile-GPU OpenCL
+  // command issue is tens of microseconds; CPU dispatch is cheap.
+  double kernel_launch_us = 5.0;
+
+  // Active power draw while computing (watts), per compute data type.
+  double active_w_f32 = 1.0;
+  double active_w_f16 = 1.0;
+  double active_w_qu8 = 1.0;
+
+  double GmacsFor(DType compute) const {
+    switch (compute) {
+      case DType::kF32:
+        return gmacs_f32;
+      case DType::kF16:
+        return gmacs_f16;
+      case DType::kQUInt8:
+        return gmacs_qu8;
+      case DType::kInt32:
+        return gmacs_f32;
+    }
+    return gmacs_f32;
+  }
+
+  double ActiveWattsFor(DType compute) const {
+    switch (compute) {
+      case DType::kF32:
+        return active_w_f32;
+      case DType::kF16:
+        return active_w_f16;
+      case DType::kQUInt8:
+        return active_w_qu8;
+      case DType::kInt32:
+        return active_w_f32;
+    }
+    return active_w_f32;
+  }
+};
+
+// A whole SoC: one CPU cluster abstraction + one GPU, shared memory.
+struct SocSpec {
+  std::string name;
+  ProcessorSpec cpu;
+  ProcessorSpec gpu;
+
+  // Cost of one CPU-GPU synchronization point (event wait + cache
+  // maintenance), microseconds.
+  double sync_us = 60.0;
+
+  // Cost of mapping/unmapping a zero-copy buffer for CPU access (us).
+  double map_us = 8.0;
+
+  // memcpy bandwidth used when zero-copy sharing is disabled (GB/s).
+  double copy_gb_per_s = 4.0;
+
+  // DRAM access energy (nanojoules per byte moved). Data movement is a major
+  // energy consumer on mobile (paper Section 4.2).
+  double dram_nj_per_byte = 0.4;
+
+  // Baseline device power (watts): rails that stay on during inference.
+  // The paper measures whole-phone energy at the battery (Monsoon HVPM,
+  // Figure 15), so this covers DRAM refresh, PMIC, interconnect and the
+  // idle remainder of the device — it is charged over the run's makespan,
+  // which is how latency reductions turn into energy reductions.
+  double idle_w = 0.35;
+};
+
+// Samsung Exynos 7420 (Galaxy Note 5): 4x Cortex-A57 @2.1GHz + 4x A53,
+// Mali-T760 MP8 @700MHz. "High-end" SoC of the paper.
+SocSpec MakeExynos7420();
+
+// Samsung Exynos 7880 (Galaxy A5 2017): 8x Cortex-A53 @1.9GHz,
+// Mali-T830 MP3 @962MHz. "Mid-range" SoC of the paper.
+SocSpec MakeExynos7880();
+
+}  // namespace ulayer

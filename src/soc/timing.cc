@@ -1,0 +1,30 @@
+#include "soc/timing.h"
+
+namespace ulayer {
+
+double TimingModel::KernelBodyUs(const LayerWork& work, ProcKind k, DType compute) const {
+  const ProcessorSpec& p = proc(k);
+  // gmacs = 1e9 MAC/s = 1e3 MAC/us; GB/s = 1e3 bytes/us.
+  const double compute_us = work.macs / (p.GmacsFor(compute) * 1e3);
+  const double memory_us = work.TotalBytes() / (p.gb_per_s * 1e3);
+  return compute_us + memory_us;
+}
+
+double TimingModel::KernelLatencyUs(const LayerWork& work, ProcKind k, DType compute) const {
+  return proc(k).kernel_launch_us + KernelBodyUs(work, k, compute);
+}
+
+double EnergyModel::ComputeEnergyMj(ProcKind k, DType compute, double busy_us,
+                                    double bytes) const {
+  const ProcessorSpec& p = k == ProcKind::kCpu ? soc_.cpu : soc_.gpu;
+  // 1 W * 1 us = 1e-3 mJ; 1 nJ = 1e-6 mJ.
+  const double compute_mj = p.ActiveWattsFor(compute) * busy_us * 1e-3;
+  const double dram_mj = bytes * soc_.dram_nj_per_byte * 1e-6;
+  return compute_mj + dram_mj;
+}
+
+double EnergyModel::IdleEnergyMj(double makespan_us) const {
+  return soc_.idle_w * makespan_us * 1e-3;
+}
+
+}  // namespace ulayer

@@ -1,0 +1,48 @@
+// Data types supported by the ulayer kernels and runtime.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ulayer {
+
+// Element types a tensor can hold. kInt32 exists for the widening
+// accumulators of 8-bit linear-quantized GEMMs (gemmlowp-style) and is not a
+// storage type for network tensors.
+enum class DType : uint8_t {
+  kF32,     // 32-bit IEEE single precision (the NN default).
+  kF16,     // 16-bit IEEE half precision, software-emulated (see quant/half.h).
+  kQUInt8,  // 8-bit linearly-quantized unsigned integer with scale/zero-point.
+  kInt32,   // 32-bit signed accumulator.
+};
+
+// Size of one element of `t` in bytes.
+constexpr int64_t DTypeSize(DType t) {
+  switch (t) {
+    case DType::kF32:
+      return 4;
+    case DType::kF16:
+      return 2;
+    case DType::kQUInt8:
+      return 1;
+    case DType::kInt32:
+      return 4;
+  }
+  return 0;
+}
+
+constexpr std::string_view DTypeName(DType t) {
+  switch (t) {
+    case DType::kF32:
+      return "F32";
+    case DType::kF16:
+      return "F16";
+    case DType::kQUInt8:
+      return "QUInt8";
+    case DType::kInt32:
+      return "Int32";
+  }
+  return "?";
+}
+
+}  // namespace ulayer

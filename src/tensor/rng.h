@@ -1,0 +1,48 @@
+// Rng: small deterministic pseudo-random generator (xorshift128+).
+//
+// Used everywhere instead of <random> so weights, inputs and sampled
+// calibration sets are reproducible across platforms and standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace ulayer {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding to decorrelate nearby seeds.
+    s_[0] = SplitMix(seed);
+    s_[1] = SplitMix(s_[0]);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  // Uniform float in [lo, hi).
+  float Uniform(float lo, float hi) {
+    const double u = static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+    return lo + static_cast<float>(u * (hi - lo));
+  }
+
+  // Uniform integer in [0, n).
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+ private:
+  static uint64_t SplitMix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace ulayer

@@ -1,0 +1,10 @@
+#include "tensor/shape.h"
+
+namespace ulayer {
+
+std::string Shape::ToString() const {
+  return std::to_string(n) + "x" + std::to_string(c) + "x" + std::to_string(h) + "x" +
+         std::to_string(w);
+}
+
+}  // namespace ulayer

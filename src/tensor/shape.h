@@ -1,0 +1,39 @@
+// Shape: dimensions of a 4-D NCHW tensor.
+//
+// All tensors in ulayer are logically 4-D (batch N, channels C, height H,
+// width W); lower-rank data (e.g. fully-connected activations) use H = W = 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ulayer {
+
+// Dimensions of an NCHW tensor. Value type; cheap to copy.
+struct Shape {
+  int64_t n = 1;
+  int64_t c = 1;
+  int64_t h = 1;
+  int64_t w = 1;
+
+  constexpr Shape() = default;
+  constexpr Shape(int64_t n_, int64_t c_, int64_t h_, int64_t w_) : n(n_), c(c_), h(h_), w(w_) {}
+
+  // Total number of elements.
+  constexpr int64_t NumElements() const { return n * c * h * w; }
+
+  // Linear offset of element (ni, ci, hi, wi) in row-major NCHW order.
+  constexpr int64_t Offset(int64_t ni, int64_t ci, int64_t hi, int64_t wi) const {
+    return ((ni * c + ci) * h + hi) * w + wi;
+  }
+
+  constexpr bool operator==(const Shape& o) const = default;
+
+  // True when every dimension is positive.
+  constexpr bool IsValid() const { return n > 0 && c > 0 && h > 0 && w > 0; }
+
+  // "1x64x56x56"-style debug string.
+  std::string ToString() const;
+};
+
+}  // namespace ulayer

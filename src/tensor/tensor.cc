@@ -1,0 +1,43 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "tensor/rng.h"
+
+namespace ulayer {
+
+void FillUniform(Tensor& t, uint64_t seed, float lo, float hi) {
+  assert(t.dtype() == DType::kF32);
+  Rng rng(seed);
+  float* p = t.Data<float>();
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    p[i] = rng.Uniform(lo, hi);
+  }
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  assert(a.dtype() == DType::kF32 && b.dtype() == DType::kF32);
+  assert(a.shape() == b.shape());
+  const float* pa = a.Data<float>();
+  const float* pb = b.Data<float>();
+  float max_diff = 0.0f;
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(pa[i] - pb[i]));
+  }
+  return max_diff;
+}
+
+float RmsDiff(const Tensor& a, const Tensor& b) {
+  assert(a.dtype() == DType::kF32 && b.dtype() == DType::kF32);
+  assert(a.shape() == b.shape());
+  const float* pa = a.Data<float>();
+  const float* pb = b.Data<float>();
+  double sum = 0.0;
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    const double d = pa[i] - pb[i];
+    sum += d * d;
+  }
+  return static_cast<float>(std::sqrt(sum / static_cast<double>(a.NumElements())));
+}
+
+}  // namespace ulayer

@@ -1,0 +1,77 @@
+// Tensor: an owning, dtype-erased NCHW buffer.
+//
+// Tensors carry the linear-quantization parameters (scale, zero_point) when
+// their dtype is kQUInt8; the parameters describe the affine map
+//   real_value = scale * (stored_value - zero_point).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tensor/dtype.h"
+#include "tensor/shape.h"
+
+namespace ulayer {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(Shape shape, DType dtype)
+      : shape_(shape), dtype_(dtype), data_(shape.NumElements() * DTypeSize(dtype)) {
+    assert(shape.IsValid());
+  }
+
+  const Shape& shape() const { return shape_; }
+  DType dtype() const { return dtype_; }
+  int64_t NumElements() const { return shape_.NumElements(); }
+  int64_t SizeBytes() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  uint8_t* raw() { return data_.data(); }
+  const uint8_t* raw() const { return data_.data(); }
+
+  // Typed views. T must have the same size as the element dtype.
+  template <typename T>
+  T* Data() {
+    assert(sizeof(T) == static_cast<size_t>(DTypeSize(dtype_)));
+    return reinterpret_cast<T*>(data_.data());
+  }
+  template <typename T>
+  const T* Data() const {
+    assert(sizeof(T) == static_cast<size_t>(DTypeSize(dtype_)));
+    return reinterpret_cast<const T*>(data_.data());
+  }
+
+  // Linear-quantization parameters (meaningful only for kQUInt8 tensors).
+  float scale() const { return scale_; }
+  int32_t zero_point() const { return zero_point_; }
+  void set_quant_params(float scale, int32_t zero_point) {
+    scale_ = scale;
+    zero_point_ = zero_point;
+  }
+
+  // Fills the tensor with zero bytes.
+  void Zero() { std::memset(data_.data(), 0, data_.size()); }
+
+ private:
+  Shape shape_;
+  DType dtype_ = DType::kF32;
+  std::vector<uint8_t> data_;
+  float scale_ = 1.0f;
+  int32_t zero_point_ = 0;
+};
+
+// Element-wise helpers used across tests and examples (F32 tensors only).
+
+// Fills `t` with a deterministic pseudo-random sequence in [lo, hi).
+void FillUniform(Tensor& t, uint64_t seed, float lo = -1.0f, float hi = 1.0f);
+
+// Maximum absolute difference between two F32 tensors of identical shape.
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+// Root-mean-square difference between two F32 tensors of identical shape.
+float RmsDiff(const Tensor& a, const Tensor& b);
+
+}  // namespace ulayer

@@ -1,0 +1,178 @@
+// ucl: a micro OpenCL-shaped runtime over simulated device timelines.
+//
+// ulayer's executor drives both the CPU and the GPU through this interface,
+// mirroring the structure of the real implementation (ARM Compute Library
+// over OpenCL command queues). Each device owns a virtual clock; enqueueing
+// a kernel schedules it at max(queue-ready time, dependency completion) and
+// advances the clock by the kernel's simulated duration. Host wall-clock is
+// the maximum over device clocks, so asynchronous GPU command issuing
+// overlapping CPU-side work (paper Section 6) is reproduced measurably.
+//
+// Buffers model the paper's zero-copy shared CPU-GPU memory: created with
+// kAllocHostPtr they are a single host allocation that both devices access;
+// Map/Unmap costs only cache-maintenance time. Created with kCopyMode, every
+// map/unmap pays a bandwidth-priced copy (the ablation path).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "soc/spec.h"
+#include "soc/timing.h"
+
+namespace ulayer::ucl {
+
+// Completion token for an enqueued command (an OpenCL event). `start_us`
+// is when the command actually began executing on its device (OpenCL's
+// CL_PROFILING_COMMAND_START), which can be later than its ready time when
+// the queue was busy.
+struct Event {
+  double complete_us = 0.0;
+  double start_us = 0.0;
+};
+
+enum class MemFlag : uint8_t {
+  kAllocHostPtr,  // Zero-copy shared CPU-GPU allocation (CL_MEM_ALLOC_HOST_PTR).
+  kCopyMode,      // Discrete staging: map/unmap copies through the host.
+};
+
+enum class MapAccess : uint8_t {
+  kRead,                   // CL_MAP_READ
+  kWriteInvalidateRegion,  // CL_MAP_WRITE_INVALIDATE_REGION
+};
+
+// A device-visible memory object. Storage is always host memory (the
+// simulator computes functionally on the host); the flag only affects the
+// simulated cost of Map/Unmap.
+class Buffer {
+ public:
+  Buffer(int64_t size_bytes, MemFlag flag)
+      : flag_(flag), storage_(static_cast<size_t>(size_bytes)) {}
+
+  int64_t size() const { return static_cast<int64_t>(storage_.size()); }
+  MemFlag flag() const { return flag_; }
+  uint8_t* host_ptr() { return storage_.data(); }
+  const uint8_t* host_ptr() const { return storage_.data(); }
+
+ private:
+  MemFlag flag_;
+  std::vector<uint8_t> storage_;
+};
+
+// Per-device virtual timeline plus busy-time accounting for the energy model.
+class Device {
+ public:
+  Device(ProcKind kind, const ProcessorSpec& spec) : kind_(kind), spec_(spec) {}
+
+  ProcKind kind() const { return kind_; }
+  const ProcessorSpec& spec() const { return spec_; }
+  double now_us() const { return now_us_; }
+
+  // Schedules `duration_us` of work that may start once `ready_us` has
+  // passed; returns the completion time. `start_out`, when non-null,
+  // receives the actual start time (max of ready time and queue-free time).
+  double Schedule(double ready_us, double duration_us, DType compute, double bytes,
+                  double* start_out = nullptr);
+
+  // Busy microseconds per compute dtype (for the energy model).
+  double BusyUs(DType compute) const;
+  double TotalBytes() const { return bytes_; }
+  double TotalBusyUs() const { return busy_f32_ + busy_f16_ + busy_qu8_; }
+
+  void Reset();
+
+ private:
+  ProcKind kind_;
+  ProcessorSpec spec_;
+  double now_us_ = 0.0;
+  double busy_f32_ = 0.0;
+  double busy_f16_ = 0.0;
+  double busy_qu8_ = 0.0;
+  double bytes_ = 0.0;
+};
+
+class Context;
+
+// An in-order command queue bound to one device.
+class CommandQueue {
+ public:
+  CommandQueue(Context* ctx, Device* device) : ctx_(ctx), device_(device) {}
+
+  Device& device() { return *device_; }
+
+  // Enqueues a kernel whose simulated body takes `body_us`; the device's
+  // fixed kernel-launch overhead is added automatically. The kernel starts
+  // after every event in `waits` completes. `bytes` is the memory traffic
+  // attributed to the kernel (energy accounting).
+  Event EnqueueKernel(double body_us, DType compute, double bytes,
+                      const std::vector<Event>& waits = {});
+
+  // As above but with an explicit ready time (used to model the host issuing
+  // the command at a known point).
+  Event EnqueueKernelAt(double ready_us, double body_us, DType compute, double bytes,
+                        const std::vector<Event>& waits = {});
+
+  // Maps `buffer` for host access. Zero-copy buffers cost cache maintenance
+  // only; copy-mode buffers pay size/copy-bandwidth. Asynchronous: returns
+  // an event (the paper maps/unmaps in parallel with CPU-side work).
+  Event EnqueueMap(const Buffer& buffer, MapAccess access, const std::vector<Event>& waits = {});
+  Event EnqueueUnmap(const Buffer& buffer, const std::vector<Event>& waits = {});
+
+  // Blocks the host until every command in this queue completes, returning
+  // the completion time (clFinish).
+  double Finish() const { return device_->now_us(); }
+
+ private:
+  Context* ctx_;
+  Device* device_;
+};
+
+// The ucl context: owns the devices and buffers of one SoC.
+class Context {
+ public:
+  explicit Context(const SocSpec& soc)
+      : soc_(soc),
+        timing_(soc),
+        cpu_(ProcKind::kCpu, soc.cpu),
+        gpu_(ProcKind::kGpu, soc.gpu),
+        cpu_queue_(this, &cpu_),
+        gpu_queue_(this, &gpu_) {}
+
+  const SocSpec& soc() const { return soc_; }
+  const TimingModel& timing() const { return timing_; }
+
+  CommandQueue& queue(ProcKind k) { return k == ProcKind::kCpu ? cpu_queue_ : gpu_queue_; }
+  Device& device(ProcKind k) { return k == ProcKind::kCpu ? cpu_ : gpu_; }
+  const Device& device(ProcKind k) const { return k == ProcKind::kCpu ? cpu_ : gpu_; }
+
+  std::shared_ptr<Buffer> CreateBuffer(int64_t size_bytes, MemFlag flag) {
+    return std::make_shared<Buffer>(size_bytes, flag);
+  }
+
+  // Host wall-clock: both devices idle.
+  double NowUs() const { return std::max(cpu_.now_us(), gpu_.now_us()); }
+
+  // A CPU-GPU synchronization point: both timelines advance to
+  // max(cpu, gpu) + sync cost. Returns the post-sync time.
+  double SyncPoint();
+
+  // Number of SyncPoint calls since Reset (overhead introspection).
+  int sync_count() const { return sync_count_; }
+
+  void Reset();
+
+ private:
+  SocSpec soc_;
+  TimingModel timing_;
+  Device cpu_;
+  Device gpu_;
+  CommandQueue cpu_queue_;
+  CommandQueue gpu_queue_;
+  int sync_count_ = 0;
+
+  friend class CommandQueue;
+};
+
+}  // namespace ulayer::ucl

@@ -1,0 +1,89 @@
+#include "baselines/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.h"
+
+namespace ulayer {
+namespace {
+
+TEST(BaselinesTest, SingleProcessorPlanAssignsEverythingToOneDevice) {
+  const Model m = MakeAlexNet();
+  const Plan plan = MakeSingleProcessorPlan(m.graph, ProcKind::kGpu);
+  for (const NodeAssignment& a : plan.nodes) {
+    EXPECT_EQ(a.kind, StepKind::kSingle);
+    EXPECT_EQ(a.proc, ProcKind::kGpu);
+  }
+}
+
+TEST(BaselinesTest, LayerToProcessorNeverSlowerThanWorstSingle) {
+  for (const Model& m : MakeEvaluationModels()) {
+    const SocSpec soc = MakeExynos7420();
+    const ExecConfig cfg = ExecConfig::AllQU8();
+    const double cpu = RunSingleProcessor(m, soc, ProcKind::kCpu, cfg).latency_us;
+    const double gpu = RunSingleProcessor(m, soc, ProcKind::kGpu, cfg).latency_us;
+    const double l2p = RunLayerToProcessor(m, soc, cfg).latency_us;
+    EXPECT_LT(l2p, std::max(cpu, gpu) * 1.05) << m.name;
+  }
+}
+
+TEST(BaselinesTest, QU8FasterThanF32OnCpu) {
+  const Model m = MakeVgg16();
+  const SocSpec soc = MakeExynos7420();
+  const double f32 = RunSingleProcessor(m, soc, ProcKind::kCpu, ExecConfig::AllF32()).latency_us;
+  const double qu8 = RunSingleProcessor(m, soc, ProcKind::kCpu, ExecConfig::AllQU8()).latency_us;
+  EXPECT_LT(qu8, f32 * 0.6) << "QUInt8 should give the CPU a large speedup (Figure 8)";
+}
+
+TEST(BaselinesTest, F16FasterThanF32OnGpuButNotCpu) {
+  const Model m = MakeVgg16();
+  const SocSpec soc = MakeExynos7420();
+  const double gpu_f32 =
+      RunSingleProcessor(m, soc, ProcKind::kGpu, ExecConfig::AllF32()).latency_us;
+  const double gpu_f16 =
+      RunSingleProcessor(m, soc, ProcKind::kGpu, ExecConfig::AllF16()).latency_us;
+  EXPECT_LT(gpu_f16, gpu_f32 * 0.85);
+  const double cpu_f32 =
+      RunSingleProcessor(m, soc, ProcKind::kCpu, ExecConfig::AllF32()).latency_us;
+  const double cpu_f16 =
+      RunSingleProcessor(m, soc, ProcKind::kCpu, ExecConfig::AllF16()).latency_us;
+  // The CPU emulates F16 via F32 (no native vector F16): compute time equal,
+  // only memory traffic shrinks.
+  EXPECT_LT(cpu_f16, cpu_f32);
+  EXPECT_GT(cpu_f16, cpu_f32 * 0.5);
+}
+
+TEST(BaselinesTest, NetworkToProcessorImprovesThroughputNotLatency) {
+  const Model m = MakeAlexNet();
+  const SocSpec soc = MakeExynos7420();
+  const ExecConfig cfg = ExecConfig::AllF32();
+  const ThroughputResult r = RunNetworkToProcessor(m, soc, cfg, 8);
+  EXPECT_EQ(r.cpu_inputs + r.gpu_inputs, 8);
+  EXPECT_GT(r.cpu_inputs, 0);
+  EXPECT_GT(r.gpu_inputs, 0);
+  // Per-input time beats the single-processor latency (throughput win)...
+  EXPECT_LT(r.per_input_us, r.first_input_us);
+  // ...but the single-input latency is unchanged (Figure 4a's limitation).
+  const double best_single =
+      std::min(RunSingleProcessor(m, soc, ProcKind::kCpu, cfg).latency_us,
+               RunSingleProcessor(m, soc, ProcKind::kGpu, cfg).latency_us);
+  EXPECT_DOUBLE_EQ(r.first_input_us, best_single);
+}
+
+TEST(BaselinesTest, ULayerBeatsLayerToProcessorOnAllEvaluationNNs) {
+  // The headline claim (Figure 16): ulayer (channel + proc-friendly + branch)
+  // is faster than the state-of-the-art layer-to-processor mapping on every
+  // NN and both SoCs.
+  for (const bool high_end : {true, false}) {
+    const SocSpec soc = high_end ? MakeExynos7420() : MakeExynos7880();
+    for (const Model& m : MakeEvaluationModels()) {
+      const double l2p = RunLayerToProcessor(m, soc, ExecConfig::AllQU8()).latency_us;
+      ULayerRuntime rt(m, soc);
+      const double ul = rt.Run().latency_us;
+      EXPECT_LT(ul, l2p) << m.name << " on " << soc.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ulayer

@@ -1,0 +1,143 @@
+#include "nn/branch.h"
+
+#include <gtest/gtest.h>
+
+#include "models/model.h"
+
+namespace ulayer {
+namespace {
+
+TEST(BranchTest, LinearChainHasNoBranches) {
+  Graph g;
+  int x = g.AddInput(Shape(1, 3, 32, 32));
+  x = g.AddConv("c1", x, 8, 3, 1, 1, true);
+  x = g.AddConv("c2", x, 8, 3, 1, 1, true);
+  g.AddSoftmax("sm", x);
+  EXPECT_FALSE(HasBranches(g));
+  EXPECT_TRUE(FindBranchGroups(g).empty());
+}
+
+TEST(BranchTest, DetectsInceptionStyleGroup) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 192, 28, 28));
+  const int b0 = g.AddConv("1x1", in, 64, 1, 1, 0, true);
+  const int b1r = g.AddConv("3x3r", in, 96, 1, 1, 0, true);
+  const int b1 = g.AddConv("3x3", b1r, 128, 3, 1, 1, true);
+  const int b2r = g.AddConv("5x5r", in, 16, 1, 1, 0, true);
+  const int b2 = g.AddConv("5x5", b2r, 32, 5, 1, 2, true);
+  const int b3p = g.AddPool("pool", in, PoolKind::kMax, 3, 1, 1);
+  const int b3 = g.AddConv("proj", b3p, 32, 1, 1, 0, true);
+  const int join = g.AddConcat("out", {b0, b1, b2, b3});
+
+  const auto groups = FindBranchGroups(g);
+  ASSERT_EQ(groups.size(), 1u);
+  const BranchGroup& bg = groups[0];
+  EXPECT_EQ(bg.fork, in);
+  EXPECT_EQ(bg.join, join);
+  ASSERT_EQ(bg.branches.size(), 4u);
+  EXPECT_EQ(bg.branches[0], std::vector<int>{b0});
+  EXPECT_EQ(bg.branches[1], (std::vector<int>{b1r, b1}));
+  EXPECT_EQ(bg.branches[2], (std::vector<int>{b2r, b2}));
+  EXPECT_EQ(bg.branches[3], (std::vector<int>{b3p, b3}));
+}
+
+TEST(BranchTest, DetectsFireStyleGroup) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 64, 56, 56));
+  const int sq = g.AddConv("squeeze", in, 16, 1, 1, 0, true);
+  const int e1 = g.AddConv("e1x1", sq, 64, 1, 1, 0, true);
+  const int e3 = g.AddConv("e3x3", sq, 64, 3, 1, 1, true);
+  const int join = g.AddConcat("cat", {e1, e3});
+  const auto groups = FindBranchGroups(g);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].fork, sq);
+  EXPECT_EQ(groups[0].join, join);
+  EXPECT_EQ(groups[0].branches.size(), 2u);
+}
+
+TEST(BranchTest, RejectsConcatWithMismatchedForks) {
+  // Two concat inputs tracing to *different* forks do not form a group.
+  Graph g;
+  const int in = g.AddInput(Shape(1, 8, 14, 14));
+  const int a = g.AddConv("a", in, 8, 1, 1, 0, true);   // fork 1: in
+  const int a1 = g.AddConv("a1", a, 8, 1, 1, 0, true);  // consumer 1 of a
+  const int a2 = g.AddConv("a2", a, 8, 1, 1, 0, true);  // consumer 2 of a
+  const int b = g.AddConv("b", in, 8, 1, 1, 0, true);   // also consumes in
+  g.AddConcat("cat", {a1, a2, b});
+  // a1/a2 trace to fork `a`; b traces to fork `in`: mismatched -> no group.
+  const auto groups = FindBranchGroups(g);
+  EXPECT_TRUE(groups.empty());
+  (void)b;
+}
+
+TEST(BranchTest, GoogLeNetHasNineInceptionGroups) {
+  const Model m = MakeGoogLeNet();
+  const auto groups = FindBranchGroups(m.graph);
+  EXPECT_EQ(groups.size(), 9u);
+  for (const BranchGroup& bg : groups) {
+    EXPECT_EQ(bg.branches.size(), 4u);
+  }
+  EXPECT_TRUE(HasBranches(m.graph));
+}
+
+TEST(BranchTest, SqueezeNetHasEightFireGroups) {
+  const Model m = MakeSqueezeNetV11();
+  const auto groups = FindBranchGroups(m.graph);
+  EXPECT_EQ(groups.size(), 8u);
+  for (const BranchGroup& bg : groups) {
+    EXPECT_EQ(bg.branches.size(), 2u);
+  }
+}
+
+TEST(BranchTest, NonBranchyEvaluationModelsHaveNone) {
+  EXPECT_FALSE(HasBranches(MakeVgg16().graph));
+  EXPECT_FALSE(HasBranches(MakeAlexNet().graph));
+  EXPECT_FALSE(HasBranches(MakeMobileNetV1().graph));
+  EXPECT_FALSE(HasBranches(MakeLeNet5().graph));
+}
+
+
+TEST(BranchTest, DetectsResNetResidualWithIdentityShortcut) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 64, 28, 28));
+  // `fork` must have >1 consumers; give it a conv before the block.
+  const int fork = g.AddConv("pre", in, 64, 1, 1, 0, true);
+  const int c1 = g.AddConv("c1", fork, 64, 3, 1, 1, true);
+  const int c2 = g.AddConv("c2", c1, 64, 3, 1, 1, false);
+  const int add = g.AddEltwiseAdd("add", {c2, fork}, true);
+  const auto groups = FindBranchGroups(g);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].fork, fork);
+  EXPECT_EQ(groups[0].join, add);
+  ASSERT_EQ(groups[0].branches.size(), 2u);
+  EXPECT_EQ(groups[0].branches[0], (std::vector<int>{c1, c2}));
+  EXPECT_TRUE(groups[0].branches[1].empty()) << "identity shortcut = empty branch";
+}
+
+TEST(BranchTest, DetectsResNetProjectionShortcut) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 64, 28, 28));
+  const int fork = g.AddConv("pre", in, 64, 1, 1, 0, true);
+  const int c1 = g.AddConv("c1", fork, 128, 3, 2, 1, true);
+  const int c2 = g.AddConv("c2", c1, 128, 3, 1, 1, false);
+  const int proj = g.AddConv("proj", fork, 128, 1, 2, 0, false);
+  g.AddEltwiseAdd("add", {c2, proj}, true);
+  const auto groups = FindBranchGroups(g);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].branches.size(), 2u);
+  EXPECT_FALSE(groups[0].branches[0].empty());
+  EXPECT_EQ(groups[0].branches[1], std::vector<int>{proj});
+}
+
+TEST(BranchTest, ResNet18HasEightResidualGroups) {
+  const Model m = MakeResNet18();
+  EXPECT_EQ(FindBranchGroups(m.graph).size(), 8u);
+}
+
+TEST(BranchTest, ResNet50HasSixteenResidualGroups) {
+  const Model m = MakeResNet50();
+  EXPECT_EQ(FindBranchGroups(m.graph).size(), 16u);
+}
+
+}  // namespace
+}  // namespace ulayer

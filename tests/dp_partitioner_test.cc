@@ -1,0 +1,138 @@
+#include "core/dp_partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/runtime.h"
+
+namespace ulayer {
+namespace {
+
+struct PlannerFixture {
+  Model model;
+  SocSpec soc;
+  TimingModel timing;
+  ExecConfig config;
+  LatencyPredictor predictor;
+
+  PlannerFixture(Model m, SocSpec s, ExecConfig c)
+      : model(std::move(m)),
+        soc(std::move(s)),
+        timing(soc),
+        config(c),
+        predictor(timing, config, {&model.graph}) {}
+
+  double Measure(const Plan& plan) {
+    PreparedModel pm(model, config);
+    Executor ex(pm, soc);
+    return ex.Run(plan).latency_us;
+  }
+};
+
+TEST(DpPartitionerTest, NeverWorseThanGreedyAcrossZoo) {
+  for (const bool high_end : {true, false}) {
+    for (Model& m : MakeEvaluationModels()) {
+      PlannerFixture s(std::move(m), high_end ? MakeExynos7420() : MakeExynos7880(),
+              ExecConfig::ProcessorFriendly());
+      const Plan greedy =
+          Partitioner(s.model.graph, s.timing, s.config, s.predictor).Build();
+      const Plan dp =
+          DpPartitioner(s.model.graph, s.timing, s.config, s.predictor).Build();
+      const double t_greedy = s.Measure(greedy);
+      const double t_dp = s.Measure(dp);
+      // The DP optimizes the *predicted* chain cost, not the executor's
+      // exact overlap model, so small regressions from estimator error are
+      // possible; it must never lose materially.
+      EXPECT_LT(t_dp, t_greedy * 1.05) << s.model.name << " " << s.soc.name;
+    }
+  }
+}
+
+TEST(DpPartitionerTest, AvoidsProcessorThrashOnAlternatingChain) {
+  // A chain whose layers alternate in per-layer best processor by a hair,
+  // while syncs are expensive: the greedy layer-to-processor plan bounces
+  // between devices; the DP should settle on one device (or pay strictly
+  // fewer syncs).
+  Graph g;
+  int x = g.AddInput(Shape(1, 32, 32, 32));
+  for (int i = 0; i < 10; ++i) {
+    // Even layers: compute-light (GPU launch dominates -> CPU wins by a bit).
+    // Odd layers: compute-heavy 3x3 (GPU wins by a bit on the high-end SoC).
+    if (i % 2 == 0) {
+      x = g.AddConv("small" + std::to_string(i), x, 32, 1, 1, 0, true);
+    } else {
+      x = g.AddConv("big" + std::to_string(i), x, 48, 3, 1, 1, true);
+    }
+  }
+  Model m;
+  m.name = "alternating";
+  m.graph = g;
+
+  SocSpec soc = MakeExynos7420();
+  soc.sync_us = 500.0;  // Make switching very expensive.
+  PlannerFixture s(std::move(m), soc, ExecConfig::AllF32());
+
+  Partitioner::Options l2p;
+  l2p.channel_distribution = false;
+  l2p.branch_distribution = false;
+  DpPartitioner::Options dp_l2p;
+  dp_l2p.channel_distribution = false;
+  dp_l2p.branch_distribution = false;
+
+  const Plan greedy = Partitioner(s.model.graph, s.timing, s.config, s.predictor, l2p).Build();
+  const Plan dp = DpPartitioner(s.model.graph, s.timing, s.config, s.predictor, dp_l2p).Build();
+
+  PreparedModel pm(s.model, s.config);
+  Executor ex(pm, s.soc);
+  const RunResult rg = ex.Run(greedy);
+  const RunResult rd = ex.Run(dp);
+  EXPECT_LE(rd.sync_count, rg.sync_count);
+  EXPECT_LE(rd.latency_us, rg.latency_us);
+}
+
+TEST(DpPartitionerTest, ChainDpIsExactOnTwoLayerExample) {
+  // Two heavy conv layers: per-layer best is GPU on the high-end SoC; with a
+  // huge sync cost and a CPU-visible input, the DP must weigh
+  // (sync + 2 GPU layers) against (2 CPU layers) and pick the cheaper.
+  Graph g;
+  int x = g.AddInput(Shape(1, 64, 28, 28));
+  x = g.AddConv("c1", x, 64, 3, 1, 1, true);
+  g.AddConv("c2", x, 64, 3, 1, 1, true);
+  Model m;
+  m.name = "two";
+  m.graph = g;
+  PlannerFixture s(std::move(m), MakeExynos7420(), ExecConfig::AllF32());
+  DpPartitioner::Options opts;
+  opts.channel_distribution = false;
+  const Plan plan = DpPartitioner(s.model.graph, s.timing, s.config, s.predictor, opts).Build();
+  // Both layers on the same processor (no mid-chain switch for same-kind
+  // layers).
+  EXPECT_EQ(plan.nodes[1].proc, plan.nodes[2].proc);
+}
+
+TEST(DpPartitionerTest, RespectsDisabledChannelDistribution) {
+  const Model m = MakeVgg16();
+  PlannerFixture s(MakeVgg16(), MakeExynos7420(), ExecConfig::AllQU8());
+  DpPartitioner::Options opts;
+  opts.channel_distribution = false;
+  const Plan plan = DpPartitioner(s.model.graph, s.timing, s.config, s.predictor, opts).Build();
+  for (const NodeAssignment& a : plan.nodes) {
+    EXPECT_NE(a.kind, StepKind::kCooperative);
+  }
+}
+
+TEST(DpPartitionerTest, KeepsBranchGroupDecisions) {
+  PlannerFixture s(MakeGoogLeNet(), MakeExynos7420(), ExecConfig::ProcessorFriendly());
+  const Plan dp = DpPartitioner(s.model.graph, s.timing, s.config, s.predictor).Build();
+  EXPECT_FALSE(dp.branch_plans.empty());
+  for (const BranchPlan& bp : dp.branch_plans) {
+    for (const auto& branch : bp.group.branches) {
+      for (int id : branch) {
+        EXPECT_EQ(dp.nodes[static_cast<size_t>(id)].kind, StepKind::kBranch);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ulayer

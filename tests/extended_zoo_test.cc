@@ -1,0 +1,112 @@
+// End-to-end coverage of the extended model zoo (ResNet-18/50,
+// Inception-v3) through the full ulayer pipeline, plus ucl event-profiling
+// semantics the timeline traces rely on.
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/runtime.h"
+#include "ucl/ucl.h"
+
+namespace ulayer {
+namespace {
+
+class ExtendedZoo : public ::testing::TestWithParam<int> {
+ protected:
+  Model model() const {
+    switch (GetParam()) {
+      case 0:
+        return MakeResNet18();
+      case 1:
+        return MakeResNet50();
+      default:
+        return MakeInceptionV3();
+    }
+  }
+};
+
+TEST_P(ExtendedZoo, ULayerBeatsLayerToProcessorOnBothSoCs) {
+  const Model m = model();
+  for (const bool high_end : {true, false}) {
+    const SocSpec soc = high_end ? MakeExynos7420() : MakeExynos7880();
+    const double l2p = RunLayerToProcessor(m, soc, ExecConfig::AllQU8()).latency_us;
+    ULayerRuntime rt(m, soc);
+    const RunResult r = rt.Run();
+    EXPECT_LT(r.latency_us, l2p) << m.name << " " << soc.name;
+    EXPECT_GT(r.cpu_busy_us, 0.0);
+    EXPECT_GT(r.gpu_busy_us, 0.0);
+  }
+}
+
+TEST_P(ExtendedZoo, PlanCoversEveryNodeExactlyOnce) {
+  const Model m = model();
+  ULayerRuntime rt(m, MakeExynos7420());
+  const Plan& plan = rt.plan();
+  ASSERT_EQ(plan.nodes.size(), static_cast<size_t>(m.graph.size()));
+  // Branch-group nodes must carry kBranch; everything else kSingle/kCoop.
+  std::vector<bool> in_group(static_cast<size_t>(m.graph.size()), false);
+  for (const BranchPlan& bp : plan.branch_plans) {
+    for (const auto& branch : bp.group.branches) {
+      for (int id : branch) {
+        EXPECT_FALSE(in_group[static_cast<size_t>(id)]) << "node in two groups";
+        in_group[static_cast<size_t>(id)] = true;
+      }
+    }
+  }
+  for (const Node& n : m.graph.nodes()) {
+    if (n.desc.kind == LayerKind::kInput) {
+      continue;
+    }
+    const NodeAssignment& a = plan.nodes[static_cast<size_t>(n.id)];
+    if (in_group[static_cast<size_t>(n.id)]) {
+      EXPECT_EQ(a.kind, StepKind::kBranch) << n.desc.name;
+    } else {
+      EXPECT_NE(a.kind, StepKind::kBranch) << n.desc.name;
+    }
+  }
+}
+
+TEST_P(ExtendedZoo, EnergyAccountingStaysConsistent) {
+  const Model m = model();
+  ULayerRuntime rt(m, MakeExynos7880());
+  const RunResult r = rt.Run();
+  EXPECT_NEAR(r.total_energy_mj, r.cpu_energy_mj + r.gpu_energy_mj + r.idle_energy_mj, 1e-9);
+  EXPECT_GE(r.latency_us + 1e-6, std::max(r.cpu_busy_us, r.gpu_busy_us));
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ExtendedZoo, ::testing::Range(0, 3));
+
+TEST(UclProfilingTest, EventStartReflectsQueueBusyTime) {
+  ucl::Context ctx(MakeExynos7420());
+  ucl::CommandQueue& q = ctx.queue(ProcKind::kGpu);
+  const ucl::Event a = q.EnqueueKernel(100.0, DType::kF16, 0.0);
+  EXPECT_DOUBLE_EQ(a.start_us, 0.0);
+  // Second kernel ready at t=0 but the queue is busy: starts when a ends.
+  const ucl::Event b = q.EnqueueKernel(50.0, DType::kF16, 0.0);
+  EXPECT_DOUBLE_EQ(b.start_us, a.complete_us);
+  EXPECT_GT(b.complete_us, b.start_us);
+}
+
+TEST(UclProfilingTest, DependencyDelaysStartNotJustCompletion) {
+  ucl::Context ctx(MakeExynos7420());
+  const ucl::Event gpu = ctx.queue(ProcKind::kGpu).EnqueueKernel(300.0, DType::kF16, 0.0);
+  const ucl::Event cpu =
+      ctx.queue(ProcKind::kCpu).EnqueueKernel(10.0, DType::kF32, 0.0, {gpu});
+  EXPECT_DOUBLE_EQ(cpu.start_us, gpu.complete_us);
+}
+
+TEST(ExtendedZooTest, InceptionV3NestedBranchesAreNotMisdetected) {
+  // Inception-C modules fan out *within* a branch; the simple chain-based
+  // detector must not claim those modules (their inner forks break the
+  // linear-chain invariant), while A/B modules are detected.
+  const Model m = MakeInceptionV3();
+  const auto groups = FindBranchGroups(m.graph);
+  for (const BranchGroup& bg : groups) {
+    const std::string& join_name = m.graph.node(bg.join).desc.name;
+    EXPECT_EQ(join_name.find("mixed_7b"), std::string::npos) << join_name;
+    EXPECT_EQ(join_name.find("mixed_7c"), std::string::npos) << join_name;
+  }
+  EXPECT_GE(groups.size(), 7u);  // A modules, B modules, reductions.
+}
+
+}  // namespace
+}  // namespace ulayer

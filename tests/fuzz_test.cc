@@ -1,0 +1,171 @@
+// Property tests over randomly generated (but always valid) graphs:
+// structural invariants of branch detection, plan validity, executor
+// timeline consistency, serialization round-trips, and bit-exact
+// cooperative merges on functional runs.
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/runtime.h"
+#include "io/io.h"
+#include "tensor/rng.h"
+
+namespace ulayer {
+namespace {
+
+// Generates a random valid model: a backbone of conv/pool/lrn layers with
+// occasional Fire-style branch groups and residual blocks, ending in
+// gap + fc + softmax.
+Model RandomModel(uint64_t seed, int max_blocks = 6, int image_hw = 24) {
+  Rng rng(seed);
+  Model m;
+  m.name = "fuzz-" + std::to_string(seed);
+  Graph& g = m.graph;
+  int x = g.AddInput(Shape(1, 1 + static_cast<int64_t>(rng.Below(3)), image_hw, image_hw));
+  const int blocks = 2 + static_cast<int>(rng.Below(static_cast<uint64_t>(max_blocks)));
+  for (int b = 0; b < blocks; ++b) {
+    const Shape cur = g.node(x).out_shape;
+    const uint64_t kind = rng.Below(6);
+    const std::string tag = "b" + std::to_string(b);
+    if (kind == 0 && cur.h >= 4) {
+      x = g.AddPool(tag + "/pool", x, rng.Below(2) == 0 ? PoolKind::kMax : PoolKind::kAvg, 2, 2);
+    } else if (kind == 1) {
+      x = g.AddLrn(tag + "/lrn", x, LrnParams{});
+    } else if (kind == 2) {
+      // Fire-style branch group.
+      const int64_t squeeze = 4 + static_cast<int64_t>(rng.Below(8));
+      const int64_t expand = 8 + static_cast<int64_t>(rng.Below(16));
+      const int s = g.AddConv(tag + "/squeeze", x, squeeze, 1, 1, 0, true);
+      const int e1 = g.AddConv(tag + "/e1", s, expand, 1, 1, 0, true);
+      const int e3 = g.AddConv(tag + "/e3", s, expand, 3, 1, 1, true);
+      x = g.AddConcat(tag + "/cat", {e1, e3});
+    } else if (kind == 3) {
+      // Residual block with identity shortcut (requires a pre-conv so the
+      // fork has multiple consumers).
+      const int64_t c = 8 + static_cast<int64_t>(rng.Below(8));
+      const int pre = g.AddConv(tag + "/pre", x, c, 1, 1, 0, true);
+      const int c1 = g.AddConv(tag + "/c1", pre, c, 3, 1, 1, true);
+      const int c2 = g.AddConv(tag + "/c2", c1, c, 3, 1, 1, false);
+      x = g.AddEltwiseAdd(tag + "/addition", {c2, pre}, true);
+    } else if (kind == 4) {
+      x = g.AddDepthwiseConv(tag + "/dw", x, 3, 1, 1, true);
+    } else {
+      const int64_t oc = 4 + static_cast<int64_t>(rng.Below(24));
+      const int k = rng.Below(2) == 0 ? 1 : 3;
+      x = g.AddConv(tag + "/conv", x, oc, k, 1, k / 2, rng.Below(2) == 0);
+    }
+  }
+  x = g.AddGlobalAvgPool("gap", x);
+  x = g.AddFullyConnected("fc", x, 10, false);
+  g.AddSoftmax("prob", x);
+  return m;
+}
+
+class FuzzGraphs : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzGraphs, ShapesStayValid) {
+  const Model m = RandomModel(GetParam());
+  for (const Node& n : m.graph.nodes()) {
+    EXPECT_TRUE(n.out_shape.IsValid()) << n.desc.name << " " << n.out_shape.ToString();
+  }
+}
+
+TEST_P(FuzzGraphs, BranchGroupsAreWellFormed) {
+  const Model m = RandomModel(GetParam());
+  const Graph& g = m.graph;
+  std::vector<int> claimed(static_cast<size_t>(g.size()), 0);
+  for (const BranchGroup& bg : FindBranchGroups(g)) {
+    EXPECT_GE(bg.fork, 0);
+    EXPECT_GT(bg.join, bg.fork);
+    EXPECT_GE(bg.branches.size(), 2u);
+    for (const auto& branch : bg.branches) {
+      for (int id : branch) {
+        EXPECT_GT(id, bg.fork);
+        EXPECT_LT(id, bg.join);
+        ++claimed[static_cast<size_t>(id)];
+      }
+    }
+  }
+  // No node belongs to two branch groups (or twice to one).
+  for (int c : claimed) {
+    EXPECT_LE(c, 1);
+  }
+}
+
+TEST_P(FuzzGraphs, PlansAreValidAndExecutable) {
+  const Model m = RandomModel(GetParam());
+  for (const SocSpec& soc : {MakeExynos7420(), MakeExynos7880()}) {
+    ULayerRuntime rt(m, soc);
+    const Plan& plan = rt.plan();
+    ASSERT_EQ(plan.nodes.size(), static_cast<size_t>(m.graph.size()));
+    for (const Node& n : m.graph.nodes()) {
+      const NodeAssignment& a = plan.nodes[static_cast<size_t>(n.id)];
+      if (a.kind == StepKind::kCooperative) {
+        EXPECT_GT(a.cpu_fraction, 0.0);
+        EXPECT_LT(a.cpu_fraction, 1.0);
+        EXPECT_NE(n.desc.kind, LayerKind::kConcat);
+        EXPECT_NE(n.desc.kind, LayerKind::kSoftmax);
+      }
+    }
+    const RunResult r = rt.Run();
+    EXPECT_GT(r.latency_us, 0.0);
+    // The makespan can never be shorter than either device's busy time.
+    EXPECT_GE(r.latency_us + 1e-9, r.cpu_busy_us);
+    EXPECT_GE(r.latency_us + 1e-9, r.gpu_busy_us);
+    EXPECT_NEAR(r.total_energy_mj, r.cpu_energy_mj + r.gpu_energy_mj + r.idle_energy_mj, 1e-9);
+    // Determinism.
+    EXPECT_DOUBLE_EQ(rt.Run().latency_us, r.latency_us);
+  }
+}
+
+TEST_P(FuzzGraphs, ULayerNeverLosesToLayerToProcessor) {
+  const Model m = RandomModel(GetParam());
+  const SocSpec soc = MakeExynos7420();
+  const double l2p = RunLayerToProcessor(m, soc, ExecConfig::AllQU8()).latency_us;
+  ULayerRuntime rt(m, soc);
+  // Allow a small tolerance: the partitioner optimizes layers locally with a
+  // regression predictor, so tiny regressions on tiny graphs are possible.
+  EXPECT_LT(rt.Run().latency_us, l2p * 1.10);
+}
+
+TEST_P(FuzzGraphs, SerializationRoundTrips) {
+  const Model m = RandomModel(GetParam());
+  const std::string text = GraphToText(m.graph);
+  const Graph parsed = GraphFromText(text);
+  ASSERT_EQ(parsed.size(), m.graph.size());
+  for (int i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed.node(i).out_shape, m.graph.node(i).out_shape) << i;
+    EXPECT_EQ(parsed.node(i).inputs, m.graph.node(i).inputs) << i;
+  }
+  EXPECT_EQ(GraphToText(parsed), text);
+}
+
+TEST_P(FuzzGraphs, CooperativeF32MergeIsBitExact) {
+  Model m = RandomModel(GetParam(), /*max_blocks=*/4, /*image_hw=*/16);
+  m.MaterializeWeights(GetParam());
+  PreparedModel pm(m, ExecConfig::AllF32());
+  Executor ex(pm, MakeExynos7420());
+  Tensor in(m.graph.node(0).out_shape, DType::kF32);
+  FillUniform(in, GetParam() ^ 0xabcd, -1.0f, 1.0f);
+  const RunResult single = ex.Run(MakeSingleProcessorPlan(m.graph, ProcKind::kCpu), &in);
+
+  // Force an aggressive split everywhere splittable.
+  Plan coop = MakeSingleProcessorPlan(m.graph, ProcKind::kCpu);
+  for (const Node& n : m.graph.nodes()) {
+    const LayerKind k = n.desc.kind;
+    if (k == LayerKind::kInput || k == LayerKind::kConcat || k == LayerKind::kSoftmax) {
+      continue;
+    }
+    coop.nodes[static_cast<size_t>(n.id)] =
+        NodeAssignment{StepKind::kCooperative, ProcKind::kCpu, 0.75};
+  }
+  const RunResult split = ex.Run(coop, &in);
+  ASSERT_TRUE(single.output.has_value() && split.output.has_value());
+  EXPECT_EQ(MaxAbsDiff(*single.output, *split.output), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzGraphs,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u, 144u,
+                                           233u));
+
+}  // namespace
+}  // namespace ulayer

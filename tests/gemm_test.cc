@@ -1,0 +1,205 @@
+#include "kernels/gemm.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/rng.h"
+
+namespace ulayer {
+namespace {
+
+// Naive reference GEMM in double precision.
+std::vector<double> RefGemm(const std::vector<float>& a, const std::vector<float>& b, int64_t m,
+                            int64_t n, int64_t k, const std::vector<float>* bias) {
+  std::vector<double> c(static_cast<size_t>(m * n), 0.0);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = bias != nullptr ? (*bias)[static_cast<size_t>(i)] : 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a[static_cast<size_t>(i * k + kk)]) *
+               static_cast<double>(b[static_cast<size_t>(kk * n + j)]);
+      }
+      c[static_cast<size_t>(i * n + j)] = acc;
+    }
+  }
+  return c;
+}
+
+std::vector<float> RandomVec(size_t n, uint64_t seed, float lo = -1.0f, float hi = 1.0f) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) {
+    x = rng.Uniform(lo, hi);
+  }
+  return v;
+}
+
+TEST(GemmF32Test, MatchesReference) {
+  const int64_t m = 7, n = 13, k = 19;
+  const auto a = RandomVec(static_cast<size_t>(m * k), 1);
+  const auto b = RandomVec(static_cast<size_t>(k * n), 2);
+  const auto bias = RandomVec(static_cast<size_t>(m), 3);
+  std::vector<float> c(static_cast<size_t>(m * n));
+  GemmF32(a.data(), b.data(), c.data(), m, n, k, bias.data(), false);
+  const auto ref = RefGemm(a, b, m, n, k, &bias);
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-4) << i;
+  }
+}
+
+TEST(GemmF32Test, ReluClampsNegatives) {
+  const int64_t m = 4, n = 6, k = 8;
+  const auto a = RandomVec(static_cast<size_t>(m * k), 4);
+  const auto b = RandomVec(static_cast<size_t>(k * n), 5);
+  std::vector<float> c(static_cast<size_t>(m * n));
+  GemmF32(a.data(), b.data(), c.data(), m, n, k, nullptr, true);
+  const auto ref = RefGemm(a, b, m, n, k, nullptr);
+  bool saw_clamp = false;
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], std::max(ref[i], 0.0), 1e-4);
+    saw_clamp |= ref[i] < 0.0;
+  }
+  EXPECT_TRUE(saw_clamp) << "test vector should exercise the clamp";
+}
+
+TEST(GemmF32Test, NoBiasMeansZeroInit) {
+  const int64_t m = 2, n = 2, k = 1;
+  const float a[] = {1.0f, 2.0f};
+  const float b[] = {3.0f, 4.0f};
+  float c[4] = {99.0f, 99.0f, 99.0f, 99.0f};  // Stale values must be overwritten.
+  GemmF32(a, b, c, m, n, k, nullptr, false);
+  EXPECT_FLOAT_EQ(c[0], 3.0f);
+  EXPECT_FLOAT_EQ(c[1], 4.0f);
+  EXPECT_FLOAT_EQ(c[2], 6.0f);
+  EXPECT_FLOAT_EQ(c[3], 8.0f);
+}
+
+TEST(GemmF16Test, SmallValuesMatchF32Closely) {
+  const int64_t m = 3, n = 5, k = 7;
+  const auto a = RandomVec(static_cast<size_t>(m * k), 6, -0.5f, 0.5f);
+  const auto b = RandomVec(static_cast<size_t>(k * n), 7, -0.5f, 0.5f);
+  std::vector<Half> ah, bh;
+  for (float v : a) ah.emplace_back(v);
+  for (float v : b) bh.emplace_back(v);
+  std::vector<Half> ch(static_cast<size_t>(m * n));
+  GemmF16(ah.data(), bh.data(), ch.data(), m, n, k, nullptr, false);
+  const auto ref = RefGemm(a, b, m, n, k, nullptr);
+  for (size_t i = 0; i < ch.size(); ++i) {
+    // F16 relative error per op ~2^-11; 7-term dot products stay within ~1%.
+    EXPECT_NEAR(ch[i].ToFloat(), ref[i], std::fabs(ref[i]) * 0.02 + 0.01);
+  }
+}
+
+TEST(GemmF16Test, AccumulationIsF16NotF32) {
+  // Sum of 32 copies of 128.03125: in F16 the accumulator rounds each step,
+  // diverging from the exact 4097. This pins the native-F16-ALU semantics.
+  const int64_t k = 32;
+  std::vector<Half> a(static_cast<size_t>(k), Half(128.03125f));
+  std::vector<Half> b(static_cast<size_t>(k), Half(1.0f));
+  Half c;
+  GemmF16(a.data(), b.data(), &c, 1, 1, k, nullptr, false);
+  EXPECT_NE(c.ToFloat(), 128.03125f * 32.0f);
+  EXPECT_NEAR(c.ToFloat(), 4097.0f, 8.0f);
+}
+
+TEST(GemmQU8Test, MatchesDequantizedReference) {
+  const int64_t m = 6, n = 9, k = 12;
+  // Real-valued operands in [-1, 1], quantized with symmetric-ish ranges.
+  const auto a_real = RandomVec(static_cast<size_t>(m * k), 8);
+  const auto b_real = RandomVec(static_cast<size_t>(k * n), 9);
+  const QuantParams a_qp = ChooseQuantParams(-1.0f, 1.0f);
+  const QuantParams b_qp = ChooseQuantParams(-1.0f, 1.0f);
+  const QuantParams c_qp = ChooseQuantParams(-6.0f, 6.0f);
+
+  std::vector<uint8_t> a(static_cast<size_t>(m * k)), b(static_cast<size_t>(k * n));
+  for (size_t i = 0; i < a.size(); ++i) a[i] = a_qp.Quantize(a_real[i]);
+  for (size_t i = 0; i < b.size(); ++i) b[i] = b_qp.Quantize(b_real[i]);
+
+  const RequantScale rs =
+      ComputeRequantScale(static_cast<double>(a_qp.scale) * b_qp.scale / c_qp.scale);
+  std::vector<uint8_t> c(static_cast<size_t>(m * n));
+  GemmQU8(a.data(), a_qp.zero_point, b.data(), b_qp.zero_point, c.data(), c_qp.zero_point, rs, m,
+          n, k, nullptr, false);
+
+  // Reference on the *dequantized* operands (so only requantization error
+  // and output rounding remain).
+  std::vector<float> a_dq(a.size()), b_dq(b.size());
+  for (size_t i = 0; i < a.size(); ++i) a_dq[i] = a_qp.Dequantize(a[i]);
+  for (size_t i = 0; i < b.size(); ++i) b_dq[i] = b_qp.Dequantize(b[i]);
+  const auto ref = RefGemm(a_dq, b_dq, m, n, k, nullptr);
+  for (size_t i = 0; i < c.size(); ++i) {
+    const float got = c_qp.Dequantize(c[i]);
+    EXPECT_NEAR(got, ref[i], c_qp.scale * 1.5) << i;
+  }
+}
+
+TEST(GemmQU8Test, BiasIsAppliedInAccumulatorDomain) {
+  const QuantParams a_qp{0.5f, 10};
+  const QuantParams b_qp{0.25f, 20};
+  const QuantParams c_qp{0.5f, 0};
+  const int64_t k = 1;
+  const uint8_t a = 14;  // real 2.0
+  const uint8_t b = 28;  // real 2.0
+  const int32_t bias = 8;  // real: 8 * (0.5*0.25) = 1.0
+  const RequantScale rs = ComputeRequantScale(0.5 * 0.25 / 0.5);
+  uint8_t c = 0;
+  GemmQU8(&a, a_qp.zero_point, &b, b_qp.zero_point, &c, c_qp.zero_point, rs, 1, 1, k, &bias,
+          false);
+  // Expected real output: 2*2 + 1 = 5.0 -> q = 10.
+  EXPECT_EQ(c, 10);
+}
+
+TEST(GemmQU8Test, QuantizedReluClampsAtZeroPoint) {
+  const QuantParams qp{0.1f, 128};
+  const int64_t k = 1;
+  const uint8_t a = 100;  // real -2.8
+  const uint8_t b = 200;  // real  7.2 -> product -20.16
+  const RequantScale rs = ComputeRequantScale(0.1 * 0.1 / 0.1);
+  uint8_t c_no_relu = 0, c_relu = 0;
+  GemmQU8(&a, qp.zero_point, &b, qp.zero_point, &c_no_relu, qp.zero_point, rs, 1, 1, k, nullptr,
+          false);
+  GemmQU8(&a, qp.zero_point, &b, qp.zero_point, &c_relu, qp.zero_point, rs, 1, 1, k, nullptr,
+          true);
+  EXPECT_LT(c_no_relu, 128);  // Negative real value.
+  EXPECT_EQ(c_relu, 128);     // Clamped to quantized zero.
+}
+
+// Property sweep: quantized GEMM error stays bounded across sizes.
+class GemmQU8Property : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmQU8Property, ErrorBounded) {
+  const auto [m, n, k] = GetParam();
+  const auto a_real = RandomVec(static_cast<size_t>(m * k), static_cast<uint64_t>(m * 31 + n));
+  const auto b_real = RandomVec(static_cast<size_t>(k * n), static_cast<uint64_t>(k * 17 + m));
+  const QuantParams a_qp = ChooseQuantParams(-1.0f, 1.0f);
+  const QuantParams b_qp = ChooseQuantParams(-1.0f, 1.0f);
+  const float out_range = static_cast<float>(k) * 0.6f;
+  const QuantParams c_qp = ChooseQuantParams(-out_range, out_range);
+  std::vector<uint8_t> a(a_real.size()), b(b_real.size());
+  for (size_t i = 0; i < a.size(); ++i) a[i] = a_qp.Quantize(a_real[i]);
+  for (size_t i = 0; i < b.size(); ++i) b[i] = b_qp.Quantize(b_real[i]);
+  const RequantScale rs =
+      ComputeRequantScale(static_cast<double>(a_qp.scale) * b_qp.scale / c_qp.scale);
+  std::vector<uint8_t> c(static_cast<size_t>(m) * static_cast<size_t>(n));
+  GemmQU8(a.data(), a_qp.zero_point, b.data(), b_qp.zero_point, c.data(), c_qp.zero_point, rs, m,
+          n, k, nullptr, false);
+  std::vector<float> a_dq(a.size()), b_dq(b.size());
+  for (size_t i = 0; i < a.size(); ++i) a_dq[i] = a_qp.Dequantize(a[i]);
+  for (size_t i = 0; i < b.size(); ++i) b_dq[i] = b_qp.Dequantize(b[i]);
+  const auto ref = RefGemm(a_dq, b_dq, m, n, k, nullptr);
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c_qp.Dequantize(c[i]), ref[i], c_qp.scale * 1.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GemmQU8Property,
+                         ::testing::Values(std::make_tuple(1, 1, 64),
+                                           std::make_tuple(16, 16, 16),
+                                           std::make_tuple(3, 32, 128),
+                                           std::make_tuple(32, 3, 9),
+                                           std::make_tuple(8, 64, 27)));
+
+}  // namespace
+}  // namespace ulayer

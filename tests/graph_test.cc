@@ -1,0 +1,99 @@
+#include "nn/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace ulayer {
+namespace {
+
+TEST(GraphTest, ConvShapeInference) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 3, 224, 224));
+  const int c = g.AddConv("conv1", in, 64, 7, 2, 3, true);
+  EXPECT_EQ(g.node(c).out_shape, Shape(1, 64, 112, 112));
+}
+
+TEST(GraphTest, ValidConvVariants) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 8, 14, 14));
+  EXPECT_EQ(g.node(g.AddConv("a", in, 16, 1, 1, 0, false)).out_shape, Shape(1, 16, 14, 14));
+  EXPECT_EQ(g.node(g.AddConv("b", in, 16, 3, 1, 1, false)).out_shape, Shape(1, 16, 14, 14));
+  EXPECT_EQ(g.node(g.AddConv("c", in, 16, 5, 1, 2, false)).out_shape, Shape(1, 16, 14, 14));
+  EXPECT_EQ(g.node(g.AddConv("d", in, 16, 3, 2, 1, false)).out_shape, Shape(1, 16, 7, 7));
+  EXPECT_EQ(g.node(g.AddConv("e", in, 16, 11, 4, 0, false)).out_shape, Shape(1, 16, 1, 1));
+}
+
+TEST(GraphTest, PoolShapeInferenceIncludingCeil) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 64, 112, 112));
+  const int p1 = g.AddPool("p1", in, PoolKind::kMax, 3, 2, 0, /*ceil_mode=*/true);
+  EXPECT_EQ(g.node(p1).out_shape, Shape(1, 64, 56, 56));
+  const int p2 = g.AddPool("p2", in, PoolKind::kMax, 3, 2, 0, /*ceil_mode=*/false);
+  EXPECT_EQ(g.node(p2).out_shape, Shape(1, 64, 55, 55));
+}
+
+TEST(GraphTest, FullyConnectedSpansInput) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 16, 6, 6));
+  const int fc = g.AddFullyConnected("fc", in, 128, true);
+  const Node& n = g.node(fc);
+  EXPECT_EQ(n.out_shape, Shape(1, 128, 1, 1));
+  EXPECT_EQ(n.desc.conv.kernel_h, 6);
+  EXPECT_EQ(n.desc.conv.kernel_w, 6);
+}
+
+TEST(GraphTest, DepthwisePreservesChannels) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 32, 28, 28));
+  const int dw = g.AddDepthwiseConv("dw", in, 3, 2, 1, true);
+  EXPECT_EQ(g.node(dw).out_shape, Shape(1, 32, 14, 14));
+  EXPECT_EQ(g.node(dw).desc.out_channels, 32);
+}
+
+TEST(GraphTest, ConcatSumsChannels) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 8, 14, 14));
+  const int a = g.AddConv("a", in, 16, 1, 1, 0, true);
+  const int b = g.AddConv("b", in, 24, 1, 1, 0, true);
+  const int c = g.AddConcat("cat", {a, b});
+  EXPECT_EQ(g.node(c).out_shape, Shape(1, 40, 14, 14));
+}
+
+TEST(GraphTest, ConsumersTracksFanOut) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 8, 14, 14));
+  const int a = g.AddConv("a", in, 16, 1, 1, 0, true);
+  const int b = g.AddConv("b", in, 24, 1, 1, 0, true);
+  const int c = g.AddConcat("cat", {a, b});
+  const auto consumers = g.Consumers(in);
+  EXPECT_EQ(consumers.size(), 2u);
+  EXPECT_EQ(g.Consumers(a), std::vector<int>{c});
+  EXPECT_TRUE(g.Consumers(c).empty());
+}
+
+TEST(GraphTest, GlobalAvgPoolAndLrnAndSoftmaxPreserveShape) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 32, 7, 7));
+  const int gap = g.AddGlobalAvgPool("gap", in);
+  EXPECT_EQ(g.node(gap).out_shape, Shape(1, 32, 1, 1));
+  const int lrn = g.AddLrn("lrn", in, LrnParams{});
+  EXPECT_EQ(g.node(lrn).out_shape, g.node(in).out_shape);
+  const int sm = g.AddSoftmax("sm", gap);
+  EXPECT_EQ(g.node(sm).out_shape, g.node(gap).out_shape);
+}
+
+TEST(GraphTest, OutputIdIsLastAppended) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 1, 4, 4));
+  const int c = g.AddConv("c", in, 2, 3, 1, 1, false);
+  EXPECT_EQ(g.OutputId(), c);
+  EXPECT_EQ(g.size(), 2);
+}
+
+TEST(GraphTest, LayerKindNamesAreStable) {
+  EXPECT_EQ(LayerKindName(LayerKind::kConv), "conv");
+  EXPECT_EQ(LayerKindName(LayerKind::kConcat), "concat");
+  EXPECT_EQ(LayerKindName(LayerKind::kDepthwiseConv), "dwconv");
+}
+
+}  // namespace
+}  // namespace ulayer

@@ -1,0 +1,118 @@
+#include "quant/half.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace ulayer {
+namespace {
+
+TEST(HalfTest, ExactSmallIntegers) {
+  // All integers up to 2048 are exactly representable in binary16.
+  for (int i = -2048; i <= 2048; ++i) {
+    EXPECT_EQ(Half(static_cast<float>(i)).ToFloat(), static_cast<float>(i)) << i;
+  }
+}
+
+TEST(HalfTest, KnownBitPatterns) {
+  EXPECT_EQ(Half(0.0f).bits(), 0x0000);
+  EXPECT_EQ(Half(-0.0f).bits(), 0x8000);
+  EXPECT_EQ(Half(1.0f).bits(), 0x3c00);
+  EXPECT_EQ(Half(-1.0f).bits(), 0xbc00);
+  EXPECT_EQ(Half(2.0f).bits(), 0x4000);
+  EXPECT_EQ(Half(0.5f).bits(), 0x3800);
+  EXPECT_EQ(Half(65504.0f).bits(), 0x7bff);  // Largest finite half.
+}
+
+TEST(HalfTest, OverflowSaturatesToInfinity) {
+  EXPECT_EQ(Half(65536.0f).bits(), 0x7c00);
+  EXPECT_EQ(Half(-65536.0f).bits(), 0xfc00);
+  EXPECT_EQ(Half(1e30f).bits(), 0x7c00);
+  // 65520 rounds up to infinity (nearest even at the boundary).
+  EXPECT_EQ(Half(65520.0f).bits(), 0x7c00);
+  // 65519 rounds down to 65504.
+  EXPECT_EQ(Half(65519.0f).bits(), 0x7bff);
+}
+
+TEST(HalfTest, InfinityAndNanPropagate) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(Half(inf).bits(), 0x7c00);
+  EXPECT_EQ(Half(-inf).bits(), 0xfc00);
+  EXPECT_TRUE(std::isinf(Half(inf).ToFloat()));
+  EXPECT_TRUE(std::isnan(Half(std::nanf("")).ToFloat()));
+}
+
+TEST(HalfTest, SubnormalsRoundTrip) {
+  // Smallest positive subnormal: 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(Half(tiny).bits(), 0x0001);
+  EXPECT_EQ(Half(tiny).ToFloat(), tiny);
+  // Largest subnormal: (1023/1024) * 2^-14.
+  const float big_sub = 1023.0f / 1024.0f * std::ldexp(1.0f, -14);
+  EXPECT_EQ(Half(big_sub).bits(), 0x03ff);
+  EXPECT_EQ(Half(big_sub).ToFloat(), big_sub);
+  // Smallest normal: 2^-14.
+  EXPECT_EQ(Half(std::ldexp(1.0f, -14)).bits(), 0x0400);
+}
+
+TEST(HalfTest, BelowHalfSmallestSubnormalRoundsToZero) {
+  const float below = std::ldexp(1.0f, -26);
+  EXPECT_EQ(Half(below).bits(), 0x0000);
+  EXPECT_EQ(Half(-below).bits(), 0x8000);
+}
+
+TEST(HalfTest, RoundToNearestEven) {
+  // 1 + 2^-11 lies exactly between 1.0 and the next half (1 + 2^-10);
+  // ties-to-even picks 1.0 (even mantissa).
+  EXPECT_EQ(Half(1.0f + std::ldexp(1.0f, -11)).bits(), 0x3c00);
+  // (1 + 2^-10) + 2^-11 lies between two halves with an odd lower mantissa;
+  // ties-to-even rounds up.
+  EXPECT_EQ(Half(1.0f + std::ldexp(1.0f, -10) + std::ldexp(1.0f, -11)).bits(), 0x3c02);
+  // Slightly above the midpoint always rounds up.
+  EXPECT_EQ(Half(1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -14)).bits(), 0x3c01);
+}
+
+TEST(HalfTest, RoundTripAllFiniteBitPatterns) {
+  // Property: every finite half converts to float and back bit-exactly.
+  for (uint32_t b = 0; b <= 0xffff; ++b) {
+    const uint16_t bits = static_cast<uint16_t>(b);
+    const uint16_t exp = (bits >> 10) & 0x1f;
+    if (exp == 0x1f) {
+      continue;  // Inf/NaN payloads round-trip by class, not bit pattern.
+    }
+    const Half h = Half::FromBits(bits);
+    const Half back(h.ToFloat());
+    // -0.0 and +0.0 keep their signs.
+    EXPECT_EQ(back.bits(), bits) << "bits=0x" << std::hex << bits;
+  }
+}
+
+TEST(HalfTest, ArithmeticRoundsPerOperation) {
+  // 2048 + 1 is not representable (gap is 2 at that magnitude): result
+  // rounds back to 2048 — classic F16 accumulation behaviour.
+  const Half a(2048.0f);
+  const Half one(1.0f);
+  EXPECT_EQ((a + one).ToFloat(), 2048.0f);
+  // With F32 arithmetic this would be 2049.
+}
+
+TEST(HalfTest, BasicArithmetic) {
+  EXPECT_FLOAT_EQ((Half(1.5f) + Half(2.25f)).ToFloat(), 3.75f);
+  EXPECT_FLOAT_EQ((Half(3.0f) * Half(0.5f)).ToFloat(), 1.5f);
+  EXPECT_FLOAT_EQ((Half(1.0f) / Half(4.0f)).ToFloat(), 0.25f);
+  EXPECT_FLOAT_EQ((Half(1.0f) - Half(3.0f)).ToFloat(), -2.0f);
+  EXPECT_TRUE(Half(-1.0f) < Half(1.0f));
+}
+
+TEST(HalfTest, QuarterPrecisionIsLost) {
+  // 0.1 is inexact in binary16: |half(0.1) - 0.1| within the 2^-11 relative
+  // error bound of the format.
+  const float v = Half(0.1f).ToFloat();
+  EXPECT_NE(v, 0.1f);
+  EXPECT_NEAR(v, 0.1f, 0.1f * (1.0f / 1024.0f));
+}
+
+}  // namespace
+}  // namespace ulayer

@@ -1,0 +1,198 @@
+#include "models/model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reference.h"
+#include "soc/work.h"
+
+namespace ulayer {
+namespace {
+
+TEST(ModelsTest, LeNetShapes) {
+  const Model m = MakeLeNet5();
+  const Graph& g = m.graph;
+  EXPECT_EQ(g.node(g.OutputId()).out_shape, Shape(1, 10, 1, 1));
+}
+
+TEST(ModelsTest, AlexNetShapesAndParams) {
+  const Model m = MakeAlexNet();
+  const Graph& g = m.graph;
+  // conv1: 227 -> (227-11)/4+1 = 55.
+  EXPECT_EQ(g.node(1).out_shape, Shape(1, 96, 55, 55));
+  EXPECT_EQ(g.node(g.OutputId()).out_shape, Shape(1, 1000, 1, 1));
+  // Single-tower AlexNet has ~62.4M parameters (the grouped original: 60.9M).
+  const double params = static_cast<double>(m.ParameterCount());
+  EXPECT_NEAR(params / 1e6, 62.4, 2.0);
+}
+
+TEST(ModelsTest, Vgg16ShapesParamsAndMacs) {
+  const Model m = MakeVgg16();
+  const Graph& g = m.graph;
+  EXPECT_EQ(g.node(g.OutputId()).out_shape, Shape(1, 1000, 1, 1));
+  // VGG-16: ~138M parameters, ~15.5 GMACs at 224x224.
+  EXPECT_NEAR(static_cast<double>(m.ParameterCount()) / 1e6, 138.3, 2.0);
+  EXPECT_NEAR(TotalMacs(g) / 1e9, 15.5, 0.5);
+}
+
+TEST(ModelsTest, GoogLeNetShapesParamsAndMacs) {
+  const Model m = MakeGoogLeNet();
+  const Graph& g = m.graph;
+  EXPECT_EQ(g.node(g.OutputId()).out_shape, Shape(1, 1000, 1, 1));
+  // GoogLeNet: ~7M params, ~1.6 GMACs (with the auxiliary heads removed).
+  EXPECT_NEAR(static_cast<double>(m.ParameterCount()) / 1e6, 7.0, 1.0);
+  EXPECT_NEAR(TotalMacs(g) / 1e9, 1.6, 0.4);
+}
+
+TEST(ModelsTest, SqueezeNetShapesAndParams) {
+  const Model m = MakeSqueezeNetV11();
+  const Graph& g = m.graph;
+  EXPECT_EQ(g.node(g.OutputId()).out_shape, Shape(1, 1000, 1, 1));
+  // SqueezeNet v1.1: ~1.24M parameters ("50x fewer than AlexNet").
+  EXPECT_NEAR(static_cast<double>(m.ParameterCount()) / 1e6, 1.24, 0.15);
+}
+
+TEST(ModelsTest, MobileNetShapesParamsAndMacs) {
+  const Model m = MakeMobileNetV1();
+  const Graph& g = m.graph;
+  EXPECT_EQ(g.node(g.OutputId()).out_shape, Shape(1, 1000, 1, 1));
+  // MobileNet v1 1.0: ~4.2M params, ~569M MACs.
+  EXPECT_NEAR(static_cast<double>(m.ParameterCount()) / 1e6, 4.2, 0.4);
+  EXPECT_NEAR(TotalMacs(g) / 1e9, 0.57, 0.1);
+}
+
+TEST(ModelsTest, ReducedResolutionScalesSpatially) {
+  const Model m = MakeVgg16(1, 64);
+  EXPECT_EQ(m.graph.node(1).out_shape, Shape(1, 64, 64, 64));
+  EXPECT_EQ(m.graph.node(m.graph.OutputId()).out_shape, Shape(1, 1000, 1, 1));
+}
+
+TEST(ModelsTest, MaterializeWeightsCoversParameterizedLayers) {
+  Model m = MakeLeNet5();
+  EXPECT_FALSE(m.has_weights());
+  m.MaterializeWeights();
+  EXPECT_TRUE(m.has_weights());
+  int parameterized = 0;
+  for (const Node& n : m.graph.nodes()) {
+    if (n.desc.kind == LayerKind::kConv || n.desc.kind == LayerKind::kFullyConnected ||
+        n.desc.kind == LayerKind::kDepthwiseConv) {
+      ++parameterized;
+      ASSERT_TRUE(m.weights.contains(n.id)) << n.desc.name;
+      const LayerWeights& w = m.weights.at(n.id);
+      EXPECT_EQ(w.filters.dtype(), DType::kF32);
+      EXPECT_GT(w.filters.NumElements(), 0);
+      EXPECT_EQ(w.bias.NumElements(), n.out_shape.c);
+    }
+  }
+  EXPECT_EQ(parameterized, 5);  // 2 conv + 3 fc.
+}
+
+TEST(ModelsTest, WeightsAreDeterministicPerSeed) {
+  Model a = MakeLeNet5();
+  Model b = MakeLeNet5();
+  a.MaterializeWeights(7);
+  b.MaterializeWeights(7);
+  for (const auto& [id, w] : a.weights) {
+    EXPECT_EQ(MaxAbsDiff(w.filters, b.weights.at(id).filters), 0.0f);
+  }
+  Model c = MakeLeNet5();
+  c.MaterializeWeights(8);
+  EXPECT_GT(MaxAbsDiff(a.weights.begin()->second.filters,
+                       c.weights.at(a.weights.begin()->first).filters),
+            0.0f);
+}
+
+TEST(ModelsTest, EvaluationSetMatchesTable1) {
+  const std::vector<Model> models = MakeEvaluationModels();
+  ASSERT_EQ(models.size(), 5u);
+  EXPECT_EQ(models[0].name, "GoogLeNet");
+  EXPECT_EQ(models[1].name, "SqueezeNet-v1.1");
+  EXPECT_EQ(models[2].name, "VGG-16");
+  EXPECT_EQ(models[3].name, "AlexNet");
+  EXPECT_EQ(models[4].name, "MobileNet-v1");
+}
+
+TEST(ModelsTest, DepthwiseWeightShape) {
+  Model m = MakeMobileNetV1(1, 32);
+  m.MaterializeWeights();
+  for (const Node& n : m.graph.nodes()) {
+    if (n.desc.kind == LayerKind::kDepthwiseConv) {
+      const Tensor& f = m.weights.at(n.id).filters;
+      const Shape& in = m.graph.node(n.inputs[0]).out_shape;
+      EXPECT_EQ(f.shape(), Shape(in.c, 1, 3, 3)) << n.desc.name;
+    }
+  }
+}
+
+
+TEST(ModelsTest, ResNet18ShapesParamsAndMacs) {
+  const Model m = MakeResNet18();
+  EXPECT_EQ(m.graph.node(m.graph.OutputId()).out_shape, Shape(1, 1000, 1, 1));
+  // ResNet-18: ~11.7M params, ~1.8 GMACs.
+  EXPECT_NEAR(static_cast<double>(m.ParameterCount()) / 1e6, 11.7, 1.0);
+  EXPECT_NEAR(TotalMacs(m.graph) / 1e9, 1.8, 0.3);
+}
+
+TEST(ModelsTest, ResNet50ShapesParamsAndMacs) {
+  const Model m = MakeResNet50();
+  EXPECT_EQ(m.graph.node(m.graph.OutputId()).out_shape, Shape(1, 1000, 1, 1));
+  // ResNet-50: ~25.6M params, ~3.9 GMACs.
+  EXPECT_NEAR(static_cast<double>(m.ParameterCount()) / 1e6, 25.6, 1.5);
+  EXPECT_NEAR(TotalMacs(m.graph) / 1e9, 3.9, 0.5);
+}
+
+TEST(ModelsTest, ResNetFunctionalForwardRuns) {
+  Model m = MakeResNet18(1, 32);
+  m.MaterializeWeights();
+  Tensor in(Shape(1, 3, 32, 32), DType::kF32);
+  FillUniform(in, 77, -1.0f, 1.0f);
+  const auto act = ForwardF32(m, in);
+  const Tensor& probs = act.back();
+  float sum = 0.0f;
+  for (int64_t i = 0; i < probs.NumElements(); ++i) {
+    sum += probs.Data<float>()[i];
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+}
+
+
+TEST(ModelsTest, InceptionV3ShapesParamsAndMacs) {
+  const Model m = MakeInceptionV3();
+  EXPECT_EQ(m.graph.node(m.graph.OutputId()).out_shape, Shape(1, 1000, 1, 1));
+  // Inception-v3: ~23.8M params, ~5.7 G multiply-adds at 299x299
+  // (Szegedy et al. report "about 5 billion multiply-adds").
+  EXPECT_NEAR(static_cast<double>(m.ParameterCount()) / 1e6, 23.8, 2.0);
+  EXPECT_NEAR(TotalMacs(m.graph) / 1e9, 5.7, 0.7);
+}
+
+TEST(ModelsTest, InceptionV3UsesRectangularKernels) {
+  const Model m = MakeInceptionV3();
+  int rect = 0;
+  for (const Node& n : m.graph.nodes()) {
+    if (n.desc.kind == LayerKind::kConv &&
+        n.desc.conv.kernel_h != n.desc.conv.kernel_w) {
+      ++rect;
+      // Same-padding invariant: rectangular kernels preserve spatial size.
+      const Shape& in = m.graph.node(n.inputs[0]).out_shape;
+      EXPECT_EQ(n.out_shape.h, in.h) << n.desc.name;
+      EXPECT_EQ(n.out_shape.w, in.w) << n.desc.name;
+    }
+  }
+  EXPECT_GT(rect, 15) << "factorized 1x7/7x1/1x3/3x1 convolutions expected";
+}
+
+TEST(ModelsTest, InceptionV3RectConvFunctionalForward) {
+  // Small-resolution functional pass through the rectangular-kernel layers.
+  Model m = MakeInceptionV3(1, 75);
+  m.MaterializeWeights();
+  Tensor in(Shape(1, 3, 75, 75), DType::kF32);
+  FillUniform(in, 42, -1.0f, 1.0f);
+  const auto act = ForwardF32(m, in);
+  float sum = 0.0f;
+  for (int64_t i = 0; i < act.back().NumElements(); ++i) {
+    sum += act.back().Data<float>()[i];
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+}
+
+}  // namespace
+}  // namespace ulayer

@@ -1,0 +1,186 @@
+#include "core/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/executor.h"
+#include "models/model.h"
+
+namespace ulayer {
+namespace {
+
+struct Fixture {
+  Model model;
+  SocSpec soc;
+  TimingModel timing;
+  ExecConfig config;
+  LatencyPredictor predictor;
+
+  Fixture(Model m, SocSpec s, ExecConfig c)
+      : model(std::move(m)),
+        soc(std::move(s)),
+        timing(soc),
+        config(c),
+        predictor(timing, config, {&model.graph}) {}
+};
+
+TEST(PartitionerTest, CooperativePlanSplitsBigConvLayers) {
+  Fixture f(MakeVgg16(), MakeExynos7420(), ExecConfig::ProcessorFriendly());
+  Partitioner::Options opts;
+  opts.branch_distribution = false;
+  const Plan plan =
+      Partitioner(f.model.graph, f.timing, f.config, f.predictor, opts).Build();
+  // VGG-16's large conv layers should be worth splitting on the high-end SoC
+  // where CPU-QUInt8 and GPU-F16 throughput are close.
+  int coop = 0;
+  for (const Node& n : f.model.graph.nodes()) {
+    if (n.desc.kind == LayerKind::kConv &&
+        plan.nodes[static_cast<size_t>(n.id)].kind == StepKind::kCooperative) {
+      ++coop;
+    }
+  }
+  EXPECT_GT(coop, 5) << "expected most VGG conv layers to be split";
+}
+
+TEST(PartitionerTest, LayerToProcessorModeNeverSplits) {
+  Fixture f(MakeGoogLeNet(), MakeExynos7420(), ExecConfig::AllQU8());
+  Partitioner::Options opts;
+  opts.channel_distribution = false;
+  opts.branch_distribution = false;
+  const Plan plan =
+      Partitioner(f.model.graph, f.timing, f.config, f.predictor, opts).Build();
+  for (const NodeAssignment& a : plan.nodes) {
+    EXPECT_NE(a.kind, StepKind::kCooperative);
+  }
+  EXPECT_TRUE(plan.branch_plans.empty());
+}
+
+TEST(PartitionerTest, SplitCandidatesAreRespected) {
+  Fixture f(MakeVgg16(), MakeExynos7420(), ExecConfig::ProcessorFriendly());
+  const Plan plan = Partitioner(f.model.graph, f.timing, f.config, f.predictor).Build();
+  for (const NodeAssignment& a : plan.nodes) {
+    if (a.kind == StepKind::kCooperative) {
+      EXPECT_TRUE(a.cpu_fraction == 0.25 || a.cpu_fraction == 0.5 || a.cpu_fraction == 0.75)
+          << a.cpu_fraction;
+    }
+  }
+}
+
+TEST(PartitionerTest, BranchDistributionCoversInceptionModules) {
+  Fixture f(MakeGoogLeNet(), MakeExynos7420(), ExecConfig::ProcessorFriendly());
+  const Plan plan = Partitioner(f.model.graph, f.timing, f.config, f.predictor).Build();
+  // GoogLeNet has 9 Inception modules; branch distribution should claim
+  // (most of) them — the paper's Figure 17 shows Br.Dist contributing.
+  EXPECT_GE(plan.branch_plans.size(), 5u);
+  for (const BranchPlan& bp : plan.branch_plans) {
+    EXPECT_EQ(bp.assignment.size(), bp.group.branches.size());
+    // A useful branch mapping uses both processors.
+    bool cpu = false, gpu = false;
+    for (ProcKind p : bp.assignment) {
+      (p == ProcKind::kCpu ? cpu : gpu) = true;
+    }
+    EXPECT_TRUE(cpu && gpu) << "mapping should parallelize across processors";
+  }
+}
+
+TEST(PartitionerTest, BranchNodesAreNeverAlsoSplit) {
+  Fixture f(MakeSqueezeNetV11(), MakeExynos7880(), ExecConfig::ProcessorFriendly());
+  const Plan plan = Partitioner(f.model.graph, f.timing, f.config, f.predictor).Build();
+  for (const BranchPlan& bp : plan.branch_plans) {
+    for (const auto& branch : bp.group.branches) {
+      for (int id : branch) {
+        EXPECT_EQ(plan.nodes[static_cast<size_t>(id)].kind, StepKind::kBranch);
+      }
+    }
+  }
+}
+
+TEST(PartitionerTest, EstimateBranchGroupPrefersBalancedMappings) {
+  Fixture f(MakeGoogLeNet(), MakeExynos7420(), ExecConfig::ProcessorFriendly());
+  Partitioner part(f.model.graph, f.timing, f.config, f.predictor);
+  const auto groups = FindBranchGroups(f.model.graph);
+  ASSERT_FALSE(groups.empty());
+  const BranchGroup& bg = groups[0];
+  // All-CPU mapping must cost at least as much as the best mixed mapping.
+  const std::vector<ProcKind> all_cpu(bg.branches.size(), ProcKind::kCpu);
+  double best_mixed = std::numeric_limits<double>::infinity();
+  for (uint32_t mask = 1; mask + 1 < (1u << bg.branches.size()); ++mask) {
+    std::vector<ProcKind> a(bg.branches.size());
+    for (size_t b = 0; b < a.size(); ++b) {
+      a[b] = (mask >> b) & 1 ? ProcKind::kGpu : ProcKind::kCpu;
+    }
+    best_mixed = std::min(best_mixed, part.EstimateBranchGroupUs(bg, a));
+  }
+  EXPECT_LT(best_mixed, part.EstimateBranchGroupUs(bg, all_cpu));
+}
+
+TEST(PartitionerTest, ConcatAndSoftmaxStaySingle) {
+  Fixture f(MakeGoogLeNet(), MakeExynos7420(), ExecConfig::ProcessorFriendly());
+  const Plan plan = Partitioner(f.model.graph, f.timing, f.config, f.predictor).Build();
+  for (const Node& n : f.model.graph.nodes()) {
+    if (n.desc.kind == LayerKind::kConcat || n.desc.kind == LayerKind::kSoftmax) {
+      EXPECT_NE(plan.nodes[static_cast<size_t>(n.id)].kind, StepKind::kCooperative)
+          << n.desc.name;
+    }
+  }
+}
+
+TEST(PartitionerTest, OracleModeMatchesPredictorModeShape) {
+  Fixture f(MakeAlexNet(), MakeExynos7420(), ExecConfig::ProcessorFriendly());
+  Partitioner::Options oracle;
+  oracle.use_oracle = true;
+  const Plan p1 = Partitioner(f.model.graph, f.timing, f.config, f.predictor).Build();
+  const Plan p2 = Partitioner(f.model.graph, f.timing, f.config, f.predictor, oracle).Build();
+  EXPECT_EQ(p1.nodes.size(), p2.nodes.size());
+  // Both should split a decent share of the big conv layers.
+  EXPECT_GT(p2.CooperativeFraction(), 0.2);
+}
+
+
+TEST(PartitionerTest, EnergyObjectiveTradesLatencyForEnergy) {
+  // Energy-objective plans must not consume more energy than latency-
+  // objective plans (measured by the executor), across the zoo.
+  for (const Model& m : MakeEvaluationModels()) {
+    const SocSpec soc = MakeExynos7420();
+    const ExecConfig cfg = ExecConfig::ProcessorFriendly();
+    const TimingModel tm(soc);
+    const LatencyPredictor pred(tm, cfg, {&m.graph});
+
+    Partitioner::Options lat_opts;
+    Partitioner::Options energy_opts;
+    energy_opts.objective = Partitioner::Objective::kEnergy;
+
+    PreparedModel pm(m, cfg);
+    Executor ex(pm, soc);
+    const RunResult r_lat = ex.Run(Partitioner(m.graph, tm, cfg, pred, lat_opts).Build());
+    const RunResult r_energy = ex.Run(Partitioner(m.graph, tm, cfg, pred, energy_opts).Build());
+    EXPECT_LE(r_energy.total_energy_mj, r_lat.total_energy_mj * 1.02) << m.name;
+    // And the latency objective must not lose on latency.
+    EXPECT_LE(r_lat.latency_us, r_energy.latency_us * 1.02) << m.name;
+  }
+}
+
+TEST(PartitionerTest, EdpObjectiveSitsBetweenExtremes) {
+  const Model m = MakeVgg16();
+  const SocSpec soc = MakeExynos7880();
+  const ExecConfig cfg = ExecConfig::ProcessorFriendly();
+  const TimingModel tm(soc);
+  const LatencyPredictor pred(tm, cfg, {&m.graph});
+  PreparedModel pm(m, cfg);
+  Executor ex(pm, soc);
+
+  auto run_with = [&](Partitioner::Objective obj) {
+    Partitioner::Options o;
+    o.objective = obj;
+    return ex.Run(Partitioner(m.graph, tm, cfg, pred, o).Build());
+  };
+  const RunResult lat = run_with(Partitioner::Objective::kLatency);
+  const RunResult edp = run_with(Partitioner::Objective::kEdp);
+  const RunResult nrg = run_with(Partitioner::Objective::kEnergy);
+  // EDP's product metric must be no worse than either extreme's product.
+  const double edp_val = edp.latency_us * edp.total_energy_mj;
+  EXPECT_LE(edp_val, lat.latency_us * lat.total_energy_mj * 1.02);
+  EXPECT_LE(edp_val, nrg.latency_us * nrg.total_energy_mj * 1.02);
+}
+
+}  // namespace
+}  // namespace ulayer

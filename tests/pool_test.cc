@@ -1,0 +1,152 @@
+#include "kernels/pool.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "quant/quantize.h"
+#include "tensor/rng.h"
+
+namespace ulayer {
+namespace {
+
+TEST(PoolParamsTest, OutputSizes) {
+  Pool2DParams p;
+  p.kernel_h = p.kernel_w = 3;
+  p.stride_h = p.stride_w = 2;
+  EXPECT_EQ(p.OutH(13), 6);  // floor((13-3)/2)+1
+  p.ceil_mode = true;
+  EXPECT_EQ(p.OutH(13), 6);  // exact here
+  EXPECT_EQ(p.OutH(14), 7);  // ceil((14-3)/2)+1 = 7 vs floor = 6
+  p.ceil_mode = false;
+  EXPECT_EQ(p.OutH(14), 6);
+}
+
+TEST(MaxPoolF32Test, PicksWindowMaxima) {
+  Tensor in(Shape(1, 1, 4, 4), DType::kF32);
+  for (int i = 0; i < 16; ++i) {
+    in.Data<float>()[i] = static_cast<float>(i);
+  }
+  Pool2DParams p;  // 2x2 stride 2 max.
+  Tensor out(Shape(1, 1, 2, 2), DType::kF32);
+  Pool2DF32(in, p, out);
+  EXPECT_FLOAT_EQ(out.Data<float>()[0], 5.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[1], 7.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[2], 13.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[3], 15.0f);
+}
+
+TEST(AvgPoolF32Test, AveragesInBoundsOnly) {
+  // 3x3 avg with pad 1: corner windows see only 4 in-bounds elements.
+  Tensor in(Shape(1, 1, 3, 3), DType::kF32);
+  for (int i = 0; i < 9; ++i) {
+    in.Data<float>()[i] = 1.0f;
+  }
+  Pool2DParams p;
+  p.kind = PoolKind::kAvg;
+  p.kernel_h = p.kernel_w = 3;
+  p.stride_h = p.stride_w = 1;
+  p.pad_h = p.pad_w = 1;
+  Tensor out(Shape(1, 1, 3, 3), DType::kF32);
+  Pool2DF32(in, p, out);
+  // All-ones input: in-bounds average is exactly 1 regardless of count.
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_FLOAT_EQ(out.Data<float>()[i], 1.0f);
+  }
+}
+
+TEST(PoolTest, ChannelSlicesComposeExactly) {
+  Tensor in(Shape(1, 6, 8, 8), DType::kF32);
+  FillUniform(in, 31);
+  Pool2DParams p;
+  p.kernel_h = p.kernel_w = 3;
+  p.stride_h = p.stride_w = 2;
+  Tensor full(Shape(1, 6, 3, 3), DType::kF32);
+  Pool2DF32(in, p, full);
+  Tensor split_out(Shape(1, 6, 3, 3), DType::kF32);
+  Pool2DF32(in, p, split_out, 0, 2);
+  Pool2DF32(in, p, split_out, 2, 6);
+  EXPECT_EQ(MaxAbsDiff(full, split_out), 0.0f);
+}
+
+TEST(PoolQU8Test, MaxPoolOperatesOnCodesDirectly) {
+  // Max pooling commutes with the (monotonic) affine map: pooling the codes
+  // then dequantizing equals dequantizing then pooling.
+  Tensor in(Shape(1, 2, 4, 4), DType::kF32);
+  FillUniform(in, 32, -1.0f, 1.0f);
+  const Tensor in_q = QuantizeTensor(in, ChooseQuantParams(-1.0f, 1.0f));
+  Pool2DParams p;
+  Tensor out_q(Shape(1, 2, 2, 2), DType::kQUInt8);
+  Pool2DQU8(in_q, p, out_q);
+  EXPECT_FLOAT_EQ(out_q.scale(), in_q.scale());
+
+  const Tensor in_dq = DequantizeTensor(in_q);
+  Tensor ref(Shape(1, 2, 2, 2), DType::kF32);
+  Pool2DF32(in_dq, p, ref);
+  const Tensor out = DequantizeTensor(out_q);
+  EXPECT_EQ(MaxAbsDiff(out, ref), 0.0f);
+}
+
+TEST(PoolQU8Test, AvgPoolRoundsInIntegerDomain) {
+  Tensor in_q(Shape(1, 1, 2, 2), DType::kQUInt8);
+  in_q.set_quant_params(1.0f, 0);
+  in_q.Data<uint8_t>()[0] = 1;
+  in_q.Data<uint8_t>()[1] = 2;
+  in_q.Data<uint8_t>()[2] = 2;
+  in_q.Data<uint8_t>()[3] = 2;
+  Pool2DParams p;
+  p.kind = PoolKind::kAvg;
+  Tensor out(Shape(1, 1, 1, 1), DType::kQUInt8);
+  Pool2DQU8(in_q, p, out);
+  // (1+2+2+2)/4 = 1.75 -> rounds to 2.
+  EXPECT_EQ(out.Data<uint8_t>()[0], 2);
+}
+
+TEST(GlobalAvgPoolTest, AllDtypesAgree) {
+  Tensor in(Shape(1, 3, 7, 7), DType::kF32);
+  FillUniform(in, 33, 0.0f, 1.0f);
+  Tensor out_f32(Shape(1, 3, 1, 1), DType::kF32);
+  GlobalAvgPoolF32(in, out_f32);
+
+  Tensor out_f16(Shape(1, 3, 1, 1), DType::kF16);
+  GlobalAvgPoolF16(ToF16Tensor(in), out_f16);
+  const Tensor f16_as_f32 = F16ToF32Tensor(out_f16);
+
+  const Tensor in_q = QuantizeTensor(in, ChooseQuantParams(0.0f, 1.0f));
+  Tensor out_q(Shape(1, 3, 1, 1), DType::kQUInt8);
+  GlobalAvgPoolQU8(in_q, out_q);
+  const Tensor q_as_f32 = DequantizeTensor(out_q);
+
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(f16_as_f32.Data<float>()[i], out_f32.Data<float>()[i], 0.05f);
+    EXPECT_NEAR(q_as_f32.Data<float>()[i], out_f32.Data<float>()[i], 0.01f);
+  }
+}
+
+TEST(GlobalAvgPoolTest, ChannelSlicesCompose) {
+  Tensor in(Shape(1, 5, 6, 6), DType::kF32);
+  FillUniform(in, 34);
+  Tensor full(Shape(1, 5, 1, 1), DType::kF32);
+  GlobalAvgPoolF32(in, full);
+  Tensor split_out(Shape(1, 5, 1, 1), DType::kF32);
+  GlobalAvgPoolF32(in, split_out, 0, 3);
+  GlobalAvgPoolF32(in, split_out, 3, 5);
+  EXPECT_EQ(MaxAbsDiff(full, split_out), 0.0f);
+}
+
+TEST(PoolTest, CeilModeCoversTrailingWindow) {
+  // 7 -> ceil((7-3)/2)+1 = 3 outputs; the last window starts at 4 and is
+  // clipped to in-bounds elements.
+  Tensor in(Shape(1, 1, 7, 7), DType::kF32);
+  FillUniform(in, 35);
+  Pool2DParams p;
+  p.kernel_h = p.kernel_w = 3;
+  p.stride_h = p.stride_w = 2;
+  p.ceil_mode = true;
+  EXPECT_EQ(p.OutH(7), 3);
+  Tensor out(Shape(1, 1, 3, 3), DType::kF32);
+  Pool2DF32(in, p, out);  // Must not read out of bounds (asan-checked).
+}
+
+}  // namespace
+}  // namespace ulayer

@@ -1,0 +1,92 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "models/model.h"
+
+namespace ulayer {
+namespace {
+
+TEST(PredictorTest, FitsConvLayersWithin30Percent) {
+  const Model m = MakeVgg16();
+  const TimingModel tm(MakeExynos7420());
+  const LatencyPredictor pred(tm, ExecConfig::AllF32(), {&m.graph});
+  const auto fid = pred.Evaluate(m.graph);
+  EXPECT_GT(fid.samples, 0);
+  EXPECT_LT(fid.mean_abs_rel_err, 0.30) << "Neurosurgeon-style fit degraded";
+}
+
+TEST(PredictorTest, PredictsMonotonicInFraction) {
+  const Model m = MakeVgg16();
+  const TimingModel tm(MakeExynos7420());
+  const LatencyPredictor pred(tm, ExecConfig::ProcessorFriendly(), {&m.graph});
+  // A mid-network conv layer.
+  const Node* conv = nullptr;
+  for (const Node& n : m.graph.nodes()) {
+    if (n.desc.kind == LayerKind::kConv && n.out_shape.c == 256) {
+      conv = &n;
+      break;
+    }
+  }
+  ASSERT_NE(conv, nullptr);
+  double prev = 0.0;
+  for (const double f : {0.25, 0.5, 0.75, 1.0}) {
+    const double t = pred.PredictUs(m.graph, *conv, ProcKind::kCpu, f);
+    EXPECT_GT(t, prev) << "latency must grow with the channel fraction";
+    prev = t;
+  }
+}
+
+TEST(PredictorTest, ZeroFractionIsFree) {
+  const Model m = MakeLeNet5();
+  const TimingModel tm(MakeExynos7420());
+  const LatencyPredictor pred(tm, ExecConfig::AllF32(), {&m.graph});
+  EXPECT_DOUBLE_EQ(pred.PredictUs(m.graph, m.graph.node(1), ProcKind::kCpu, 0.0), 0.0);
+}
+
+TEST(PredictorTest, ReflectsProcessorPreferences) {
+  // Under processor-friendly quantization the predictor must know that the
+  // CPU (QUInt8) and GPU (F16) have different speeds per layer.
+  const Model m = MakeVgg16();
+  const SocSpec soc = MakeExynos7880();
+  const TimingModel tm(soc);
+  const LatencyPredictor pred(tm, ExecConfig::ProcessorFriendly(), {&m.graph});
+  // On the mid-range SoC the CPU should win big conv layers under QUInt8.
+  const Node& conv = m.graph.node(1);
+  const double cpu = pred.PredictUs(m.graph, conv, ProcKind::kCpu);
+  const double gpu = pred.PredictUs(m.graph, conv, ProcKind::kGpu);
+  EXPECT_GT(gpu, 0.0);
+  EXPECT_GT(cpu, 0.0);
+}
+
+TEST(PredictorTest, GeneralizesAcrossNetworks) {
+  // Train on VGG-16 + AlexNet, evaluate on GoogLeNet: error stays bounded.
+  const Model vgg = MakeVgg16();
+  const Model alex = MakeAlexNet();
+  const Model goog = MakeGoogLeNet();
+  const TimingModel tm(MakeExynos7420());
+  const LatencyPredictor pred(tm, ExecConfig::AllQU8(), {&vgg.graph, &alex.graph});
+  const auto fid = pred.Evaluate(goog.graph);
+  EXPECT_LT(fid.mean_abs_rel_err, 0.6);
+}
+
+TEST(PredictorTest, UnseenKindFallsBackToMeasurement) {
+  // Train only on a conv-free graph; predicting a conv must still work (the
+  // fallback queries the timing model directly).
+  Graph train;
+  const int tin = train.AddInput(Shape(1, 8, 8, 8));
+  train.AddPool("p", tin, PoolKind::kMax, 2, 2);
+
+  Graph g;
+  const int in = g.AddInput(Shape(1, 8, 8, 8));
+  const int c = g.AddConv("c", in, 8, 3, 1, 1, true);
+
+  const TimingModel tm(MakeExynos7420());
+  const LatencyPredictor pred(tm, ExecConfig::AllF32(), {&train});
+  const double t = pred.PredictUs(g, g.node(c), ProcKind::kCpu);
+  const LayerWork w = ComputeWork(g, g.node(c), DType::kF32);
+  EXPECT_DOUBLE_EQ(t, tm.KernelLatencyUs(w, ProcKind::kCpu, DType::kF32));
+}
+
+}  // namespace
+}  // namespace ulayer

@@ -1,0 +1,153 @@
+#include "core/prepared.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reference.h"
+#include "tensor/rng.h"
+
+namespace ulayer {
+namespace {
+
+std::vector<Tensor> MakeInputs(const Shape& shape, int count, uint64_t seed) {
+  std::vector<Tensor> v;
+  for (int i = 0; i < count; ++i) {
+    Tensor t(shape, DType::kF32);
+    FillUniform(t, seed + static_cast<uint64_t>(i), -1.0f, 1.0f);
+    v.push_back(std::move(t));
+  }
+  return v;
+}
+
+TEST(ReferenceTest, ForwardF32ProducesProbabilities) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  Tensor in(Shape(1, 1, 28, 28), DType::kF32);
+  FillUniform(in, 1, 0.0f, 1.0f);
+  const auto act = ForwardF32(m, in);
+  const Tensor& probs = act.back();
+  EXPECT_EQ(probs.shape(), Shape(1, 10, 1, 1));
+  float sum = 0.0f;
+  for (int i = 0; i < 10; ++i) {
+    const float p = probs.Data<float>()[i];
+    EXPECT_GE(p, 0.0f);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(ReferenceTest, ArgmaxAndTopK) {
+  Tensor t(Shape(1, 5, 1, 1), DType::kF32);
+  const float vals[] = {0.1f, 0.5f, 0.05f, 0.3f, 0.05f};
+  for (int i = 0; i < 5; ++i) {
+    t.Data<float>()[i] = vals[i];
+  }
+  EXPECT_EQ(Argmax(t), 1);
+  const auto top3 = TopK(t, 3);
+  EXPECT_EQ(top3, (std::vector<int64_t>{1, 3, 0}));
+}
+
+TEST(PreparedTest, F32ModeKeepsWeightsIntact) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  const PreparedModel pm(m, ExecConfig::AllF32());
+  for (const auto& [id, w] : m.weights) {
+    EXPECT_EQ(MaxAbsDiff(pm.Filters(id), w.filters), 0.0f);
+  }
+}
+
+TEST(PreparedTest, F16ModeConvertsWeights) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  const PreparedModel pm(m, ExecConfig::AllF16());
+  const int id = m.weights.begin()->first;
+  EXPECT_EQ(pm.Filters(id).dtype(), DType::kF16);
+  const Tensor back = F16ToF32Tensor(pm.Filters(id));
+  EXPECT_LT(MaxAbsDiff(back, m.weights.at(id).filters), 0.01f);
+}
+
+TEST(PreparedTest, QU8ModeQuantizesWeightsPerLayer) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  const PreparedModel pm(m, ExecConfig::AllQU8());
+  for (const auto& [id, w] : m.weights) {
+    const Tensor& q = pm.Filters(id);
+    EXPECT_EQ(q.dtype(), DType::kQUInt8);
+    // Round trip within half a scale step.
+    const Tensor back = DequantizeTensor(q);
+    EXPECT_LE(MaxAbsDiff(back, w.filters), q.scale() * 0.5f + 1e-6f);
+  }
+}
+
+TEST(PreparedTest, CalibrationSetsActivationRangesAndBiases) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  PreparedModel pm(m, ExecConfig::ProcessorFriendly());
+  EXPECT_FALSE(pm.calibrated());
+  pm.Calibrate(MakeInputs(Shape(1, 1, 28, 28), 4, 77));
+  EXPECT_TRUE(pm.calibrated());
+  // Every conv/fc node now has a usable activation range and an int32 bias.
+  for (const Node& n : m.graph.nodes()) {
+    if (n.desc.kind == LayerKind::kConv || n.desc.kind == LayerKind::kFullyConnected) {
+      EXPECT_GT(pm.ActivationParams(n.id).scale, 0.0f) << n.desc.name;
+      EXPECT_EQ(pm.BiasI32(n.id).dtype(), DType::kInt32);
+      EXPECT_EQ(pm.BiasI32(n.id).NumElements(), n.out_shape.c);
+    }
+  }
+}
+
+TEST(PreparedTest, CalibratedRangesCoverObservedActivations) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  PreparedModel pm(m, ExecConfig::ProcessorFriendly());
+  const auto inputs = MakeInputs(Shape(1, 1, 28, 28), 3, 5);
+  pm.Calibrate(inputs);
+  // Re-run the reference on a calibration input: every activation must fall
+  // inside the calibrated [min, max] of its node.
+  const auto act = ForwardF32(m, inputs[0]);
+  for (const Node& n : m.graph.nodes()) {
+    if (n.desc.kind == LayerKind::kSoftmax || n.desc.kind == LayerKind::kInput) {
+      continue;
+    }
+    const QuantParams qp = pm.ActivationParams(n.id);
+    const Tensor& a = act[static_cast<size_t>(n.id)];
+    for (int64_t i = 0; i < a.NumElements(); ++i) {
+      const float v = a.Data<float>()[i];
+      const float lo = qp.Dequantize(0);
+      const float hi = qp.Dequantize(255);
+      EXPECT_GE(v, lo - qp.scale);
+      EXPECT_LE(v, hi + qp.scale);
+    }
+  }
+}
+
+TEST(PreparedTest, MakeActivationUsesStorageDtype) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  PreparedModel pm(m, ExecConfig::ProcessorFriendly());
+  pm.Calibrate(MakeInputs(Shape(1, 1, 28, 28), 1, 9));
+  const Graph& g = m.graph;
+  for (const Node& n : g.nodes()) {
+    const Tensor t = pm.MakeActivation(n.id);
+    if (n.desc.kind == LayerKind::kSoftmax) {
+      EXPECT_EQ(t.dtype(), DType::kF32);
+    } else {
+      EXPECT_EQ(t.dtype(), DType::kQUInt8);
+    }
+    EXPECT_EQ(t.shape(), n.out_shape);
+  }
+}
+
+TEST(PreparedTest, PrepareInputQuantizesWithInputParams) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  PreparedModel pm(m, ExecConfig::ProcessorFriendly());
+  const auto inputs = MakeInputs(Shape(1, 1, 28, 28), 2, 13);
+  pm.Calibrate(inputs);
+  const Tensor q = pm.PrepareInput(inputs[0]);
+  EXPECT_EQ(q.dtype(), DType::kQUInt8);
+  const Tensor back = DequantizeTensor(q);
+  EXPECT_LT(MaxAbsDiff(back, inputs[0]), q.scale());
+}
+
+}  // namespace
+}  // namespace ulayer

@@ -1,0 +1,135 @@
+#include "soc/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "models/model.h"
+#include "soc/timing.h"
+#include "soc/work.h"
+
+namespace ulayer {
+namespace {
+
+TEST(SpecTest, PresetsEncodeThePapersBalances) {
+  const SocSpec he = MakeExynos7420();
+  // High-end: GPU ~1.40x the CPU at F32 (paper Figure 5a).
+  EXPECT_NEAR(he.gpu.gmacs_f32 / he.cpu.gmacs_f32, 1.40, 0.05);
+  // CPU gains from QUInt8, not from F16 (Figure 8).
+  EXPECT_GT(he.cpu.gmacs_qu8, 2.0 * he.cpu.gmacs_f32);
+  EXPECT_DOUBLE_EQ(he.cpu.gmacs_f16, he.cpu.gmacs_f32);
+  // GPU gains from F16; QUInt8 is worse than F16 on the GPU.
+  EXPECT_GT(he.gpu.gmacs_f16, 1.3 * he.gpu.gmacs_f32);
+  EXPECT_LT(he.gpu.gmacs_qu8, he.gpu.gmacs_f16);
+
+  const SocSpec mr = MakeExynos7880();
+  // Mid-range: the CPU beats the GPU at F32 (Figure 5b: 26.1% lower latency).
+  EXPECT_LT(mr.gpu.gmacs_f32, mr.cpu.gmacs_f32);
+  EXPECT_NEAR(mr.gpu.gmacs_f32 / mr.cpu.gmacs_f32, 0.74, 0.05);
+}
+
+TEST(WorkTest, ConvWorkCountsMacsAndSharedInput) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 16, 28, 28));
+  const int c = g.AddConv("c", in, 32, 3, 1, 1, true);
+  const LayerWork full = ComputeWork(g, g.node(c), DType::kF32);
+  // MACs = oc*oh*ow*ic*k*k = 32*28*28*16*9.
+  EXPECT_DOUBLE_EQ(full.macs, 32.0 * 28 * 28 * 16 * 9);
+  EXPECT_DOUBLE_EQ(full.input_bytes, 16.0 * 28 * 28 * 4);
+  EXPECT_DOUBLE_EQ(full.weight_bytes, 32.0 * 16 * 9 * 4);
+  EXPECT_DOUBLE_EQ(full.output_bytes, 32.0 * 28 * 28 * 4);
+
+  // Half the channels: half the MACs/weights/outputs but the FULL input
+  // (filters extend through all input channels, Figure 7a).
+  const LayerWork half = ComputeWork(g, g.node(c), DType::kF32, 0, 16);
+  EXPECT_DOUBLE_EQ(half.macs, full.macs / 2);
+  EXPECT_DOUBLE_EQ(half.weight_bytes, full.weight_bytes / 2);
+  EXPECT_DOUBLE_EQ(half.output_bytes, full.output_bytes / 2);
+  EXPECT_DOUBLE_EQ(half.input_bytes, full.input_bytes);
+}
+
+TEST(WorkTest, PoolSliceScalesInputToo) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 16, 28, 28));
+  const int p = g.AddPool("p", in, PoolKind::kMax, 2, 2);
+  const LayerWork full = ComputeWork(g, g.node(p), DType::kF32);
+  const LayerWork half = ComputeWork(g, g.node(p), DType::kF32, 0, 8);
+  // Pooling distributes the input channel-wise (Figure 7b).
+  EXPECT_DOUBLE_EQ(half.input_bytes, full.input_bytes / 2);
+  EXPECT_DOUBLE_EQ(half.macs, full.macs / 2);
+}
+
+TEST(WorkTest, QU8StorageQuartersTraffic) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 16, 28, 28));
+  const int c = g.AddConv("c", in, 32, 3, 1, 1, true);
+  const LayerWork f32 = ComputeWork(g, g.node(c), DType::kF32);
+  const LayerWork u8 = ComputeWork(g, g.node(c), DType::kQUInt8);
+  EXPECT_DOUBLE_EQ(u8.TotalBytes() * 4.0, f32.TotalBytes());
+  EXPECT_DOUBLE_EQ(u8.macs, f32.macs);  // Same arithmetic.
+}
+
+TEST(WorkTest, TotalMacsMatchesLayerSum) {
+  const Model m = MakeLeNet5();
+  double sum = 0.0;
+  for (const Node& n : m.graph.nodes()) {
+    sum += ComputeWork(m.graph, n, DType::kF32).macs;
+  }
+  EXPECT_DOUBLE_EQ(TotalMacs(m.graph), sum);
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(TimingTest, LatencyIsLaunchPlusComputePlusMemory) {
+  const SocSpec soc = MakeExynos7420();
+  const TimingModel tm(soc);
+  LayerWork w;
+  w.macs = 18e6;          // 1 ms of compute at 18 GMAC/s.
+  w.input_bytes = 8e6;    // 1 ms of memory at 8 GB/s.
+  const double t = tm.KernelLatencyUs(w, ProcKind::kCpu, DType::kF32);
+  EXPECT_NEAR(t, soc.cpu.kernel_launch_us + 1000.0 + 1000.0, 1e-6);
+  EXPECT_NEAR(tm.KernelBodyUs(w, ProcKind::kCpu, DType::kF32), 2000.0, 1e-6);
+}
+
+TEST(TimingTest, ComputeDtypeSelectsThroughput) {
+  const SocSpec soc = MakeExynos7420();
+  const TimingModel tm(soc);
+  LayerWork w;
+  w.macs = 1e9;
+  const double f32 = tm.KernelBodyUs(w, ProcKind::kCpu, DType::kF32);
+  const double qu8 = tm.KernelBodyUs(w, ProcKind::kCpu, DType::kQUInt8);
+  EXPECT_NEAR(f32 / qu8, soc.cpu.gmacs_qu8 / soc.cpu.gmacs_f32, 1e-9);
+}
+
+TEST(EnergyTest, EnergyScalesWithTimeAndBytes) {
+  const SocSpec soc = MakeExynos7420();
+  const EnergyModel em(soc);
+  // 1 second of CPU F32 compute = active watts in joules = 1000x in mJ.
+  EXPECT_NEAR(em.ComputeEnergyMj(ProcKind::kCpu, DType::kF32, 1e6, 0.0),
+              soc.cpu.active_w_f32 * 1000.0, 1e-6);
+  // 1 GB of DRAM traffic at dram_nj_per_byte.
+  EXPECT_NEAR(em.DramEnergyMj(1e9), soc.dram_nj_per_byte * 1000.0, 1e-6);
+  EXPECT_NEAR(em.IdleEnergyMj(1e6), soc.idle_w * 1000.0, 1e-6);
+}
+
+TEST(TimingTest, PaperVgg16CpuGpuRatioEmerges) {
+  // Summing per-layer latency of VGG-16 conv layers must reproduce the ~1.4x
+  // GPU advantage on the high-end SoC and the CPU advantage on the mid-range
+  // (paper Figures 5 and 6) from first principles of the model.
+  const Model vgg = MakeVgg16();
+  for (const bool high_end : {true, false}) {
+    const SocSpec soc = high_end ? MakeExynos7420() : MakeExynos7880();
+    const TimingModel tm(soc);
+    double cpu_total = 0.0, gpu_total = 0.0;
+    for (const Node& n : vgg.graph.nodes()) {
+      const LayerWork w = ComputeWork(vgg.graph, n, DType::kF32);
+      cpu_total += tm.KernelLatencyUs(w, ProcKind::kCpu, DType::kF32);
+      gpu_total += tm.KernelLatencyUs(w, ProcKind::kGpu, DType::kF32);
+    }
+    if (high_end) {
+      EXPECT_LT(gpu_total, cpu_total);
+    } else {
+      EXPECT_LT(cpu_total, gpu_total);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ulayer

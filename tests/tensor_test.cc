@@ -1,0 +1,114 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/rng.h"
+
+namespace ulayer {
+namespace {
+
+TEST(ShapeTest, NumElementsAndOffsets) {
+  const Shape s(2, 3, 4, 5);
+  EXPECT_EQ(s.NumElements(), 120);
+  EXPECT_EQ(s.Offset(0, 0, 0, 0), 0);
+  EXPECT_EQ(s.Offset(0, 0, 0, 1), 1);
+  EXPECT_EQ(s.Offset(0, 0, 1, 0), 5);
+  EXPECT_EQ(s.Offset(0, 1, 0, 0), 20);
+  EXPECT_EQ(s.Offset(1, 0, 0, 0), 60);
+  EXPECT_EQ(s.Offset(1, 2, 3, 4), 119);
+}
+
+TEST(ShapeTest, OffsetsAreDenseRowMajor) {
+  const Shape s(2, 2, 3, 3);
+  int64_t expect = 0;
+  for (int64_t n = 0; n < s.n; ++n) {
+    for (int64_t c = 0; c < s.c; ++c) {
+      for (int64_t h = 0; h < s.h; ++h) {
+        for (int64_t w = 0; w < s.w; ++w) {
+          EXPECT_EQ(s.Offset(n, c, h, w), expect++);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShapeTest, EqualityAndValidity) {
+  EXPECT_EQ(Shape(1, 2, 3, 4), Shape(1, 2, 3, 4));
+  EXPECT_NE(Shape(1, 2, 3, 4), Shape(1, 2, 4, 3));
+  EXPECT_TRUE(Shape(1, 1, 1, 1).IsValid());
+  EXPECT_FALSE(Shape(1, 0, 1, 1).IsValid());
+}
+
+TEST(ShapeTest, ToString) { EXPECT_EQ(Shape(1, 64, 56, 56).ToString(), "1x64x56x56"); }
+
+TEST(DTypeTest, Sizes) {
+  EXPECT_EQ(DTypeSize(DType::kF32), 4);
+  EXPECT_EQ(DTypeSize(DType::kF16), 2);
+  EXPECT_EQ(DTypeSize(DType::kQUInt8), 1);
+  EXPECT_EQ(DTypeSize(DType::kInt32), 4);
+}
+
+TEST(TensorTest, AllocatesBySizeAndDType) {
+  Tensor t(Shape(1, 3, 8, 8), DType::kF32);
+  EXPECT_EQ(t.NumElements(), 192);
+  EXPECT_EQ(t.SizeBytes(), 768);
+  Tensor q(Shape(1, 3, 8, 8), DType::kQUInt8);
+  EXPECT_EQ(q.SizeBytes(), 192);
+}
+
+TEST(TensorTest, ZeroFills) {
+  Tensor t(Shape(1, 1, 2, 2), DType::kF32);
+  FillUniform(t, 1);
+  t.Zero();
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    EXPECT_EQ(t.Data<float>()[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, QuantMetadataRoundTrips) {
+  Tensor t(Shape(1, 1, 1, 1), DType::kQUInt8);
+  t.set_quant_params(0.125f, 37);
+  EXPECT_FLOAT_EQ(t.scale(), 0.125f);
+  EXPECT_EQ(t.zero_point(), 37);
+}
+
+TEST(TensorTest, FillUniformIsDeterministicAndInRange) {
+  Tensor a(Shape(1, 4, 16, 16), DType::kF32);
+  Tensor b(Shape(1, 4, 16, 16), DType::kF32);
+  FillUniform(a, 42, -2.0f, 3.0f);
+  FillUniform(b, 42, -2.0f, 3.0f);
+  EXPECT_EQ(MaxAbsDiff(a, b), 0.0f);
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    EXPECT_GE(a.Data<float>()[i], -2.0f);
+    EXPECT_LT(a.Data<float>()[i], 3.0f);
+  }
+}
+
+TEST(TensorTest, DifferentSeedsDiffer) {
+  Tensor a(Shape(1, 1, 8, 8), DType::kF32);
+  Tensor b(Shape(1, 1, 8, 8), DType::kF32);
+  FillUniform(a, 1);
+  FillUniform(b, 2);
+  EXPECT_GT(MaxAbsDiff(a, b), 0.0f);
+}
+
+TEST(TensorTest, DiffMetrics) {
+  Tensor a(Shape(1, 1, 1, 4), DType::kF32);
+  Tensor b(Shape(1, 1, 1, 4), DType::kF32);
+  for (int i = 0; i < 4; ++i) {
+    a.Data<float>()[i] = static_cast<float>(i);
+    b.Data<float>()[i] = static_cast<float>(i) + (i == 2 ? 0.5f : 0.0f);
+  }
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 0.5f);
+  EXPECT_NEAR(RmsDiff(a, b), 0.25f, 1e-6f);
+}
+
+TEST(RngTest, UniformBelowBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(10), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace ulayer

@@ -1,0 +1,122 @@
+#include "ucl/ucl.h"
+
+#include <gtest/gtest.h>
+
+namespace ulayer::ucl {
+namespace {
+
+Context MakeCtx() { return Context(MakeExynos7420()); }
+
+TEST(DeviceTest, ScheduleAdvancesClockAndTracksBusy) {
+  Context ctx = MakeCtx();
+  Device& cpu = ctx.device(ProcKind::kCpu);
+  EXPECT_DOUBLE_EQ(cpu.now_us(), 0.0);
+  const double end = cpu.Schedule(0.0, 100.0, DType::kQUInt8, 4096.0);
+  EXPECT_DOUBLE_EQ(end, 100.0);
+  EXPECT_DOUBLE_EQ(cpu.BusyUs(DType::kQUInt8), 100.0);
+  EXPECT_DOUBLE_EQ(cpu.BusyUs(DType::kF32), 0.0);
+  EXPECT_DOUBLE_EQ(cpu.TotalBytes(), 4096.0);
+}
+
+TEST(DeviceTest, ReadyTimeDefersStart) {
+  Context ctx = MakeCtx();
+  Device& cpu = ctx.device(ProcKind::kCpu);
+  cpu.Schedule(0.0, 10.0, DType::kF32, 0.0);
+  // Ready at 50 > now (10): starts at 50.
+  EXPECT_DOUBLE_EQ(cpu.Schedule(50.0, 5.0, DType::kF32, 0.0), 55.0);
+  // Ready in the past: starts at queue-free time.
+  EXPECT_DOUBLE_EQ(cpu.Schedule(0.0, 5.0, DType::kF32, 0.0), 60.0);
+}
+
+TEST(QueueTest, EnqueueAddsLaunchOverhead) {
+  Context ctx = MakeCtx();
+  const Event e = ctx.queue(ProcKind::kGpu).EnqueueKernel(100.0, DType::kF16, 0.0);
+  EXPECT_DOUBLE_EQ(e.complete_us, ctx.soc().gpu.kernel_launch_us + 100.0);
+}
+
+TEST(QueueTest, InOrderExecutionSerializes) {
+  Context ctx = MakeCtx();
+  CommandQueue& q = ctx.queue(ProcKind::kCpu);
+  const double launch = ctx.soc().cpu.kernel_launch_us;
+  const Event a = q.EnqueueKernel(10.0, DType::kF32, 0.0);
+  const Event b = q.EnqueueKernel(10.0, DType::kF32, 0.0);
+  EXPECT_DOUBLE_EQ(a.complete_us, launch + 10.0);
+  EXPECT_DOUBLE_EQ(b.complete_us, 2 * (launch + 10.0));
+}
+
+TEST(QueueTest, CrossQueueDependencyWaits) {
+  Context ctx = MakeCtx();
+  const Event gpu_ev = ctx.queue(ProcKind::kGpu).EnqueueKernel(500.0, DType::kF16, 0.0);
+  // CPU kernel depending on the GPU result starts only after it completes.
+  const Event cpu_ev =
+      ctx.queue(ProcKind::kCpu).EnqueueKernel(10.0, DType::kF32, 0.0, {gpu_ev});
+  EXPECT_DOUBLE_EQ(cpu_ev.complete_us,
+                   gpu_ev.complete_us + ctx.soc().cpu.kernel_launch_us + 10.0);
+}
+
+TEST(QueueTest, IndependentQueuesOverlap) {
+  // The core claim behind cooperative execution: CPU and GPU timelines
+  // advance independently, so total time is max, not sum.
+  Context ctx = MakeCtx();
+  ctx.queue(ProcKind::kCpu).EnqueueKernel(1000.0, DType::kQUInt8, 0.0);
+  ctx.queue(ProcKind::kGpu).EnqueueKernel(800.0, DType::kF16, 0.0);
+  EXPECT_DOUBLE_EQ(ctx.NowUs(), 1000.0 + ctx.soc().cpu.kernel_launch_us);
+}
+
+TEST(QueueTest, EnqueueKernelAtHonorsReadyTime) {
+  Context ctx = MakeCtx();
+  const Event e =
+      ctx.queue(ProcKind::kGpu).EnqueueKernelAt(250.0, 100.0, DType::kF16, 0.0);
+  EXPECT_DOUBLE_EQ(e.complete_us, 250.0 + ctx.soc().gpu.kernel_launch_us + 100.0);
+}
+
+TEST(BufferTest, ZeroCopyMapCostsCacheMaintenanceOnly) {
+  Context ctx = MakeCtx();
+  auto buf = ctx.CreateBuffer(1 << 20, MemFlag::kAllocHostPtr);
+  const Event e = ctx.queue(ProcKind::kGpu).EnqueueMap(*buf, MapAccess::kRead);
+  EXPECT_DOUBLE_EQ(e.complete_us, ctx.soc().map_us);
+}
+
+TEST(BufferTest, CopyModeMapPaysBandwidth) {
+  Context ctx = MakeCtx();
+  const int64_t size = 4 << 20;
+  auto buf = ctx.CreateBuffer(size, MemFlag::kCopyMode);
+  const Event e = ctx.queue(ProcKind::kGpu).EnqueueMap(*buf, MapAccess::kRead);
+  const double copy_us = static_cast<double>(size) / (ctx.soc().copy_gb_per_s * 1e3);
+  EXPECT_DOUBLE_EQ(e.complete_us, ctx.soc().map_us + copy_us);
+  EXPECT_GT(e.complete_us, 100.0);  // Copies are expensive; zero-copy isn't.
+}
+
+TEST(BufferTest, HostPointerIsStableAndSized) {
+  Context ctx = MakeCtx();
+  auto buf = ctx.CreateBuffer(256, MemFlag::kAllocHostPtr);
+  EXPECT_EQ(buf->size(), 256);
+  buf->host_ptr()[0] = 42;
+  buf->host_ptr()[255] = 7;
+  EXPECT_EQ(buf->host_ptr()[0], 42);
+}
+
+TEST(ContextTest, SyncPointJoinsTimelines) {
+  Context ctx = MakeCtx();
+  ctx.queue(ProcKind::kCpu).EnqueueKernel(100.0, DType::kF32, 0.0);
+  ctx.queue(ProcKind::kGpu).EnqueueKernel(300.0, DType::kF16, 0.0);
+  const double t = ctx.SyncPoint();
+  const double gpu_end = ctx.soc().gpu.kernel_launch_us + 300.0;
+  EXPECT_DOUBLE_EQ(t, gpu_end + ctx.soc().sync_us);
+  EXPECT_DOUBLE_EQ(ctx.device(ProcKind::kCpu).now_us(), t);
+  EXPECT_DOUBLE_EQ(ctx.device(ProcKind::kGpu).now_us(), t);
+  EXPECT_EQ(ctx.sync_count(), 1);
+}
+
+TEST(ContextTest, ResetClearsState) {
+  Context ctx = MakeCtx();
+  ctx.queue(ProcKind::kCpu).EnqueueKernel(100.0, DType::kF32, 123.0);
+  ctx.SyncPoint();
+  ctx.Reset();
+  EXPECT_DOUBLE_EQ(ctx.NowUs(), 0.0);
+  EXPECT_EQ(ctx.sync_count(), 0);
+  EXPECT_DOUBLE_EQ(ctx.device(ProcKind::kCpu).TotalBytes(), 0.0);
+}
+
+}  // namespace
+}  // namespace ulayer::ucl

@@ -1,0 +1,94 @@
+#include "kernels/winograd.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/conv.h"
+#include "soc/work.h"
+#include "tensor/rng.h"
+
+namespace ulayer {
+namespace {
+
+TEST(WinogradTest, ApplicabilityRule) {
+  Conv2DParams ok;
+  ok.kernel_h = ok.kernel_w = 3;
+  EXPECT_TRUE(WinogradApplicable(ok));
+  Conv2DParams strided = ok;
+  strided.stride_h = strided.stride_w = 2;
+  EXPECT_FALSE(WinogradApplicable(strided));
+  Conv2DParams five = ok;
+  five.kernel_h = five.kernel_w = 5;
+  EXPECT_FALSE(WinogradApplicable(five));
+}
+
+struct WinoCase {
+  int64_t ic, h, w, oc;
+  int pad;
+  bool relu;
+};
+
+class WinogradParam : public ::testing::TestWithParam<WinoCase> {};
+
+TEST_P(WinogradParam, MatchesGemmConvWithinReassociationError) {
+  const WinoCase wc = GetParam();
+  Conv2DParams p;
+  p.kernel_h = p.kernel_w = 3;
+  p.pad_h = p.pad_w = wc.pad;
+  p.relu = wc.relu;
+  Tensor in(Shape(1, wc.ic, wc.h, wc.w), DType::kF32);
+  Tensor w(Shape(wc.oc, wc.ic, 3, 3), DType::kF32);
+  Tensor bias(Shape(1, wc.oc, 1, 1), DType::kF32);
+  FillUniform(in, 1, -1.0f, 1.0f);
+  FillUniform(w, 2, -0.5f, 0.5f);
+  FillUniform(bias, 3, -0.1f, 0.1f);
+
+  const Shape out_shape(1, wc.oc, p.OutH(static_cast<int>(in.shape().h)),
+                        p.OutW(static_cast<int>(in.shape().w)));
+  Tensor ref(out_shape, DType::kF32);
+  Conv2DF32(in, w, bias, p, ref);
+  Tensor wino(out_shape, DType::kF32);
+  WinogradConv2DF32(in, w, bias, p, wino);
+  // The transforms reassociate additions: tolerance scales with the dot
+  // product length.
+  EXPECT_LT(MaxAbsDiff(ref, wino), 1e-3f * static_cast<float>(wc.ic));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, WinogradParam,
+                         ::testing::Values(WinoCase{1, 6, 6, 1, 1, false},   // minimal
+                                           WinoCase{4, 8, 8, 8, 1, true},    // even tiles
+                                           WinoCase{3, 7, 9, 5, 1, false},   // odd output
+                                           WinoCase{8, 14, 14, 16, 1, true},  // VGG-ish block
+                                           WinoCase{2, 6, 6, 3, 0, false}    // valid (no pad)
+                                           ));
+
+TEST(WinogradTest, ChannelSlicesComposeExactly) {
+  Conv2DParams p;
+  p.kernel_h = p.kernel_w = 3;
+  p.pad_h = p.pad_w = 1;
+  Tensor in(Shape(1, 4, 8, 8), DType::kF32);
+  Tensor w(Shape(6, 4, 3, 3), DType::kF32);
+  Tensor bias(Shape(1, 6, 1, 1), DType::kF32);
+  FillUniform(in, 4);
+  FillUniform(w, 5, -0.5f, 0.5f);
+  FillUniform(bias, 6, -0.1f, 0.1f);
+  Tensor full(Shape(1, 6, 8, 8), DType::kF32);
+  WinogradConv2DF32(in, w, bias, p, full);
+  Tensor split_out(Shape(1, 6, 8, 8), DType::kF32);
+  WinogradConv2DF32(in, w, bias, p, split_out, 0, 2);
+  WinogradConv2DF32(in, w, bias, p, split_out, 2, 6);
+  EXPECT_EQ(MaxAbsDiff(full, split_out), 0.0f);
+}
+
+TEST(WinogradTest, CostModelCutsMacsBy2_25x) {
+  Graph g;
+  const int in = g.AddInput(Shape(1, 64, 56, 56));
+  const int c = g.AddConv("c", in, 64, 3, 1, 1, true);
+  const LayerWork direct = ComputeWork(g, g.node(c), DType::kF32);
+  const LayerWork wino = WinogradConvWork(g, g.node(c), DType::kF32);
+  EXPECT_NEAR(direct.macs / wino.macs, 2.25, 1e-9);
+  // Transforms cost extra traffic, never less.
+  EXPECT_GT(wino.TotalBytes(), direct.TotalBytes());
+}
+
+}  // namespace
+}  // namespace ulayer
