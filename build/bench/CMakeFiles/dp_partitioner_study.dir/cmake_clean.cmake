@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_partitioner_study.dir/dp_partitioner_study.cc.o"
+  "CMakeFiles/dp_partitioner_study.dir/dp_partitioner_study.cc.o.d"
+  "dp_partitioner_study"
+  "dp_partitioner_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_partitioner_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

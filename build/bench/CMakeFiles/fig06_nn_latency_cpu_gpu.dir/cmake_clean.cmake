@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_nn_latency_cpu_gpu.dir/fig06_nn_latency_cpu_gpu.cc.o"
+  "CMakeFiles/fig06_nn_latency_cpu_gpu.dir/fig06_nn_latency_cpu_gpu.cc.o.d"
+  "fig06_nn_latency_cpu_gpu"
+  "fig06_nn_latency_cpu_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_nn_latency_cpu_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

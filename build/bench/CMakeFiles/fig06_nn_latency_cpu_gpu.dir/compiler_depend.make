@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_nn_latency_cpu_gpu.
+# This may be replaced when dependencies are built.

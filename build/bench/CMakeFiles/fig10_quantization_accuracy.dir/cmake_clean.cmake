@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_quantization_accuracy.dir/fig10_quantization_accuracy.cc.o"
+  "CMakeFiles/fig10_quantization_accuracy.dir/fig10_quantization_accuracy.cc.o.d"
+  "fig10_quantization_accuracy"
+  "fig10_quantization_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_quantization_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

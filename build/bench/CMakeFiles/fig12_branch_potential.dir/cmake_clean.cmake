@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_branch_potential.dir/fig12_branch_potential.cc.o"
+  "CMakeFiles/fig12_branch_potential.dir/fig12_branch_potential.cc.o.d"
+  "fig12_branch_potential"
+  "fig12_branch_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_branch_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_ulayer_latency.dir/fig16_ulayer_latency.cc.o"
+  "CMakeFiles/fig16_ulayer_latency.dir/fig16_ulayer_latency.cc.o.d"
+  "fig16_ulayer_latency"
+  "fig16_ulayer_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_ulayer_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

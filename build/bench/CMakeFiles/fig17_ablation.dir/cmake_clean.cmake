@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_ablation.dir/fig17_ablation.cc.o"
+  "CMakeFiles/fig17_ablation.dir/fig17_ablation.cc.o.d"
+  "fig17_ablation"
+  "fig17_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npu_extension.dir/npu_extension.cc.o"
+  "CMakeFiles/npu_extension.dir/npu_extension.cc.o.d"
+  "npu_extension"
+  "npu_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npu_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

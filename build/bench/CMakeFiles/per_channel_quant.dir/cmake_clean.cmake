@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/per_channel_quant.dir/per_channel_quant.cc.o"
+  "CMakeFiles/per_channel_quant.dir/per_channel_quant.cc.o.d"
+  "per_channel_quant"
+  "per_channel_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/per_channel_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

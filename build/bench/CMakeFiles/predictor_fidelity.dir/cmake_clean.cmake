@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_fidelity.dir/predictor_fidelity.cc.o"
+  "CMakeFiles/predictor_fidelity.dir/predictor_fidelity.cc.o.d"
+  "predictor_fidelity"
+  "predictor_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

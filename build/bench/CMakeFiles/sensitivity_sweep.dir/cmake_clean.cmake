@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_sweep.dir/sensitivity_sweep.cc.o"
+  "CMakeFiles/sensitivity_sweep.dir/sensitivity_sweep.cc.o.d"
+  "sensitivity_sweep"
+  "sensitivity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

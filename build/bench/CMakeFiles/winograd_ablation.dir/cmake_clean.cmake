@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winograd_ablation.dir/winograd_ablation.cc.o"
+  "CMakeFiles/winograd_ablation.dir/winograd_ablation.cc.o.d"
+  "winograd_ablation"
+  "winograd_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winograd_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_classifier.dir/image_classifier.cc.o"
+  "CMakeFiles/image_classifier.dir/image_classifier.cc.o.d"
+  "image_classifier"
+  "image_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("tensor")
+subdirs("quant")
+subdirs("kernels")
+subdirs("nn")
+subdirs("soc")
+subdirs("ucl")
+subdirs("models")
+subdirs("core")
+subdirs("baselines")
+subdirs("multi")
+subdirs("io")

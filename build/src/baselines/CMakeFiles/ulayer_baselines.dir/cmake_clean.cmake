@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulayer_baselines.dir/baselines.cc.o"
+  "CMakeFiles/ulayer_baselines.dir/baselines.cc.o.d"
+  "libulayer_baselines.a"
+  "libulayer_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulayer_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

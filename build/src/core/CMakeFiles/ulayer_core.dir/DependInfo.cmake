@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compute.cc" "src/core/CMakeFiles/ulayer_core.dir/compute.cc.o" "gcc" "src/core/CMakeFiles/ulayer_core.dir/compute.cc.o.d"
+  "/root/repo/src/core/dp_partitioner.cc" "src/core/CMakeFiles/ulayer_core.dir/dp_partitioner.cc.o" "gcc" "src/core/CMakeFiles/ulayer_core.dir/dp_partitioner.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/core/CMakeFiles/ulayer_core.dir/executor.cc.o" "gcc" "src/core/CMakeFiles/ulayer_core.dir/executor.cc.o.d"
+  "/root/repo/src/core/partitioner.cc" "src/core/CMakeFiles/ulayer_core.dir/partitioner.cc.o" "gcc" "src/core/CMakeFiles/ulayer_core.dir/partitioner.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/ulayer_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/ulayer_core.dir/predictor.cc.o.d"
+  "/root/repo/src/core/prepared.cc" "src/core/CMakeFiles/ulayer_core.dir/prepared.cc.o" "gcc" "src/core/CMakeFiles/ulayer_core.dir/prepared.cc.o.d"
+  "/root/repo/src/core/reference.cc" "src/core/CMakeFiles/ulayer_core.dir/reference.cc.o" "gcc" "src/core/CMakeFiles/ulayer_core.dir/reference.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/ulayer_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/ulayer_core.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/ulayer_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/ulayer_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ucl/CMakeFiles/ulayer_ucl.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/ulayer_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ulayer_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/ulayer_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ulayer_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

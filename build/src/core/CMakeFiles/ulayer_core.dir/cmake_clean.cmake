@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulayer_core.dir/compute.cc.o"
+  "CMakeFiles/ulayer_core.dir/compute.cc.o.d"
+  "CMakeFiles/ulayer_core.dir/dp_partitioner.cc.o"
+  "CMakeFiles/ulayer_core.dir/dp_partitioner.cc.o.d"
+  "CMakeFiles/ulayer_core.dir/executor.cc.o"
+  "CMakeFiles/ulayer_core.dir/executor.cc.o.d"
+  "CMakeFiles/ulayer_core.dir/partitioner.cc.o"
+  "CMakeFiles/ulayer_core.dir/partitioner.cc.o.d"
+  "CMakeFiles/ulayer_core.dir/predictor.cc.o"
+  "CMakeFiles/ulayer_core.dir/predictor.cc.o.d"
+  "CMakeFiles/ulayer_core.dir/prepared.cc.o"
+  "CMakeFiles/ulayer_core.dir/prepared.cc.o.d"
+  "CMakeFiles/ulayer_core.dir/reference.cc.o"
+  "CMakeFiles/ulayer_core.dir/reference.cc.o.d"
+  "CMakeFiles/ulayer_core.dir/runtime.cc.o"
+  "CMakeFiles/ulayer_core.dir/runtime.cc.o.d"
+  "libulayer_core.a"
+  "libulayer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulayer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

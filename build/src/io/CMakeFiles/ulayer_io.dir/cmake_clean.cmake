@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulayer_io.dir/io.cc.o"
+  "CMakeFiles/ulayer_io.dir/io.cc.o.d"
+  "libulayer_io.a"
+  "libulayer_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulayer_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/conv.cc" "src/kernels/CMakeFiles/ulayer_kernels.dir/conv.cc.o" "gcc" "src/kernels/CMakeFiles/ulayer_kernels.dir/conv.cc.o.d"
+  "/root/repo/src/kernels/elementwise.cc" "src/kernels/CMakeFiles/ulayer_kernels.dir/elementwise.cc.o" "gcc" "src/kernels/CMakeFiles/ulayer_kernels.dir/elementwise.cc.o.d"
+  "/root/repo/src/kernels/gemm.cc" "src/kernels/CMakeFiles/ulayer_kernels.dir/gemm.cc.o" "gcc" "src/kernels/CMakeFiles/ulayer_kernels.dir/gemm.cc.o.d"
+  "/root/repo/src/kernels/im2col.cc" "src/kernels/CMakeFiles/ulayer_kernels.dir/im2col.cc.o" "gcc" "src/kernels/CMakeFiles/ulayer_kernels.dir/im2col.cc.o.d"
+  "/root/repo/src/kernels/pool.cc" "src/kernels/CMakeFiles/ulayer_kernels.dir/pool.cc.o" "gcc" "src/kernels/CMakeFiles/ulayer_kernels.dir/pool.cc.o.d"
+  "/root/repo/src/kernels/winograd.cc" "src/kernels/CMakeFiles/ulayer_kernels.dir/winograd.cc.o" "gcc" "src/kernels/CMakeFiles/ulayer_kernels.dir/winograd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ulayer_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/ulayer_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

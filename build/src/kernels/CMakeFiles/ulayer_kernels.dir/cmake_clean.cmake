@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulayer_kernels.dir/conv.cc.o"
+  "CMakeFiles/ulayer_kernels.dir/conv.cc.o.d"
+  "CMakeFiles/ulayer_kernels.dir/elementwise.cc.o"
+  "CMakeFiles/ulayer_kernels.dir/elementwise.cc.o.d"
+  "CMakeFiles/ulayer_kernels.dir/gemm.cc.o"
+  "CMakeFiles/ulayer_kernels.dir/gemm.cc.o.d"
+  "CMakeFiles/ulayer_kernels.dir/im2col.cc.o"
+  "CMakeFiles/ulayer_kernels.dir/im2col.cc.o.d"
+  "CMakeFiles/ulayer_kernels.dir/pool.cc.o"
+  "CMakeFiles/ulayer_kernels.dir/pool.cc.o.d"
+  "CMakeFiles/ulayer_kernels.dir/winograd.cc.o"
+  "CMakeFiles/ulayer_kernels.dir/winograd.cc.o.d"
+  "libulayer_kernels.a"
+  "libulayer_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulayer_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulayer_models.dir/model.cc.o"
+  "CMakeFiles/ulayer_models.dir/model.cc.o.d"
+  "libulayer_models.a"
+  "libulayer_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulayer_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulayer_multi.dir/multi.cc.o"
+  "CMakeFiles/ulayer_multi.dir/multi.cc.o.d"
+  "libulayer_multi.a"
+  "libulayer_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulayer_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

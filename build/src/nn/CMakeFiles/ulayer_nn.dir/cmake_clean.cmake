@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulayer_nn.dir/branch.cc.o"
+  "CMakeFiles/ulayer_nn.dir/branch.cc.o.d"
+  "CMakeFiles/ulayer_nn.dir/graph.cc.o"
+  "CMakeFiles/ulayer_nn.dir/graph.cc.o.d"
+  "libulayer_nn.a"
+  "libulayer_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulayer_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

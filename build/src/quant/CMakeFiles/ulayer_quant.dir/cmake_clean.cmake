@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulayer_quant.dir/half.cc.o"
+  "CMakeFiles/ulayer_quant.dir/half.cc.o.d"
+  "CMakeFiles/ulayer_quant.dir/quantize.cc.o"
+  "CMakeFiles/ulayer_quant.dir/quantize.cc.o.d"
+  "libulayer_quant.a"
+  "libulayer_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulayer_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

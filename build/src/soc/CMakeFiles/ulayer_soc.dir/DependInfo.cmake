@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/spec.cc" "src/soc/CMakeFiles/ulayer_soc.dir/spec.cc.o" "gcc" "src/soc/CMakeFiles/ulayer_soc.dir/spec.cc.o.d"
+  "/root/repo/src/soc/timing.cc" "src/soc/CMakeFiles/ulayer_soc.dir/timing.cc.o" "gcc" "src/soc/CMakeFiles/ulayer_soc.dir/timing.cc.o.d"
+  "/root/repo/src/soc/work.cc" "src/soc/CMakeFiles/ulayer_soc.dir/work.cc.o" "gcc" "src/soc/CMakeFiles/ulayer_soc.dir/work.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ulayer_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/ulayer_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/ulayer_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ulayer_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

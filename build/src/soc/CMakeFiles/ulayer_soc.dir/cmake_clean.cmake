@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulayer_soc.dir/spec.cc.o"
+  "CMakeFiles/ulayer_soc.dir/spec.cc.o.d"
+  "CMakeFiles/ulayer_soc.dir/timing.cc.o"
+  "CMakeFiles/ulayer_soc.dir/timing.cc.o.d"
+  "CMakeFiles/ulayer_soc.dir/work.cc.o"
+  "CMakeFiles/ulayer_soc.dir/work.cc.o.d"
+  "libulayer_soc.a"
+  "libulayer_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulayer_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulayer_tensor.dir/shape.cc.o"
+  "CMakeFiles/ulayer_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/ulayer_tensor.dir/tensor.cc.o"
+  "CMakeFiles/ulayer_tensor.dir/tensor.cc.o.d"
+  "libulayer_tensor.a"
+  "libulayer_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulayer_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulayer_ucl.dir/ucl.cc.o"
+  "CMakeFiles/ulayer_ucl.dir/ucl.cc.o.d"
+  "libulayer_ucl.a"
+  "libulayer_ucl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulayer_ucl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

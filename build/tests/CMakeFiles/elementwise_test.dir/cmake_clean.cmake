@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elementwise_test.dir/elementwise_test.cc.o"
+  "CMakeFiles/elementwise_test.dir/elementwise_test.cc.o.d"
+  "elementwise_test"
+  "elementwise_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elementwise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

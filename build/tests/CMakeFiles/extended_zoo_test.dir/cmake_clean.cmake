@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_zoo_test.dir/extended_zoo_test.cc.o"
+  "CMakeFiles/extended_zoo_test.dir/extended_zoo_test.cc.o.d"
+  "extended_zoo_test"
+  "extended_zoo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_zoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/ulayer_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ulayer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/multi/CMakeFiles/ulayer_multi.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ulayer_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/ulayer_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/ucl/CMakeFiles/ulayer_ucl.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/ulayer_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ulayer_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/ulayer_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/ulayer_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ulayer_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

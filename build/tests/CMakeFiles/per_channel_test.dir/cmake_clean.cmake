@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/per_channel_test.dir/per_channel_test.cc.o"
+  "CMakeFiles/per_channel_test.dir/per_channel_test.cc.o.d"
+  "per_channel_test"
+  "per_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/per_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

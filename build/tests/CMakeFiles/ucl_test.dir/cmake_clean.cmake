@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucl_test.dir/ucl_test.cc.o"
+  "CMakeFiles/ucl_test.dir/ucl_test.cc.o.d"
+  "ucl_test"
+  "ucl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winograd_test.dir/winograd_test.cc.o"
+  "CMakeFiles/winograd_test.dir/winograd_test.cc.o.d"
+  "winograd_test"
+  "winograd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winograd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
