@@ -39,7 +39,7 @@ Score Evaluate(const Model& m, bool per_channel, const std::vector<Tensor>& cali
   for (size_t i = 0; i < tests.size(); ++i) {
     const RunResult r = ex.Run(plan, &tests[i]);
     s.top1 += Argmax(*r.output) == Argmax(refs[i]) ? 1.0 : 0.0;
-    s.rms += RmsDiff(*r.output, refs[i]);
+    s.rms += static_cast<double>(RmsDiff(*r.output, refs[i]));
   }
   s.top1 /= static_cast<double>(tests.size());
   s.rms /= static_cast<double>(tests.size());

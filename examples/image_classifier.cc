@@ -46,7 +46,8 @@ int main() {
     agree += cls == ref_cls ? 1 : 0;
 
     std::printf("image %d: class %4lld (p=%.3f)  F32 says %4lld  |  %6.2f ms  %6.1f mJ\n", i,
-                static_cast<long long>(cls), conf, static_cast<long long>(ref_cls),
+                static_cast<long long>(cls), static_cast<double>(conf),
+                static_cast<long long>(ref_cls),
                 r.latency_ms(), r.total_energy_mj);
   }
   std::printf("quantized-vs-F32 agreement: %d/%d\n", agree, kImages);

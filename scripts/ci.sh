@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# CI pipeline: warnings-as-errors build + tier-1 tests, ASan/UBSan test run,
+# and clang-tidy over src/ (skipped with a notice when clang-tidy is not
+# installed — the reference container ships gcc only).
+#
+# Usage: scripts/ci.sh [--skip-sanitize] [--skip-tidy]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_SANITIZE=0
+SKIP_TIDY=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitize) SKIP_SANITIZE=1 ;;
+    --skip-tidy) SKIP_TIDY=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> [1/3] warnings-as-errors build + tier-1 tests"
+cmake -B build-werror -S . -DULAYER_WERROR=ON >/dev/null
+cmake --build build-werror -j "$JOBS"
+ctest --test-dir build-werror --output-on-failure -j "$JOBS"
+
+if [ "$SKIP_SANITIZE" -eq 0 ]; then
+  echo "==> [2/3] ASan + UBSan build + tests"
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DULAYER_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  # halt_on_error is implied by -fno-sanitize-recover=all; detect leaks too.
+  ASAN_OPTIONS=detect_leaks=1 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+else
+  echo "==> [2/3] sanitizers skipped (--skip-sanitize)"
+fi
+
+if [ "$SKIP_TIDY" -eq 0 ]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> [3/3] clang-tidy over src/"
+    # build-werror exports compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS).
+    mapfile -t SOURCES < <(git ls-files 'src/*.cc')
+    clang-tidy -p build-werror --quiet "${SOURCES[@]}"
+  else
+    echo "==> [3/3] clang-tidy not installed; skipping lint stage"
+  fi
+else
+  echo "==> [3/3] clang-tidy skipped (--skip-tidy)"
+fi
+
+echo "CI pipeline passed."

@@ -28,6 +28,13 @@ struct ExecConfig {
   // bench/per_channel_quant.
   bool per_channel_weights = false;
 
+  // Run the Graph/Plan static verifiers (src/verify) at the Runtime and
+  // Executor entry points; invariant violations throw VerifyError instead of
+  // silently producing wrong latencies or garbage tensors. The passes are
+  // O(nodes) — cheap next to any real run — so they stay on by default;
+  // latency-measurement loops may switch them off.
+  bool verify = true;
+
   DType ComputeFor(ProcKind k) const { return k == ProcKind::kCpu ? cpu_compute : gpu_compute; }
 
   // --- Common configurations ---

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/compute.h"
+#include "verify/verify.h"
 
 namespace ulayer {
 namespace {
@@ -13,12 +14,6 @@ namespace {
 // returning immediately). The GPU-side launch overhead is separate and lives
 // in ProcessorSpec::kernel_launch_us.
 constexpr double kIssueCallUs = 2.0;
-
-int64_t SplitChannel(const Node& node, double cpu_fraction) {
-  const int64_t c = node.out_shape.c;
-  return std::clamp<int64_t>(
-      static_cast<int64_t>(std::llround(cpu_fraction * static_cast<double>(c))), 0, c);
-}
 
 }  // namespace
 
@@ -44,9 +39,14 @@ double Executor::ReadyTime(const Node& node, bool on_cpu, bool on_gpu,
 
 RunResult Executor::Run(const Plan& plan, const Tensor* input) {
   const Graph& g = pm_.graph();
+  const ExecConfig& cfg = pm_.config();
+  if (cfg.verify) {
+    // Reject structurally invalid plans before they turn into wrong latency
+    // numbers or out-of-bounds tensor writes (functional runs).
+    ThrowIfErrors("plan verification failed", VerifyPlan(g, plan, cfg));
+  }
   assert(plan.nodes.size() == static_cast<size_t>(g.size()));
   ctx_.Reset();
-  const ExecConfig& cfg = pm_.config();
   const TimingModel& timing = ctx_.timing();
 
   std::vector<NodeDone> done(static_cast<size_t>(g.size()));
@@ -76,14 +76,16 @@ RunResult Executor::Run(const Plan& plan, const Tensor* input) {
     }
 
     const int64_t oc = n.out_shape.c;
-    const bool cooperative = a.kind == StepKind::kCooperative && a.cpu_fraction > 0.0 &&
-                             a.cpu_fraction < 1.0;
+    const ResolvedSplit split = ResolveSplit(a, oc);
+    const bool cooperative =
+        a.kind == StepKind::kCooperative && !split.cpu.empty() && !split.gpu.empty();
     if (!cooperative) {
-      // Single-processor step (kSingle, kBranch, or a degenerate split).
+      // Single-processor step (kSingle, kBranch, or a degenerate split where
+      // one side's channel slice is empty).
       const ProcKind proc =
-          a.kind == StepKind::kCooperative ? (a.cpu_fraction >= 1.0 ? ProcKind::kCpu
-                                                                    : ProcKind::kGpu)
-                                           : a.proc;
+          a.kind == StepKind::kCooperative
+              ? (split.gpu.empty() ? ProcKind::kCpu : ProcKind::kGpu)
+              : a.proc;
       const bool on_cpu = proc == ProcKind::kCpu;
       const double ready = ReadyTime(n, on_cpu, !on_cpu, done, &syncs);
       const LayerWork w = ComputeWork(g, n, cfg.storage);
@@ -99,11 +101,10 @@ RunResult Executor::Run(const Plan& plan, const Tensor* input) {
     }
 
     // --- Cooperative step: channel-wise workload distribution -------------
-    const int64_t c_split = SplitChannel(n, a.cpu_fraction);
     const double ready = ReadyTime(n, /*on_cpu=*/true, /*on_gpu=*/true, done, &syncs);
 
-    const LayerWork cpu_w = ComputeWork(g, n, cfg.storage, 0, c_split);
-    const LayerWork gpu_w = ComputeWork(g, n, cfg.storage, c_split, oc);
+    const LayerWork cpu_w = ComputeWork(g, n, cfg.storage, split.cpu.begin, split.cpu.end);
+    const LayerWork gpu_w = ComputeWork(g, n, cfg.storage, split.gpu.begin, split.gpu.end);
 
     // The CPU issues the GPU command first (Section 6). Asynchronous issue
     // costs the CPU only the enqueue call; synchronous issue blocks the CPU
@@ -163,12 +164,8 @@ RunResult Executor::Run(const Plan& plan, const Tensor* input) {
     nd = NodeDone{ucl::Event{merged}, true, true};
 
     if (input != nullptr) {
-      if (c_split > 0) {
-        ComputeNodeSlice(pm_, n.id, ProcKind::kCpu, act, 0, c_split);
-      }
-      if (c_split < oc) {
-        ComputeNodeSlice(pm_, n.id, ProcKind::kGpu, act, c_split, oc);
-      }
+      ComputeNodeSlice(pm_, n.id, ProcKind::kCpu, act, split.cpu.begin, split.cpu.end);
+      ComputeNodeSlice(pm_, n.id, ProcKind::kGpu, act, split.gpu.begin, split.gpu.end);
     }
   }
 

@@ -9,6 +9,8 @@
 //                  Section 5). The assignment is stored on the group.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "nn/branch.h"
@@ -18,11 +20,54 @@ namespace ulayer {
 
 enum class StepKind : uint8_t { kSingle, kCooperative, kBranch };
 
+// Half-open channel interval [begin, end).
+struct ChannelRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+
+  int64_t size() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+  bool operator==(const ChannelRange&) const = default;
+};
+
 struct NodeAssignment {
   StepKind kind = StepKind::kSingle;
   ProcKind proc = ProcKind::kCpu;  // kSingle / kBranch: the executing processor.
   double cpu_fraction = 1.0;       // kCooperative: the split ratio p.
+  // kCooperative: the GPU-side ratio. Negative means "derived": 1 - p. An
+  // explicit value lets serialized or mutated plans express ratio errors the
+  // verifier must catch (Section 3.2 requires p + q = 1).
+  double gpu_fraction = -1.0;
+  // kCooperative: explicit output-channel slices. When unset (end < 0) the
+  // executor derives them from cpu_fraction (CPU takes the first
+  // round(p * C) channels, the GPU the rest).
+  ChannelRange cpu_slice{0, -1};
+  ChannelRange gpu_slice{0, -1};
+
+  bool has_explicit_slices() const { return cpu_slice.end >= 0 || gpu_slice.end >= 0; }
+  double GpuFraction() const { return gpu_fraction < 0.0 ? 1.0 - cpu_fraction : gpu_fraction; }
 };
+
+// The channel slices a cooperative step actually executes, over `channels`
+// output channels. This is the single source of truth shared by the
+// executor and the plan verifier.
+struct ResolvedSplit {
+  ChannelRange cpu;
+  ChannelRange gpu;
+};
+
+inline ResolvedSplit ResolveSplit(const NodeAssignment& a, int64_t channels) {
+  if (a.has_explicit_slices()) {
+    return ResolvedSplit{a.cpu_slice, a.gpu_slice};
+  }
+  const double p = a.cpu_fraction;
+  const int64_t c_split =
+      std::isfinite(p)
+          ? std::clamp<int64_t>(
+                static_cast<int64_t>(std::llround(p * static_cast<double>(channels))), 0, channels)
+          : 0;
+  return ResolvedSplit{ChannelRange{0, c_split}, ChannelRange{c_split, channels}};
+}
 
 struct BranchPlan {
   BranchGroup group;

@@ -36,6 +36,9 @@ class PreparedModel {
 
   // Activation quantization parameters of node `id` (QUInt8 storage only).
   const QuantParams& ActivationParams(int id) const { return act_qp_[static_cast<size_t>(id)]; }
+  // All per-node activation parameters (indexed by node id), for the
+  // quantization-sanity verifier pass.
+  const std::vector<QuantParams>& activation_params() const { return act_qp_; }
 
   // Weights in storage dtype. QUInt8 filters carry their QuantParams.
   const Tensor& Filters(int id) const { return weights_.at(id).filters; }

@@ -1,5 +1,7 @@
 #include "core/runtime.h"
 
+#include "verify/verify.h"
+
 namespace ulayer {
 
 ULayerRuntime::ULayerRuntime(const Model& model, const SocSpec& soc, Options options)
@@ -9,12 +11,37 @@ ULayerRuntime::ULayerRuntime(const Model& model, const SocSpec& soc, Options opt
       predictor_(timing_, options_.config, {&model.graph}),
       plan_(Partitioner(model.graph, timing_, options_.config, predictor_, options_.partitioner)
                 .Build()),
-      executor_(prepared_, soc) {}
+      executor_(prepared_, soc) {
+  if (options_.config.verify) {
+    ThrowIfErrors("graph verification failed for " + model.name, VerifyGraph(model.graph));
+    ThrowIfErrors("plan verification failed for " + model.name,
+                  VerifyPlan(model.graph, plan_, options_.config));
+  }
+}
 
 void ULayerRuntime::Calibrate(const std::vector<Tensor>& inputs) {
-  if (options_.config.storage == DType::kQUInt8) {
-    prepared_.Calibrate(inputs);
+  if (options_.config.storage != DType::kQUInt8) {
+    return;
   }
+  prepared_.Calibrate(inputs);
+  if (!options_.config.verify) {
+    return;
+  }
+  // Quantization-scale sanity (Section 4): calibration must never produce
+  // degenerate scales or out-of-range zero points.
+  Report report =
+      VerifyActivationQuantization(prepared_.graph(), prepared_.activation_params());
+  for (const auto& [id, weights] : prepared_.model().weights) {
+    (void)weights;
+    const Tensor& filters = prepared_.Filters(id);
+    CheckQuantParams(QuantParams{filters.scale(), filters.zero_point()}, id, "filter", report);
+    if (options_.config.per_channel_weights) {
+      for (const QuantParams& qp : prepared_.FilterChannelParams(id).channels) {
+        CheckQuantParams(qp, id, "per-channel filter", report);
+      }
+    }
+  }
+  ThrowIfErrors("quantization verification failed for " + prepared_.model().name, report);
 }
 
 RunResult ULayerRuntime::Run(const Tensor* input) { return executor_.Run(plan_, input); }

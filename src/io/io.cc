@@ -20,6 +20,45 @@ std::string SafeName(const std::string& name) {
   return out.empty() ? "_" : out;
 }
 
+// Reads the next whitespace token, expects "key=value", returns "value"
+// (empty string on mismatch, so the caller's numeric parse fails).
+std::string ReadKeyValue(std::istream& is, const std::string& key) {
+  std::string tok;
+  if (!(is >> tok) || tok.rfind(key + "=", 0) != 0) {
+    return "";
+  }
+  return tok.substr(key.size() + 1);
+}
+
+template <typename Fail>
+double ParseDouble(const std::string& s, Fail fail) {
+  try {
+    size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) {
+      fail("trailing characters in number '" + s + "'");
+    }
+    return v;
+  } catch (const std::logic_error&) {
+    fail("bad number '" + s + "'");
+    return 0.0;
+  }
+}
+
+// Parses a "[begin,end)" channel range.
+template <typename Fail>
+ChannelRange ParseRange(const std::string& s, Fail fail) {
+  ChannelRange r;
+  char lb = 0;
+  char comma = 0;
+  char rb = 0;
+  std::istringstream rs(s);
+  if (!(rs >> lb >> r.begin >> comma >> r.end >> rb) || lb != '[' || comma != ',' || rb != ')') {
+    fail("bad channel range '" + s + "'");
+  }
+  return r;
+}
+
 }  // namespace
 
 std::string GraphToText(const Graph& g) {
@@ -212,19 +251,27 @@ Graph GraphFromText(const std::string& text) {
 
 std::string PlanToText(const Plan& plan, const Graph& g) {
   std::ostringstream os;
-  os << "ulayer-plan for " << g.size() << " nodes\n";
+  os << "ulayer-plan v1 for " << g.size() << " nodes\n";
   for (const Node& n : g.nodes()) {
     if (n.desc.kind == LayerKind::kInput) {
       continue;
     }
     const NodeAssignment& a = plan.nodes[static_cast<size_t>(n.id)];
-    os << "  " << n.id << " " << n.desc.name << " [" << LayerKindName(n.desc.kind) << "] ";
+    os << "  " << n.id << " " << SafeName(n.desc.name) << " [" << LayerKindName(n.desc.kind)
+       << "] ";
     switch (a.kind) {
       case StepKind::kSingle:
         os << "single " << ProcKindName(a.proc);
         break;
       case StepKind::kCooperative:
         os << "coop p=" << a.cpu_fraction;
+        if (a.gpu_fraction >= 0.0) {
+          os << " q=" << a.gpu_fraction;
+        }
+        if (a.has_explicit_slices()) {
+          os << " cpu=[" << a.cpu_slice.begin << "," << a.cpu_slice.end << ") gpu=["
+             << a.gpu_slice.begin << "," << a.gpu_slice.end << ")";
+        }
         break;
       case StepKind::kBranch:
         os << "branch " << ProcKindName(a.proc);
@@ -241,6 +288,121 @@ std::string PlanToText(const Plan& plan, const Graph& g) {
     os << "\n";
   }
   return os.str();
+}
+
+Plan PlanFromText(const std::string& text, const Graph& g) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("ulayer-plan", 0) != 0) {
+    throw ParseError("missing 'ulayer-plan' header");
+  }
+  Plan plan;
+  plan.nodes.resize(static_cast<size_t>(g.size()));
+  const std::vector<BranchGroup> groups = FindBranchGroups(g);
+
+  int line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first) || first.empty() || first[0] == '#') {
+      continue;
+    }
+    auto fail = [&](const std::string& why) {
+      throw ParseError("line " + std::to_string(line_no) + ": " + why + ": " + line);
+    };
+    auto parse_proc = [&](const std::string& tok) {
+      if (tok == "CPU") {
+        return ProcKind::kCpu;
+      }
+      if (tok == "GPU") {
+        return ProcKind::kGpu;
+      }
+      fail("bad processor '" + tok + "'");
+      return ProcKind::kCpu;
+    };
+
+    if (first == "branch-group") {
+      std::string idx_tok;
+      int fork = -1;
+      int join = -1;
+      if (!(ls >> idx_tok) ||
+          !(std::istringstream(ReadKeyValue(ls, "fork")) >> fork) ||
+          !(std::istringstream(ReadKeyValue(ls, "join")) >> join)) {
+        fail("bad branch-group header");
+      }
+      BranchPlan bp;
+      for (const BranchGroup& grp : groups) {
+        if (grp.fork == fork && grp.join == join) {
+          bp.group = grp;
+          break;
+        }
+      }
+      if (bp.group.fork < 0) {
+        fail("no branch group with fork=" + std::to_string(fork) +
+             " join=" + std::to_string(join) + " exists in the graph");
+      }
+      std::string tok;
+      while (ls >> tok) {
+        const size_t arrow = tok.find("->");
+        if (arrow == std::string::npos) {
+          fail("bad branch assignment '" + tok + "'");
+        }
+        bp.assignment.push_back(parse_proc(tok.substr(arrow + 2)));
+      }
+      plan.branch_plans.push_back(std::move(bp));
+      continue;
+    }
+
+    // Node line: <id> <name> [<kind>] <step...>
+    int id = -1;
+    if (!(std::istringstream(first) >> id) || id < 0 || id >= g.size()) {
+      fail("bad node id '" + first + "'");
+    }
+    std::string name;
+    std::string kind;
+    std::string step;
+    if (!(ls >> name >> kind >> step)) {
+      fail("truncated node line");
+    }
+    const std::string expect = "[" + std::string(LayerKindName(g.node(id).desc.kind)) + "]";
+    if (kind != expect) {
+      fail("layer kind " + kind + " does not match the graph's " + expect);
+    }
+    NodeAssignment& a = plan.nodes[static_cast<size_t>(id)];
+    if (step == "single" || step == "branch") {
+      std::string proc;
+      if (!(ls >> proc)) {
+        fail("missing processor");
+      }
+      a = NodeAssignment{step == "single" ? StepKind::kSingle : StepKind::kBranch,
+                         parse_proc(proc), 1.0};
+    } else if (step == "coop") {
+      a.kind = StepKind::kCooperative;
+      std::string tok;
+      bool saw_p = false;
+      while (ls >> tok) {
+        if (tok.rfind("p=", 0) == 0) {
+          a.cpu_fraction = ParseDouble(tok.substr(2), fail);
+          saw_p = true;
+        } else if (tok.rfind("q=", 0) == 0) {
+          a.gpu_fraction = ParseDouble(tok.substr(2), fail);
+        } else if (tok.rfind("cpu=", 0) == 0) {
+          a.cpu_slice = ParseRange(tok.substr(4), fail);
+        } else if (tok.rfind("gpu=", 0) == 0) {
+          a.gpu_slice = ParseRange(tok.substr(4), fail);
+        } else {
+          fail("unknown coop token '" + tok + "'");
+        }
+      }
+      if (!saw_p) {
+        fail("coop step without p=");
+      }
+    } else {
+      fail("unknown step kind '" + step + "'");
+    }
+  }
+  return plan;
 }
 
 std::string TraceToText(const RunResult& result, const Graph& g, int columns) {

@@ -29,9 +29,18 @@ std::string GraphToText(const Graph& g);
 // Parses a graph produced by GraphToText (or written by hand).
 Graph GraphFromText(const std::string& text);
 
-// Human-readable plan listing: one line per node with its step kind,
-// processor / split ratio, plus the branch-group table.
+// Plan listing ("ulayer-plan v1"): one line per node with its step kind,
+// processor / split ratio (explicit GPU ratios and channel slices included
+// when present), plus the branch-group table. Round-trips through
+// PlanFromText, so plans can be stored, diffed and fed to tools/ulayer_verify.
 std::string PlanToText(const Plan& plan, const Graph& g);
+
+// Parses a plan produced by PlanToText (or written by hand) against the
+// graph it plans. Branch-group node membership is re-derived from
+// FindBranchGroups(g) by matching fork/join ids. Unlisted nodes default to
+// single-processor CPU steps. Throws ParseError on malformed input; the
+// result is *not* verified — run it through PlanVerifier.
+Plan PlanFromText(const std::string& text, const Graph& g);
 
 // ASCII Gantt chart of a run's kernel trace: one row per device, time
 // bucketed into `columns` cells, '#' where the device is busy. Shows the

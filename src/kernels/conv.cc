@@ -87,7 +87,8 @@ void Conv2DQU8(const Tensor& input, const Tensor& filters, const Tensor& bias,
   const int64_t spatial = int64_t{out_h} * out_w;
   std::vector<uint8_t> cols(k * spatial);
 
-  const double real_mult = static_cast<double>(input.scale()) * filters.scale() / output.scale();
+  const double real_mult = static_cast<double>(input.scale()) * static_cast<double>(filters.scale()) /
+      static_cast<double>(output.scale());
   const RequantScale rs = ComputeRequantScale(real_mult);
   const uint8_t in_pad = static_cast<uint8_t>(input.zero_point());
 
@@ -127,7 +128,8 @@ void Conv2DQU8PerChannel(const Tensor& input, const Tensor& filters,
   for (int64_t oc = oc_begin; oc < oc_end; ++oc) {
     rs[static_cast<size_t>(oc - oc_begin)] =
         ComputeRequantScale(static_cast<double>(input.scale()) *
-                            w_params.channels[static_cast<size_t>(oc)].scale / output.scale());
+                            static_cast<double>(w_params.channels[static_cast<size_t>(oc)].scale) /
+                            static_cast<double>(output.scale()));
   }
 
   std::vector<int32_t> acc(static_cast<size_t>(spatial));
@@ -281,7 +283,8 @@ void DepthwiseConv2DQU8(const Tensor& input, const Tensor& filters, const Tensor
   const int out_h = p.OutH(static_cast<int>(is.h));
   const int out_w = p.OutW(static_cast<int>(is.w));
 
-  const double real_mult = static_cast<double>(input.scale()) * filters.scale() / output.scale();
+  const double real_mult = static_cast<double>(input.scale()) * static_cast<double>(filters.scale()) /
+      static_cast<double>(output.scale());
   const RequantScale rs = ComputeRequantScale(real_mult);
   const int32_t in_zp = input.zero_point();
   const int32_t w_zp = filters.zero_point();

@@ -142,9 +142,10 @@ void GlobalAvgPoolF32(const Tensor& input, Tensor& output, int64_t c_begin, int6
       const float* in_c = input.Data<float>() + is.Offset(ni, c, 0, 0);
       double sum = 0.0;
       for (int64_t i = 0; i < spatial; ++i) {
-        sum += in_c[i];
+        sum += static_cast<double>(in_c[i]);
       }
-      output.Data<float>()[ni * is.c + c] = static_cast<float>(sum / spatial);
+      output.Data<float>()[ni * is.c + c] =
+          static_cast<float>(sum / static_cast<double>(spatial));
     }
   }
 }

@@ -204,4 +204,10 @@ std::vector<int> Graph::Consumers(int id) const {
   return out;
 }
 
+Graph Graph::UncheckedFromNodes(std::vector<Node> nodes) {
+  Graph g;
+  g.nodes_ = std::move(nodes);
+  return g;
+}
+
 }  // namespace ulayer

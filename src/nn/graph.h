@@ -81,6 +81,11 @@ class Graph {
   // The last node (by convention the network output).
   int OutputId() const { return size() - 1; }
 
+  // Adopts `nodes` verbatim: no shape inference, no validity checks.
+  // Exists for the GraphVerifier tests, which need graphs the checked Add*
+  // API refuses to build (dangling edges, wrong arity, corrupt shapes).
+  static Graph UncheckedFromNodes(std::vector<Node> nodes);
+
  private:
   int Append(LayerDesc desc, std::vector<int> inputs, Shape out_shape);
 

@@ -19,7 +19,9 @@ struct QuantParams {
   float scale = 1.0f;
   int32_t zero_point = 0;
 
-  float Dequantize(uint8_t q) const { return scale * (static_cast<int32_t>(q) - zero_point); }
+  float Dequantize(uint8_t q) const {
+    return scale * static_cast<float>(static_cast<int32_t>(q) - zero_point);
+  }
   uint8_t Quantize(float real) const;
 
   bool operator==(const QuantParams&) const = default;

@@ -28,7 +28,7 @@ class Rng {
   // Uniform float in [lo, hi).
   float Uniform(float lo, float hi) {
     const double u = static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
-    return lo + static_cast<float>(u * (hi - lo));
+    return lo + static_cast<float>(u * static_cast<double>(hi - lo));
   }
 
   // Uniform integer in [0, n).

@@ -1,0 +1,111 @@
+// Typed diagnostics for the Graph/Plan static verifiers.
+//
+// Every check failure is reported as a Diagnostic carrying a stable code
+// (for tests, fuzzers and CI to match on), the offending node id and a
+// human-readable message. A Report aggregates the diagnostics of one
+// verifier pass.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ulayer {
+
+// Stable diagnostic codes. Grouped by prefix: G = graph structure,
+// P = plan structure, C = execution config, Q = quantization parameters.
+enum class DiagCode : uint16_t {
+  // --- Graph (G0xx) ---------------------------------------------------------
+  kGraphEmpty = 1,          // G001: graph has no nodes.
+  kGraphNoInput = 2,        // G002: first node is not an input layer.
+  kNodeIdMismatch = 3,      // G003: node id does not equal its index.
+  kEdgeOutOfRange = 4,      // G004: input edge references a missing node or
+                            //       breaks topological (append) order.
+  kBadArity = 5,            // G005: wrong number of inputs for the layer kind.
+  kInvalidShape = 6,        // G006: non-positive output dimensions.
+  kShapeMismatch = 7,       // G007: stored out_shape disagrees with shape
+                            //       inference over the node's inputs.
+  kBadLayerParams = 8,      // G008: kernel/stride/channel parameters invalid.
+  kEltwiseShapeMismatch = 9,  // G009: eltwise-add inputs differ in shape.
+  kConcatShapeMismatch = 10,  // G010: concat inputs differ in n/h/w.
+
+  // --- Plan (P1xx) ----------------------------------------------------------
+  kPlanSizeMismatch = 101,        // P101: plan.nodes size != graph size.
+  kBadSplitFraction = 102,        // P102: cooperative fraction not finite or
+                                  //       outside [0, 1].
+  kSplitRatioNotUnity = 103,      // P103: cpu + gpu ratios do not sum to 1.
+  kCoopNotSplittable = 104,       // P104: cooperative step on a layer kind
+                                  //       that cannot be channel-split.
+  kSliceOutOfRange = 105,         // P105: channel slice outside [0, C_out).
+  kSliceOverlap = 106,            // P106: CPU and GPU slices overlap
+                                  //       (redundant work, merge is undefined).
+  kSliceGap = 107,                // P107: slices do not cover [0, C_out).
+  kDegenerateSplit = 108,         // P108: one side's slice is empty (warning;
+                                  //       the executor degrades to single).
+  kCoopInputChannelMismatch = 109,  // P109: input-split layer (pool/dw/lrn)
+                                    //       whose in/out channel counts differ.
+  kBranchAssignmentMissing = 110,  // P110: branch group with fewer processor
+                                   //       assignments than branches.
+  kBranchNodeNotMarked = 111,      // P111: node inside an assigned branch is
+                                   //       not planned as a kBranch step on
+                                   //       the branch's processor.
+  kBranchStepOutsideGroup = 112,   // P112: kBranch step not covered by any
+                                   //       branch plan (warning).
+  kBranchGroupInvalid = 113,       // P113: fork/join/branch node ids invalid.
+  kBranchGroupOverlap = 114,       // P114: node claimed by two branch plans.
+
+  // --- Config (C2xx) --------------------------------------------------------
+  kConfigBadDType = 201,      // C201: kInt32 used as storage/compute dtype.
+  kConfigQu8OnFloat = 202,    // C202: QUInt8 compute over float storage
+                              //       (no quantization parameters exist).
+
+  // --- Quantization (Q3xx) --------------------------------------------------
+  kQuantScaleInvalid = 301,     // Q301: scale is zero, negative or not finite.
+  kQuantZeroPointRange = 302,   // Q302: zero point outside [0, 255].
+};
+
+// "G004"-style stable identifier.
+std::string DiagCodeId(DiagCode code);
+// Short kebab-case name, e.g. "edge-out-of-range".
+std::string_view DiagCodeName(DiagCode code);
+
+enum class Severity : uint8_t { kWarning, kError };
+
+struct Diagnostic {
+  DiagCode code;
+  Severity severity = Severity::kError;
+  int node = -1;  // Graph node id the diagnostic anchors to, or -1.
+  std::string message;
+
+  // "error G004 [node 3] input edge 7 out of range"-style line.
+  std::string ToString() const;
+};
+
+class Report {
+ public:
+  void Add(DiagCode code, Severity severity, int node, std::string message);
+  void Error(DiagCode code, int node, std::string message) {
+    Add(code, Severity::kError, node, std::move(message));
+  }
+  void Warn(DiagCode code, int node, std::string message) {
+    Add(code, Severity::kWarning, node, std::move(message));
+  }
+  // Appends all diagnostics of `other`.
+  void Merge(const Report& other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  int error_count() const { return errors_; }
+  int warning_count() const { return static_cast<int>(diags_.size()) - errors_; }
+  // True when no error-severity diagnostic was recorded (warnings allowed).
+  bool ok() const { return errors_ == 0; }
+  bool Has(DiagCode code) const;
+
+  // One line per diagnostic; empty string for a clean report.
+  std::string ToString() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  int errors_ = 0;
+};
+
+}  // namespace ulayer

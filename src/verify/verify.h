@@ -1,0 +1,91 @@
+// Static verifiers for the structural invariants μLayer's correctness rests
+// on (see DESIGN.md "Static analysis & invariants"):
+//
+//  - GraphVerifier: the Graph is a well-formed DAG in topological order and
+//    every node's stored output shape agrees with shape inference over its
+//    inputs (arity, parameter and shape checks).
+//  - PlanVerifier: a Plan is executable against a Graph under an ExecConfig:
+//    channel splits partition [0, C_out) exactly once with ratios summing
+//    to 1 (paper Section 3.2), input-split layers (pooling, depthwise, LRN)
+//    have consistent channel counts, branch groups are fully assigned with
+//    one processor per branch (Section 5), and the config's dtype
+//    combination is coherent (Section 4).
+//  - VerifyActivationQuantization: calibrated activation quantization
+//    parameters are sane — positive finite scales, zero points in [0, 255]
+//    (Section 4, after Jacob et al.).
+//
+// Verifiers report typed diagnostics and never mutate their inputs. They are
+// wired into ULayerRuntime/Executor behind ExecConfig::verify and exposed
+// standalone through tools/ulayer_verify.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/config.h"
+#include "core/plan.h"
+#include "nn/graph.h"
+#include "quant/quantize.h"
+#include "verify/diagnostics.h"
+
+namespace ulayer {
+
+// Thrown by the Runtime/Executor entry points (ExecConfig::verify) when a
+// verifier pass reports errors. what() embeds the full diagnostic listing.
+class VerifyError : public std::runtime_error {
+ public:
+  VerifyError(const std::string& context, Report report);
+
+  const Report& report() const { return report_; }
+
+ private:
+  Report report_;
+};
+
+// Throws VerifyError when `report` contains error-severity diagnostics.
+void ThrowIfErrors(const std::string& context, const Report& report);
+
+class GraphVerifier {
+ public:
+  explicit GraphVerifier(const Graph& graph) : graph_(graph) {}
+
+  Report Verify() const;
+
+ private:
+  const Graph& graph_;
+};
+
+class PlanVerifier {
+ public:
+  PlanVerifier(const Graph& graph, const ExecConfig& config) : graph_(graph), config_(config) {}
+
+  Report Verify(const Plan& plan) const;
+
+ private:
+  void VerifyConfig(Report& out) const;
+  void VerifyBranchPlans(const Plan& plan, std::vector<int>& branch_proc, Report& out) const;
+  void VerifyCooperative(const Node& node, const NodeAssignment& a, Report& out) const;
+
+  const Graph& graph_;
+  const ExecConfig& config_;
+};
+
+// Convenience wrappers.
+Report VerifyGraph(const Graph& graph);
+Report VerifyPlan(const Graph& graph, const Plan& plan, const ExecConfig& config);
+
+// Checks one (scale, zero_point) pair; appends diagnostics to `out`.
+// `what` names the tensor being checked (e.g. "activation", "filter").
+void CheckQuantParams(const QuantParams& qp, int node, const char* what, Report& out);
+
+// Checks per-node activation quantization parameters (indexed by node id,
+// as produced by PreparedModel calibration).
+Report VerifyActivationQuantization(const Graph& graph, const std::vector<QuantParams>& act);
+
+// The exact number of CPU-GPU synchronizations the executor will charge when
+// running `plan` (dependency syncs plus one merge sync per cooperative
+// step). Mirrors Executor::Run's accounting so tests can cross-check
+// RunResult::sync_count against the plan's structure.
+int ExpectedSyncCount(const Graph& graph, const Plan& plan, const ExecConfig& config);
+
+}  // namespace ulayer

@@ -22,7 +22,7 @@ Tensor RefConv(const Tensor& in, const Tensor& w, const Tensor& bias, const Conv
     for (int64_t oc = 0; oc < fs.n; ++oc) {
       for (int y = 0; y < oh; ++y) {
         for (int x = 0; x < ow; ++x) {
-          double acc = bias.empty() ? 0.0 : bias.Data<float>()[oc];
+          double acc = bias.empty() ? 0.0 : static_cast<double>(bias.Data<float>()[oc]);
           for (int64_t ic = 0; ic < is.c; ++ic) {
             for (int kh = 0; kh < p.kernel_h; ++kh) {
               for (int kw = 0; kw < p.kernel_w; ++kw) {
@@ -32,7 +32,7 @@ Tensor RefConv(const Tensor& in, const Tensor& w, const Tensor& bias, const Conv
                   continue;
                 }
                 acc += static_cast<double>(in.Data<float>()[is.Offset(ni, ic, ih, iw)]) *
-                       w.Data<float>()[fs.Offset(oc, ic, kh, kw)];
+                       static_cast<double>(w.Data<float>()[fs.Offset(oc, ic, kh, kw)]);
               }
             }
           }

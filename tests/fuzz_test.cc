@@ -8,6 +8,7 @@
 #include "core/runtime.h"
 #include "io/io.h"
 #include "tensor/rng.h"
+#include "verify/verify.h"
 
 namespace ulayer {
 namespace {
@@ -161,6 +162,115 @@ TEST_P(FuzzGraphs, CooperativeF32MergeIsBitExact) {
   const RunResult split = ex.Run(coop, &in);
   ASSERT_TRUE(single.output.has_value() && split.output.has_value());
   EXPECT_EQ(MaxAbsDiff(*single.output, *split.output), 0.0f);
+}
+
+TEST_P(FuzzGraphs, PartitionerPlansVerifyClean) {
+  const Model m = RandomModel(GetParam());
+  for (const SocSpec& soc : {MakeExynos7420(), MakeExynos7880()}) {
+    ULayerRuntime rt(m, soc);
+    const Report r = VerifyPlan(m.graph, rt.plan(), ExecConfig::AllF32());
+    EXPECT_TRUE(r.ok()) << m.name << " on " << soc.name << "\n" << r.ToString();
+  }
+}
+
+// Mutates valid partitioner plans into invalid ones and checks the property
+// the verifier guarantees: every mutated plan is either rejected with an
+// error diagnostic, or still executes to a finite positive latency. Nothing
+// the mutator produces may crash, hang, or yield a non-finite timeline.
+TEST_P(FuzzGraphs, MutatedPlansAreRejectedOrExecutable) {
+  const Model m = RandomModel(GetParam());
+  const SocSpec soc = MakeExynos7420();
+  ExecConfig cfg = ExecConfig::AllF32();
+  ULayerRuntime rt(m, soc);
+  const Plan base = rt.plan();
+  const Graph& g = m.graph;
+  Rng rng(GetParam() ^ 0x9e3779b9);
+
+  std::vector<Plan> mutants;
+  // One mutant per mutation kind, each targeting a random non-input node.
+  const auto random_node = [&] {
+    return 1 + static_cast<int>(rng.Below(static_cast<uint64_t>(g.size() - 1)));
+  };
+  {  // Ratios not summing to 1.
+    Plan p = base;
+    NodeAssignment& a = p.nodes[static_cast<size_t>(random_node())];
+    a.kind = StepKind::kCooperative;
+    a.cpu_fraction = 0.5;
+    a.gpu_fraction = 0.25 + 0.1 * static_cast<double>(rng.Below(10));
+    mutants.push_back(std::move(p));
+  }
+  {  // Overlapping explicit slices.
+    Plan p = base;
+    const int id = random_node();
+    const int64_t c = g.node(id).out_shape.c;
+    NodeAssignment& a = p.nodes[static_cast<size_t>(id)];
+    a.kind = StepKind::kCooperative;
+    a.cpu_slice = ChannelRange{0, c};
+    a.gpu_slice = ChannelRange{c / 2, c};
+    mutants.push_back(std::move(p));
+  }
+  {  // Gapped explicit slices.
+    Plan p = base;
+    const int id = random_node();
+    const int64_t c = g.node(id).out_shape.c;
+    NodeAssignment& a = p.nodes[static_cast<size_t>(id)];
+    a.kind = StepKind::kCooperative;
+    a.cpu_slice = ChannelRange{0, 0};
+    a.gpu_slice = ChannelRange{c / 2 + 1, c};
+    mutants.push_back(std::move(p));
+  }
+  {  // Out-of-range fraction.
+    Plan p = base;
+    NodeAssignment& a = p.nodes[static_cast<size_t>(random_node())];
+    a.kind = StepKind::kCooperative;
+    a.cpu_fraction = -0.5;
+    mutants.push_back(std::move(p));
+  }
+  {  // Cooperative on a layer that may not be splittable (softmax output).
+    Plan p = base;
+    p.nodes[static_cast<size_t>(g.OutputId())] =
+        NodeAssignment{StepKind::kCooperative, ProcKind::kCpu, 0.5};
+    mutants.push_back(std::move(p));
+  }
+  if (!base.branch_plans.empty()) {
+    {  // Missing branch assignment.
+      Plan p = base;
+      p.branch_plans[0].assignment.pop_back();
+      mutants.push_back(std::move(p));
+    }
+    {  // Branch member re-planned as a plain single step.
+      Plan p = base;
+      const int member = p.branch_plans[0].group.branches[0][0];
+      p.nodes[static_cast<size_t>(member)] = NodeAssignment{StepKind::kSingle, ProcKind::kGpu};
+      mutants.push_back(std::move(p));
+    }
+  }
+  {  // Truncated plan.
+    Plan p = base;
+    p.nodes.pop_back();
+    mutants.push_back(std::move(p));
+  }
+
+  ExecConfig no_verify = cfg;
+  no_verify.verify = false;
+  PreparedModel pm(m, no_verify);
+  Executor ex(pm, soc);
+  int rejected = 0;
+  for (size_t i = 0; i < mutants.size(); ++i) {
+    const Report r = VerifyPlan(g, mutants[i], cfg);
+    if (!r.ok()) {
+      ++rejected;
+      continue;
+    }
+    // Accepted by the verifier (the mutation happened to stay legal, e.g. a
+    // degenerate-but-coherent split): it must then execute cleanly.
+    const RunResult res = ex.Run(mutants[i]);
+    EXPECT_TRUE(std::isfinite(res.latency_us)) << "mutant " << i;
+    EXPECT_GT(res.latency_us, 0.0) << "mutant " << i;
+  }
+  // The structurally broken mutants (ratio, overlap, gap, fraction,
+  // truncation) can never all slip through.
+  EXPECT_GE(rejected, 4);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzGraphs,

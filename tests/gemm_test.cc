@@ -16,7 +16,7 @@ std::vector<double> RefGemm(const std::vector<float>& a, const std::vector<float
   std::vector<double> c(static_cast<size_t>(m * n), 0.0);
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t j = 0; j < n; ++j) {
-      double acc = bias != nullptr ? (*bias)[static_cast<size_t>(i)] : 0.0;
+      double acc = bias != nullptr ? static_cast<double>((*bias)[static_cast<size_t>(i)]) : 0.0;
       for (int64_t kk = 0; kk < k; ++kk) {
         acc += static_cast<double>(a[static_cast<size_t>(i * k + kk)]) *
                static_cast<double>(b[static_cast<size_t>(kk * n + j)]);
@@ -118,7 +118,8 @@ TEST(GemmQU8Test, MatchesDequantizedReference) {
   for (size_t i = 0; i < b.size(); ++i) b[i] = b_qp.Quantize(b_real[i]);
 
   const RequantScale rs =
-      ComputeRequantScale(static_cast<double>(a_qp.scale) * b_qp.scale / c_qp.scale);
+      ComputeRequantScale(static_cast<double>(a_qp.scale) * static_cast<double>(b_qp.scale) /
+                          static_cast<double>(c_qp.scale));
   std::vector<uint8_t> c(static_cast<size_t>(m * n));
   GemmQU8(a.data(), a_qp.zero_point, b.data(), b_qp.zero_point, c.data(), c_qp.zero_point, rs, m,
           n, k, nullptr, false);
@@ -131,7 +132,7 @@ TEST(GemmQU8Test, MatchesDequantizedReference) {
   const auto ref = RefGemm(a_dq, b_dq, m, n, k, nullptr);
   for (size_t i = 0; i < c.size(); ++i) {
     const float got = c_qp.Dequantize(c[i]);
-    EXPECT_NEAR(got, ref[i], c_qp.scale * 1.5) << i;
+    EXPECT_NEAR(got, ref[i], static_cast<double>(c_qp.scale) * 1.5) << i;
   }
 }
 
@@ -181,7 +182,8 @@ TEST_P(GemmQU8Property, ErrorBounded) {
   for (size_t i = 0; i < a.size(); ++i) a[i] = a_qp.Quantize(a_real[i]);
   for (size_t i = 0; i < b.size(); ++i) b[i] = b_qp.Quantize(b_real[i]);
   const RequantScale rs =
-      ComputeRequantScale(static_cast<double>(a_qp.scale) * b_qp.scale / c_qp.scale);
+      ComputeRequantScale(static_cast<double>(a_qp.scale) * static_cast<double>(b_qp.scale) /
+                          static_cast<double>(c_qp.scale));
   std::vector<uint8_t> c(static_cast<size_t>(m) * static_cast<size_t>(n));
   GemmQU8(a.data(), a_qp.zero_point, b.data(), b_qp.zero_point, c.data(), c_qp.zero_point, rs, m,
           n, k, nullptr, false);
@@ -190,7 +192,7 @@ TEST_P(GemmQU8Property, ErrorBounded) {
   for (size_t i = 0; i < b.size(); ++i) b_dq[i] = b_qp.Dequantize(b[i]);
   const auto ref = RefGemm(a_dq, b_dq, m, n, k, nullptr);
   for (size_t i = 0; i < c.size(); ++i) {
-    EXPECT_NEAR(c_qp.Dequantize(c[i]), ref[i], c_qp.scale * 1.5);
+    EXPECT_NEAR(c_qp.Dequantize(c[i]), ref[i], static_cast<double>(c_qp.scale) * 1.5);
   }
 }
 

@@ -1,0 +1,229 @@
+// ulayer_verify: run the static Graph/Plan verifiers from the command line.
+//
+// Verifies a model (zoo name or ulayer-graph text file) and a plan (the
+// partitioner's, a single-processor baseline's, or a ulayer-plan text file)
+// and prints every diagnostic to stderr (stdout carries only the --print-plan
+// dump, so it pipes cleanly). Exit status: 0 when clean (warnings allowed),
+// 1 when any error-severity diagnostic fired, 2 on usage/parse problems.
+//
+// Examples:
+//   ulayer_verify --model vgg16
+//   ulayer_verify --model googlenet --soc 7880 --config pf
+//   ulayer_verify --graph net.graph --plan net.plan --config qu8
+//   ulayer_verify --model mobilenet --single gpu --print-plan
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "core/partitioner.h"
+#include "core/predictor.h"
+#include "io/io.h"
+#include "models/model.h"
+#include "soc/timing.h"
+#include "verify/verify.h"
+
+namespace {
+
+using namespace ulayer;
+
+constexpr const char* kUsage = R"(usage: ulayer_verify [options]
+
+Model selection (one of):
+  --model <name>    zoo model: lenet5 alexnet vgg16 googlenet squeezenet
+                    mobilenet resnet18 resnet50 inceptionv3
+  --graph <file>    ulayer-graph v1 text file (see GraphToText)
+
+Plan selection (default: the partitioner's plan):
+  --plan <file>     ulayer-plan v1 text file (see PlanToText)
+  --single cpu|gpu  single-processor baseline plan
+  --l2p             layer-to-processor baseline plan
+
+Options:
+  --soc 7420|7880   SoC preset the plan targets (default 7420)
+  --config f32|f16|qu8|pf
+                    execution config (default f32; pf = processor-friendly)
+  --print-plan      dump the plan being verified (ulayer-plan v1)
+  --graph-only      verify the graph and stop (no plan)
+  -h, --help        this text
+)";
+
+[[noreturn]] void UsageError(const std::string& msg) {
+  std::cerr << "ulayer_verify: " << msg << "\n\n" << kUsage;
+  std::exit(2);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    UsageError("cannot open '" + path + "'");
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+Model MakeZooModel(const std::string& name) {
+  if (name == "lenet5") return MakeLeNet5();
+  if (name == "alexnet") return MakeAlexNet();
+  if (name == "vgg16") return MakeVgg16();
+  if (name == "googlenet") return MakeGoogLeNet();
+  if (name == "squeezenet") return MakeSqueezeNetV11();
+  if (name == "mobilenet") return MakeMobileNetV1();
+  if (name == "resnet18") return MakeResNet18();
+  if (name == "resnet50") return MakeResNet50();
+  if (name == "inceptionv3") return MakeInceptionV3();
+  UsageError("unknown model '" + name + "'");
+}
+
+ExecConfig MakeConfig(const std::string& name) {
+  if (name == "f32") return ExecConfig::AllF32();
+  if (name == "f16") return ExecConfig::AllF16();
+  if (name == "qu8") return ExecConfig::AllQU8();
+  if (name == "pf") return ExecConfig::ProcessorFriendly();
+  UsageError("unknown config '" + name + "' (want f32|f16|qu8|pf)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_name;
+  std::string graph_path;
+  std::string plan_path;
+  std::string single_proc;
+  std::string soc_name = "7420";
+  std::string config_name = "f32";
+  bool l2p = false;
+  bool print_plan = false;
+  bool graph_only = false;
+
+  auto next_arg = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) {
+      UsageError(std::string(flag) + " needs a value");
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--model") {
+      model_name = next_arg(i, "--model");
+    } else if (a == "--graph") {
+      graph_path = next_arg(i, "--graph");
+    } else if (a == "--plan") {
+      plan_path = next_arg(i, "--plan");
+    } else if (a == "--single") {
+      single_proc = next_arg(i, "--single");
+    } else if (a == "--l2p") {
+      l2p = true;
+    } else if (a == "--soc") {
+      soc_name = next_arg(i, "--soc");
+    } else if (a == "--config") {
+      config_name = next_arg(i, "--config");
+    } else if (a == "--print-plan") {
+      print_plan = true;
+    } else if (a == "--graph-only") {
+      graph_only = true;
+    } else if (a == "-h" || a == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      UsageError("unknown argument '" + a + "'");
+    }
+  }
+  if (model_name.empty() == graph_path.empty()) {
+    UsageError("pick exactly one of --model / --graph");
+  }
+  if (static_cast<int>(!plan_path.empty()) + static_cast<int>(!single_proc.empty()) +
+          static_cast<int>(l2p) >
+      1) {
+    UsageError("pick at most one of --plan / --single / --l2p");
+  }
+
+  const ExecConfig config = MakeConfig(config_name);
+  SocSpec soc;
+  if (soc_name == "7420") {
+    soc = MakeExynos7420();
+  } else if (soc_name == "7880") {
+    soc = MakeExynos7880();
+  } else {
+    UsageError("unknown SoC '" + soc_name + "' (want 7420|7880)");
+  }
+
+  // --- Graph -----------------------------------------------------------------
+  Model model;
+  std::string source;
+  if (!model_name.empty()) {
+    model = MakeZooModel(model_name);
+    source = model.name;
+  } else {
+    try {
+      model.graph = GraphFromText(ReadFile(graph_path));
+    } catch (const ParseError& e) {
+      std::cerr << "ulayer_verify: parse error in '" << graph_path << "': " << e.what() << "\n";
+      return 2;
+    }
+    model.name = source = graph_path;
+  }
+
+  const Report graph_report = VerifyGraph(model.graph);
+  std::cerr << "graph " << source << ": " << model.graph.size() << " nodes, "
+            << graph_report.error_count() << " errors, " << graph_report.warning_count()
+            << " warnings\n";
+  if (!graph_report.diagnostics().empty()) {
+    std::cerr << graph_report.ToString();
+  }
+  if (graph_only) {
+    return graph_report.ok() ? 0 : 1;
+  }
+  if (!graph_report.ok()) {
+    // A broken graph makes plan diagnostics unreliable; stop here.
+    return 1;
+  }
+
+  // --- Plan ------------------------------------------------------------------
+  const TimingModel timing(soc);
+  Plan plan;
+  std::string plan_source;
+  if (!plan_path.empty()) {
+    try {
+      plan = PlanFromText(ReadFile(plan_path), model.graph);
+    } catch (const ParseError& e) {
+      std::cerr << "ulayer_verify: parse error in '" << plan_path << "': " << e.what() << "\n";
+      return 2;
+    }
+    plan_source = plan_path;
+  } else if (!single_proc.empty()) {
+    if (single_proc != "cpu" && single_proc != "gpu") {
+      UsageError("--single wants cpu|gpu");
+    }
+    plan = MakeSingleProcessorPlan(model.graph,
+                                   single_proc == "cpu" ? ProcKind::kCpu : ProcKind::kGpu);
+    plan_source = "single-" + single_proc;
+  } else {
+    const LatencyPredictor predictor(timing, config, {&model.graph});
+    if (l2p) {
+      plan = MakeLayerToProcessorPlan(model.graph, timing, config, predictor);
+      plan_source = "layer-to-processor";
+    } else {
+      plan = Partitioner(model.graph, timing, config, predictor).Build();
+      plan_source = "partitioner";
+    }
+  }
+
+  if (print_plan) {
+    std::cout << PlanToText(plan, model.graph);
+  }
+
+  const Report plan_report = VerifyPlan(model.graph, plan, config);
+  std::cerr << "plan " << plan_source << " (soc " << soc.name << ", config " << config_name
+            << "): " << plan_report.error_count() << " errors, " << plan_report.warning_count()
+            << " warnings\n";
+  if (!plan_report.diagnostics().empty()) {
+    std::cerr << plan_report.ToString();
+  }
+  return plan_report.ok() ? 0 : 1;
+}
