@@ -12,6 +12,7 @@
 #include "baselines/baselines.h"
 #include "core/runtime.h"
 #include "models/model.h"
+#include "parallel/thread_pool.h"
 
 namespace ulayer::benchutil {
 
@@ -26,6 +27,7 @@ inline void PrintHeader(const std::string& title, const std::string& paper_ref) 
   std::printf("%s\n", title.c_str());
   std::printf("Reproduces: %s\n", paper_ref.c_str());
   std::printf("(all latencies/energies are simulated SoC time; see DESIGN.md)\n");
+  std::printf("CPU threads: %d (override with ULAYER_CPU_THREADS)\n", parallel::CpuThreads());
   std::printf("================================================================\n");
 }
 

@@ -28,6 +28,14 @@ struct ExecConfig {
   // bench/per_channel_quant.
   bool per_channel_weights = false;
 
+  // CPU threads used by the functional kernels (src/parallel) and assumed by
+  // the simulated CPU kernel-body time. 0 = automatic: the ULAYER_CPU_THREADS
+  // environment override when set, otherwise the host's hardware concurrency
+  // (functional side) and the full CPU cluster (timing side). 1 restores the
+  // single-threaded behavior; outputs are byte-identical for any value (see
+  // DESIGN.md "Parallel execution model").
+  int cpu_threads = 0;
+
   // Run the Graph/Plan static verifiers (src/verify) at the Runtime and
   // Executor entry points; invariant violations throw VerifyError instead of
   // silently producing wrong latencies or garbage tensors. The passes are

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/compute.h"
+#include "parallel/thread_pool.h"
 #include "verify/verify.h"
 
 namespace ulayer {
@@ -46,6 +47,10 @@ RunResult Executor::Run(const Plan& plan, const Tensor* input) {
     ThrowIfErrors("plan verification failed", VerifyPlan(g, plan, cfg));
   }
   assert(plan.nodes.size() == static_cast<size_t>(g.size()));
+  // Apply this run's CPU thread budget to the functional kernels. The budget
+  // is process-wide; the last configured run wins (matches how a real
+  // runtime pins its worker pool once per session).
+  parallel::SetCpuThreads(cfg.cpu_threads);
   ctx_.Reset();
   const TimingModel& timing = ctx_.timing();
 
@@ -89,7 +94,7 @@ RunResult Executor::Run(const Plan& plan, const Tensor* input) {
       const bool on_cpu = proc == ProcKind::kCpu;
       const double ready = ReadyTime(n, on_cpu, !on_cpu, done, &syncs);
       const LayerWork w = ComputeWork(g, n, cfg.storage);
-      const double body = timing.KernelBodyUs(w, proc, cfg.ComputeFor(proc));
+      const double body = timing.KernelBodyUs(w, proc, cfg.ComputeFor(proc), cfg.cpu_threads);
       const ucl::Event ev = ctx_.queue(proc).EnqueueKernelAt(ready, body, cfg.ComputeFor(proc),
                                                              w.TotalBytes());
       trace.push_back(KernelTrace{n.id, proc, ev.start_us, ev.complete_us});
@@ -140,8 +145,8 @@ RunResult Executor::Run(const Plan& plan, const Tensor* input) {
                                                    cfg.ComputeFor(ProcKind::kGpu),
                                                    gpu_w.TotalBytes());
     // The CPU runs its own slice; its kernel-launch overhead applies.
-    const double cpu_body =
-        timing.KernelBodyUs(cpu_w, ProcKind::kCpu, cfg.ComputeFor(ProcKind::kCpu));
+    const double cpu_body = timing.KernelBodyUs(cpu_w, ProcKind::kCpu,
+                                                cfg.ComputeFor(ProcKind::kCpu), cfg.cpu_threads);
     const ucl::Event cpu_ev = ctx_.queue(ProcKind::kCpu)
                                   .EnqueueKernelAt(cpu_free, cpu_body,
                                                    cfg.ComputeFor(ProcKind::kCpu),

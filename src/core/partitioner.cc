@@ -54,7 +54,7 @@ double Partitioner::LayerUs(const Node& node, ProcKind proc, double fraction) co
   }
   const int64_t c_end = FractionChannels(node, fraction);
   const LayerWork w = ComputeWork(graph_, node, config_.storage, 0, c_end);
-  return timing_.KernelLatencyUs(w, proc, config_.ComputeFor(proc));
+  return timing_.KernelLatencyUs(w, proc, config_.ComputeFor(proc), config_.cpu_threads);
 }
 
 double Partitioner::EstimateSingleUs(const Node& node, ProcKind proc) const {

@@ -7,6 +7,10 @@
 namespace ulayer {
 namespace {
 
+// Latency floor for fit samples (microseconds): keeps log(t) finite for
+// zero-latency samples without disturbing any realistic measurement.
+constexpr double kMinSampleUs = 1e-9;
+
 // Channel range covering the leading `fraction` of a node's output channels.
 int64_t FractionChannels(const Node& node, double fraction) {
   const int64_t c = node.out_shape.c;
@@ -75,7 +79,7 @@ double LatencyPredictor::MeasureUs(const Graph& g, const Node& node, ProcKind pr
   }
   const int64_t c_end = FractionChannels(node, fraction);
   const LayerWork w = ComputeWork(g, node, config_.storage, 0, c_end);
-  return timing_.KernelLatencyUs(w, proc, config_.ComputeFor(proc));
+  return timing_.KernelLatencyUs(w, proc, config_.ComputeFor(proc), config_.cpu_threads);
 }
 
 LatencyPredictor::LatencyPredictor(const TimingModel& timing, const ExecConfig& config,
@@ -93,9 +97,19 @@ LatencyPredictor::LatencyPredictor(const TimingModel& timing, const ExecConfig& 
         for (const double f : fractions) {
           const int64_t c_end = FractionChannels(node, f);
           const LayerWork w = ComputeWork(*g, node, config_.storage, 0, c_end);
-          const double t = timing_.KernelLatencyUs(w, proc, config_.ComputeFor(proc));
+          const double t =
+              timing_.KernelLatencyUs(w, proc, config_.ComputeFor(proc), config_.cpu_threads);
+          // A degenerate layer or a zero-cost timing configuration can yield
+          // t == 0 (log -> -inf) or a non-finite t; either would poison the
+          // normal equations for this (kind, proc) and every later
+          // prediction. Floor at a sub-nanosecond epsilon and drop anything
+          // still non-finite.
+          if (!std::isfinite(t)) {
+            continue;
+          }
+          const double log_t = std::log(std::max(t, kMinSampleUs));
           acc[static_cast<size_t>(node.desc.kind)][static_cast<size_t>(pi)].Add(
-              std::log1p(w.macs), std::log1p(w.TotalBytes()), std::log(t));
+              std::log1p(w.macs), std::log1p(w.TotalBytes()), log_t);
         }
       }
     }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/reference.h"
+#include "parallel/thread_pool.h"
 
 namespace ulayer {
 namespace {
@@ -61,6 +62,9 @@ void PreparedModel::Calibrate(const std::vector<Tensor>& inputs) {
   assert(config_.storage == DType::kQUInt8 && "only QUInt8 storage needs calibration");
   assert(model_->has_weights());
   assert(!inputs.empty());
+  // The calibration forward passes run the same threaded kernels as
+  // execution; honor this config's thread budget.
+  parallel::SetCpuThreads(config_.cpu_threads);
 
   // Observe per-node F32 activation ranges across the calibration set.
   std::vector<MinMaxObserver> obs(static_cast<size_t>(graph().size()));

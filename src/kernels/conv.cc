@@ -6,6 +6,7 @@
 
 #include "kernels/gemm.h"
 #include "kernels/im2col.h"
+#include "parallel/thread_pool.h"
 #include "quant/half.h"
 #include "quant/quantize.h"
 
@@ -132,37 +133,43 @@ void Conv2DQU8PerChannel(const Tensor& input, const Tensor& filters,
                             static_cast<double>(output.scale()));
   }
 
-  std::vector<int32_t> acc(static_cast<size_t>(spatial));
   for (int64_t ni = 0; ni < is.n; ++ni) {
     const uint8_t* img = input.Data<uint8_t>() + ni * is.c * is.h * is.w;
     Im2ColQU8(img, static_cast<int>(is.c), static_cast<int>(is.h), static_cast<int>(is.w), p,
               cols.data(), in_pad);
-    for (int64_t oc = oc_begin; oc < oc_end; ++oc) {
-      const int32_t w_zp = w_params.channels[static_cast<size_t>(oc)].zero_point;
-      const uint8_t* wrow = filters.Data<uint8_t>() + oc * k;
-      const int32_t b0 = bias.empty() ? 0 : bias.Data<int32_t>()[oc];
-      std::fill(acc.begin(), acc.end(), b0);
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const int32_t wv = static_cast<int32_t>(wrow[kk]) - w_zp;
-        if (wv == 0) {
-          continue;
-        }
-        const uint8_t* crow = cols.data() + kk * spatial;
-        for (int64_t j = 0; j < spatial; ++j) {
-          acc[static_cast<size_t>(j)] +=
-              wv * (static_cast<int32_t>(crow[j]) - input.zero_point());
-        }
-      }
-      uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, oc, 0, 0);
-      const RequantScale& r = rs[static_cast<size_t>(oc - oc_begin)];
-      for (int64_t j = 0; j < spatial; ++j) {
-        uint8_t q = RequantizeOne(acc[static_cast<size_t>(j)], r, output.zero_point());
-        if (p.relu && q < output.zero_point()) {
-          q = static_cast<uint8_t>(output.zero_point());
-        }
-        out[j] = q;
-      }
-    }
+    // Output channels are independent; each chunk owns its accumulator row.
+    parallel::ParallelFor(
+        oc_begin, oc_end,
+        parallel::GrainForOps(static_cast<double>(k) * static_cast<double>(spatial)),
+        [&](int64_t ob, int64_t oe) {
+          std::vector<int32_t> acc(static_cast<size_t>(spatial));
+          for (int64_t oc = ob; oc < oe; ++oc) {
+            const int32_t w_zp = w_params.channels[static_cast<size_t>(oc)].zero_point;
+            const uint8_t* wrow = filters.Data<uint8_t>() + oc * k;
+            const int32_t b0 = bias.empty() ? 0 : bias.Data<int32_t>()[oc];
+            std::fill(acc.begin(), acc.end(), b0);
+            for (int64_t kk = 0; kk < k; ++kk) {
+              const int32_t wv = static_cast<int32_t>(wrow[kk]) - w_zp;
+              if (wv == 0) {
+                continue;
+              }
+              const uint8_t* crow = cols.data() + kk * spatial;
+              for (int64_t j = 0; j < spatial; ++j) {
+                acc[static_cast<size_t>(j)] +=
+                    wv * (static_cast<int32_t>(crow[j]) - input.zero_point());
+              }
+            }
+            uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, oc, 0, 0);
+            const RequantScale& r = rs[static_cast<size_t>(oc - oc_begin)];
+            for (int64_t j = 0; j < spatial; ++j) {
+              uint8_t q = RequantizeOne(acc[static_cast<size_t>(j)], r, output.zero_point());
+              if (p.relu && q < output.zero_point()) {
+                q = static_cast<uint8_t>(output.zero_point());
+              }
+              out[j] = q;
+            }
+          }
+        });
   }
 }
 
@@ -206,18 +213,24 @@ void Conv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const Tensor& b
   std::vector<Half> out16((oc_end - oc_begin) * spatial);
   for (int64_t ni = 0; ni < is.n; ++ni) {
     const uint8_t* img = input.Data<uint8_t>() + ni * is.c * is.h * is.w;
-    for (size_t i = 0; i < img16.size(); ++i) {
-      img16[i] = Half(in_qp.Dequantize(img[i]));
-    }
+    parallel::ParallelFor(0, static_cast<int64_t>(img16.size()), parallel::GrainForOps(1.0),
+                          [&](int64_t b, int64_t e) {
+                            for (int64_t i = b; i < e; ++i) {
+                              img16[static_cast<size_t>(i)] = Half(in_qp.Dequantize(img[i]));
+                            }
+                          });
     Im2ColF16(img16.data(), static_cast<int>(is.c), static_cast<int>(is.h),
               static_cast<int>(is.w), p, cols.data());
     GemmF16(w16.data(), cols.data(), out16.data(), oc_end - oc_begin, spatial, k,
             bias.empty() ? nullptr : bias16.data(), p.relu);
     // Requantize the F16 results back to the shared QUInt8 output buffer.
     uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, oc_begin, 0, 0);
-    for (int64_t i = 0; i < static_cast<int64_t>(out16.size()); ++i) {
-      out[i] = out_qp.Quantize(out16[static_cast<size_t>(i)].ToFloat());
-    }
+    parallel::ParallelFor(0, static_cast<int64_t>(out16.size()), parallel::GrainForOps(1.0),
+                          [&](int64_t b, int64_t e) {
+                            for (int64_t i = b; i < e; ++i) {
+                              out[i] = out_qp.Quantize(out16[static_cast<size_t>(i)].ToFloat());
+                            }
+                          });
   }
 }
 
@@ -230,32 +243,37 @@ void DepthwiseImpl(const Tensor& input, const Tensor& filters, const Tensor& bia
   const Shape& is = input.shape();
   const int out_h = p.OutH(static_cast<int>(is.h));
   const int out_w = p.OutW(static_cast<int>(is.w));
+  const double ops_per_channel =
+      static_cast<double>(out_h) * out_w * p.kernel_h * p.kernel_w;
   for (int64_t ni = 0; ni < is.n; ++ni) {
-    for (int64_t c = c_begin; c < c_end; ++c) {
-      const T* in_c = input.Data<T>() + is.Offset(ni, c, 0, 0);
-      const T* w = filters.Data<T>() + c * p.kernel_h * p.kernel_w;
-      const Acc b0 = bias.empty() ? Acc(0.0f) : Acc(bias.Data<T>()[c]);
-      T* out = output.Data<T>() + output.shape().Offset(ni, c, 0, 0);
-      for (int oh = 0; oh < out_h; ++oh) {
-        for (int ow = 0; ow < out_w; ++ow) {
-          Acc acc = b0;
-          for (int kh = 0; kh < p.kernel_h; ++kh) {
-            const int ih = oh * p.stride_h - p.pad_h + kh;
-            for (int kw = 0; kw < p.kernel_w; ++kw) {
-              const int iw = ow * p.stride_w - p.pad_w + kw;
-              const T v = (ih < 0 || ih >= is.h || iw < 0 || iw >= is.w)
-                              ? pad_value
-                              : in_c[ih * is.w + iw];
-              acc += Acc(v) * Acc(w[kh * p.kernel_w + kw]);
+    parallel::ParallelFor(c_begin, c_end, parallel::GrainForOps(ops_per_channel), [&](
+                              int64_t cb, int64_t ce) {
+      for (int64_t c = cb; c < ce; ++c) {
+        const T* in_c = input.Data<T>() + is.Offset(ni, c, 0, 0);
+        const T* w = filters.Data<T>() + c * p.kernel_h * p.kernel_w;
+        const Acc b0 = bias.empty() ? Acc(0.0f) : Acc(bias.Data<T>()[c]);
+        T* out = output.Data<T>() + output.shape().Offset(ni, c, 0, 0);
+        for (int oh = 0; oh < out_h; ++oh) {
+          for (int ow = 0; ow < out_w; ++ow) {
+            Acc acc = b0;
+            for (int kh = 0; kh < p.kernel_h; ++kh) {
+              const int ih = oh * p.stride_h - p.pad_h + kh;
+              for (int kw = 0; kw < p.kernel_w; ++kw) {
+                const int iw = ow * p.stride_w - p.pad_w + kw;
+                const T v = (ih < 0 || ih >= is.h || iw < 0 || iw >= is.w)
+                                ? pad_value
+                                : in_c[ih * is.w + iw];
+                acc += Acc(v) * Acc(w[kh * p.kernel_w + kw]);
+              }
             }
+            if (p.relu && acc < Acc(0.0f)) {
+              acc = Acc(0.0f);
+            }
+            out[oh * out_w + ow] = T(acc);
           }
-          if (p.relu && acc < Acc(0.0f)) {
-            acc = Acc(0.0f);
-          }
-          out[oh * out_w + ow] = T(acc);
         }
       }
-    }
+    });
   }
 }
 
@@ -290,34 +308,39 @@ void DepthwiseConv2DQU8(const Tensor& input, const Tensor& filters, const Tensor
   const int32_t w_zp = filters.zero_point();
   const int32_t out_zp = output.zero_point();
 
+  const double ops_per_channel =
+      static_cast<double>(out_h) * out_w * p.kernel_h * p.kernel_w;
   for (int64_t ni = 0; ni < is.n; ++ni) {
-    for (int64_t c = c_begin; c < c_end; ++c) {
-      const uint8_t* in_c = input.Data<uint8_t>() + is.Offset(ni, c, 0, 0);
-      const uint8_t* w = filters.Data<uint8_t>() + c * p.kernel_h * p.kernel_w;
-      const int32_t b0 = bias.empty() ? 0 : bias.Data<int32_t>()[c];
-      uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, c, 0, 0);
-      for (int oh = 0; oh < out_h; ++oh) {
-        for (int ow = 0; ow < out_w; ++ow) {
-          int32_t acc = b0;
-          for (int kh = 0; kh < p.kernel_h; ++kh) {
-            const int ih = oh * p.stride_h - p.pad_h + kh;
-            for (int kw = 0; kw < p.kernel_w; ++kw) {
-              const int iw = ow * p.stride_w - p.pad_w + kw;
-              // Padding contributes (in_zp - in_zp) = 0 exactly.
-              const int32_t v = (ih < 0 || ih >= is.h || iw < 0 || iw >= is.w)
-                                    ? in_zp
-                                    : in_c[ih * is.w + iw];
-              acc += (v - in_zp) * (static_cast<int32_t>(w[kh * p.kernel_w + kw]) - w_zp);
+    parallel::ParallelFor(c_begin, c_end, parallel::GrainForOps(ops_per_channel), [&](
+                              int64_t cb, int64_t ce) {
+      for (int64_t c = cb; c < ce; ++c) {
+        const uint8_t* in_c = input.Data<uint8_t>() + is.Offset(ni, c, 0, 0);
+        const uint8_t* w = filters.Data<uint8_t>() + c * p.kernel_h * p.kernel_w;
+        const int32_t b0 = bias.empty() ? 0 : bias.Data<int32_t>()[c];
+        uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, c, 0, 0);
+        for (int oh = 0; oh < out_h; ++oh) {
+          for (int ow = 0; ow < out_w; ++ow) {
+            int32_t acc = b0;
+            for (int kh = 0; kh < p.kernel_h; ++kh) {
+              const int ih = oh * p.stride_h - p.pad_h + kh;
+              for (int kw = 0; kw < p.kernel_w; ++kw) {
+                const int iw = ow * p.stride_w - p.pad_w + kw;
+                // Padding contributes (in_zp - in_zp) = 0 exactly.
+                const int32_t v = (ih < 0 || ih >= is.h || iw < 0 || iw >= is.w)
+                                      ? in_zp
+                                      : in_c[ih * is.w + iw];
+                acc += (v - in_zp) * (static_cast<int32_t>(w[kh * p.kernel_w + kw]) - w_zp);
+              }
             }
+            uint8_t q = RequantizeOne(acc, rs, out_zp);
+            if (p.relu && q < out_zp) {
+              q = static_cast<uint8_t>(out_zp);
+            }
+            out[oh * out_w + ow] = q;
           }
-          uint8_t q = RequantizeOne(acc, rs, out_zp);
-          if (p.relu && q < out_zp) {
-            q = static_cast<uint8_t>(out_zp);
-          }
-          out[oh * out_w + ow] = q;
         }
       }
-    }
+    });
   }
 }
 
@@ -335,33 +358,38 @@ void DepthwiseConv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const 
   const QuantParams w_qp{filters.scale(), filters.zero_point()};
   const QuantParams out_qp{output.scale(), output.zero_point()};
 
+  const double ops_per_channel =
+      static_cast<double>(out_h) * out_w * p.kernel_h * p.kernel_w;
   for (int64_t ni = 0; ni < is.n; ++ni) {
-    for (int64_t c = c_begin; c < c_end; ++c) {
-      const uint8_t* in_c = input.Data<uint8_t>() + is.Offset(ni, c, 0, 0);
-      const uint8_t* w = filters.Data<uint8_t>() + c * p.kernel_h * p.kernel_w;
-      const Half b0 = bias.empty() ? Half(0.0f) : Half(bias.Data<float>()[c]);
-      uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, c, 0, 0);
-      for (int oh = 0; oh < out_h; ++oh) {
-        for (int ow = 0; ow < out_w; ++ow) {
-          Half acc = b0;
-          for (int kh = 0; kh < p.kernel_h; ++kh) {
-            const int ih = oh * p.stride_h - p.pad_h + kh;
-            for (int kw = 0; kw < p.kernel_w; ++kw) {
-              const int iw = ow * p.stride_w - p.pad_w + kw;
-              const float v = (ih < 0 || ih >= is.h || iw < 0 || iw >= is.w)
-                                  ? 0.0f
-                                  : in_qp.Dequantize(in_c[ih * is.w + iw]);
-              acc += Half(v) * Half(w_qp.Dequantize(w[kh * p.kernel_w + kw]));
+    parallel::ParallelFor(c_begin, c_end, parallel::GrainForOps(ops_per_channel), [&](
+                              int64_t cb, int64_t ce) {
+      for (int64_t c = cb; c < ce; ++c) {
+        const uint8_t* in_c = input.Data<uint8_t>() + is.Offset(ni, c, 0, 0);
+        const uint8_t* w = filters.Data<uint8_t>() + c * p.kernel_h * p.kernel_w;
+        const Half b0 = bias.empty() ? Half(0.0f) : Half(bias.Data<float>()[c]);
+        uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, c, 0, 0);
+        for (int oh = 0; oh < out_h; ++oh) {
+          for (int ow = 0; ow < out_w; ++ow) {
+            Half acc = b0;
+            for (int kh = 0; kh < p.kernel_h; ++kh) {
+              const int ih = oh * p.stride_h - p.pad_h + kh;
+              for (int kw = 0; kw < p.kernel_w; ++kw) {
+                const int iw = ow * p.stride_w - p.pad_w + kw;
+                const float v = (ih < 0 || ih >= is.h || iw < 0 || iw >= is.w)
+                                    ? 0.0f
+                                    : in_qp.Dequantize(in_c[ih * is.w + iw]);
+                acc += Half(v) * Half(w_qp.Dequantize(w[kh * p.kernel_w + kw]));
+              }
             }
+            float r = acc.ToFloat();
+            if (p.relu) {
+              r = std::max(r, 0.0f);
+            }
+            out[oh * out_w + ow] = out_qp.Quantize(r);
           }
-          float r = acc.ToFloat();
-          if (p.relu) {
-            r = std::max(r, 0.0f);
-          }
-          out[oh * out_w + ow] = out_qp.Quantize(r);
         }
       }
-    }
+    });
   }
 }
 

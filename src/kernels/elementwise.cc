@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "parallel/thread_pool.h"
 #include "quant/half.h"
 #include "quant/quantize.h"
 
@@ -25,9 +26,11 @@ void ReluF32(Tensor& t, int64_t c_begin, int64_t c_end) {
   for (int64_t ni = 0; ni < s.n; ++ni) {
     float* p = t.Data<float>() + s.Offset(ni, c_begin, 0, 0);
     const int64_t count = (c_end - c_begin) * s.h * s.w;
-    for (int64_t i = 0; i < count; ++i) {
-      p[i] = std::max(p[i], 0.0f);
-    }
+    parallel::ParallelFor(0, count, parallel::GrainForOps(1.0), [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        p[i] = std::max(p[i], 0.0f);
+      }
+    });
   }
 }
 
@@ -39,11 +42,13 @@ void ReluF16(Tensor& t, int64_t c_begin, int64_t c_end) {
   for (int64_t ni = 0; ni < s.n; ++ni) {
     Half* p = t.Data<Half>() + s.Offset(ni, c_begin, 0, 0);
     const int64_t count = (c_end - c_begin) * s.h * s.w;
-    for (int64_t i = 0; i < count; ++i) {
-      if (p[i] < zero) {
-        p[i] = zero;
+    parallel::ParallelFor(0, count, parallel::GrainForOps(1.0), [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        if (p[i] < zero) {
+          p[i] = zero;
+        }
       }
-    }
+    });
   }
 }
 
@@ -55,9 +60,11 @@ void ReluQU8(Tensor& t, int64_t c_begin, int64_t c_end) {
   for (int64_t ni = 0; ni < s.n; ++ni) {
     uint8_t* p = t.Data<uint8_t>() + s.Offset(ni, c_begin, 0, 0);
     const int64_t count = (c_end - c_begin) * s.h * s.w;
-    for (int64_t i = 0; i < count; ++i) {
-      p[i] = std::max(p[i], zp);
-    }
+    parallel::ParallelFor(0, count, parallel::GrainForOps(1.0), [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        p[i] = std::max(p[i], zp);
+      }
+    });
   }
 }
 
@@ -68,23 +75,29 @@ template <typename Load, typename Store>
 void LrnCore(const Shape& s, const LrnParams& p, int64_t c_begin, int64_t c_end, Load load,
              Store store) {
   const int half_size = p.local_size / 2;
+  // Rows are independent (the window only spans channels); parallelize over h.
+  const double ops_per_row =
+      static_cast<double>(s.w) * static_cast<double>(c_end - c_begin) * p.local_size;
   for (int64_t ni = 0; ni < s.n; ++ni) {
-    for (int64_t hi = 0; hi < s.h; ++hi) {
-      for (int64_t wi = 0; wi < s.w; ++wi) {
-        for (int64_t c = c_begin; c < c_end; ++c) {
-          const int64_t lo = std::max<int64_t>(0, c - half_size);
-          const int64_t hi_c = std::min<int64_t>(s.c - 1, c + half_size);
-          float sum_sq = 0.0f;
-          for (int64_t cc = lo; cc <= hi_c; ++cc) {
-            const float v = load(ni, cc, hi, wi);
-            sum_sq += v * v;
+    parallel::ParallelFor(0, s.h, parallel::GrainForOps(ops_per_row), [&](int64_t hb,
+                                                                          int64_t he) {
+      for (int64_t hi = hb; hi < he; ++hi) {
+        for (int64_t wi = 0; wi < s.w; ++wi) {
+          for (int64_t c = c_begin; c < c_end; ++c) {
+            const int64_t lo = std::max<int64_t>(0, c - half_size);
+            const int64_t hi_c = std::min<int64_t>(s.c - 1, c + half_size);
+            float sum_sq = 0.0f;
+            for (int64_t cc = lo; cc <= hi_c; ++cc) {
+              const float v = load(ni, cc, hi, wi);
+              sum_sq += v * v;
+            }
+            const float denom =
+                std::pow(p.k + p.alpha / static_cast<float>(p.local_size) * sum_sq, p.beta);
+            store(ni, c, hi, wi, load(ni, c, hi, wi) / denom);
           }
-          const float denom =
-              std::pow(p.k + p.alpha / static_cast<float>(p.local_size) * sum_sq, p.beta);
-          store(ni, c, hi, wi, load(ni, c, hi, wi) / denom);
         }
       }
-    }
+    });
   }
 }
 
@@ -184,10 +197,12 @@ void EltwiseAddF32(const Tensor& a, const Tensor& b, Tensor& output, bool relu, 
     const float* pa = a.Data<float>() + off;
     const float* pb = b.Data<float>() + off;
     float* po = output.Data<float>() + off;
-    for (int64_t i = 0; i < count; ++i) {
-      const float v = pa[i] + pb[i];
-      po[i] = relu ? std::max(v, 0.0f) : v;
-    }
+    parallel::ParallelFor(0, count, parallel::GrainForOps(1.0), [&](int64_t bb, int64_t be) {
+      for (int64_t i = bb; i < be; ++i) {
+        const float v = pa[i] + pb[i];
+        po[i] = relu ? std::max(v, 0.0f) : v;
+      }
+    });
   }
 }
 
@@ -203,13 +218,15 @@ void EltwiseAddF16(const Tensor& a, const Tensor& b, Tensor& output, bool relu, 
     const Half* pa = a.Data<Half>() + off;
     const Half* pb = b.Data<Half>() + off;
     Half* po = output.Data<Half>() + off;
-    for (int64_t i = 0; i < count; ++i) {
-      Half v = pa[i] + pb[i];
-      if (relu && v < zero) {
-        v = zero;
+    parallel::ParallelFor(0, count, parallel::GrainForOps(1.0), [&](int64_t bb, int64_t be) {
+      for (int64_t i = bb; i < be; ++i) {
+        Half v = pa[i] + pb[i];
+        if (relu && v < zero) {
+          v = zero;
+        }
+        po[i] = v;
       }
-      po[i] = v;
-    }
+    });
   }
 }
 
@@ -229,13 +246,15 @@ void EltwiseAddQU8(const Tensor& a, const Tensor& b, Tensor& output, bool relu, 
     const uint8_t* pa = a.Data<uint8_t>() + off;
     const uint8_t* pb = b.Data<uint8_t>() + off;
     uint8_t* po = output.Data<uint8_t>() + off;
-    for (int64_t i = 0; i < count; ++i) {
-      uint8_t q = o_qp.Quantize(a_qp.Dequantize(pa[i]) + b_qp.Dequantize(pb[i]));
-      if (relu && q < o_zp) {
-        q = o_zp;
+    parallel::ParallelFor(0, count, parallel::GrainForOps(1.0), [&](int64_t bb, int64_t be) {
+      for (int64_t i = bb; i < be; ++i) {
+        uint8_t q = o_qp.Quantize(a_qp.Dequantize(pa[i]) + b_qp.Dequantize(pb[i]));
+        if (relu && q < o_zp) {
+          q = o_zp;
+        }
+        po[i] = q;
       }
-      po[i] = q;
-    }
+    });
   }
 }
 

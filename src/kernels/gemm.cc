@@ -3,83 +3,99 @@
 #include <algorithm>
 #include <vector>
 
+#include "parallel/thread_pool.h"
+
 namespace ulayer {
 
 void GemmF32(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
              const float* bias, bool relu) {
-  // i-k-j loop order: streams B rows, keeps the C row hot, and lets the
-  // compiler vectorize the inner j loop.
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    const float b0 = bias != nullptr ? bias[i] : 0.0f;
-    std::fill(crow, crow + n, b0);
-    const float* arow = a + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) {
-        continue;
-      }
-      const float* brow = b + kk * n;
-      for (int64_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-    if (relu) {
-      for (int64_t j = 0; j < n; ++j) {
-        crow[j] = std::max(crow[j], 0.0f);
-      }
-    }
-  }
+  // Rows are independent: parallelize over m. Within a chunk, the i-k-j loop
+  // order streams B rows, keeps the C row hot, and lets the compiler
+  // vectorize the inner j loop.
+  parallel::ParallelFor(
+      0, m, parallel::GrainForOps(static_cast<double>(n) * static_cast<double>(k)),
+      [&](int64_t i_begin, int64_t i_end) {
+        for (int64_t i = i_begin; i < i_end; ++i) {
+          float* crow = c + i * n;
+          const float b0 = bias != nullptr ? bias[i] : 0.0f;
+          std::fill(crow, crow + n, b0);
+          const float* arow = a + i * k;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f) {
+              continue;
+            }
+            const float* brow = b + kk * n;
+            for (int64_t j = 0; j < n; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+          if (relu) {
+            for (int64_t j = 0; j < n; ++j) {
+              crow[j] = std::max(crow[j], 0.0f);
+            }
+          }
+        }
+      });
 }
 
 void GemmF16(const Half* a, const Half* b, Half* c, int64_t m, int64_t n, int64_t k,
              const Half* bias, bool relu) {
   const Half zero(0.0f);
-  for (int64_t i = 0; i < m; ++i) {
-    Half* crow = c + i * n;
-    const Half b0 = bias != nullptr ? bias[i] : zero;
-    const Half* arow = a + i * k;
-    for (int64_t j = 0; j < n; ++j) {
-      Half acc = b0;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        acc += arow[kk] * b[kk * n + j];
-      }
-      if (relu && acc < zero) {
-        acc = zero;
-      }
-      crow[j] = acc;
-    }
-  }
+  parallel::ParallelFor(
+      0, m, parallel::GrainForOps(static_cast<double>(n) * static_cast<double>(k)),
+      [&](int64_t i_begin, int64_t i_end) {
+        for (int64_t i = i_begin; i < i_end; ++i) {
+          Half* crow = c + i * n;
+          const Half b0 = bias != nullptr ? bias[i] : zero;
+          const Half* arow = a + i * k;
+          for (int64_t j = 0; j < n; ++j) {
+            Half acc = b0;
+            for (int64_t kk = 0; kk < k; ++kk) {
+              acc += arow[kk] * b[kk * n + j];
+            }
+            if (relu && acc < zero) {
+              acc = zero;
+            }
+            crow[j] = acc;
+          }
+        }
+      });
 }
 
 void GemmQU8(const uint8_t* a, int32_t a_zp, const uint8_t* b, int32_t b_zp, uint8_t* c,
              int32_t c_zp, const RequantScale& rs, int64_t m, int64_t n, int64_t k,
              const int32_t* bias, bool relu) {
-  std::vector<int32_t> acc(n);
-  for (int64_t i = 0; i < m; ++i) {
-    const int32_t b0 = bias != nullptr ? bias[i] : 0;
-    std::fill(acc.begin(), acc.end(), b0);
-    const uint8_t* arow = a + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const int32_t av = static_cast<int32_t>(arow[kk]) - a_zp;
-      if (av == 0) {
-        continue;
-      }
-      const uint8_t* brow = b + kk * n;
-      for (int64_t j = 0; j < n; ++j) {
-        acc[j] += av * (static_cast<int32_t>(brow[j]) - b_zp);
-      }
-    }
-    uint8_t* crow = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      uint8_t q = RequantizeOne(acc[j], rs, c_zp);
-      if (relu && q < c_zp) {
-        // Quantized ReLU: real zero is stored as c_zp.
-        q = static_cast<uint8_t>(c_zp);
-      }
-      crow[j] = q;
-    }
-  }
+  parallel::ParallelFor(
+      0, m, parallel::GrainForOps(static_cast<double>(n) * static_cast<double>(k)),
+      [&](int64_t i_begin, int64_t i_end) {
+        // Per-chunk accumulator row: chunks run concurrently.
+        std::vector<int32_t> acc(static_cast<size_t>(n));
+        for (int64_t i = i_begin; i < i_end; ++i) {
+          const int32_t b0 = bias != nullptr ? bias[i] : 0;
+          std::fill(acc.begin(), acc.end(), b0);
+          const uint8_t* arow = a + i * k;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const int32_t av = static_cast<int32_t>(arow[kk]) - a_zp;
+            if (av == 0) {
+              continue;
+            }
+            const uint8_t* brow = b + kk * n;
+            for (int64_t j = 0; j < n; ++j) {
+              acc[static_cast<size_t>(j)] += av * (static_cast<int32_t>(brow[j]) - b_zp);
+            }
+          }
+          uint8_t* crow = c + i * n;
+          for (int64_t j = 0; j < n; ++j) {
+            uint8_t q = RequantizeOne(acc[static_cast<size_t>(j)], rs, c_zp);
+            if (relu && q < c_zp) {
+              // Quantized ReLU: real zero is stored as c_zp.
+              q = static_cast<uint8_t>(c_zp);
+            }
+            crow[j] = q;
+          }
+        }
+      });
 }
 
 }  // namespace ulayer

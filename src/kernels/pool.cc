@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "parallel/thread_pool.h"
 #include "quant/half.h"
 
 namespace ulayer {
@@ -25,27 +26,38 @@ void PoolImpl(const Tensor& input, const Pool2DParams& p, Tensor& output, int64_
   const int out_h = p.OutH(static_cast<int>(is.h));
   const int out_w = p.OutW(static_cast<int>(is.w));
   assert(output.shape() == Shape(is.n, is.c, out_h, out_w));
+  const double ops_per_channel = static_cast<double>(out_h) * out_w * p.kernel_h * p.kernel_w;
   for (int64_t ni = 0; ni < is.n; ++ni) {
-    for (int64_t c = c_begin; c < c_end; ++c) {
-      const T* in_c = input.Data<T>() + is.Offset(ni, c, 0, 0);
-      T* out = output.Data<T>() + output.shape().Offset(ni, c, 0, 0);
-      for (int oh = 0; oh < out_h; ++oh) {
-        for (int ow = 0; ow < out_w; ++ow) {
-          int h0 = std::max(oh * p.stride_h - p.pad_h, 0);
-          int w0 = std::max(ow * p.stride_w - p.pad_w, 0);
-          const int h1 = std::min(oh * p.stride_h - p.pad_h + p.kernel_h,
-                                  static_cast<int>(is.h));
-          const int w1 = std::min(ow * p.stride_w - p.pad_w + p.kernel_w,
-                                  static_cast<int>(is.w));
-          // Ceil-mode windows near the border can land fully in the padding;
-          // clamp to the nearest in-bounds element (Caffe clips the same way).
-          h0 = std::min(h0, h1 - 1);
-          w0 = std::min(w0, w1 - 1);
-          out[oh * out_w + ow] =
-              reduce(in_c, static_cast<int>(is.w), h0, h1, w0, w1);
+    parallel::ParallelFor(c_begin, c_end, parallel::GrainForOps(ops_per_channel), [&](
+                              int64_t cb, int64_t ce) {
+      for (int64_t c = cb; c < ce; ++c) {
+        const T* in_c = input.Data<T>() + is.Offset(ni, c, 0, 0);
+        T* out = output.Data<T>() + output.shape().Offset(ni, c, 0, 0);
+        for (int oh = 0; oh < out_h; ++oh) {
+          for (int ow = 0; ow < out_w; ++ow) {
+            int h0 = std::max(oh * p.stride_h - p.pad_h, 0);
+            int w0 = std::max(ow * p.stride_w - p.pad_w, 0);
+            int h1 = std::min(oh * p.stride_h - p.pad_h + p.kernel_h,
+                              static_cast<int>(is.h));
+            int w1 = std::min(ow * p.stride_w - p.pad_w + p.kernel_w,
+                              static_cast<int>(is.w));
+            // Ceil-mode windows near the border can land fully in the
+            // padding; clamp to the nearest in-bounds element (Caffe clips
+            // the same way). A window entirely above/left of the input has
+            // h1 <= 0 (resp. w1 <= 0) — clamp the end to one in-bounds
+            // element first so the h0/w0 clamp below cannot go negative and
+            // read out of bounds; a window entirely below/right is handled
+            // by the h0/w0 clamp.
+            h1 = std::max(h1, 1);
+            w1 = std::max(w1, 1);
+            h0 = std::min(h0, h1 - 1);
+            w0 = std::min(w0, w1 - 1);
+            out[oh * out_w + ow] =
+                reduce(in_c, static_cast<int>(is.w), h0, h1, w0, w1);
+          }
         }
       }
-    }
+    });
   }
 }
 
@@ -138,15 +150,19 @@ void GlobalAvgPoolF32(const Tensor& input, Tensor& output, int64_t c_begin, int6
   assert(output.shape() == Shape(is.n, is.c, 1, 1));
   const int64_t spatial = is.h * is.w;
   for (int64_t ni = 0; ni < is.n; ++ni) {
-    for (int64_t c = c_begin; c < c_end; ++c) {
-      const float* in_c = input.Data<float>() + is.Offset(ni, c, 0, 0);
-      double sum = 0.0;
-      for (int64_t i = 0; i < spatial; ++i) {
-        sum += static_cast<double>(in_c[i]);
-      }
-      output.Data<float>()[ni * is.c + c] =
-          static_cast<float>(sum / static_cast<double>(spatial));
-    }
+    parallel::ParallelFor(
+        c_begin, c_end, parallel::GrainForOps(static_cast<double>(spatial)),
+        [&](int64_t cb, int64_t ce) {
+          for (int64_t c = cb; c < ce; ++c) {
+            const float* in_c = input.Data<float>() + is.Offset(ni, c, 0, 0);
+            double sum = 0.0;
+            for (int64_t i = 0; i < spatial; ++i) {
+              sum += static_cast<double>(in_c[i]);
+            }
+            output.Data<float>()[ni * is.c + c] =
+                static_cast<float>(sum / static_cast<double>(spatial));
+          }
+        });
   }
 }
 
@@ -156,14 +172,18 @@ void GlobalAvgPoolF16(const Tensor& input, Tensor& output, int64_t c_begin, int6
   c_end = ResolveEnd(c_end, is.c);
   const int64_t spatial = is.h * is.w;
   for (int64_t ni = 0; ni < is.n; ++ni) {
-    for (int64_t c = c_begin; c < c_end; ++c) {
-      const Half* in_c = input.Data<Half>() + is.Offset(ni, c, 0, 0);
-      Half sum(0.0f);
-      for (int64_t i = 0; i < spatial; ++i) {
-        sum += in_c[i];
-      }
-      output.Data<Half>()[ni * is.c + c] = sum / Half(static_cast<float>(spatial));
-    }
+    parallel::ParallelFor(
+        c_begin, c_end, parallel::GrainForOps(static_cast<double>(spatial)),
+        [&](int64_t cb, int64_t ce) {
+          for (int64_t c = cb; c < ce; ++c) {
+            const Half* in_c = input.Data<Half>() + is.Offset(ni, c, 0, 0);
+            Half sum(0.0f);
+            for (int64_t i = 0; i < spatial; ++i) {
+              sum += in_c[i];
+            }
+            output.Data<Half>()[ni * is.c + c] = sum / Half(static_cast<float>(spatial));
+          }
+        });
   }
 }
 
@@ -174,15 +194,19 @@ void GlobalAvgPoolQU8(const Tensor& input, Tensor& output, int64_t c_begin, int6
   output.set_quant_params(input.scale(), input.zero_point());
   const int64_t spatial = is.h * is.w;
   for (int64_t ni = 0; ni < is.n; ++ni) {
-    for (int64_t c = c_begin; c < c_end; ++c) {
-      const uint8_t* in_c = input.Data<uint8_t>() + is.Offset(ni, c, 0, 0);
-      int64_t sum = 0;
-      for (int64_t i = 0; i < spatial; ++i) {
-        sum += in_c[i];
-      }
-      output.Data<uint8_t>()[ni * is.c + c] =
-          static_cast<uint8_t>((sum + spatial / 2) / spatial);
-    }
+    parallel::ParallelFor(
+        c_begin, c_end, parallel::GrainForOps(static_cast<double>(spatial)),
+        [&](int64_t cb, int64_t ce) {
+          for (int64_t c = cb; c < ce; ++c) {
+            const uint8_t* in_c = input.Data<uint8_t>() + is.Offset(ni, c, 0, 0);
+            int64_t sum = 0;
+            for (int64_t i = 0; i < spatial; ++i) {
+              sum += in_c[i];
+            }
+            output.Data<uint8_t>()[ni * is.c + c] =
+                static_cast<uint8_t>((sum + spatial / 2) / spatial);
+          }
+        });
   }
 }
 

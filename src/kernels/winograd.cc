@@ -4,6 +4,8 @@
 #include <cassert>
 #include <vector>
 
+#include "parallel/thread_pool.h"
+
 namespace ulayer {
 namespace {
 
@@ -90,64 +92,73 @@ void WinogradConv2DF32(const Tensor& input, const Tensor& filters, const Tensor&
 
   const int tiles_h = (out_h + 1) / 2;
   const int tiles_w = (out_w + 1) / 2;
-  std::vector<float> v(static_cast<size_t>(ic) * 16);
 
-  for (int64_t ni = 0; ni < is.n; ++ni) {
-    for (int th = 0; th < tiles_h; ++th) {
-      for (int tw = 0; tw < tiles_w; ++tw) {
-        // Gather the 4x4 input tile for every input channel (with padding).
-        const int ih0 = th * 2 - p.pad_h;
-        const int iw0 = tw * 2 - p.pad_w;
-        for (int64_t c = 0; c < ic; ++c) {
-          float d[4][4];
-          const float* in_c = input.Data<float>() + is.Offset(ni, c, 0, 0);
-          for (int r = 0; r < 4; ++r) {
-            for (int cc = 0; cc < 4; ++cc) {
-              const int ih = ih0 + r;
-              const int iw = iw0 + cc;
-              d[r][cc] = (ih < 0 || ih >= is.h || iw < 0 || iw >= is.w)
-                             ? 0.0f
-                             : in_c[ih * is.w + iw];
-            }
-          }
-          TransformInput(d, v.data() + c * 16);
-        }
-        // Element-wise multiply-accumulate in the transform domain.
-        for (int64_t oc = oc_begin; oc < oc_end; ++oc) {
-          float m[16] = {};
-          const float* u_oc = u.data() + (oc - oc_begin) * ic * 16;
+  // Output channels are independent; each chunk walks every tile with its own
+  // input-transform buffer (the transforms are cheap next to the per-channel
+  // multiply-accumulate, so redoing them per chunk trades a little work for
+  // zero sharing). The precomputed `u` is read-only.
+  const double ops_per_oc = static_cast<double>(tiles_h) * tiles_w *
+                            static_cast<double>(ic) * 16.0;
+  parallel::ParallelFor(oc_begin, oc_end, parallel::GrainForOps(ops_per_oc), [&](
+                            int64_t ob, int64_t oe) {
+    std::vector<float> v(static_cast<size_t>(ic) * 16);
+    for (int64_t ni = 0; ni < is.n; ++ni) {
+      for (int th = 0; th < tiles_h; ++th) {
+        for (int tw = 0; tw < tiles_w; ++tw) {
+          // Gather the 4x4 input tile for every input channel (with padding).
+          const int ih0 = th * 2 - p.pad_h;
+          const int iw0 = tw * 2 - p.pad_w;
           for (int64_t c = 0; c < ic; ++c) {
-            const float* uc = u_oc + c * 16;
-            const float* vc = v.data() + c * 16;
-            for (int k = 0; k < 16; ++k) {
-              m[k] += uc[k] * vc[k];
+            float d[4][4];
+            const float* in_c = input.Data<float>() + is.Offset(ni, c, 0, 0);
+            for (int r = 0; r < 4; ++r) {
+              for (int cc = 0; cc < 4; ++cc) {
+                const int ih = ih0 + r;
+                const int iw = iw0 + cc;
+                d[r][cc] = (ih < 0 || ih >= is.h || iw < 0 || iw >= is.w)
+                               ? 0.0f
+                               : in_c[ih * is.w + iw];
+              }
             }
+            TransformInput(d, v.data() + c * 16);
           }
-          float y[2][2];
-          TransformOutput(m, y);
-          const float b0 = bias.empty() ? 0.0f : bias.Data<float>()[oc];
-          float* out = output.Data<float>() + output.shape().Offset(ni, oc, 0, 0);
-          for (int r = 0; r < 2; ++r) {
-            const int oh = th * 2 + r;
-            if (oh >= out_h) {
-              continue;
+          // Element-wise multiply-accumulate in the transform domain.
+          for (int64_t oc = ob; oc < oe; ++oc) {
+            float m[16] = {};
+            const float* u_oc = u.data() + (oc - oc_begin) * ic * 16;
+            for (int64_t c = 0; c < ic; ++c) {
+              const float* uc = u_oc + c * 16;
+              const float* vc = v.data() + c * 16;
+              for (int k = 0; k < 16; ++k) {
+                m[k] += uc[k] * vc[k];
+              }
             }
-            for (int cc = 0; cc < 2; ++cc) {
-              const int ow = tw * 2 + cc;
-              if (ow >= out_w) {
+            float y[2][2];
+            TransformOutput(m, y);
+            const float b0 = bias.empty() ? 0.0f : bias.Data<float>()[oc];
+            float* out = output.Data<float>() + output.shape().Offset(ni, oc, 0, 0);
+            for (int r = 0; r < 2; ++r) {
+              const int oh = th * 2 + r;
+              if (oh >= out_h) {
                 continue;
               }
-              float val = y[r][cc] + b0;
-              if (p.relu) {
-                val = std::max(val, 0.0f);
+              for (int cc = 0; cc < 2; ++cc) {
+                const int ow = tw * 2 + cc;
+                if (ow >= out_w) {
+                  continue;
+                }
+                float val = y[r][cc] + b0;
+                if (p.relu) {
+                  val = std::max(val, 0.0f);
+                }
+                out[oh * out_w + ow] = val;
               }
-              out[oh * out_w + ow] = val;
             }
           }
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace ulayer

@@ -1,0 +1,189 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace ulayer::parallel {
+namespace {
+
+// Upper bound on the budget: protects against a wild ULAYER_CPU_THREADS or
+// ExecConfig value spawning thousands of threads.
+constexpr int kMaxThreads = 256;
+
+// Marks threads currently executing a ParallelFor body so nested calls run
+// serially instead of deadlocking on the (single-task) pool.
+thread_local bool tls_in_parallel_region = false;
+
+std::atomic<int> g_cpu_threads{0};  // 0 = automatic resolution.
+
+int EnvCpuThreads() {
+  static const int cached = [] {
+    const char* s = std::getenv("ULAYER_CPU_THREADS");
+    if (s == nullptr || *s == '\0') {
+      return 0;
+    }
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || v <= 0) {
+      return 0;  // Malformed or non-positive: fall through to hardware.
+    }
+    return static_cast<int>(std::min<long>(v, kMaxThreads));
+  }();
+  return cached;
+}
+
+}  // namespace
+
+void SetCpuThreads(int n) { g_cpu_threads.store(std::max(n, 0), std::memory_order_relaxed); }
+
+int CpuThreads() {
+  int n = g_cpu_threads.load(std::memory_order_relaxed);
+  if (n <= 0) {
+    n = EnvCpuThreads();
+  }
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  return std::clamp(n, 1, kMaxThreads);
+}
+
+int64_t GrainForOps(double ops_per_iteration) {
+  constexpr double kTargetOpsPerChunk = 64.0 * 1024.0;
+  if (ops_per_iteration <= 1.0) {
+    ops_per_iteration = 1.0;
+  }
+  const double grain = kTargetOpsPerChunk / ops_per_iteration;
+  return std::max<int64_t>(1, static_cast<int64_t>(grain));
+}
+
+void ThreadPool::TaskState::RunChunks() {
+  for (;;) {
+    const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= num_chunks || failed.load(std::memory_order_relaxed)) {
+      return;
+    }
+    try {
+      fn(i);
+    } catch (...) {
+      failed.store(true, std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> lock(error_mu);
+      if (!error) {
+        error = std::current_exception();
+      }
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool();  // Leaked: workers may outlive main.
+  return *pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+int ThreadPool::worker_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::EnsureWorkersLocked(int n) {
+  n = std::min(n, kMaxThreads - 1);
+  while (static_cast<int>(workers_.size()) < n) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || (generation_ != seen && claimable_ > 0); });
+    if (shutdown_) {
+      return;
+    }
+    seen = generation_;
+    --claimable_;
+    ++active_;
+    const std::shared_ptr<TaskState> task = task_;
+    lock.unlock();
+
+    tls_in_parallel_region = true;
+    task->RunChunks();
+    tls_in_parallel_region = false;
+
+    lock.lock();
+    --active_;
+    if (active_ == 0 && claimable_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Run(int64_t num_chunks, int threads,
+                     const std::function<void(int64_t)>& fn) {
+  if (num_chunks <= 0) {
+    return;
+  }
+  if (threads <= 1 || num_chunks == 1 || tls_in_parallel_region) {
+    for (int64_t i = 0; i < num_chunks; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  const std::lock_guard<std::mutex> run_lock(run_mu_);
+  auto task = std::make_shared<TaskState>();
+  task->fn = fn;
+  task->num_chunks = num_chunks;
+
+  const int wanted =
+      static_cast<int>(std::min<int64_t>(threads, num_chunks)) - 1;  // Minus the caller.
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    EnsureWorkersLocked(wanted);
+    task_ = task;
+    claimable_ = std::min<int>(wanted, static_cast<int>(workers_.size()));
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  tls_in_parallel_region = true;
+  task->RunChunks();
+  tls_in_parallel_region = false;
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return active_ == 0 && claimable_ == 0; });
+    task_.reset();
+  }
+  if (task->error) {
+    std::rethrow_exception(task->error);
+  }
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) {
+    return;
+  }
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t total = end - begin;
+  const int64_t num_chunks = (total + grain - 1) / grain;
+  ThreadPool::Global().Run(num_chunks, CpuThreads(), [&](int64_t chunk) {
+    const int64_t b = begin + chunk * grain;
+    const int64_t e = std::min<int64_t>(b + grain, end);
+    fn(b, e);
+  });
+}
+
+}  // namespace ulayer::parallel

@@ -1,0 +1,102 @@
+// Persistent CPU thread pool and the ParallelFor helper the functional
+// kernels use to spread work across the host cores (the paper's CPU numbers
+// assume all four big cores of the SoC, Section 6 / Table 2).
+//
+// Determinism contract: ParallelFor splits [begin, end) into fixed chunks of
+// `grain` iterations. The chunk boundaries depend only on (begin, end,
+// grain) — never on the thread count — and every chunk is executed exactly
+// once, so a kernel whose per-iteration work is independent produces
+// byte-identical output for any thread budget, including 1 (see DESIGN.md
+// "Parallel execution model").
+//
+// Thread budget resolution (strongest wins):
+//   1. SetCpuThreads(n > 0)       — explicit, e.g. from ExecConfig::cpu_threads
+//   2. ULAYER_CPU_THREADS env var — tools/bench override, parsed once
+//   3. std::thread::hardware_concurrency()
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ulayer::parallel {
+
+// Pins the process-wide CPU thread budget. `n > 0` forces exactly n
+// participating threads (the calling thread counts as one); `n == 0`
+// restores the automatic resolution above. The executor applies
+// ExecConfig::cpu_threads through this on every Run.
+void SetCpuThreads(int n);
+
+// The resolved thread budget (always >= 1).
+int CpuThreads();
+
+// Runs fn(chunk_begin, chunk_end) over every grain-sized chunk of
+// [begin, end), distributing chunks across up to CpuThreads() threads
+// (calling thread included). Blocks until every chunk completed. The first
+// exception thrown by `fn` is rethrown on the calling thread once all
+// workers have drained. Nested calls from inside a ParallelFor body run
+// serially on the calling worker (no deadlock, same determinism).
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+// Chunk size aiming for ~64K scalar operations per chunk, given the cost of
+// one iteration. Coarse enough to amortize dispatch, fine enough to balance
+// the skewed channel counts of real networks.
+int64_t GrainForOps(double ops_per_iteration);
+
+// The pool behind ParallelFor. Exposed for tests; kernels should only use
+// ParallelFor.
+class ThreadPool {
+ public:
+  static ThreadPool& Global();
+
+  ThreadPool() = default;
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Executes fn(i) for every i in [0, num_chunks) using up to `threads`
+  // participants (the calling thread included). Serializes concurrent
+  // top-level calls; safe to call from any thread.
+  void Run(int64_t num_chunks, int threads, const std::function<void(int64_t)>& fn);
+
+  // Workers currently alive (grows on demand, never shrinks).
+  int worker_count() const;
+
+ private:
+  // One ParallelFor invocation: workers pull chunk indices from `next` until
+  // exhausted. Heap-allocated and shared so a worker waking up late (after
+  // the caller already returned) still holds a valid state to no-op on.
+  struct TaskState {
+    std::function<void(int64_t)> fn;
+    int64_t num_chunks = 0;
+    std::atomic<int64_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mu;
+    std::exception_ptr error;
+
+    void RunChunks();
+  };
+
+  void EnsureWorkersLocked(int n);
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers wait here for a task.
+  std::condition_variable done_cv_;  // The caller waits here for completion.
+  std::vector<std::thread> workers_;
+  std::shared_ptr<TaskState> task_;  // Current task, null when idle.
+  uint64_t generation_ = 0;          // Bumped per task; workers latch it.
+  int claimable_ = 0;                // Worker slots left to join the task.
+  int active_ = 0;                   // Workers currently inside the task.
+  bool shutdown_ = false;
+
+  std::mutex run_mu_;  // Serializes concurrent top-level Run calls.
+};
+
+}  // namespace ulayer::parallel

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
+#include "parallel/thread_pool.h"
 #include "quant/half.h"
 
 namespace ulayer {
@@ -36,9 +39,12 @@ Tensor QuantizeTensor(const Tensor& f32, const QuantParams& qp) {
   q.set_quant_params(qp.scale, qp.zero_point);
   const float* src = f32.Data<float>();
   uint8_t* dst = q.Data<uint8_t>();
-  for (int64_t i = 0; i < f32.NumElements(); ++i) {
-    dst[i] = qp.Quantize(src[i]);
-  }
+  parallel::ParallelFor(0, f32.NumElements(), parallel::GrainForOps(1.0),
+                        [&](int64_t b, int64_t e) {
+                          for (int64_t i = b; i < e; ++i) {
+                            dst[i] = qp.Quantize(src[i]);
+                          }
+                        });
   return q;
 }
 
@@ -48,9 +54,12 @@ Tensor DequantizeTensor(const Tensor& q) {
   const QuantParams qp{q.scale(), q.zero_point()};
   const uint8_t* src = q.Data<uint8_t>();
   float* dst = f.Data<float>();
-  for (int64_t i = 0; i < q.NumElements(); ++i) {
-    dst[i] = qp.Dequantize(src[i]);
-  }
+  parallel::ParallelFor(0, q.NumElements(), parallel::GrainForOps(1.0),
+                        [&](int64_t b, int64_t e) {
+                          for (int64_t i = b; i < e; ++i) {
+                            dst[i] = qp.Dequantize(src[i]);
+                          }
+                        });
   return f;
 }
 
@@ -59,9 +68,12 @@ Tensor ToF16Tensor(const Tensor& f32) {
   Tensor h(f32.shape(), DType::kF16);
   const float* src = f32.Data<float>();
   Half* dst = h.Data<Half>();
-  for (int64_t i = 0; i < f32.NumElements(); ++i) {
-    dst[i] = Half(src[i]);
-  }
+  parallel::ParallelFor(0, f32.NumElements(), parallel::GrainForOps(1.0),
+                        [&](int64_t b, int64_t e) {
+                          for (int64_t i = b; i < e; ++i) {
+                            dst[i] = Half(src[i]);
+                          }
+                        });
   return h;
 }
 
@@ -70,18 +82,30 @@ Tensor F16ToF32Tensor(const Tensor& f16) {
   Tensor f(f16.shape(), DType::kF32);
   const Half* src = f16.Data<Half>();
   float* dst = f.Data<float>();
-  for (int64_t i = 0; i < f16.NumElements(); ++i) {
-    dst[i] = src[i].ToFloat();
-  }
+  parallel::ParallelFor(0, f16.NumElements(), parallel::GrainForOps(1.0),
+                        [&](int64_t b, int64_t e) {
+                          for (int64_t i = b; i < e; ++i) {
+                            dst[i] = src[i].ToFloat();
+                          }
+                        });
   return f;
 }
 
 RequantScale ComputeRequantScale(double real_multiplier) {
-  assert(real_multiplier > 0.0 && real_multiplier < 1.0);
+  // A zero, negative, or non-finite multiplier cannot come out of valid
+  // quantization parameters; reject it with a real error instead of an
+  // assert, which release builds compile away (leaving garbage shifts and
+  // silent corruption).
+  if (!std::isfinite(real_multiplier) || real_multiplier <= 0.0) {
+    throw std::domain_error("ComputeRequantScale: multiplier must be positive and finite, got " +
+                            std::to_string(real_multiplier));
+  }
   RequantScale rs;
   int exponent = 0;
   const double mantissa = std::frexp(real_multiplier, &exponent);
-  // mantissa in [0.5, 1), real = mantissa * 2^exponent with exponent <= 0.
+  // mantissa in [0.5, 1), real = mantissa * 2^exponent. Multipliers >= 1
+  // (large input/filter scales relative to the output scale) have
+  // exponent >= 1 and decompose into a *left* shift, gemmlowp-style.
   auto q31 = static_cast<int64_t>(std::llround(mantissa * (1ll << 31)));
   if (q31 == (1ll << 31)) {
     q31 /= 2;
@@ -89,7 +113,11 @@ RequantScale ComputeRequantScale(double real_multiplier) {
   }
   rs.multiplier = static_cast<int32_t>(q31);
   rs.shift = -exponent;
-  assert(rs.shift >= 0);
+  if (rs.shift < -31 || rs.shift > 31) {
+    throw std::domain_error("ComputeRequantScale: multiplier " +
+                            std::to_string(real_multiplier) +
+                            " is out of the representable range [2^-32, 2^31)");
+  }
   return rs;
 }
 
@@ -118,8 +146,18 @@ int32_t RoundingDivideByPOT(int32_t x, int exponent) {
 }
 
 uint8_t RequantizeOne(int32_t acc, const RequantScale& rs, int32_t output_zero_point) {
-  const int32_t scaled =
-      RoundingDivideByPOT(SaturatingRoundingDoublingHighMul(acc, rs.multiplier), rs.shift);
+  // Negative shift = left shift (multiplier >= 1): pre-scale the accumulator
+  // by 2^-shift with saturation, then the usual doubling-high-mul. This is
+  // gemmlowp's MultiplyByQuantizedMultiplier with our sign convention.
+  int32_t x = acc;
+  if (rs.shift < 0) {
+    const int64_t shifted = static_cast<int64_t>(acc) << -rs.shift;
+    x = static_cast<int32_t>(
+        std::clamp<int64_t>(shifted, std::numeric_limits<int32_t>::min(),
+                            std::numeric_limits<int32_t>::max()));
+  }
+  const int32_t scaled = RoundingDivideByPOT(SaturatingRoundingDoublingHighMul(x, rs.multiplier),
+                                             rs.shift > 0 ? rs.shift : 0);
   const int32_t q = scaled + output_zero_point;
   return static_cast<uint8_t>(std::clamp(q, 0, 255));
 }

@@ -49,15 +49,19 @@ Tensor F16ToF32Tensor(const Tensor& f16);
 //
 // A QUInt8 GEMM accumulates uint8*uint8 products into int32. Bringing the
 // accumulator back to uint8 requires multiplying by the real-valued ratio
-//   M = (input_scale * filter_scale) / output_scale,  with 0 < M < 1,
+//   M = (input_scale * filter_scale) / output_scale,  usually < 1,
 // which gemmlowp expresses as a normalized int32 fixed-point multiplier and
-// a right shift: M = M0 * 2^-shift, M0 in [2^30, 2^31).
+// a shift: M = M0 * 2^-shift, M0 in [2^30, 2^31). M >= 1 (large input or
+// filter scales relative to the output scale) yields a negative shift,
+// applied as a saturating left shift before the fixed-point multiply.
 struct RequantScale {
   int32_t multiplier = 0;  // Q31 fixed-point mantissa in [2^30, 2^31).
-  int shift = 0;           // Right shift (>= 0 for M < 1).
+  int shift = 0;           // Right shift; negative = left shift (M >= 1).
 };
 
-// Decomposes a positive real multiplier < 1 into (multiplier, shift).
+// Decomposes a positive real multiplier into (multiplier, shift). Throws
+// std::domain_error if the multiplier is non-positive, non-finite, or
+// outside the representable range [2^-32, 2^31).
 RequantScale ComputeRequantScale(double real_multiplier);
 
 // Rounding doubling high multiply + rounding right shift, exactly the

@@ -10,6 +10,7 @@ SocSpec MakeExynos7420() {
   // cluster contributes little under ACL's big-core affinity).
   soc.cpu.name = "4xA57";
   soc.cpu.kind = ProcKind::kCpu;
+  soc.cpu.cores = 4;
   soc.cpu.gmacs_f32 = 18.0;  // 128-bit NEON FMA, ~55% GEMM efficiency.
   soc.cpu.gmacs_f16 = 18.0;  // No vector F16 ALU: emulated via F32 (Sec. 4.1).
   soc.cpu.gmacs_qu8 = 52.0;  // gemmlowp u8 dot paths, ~2.9x over F32.
@@ -23,6 +24,7 @@ SocSpec MakeExynos7420() {
   // loses concurrency to 32-bit accumulation (Sec. 4.1).
   soc.gpu.name = "MaliT760MP8";
   soc.gpu.kind = ProcKind::kGpu;
+  soc.gpu.cores = 8;
   soc.gpu.gmacs_f32 = 25.2;  // 1.40x the CPU, matching the paper's Figure 5.
   soc.gpu.gmacs_f16 = 38.0;
   soc.gpu.gmacs_qu8 = 27.0;
@@ -47,6 +49,7 @@ SocSpec MakeExynos7880() {
   // 8x Cortex-A53 @ 1.9 GHz (in-order, 64-bit NEON datapath).
   soc.cpu.name = "8xA53";
   soc.cpu.kind = ProcKind::kCpu;
+  soc.cpu.cores = 8;
   soc.cpu.gmacs_f32 = 12.0;
   soc.cpu.gmacs_f16 = 12.0;
   soc.cpu.gmacs_qu8 = 22.0;  // Dual-issue limits u8 gains on A53 (~1.8x).
@@ -59,6 +62,7 @@ SocSpec MakeExynos7880() {
   // Mali-T830 MP3 @ 962 MHz: the CPU beats it at F32 by ~26% (Figure 5b).
   soc.gpu.name = "MaliT830MP3";
   soc.gpu.kind = ProcKind::kGpu;
+  soc.gpu.cores = 3;
   soc.gpu.gmacs_f32 = 8.9;
   soc.gpu.gmacs_f16 = 19.0;
   soc.gpu.gmacs_qu8 = 10.0;

@@ -35,6 +35,13 @@ struct ProcessorSpec {
   double gmacs_f16 = 1.0;
   double gmacs_qu8 = 1.0;
 
+  // Cores the effective throughput above is spread across (big-cluster cores
+  // for the CPU, shader cores for the GPU). The gmacs_* numbers are the
+  // *whole-cluster* throughput the paper measures; running a CPU kernel with
+  // fewer threads than cores scales compute time up linearly (memory
+  // bandwidth is shared and does not scale). See TimingModel::KernelBodyUs.
+  int cores = 1;
+
   // Effective memory bandwidth available to this processor (GB/s).
   double gb_per_s = 5.0;
 
@@ -46,6 +53,17 @@ struct ProcessorSpec {
   double active_w_f32 = 1.0;
   double active_w_f16 = 1.0;
   double active_w_qu8 = 1.0;
+
+  // Fraction of the cluster's arithmetic throughput available to a kernel
+  // running on `threads` cores. `threads <= 0` means "all cores" (the
+  // paper's measurement setup); values above `cores` clamp.
+  double ThreadScale(int threads) const {
+    if (threads <= 0 || cores <= 1) {
+      return 1.0;
+    }
+    return static_cast<double>(threads < cores ? threads : cores) /
+           static_cast<double>(cores);
+  }
 
   double GmacsFor(DType compute) const {
     switch (compute) {

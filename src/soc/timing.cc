@@ -2,16 +2,22 @@
 
 namespace ulayer {
 
-double TimingModel::KernelBodyUs(const LayerWork& work, ProcKind k, DType compute) const {
+double TimingModel::KernelBodyUs(const LayerWork& work, ProcKind k, DType compute,
+                                 int cpu_threads) const {
   const ProcessorSpec& p = proc(k);
-  // gmacs = 1e9 MAC/s = 1e3 MAC/us; GB/s = 1e3 bytes/us.
-  const double compute_us = work.macs / (p.GmacsFor(compute) * 1e3);
+  // gmacs = 1e9 MAC/s = 1e3 MAC/us; GB/s = 1e3 bytes/us. The gmacs numbers
+  // are whole-cluster throughput; a CPU kernel restricted to fewer threads
+  // than cores gets a proportional slice. Memory bandwidth is shared across
+  // the cluster and does not scale with the thread count.
+  const double scale = k == ProcKind::kCpu ? p.ThreadScale(cpu_threads) : 1.0;
+  const double compute_us = work.macs / (p.GmacsFor(compute) * scale * 1e3);
   const double memory_us = work.TotalBytes() / (p.gb_per_s * 1e3);
   return compute_us + memory_us;
 }
 
-double TimingModel::KernelLatencyUs(const LayerWork& work, ProcKind k, DType compute) const {
-  return proc(k).kernel_launch_us + KernelBodyUs(work, k, compute);
+double TimingModel::KernelLatencyUs(const LayerWork& work, ProcKind k, DType compute,
+                                    int cpu_threads) const {
+  return proc(k).kernel_launch_us + KernelBodyUs(work, k, compute, cpu_threads);
 }
 
 double EnergyModel::ComputeEnergyMj(ProcKind k, DType compute, double busy_us,

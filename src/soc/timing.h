@@ -21,12 +21,17 @@ class TimingModel {
   }
 
   // Latency (microseconds) of one kernel performing `work` on `proc`, with
-  // arithmetic executed as `compute` dtype.
-  double KernelLatencyUs(const LayerWork& work, ProcKind proc, DType compute) const;
+  // arithmetic executed as `compute` dtype. `cpu_threads` is the CPU thread
+  // budget (ExecConfig::cpu_threads): fewer threads than the CPU cluster's
+  // cores scale the compute term up linearly; 0 means all cores (the
+  // default, matching the paper's measurements). The GPU term ignores it.
+  double KernelLatencyUs(const LayerWork& work, ProcKind proc, DType compute,
+                         int cpu_threads = 0) const;
 
   // Latency excluding the fixed launch overhead (used when several logical
   // ops are fused into one kernel invocation).
-  double KernelBodyUs(const LayerWork& work, ProcKind proc, DType compute) const;
+  double KernelBodyUs(const LayerWork& work, ProcKind proc, DType compute,
+                      int cpu_threads = 0) const;
 
   double SyncUs() const { return soc_.sync_us; }
   double MapUs() const { return soc_.map_us; }

@@ -134,6 +134,50 @@ TEST(GlobalAvgPoolTest, ChannelSlicesCompose) {
   EXPECT_EQ(MaxAbsDiff(full, split_out), 0.0f);
 }
 
+TEST(PoolTest, FullyPaddedCeilModeWindowStaysInBounds) {
+  // 3x3 input, 2x2 window, stride 2, pad 1, ceil mode: OutDim = 3, and the
+  // last output row/column's window starts at 2*2-1 = 3 >= 3, i.e. entirely
+  // in the bottom/right padding. The kernel used to read past the input
+  // (asan-checked); it must clamp to the nearest in-bounds element.
+  Tensor in(Shape(1, 1, 3, 3), DType::kF32);
+  for (int i = 0; i < 9; ++i) {
+    in.Data<float>()[i] = static_cast<float>(i);
+  }
+  Pool2DParams p;  // 2x2 stride 2 max.
+  p.pad_h = p.pad_w = 1;
+  p.ceil_mode = true;
+  ASSERT_EQ(p.OutH(3), 3);
+  Tensor out(Shape(1, 1, 3, 3), DType::kF32);
+  Pool2DF32(in, p, out);
+  EXPECT_FLOAT_EQ(out.Data<float>()[0 * 3 + 0], 0.0f);  // Window sees only (0,0).
+  EXPECT_FLOAT_EQ(out.Data<float>()[1 * 3 + 1], 8.0f);  // Rows/cols 1-2.
+  // Fully-padded windows clamp to the last in-bounds row/column.
+  EXPECT_FLOAT_EQ(out.Data<float>()[2 * 3 + 0], 6.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[0 * 3 + 2], 2.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[2 * 3 + 2], 8.0f);
+}
+
+TEST(PoolTest, AvgPoolFullyPaddedWindowHasNonZeroCount) {
+  // A 1x1 window with pad 2 puts the border output windows entirely in the
+  // padding: the in-bounds count used to go non-positive (divide-by-zero /
+  // negative). With the clamp every window sees exactly one element.
+  Tensor in(Shape(1, 2, 2, 2), DType::kF32);
+  for (int i = 0; i < 8; ++i) {
+    in.Data<float>()[i] = 1.0f;
+  }
+  Pool2DParams p;
+  p.kind = PoolKind::kAvg;
+  p.kernel_h = p.kernel_w = 1;
+  p.stride_h = p.stride_w = 1;
+  p.pad_h = p.pad_w = 2;
+  ASSERT_EQ(p.OutH(2), 6);
+  Tensor out(Shape(1, 2, 6, 6), DType::kF32);
+  Pool2DF32(in, p, out);
+  for (int64_t i = 0; i < out.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(out.Data<float>()[i], 1.0f) << "i=" << i;
+  }
+}
+
 TEST(PoolTest, CeilModeCoversTrailingWindow) {
   // 7 -> ceil((7-3)/2)+1 = 3 outputs; the last window starts at 4 and is
   // clipped to in-bounds elements.

@@ -1,5 +1,8 @@
 #include "core/predictor.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "models/model.h"
@@ -68,6 +71,52 @@ TEST(PredictorTest, GeneralizesAcrossNetworks) {
   const LatencyPredictor pred(tm, ExecConfig::AllQU8(), {&vgg.graph, &alex.graph});
   const auto fid = pred.Evaluate(goog.graph);
   EXPECT_LT(fid.mean_abs_rel_err, 0.6);
+}
+
+TEST(PredictorTest, ZeroLatencySamplesKeepFitFinite) {
+  // A free-compute SoC (infinite throughput/bandwidth, no launch cost)
+  // makes every training sample 0 us. log(0) = -inf used to poison the
+  // normal equations, turning every later prediction into NaN; samples are
+  // now floored at an epsilon so the fit stays finite.
+  SocSpec soc = MakeExynos7420();
+  for (ProcessorSpec* p : {&soc.cpu, &soc.gpu}) {
+    p->gmacs_f32 = p->gmacs_f16 = p->gmacs_qu8 = std::numeric_limits<double>::infinity();
+    p->gb_per_s = std::numeric_limits<double>::infinity();
+    p->kernel_launch_us = 0.0;
+  }
+  const Model m = MakeLeNet5();
+  const TimingModel tm(soc);
+  const LatencyPredictor pred(tm, ExecConfig::AllF32(), {&m.graph});
+  for (const Node& n : m.graph.nodes()) {
+    if (n.desc.kind == LayerKind::kInput) {
+      continue;
+    }
+    for (const ProcKind proc : {ProcKind::kCpu, ProcKind::kGpu}) {
+      const double t = pred.PredictUs(m.graph, n, proc);
+      EXPECT_TRUE(std::isfinite(t)) << n.desc.name << " " << ProcKindName(proc);
+      EXPECT_GE(t, 0.0);
+    }
+  }
+}
+
+TEST(PredictorTest, NonFiniteSamplesAreSkipped) {
+  // Zero throughput yields t = inf; such samples must be dropped rather
+  // than absorbed into the fit.
+  SocSpec soc = MakeExynos7420();
+  soc.cpu.gmacs_f32 = 0.0;
+  const Model m = MakeLeNet5();
+  const TimingModel tm(soc);
+  const LatencyPredictor pred(tm, ExecConfig::AllF32(), {&m.graph});
+  // GPU predictions (finite side) must still be finite and positive.
+  const auto fid = pred.Evaluate(m.graph);
+  EXPECT_GT(fid.samples, 0);
+  for (const Node& n : m.graph.nodes()) {
+    if (n.desc.kind == LayerKind::kInput) {
+      continue;
+    }
+    const double t = pred.PredictUs(m.graph, n, ProcKind::kGpu);
+    EXPECT_TRUE(std::isfinite(t)) << n.desc.name;
+  }
 }
 
 TEST(PredictorTest, UnseenKindFallsBackToMeasurement) {

@@ -1,6 +1,8 @@
 #include "quant/quantize.h"
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -83,6 +85,45 @@ TEST(RequantTest, ScaleDecompositionReconstructs) {
         static_cast<double>(rs.multiplier) / (1ll << 31) * std::pow(2.0, -rs.shift);
     EXPECT_NEAR(recon, m, m * 1e-8);
   }
+}
+
+TEST(RequantTest, MultiplierAtLeastOneUsesLeftShift) {
+  // M >= 1 arises when in_scale * w_scale > out_scale (e.g. a layer whose
+  // output range collapses). The decomposition must produce a negative
+  // shift (left shift) and still reconstruct, instead of tripping an assert
+  // (debug) or fabricating a garbage shift (release).
+  for (const double m : {1.0, 1.5, 2.5, 7.9, 100.0, 1e6}) {
+    const RequantScale rs = ComputeRequantScale(m);
+    EXPECT_GE(rs.multiplier, 1 << 30);
+    EXPECT_LT(rs.shift, 0) << "m=" << m;
+    const double recon =
+        static_cast<double>(rs.multiplier) / (1ll << 31) * std::pow(2.0, -rs.shift);
+    EXPECT_NEAR(recon, m, m * 1e-8);
+  }
+}
+
+TEST(RequantTest, RequantizeOneHandlesMultiplierAtLeastOne) {
+  Rng rng(123);
+  for (const double m : {1.0, 1.75, 3.5, 12.0}) {
+    const RequantScale rs = ComputeRequantScale(m);
+    for (int i = 0; i < 2000; ++i) {
+      const int32_t acc = static_cast<int32_t>(rng.Below(512)) - 256;
+      const int32_t zp = 128;
+      const double expect = std::round(acc * m) + zp;
+      const double clamped = std::min(255.0, std::max(0.0, expect));
+      EXPECT_NEAR(RequantizeOne(acc, rs, zp), clamped, 1.0) << "acc=" << acc << " m=" << m;
+    }
+  }
+}
+
+TEST(RequantTest, InvalidMultipliersThrow) {
+  EXPECT_THROW(ComputeRequantScale(0.0), std::domain_error);
+  EXPECT_THROW(ComputeRequantScale(-0.5), std::domain_error);
+  EXPECT_THROW(ComputeRequantScale(std::numeric_limits<double>::infinity()), std::domain_error);
+  EXPECT_THROW(ComputeRequantScale(std::numeric_limits<double>::quiet_NaN()), std::domain_error);
+  // Magnitudes outside the representable shift range are errors, not UB.
+  EXPECT_THROW(ComputeRequantScale(1e300), std::domain_error);
+  EXPECT_THROW(ComputeRequantScale(1e-300), std::domain_error);
 }
 
 TEST(RequantTest, RoundingDoublingHighMulMatchesReference) {

@@ -47,6 +47,9 @@ Options:
   --soc 7420|7880   SoC preset the plan targets (default 7420)
   --config f32|f16|qu8|pf
                     execution config (default f32; pf = processor-friendly)
+  --threads <n>     CPU thread budget assumed for simulated CPU kernel time
+                    (default 0 = full CPU cluster; functional runs also honor
+                    the ULAYER_CPU_THREADS environment variable)
   --print-plan      dump the plan being verified (ulayer-plan v1)
   --graph-only      verify the graph and stop (no plan)
   -h, --help        this text
@@ -97,6 +100,7 @@ int main(int argc, char** argv) {
   std::string single_proc;
   std::string soc_name = "7420";
   std::string config_name = "f32";
+  int cpu_threads = 0;
   bool l2p = false;
   bool print_plan = false;
   bool graph_only = false;
@@ -123,6 +127,15 @@ int main(int argc, char** argv) {
       soc_name = next_arg(i, "--soc");
     } else if (a == "--config") {
       config_name = next_arg(i, "--config");
+    } else if (a == "--threads") {
+      try {
+        cpu_threads = std::stoi(next_arg(i, "--threads"));
+      } catch (const std::exception&) {
+        UsageError("--threads wants an integer");
+      }
+      if (cpu_threads < 0) {
+        UsageError("--threads wants a non-negative integer");
+      }
     } else if (a == "--print-plan") {
       print_plan = true;
     } else if (a == "--graph-only") {
@@ -143,7 +156,8 @@ int main(int argc, char** argv) {
     UsageError("pick at most one of --plan / --single / --l2p");
   }
 
-  const ExecConfig config = MakeConfig(config_name);
+  ExecConfig config = MakeConfig(config_name);
+  config.cpu_threads = cpu_threads;
   SocSpec soc;
   if (soc_name == "7420") {
     soc = MakeExynos7420();
