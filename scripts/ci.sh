@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# CI pipeline: warnings-as-errors build + tier-1 tests, ASan/UBSan test run,
-# a TSan run of the threaded kernel/integration tests with a multi-thread
-# CPU budget, and clang-tidy over src/ (skipped with a notice when
-# clang-tidy is not installed — the reference container ships gcc only).
+# CI pipeline: warnings-as-errors build + tier-1 tests, a kernel-benchmark
+# smoke run (regenerates BENCH_kernels.json and verifies the optimized
+# kernels reproduce the legacy bytes), ASan/UBSan test run, a TSan run of the
+# threaded kernel/integration tests with a multi-thread CPU budget, and
+# clang-tidy over src/ (skipped with a notice when clang-tidy is not
+# installed — the reference container ships gcc only).
 #
 # Usage: scripts/ci.sh [--skip-sanitize] [--skip-tidy]
 set -euo pipefail
@@ -20,21 +22,27 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/4] warnings-as-errors build + tier-1 tests"
+echo "==> [1/5] warnings-as-errors build + tier-1 tests"
 cmake -B build-werror -S . -DULAYER_WERROR=ON >/dev/null
 cmake --build build-werror -j "$JOBS"
 ctest --test-dir build-werror --output-on-failure -j "$JOBS"
 
+echo "==> [2/5] kernel benchmark smoke (legacy-vs-optimized byte identity)"
+# Fails if any optimized kernel's output differs from the embedded legacy
+# replica; --quick keeps it to one iteration per case.
+./build-werror/bench/kernel_bench --quick --out BENCH_kernels.json
 if [ "$SKIP_SANITIZE" -eq 0 ]; then
-  echo "==> [2/4] ASan + UBSan build + tests"
+  echo "==> [3/5] ASan + UBSan build + tests"
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DULAYER_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j "$JOBS"
   # halt_on_error is implied by -fno-sanitize-recover=all; detect leaks too.
-  ASAN_OPTIONS=detect_leaks=1 \
+  # A multi-thread CPU budget exercises the pool handoffs (and the arena /
+  # activation-pool sharing across workers) under ASan even on 1-core CI.
+  ULAYER_CPU_THREADS=4 ASAN_OPTIONS=detect_leaks=1 \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-  echo "==> [3/4] TSan build + threaded kernel/integration tests"
+  echo "==> [4/5] TSan build + threaded kernel/integration tests"
   # TSan is incompatible with ASan, hence the separate build. Force a
   # multi-thread CPU budget so the pool's worker handoffs actually run, even
   # on single-core CI machines.
@@ -42,23 +50,23 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
     -DULAYER_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS"
   ULAYER_CPU_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'parallel_test|gemm_test|conv_test|pool_test|elementwise_test|winograd_test|quantize_test|integration_test|executor_test|prepared_test'
+    -R 'parallel_test|gemm_test|conv_test|pool_test|elementwise_test|winograd_test|quantize_test|integration_test|executor_test|prepared_test|arena_test'
 else
-  echo "==> [2/4] sanitizers skipped (--skip-sanitize)"
-  echo "==> [3/4] TSan skipped (--skip-sanitize)"
+  echo "==> [3/5] sanitizers skipped (--skip-sanitize)"
+  echo "==> [4/5] TSan skipped (--skip-sanitize)"
 fi
 
 if [ "$SKIP_TIDY" -eq 0 ]; then
   if command -v clang-tidy >/dev/null 2>&1; then
-    echo "==> [4/4] clang-tidy over src/"
+    echo "==> [5/5] clang-tidy over src/"
     # build-werror exports compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS).
     mapfile -t SOURCES < <(git ls-files 'src/*.cc')
     clang-tidy -p build-werror --quiet "${SOURCES[@]}"
   else
-    echo "==> [4/4] clang-tidy not installed; skipping lint stage"
+    echo "==> [5/5] clang-tidy not installed; skipping lint stage"
   fi
 else
-  echo "==> [4/4] clang-tidy skipped (--skip-tidy)"
+  echo "==> [5/5] clang-tidy skipped (--skip-tidy)"
 fi
 
 echo "CI pipeline passed."

@@ -1,5 +1,6 @@
 #include "core/compute.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -24,7 +25,7 @@ void CopyChannelSlice(const Tensor& src, Tensor& dst, int64_t c0, int64_t c1) {
 }  // namespace
 
 void ComputeNodeSlice(const PreparedModel& pm, int id, ProcKind proc, std::vector<Tensor>& act,
-                      int64_t c0, int64_t c1) {
+                      int64_t c0, int64_t c1, memory::ScratchArena* scratch) {
   const Graph& g = pm.graph();
   const Node& n = g.node(id);
   const ExecConfig& cfg = pm.config();
@@ -33,25 +34,36 @@ void ComputeNodeSlice(const PreparedModel& pm, int id, ProcKind proc, std::vecto
   Tensor& out = act[static_cast<size_t>(id)];
   const Tensor& in0 = act[static_cast<size_t>(n.inputs.empty() ? id : n.inputs[0])];
 
+  // Prepare-time caches; every pointer is null when the cache is absent
+  // (legacy path, pre-Calibrate, or degenerate quant params), in which case
+  // the kernels compute the value per call exactly as before.
+  ConvAux aux;
+  aux.scratch = scratch;
+  aux.requant = pm.RequantPtr(id);
+  aux.requant_per_channel = pm.PerChannelRequantPtr(id);
+  aux.filter_rowsum = pm.FilterRowSumPtr(id);
+  aux.filters_f16 = pm.FiltersF16Ptr(id);
+  aux.bias_f16 = pm.BiasF16Ptr(id);
+
   switch (n.desc.kind) {
     case LayerKind::kInput:
       return;  // Filled by the caller via PrepareInput().
     case LayerKind::kConv:
     case LayerKind::kFullyConnected: {
       if (storage == DType::kF32) {
-        Conv2DF32(in0, pm.Filters(id), pm.Bias(id), n.desc.conv, out, c0, c1);
+        Conv2DF32(in0, pm.Filters(id), pm.Bias(id), n.desc.conv, out, c0, c1, aux);
       } else if (storage == DType::kF16) {
-        Conv2DF16(in0, pm.Filters(id), pm.Bias(id), n.desc.conv, out, c0, c1);
+        Conv2DF16(in0, pm.Filters(id), pm.Bias(id), n.desc.conv, out, c0, c1, aux);
       } else if (compute == DType::kF16) {
         // GPU path: QUInt8 storage, on-the-fly F16 arithmetic (Section 4.2).
-        Conv2DQU8ViaF16(in0, pm.Filters(id), pm.BiasF32(id), n.desc.conv, out, c0, c1);
+        Conv2DQU8ViaF16(in0, pm.Filters(id), pm.BiasF32(id), n.desc.conv, out, c0, c1, aux);
       } else if (cfg.per_channel_weights) {
         // CPU path with per-output-channel filter quantization (extension).
         Conv2DQU8PerChannel(in0, pm.Filters(id), pm.FilterChannelParams(id), pm.BiasI32(id),
-                            n.desc.conv, out, c0, c1);
+                            n.desc.conv, out, c0, c1, aux);
       } else {
         // CPU path: integer arithmetic with int32 accumulation.
-        Conv2DQU8(in0, pm.Filters(id), pm.BiasI32(id), n.desc.conv, out, c0, c1);
+        Conv2DQU8(in0, pm.Filters(id), pm.BiasI32(id), n.desc.conv, out, c0, c1, aux);
       }
       return;
     }
@@ -61,9 +73,10 @@ void ComputeNodeSlice(const PreparedModel& pm, int id, ProcKind proc, std::vecto
       } else if (storage == DType::kF16) {
         DepthwiseConv2DF16(in0, pm.Filters(id), pm.Bias(id), n.desc.conv, out, c0, c1);
       } else if (compute == DType::kF16) {
-        DepthwiseConv2DQU8ViaF16(in0, pm.Filters(id), pm.BiasF32(id), n.desc.conv, out, c0, c1);
+        DepthwiseConv2DQU8ViaF16(in0, pm.Filters(id), pm.BiasF32(id), n.desc.conv, out, c0, c1,
+                                 aux);
       } else {
-        DepthwiseConv2DQU8(in0, pm.Filters(id), pm.BiasI32(id), n.desc.conv, out, c0, c1);
+        DepthwiseConv2DQU8(in0, pm.Filters(id), pm.BiasI32(id), n.desc.conv, out, c0, c1, aux);
       }
       return;
     }
@@ -140,8 +153,29 @@ void ComputeNodeSlice(const PreparedModel& pm, int id, ProcKind proc, std::vecto
   }
 }
 
-void ComputeNode(const PreparedModel& pm, int id, ProcKind proc, std::vector<Tensor>& act) {
-  ComputeNodeSlice(pm, id, proc, act, 0, pm.graph().node(id).out_shape.c);
+void ComputeNode(const PreparedModel& pm, int id, ProcKind proc, std::vector<Tensor>& act,
+                 memory::ScratchArena* scratch) {
+  ComputeNodeSlice(pm, id, proc, act, 0, pm.graph().node(id).out_shape.c, scratch);
+}
+
+int64_t NodeScratchBytes(const PreparedModel& pm, const Node& n) {
+  // Only the dense conv/FC kernels use the scratch arena (im2col and F16
+  // staging buffers); everything else computes in place or element-wise.
+  if (n.desc.kind != LayerKind::kConv && n.desc.kind != LayerKind::kFullyConnected) {
+    return 0;
+  }
+  const ExecConfig& cfg = pm.config();
+  const Graph& g = pm.graph();
+  const Shape& in_shape = g.node(n.inputs[0]).out_shape;
+  const Shape& filter_shape = pm.Filters(n.id).shape();
+  // The plan decides at Run() time which processor (hence compute dtype)
+  // executes the node; size for the worst case over both.
+  int64_t bytes = 0;
+  for (const ProcKind proc : {ProcKind::kCpu, ProcKind::kGpu}) {
+    bytes = std::max(bytes, Conv2DScratchBytes(cfg.storage, cfg.ComputeFor(proc), in_shape,
+                                               filter_shape, n.desc.conv));
+  }
+  return bytes;
 }
 
 }  // namespace ulayer

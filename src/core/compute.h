@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/prepared.h"
+#include "memory/arena.h"
 #include "soc/spec.h"
 
 namespace ulayer {
@@ -17,10 +18,22 @@ namespace ulayer {
 // Computes output channels [c0, c1) of node `id` into act[id]. `act` is
 // indexed by node id; producers must already be computed. For kConcat and
 // kSoftmax the range must cover all channels (they are never split).
+//
+// `scratch`, when non-null, supplies kernel staging buffers (im2col, F16
+// conversions) from a prepare-sized arena; the caller must Reset() it
+// between kernel invocations. Null: kernels heap-allocate per call (legacy
+// path). The PreparedModel's weight caches are forwarded to the kernels
+// whenever present.
 void ComputeNodeSlice(const PreparedModel& pm, int id, ProcKind proc, std::vector<Tensor>& act,
-                      int64_t c0, int64_t c1);
+                      int64_t c0, int64_t c1, memory::ScratchArena* scratch = nullptr);
 
 // Convenience: computes the full node on one processor.
-void ComputeNode(const PreparedModel& pm, int id, ProcKind proc, std::vector<Tensor>& act);
+void ComputeNode(const PreparedModel& pm, int id, ProcKind proc, std::vector<Tensor>& act,
+                 memory::ScratchArena* scratch = nullptr);
+
+// Worst-case scratch bytes one ComputeNodeSlice call on `n` may request, over
+// every processor/compute-dtype this config could route it to. Used by the
+// executor's prepare-time dry run to size its arena.
+int64_t NodeScratchBytes(const PreparedModel& pm, const Node& n);
 
 }  // namespace ulayer

@@ -43,6 +43,12 @@ struct ExecConfig {
   // latency-measurement loops may switch them off.
   bool verify = true;
 
+  // Steady-state memory planning (DESIGN.md Section 9): prepare-time weight
+  // caches, a monotonic scratch arena for kernel staging buffers, and
+  // liveness-planned activation pooling. Off restores the per-call-allocation
+  // path (kept for one release as a byte-identical regression baseline).
+  bool scratch_arena = true;
+
   DType ComputeFor(ProcKind k) const { return k == ProcKind::kCpu ? cpu_compute : gpu_compute; }
 
   // --- Common configurations ---

@@ -20,6 +20,51 @@ constexpr double kIssueCallUs = 2.0;
 
 Executor::Executor(const PreparedModel& pm, const SocSpec& soc) : pm_(pm), ctx_(soc) {}
 
+void Executor::EnsureMemoryPlan() {
+  if (mem_ready_) {
+    return;
+  }
+  const Graph& g = pm_.graph();
+
+  // Kernel scratch: worst case over single nodes (the arena is Reset between
+  // kernels, so peak use is one node's staging buffers).
+  int64_t scratch_bytes = 0;
+  for (const Node& n : g.nodes()) {
+    scratch_bytes = std::max(scratch_bytes, NodeScratchBytes(pm_, n));
+  }
+  scratch_.Reserve(static_cast<size_t>(scratch_bytes));
+
+  // Activation liveness: node ids are topological, so act[i] must stay alive
+  // from its own step until its last consumer's step.
+  std::vector<int64_t> last_use(static_cast<size_t>(g.size()));
+  for (const Node& n : g.nodes()) {
+    last_use[static_cast<size_t>(n.id)] =
+        std::max(last_use[static_cast<size_t>(n.id)], static_cast<int64_t>(n.id));
+    for (int in : n.inputs) {
+      last_use[static_cast<size_t>(in)] =
+          std::max(last_use[static_cast<size_t>(in)], static_cast<int64_t>(n.id));
+    }
+  }
+  // The network output is read (cloned into RunResult) after the node loop.
+  last_use[static_cast<size_t>(g.OutputId())] = g.size();
+
+  std::vector<memory::BufferRequest> reqs(static_cast<size_t>(g.size()));
+  for (const Node& n : g.nodes()) {
+    memory::BufferRequest& r = reqs[static_cast<size_t>(n.id)];
+    r.live_begin = n.id;
+    r.live_end = last_use[static_cast<size_t>(n.id)];
+    // The input tensor stays an owning tensor (PrepareInput); bytes = 0
+    // keeps it out of the pool without perturbing the request indexing.
+    r.bytes = n.desc.kind == LayerKind::kInput
+                  ? 0
+                  : n.out_shape.NumElements() * DTypeSize(pm_.ActivationDType(n.id));
+  }
+  const memory::BufferPlan plan = memory::PackBuffers(reqs);
+  act_pool_.assign(static_cast<size_t>(plan.pool_bytes), 0);
+  act_offsets_ = plan.offsets;
+  mem_ready_ = true;
+}
+
 double Executor::ReadyTime(const Node& node, bool on_cpu, bool on_gpu,
                            const std::vector<NodeDone>& done, int* syncs) const {
   double ready = 0.0;
@@ -59,14 +104,25 @@ RunResult Executor::Run(const Plan& plan, const Tensor* input) {
   trace.reserve(static_cast<size_t>(g.size()) + 16);
   int syncs = 0;
 
-  // Functional state.
+  // Functional state. With config.scratch_arena the activation tensors are
+  // views into a liveness-planned pool and kernel staging buffers come from
+  // the prepare-sized arena: steady-state runs allocate nothing.
   std::vector<Tensor> act;
+  memory::ScratchArena* scratch = nullptr;
   if (input != nullptr) {
+    if (cfg.scratch_arena) {
+      EnsureMemoryPlan();
+      scratch = &scratch_;
+    }
     act.resize(static_cast<size_t>(g.size()));
     act[0] = pm_.PrepareInput(*input);
     for (const Node& n : g.nodes()) {
       if (n.desc.kind != LayerKind::kInput) {
-        act[static_cast<size_t>(n.id)] = pm_.MakeActivation(n.id);
+        act[static_cast<size_t>(n.id)] =
+            cfg.scratch_arena
+                ? pm_.MakeActivationView(
+                      n.id, act_pool_.data() + act_offsets_[static_cast<size_t>(n.id)])
+                : pm_.MakeActivation(n.id);
       }
     }
   }
@@ -100,7 +156,10 @@ RunResult Executor::Run(const Plan& plan, const Tensor* input) {
       trace.push_back(KernelTrace{n.id, proc, ev.start_us, ev.complete_us});
       nd = NodeDone{ev, on_cpu, !on_cpu};
       if (input != nullptr) {
-        ComputeNode(pm_, n.id, proc, act);
+        if (scratch != nullptr) {
+          scratch->Reset();
+        }
+        ComputeNode(pm_, n.id, proc, act, scratch);
       }
       continue;
     }
@@ -169,8 +228,16 @@ RunResult Executor::Run(const Plan& plan, const Tensor* input) {
     nd = NodeDone{ucl::Event{merged}, true, true};
 
     if (input != nullptr) {
-      ComputeNodeSlice(pm_, n.id, ProcKind::kCpu, act, split.cpu.begin, split.cpu.end);
-      ComputeNodeSlice(pm_, n.id, ProcKind::kGpu, act, split.gpu.begin, split.gpu.end);
+      // Both slices run sequentially on this thread; reset between them so
+      // peak arena use is one slice's staging buffers.
+      if (scratch != nullptr) {
+        scratch->Reset();
+      }
+      ComputeNodeSlice(pm_, n.id, ProcKind::kCpu, act, split.cpu.begin, split.cpu.end, scratch);
+      if (scratch != nullptr) {
+        scratch->Reset();
+      }
+      ComputeNodeSlice(pm_, n.id, ProcKind::kGpu, act, split.gpu.begin, split.gpu.end, scratch);
     }
   }
 
@@ -198,7 +265,11 @@ RunResult Executor::Run(const Plan& plan, const Tensor* input) {
   r.idle_energy_mj = energy.IdleEnergyMj(r.latency_us);
   r.total_energy_mj = r.cpu_energy_mj + r.gpu_energy_mj + r.idle_energy_mj;
   if (input != nullptr) {
-    r.output = act[static_cast<size_t>(g.OutputId())];
+    // Pooled activations are views into executor-owned storage; detach the
+    // output so the result outlives this run (and the next run's reuse of
+    // the pool).
+    const Tensor& out = act[static_cast<size_t>(g.OutputId())];
+    r.output = out.is_view() ? out.Clone() : out;
   }
   return r;
 }

@@ -13,9 +13,11 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "core/plan.h"
 #include "core/prepared.h"
+#include "memory/arena.h"
 #include "ucl/ucl.h"
 
 namespace ulayer {
@@ -71,8 +73,20 @@ class Executor {
   double ReadyTime(const Node& node, bool on_cpu, bool on_gpu,
                    const std::vector<NodeDone>& done, int* syncs) const;
 
+  // Prepare-time memory planning (config.scratch_arena functional runs):
+  // sizes the kernel scratch arena from a dry run over the graph and packs
+  // the activation tensors into one liveness-planned pool. Idempotent; runs
+  // once on the first functional Run().
+  void EnsureMemoryPlan();
+
   const PreparedModel& pm_;
   ucl::Context ctx_;
+
+  // Steady-state memory plan (DESIGN.md Section 9).
+  memory::ScratchArena scratch_;
+  std::vector<uint8_t> act_pool_;      // Shared activation storage.
+  std::vector<int64_t> act_offsets_;   // Per-node offset into act_pool_.
+  bool mem_ready_ = false;
 };
 
 }  // namespace ulayer

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "core/reference.h"
 #include "parallel/thread_pool.h"
@@ -18,6 +20,19 @@ QuantParams TensorMinMaxParams(const Tensor& f32) {
   MinMaxObserver obs;
   obs.Observe(f32);
   return obs.Params();
+}
+
+// The QU8 pooling kernels propagate their input's quantization parameters
+// onto the output tensor at run time (pooling is value-preserving), so the
+// scale a consumer actually observes on act[id] is the one upstream of any
+// pool chain — not act_qp_[id]. Cached requantization multipliers must use
+// the same effective scale the kernels will see.
+int EffectiveQuantSource(const Graph& g, int id) {
+  const Node* n = &g.node(id);
+  while (n->desc.kind == LayerKind::kPool || n->desc.kind == LayerKind::kGlobalAvgPool) {
+    n = &g.node(n->inputs[0]);
+  }
+  return n->id;
 }
 
 }  // namespace
@@ -49,12 +64,53 @@ PreparedModel::PreparedModel(const Model& model, const ExecConfig& config)
           pw.filters = QuantizeTensor(w.filters, TensorMinMaxParams(w.filters));
         }
         // bias_i32 needs the input activation scale; filled by Calibrate().
+        if (config.scratch_arena) {
+          BuildWeightCaches(n, pw);
+        }
         break;
       case DType::kInt32:
         assert(false && "kInt32 is not a storage dtype");
         break;
     }
     weights_.emplace(n.id, std::move(pw));
+  }
+}
+
+void PreparedModel::BuildWeightCaches(const Node& n, PreparedWeights& pw) const {
+  const Tensor& qf = pw.filters;
+  const Shape& fs = qf.shape();
+  const uint8_t* w = qf.Data<uint8_t>();
+  // Raw uint8 filter row sums, one per output channel: the precomputed half
+  // of the GEMM zero-point hoist (see GemmQU8). Depthwise kernels do not use
+  // row sums (their inner product is per-channel and tiny).
+  if (n.desc.kind != LayerKind::kDepthwiseConv) {
+    const int64_t k = fs.c * fs.h * fs.w;
+    pw.filter_rowsum.resize(static_cast<size_t>(fs.n));
+    for (int64_t oc = 0; oc < fs.n; ++oc) {
+      int32_t raw = 0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        raw += static_cast<int32_t>(w[oc * k + kk]);
+      }
+      pw.filter_rowsum[static_cast<size_t>(oc)] = raw;
+    }
+  }
+  // F16 operand caches for the on-the-fly-F16 (GPU) path: precompute exactly
+  // the Half values the kernel's per-call conversion would produce, using the
+  // same tensor-embedded quant params and the same expressions.
+  if (config_.cpu_compute == DType::kF16 || config_.gpu_compute == DType::kF16) {
+    const QuantParams w_qp{qf.scale(), qf.zero_point()};
+    pw.filters_f16.resize(static_cast<size_t>(qf.NumElements()));
+    for (int64_t i = 0; i < qf.NumElements(); ++i) {
+      pw.filters_f16[static_cast<size_t>(i)] = Half(w_qp.Dequantize(w[i]));
+    }
+    const Tensor& bias_f32 = model_->weights.at(n.id).bias;
+    if (!bias_f32.empty()) {
+      const float* bp = bias_f32.Data<float>();
+      pw.bias_f16.resize(static_cast<size_t>(bias_f32.NumElements()));
+      for (int64_t i = 0; i < bias_f32.NumElements(); ++i) {
+        pw.bias_f16[static_cast<size_t>(i)] = Half(bp[i]);
+      }
+    }
   }
 }
 
@@ -94,7 +150,52 @@ void PreparedModel::Calibrate(const std::vector<Tensor>& inputs) {
       const float w_scale =
           per_channel ? pw.per_channel.channels[static_cast<size_t>(i)].scale
                       : pw.filters.scale();
-      dst[i] = static_cast<int32_t>(std::lround(src[i] / (in_scale * w_scale)));
+      const float prod = in_scale * w_scale;
+      // A zero/denormal/non-finite scale product would send the quotient to
+      // +-inf and make the float->long conversion in lround undefined
+      // behavior. Reject it like ComputeRequantScale rejects a degenerate
+      // multiplier.
+      if (!std::isfinite(prod) || prod < std::numeric_limits<float>::min()) {
+        throw std::domain_error(
+            "bias quantization: in_scale * w_scale is zero, denormal, or "
+            "non-finite");
+      }
+      dst[i] = static_cast<int32_t>(std::lround(src[i] / prod));
+    }
+  }
+
+  // Precompute the requantization multipliers the kernels would otherwise
+  // derive per call. On a degenerate multiplier the cache entry is left
+  // empty, so kernels recompute per call and the std::domain_error surfaces
+  // at Run() — the same error site as the uncached path.
+  if (config_.scratch_arena) {
+    for (const Node& n : graph().nodes()) {
+      if (!IsParameterized(n.desc.kind)) {
+        continue;
+      }
+      PreparedWeights& pw = weights_.at(n.id);
+      const float in_scale =
+          act_qp_[static_cast<size_t>(EffectiveQuantSource(graph(), n.inputs[0]))].scale;
+      const float out_scale = act_qp_[static_cast<size_t>(n.id)].scale;
+      try {
+        if (!pw.per_channel.channels.empty()) {
+          pw.requant_per_channel.resize(pw.per_channel.channels.size());
+          for (size_t oc = 0; oc < pw.per_channel.channels.size(); ++oc) {
+            pw.requant_per_channel[oc] =
+                ComputeRequantScale(static_cast<double>(in_scale) *
+                                    static_cast<double>(pw.per_channel.channels[oc].scale) /
+                                    static_cast<double>(out_scale));
+          }
+        } else {
+          pw.requant = ComputeRequantScale(static_cast<double>(in_scale) *
+                                           static_cast<double>(pw.filters.scale()) /
+                                           static_cast<double>(out_scale));
+          pw.has_requant = true;
+        }
+      } catch (const std::domain_error&) {
+        pw.requant_per_channel.clear();
+        pw.has_requant = false;
+      }
     }
   }
   calibrated_ = true;
@@ -116,6 +217,56 @@ Tensor PreparedModel::MakeActivation(int id) const {
     t.set_quant_params(qp.scale, qp.zero_point);
   }
   return t;
+}
+
+Tensor PreparedModel::MakeActivationView(int id, uint8_t* buffer) const {
+  const Node& n = graph().node(id);
+  Tensor t = Tensor::View(n.out_shape, ActivationDType(id), buffer);
+  if (t.dtype() == DType::kQUInt8) {
+    const QuantParams& qp = act_qp_[static_cast<size_t>(id)];
+    t.set_quant_params(qp.scale, qp.zero_point);
+  }
+  return t;
+}
+
+const Half* PreparedModel::FiltersF16Ptr(int id) const {
+  const auto it = weights_.find(id);
+  if (it == weights_.end() || it->second.filters_f16.empty()) {
+    return nullptr;
+  }
+  return it->second.filters_f16.data();
+}
+
+const Half* PreparedModel::BiasF16Ptr(int id) const {
+  const auto it = weights_.find(id);
+  if (it == weights_.end() || it->second.bias_f16.empty()) {
+    return nullptr;
+  }
+  return it->second.bias_f16.data();
+}
+
+const int32_t* PreparedModel::FilterRowSumPtr(int id) const {
+  const auto it = weights_.find(id);
+  if (it == weights_.end() || it->second.filter_rowsum.empty()) {
+    return nullptr;
+  }
+  return it->second.filter_rowsum.data();
+}
+
+const RequantScale* PreparedModel::RequantPtr(int id) const {
+  const auto it = weights_.find(id);
+  if (it == weights_.end() || !it->second.has_requant) {
+    return nullptr;
+  }
+  return &it->second.requant;
+}
+
+const RequantScale* PreparedModel::PerChannelRequantPtr(int id) const {
+  const auto it = weights_.find(id);
+  if (it == weights_.end() || it->second.requant_per_channel.empty()) {
+    return nullptr;
+  }
+  return it->second.requant_per_channel.data();
 }
 
 Tensor PreparedModel::PrepareInput(const Tensor& f32_input) const {

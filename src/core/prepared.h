@@ -12,6 +12,7 @@
 
 #include "core/config.h"
 #include "models/model.h"
+#include "quant/half.h"
 #include "quant/quantize.h"
 
 namespace ulayer {
@@ -55,9 +56,26 @@ class PreparedModel {
   // Allocates the activation tensor for node `id` with the right dtype and
   // quantization parameters (softmax outputs are always F32).
   Tensor MakeActivation(int id) const;
+  // Same dtype/quant-params setup, but as a non-owning view over
+  // caller-managed storage (the executor's planned activation pool).
+  Tensor MakeActivationView(int id, uint8_t* buffer) const;
+
+  // Storage dtype of node `id`'s activation (softmax outputs are always F32).
+  DType ActivationDType(int id) const;
 
   // Converts a user-supplied F32 input into the network storage dtype.
   Tensor PrepareInput(const Tensor& f32_input) const;
+
+  // --- Prepare-time kernel caches (DESIGN.md Section 9) ---------------------
+  // All return nullptr when the cache is absent (non-QUInt8 storage,
+  // config().scratch_arena off, pre-Calibrate, or degenerate quant params);
+  // kernels then fall back to per-call computation. Pointers index absolute
+  // output channels.
+  const Half* FiltersF16Ptr(int id) const;
+  const Half* BiasF16Ptr(int id) const;
+  const int32_t* FilterRowSumPtr(int id) const;
+  const RequantScale* RequantPtr(int id) const;
+  const RequantScale* PerChannelRequantPtr(int id) const;
 
  private:
   struct PreparedWeights {
@@ -65,9 +83,19 @@ class PreparedModel {
     Tensor bias;      // storage dtype (F32/F16 modes)
     Tensor bias_i32;  // QUInt8 mode, filled by Calibrate().
     PerChannelParams per_channel;  // QUInt8 + per_channel_weights mode.
+
+    // Prepare-time caches (QUInt8 storage + config.scratch_arena only).
+    std::vector<Half> filters_f16;   // Dequantized filters, F16 (GPU path).
+    std::vector<Half> bias_f16;      // F32 bias converted to F16 (GPU path).
+    std::vector<int32_t> filter_rowsum;  // Raw uint8 row sums per out channel.
+    RequantScale requant;            // Per-tensor multiplier (Calibrate).
+    bool has_requant = false;
+    std::vector<RequantScale> requant_per_channel;  // Per-channel multipliers.
   };
 
-  DType ActivationDType(int id) const;
+  // Fills the calibration-independent caches (row sums, F16 operands) of one
+  // quantized layer. Called from the constructor when config.scratch_arena.
+  void BuildWeightCaches(const Node& n, PreparedWeights& pw) const;
 
   const Model* model_;
   ExecConfig config_;

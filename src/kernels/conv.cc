@@ -20,10 +20,48 @@ int64_t ResolveEnd(int64_t end, int64_t limit) {
   return e;
 }
 
+int64_t AlignUp64(int64_t bytes) { return (bytes + 63) & ~int64_t{63}; }
+
+// Mirror of the GEMM blocking (see gemm.cc) for the per-channel kernel.
+constexpr int64_t kRowTile = 4;
+constexpr int64_t kColTileQ = 256;
+constexpr int64_t kKUnroll = 4;
+
+// Rounds a ParallelFor grain up to a multiple of kRowTile so chunk boundaries
+// do not split row tiles (GrainForOps returns 1 for large per-row op counts).
+int64_t RowTileGrain(double ops_per_row) {
+  const int64_t g = parallel::GrainForOps(ops_per_row);
+  return ((g + kRowTile - 1) / kRowTile) * kRowTile;
+}
+
+// Scratch buffer: arena-backed when an arena is supplied (no heap
+// allocation, contents uninitialized), per-call heap vector otherwise (the
+// legacy path kept behind ExecConfig::scratch_arena). Every user below fully
+// overwrites the buffer before reading it, so the uninitialized arena
+// contents are never observed.
+template <typename T>
+class ScratchVec {
+ public:
+  ScratchVec(memory::ScratchArena* arena, size_t n) {
+    if (arena != nullptr) {
+      ptr_ = arena->AllocN<T>(n);
+    } else {
+      own_.resize(n);
+      ptr_ = own_.data();
+    }
+  }
+  T* data() { return ptr_; }
+
+ private:
+  T* ptr_ = nullptr;
+  std::vector<T> own_;
+};
+
 }  // namespace
 
 void Conv2DF32(const Tensor& input, const Tensor& filters, const Tensor& bias,
-               const Conv2DParams& p, Tensor& output, int64_t oc_begin, int64_t oc_end) {
+               const Conv2DParams& p, Tensor& output, int64_t oc_begin, int64_t oc_end,
+               const ConvAux& aux) {
   assert(input.dtype() == DType::kF32 && filters.dtype() == DType::kF32);
   const Shape& is = input.shape();
   const Shape& fs = filters.shape();  // [OC, IC, KH, KW]
@@ -35,7 +73,7 @@ void Conv2DF32(const Tensor& input, const Tensor& filters, const Tensor& bias,
 
   const int64_t k = fs.c * fs.h * fs.w;           // GEMM depth
   const int64_t spatial = int64_t{out_h} * out_w;  // GEMM columns
-  std::vector<float> cols(k * spatial);
+  ScratchVec<float> cols(aux.scratch, static_cast<size_t>(k * spatial));
 
   const float* bias_ptr = bias.empty() ? nullptr : bias.Data<float>() + oc_begin;
   for (int64_t ni = 0; ni < is.n; ++ni) {
@@ -49,7 +87,8 @@ void Conv2DF32(const Tensor& input, const Tensor& filters, const Tensor& bias,
 }
 
 void Conv2DF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
-               const Conv2DParams& p, Tensor& output, int64_t oc_begin, int64_t oc_end) {
+               const Conv2DParams& p, Tensor& output, int64_t oc_begin, int64_t oc_end,
+               const ConvAux& aux) {
   assert(input.dtype() == DType::kF16 && filters.dtype() == DType::kF16);
   const Shape& is = input.shape();
   const Shape& fs = filters.shape();
@@ -60,7 +99,7 @@ void Conv2DF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
 
   const int64_t k = fs.c * fs.h * fs.w;
   const int64_t spatial = int64_t{out_h} * out_w;
-  std::vector<Half> cols(k * spatial);
+  ScratchVec<Half> cols(aux.scratch, static_cast<size_t>(k * spatial));
 
   const Half* bias_ptr = bias.empty() ? nullptr : bias.Data<Half>() + oc_begin;
   for (int64_t ni = 0; ni < is.n; ++ni) {
@@ -74,7 +113,8 @@ void Conv2DF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
 }
 
 void Conv2DQU8(const Tensor& input, const Tensor& filters, const Tensor& bias,
-               const Conv2DParams& p, Tensor& output, int64_t oc_begin, int64_t oc_end) {
+               const Conv2DParams& p, Tensor& output, int64_t oc_begin, int64_t oc_end,
+               const ConvAux& aux) {
   assert(input.dtype() == DType::kQUInt8 && filters.dtype() == DType::kQUInt8);
   assert(output.dtype() == DType::kQUInt8);
   const Shape& is = input.shape();
@@ -86,12 +126,17 @@ void Conv2DQU8(const Tensor& input, const Tensor& filters, const Tensor& bias,
 
   const int64_t k = fs.c * fs.h * fs.w;
   const int64_t spatial = int64_t{out_h} * out_w;
-  std::vector<uint8_t> cols(k * spatial);
+  ScratchVec<uint8_t> cols(aux.scratch, static_cast<size_t>(k * spatial));
 
-  const double real_mult = static_cast<double>(input.scale()) * static_cast<double>(filters.scale()) /
-      static_cast<double>(output.scale());
-  const RequantScale rs = ComputeRequantScale(real_mult);
+  const RequantScale rs =
+      aux.requant != nullptr
+          ? *aux.requant
+          : ComputeRequantScale(static_cast<double>(input.scale()) *
+                                static_cast<double>(filters.scale()) /
+                                static_cast<double>(output.scale()));
   const uint8_t in_pad = static_cast<uint8_t>(input.zero_point());
+  const int32_t* rowsum =
+      aux.filter_rowsum != nullptr ? aux.filter_rowsum + oc_begin : nullptr;
 
   const int32_t* bias_ptr = bias.empty() ? nullptr : bias.Data<int32_t>() + oc_begin;
   for (int64_t ni = 0; ni < is.n; ++ni) {
@@ -101,14 +146,14 @@ void Conv2DQU8(const Tensor& input, const Tensor& filters, const Tensor& bias,
     uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, oc_begin, 0, 0);
     const uint8_t* w = filters.Data<uint8_t>() + oc_begin * k;
     GemmQU8(w, filters.zero_point(), cols.data(), input.zero_point(), out, output.zero_point(), rs,
-            oc_end - oc_begin, spatial, k, bias_ptr, p.relu);
+            oc_end - oc_begin, spatial, k, bias_ptr, p.relu, rowsum);
   }
 }
 
 void Conv2DQU8PerChannel(const Tensor& input, const Tensor& filters,
                          const PerChannelParams& w_params, const Tensor& bias,
                          const Conv2DParams& p, Tensor& output, int64_t oc_begin,
-                         int64_t oc_end) {
+                         int64_t oc_end, const ConvAux& aux) {
   assert(input.dtype() == DType::kQUInt8 && filters.dtype() == DType::kQUInt8);
   assert(output.dtype() == DType::kQUInt8);
   const Shape& is = input.shape();
@@ -121,52 +166,114 @@ void Conv2DQU8PerChannel(const Tensor& input, const Tensor& filters,
 
   const int64_t k = fs.c * fs.h * fs.w;
   const int64_t spatial = int64_t{out_h} * out_w;
-  std::vector<uint8_t> cols(k * spatial);
+  assert(k <= INT32_MAX / (255 * 255) && "int32 accumulator would overflow");
+  ScratchVec<uint8_t> cols(aux.scratch, static_cast<size_t>(k * spatial));
   const uint8_t in_pad = static_cast<uint8_t>(input.zero_point());
+  const int32_t in_zp = input.zero_point();
+  const int32_t out_zp = output.zero_point();
 
-  // Per-channel requantization multipliers.
-  std::vector<RequantScale> rs(static_cast<size_t>(oc_end - oc_begin));
-  for (int64_t oc = oc_begin; oc < oc_end; ++oc) {
-    rs[static_cast<size_t>(oc - oc_begin)] =
-        ComputeRequantScale(static_cast<double>(input.scale()) *
-                            static_cast<double>(w_params.channels[static_cast<size_t>(oc)].scale) /
-                            static_cast<double>(output.scale()));
+  // Per-channel requantization multipliers: prepare-time cache (absolute
+  // output-channel indexing) or a per-call table over this slice.
+  std::vector<RequantScale> rs_local;
+  if (aux.requant_per_channel == nullptr) {
+    rs_local.resize(static_cast<size_t>(oc_end - oc_begin));
+    for (int64_t oc = oc_begin; oc < oc_end; ++oc) {
+      rs_local[static_cast<size_t>(oc - oc_begin)] =
+          ComputeRequantScale(static_cast<double>(input.scale()) *
+                              static_cast<double>(w_params.channels[static_cast<size_t>(oc)].scale) /
+                              static_cast<double>(output.scale()));
+    }
   }
+  const auto requant_for = [&](int64_t oc) -> const RequantScale& {
+    return aux.requant_per_channel != nullptr
+               ? aux.requant_per_channel[oc]
+               : rs_local[static_cast<size_t>(oc - oc_begin)];
+  };
 
+  const uint8_t* wdata = filters.Data<uint8_t>();
   for (int64_t ni = 0; ni < is.n; ++ni) {
     const uint8_t* img = input.Data<uint8_t>() + ni * is.c * is.h * is.w;
     Im2ColQU8(img, static_cast<int>(is.c), static_cast<int>(is.h), static_cast<int>(is.w), p,
               cols.data(), in_pad);
-    // Output channels are independent; each chunk owns its accumulator row.
+    // Output channels are independent; each chunk works on stack tiles (same
+    // blocked shape and zero-point hoist as GemmQU8, but with per-row filter
+    // zero points and requant multipliers).
     parallel::ParallelFor(
         oc_begin, oc_end,
-        parallel::GrainForOps(static_cast<double>(k) * static_cast<double>(spatial)),
+        RowTileGrain(static_cast<double>(k) * static_cast<double>(spatial)),
         [&](int64_t ob, int64_t oe) {
-          std::vector<int32_t> acc(static_cast<size_t>(spatial));
-          for (int64_t oc = ob; oc < oe; ++oc) {
-            const int32_t w_zp = w_params.channels[static_cast<size_t>(oc)].zero_point;
-            const uint8_t* wrow = filters.Data<uint8_t>() + oc * k;
-            const int32_t b0 = bias.empty() ? 0 : bias.Data<int32_t>()[oc];
-            std::fill(acc.begin(), acc.end(), b0);
-            for (int64_t kk = 0; kk < k; ++kk) {
-              const int32_t wv = static_cast<int32_t>(wrow[kk]) - w_zp;
-              if (wv == 0) {
-                continue;
+          int32_t acc[kRowTile][kColTileQ];
+          int32_t w_zp[kRowTile];
+          int32_t srow[kRowTile];  // sum_k (w[oc,k] - w_zp[oc])
+          int32_t b0[kRowTile];
+          for (int64_t oc0 = ob; oc0 < oe; oc0 += kRowTile) {
+            const int64_t rows = std::min(kRowTile, oe - oc0);
+            for (int64_t r = 0; r < rows; ++r) {
+              const int64_t oc = oc0 + r;
+              w_zp[r] = w_params.channels[static_cast<size_t>(oc)].zero_point;
+              int32_t raw = 0;
+              if (aux.filter_rowsum != nullptr) {
+                raw = aux.filter_rowsum[oc];
+              } else {
+                const uint8_t* wrow = wdata + oc * k;
+                for (int64_t kk = 0; kk < k; ++kk) {
+                  raw += static_cast<int32_t>(wrow[kk]);
+                }
               }
-              const uint8_t* crow = cols.data() + kk * spatial;
-              for (int64_t j = 0; j < spatial; ++j) {
-                acc[static_cast<size_t>(j)] +=
-                    wv * (static_cast<int32_t>(crow[j]) - input.zero_point());
-              }
+              srow[r] = raw - static_cast<int32_t>(k) * w_zp[r];
+              b0[r] = bias.empty() ? 0 : bias.Data<int32_t>()[oc];
             }
-            uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, oc, 0, 0);
-            const RequantScale& r = rs[static_cast<size_t>(oc - oc_begin)];
-            for (int64_t j = 0; j < spatial; ++j) {
-              uint8_t q = RequantizeOne(acc[static_cast<size_t>(j)], r, output.zero_point());
-              if (p.relu && q < output.zero_point()) {
-                q = static_cast<uint8_t>(output.zero_point());
+            for (int64_t jb = 0; jb < spatial; jb += kColTileQ) {
+              const int64_t jn = std::min(kColTileQ, spatial - jb);
+              for (int64_t r = 0; r < rows; ++r) {
+                std::fill(acc[r], acc[r] + jn, b0[r]);
               }
-              out[j] = q;
+              int64_t kk = 0;
+              for (; kk + kKUnroll <= k; kk += kKUnroll) {
+                const uint8_t* c0p = cols.data() + kk * spatial + jb;
+                const uint8_t* c1p = c0p + spatial;
+                const uint8_t* c2p = c1p + spatial;
+                const uint8_t* c3p = c2p + spatial;
+                for (int64_t r = 0; r < rows; ++r) {
+                  const uint8_t* wrow = wdata + (oc0 + r) * k + kk;
+                  const int32_t wv0 = static_cast<int32_t>(wrow[0]) - w_zp[r];
+                  const int32_t wv1 = static_cast<int32_t>(wrow[1]) - w_zp[r];
+                  const int32_t wv2 = static_cast<int32_t>(wrow[2]) - w_zp[r];
+                  const int32_t wv3 = static_cast<int32_t>(wrow[3]) - w_zp[r];
+                  int32_t* ar = acc[r];
+                  for (int64_t j = 0; j < jn; ++j) {
+                    ar[j] += wv0 * static_cast<int32_t>(c0p[j]) +
+                             wv1 * static_cast<int32_t>(c1p[j]) +
+                             wv2 * static_cast<int32_t>(c2p[j]) +
+                             wv3 * static_cast<int32_t>(c3p[j]);
+                  }
+                }
+              }
+              for (; kk < k; ++kk) {
+                const uint8_t* crow = cols.data() + kk * spatial + jb;
+                for (int64_t r = 0; r < rows; ++r) {
+                  const int32_t wv =
+                      static_cast<int32_t>(wdata[(oc0 + r) * k + kk]) - w_zp[r];
+                  int32_t* ar = acc[r];
+                  for (int64_t j = 0; j < jn; ++j) {
+                    ar[j] += wv * static_cast<int32_t>(crow[j]);
+                  }
+                }
+              }
+              for (int64_t r = 0; r < rows; ++r) {
+                const int64_t oc = oc0 + r;
+                const int32_t corr = in_zp * srow[r];
+                const RequantScale& rs = requant_for(oc);
+                uint8_t* out =
+                    output.Data<uint8_t>() + output.shape().Offset(ni, oc, 0, 0) + jb;
+                for (int64_t j = 0; j < jn; ++j) {
+                  uint8_t q = RequantizeOne(acc[r][j] - corr, rs, out_zp);
+                  if (p.relu && q < out_zp) {
+                    q = static_cast<uint8_t>(out_zp);
+                  }
+                  out[j] = q;
+                }
+              }
             }
           }
         });
@@ -174,7 +281,8 @@ void Conv2DQU8PerChannel(const Tensor& input, const Tensor& filters,
 }
 
 void Conv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
-                     const Conv2DParams& p, Tensor& output, int64_t oc_begin, int64_t oc_end) {
+                     const Conv2DParams& p, Tensor& output, int64_t oc_begin, int64_t oc_end,
+                     const ConvAux& aux) {
   assert(input.dtype() == DType::kQUInt8 && filters.dtype() == DType::kQUInt8);
   assert(output.dtype() == DType::kQUInt8);
   assert(bias.empty() || bias.dtype() == DType::kF32);
@@ -192,43 +300,63 @@ void Conv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const Tensor& b
   const int64_t k = fs.c * fs.h * fs.w;
   const int64_t spatial = int64_t{out_h} * out_w;
 
-  // On-the-fly conversion: dequantize the QUInt8 operands straight into F16
-  // staging buffers (this is what the GPU kernels do per load; staging keeps
-  // the reference kernel simple while producing identical values).
-  std::vector<Half> w16(static_cast<size_t>((oc_end - oc_begin) * k));
-  const uint8_t* wq = filters.Data<uint8_t>() + oc_begin * k;
-  for (size_t i = 0; i < w16.size(); ++i) {
-    w16[i] = Half(w_qp.Dequantize(wq[i]));
+  // F16 operands: the PreparedModel cache when available (built once at
+  // prepare time), otherwise dequantized into staging buffers per call —
+  // exactly the values a GPU kernel would produce per load.
+  const Half* w16;
+  ScratchVec<Half> w16_own(
+      aux.scratch,
+      aux.filters_f16 != nullptr ? 0 : static_cast<size_t>((oc_end - oc_begin) * k));
+  if (aux.filters_f16 != nullptr) {
+    w16 = aux.filters_f16 + oc_begin * k;
+  } else {
+    const uint8_t* wq = filters.Data<uint8_t>() + oc_begin * k;
+    const size_t wn = static_cast<size_t>((oc_end - oc_begin) * k);
+    for (size_t i = 0; i < wn; ++i) {
+      w16_own.data()[i] = Half(w_qp.Dequantize(wq[i]));
+    }
+    w16 = w16_own.data();
   }
-  std::vector<Half> bias16(static_cast<size_t>(oc_end - oc_begin));
+  // No staging buffer at all when the layer has no bias.
+  const Half* bias16 = nullptr;
+  ScratchVec<Half> bias16_own(
+      aux.scratch, (bias.empty() || aux.bias_f16 != nullptr)
+                       ? 0
+                       : static_cast<size_t>(oc_end - oc_begin));
   if (!bias.empty()) {
-    const float* bp = bias.Data<float>() + oc_begin;
-    for (size_t i = 0; i < bias16.size(); ++i) {
-      bias16[i] = Half(bp[i]);
+    if (aux.bias_f16 != nullptr) {
+      bias16 = aux.bias_f16 + oc_begin;
+    } else {
+      const float* bp = bias.Data<float>() + oc_begin;
+      for (int64_t i = 0; i < oc_end - oc_begin; ++i) {
+        bias16_own.data()[i] = Half(bp[i]);
+      }
+      bias16 = bias16_own.data();
     }
   }
 
-  std::vector<Half> img16(static_cast<size_t>(is.c * is.h * is.w));
-  std::vector<Half> cols(k * spatial);
-  std::vector<Half> out16((oc_end - oc_begin) * spatial);
+  ScratchVec<Half> img16(aux.scratch, static_cast<size_t>(is.c * is.h * is.w));
+  ScratchVec<Half> cols(aux.scratch, static_cast<size_t>(k * spatial));
+  ScratchVec<Half> out16(aux.scratch, static_cast<size_t>((oc_end - oc_begin) * spatial));
+  const int64_t img_elems = is.c * is.h * is.w;
+  const int64_t out_elems = (oc_end - oc_begin) * spatial;
   for (int64_t ni = 0; ni < is.n; ++ni) {
-    const uint8_t* img = input.Data<uint8_t>() + ni * is.c * is.h * is.w;
-    parallel::ParallelFor(0, static_cast<int64_t>(img16.size()), parallel::GrainForOps(1.0),
+    const uint8_t* img = input.Data<uint8_t>() + ni * img_elems;
+    parallel::ParallelFor(0, img_elems, parallel::GrainForOps(1.0),
                           [&](int64_t b, int64_t e) {
                             for (int64_t i = b; i < e; ++i) {
-                              img16[static_cast<size_t>(i)] = Half(in_qp.Dequantize(img[i]));
+                              img16.data()[i] = Half(in_qp.Dequantize(img[i]));
                             }
                           });
     Im2ColF16(img16.data(), static_cast<int>(is.c), static_cast<int>(is.h),
               static_cast<int>(is.w), p, cols.data());
-    GemmF16(w16.data(), cols.data(), out16.data(), oc_end - oc_begin, spatial, k,
-            bias.empty() ? nullptr : bias16.data(), p.relu);
+    GemmF16(w16, cols.data(), out16.data(), oc_end - oc_begin, spatial, k, bias16, p.relu);
     // Requantize the F16 results back to the shared QUInt8 output buffer.
     uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, oc_begin, 0, 0);
-    parallel::ParallelFor(0, static_cast<int64_t>(out16.size()), parallel::GrainForOps(1.0),
+    parallel::ParallelFor(0, out_elems, parallel::GrainForOps(1.0),
                           [&](int64_t b, int64_t e) {
                             for (int64_t i = b; i < e; ++i) {
-                              out[i] = out_qp.Quantize(out16[static_cast<size_t>(i)].ToFloat());
+                              out[i] = out_qp.Quantize(out16.data()[i].ToFloat());
                             }
                           });
   }
@@ -294,16 +422,20 @@ void DepthwiseConv2DF16(const Tensor& input, const Tensor& filters, const Tensor
 }
 
 void DepthwiseConv2DQU8(const Tensor& input, const Tensor& filters, const Tensor& bias,
-                        const Conv2DParams& p, Tensor& output, int64_t c_begin, int64_t c_end) {
+                        const Conv2DParams& p, Tensor& output, int64_t c_begin, int64_t c_end,
+                        const ConvAux& aux) {
   assert(input.dtype() == DType::kQUInt8 && output.dtype() == DType::kQUInt8);
   const Shape& is = input.shape();
   c_end = ResolveEnd(c_end, is.c);
   const int out_h = p.OutH(static_cast<int>(is.h));
   const int out_w = p.OutW(static_cast<int>(is.w));
 
-  const double real_mult = static_cast<double>(input.scale()) * static_cast<double>(filters.scale()) /
-      static_cast<double>(output.scale());
-  const RequantScale rs = ComputeRequantScale(real_mult);
+  const RequantScale rs =
+      aux.requant != nullptr
+          ? *aux.requant
+          : ComputeRequantScale(static_cast<double>(input.scale()) *
+                                static_cast<double>(filters.scale()) /
+                                static_cast<double>(output.scale()));
   const int32_t in_zp = input.zero_point();
   const int32_t w_zp = filters.zero_point();
   const int32_t out_zp = output.zero_point();
@@ -346,7 +478,7 @@ void DepthwiseConv2DQU8(const Tensor& input, const Tensor& filters, const Tensor
 
 void DepthwiseConv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
                               const Conv2DParams& p, Tensor& output, int64_t c_begin,
-                              int64_t c_end) {
+                              int64_t c_end, const ConvAux& aux) {
   assert(input.dtype() == DType::kQUInt8 && output.dtype() == DType::kQUInt8);
   assert(bias.empty() || bias.dtype() == DType::kF32);
   const Shape& is = input.shape();
@@ -365,8 +497,16 @@ void DepthwiseConv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const 
                               int64_t cb, int64_t ce) {
       for (int64_t c = cb; c < ce; ++c) {
         const uint8_t* in_c = input.Data<uint8_t>() + is.Offset(ni, c, 0, 0);
-        const uint8_t* w = filters.Data<uint8_t>() + c * p.kernel_h * p.kernel_w;
-        const Half b0 = bias.empty() ? Half(0.0f) : Half(bias.Data<float>()[c]);
+        const int64_t ksize = int64_t{p.kernel_h} * p.kernel_w;
+        const uint8_t* w = filters.Data<uint8_t>() + c * ksize;
+        // Cached dequantized weights/bias produce the exact same Half values
+        // as the inline conversion (they were built with the same
+        // expressions at prepare time).
+        const Half* w16 = aux.filters_f16 != nullptr ? aux.filters_f16 + c * ksize : nullptr;
+        const Half b0 = bias.empty()
+                            ? Half(0.0f)
+                            : (aux.bias_f16 != nullptr ? aux.bias_f16[c]
+                                                       : Half(bias.Data<float>()[c]));
         uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, c, 0, 0);
         for (int oh = 0; oh < out_h; ++oh) {
           for (int ow = 0; ow < out_w; ++ow) {
@@ -378,7 +518,10 @@ void DepthwiseConv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const 
                 const float v = (ih < 0 || ih >= is.h || iw < 0 || iw >= is.w)
                                     ? 0.0f
                                     : in_qp.Dequantize(in_c[ih * is.w + iw]);
-                acc += Half(v) * Half(w_qp.Dequantize(w[kh * p.kernel_w + kw]));
+                const Half wv = w16 != nullptr
+                                    ? w16[kh * p.kernel_w + kw]
+                                    : Half(w_qp.Dequantize(w[kh * p.kernel_w + kw]));
+                acc += Half(v) * wv;
               }
             }
             float r = acc.ToFloat();
@@ -391,6 +534,37 @@ void DepthwiseConv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const 
       }
     });
   }
+}
+
+int64_t Conv2DScratchBytes(DType storage, DType compute, const Shape& input_shape,
+                           const Shape& filter_shape, const Conv2DParams& p) {
+  const int out_h = p.OutH(static_cast<int>(input_shape.h));
+  const int out_w = p.OutW(static_cast<int>(input_shape.w));
+  const int64_t k = filter_shape.c * filter_shape.h * filter_shape.w;
+  const int64_t spatial = int64_t{out_h} * out_w;
+  const int64_t oc = filter_shape.n;
+  switch (storage) {
+    case DType::kF32:
+      return AlignUp64(k * spatial * int64_t{sizeof(float)});
+    case DType::kF16:
+      return AlignUp64(k * spatial * int64_t{sizeof(Half)});
+    case DType::kQUInt8: {
+      if (compute == DType::kF16) {
+        // img16 + cols + out16, plus the w16/bias16 fallbacks for callers
+        // without the prepare-time cache.
+        const int64_t img_elems = input_shape.c * input_shape.h * input_shape.w;
+        return AlignUp64(img_elems * int64_t{sizeof(Half)}) +
+               AlignUp64(k * spatial * int64_t{sizeof(Half)}) +
+               AlignUp64(oc * spatial * int64_t{sizeof(Half)}) +
+               AlignUp64(oc * k * int64_t{sizeof(Half)}) +
+               AlignUp64(oc * int64_t{sizeof(Half)});
+      }
+      return AlignUp64(k * spatial);
+    }
+    case DType::kInt32:
+      break;
+  }
+  return 0;
 }
 
 }  // namespace ulayer

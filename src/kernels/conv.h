@@ -6,29 +6,66 @@
 // behind channel-wise workload distribution (paper Section 3.2): the CPU and
 // the GPU run the same kernel on disjoint channel ranges of a shared output
 // buffer, so the merge step is free.
+//
+// Every kernel additionally accepts a ConvAux of prepare-time caches and a
+// scratch arena (DESIGN.md Section 9). All ConvAux fields are optional: a
+// default-constructed aux reproduces the self-contained per-call behavior
+// (used by tests and the calibration forward pass), while the executor
+// passes the PreparedModel caches so steady-state runs recompute and
+// heap-allocate nothing.
 #pragma once
 
 #include "kernels/params.h"
+#include "memory/arena.h"
+#include "quant/half.h"
 #include "quant/quantize.h"
 #include "tensor/tensor.h"
 
 namespace ulayer {
 
+// Optional prepare-time context for the conv kernels. Pointers are non-owning
+// and may be null independently; indices are absolute output channels (the
+// caches cover the full tensor, kernels offset by oc_begin themselves).
+struct ConvAux {
+  // Scratch arena for im2col / staging buffers. Null: kernels fall back to
+  // per-call heap vectors (the pre-arena behavior, kept behind
+  // ExecConfig::scratch_arena for one release).
+  memory::ScratchArena* scratch = nullptr;
+
+  // QUInt8 paths: per-tensor requantization multiplier
+  // (in_scale * w_scale / out_scale), precomputed by PreparedModel::Calibrate.
+  const RequantScale* requant = nullptr;
+  // Per-channel mode: one multiplier per absolute output channel.
+  const RequantScale* requant_per_channel = nullptr;
+  // Raw filter row sums: sum_k filters[oc, k] of the quantized uint8 weights,
+  // one per absolute output channel (the zero-point hoist, see GemmQU8).
+  const int32_t* filter_rowsum = nullptr;
+
+  // Via-F16 paths: dequantized filter values Half(w_scale * (w - w_zp)) in
+  // filter layout, and Half-converted F32 bias, cached at prepare time
+  // instead of being rebuilt on every call.
+  const Half* filters_f16 = nullptr;
+  const Half* bias_f16 = nullptr;
+};
+
 // F32 convolution. filters: [OC, IC, KH, KW]; bias: [OC] (may be empty).
 // oc_end == -1 means "all output channels".
 void Conv2DF32(const Tensor& input, const Tensor& filters, const Tensor& bias,
-               const Conv2DParams& p, Tensor& output, int64_t oc_begin = 0, int64_t oc_end = -1);
+               const Conv2DParams& p, Tensor& output, int64_t oc_begin = 0, int64_t oc_end = -1,
+               const ConvAux& aux = {});
 
 // F16 convolution; all tensors kF16. Arithmetic rounds to binary16 per
 // operation (native-F16-ALU semantics).
 void Conv2DF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
-               const Conv2DParams& p, Tensor& output, int64_t oc_begin = 0, int64_t oc_end = -1);
+               const Conv2DParams& p, Tensor& output, int64_t oc_begin = 0, int64_t oc_end = -1,
+               const ConvAux& aux = {});
 
 // Quantized convolution (the CPU path of processor-friendly quantization).
 // input/filters/output: kQUInt8 with quant params in tensor metadata;
 // bias: kInt32 quantized with scale in_scale*filter_scale, zero_point 0.
 void Conv2DQU8(const Tensor& input, const Tensor& filters, const Tensor& bias,
-               const Conv2DParams& p, Tensor& output, int64_t oc_begin = 0, int64_t oc_end = -1);
+               const Conv2DParams& p, Tensor& output, int64_t oc_begin = 0, int64_t oc_end = -1,
+               const ConvAux& aux = {});
 
 // Per-output-channel quantized convolution (extension; see
 // quant/quantize.h). Each output channel oc uses its own filter quant
@@ -37,7 +74,7 @@ void Conv2DQU8(const Tensor& input, const Tensor& filters, const Tensor& bias,
 void Conv2DQU8PerChannel(const Tensor& input, const Tensor& filters,
                          const PerChannelParams& w_params, const Tensor& bias,
                          const Conv2DParams& p, Tensor& output, int64_t oc_begin = 0,
-                         int64_t oc_end = -1);
+                         int64_t oc_end = -1, const ConvAux& aux = {});
 
 // The GPU path of processor-friendly quantization (paper Section 4.2):
 // loads QUInt8 input and filters, converts them on the fly to F16, performs
@@ -45,7 +82,7 @@ void Conv2DQU8PerChannel(const Tensor& input, const Tensor& filters,
 // bias: kF32 (dequantized filter bias), converted to F16 on the fly.
 void Conv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
                      const Conv2DParams& p, Tensor& output, int64_t oc_begin = 0,
-                     int64_t oc_end = -1);
+                     int64_t oc_end = -1, const ConvAux& aux = {});
 
 // Depthwise convolution (MobileNet): one filter [C, KH, KW] per channel;
 // channel c of the output depends only on channel c of the input, so the
@@ -58,9 +95,16 @@ void DepthwiseConv2DF16(const Tensor& input, const Tensor& filters, const Tensor
                         int64_t c_end = -1);
 void DepthwiseConv2DQU8(const Tensor& input, const Tensor& filters, const Tensor& bias,
                         const Conv2DParams& p, Tensor& output, int64_t c_begin = 0,
-                        int64_t c_end = -1);
+                        int64_t c_end = -1, const ConvAux& aux = {});
 void DepthwiseConv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
                               const Conv2DParams& p, Tensor& output, int64_t c_begin = 0,
-                              int64_t c_end = -1);
+                              int64_t c_end = -1, const ConvAux& aux = {});
+
+// Worst-case scratch-arena bytes one call of the QUInt8/F16/F32 conv kernels
+// may request for the given shapes under `storage`/`compute` dtypes
+// (includes per-buffer alignment slack). Used by the executor's prepare-time
+// dry run to size the arena.
+int64_t Conv2DScratchBytes(DType storage, DType compute, const Shape& input_shape,
+                           const Shape& filter_shape, const Conv2DParams& p);
 
 }  // namespace ulayer

@@ -1,17 +1,44 @@
 #include "kernels/gemm.h"
 
 #include <algorithm>
-#include <vector>
+#include <cassert>
+#include <cstdint>
 
 #include "parallel/thread_pool.h"
 
 namespace ulayer {
+namespace {
+
+// Blocking parameters (DESIGN.md Section 9).
+//
+// kKUnroll B-panel rows are streamed per pass so each C element is loaded and
+// stored once per kKUnroll k-steps instead of once per k-step — accumulator
+// traffic is the bottleneck of the naive i-k-j loop. The QU8 kernel
+// additionally processes kRowTile A-rows together over kColTileQ-column int32
+// accumulator tiles kept on the stack (1 KB per row: L1-resident, and no
+// per-call heap allocation).
+constexpr int64_t kKUnroll = 4;
+constexpr int64_t kRowTile = 4;
+constexpr int64_t kColTileQ = 256;
+
+// Rounds a ParallelFor grain up to a multiple of kRowTile so chunk boundaries
+// do not split row tiles (GrainForOps returns 1 for large n*k).
+int64_t RowTileGrain(double ops_per_row) {
+  const int64_t g = parallel::GrainForOps(ops_per_row);
+  return ((g + kRowTile - 1) / kRowTile) * kRowTile;
+}
+
+}  // namespace
 
 void GemmF32(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
              const float* bias, bool relu) {
-  // Rows are independent: parallelize over m. Within a chunk, the i-k-j loop
-  // order streams B rows, keeps the C row hot, and lets the compiler
-  // vectorize the inner j loop.
+  // Rows are independent: parallelize over m. Within a row, k is unrolled by
+  // kKUnroll with one sequential += per term, so for each (i, j) the
+  // accumulation order over k is ascending exactly as in the naive i-k-j
+  // loop and the float results are bit-identical. The naive kernel's av == 0
+  // skip is preserved by diverting to a per-k tail whenever any unrolled
+  // coefficient is zero (skipping matters only for the sign of zero, but the
+  // baseline skipped, so we must too).
   parallel::ParallelFor(
       0, m, parallel::GrainForOps(static_cast<double>(n) * static_cast<double>(k)),
       [&](int64_t i_begin, int64_t i_end) {
@@ -20,7 +47,39 @@ void GemmF32(const float* a, const float* b, float* c, int64_t m, int64_t n, int
           const float b0 = bias != nullptr ? bias[i] : 0.0f;
           std::fill(crow, crow + n, b0);
           const float* arow = a + i * k;
-          for (int64_t kk = 0; kk < k; ++kk) {
+          int64_t kk = 0;
+          for (; kk + kKUnroll <= k; kk += kKUnroll) {
+            const float av0 = arow[kk];
+            const float av1 = arow[kk + 1];
+            const float av2 = arow[kk + 2];
+            const float av3 = arow[kk + 3];
+            const float* b0p = b + kk * n;
+            const float* b1p = b0p + n;
+            const float* b2p = b1p + n;
+            const float* b3p = b2p + n;
+            if (av0 != 0.0f && av1 != 0.0f && av2 != 0.0f && av3 != 0.0f) {
+              for (int64_t j = 0; j < n; ++j) {
+                float t = crow[j];
+                t += av0 * b0p[j];
+                t += av1 * b1p[j];
+                t += av2 * b2p[j];
+                t += av3 * b3p[j];
+                crow[j] = t;
+              }
+            } else {
+              for (int64_t u = 0; u < kKUnroll; ++u) {
+                const float av = arow[kk + u];
+                if (av == 0.0f) {
+                  continue;
+                }
+                const float* brow = b + (kk + u) * n;
+                for (int64_t j = 0; j < n; ++j) {
+                  crow[j] += av * brow[j];
+                }
+              }
+            }
+          }
+          for (; kk < k; ++kk) {
             const float av = arow[kk];
             if (av == 0.0f) {
               continue;
@@ -65,34 +124,80 @@ void GemmF16(const Half* a, const Half* b, Half* c, int64_t m, int64_t n, int64_
 
 void GemmQU8(const uint8_t* a, int32_t a_zp, const uint8_t* b, int32_t b_zp, uint8_t* c,
              int32_t c_zp, const RequantScale& rs, int64_t m, int64_t n, int64_t k,
-             const int32_t* bias, bool relu) {
+             const int32_t* bias, bool relu, const int32_t* a_rowsum) {
+  // Accumulation bound: every partial sum of (a - a_zp) * b terms is within
+  // |bias| + 255*255*k, the same bound as the naive (a-a_zp)(b-b_zp) kernel,
+  // because the b_zp correction is applied only after the k loop.
+  assert(k <= INT32_MAX / (255 * 255) && "int32 accumulator would overflow");
   parallel::ParallelFor(
-      0, m, parallel::GrainForOps(static_cast<double>(n) * static_cast<double>(k)),
+      0, m, RowTileGrain(static_cast<double>(n) * static_cast<double>(k)),
       [&](int64_t i_begin, int64_t i_end) {
-        // Per-chunk accumulator row: chunks run concurrently.
-        std::vector<int32_t> acc(static_cast<size_t>(n));
-        for (int64_t i = i_begin; i < i_end; ++i) {
-          const int32_t b0 = bias != nullptr ? bias[i] : 0;
-          std::fill(acc.begin(), acc.end(), b0);
-          const uint8_t* arow = a + i * k;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const int32_t av = static_cast<int32_t>(arow[kk]) - a_zp;
-            if (av == 0) {
-              continue;
+        // Stack tiles: no per-chunk heap allocation (DESIGN.md Section 9).
+        int32_t acc[kRowTile][kColTileQ];
+        int32_t srow[kRowTile];  // Signed row sums: sum_k (a[i,k] - a_zp).
+        for (int64_t i0 = i_begin; i0 < i_end; i0 += kRowTile) {
+          const int64_t rows = std::min(kRowTile, i_end - i0);
+          for (int64_t r = 0; r < rows; ++r) {
+            int32_t raw = 0;
+            if (a_rowsum != nullptr) {
+              raw = a_rowsum[i0 + r];
+            } else {
+              const uint8_t* arow = a + (i0 + r) * k;
+              for (int64_t kk = 0; kk < k; ++kk) {
+                raw += static_cast<int32_t>(arow[kk]);
+              }
             }
-            const uint8_t* brow = b + kk * n;
-            for (int64_t j = 0; j < n; ++j) {
-              acc[static_cast<size_t>(j)] += av * (static_cast<int32_t>(brow[j]) - b_zp);
-            }
+            srow[r] = raw - static_cast<int32_t>(k) * a_zp;
           }
-          uint8_t* crow = c + i * n;
-          for (int64_t j = 0; j < n; ++j) {
-            uint8_t q = RequantizeOne(acc[static_cast<size_t>(j)], rs, c_zp);
-            if (relu && q < c_zp) {
-              // Quantized ReLU: real zero is stored as c_zp.
-              q = static_cast<uint8_t>(c_zp);
+          for (int64_t jb = 0; jb < n; jb += kColTileQ) {
+            const int64_t jn = std::min(kColTileQ, n - jb);
+            for (int64_t r = 0; r < rows; ++r) {
+              const int32_t b0 = bias != nullptr ? bias[i0 + r] : 0;
+              std::fill(acc[r], acc[r] + jn, b0);
             }
-            crow[j] = q;
+            int64_t kk = 0;
+            for (; kk + kKUnroll <= k; kk += kKUnroll) {
+              const uint8_t* b0p = b + kk * n + jb;
+              const uint8_t* b1p = b0p + n;
+              const uint8_t* b2p = b1p + n;
+              const uint8_t* b3p = b2p + n;
+              for (int64_t r = 0; r < rows; ++r) {
+                const uint8_t* arow = a + (i0 + r) * k + kk;
+                const int32_t av0 = static_cast<int32_t>(arow[0]) - a_zp;
+                const int32_t av1 = static_cast<int32_t>(arow[1]) - a_zp;
+                const int32_t av2 = static_cast<int32_t>(arow[2]) - a_zp;
+                const int32_t av3 = static_cast<int32_t>(arow[3]) - a_zp;
+                int32_t* ar = acc[r];
+                for (int64_t j = 0; j < jn; ++j) {
+                  ar[j] += av0 * static_cast<int32_t>(b0p[j]) +
+                           av1 * static_cast<int32_t>(b1p[j]) +
+                           av2 * static_cast<int32_t>(b2p[j]) +
+                           av3 * static_cast<int32_t>(b3p[j]);
+                }
+              }
+            }
+            for (; kk < k; ++kk) {
+              const uint8_t* brow = b + kk * n + jb;
+              for (int64_t r = 0; r < rows; ++r) {
+                const int32_t av = static_cast<int32_t>(a[(i0 + r) * k + kk]) - a_zp;
+                int32_t* ar = acc[r];
+                for (int64_t j = 0; j < jn; ++j) {
+                  ar[j] += av * static_cast<int32_t>(brow[j]);
+                }
+              }
+            }
+            for (int64_t r = 0; r < rows; ++r) {
+              const int32_t corr = b_zp * srow[r];
+              uint8_t* crow = c + (i0 + r) * n + jb;
+              for (int64_t j = 0; j < jn; ++j) {
+                uint8_t q = RequantizeOne(acc[r][j] - corr, rs, c_zp);
+                if (relu && q < c_zp) {
+                  // Quantized ReLU: real zero is stored as c_zp.
+                  q = static_cast<uint8_t>(c_zp);
+                }
+                crow[j] = q;
+              }
+            }
           }
         }
       });

@@ -13,6 +13,9 @@
 namespace ulayer {
 
 // C[M,N] = A[M,K] * B[K,N] (+ bias[M] broadcast across columns, if non-null).
+// Blocked over rows and columns so the active C tile and B panel stay
+// cache-resident; per-element accumulation order is unchanged (ascending k),
+// so results are bit-identical to the naive loop.
 void GemmF32(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
              const float* bias = nullptr, bool relu = false);
 
@@ -24,8 +27,22 @@ void GemmF16(const Half* a, const Half* b, Half* c, int64_t m, int64_t n, int64_
 // Quantized GEMM: c_q[M,N] = requantize(sum_k (a[m,k]-a_zp)*(b[k,n]-b_zp)
 //                                        + bias_i32[m]).
 // `rs` encodes (a_scale*b_scale)/c_scale; `relu` clamps at c_zp (quantized 0).
+//
+// Implemented with the row-sum zero-point hoist (Jacob et al., gemmlowp):
+//   sum_k (a-a_zp)(b-b_zp) = sum_k (a-a_zp)*b  -  b_zp * sum_k (a-a_zp),
+// so the hot loop multiplies raw uint8 B values and the b_zp contribution is
+// folded in once per (row, column tile) after the k loop. Integer arithmetic
+// is exact, hence outputs are byte-identical to the naive formulation (see
+// DESIGN.md Section 9 for the derivation and the overflow-bound argument).
+//
+// `a_rowsum`, when non-null, holds the precomputed raw row sums
+// sum_k a[m,k] (uint8 values, int32 totals) — e.g. the prepare-time filter
+// row sums cached by PreparedModel. When null they are computed on the fly.
+// Requires k <= INT32_MAX / 255^2 so int32 accumulation cannot overflow
+// (same bound as the naive kernel).
 void GemmQU8(const uint8_t* a, int32_t a_zp, const uint8_t* b, int32_t b_zp, uint8_t* c,
              int32_t c_zp, const RequantScale& rs, int64_t m, int64_t n, int64_t k,
-             const int32_t* bias = nullptr, bool relu = false);
+             const int32_t* bias = nullptr, bool relu = false,
+             const int32_t* a_rowsum = nullptr);
 
 }  // namespace ulayer

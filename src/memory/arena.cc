@@ -1,0 +1,106 @@
+#include "memory/arena.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ulayer::memory {
+namespace {
+
+size_t AlignUp(size_t n, size_t a) { return (n + a - 1) & ~(a - 1); }
+
+}  // namespace
+
+uint8_t* ScratchArena::AlignedBase() {
+  return reinterpret_cast<uint8_t*>(
+      AlignUp(reinterpret_cast<uintptr_t>(block_.data()), kAlignment));
+}
+
+void ScratchArena::Reserve(size_t bytes) {
+  assert(used_ == 0 && overflow_.empty() && "Reserve with live allocations");
+  if (bytes <= capacity_) {
+    return;
+  }
+  block_.resize(bytes + kAlignment);
+  capacity_ = bytes;
+}
+
+void* ScratchArena::Alloc(size_t bytes) {
+  const size_t padded = AlignUp(bytes, kAlignment);
+  if (used_ + padded <= capacity_) {
+    uint8_t* p = AlignedBase() + used_;
+    used_ += padded;
+    high_water_ = std::max(high_water_, used() );
+    return p;
+  }
+  // Miss: a dedicated overflow block keeps the pointer valid until Reset.
+  ++overflow_count_;
+  overflow_.emplace_back(padded + kAlignment);
+  overflow_used_ += padded;
+  high_water_ = std::max(high_water_, used());
+  return reinterpret_cast<uint8_t*>(
+      AlignUp(reinterpret_cast<uintptr_t>(overflow_.back().data()), kAlignment));
+}
+
+void ScratchArena::Reset() {
+  used_ = 0;
+  overflow_used_ = 0;
+  if (!overflow_.empty()) {
+    // Coalesce: one growth here buys allocation-free steady state.
+    overflow_.clear();
+    if (high_water_ > capacity_) {
+      block_.resize(AlignUp(high_water_, kAlignment) + kAlignment);
+      capacity_ = AlignUp(high_water_, kAlignment);
+    }
+  }
+}
+
+BufferPlan PackBuffers(const std::vector<BufferRequest>& requests) {
+  constexpr int64_t kAlign = static_cast<int64_t>(ScratchArena::kAlignment);
+  BufferPlan plan;
+  plan.offsets.assign(requests.size(), 0);
+
+  // Largest-first placement keeps the big conv activations tightly packed.
+  std::vector<size_t> order(requests.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (requests[a].bytes != requests[b].bytes) {
+      return requests[a].bytes > requests[b].bytes;
+    }
+    return a < b;  // Deterministic tie-break.
+  });
+
+  std::vector<size_t> placed;
+  placed.reserve(requests.size());
+  for (const size_t idx : order) {
+    const BufferRequest& r = requests[idx];
+    const int64_t size = std::max<int64_t>(r.bytes, 0);
+    // Collect the occupied ranges of already-placed, liveness-overlapping
+    // buffers, sorted by offset, then scan for the first gap that fits.
+    std::vector<std::pair<int64_t, int64_t>> busy;  // [offset, offset+size)
+    for (const size_t p : placed) {
+      const BufferRequest& q = requests[p];
+      const bool overlap = r.live_begin <= q.live_end && q.live_begin <= r.live_end;
+      if (overlap) {
+        busy.emplace_back(plan.offsets[p],
+                          plan.offsets[p] + std::max<int64_t>(requests[p].bytes, kAlign));
+      }
+    }
+    std::sort(busy.begin(), busy.end());
+    int64_t offset = 0;
+    for (const auto& [b, e] : busy) {
+      if (offset + size <= b) {
+        break;  // Fits in the gap before this range.
+      }
+      offset = std::max(offset, (e + kAlign - 1) / kAlign * kAlign);
+    }
+    plan.offsets[idx] = offset;
+    plan.pool_bytes = std::max(plan.pool_bytes, offset + size);
+    placed.push_back(idx);
+  }
+  plan.pool_bytes = (plan.pool_bytes + kAlign - 1) / kAlign * kAlign;
+  return plan;
+}
+
+}  // namespace ulayer::memory

@@ -1,0 +1,103 @@
+// Scratch-arena memory planning (DESIGN.md Section 9).
+//
+// A production inference runtime amortizes every steady-state allocation at
+// prepare time: kernel scratch (im2col matrices, F16 staging buffers) comes
+// from a monotonic arena sized once by a dry run over the graph, and
+// activation tensors share a packed pool planned from their liveness
+// intervals. This header provides both building blocks; they are wired into
+// the executor by src/core.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ulayer::memory {
+
+// Monotonic bump allocator for kernel scratch buffers.
+//
+// Usage contract: Reserve() once at prepare time, then per kernel call
+// Alloc() any number of buffers and Reset() before the next kernel. Alloc
+// never fails: a request beyond the reserved block falls back to a dedicated
+// overflow allocation (correctness never depends on the dry-run sizing), and
+// the next Reset() coalesces the observed high-water mark back into one
+// block so steady state returns to zero heap allocations.
+//
+// Returned buffers are kAlignment-aligned and UNINITIALIZED. Not thread-safe:
+// all Alloc/Reset calls must come from one thread (workers may freely read
+// and write the returned buffers).
+class ScratchArena {
+ public:
+  static constexpr size_t kAlignment = 64;  // One cache line.
+
+  ScratchArena() = default;
+  explicit ScratchArena(size_t capacity_bytes) { Reserve(capacity_bytes); }
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  // Grows the main block to at least `bytes`. Invalidates outstanding
+  // pointers; call only between kernel invocations (used_ must be 0).
+  void Reserve(size_t bytes);
+
+  // Returns a kAlignment-aligned uninitialized buffer of `bytes` bytes,
+  // valid until the next Reset()/Reserve(). bytes == 0 returns a valid
+  // (dereferenceable-for-zero-bytes) pointer.
+  void* Alloc(size_t bytes);
+
+  template <typename T>
+  T* AllocN(size_t n) {
+    static_assert(alignof(T) <= kAlignment, "arena alignment too small for T");
+    return static_cast<T*>(Alloc(n * sizeof(T)));
+  }
+
+  // Rewinds the arena. If any Alloc overflowed the main block, the overflow
+  // blocks are released and the main block is regrown to the high-water
+  // mark, so subsequent identical allocation patterns stay in-block.
+  void Reset();
+
+  size_t capacity() const { return capacity_; }
+  // Bytes handed out since the last Reset (including alignment padding).
+  size_t used() const { return used_ + overflow_used_; }
+  // Largest used() observed over the arena's lifetime.
+  size_t high_water() const { return high_water_; }
+  // Number of Alloc calls that did not fit the main block (lifetime total).
+  int64_t overflow_count() const { return overflow_count_; }
+
+ private:
+  uint8_t* AlignedBase();
+
+  std::vector<uint8_t> block_;        // Main block (capacity_ + alignment slack).
+  size_t capacity_ = 0;               // Usable bytes from the aligned base.
+  size_t used_ = 0;                   // Bump offset into the main block.
+  std::vector<std::vector<uint8_t>> overflow_;  // Fallback blocks, one per miss.
+  size_t overflow_used_ = 0;
+  size_t high_water_ = 0;
+  int64_t overflow_count_ = 0;
+};
+
+// --- Liveness-based buffer packing -----------------------------------------
+
+// One buffer that must be alive over the (inclusive) interval
+// [live_begin, live_end] of some totally ordered schedule (the executor uses
+// node ids, which are topological).
+struct BufferRequest {
+  int64_t bytes = 0;
+  int64_t live_begin = 0;
+  int64_t live_end = 0;
+};
+
+struct BufferPlan {
+  // Byte offset of each request into the shared pool (index-parallel with
+  // the input vector). Offsets are ScratchArena::kAlignment-aligned.
+  std::vector<int64_t> offsets;
+  int64_t pool_bytes = 0;
+};
+
+// Packs buffers into one pool such that any two requests whose live
+// intervals overlap occupy disjoint byte ranges. Greedy best-offset
+// assignment, largest buffers first — the standard inference-runtime
+// activation planner (cf. TFLite's memory arena). O(n^2), n = #requests.
+BufferPlan PackBuffers(const std::vector<BufferRequest>& requests);
+
+}  // namespace ulayer::memory

@@ -129,8 +129,7 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::Run(int64_t num_chunks, int threads,
-                     const std::function<void(int64_t)>& fn) {
+void ThreadPool::Run(int64_t num_chunks, int threads, FunctionRef<void(int64_t)> fn) {
   if (num_chunks <= 0) {
     return;
   }
@@ -142,7 +141,18 @@ void ThreadPool::Run(int64_t num_chunks, int threads,
   }
 
   const std::lock_guard<std::mutex> run_lock(run_mu_);
-  auto task = std::make_shared<TaskState>();
+  // Recycle the previous task's state when every worker has let go of it;
+  // steady-state dispatch then performs zero heap allocations.
+  std::shared_ptr<TaskState> task;
+  if (spare_ != nullptr && spare_.use_count() == 1) {
+    task = std::move(spare_);
+    task->next.store(0, std::memory_order_relaxed);
+    task->failed.store(false, std::memory_order_relaxed);
+    task->error = nullptr;
+  } else {
+    spare_.reset();
+    task = std::make_shared<TaskState>();
+  }
   task->fn = fn;
   task->num_chunks = num_chunks;
 
@@ -166,13 +176,18 @@ void ThreadPool::Run(int64_t num_chunks, int threads,
     done_cv_.wait(lock, [&] { return active_ == 0 && claimable_ == 0; });
     task_.reset();
   }
-  if (task->error) {
-    std::rethrow_exception(task->error);
+  std::exception_ptr error = task->error;
+  // The FunctionRef inside `task` dangles once this frame unwinds; clear it
+  // before parking the state for reuse.
+  task->fn = {};
+  spare_ = std::move(task);
+  if (error) {
+    std::rethrow_exception(error);
   }
 }
 
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& fn) {
+                 FunctionRef<void(int64_t, int64_t)> fn) {
   if (end <= begin) {
     return;
   }

@@ -18,13 +18,46 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace ulayer::parallel {
+
+// Non-owning callable reference. Unlike std::function it never heap-allocates
+// (one context pointer + one trampoline), which is what keeps steady-state
+// ParallelFor dispatch allocation-free (DESIGN.md Section 9). The referenced
+// callable must outlive every invocation — ParallelFor/ThreadPool::Run only
+// invoke it while the caller is blocked inside the call, so passing a
+// temporary lambda at the call site is safe.
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, FunctionRef>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design.
+  FunctionRef(F&& f)
+      : ctx_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* ctx, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(ctx))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return call_(ctx_, std::forward<Args>(args)...); }
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* ctx_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
 
 // Pins the process-wide CPU thread budget. `n > 0` forces exactly n
 // participating threads (the calling thread counts as one); `n == 0`
@@ -42,7 +75,7 @@ int CpuThreads();
 // workers have drained. Nested calls from inside a ParallelFor body run
 // serially on the calling worker (no deadlock, same determinism).
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& fn);
+                 FunctionRef<void(int64_t, int64_t)> fn);
 
 // Chunk size aiming for ~64K scalar operations per chunk, given the cost of
 // one iteration. Coarse enough to amortize dispatch, fine enough to balance
@@ -62,8 +95,9 @@ class ThreadPool {
 
   // Executes fn(i) for every i in [0, num_chunks) using up to `threads`
   // participants (the calling thread included). Serializes concurrent
-  // top-level calls; safe to call from any thread.
-  void Run(int64_t num_chunks, int threads, const std::function<void(int64_t)>& fn);
+  // top-level calls; safe to call from any thread. `fn` is only invoked
+  // before Run returns.
+  void Run(int64_t num_chunks, int threads, FunctionRef<void(int64_t)> fn);
 
   // Workers currently alive (grows on demand, never shrinks).
   int worker_count() const;
@@ -72,8 +106,10 @@ class ThreadPool {
   // One ParallelFor invocation: workers pull chunk indices from `next` until
   // exhausted. Heap-allocated and shared so a worker waking up late (after
   // the caller already returned) still holds a valid state to no-op on.
+  // States are recycled through `spare_` so a steady-state ParallelFor makes
+  // no heap allocation at all.
   struct TaskState {
-    std::function<void(int64_t)> fn;
+    FunctionRef<void(int64_t)> fn;
     int64_t num_chunks = 0;
     std::atomic<int64_t> next{0};
     std::atomic<bool> failed{false};
@@ -97,6 +133,9 @@ class ThreadPool {
   bool shutdown_ = false;
 
   std::mutex run_mu_;  // Serializes concurrent top-level Run calls.
+  // Last finished task, recycled by the next Run when no late worker still
+  // holds a reference (guarded by run_mu_).
+  std::shared_ptr<TaskState> spare_;
 };
 
 }  // namespace ulayer::parallel

@@ -23,25 +23,51 @@ class Tensor {
     assert(shape.IsValid());
   }
 
+  // Non-owning view over caller-managed storage (e.g. a slice of the
+  // executor's planned activation pool). `data` must stay valid and hold at
+  // least NumElements * DTypeSize(dtype) bytes for the view's lifetime.
+  // Copying a view tensor copies the pointer, not the bytes; use Clone() to
+  // detach.
+  static Tensor View(Shape shape, DType dtype, uint8_t* data) {
+    assert(shape.IsValid() && data != nullptr);
+    Tensor t;
+    t.shape_ = shape;
+    t.dtype_ = dtype;
+    t.view_ = data;
+    return t;
+  }
+
   const Shape& shape() const { return shape_; }
   DType dtype() const { return dtype_; }
   int64_t NumElements() const { return shape_.NumElements(); }
-  int64_t SizeBytes() const { return static_cast<int64_t>(data_.size()); }
-  bool empty() const { return data_.empty(); }
+  int64_t SizeBytes() const {
+    return view_ != nullptr ? NumElements() * DTypeSize(dtype_)
+                            : static_cast<int64_t>(data_.size());
+  }
+  bool empty() const { return view_ == nullptr && data_.empty(); }
+  bool is_view() const { return view_ != nullptr; }
 
-  uint8_t* raw() { return data_.data(); }
-  const uint8_t* raw() const { return data_.data(); }
+  uint8_t* raw() { return view_ != nullptr ? view_ : data_.data(); }
+  const uint8_t* raw() const { return view_ != nullptr ? view_ : data_.data(); }
+
+  // Deep copy into an owning tensor (quantization parameters included).
+  Tensor Clone() const {
+    Tensor t(shape_, dtype_);
+    std::memcpy(t.raw(), raw(), static_cast<size_t>(SizeBytes()));
+    t.set_quant_params(scale_, zero_point_);
+    return t;
+  }
 
   // Typed views. T must have the same size as the element dtype.
   template <typename T>
   T* Data() {
     assert(sizeof(T) == static_cast<size_t>(DTypeSize(dtype_)));
-    return reinterpret_cast<T*>(data_.data());
+    return reinterpret_cast<T*>(raw());
   }
   template <typename T>
   const T* Data() const {
     assert(sizeof(T) == static_cast<size_t>(DTypeSize(dtype_)));
-    return reinterpret_cast<const T*>(data_.data());
+    return reinterpret_cast<const T*>(raw());
   }
 
   // Linear-quantization parameters (meaningful only for kQUInt8 tensors).
@@ -53,12 +79,13 @@ class Tensor {
   }
 
   // Fills the tensor with zero bytes.
-  void Zero() { std::memset(data_.data(), 0, data_.size()); }
+  void Zero() { std::memset(raw(), 0, static_cast<size_t>(SizeBytes())); }
 
  private:
   Shape shape_;
   DType dtype_ = DType::kF32;
   std::vector<uint8_t> data_;
+  uint8_t* view_ = nullptr;  // Non-null: non-owning view, data_ unused.
   float scale_ = 1.0f;
   int32_t zero_point_ = 0;
 };
