@@ -2,9 +2,11 @@
 # CI pipeline: warnings-as-errors build + tier-1 tests, a kernel-benchmark
 # smoke run (regenerates BENCH_kernels.json and verifies the optimized
 # kernels reproduce the legacy bytes), ASan/UBSan test run, a TSan run of the
-# threaded kernel/integration tests with a multi-thread CPU budget, and
-# clang-tidy over src/ (skipped with a notice when clang-tidy is not
-# installed — the reference container ships gcc only).
+# threaded kernel/integration tests with a multi-thread CPU budget, a
+# fault-injection stage (fault_test plus the committed scripts/ci_faults.spec
+# driven through ULAYER_FAULTS, under both sanitizers), and clang-tidy over
+# src/ (skipped with a notice when clang-tidy is not installed — the
+# reference container ships gcc only).
 #
 # Usage: scripts/ci.sh [--skip-sanitize] [--skip-tidy]
 set -euo pipefail
@@ -22,17 +24,17 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/5] warnings-as-errors build + tier-1 tests"
+echo "==> [1/6] warnings-as-errors build + tier-1 tests"
 cmake -B build-werror -S . -DULAYER_WERROR=ON >/dev/null
 cmake --build build-werror -j "$JOBS"
 ctest --test-dir build-werror --output-on-failure -j "$JOBS"
 
-echo "==> [2/5] kernel benchmark smoke (legacy-vs-optimized byte identity)"
+echo "==> [2/6] kernel benchmark smoke (legacy-vs-optimized byte identity)"
 # Fails if any optimized kernel's output differs from the embedded legacy
 # replica; --quick keeps it to one iteration per case.
 ./build-werror/bench/kernel_bench --quick --out BENCH_kernels.json
 if [ "$SKIP_SANITIZE" -eq 0 ]; then
-  echo "==> [3/5] ASan + UBSan build + tests"
+  echo "==> [3/6] ASan + UBSan build + tests"
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DULAYER_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j "$JOBS"
@@ -42,7 +44,7 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
   ULAYER_CPU_THREADS=4 ASAN_OPTIONS=detect_leaks=1 \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-  echo "==> [4/5] TSan build + threaded kernel/integration tests"
+  echo "==> [4/6] TSan build + threaded kernel/integration tests"
   # TSan is incompatible with ASan, hence the separate build. Force a
   # multi-thread CPU budget so the pool's worker handoffs actually run, even
   # on single-core CI machines.
@@ -50,23 +52,43 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
     -DULAYER_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS"
   ULAYER_CPU_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'parallel_test|gemm_test|conv_test|pool_test|elementwise_test|winograd_test|quantize_test|integration_test|executor_test|prepared_test|arena_test'
+    -R 'parallel_test|gemm_test|conv_test|pool_test|elementwise_test|winograd_test|quantize_test|integration_test|executor_test|prepared_test|arena_test|fault_test'
+
+  echo "==> [5/6] fault injection under ASan + TSan (scripts/ci_faults.spec)"
+  # fault_test (its specs are embedded in the tests) runs under both
+  # sanitizers with a multi-thread CPU budget; the committed deterministic
+  # spec is then driven through the sanitizer-built ulayer_verify fault
+  # simulation, and two runs must print the identical DegradationReport.
+  FAULT_SPEC="$(grep -v '^#' scripts/ci_faults.spec | tr -d '[:space:]')"
+  ULAYER_CPU_THREADS=4 ASAN_OPTIONS=detect_leaks=1 \
+    ctest --test-dir build-asan --output-on-failure -R 'fault_test'
+  ULAYER_CPU_THREADS=4 \
+    ctest --test-dir build-tsan --output-on-failure -R 'fault_test'
+  ULAYER_CPU_THREADS=4 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-asan/tools/ulayer_verify --model googlenet --config pf \
+    --faults "$FAULT_SPEC" > fault_report_a.txt
+  ULAYER_CPU_THREADS=4 \
+    ./build-tsan/tools/ulayer_verify --model googlenet --config pf \
+    --faults "$FAULT_SPEC" > fault_report_b.txt
+  diff fault_report_a.txt fault_report_b.txt
+  rm -f fault_report_a.txt fault_report_b.txt
 else
-  echo "==> [3/5] sanitizers skipped (--skip-sanitize)"
-  echo "==> [4/5] TSan skipped (--skip-sanitize)"
+  echo "==> [3/6] sanitizers skipped (--skip-sanitize)"
+  echo "==> [4/6] TSan skipped (--skip-sanitize)"
+  echo "==> [5/6] fault injection skipped (--skip-sanitize)"
 fi
 
 if [ "$SKIP_TIDY" -eq 0 ]; then
   if command -v clang-tidy >/dev/null 2>&1; then
-    echo "==> [5/5] clang-tidy over src/"
+    echo "==> [6/6] clang-tidy over src/"
     # build-werror exports compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS).
     mapfile -t SOURCES < <(git ls-files 'src/*.cc')
     clang-tidy -p build-werror --quiet "${SOURCES[@]}"
   else
-    echo "==> [5/5] clang-tidy not installed; skipping lint stage"
+    echo "==> [6/6] clang-tidy not installed; skipping lint stage"
   fi
 else
-  echo "==> [5/5] clang-tidy skipped (--skip-tidy)"
+  echo "==> [6/6] clang-tidy skipped (--skip-tidy)"
 fi
 
 echo "CI pipeline passed."

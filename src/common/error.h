@@ -1,0 +1,68 @@
+// ulayer::Error: the one exception type the runtime throws.
+//
+// Every failure carries a stable ErrorCode plus the graph node id and
+// processor it anchors to (when known), so callers can route on the code
+// instead of string-matching what(). Subsystem-specific exceptions
+// (VerifyError, ParseError) derive from Error so a single catch handles the
+// whole runtime while specific handlers keep working. what() is the message
+// verbatim — migrating a throw site onto Error never changes its text.
+//
+// Header-only on purpose: quant, io, core and fault all throw, and none of
+// them should grow a link dependency for an exception class.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "soc/spec.h"
+
+namespace ulayer {
+
+enum class ErrorCode : uint8_t {
+  kInvalidArgument,  // A caller-supplied value is out of domain.
+  kInvalidConfig,    // ExecConfig combination no kernel implements.
+  kQuantization,     // Degenerate scale/multiplier in the quantized path.
+  kParse,            // Malformed ulayer-graph/ulayer-plan/fault-spec text.
+  kVerify,           // Static verifier reported error diagnostics.
+  kFault,            // Injected or observed device fault was unrecoverable.
+};
+
+constexpr std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kInvalidConfig:
+      return "invalid-config";
+    case ErrorCode::kQuantization:
+      return "quantization";
+    case ErrorCode::kParse:
+      return "parse";
+    case ErrorCode::kVerify:
+      return "verify";
+    case ErrorCode::kFault:
+      return "fault";
+  }
+  return "unknown";
+}
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(ErrorCode code, const std::string& message, int node = -1,
+                 std::optional<ProcKind> proc = std::nullopt)
+      : std::runtime_error(message), code_(code), node_(node), proc_(proc) {}
+
+  ErrorCode code() const { return code_; }
+  // Graph node id the error anchors to, or -1 when not node-specific.
+  int node() const { return node_; }
+  // Processor the error anchors to, when one is involved.
+  std::optional<ProcKind> proc() const { return proc_; }
+
+ private:
+  ErrorCode code_;
+  int node_;
+  std::optional<ProcKind> proc_;
+};
+
+}  // namespace ulayer

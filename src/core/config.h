@@ -49,6 +49,18 @@ struct ExecConfig {
   // path (kept for one release as a byte-identical regression baseline).
   bool scratch_arena = true;
 
+  // --- Fault recovery policy (DESIGN.md Section 10) -------------------------
+  // A failed GPU enqueue is retried this many times with exponential backoff
+  // before the executor falls back to the CPU.
+  int fault_max_retries = 2;
+  // Base backoff before the first retry; doubles per attempt. Charged to the
+  // CPU timeline (the host thread owns the retry loop).
+  double fault_backoff_us = 25.0;
+  // After retries are exhausted, re-execute the failed GPU channel slice on
+  // the CPU (paying a sync plus the CPU-flavor kernel time). When off, an
+  // unrecovered GPU fault aborts the run with ulayer::Error(kFault).
+  bool fault_cpu_fallback = true;
+
   DType ComputeFor(ProcKind k) const { return k == ProcKind::kCpu ? cpu_compute : gpu_compute; }
 
   // --- Common configurations ---

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <sstream>
 
+#include "common/error.h"
 #include "core/compute.h"
 #include "parallel/thread_pool.h"
 #include "verify/verify.h"
@@ -16,9 +18,63 @@ namespace {
 // in ProcessorSpec::kernel_launch_us.
 constexpr double kIssueCallUs = 2.0;
 
+// Failure status for a fault injected at the executor's inline map point
+// (the zero-copy handoff charges map cost directly instead of calling
+// ucl::EnqueueMap, so the executor consults the injector itself).
+ucl::Status MapFailureStatus(fault::FaultKind kind) {
+  switch (kind) {
+    case fault::FaultKind::kDeviceLost:
+      return ucl::Status::kDeviceLost;
+    case fault::FaultKind::kEnqueueFailed:
+      return ucl::Status::kEnqueueFailed;
+    default:
+      return ucl::Status::kMapFailed;
+  }
+}
+
 }  // namespace
 
-Executor::Executor(const PreparedModel& pm, const SocSpec& soc) : pm_(pm), ctx_(soc) {}
+std::string_view RunModeName(RunMode mode) {
+  switch (mode) {
+    case RunMode::kNormal:
+      return "normal";
+    case RunMode::kDegraded:
+      return "degraded";
+    case RunMode::kCpuOnly:
+      return "cpu-only";
+  }
+  return "unknown";
+}
+
+std::string DegradationReport::ToString() const {
+  std::ostringstream os;
+  os << "mode: " << RunModeName(final_mode) << "\nfaults injected: " << faults_injected
+     << "\nslowdowns: " << slowdowns << "\nretries: " << retries
+     << "\nfallbacks: " << fallbacks << "\nrerouted steps: " << rerouted_steps
+     << "\nreplans: " << replans
+     << "\ncircuit breaker: " << (circuit_open ? "open" : "closed");
+  for (const fault::FaultEvent& e : events) {
+    os << "\n  " << e.ToString();
+  }
+  os << "\n";
+  return os.str();
+}
+
+Executor::Executor(const PreparedModel& pm, const SocSpec& soc) : pm_(pm), ctx_(soc) {
+  // A config the kernels cannot execute should fail at construction, not as
+  // garbage tensors or a crash mid-run.
+  ThrowIfErrors("exec config verification failed", VerifyExecConfig(pm.config()));
+}
+
+void Executor::SetFaultPlan(fault::FaultPlan plan) {
+  if (plan.empty()) {
+    ctx_.SetFaultInjector(nullptr);
+    injector_.reset();
+    return;
+  }
+  injector_ = std::make_unique<fault::FaultInjector>(std::move(plan));
+  ctx_.SetFaultInjector(injector_.get());
+}
 
 void Executor::EnsureMemoryPlan() {
   if (mem_ready_) {
@@ -84,6 +140,26 @@ double Executor::ReadyTime(const Node& node, bool on_cpu, bool on_gpu,
 }
 
 RunResult Executor::Run(const Plan& plan, const Tensor* input) {
+  try {
+    return RunImpl(plan, input);
+  } catch (...) {
+    AbortRun();
+    throw;
+  }
+}
+
+void Executor::AbortRun() {
+  // A mid-run throw must leave the executor reusable: rewind the device
+  // timelines, the scratch arena's bump pointer and the fault stream so the
+  // next Run is byte-identical to one on a freshly constructed executor.
+  ctx_.Reset();
+  scratch_.Reset();
+  if (injector_ != nullptr) {
+    injector_->ResetRun();
+  }
+}
+
+RunResult Executor::RunImpl(const Plan& plan, const Tensor* input) {
   const Graph& g = pm_.graph();
   const ExecConfig& cfg = pm_.config();
   if (cfg.verify) {
@@ -97,7 +173,56 @@ RunResult Executor::Run(const Plan& plan, const Tensor* input) {
   // runtime pins its worker pool once per session).
   parallel::SetCpuThreads(cfg.cpu_threads);
   ctx_.Reset();
+  fault::FaultInjector* fi = injector_.get();
+  if (fi != nullptr) {
+    fi->ResetRun();
+  }
   const TimingModel& timing = ctx_.timing();
+
+  // --- Fault recovery state (DESIGN.md Section 10) --------------------------
+  DegradationReport rep;
+  bool gpu_lost = false;  // Circuit breaker; open pins the rest CPU-only.
+  ucl::Device& cpu_dev = ctx_.device(ProcKind::kCpu);
+
+  // Enqueues on the CPU queue. The CPU is the last-resort device, so a
+  // failure here is unrecoverable and aborts the run.
+  const auto must_cpu = [&](const Node& n, double ready, double body, DType compute,
+                            double bytes) {
+    const ucl::EnqueueResult res =
+        ctx_.queue(ProcKind::kCpu).EnqueueKernelAt(ready, body, compute, bytes);
+    if (!res.ok()) {
+      throw Error(ErrorCode::kFault,
+                  "node " + std::to_string(n.id) + ": cpu enqueue failed (" +
+                      std::string(ucl::StatusName(res.status)) + ") with no fallback device",
+                  n.id, ProcKind::kCpu);
+    }
+    return res.event;
+  };
+
+  // Runs one GPU attempt with bounded exponential backoff between retries.
+  // The host thread owns the retry loop, so backoff is charged to the CPU
+  // timeline. Returns nullopt when unrecovered; kDeviceLost also opens the
+  // circuit breaker.
+  const auto retry_gpu = [&](double base,
+                             const auto& attempt) -> std::optional<ucl::Event> {
+    for (int tries = 0;; ++tries) {
+      const ucl::EnqueueResult res = attempt(base);
+      if (res.ok()) {
+        return res.event;
+      }
+      if (res.status == ucl::Status::kDeviceLost) {
+        gpu_lost = true;
+        rep.circuit_open = true;
+        return std::nullopt;
+      }
+      if (tries >= cfg.fault_max_retries) {
+        return std::nullopt;
+      }
+      ++rep.retries;
+      const double backoff = std::ldexp(cfg.fault_backoff_us, std::min(tries, 20));
+      base = cpu_dev.Schedule(std::max(base, res.event.complete_us), backoff, DType::kF32, 0.0);
+    }
+  };
 
   std::vector<NodeDone> done(static_cast<size_t>(g.size()));
   std::vector<KernelTrace> trace;
@@ -135,26 +260,62 @@ RunResult Executor::Run(const Plan& plan, const Tensor* input) {
       nd = NodeDone{ucl::Event{0.0}, true, true};
       continue;
     }
+    if (fi != nullptr) {
+      fi->set_current_node(n.id);
+    }
 
     const int64_t oc = n.out_shape.c;
     const ResolvedSplit split = ResolveSplit(a, oc);
-    const bool cooperative =
+    bool cooperative =
         a.kind == StepKind::kCooperative && !split.cpu.empty() && !split.gpu.empty();
+    // Single-processor step (kSingle, kBranch, or a degenerate split where
+    // one side's channel slice is empty).
+    ProcKind proc = a.kind == StepKind::kCooperative
+                        ? (split.gpu.empty() ? ProcKind::kCpu : ProcKind::kGpu)
+                        : a.proc;
+    // Open circuit breaker: every remaining GPU-touching step reroutes to a
+    // single-processor CPU step.
+    if (gpu_lost && (cooperative || proc == ProcKind::kGpu)) {
+      cooperative = false;
+      proc = ProcKind::kCpu;
+      ++rep.rerouted_steps;
+    }
     if (!cooperative) {
-      // Single-processor step (kSingle, kBranch, or a degenerate split where
-      // one side's channel slice is empty).
-      const ProcKind proc =
-          a.kind == StepKind::kCooperative
-              ? (split.gpu.empty() ? ProcKind::kCpu : ProcKind::kGpu)
-              : a.proc;
-      const bool on_cpu = proc == ProcKind::kCpu;
-      const double ready = ReadyTime(n, on_cpu, !on_cpu, done, &syncs);
+      const bool gpu_step = proc == ProcKind::kGpu;
+      const double ready = ReadyTime(n, !gpu_step, gpu_step, done, &syncs);
       const LayerWork w = ComputeWork(g, n, cfg.storage);
       const double body = timing.KernelBodyUs(w, proc, cfg.ComputeFor(proc), cfg.cpu_threads);
-      const ucl::Event ev = ctx_.queue(proc).EnqueueKernelAt(ready, body, cfg.ComputeFor(proc),
-                                                             w.TotalBytes());
+      ucl::Event ev;
+      if (gpu_step) {
+        const std::optional<ucl::Event> got = retry_gpu(ready, [&](double b) {
+          return ctx_.queue(ProcKind::kGpu)
+              .EnqueueKernelAt(b, body, cfg.ComputeFor(ProcKind::kGpu), w.TotalBytes());
+        });
+        if (got.has_value()) {
+          ev = *got;
+        } else {
+          // Retries exhausted (or device lost): re-execute the whole layer
+          // on the CPU, paying one sync to move the inputs over.
+          if (!cfg.fault_cpu_fallback) {
+            throw Error(ErrorCode::kFault,
+                        "node " + std::to_string(n.id) +
+                            ": gpu enqueue unrecovered and cpu fallback is disabled",
+                        n.id, ProcKind::kGpu);
+          }
+          ++rep.fallbacks;
+          proc = ProcKind::kCpu;
+          const double fb_ready = std::max(ready, cpu_dev.now_us()) + timing.SyncUs();
+          ++syncs;
+          const double fb_body =
+              timing.KernelBodyUs(w, ProcKind::kCpu, cfg.ComputeFor(ProcKind::kCpu),
+                                  cfg.cpu_threads);
+          ev = must_cpu(n, fb_ready, fb_body, cfg.ComputeFor(ProcKind::kCpu), w.TotalBytes());
+        }
+      } else {
+        ev = must_cpu(n, ready, body, cfg.ComputeFor(ProcKind::kCpu), w.TotalBytes());
+      }
       trace.push_back(KernelTrace{n.id, proc, ev.start_us, ev.complete_us});
-      nd = NodeDone{ev, on_cpu, !on_cpu};
+      nd = NodeDone{ev, proc == ProcKind::kCpu, proc == ProcKind::kGpu};
       if (input != nullptr) {
         if (scratch != nullptr) {
           scratch->Reset();
@@ -185,35 +346,95 @@ RunResult Executor::Run(const Plan& plan, const Tensor* input) {
       gpu_ready = cpu_free;
     }
 
-    // Shared-memory handoff: zero-copy buffers pay cache maintenance only;
-    // otherwise the GPU's input view and output slice are staged through
-    // bandwidth-priced copies on the CPU.
-    if (cfg.zero_copy) {
-      gpu_ready += timing.MapUs();
-    } else {
+    // Shared-memory handoff: zero-copy buffers pay cache maintenance only
+    // (charged inside the retried GPU attempt below, where it is also the
+    // map fault-injection point); otherwise the GPU's input view and output
+    // slice are staged through bandwidth-priced copies on the CPU.
+    if (!cfg.zero_copy) {
       const double stage_us =
           timing.MapUs() + gpu_w.input_bytes / (ctx_.soc().copy_gb_per_s * 1e3);
       cpu_free = cpu.Schedule(cpu_free, stage_us, DType::kF32, gpu_w.input_bytes);
       gpu_ready = cpu_free;
     }
 
-    const ucl::Event gpu_ev = ctx_.queue(ProcKind::kGpu)
-                                  .EnqueueKernelAt(gpu_ready, timing.KernelBodyUs(
-                                                                  gpu_w, ProcKind::kGpu,
-                                                                  cfg.ComputeFor(ProcKind::kGpu)),
-                                                   cfg.ComputeFor(ProcKind::kGpu),
-                                                   gpu_w.TotalBytes());
+    // One GPU attempt: the inline map (zero-copy handoff, subject to map
+    // faults) followed by the kernel enqueue. Retried as a unit.
+    const double gpu_body =
+        timing.KernelBodyUs(gpu_w, ProcKind::kGpu, cfg.ComputeFor(ProcKind::kGpu));
+    const auto gpu_attempt = [&](double base) -> ucl::EnqueueResult {
+      double gr = base;
+      if (cfg.zero_copy) {
+        double map_us = timing.MapUs();
+        if (fi != nullptr) {
+          if (const auto d = fi->OnCall(ProcKind::kGpu, fault::OpKind::kMap, gr)) {
+            switch (d->kind) {
+              case fault::FaultKind::kSlowdown:
+                map_us *= d->factor;
+                break;
+              case fault::FaultKind::kTimeout:
+                return ucl::EnqueueResult{ucl::Event{gr + d->timeout_us, gr},
+                                          ucl::Status::kTimeout};
+              default:
+                return ucl::EnqueueResult{ucl::Event{gr, gr}, MapFailureStatus(d->kind)};
+            }
+          }
+        }
+        gr += map_us;
+      }
+      return ctx_.queue(ProcKind::kGpu)
+          .EnqueueKernelAt(gr, gpu_body, cfg.ComputeFor(ProcKind::kGpu), gpu_w.TotalBytes());
+    };
+    const std::optional<ucl::Event> gpu_ev = retry_gpu(gpu_ready, gpu_attempt);
     // The CPU runs its own slice; its kernel-launch overhead applies.
     const double cpu_body = timing.KernelBodyUs(cpu_w, ProcKind::kCpu,
                                                 cfg.ComputeFor(ProcKind::kCpu), cfg.cpu_threads);
-    const ucl::Event cpu_ev = ctx_.queue(ProcKind::kCpu)
-                                  .EnqueueKernelAt(cpu_free, cpu_body,
-                                                   cfg.ComputeFor(ProcKind::kCpu),
-                                                   cpu_w.TotalBytes());
-    trace.push_back(KernelTrace{n.id, ProcKind::kGpu, gpu_ev.start_us, gpu_ev.complete_us});
+
+    if (!gpu_ev.has_value()) {
+      // Unrecovered GPU failure: the CPU runs its planned slice, then — one
+      // sync later — re-executes the failed GPU channel slice itself with
+      // the CPU-flavor kernel. The slices partition the output channels, so
+      // the merged result is exactly what the cooperative step produces.
+      if (!cfg.fault_cpu_fallback) {
+        throw Error(ErrorCode::kFault,
+                    "node " + std::to_string(n.id) +
+                        ": gpu enqueue unrecovered and cpu fallback is disabled",
+                    n.id, ProcKind::kGpu);
+      }
+      ++rep.fallbacks;
+      const ucl::Event cpu_ev =
+          must_cpu(n, cpu_free, cpu_body, cfg.ComputeFor(ProcKind::kCpu), cpu_w.TotalBytes());
+      const double fb_ready = cpu_ev.complete_us + timing.SyncUs();
+      ++syncs;
+      const double fb_body = timing.KernelBodyUs(gpu_w, ProcKind::kCpu,
+                                                 cfg.ComputeFor(ProcKind::kCpu),
+                                                 cfg.cpu_threads);
+      const ucl::Event fb_ev =
+          must_cpu(n, fb_ready, fb_body, cfg.ComputeFor(ProcKind::kCpu), gpu_w.TotalBytes());
+      trace.push_back(KernelTrace{n.id, ProcKind::kCpu, cpu_ev.start_us, cpu_ev.complete_us});
+      trace.push_back(KernelTrace{n.id, ProcKind::kCpu, fb_ev.start_us, fb_ev.complete_us});
+      nd = NodeDone{fb_ev, true, false};
+      if (input != nullptr) {
+        if (scratch != nullptr) {
+          scratch->Reset();
+        }
+        ComputeNodeSlice(pm_, n.id, ProcKind::kCpu, act, split.cpu.begin, split.cpu.end,
+                         scratch);
+        if (scratch != nullptr) {
+          scratch->Reset();
+        }
+        // The GPU's slice, computed with the CPU kernel flavor.
+        ComputeNodeSlice(pm_, n.id, ProcKind::kCpu, act, split.gpu.begin, split.gpu.end,
+                         scratch);
+      }
+      continue;
+    }
+
+    const ucl::Event cpu_ev =
+        must_cpu(n, cpu_free, cpu_body, cfg.ComputeFor(ProcKind::kCpu), cpu_w.TotalBytes());
+    trace.push_back(KernelTrace{n.id, ProcKind::kGpu, gpu_ev->start_us, gpu_ev->complete_us});
     trace.push_back(KernelTrace{n.id, ProcKind::kCpu, cpu_ev.start_us, cpu_ev.complete_us});
 
-    double merged = std::max(cpu_ev.complete_us, gpu_ev.complete_us);
+    double merged = std::max(cpu_ev.complete_us, gpu_ev->complete_us);
     if (!cfg.zero_copy) {
       // Stage the GPU's output slice back for CPU visibility.
       merged = cpu.Schedule(merged, gpu_w.output_bytes / (ctx_.soc().copy_gb_per_s * 1e3),
@@ -264,6 +485,15 @@ RunResult Executor::Run(const Plan& plan, const Tensor* input) {
   }
   r.idle_energy_mj = energy.IdleEnergyMj(r.latency_us);
   r.total_energy_mj = r.cpu_energy_mj + r.gpu_energy_mj + r.idle_energy_mj;
+  if (fi != nullptr) {
+    rep.faults_injected = static_cast<int64_t>(fi->events().size());
+    rep.slowdowns = fi->slowdown_count();
+    rep.events = fi->events();
+  }
+  rep.final_mode = rep.circuit_open
+                       ? RunMode::kCpuOnly
+                       : (rep.degraded() ? RunMode::kDegraded : RunMode::kNormal);
+  r.degradation = std::move(rep);
   if (input != nullptr) {
     // Pooled activations are views into executor-owned storage; detach the
     // output so the result outlives this run (and the next run's reuse of

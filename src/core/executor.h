@@ -12,11 +12,14 @@
 //    staged through bandwidth-priced copies (overhead-ablation path).
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/plan.h"
 #include "core/prepared.h"
+#include "fault/fault.h"
 #include "memory/arena.h"
 #include "ucl/ucl.h"
 
@@ -28,6 +31,37 @@ struct KernelTrace {
   ProcKind proc = ProcKind::kCpu;
   double start_us = 0.0;
   double end_us = 0.0;
+};
+
+// How the run ultimately executed (DESIGN.md Section 10).
+enum class RunMode : uint8_t {
+  kNormal,    // The planned schedule ran untouched.
+  kDegraded,  // Faults were absorbed (retries/fallbacks/slowdowns/replans).
+  kCpuOnly,   // The GPU circuit breaker is open; everything runs on the CPU.
+};
+
+std::string_view RunModeName(RunMode mode);
+
+// What fault recovery did during a run: injected faults, retries, CPU
+// fallbacks, steps rerouted after the circuit breaker opened, and (at the
+// runtime level) replans. All zeros on a fault-free run.
+struct DegradationReport {
+  int retries = 0;         // Backoff-and-retry attempts after failed enqueues.
+  int fallbacks = 0;       // GPU work re-executed on the CPU after retries.
+  int rerouted_steps = 0;  // Steps moved to the CPU by the open breaker.
+  int replans = 0;         // Runtime-level plan rebuilds (ULayerRuntime).
+  int64_t faults_injected = 0;  // Failure faults the injector fired.
+  int64_t slowdowns = 0;        // Slowdown (throttle) faults applied.
+  bool circuit_open = false;    // A kDeviceLost tripped the GPU breaker.
+  RunMode final_mode = RunMode::kNormal;
+  std::vector<fault::FaultEvent> events;  // Injected failures, in order.
+
+  bool degraded() const {
+    return retries > 0 || fallbacks > 0 || rerouted_steps > 0 || replans > 0 ||
+           slowdowns > 0 || circuit_open;
+  }
+  // Multi-line human-readable summary (tools/ulayer_verify --faults).
+  std::string ToString() const;
 };
 
 struct RunResult {
@@ -45,6 +79,9 @@ struct RunResult {
   double idle_energy_mj = 0.0;
   double total_energy_mj = 0.0;
 
+  // Fault-recovery accounting for this run (all zeros when fault-free).
+  DegradationReport degradation;
+
   // Network output (softmax probabilities), present in functional runs.
   std::optional<Tensor> output;
 
@@ -53,12 +90,26 @@ struct RunResult {
 
 class Executor {
  public:
-  // `pm` must outlive the executor.
+  // `pm` must outlive the executor. Throws VerifyError when the prepared
+  // config fails VerifyExecConfig (bad dtype combination, negative thread or
+  // fault-policy knobs).
   Executor(const PreparedModel& pm, const SocSpec& soc);
+
+  // Installs (or, with an empty plan, removes) the fault plan consulted by
+  // every enqueue of subsequent Run calls. The injector is reset at the top
+  // of each Run, so every run sees the same deterministic fault stream.
+  void SetFaultPlan(fault::FaultPlan plan);
+  const fault::FaultInjector* fault_injector() const { return injector_.get(); }
 
   // Executes `plan`. If `input` is non-null the run is functional: tensor
   // values are computed with the dtype-accurate kernels and the network
   // output is returned. Otherwise only the timing/energy simulation runs.
+  //
+  // Injected GPU faults are absorbed per the config's fault recovery policy
+  // (retry with backoff, then CPU fallback); the outcome is reported in
+  // RunResult::degradation. Unrecoverable faults (CPU-device failures, or
+  // GPU failures with fault_cpu_fallback off) throw ulayer::Error(kFault);
+  // the executor stays reusable and the next Run is unaffected.
   RunResult Run(const Plan& plan, const Tensor* input = nullptr);
 
  private:
@@ -79,8 +130,16 @@ class Executor {
   // once on the first functional Run().
   void EnsureMemoryPlan();
 
+  // Run body; Run wraps it so a mid-run throw leaves the executor reusable.
+  RunResult RunImpl(const Plan& plan, const Tensor* input);
+  // Restores invariants after a mid-run throw: device timelines and the
+  // scratch arena are reset and the injector rewound, so the next Run is
+  // byte-identical to one on a fresh executor.
+  void AbortRun();
+
   const PreparedModel& pm_;
   ucl::Context ctx_;
+  std::unique_ptr<fault::FaultInjector> injector_;
 
   // Steady-state memory plan (DESIGN.md Section 9).
   memory::ScratchArena scratch_;

@@ -49,12 +49,20 @@ double Partitioner::LayerUs(const Node& node, ProcKind proc, double fraction) co
   if (fraction <= 0.0) {
     return 0.0;
   }
+  double us;
   if (!options_.use_oracle) {
-    return predictor_.PredictUs(graph_, node, proc, fraction);
+    us = predictor_.PredictUs(graph_, node, proc, fraction);
+  } else {
+    const int64_t c_end = FractionChannels(node, fraction);
+    const LayerWork w = ComputeWork(graph_, node, config_.storage, 0, c_end);
+    us = timing_.KernelLatencyUs(w, proc, config_.ComputeFor(proc), config_.cpu_threads);
   }
-  const int64_t c_end = FractionChannels(node, fraction);
-  const LayerWork w = ComputeWork(graph_, node, config_.storage, 0, c_end);
-  return timing_.KernelLatencyUs(w, proc, config_.ComputeFor(proc), config_.cpu_threads);
+  // Degraded-mode estimate scaling. Guarded so the default scale of 1.0
+  // leaves the arithmetic bit-identical to the unscaled path.
+  if (proc == ProcKind::kGpu && options_.gpu_time_scale != 1.0) {
+    us *= options_.gpu_time_scale;
+  }
+  return us;
 }
 
 double Partitioner::EstimateSingleUs(const Node& node, ProcKind proc) const {
@@ -109,6 +117,18 @@ Plan Partitioner::Build() const {
   Plan plan;
   plan.nodes.resize(static_cast<size_t>(graph_.size()));
   std::vector<bool> planned(static_cast<size_t>(graph_.size()), false);
+
+  // Circuit breaker tripped: the GPU is out of the candidate set, so the
+  // whole network runs as single-processor CPU steps.
+  if (!options_.gpu_available) {
+    for (const Node& n : graph_.nodes()) {
+      if (n.desc.kind != LayerKind::kInput) {
+        plan.nodes[static_cast<size_t>(n.id)] =
+            NodeAssignment{StepKind::kSingle, ProcKind::kCpu, 1.0};
+      }
+    }
+    return plan;
+  }
 
   // --- Branch distribution (Section 5) -------------------------------------
   if (options_.branch_distribution) {

@@ -3,8 +3,8 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <stdexcept>
 
+#include "common/error.h"
 #include "core/reference.h"
 #include "parallel/thread_pool.h"
 
@@ -156,9 +156,10 @@ void PreparedModel::Calibrate(const std::vector<Tensor>& inputs) {
       // behavior. Reject it like ComputeRequantScale rejects a degenerate
       // multiplier.
       if (!std::isfinite(prod) || prod < std::numeric_limits<float>::min()) {
-        throw std::domain_error(
-            "bias quantization: in_scale * w_scale is zero, denormal, or "
-            "non-finite");
+        throw Error(ErrorCode::kQuantization,
+                    "bias quantization: in_scale * w_scale is zero, denormal, or "
+                    "non-finite",
+                    n.id);
       }
       dst[i] = static_cast<int32_t>(std::lround(src[i] / prod));
     }
@@ -166,7 +167,7 @@ void PreparedModel::Calibrate(const std::vector<Tensor>& inputs) {
 
   // Precompute the requantization multipliers the kernels would otherwise
   // derive per call. On a degenerate multiplier the cache entry is left
-  // empty, so kernels recompute per call and the std::domain_error surfaces
+  // empty, so kernels recompute per call and the quantization Error surfaces
   // at Run() — the same error site as the uncached path.
   if (config_.scratch_arena) {
     for (const Node& n : graph().nodes()) {
@@ -192,7 +193,7 @@ void PreparedModel::Calibrate(const std::vector<Tensor>& inputs) {
                                            static_cast<double>(out_scale));
           pw.has_requant = true;
         }
-      } catch (const std::domain_error&) {
+      } catch (const Error&) {
         pw.requant_per_channel.clear();
         pw.has_requant = false;
       }

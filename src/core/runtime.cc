@@ -1,11 +1,15 @@
 #include "core/runtime.h"
 
+#include <algorithm>
+
+#include "soc/work.h"
 #include "verify/verify.h"
 
 namespace ulayer {
 
 ULayerRuntime::ULayerRuntime(const Model& model, const SocSpec& soc, Options options)
-    : options_(std::move(options)),
+    : model_(&model),
+      options_(std::move(options)),
       timing_(soc),
       prepared_(model, options_.config),
       predictor_(timing_, options_.config, {&model.graph}),
@@ -17,6 +21,10 @@ ULayerRuntime::ULayerRuntime(const Model& model, const SocSpec& soc, Options opt
     ThrowIfErrors("plan verification failed for " + model.name,
                   VerifyPlan(model.graph, plan_, options_.config));
   }
+  // Install the fault plan: explicit options win; otherwise the
+  // ULAYER_FAULTS environment spec (empty plan when unset).
+  fault::FaultPlan fp = options_.faults.empty() ? fault::FaultPlan::FromEnv() : options_.faults;
+  executor_.SetFaultPlan(std::move(fp));
 }
 
 void ULayerRuntime::Calibrate(const std::vector<Tensor>& inputs) {
@@ -44,6 +52,89 @@ void ULayerRuntime::Calibrate(const std::vector<Tensor>& inputs) {
   ThrowIfErrors("quantization verification failed for " + prepared_.model().name, report);
 }
 
-RunResult ULayerRuntime::Run(const Tensor* input) { return executor_.Run(plan_, input); }
+void ULayerRuntime::Replan(bool gpu_available, double gpu_time_scale) {
+  Partitioner::Options popts = options_.partitioner;
+  popts.gpu_available = gpu_available;
+  popts.gpu_time_scale = gpu_time_scale;
+  plan_ = Partitioner(model_->graph, timing_, options_.config, predictor_, popts).Build();
+  if (options_.config.verify) {
+    ThrowIfErrors("replanned plan verification failed for " + model_->name,
+                  VerifyPlan(model_->graph, plan_, options_.config));
+  }
+  ++replans_;
+}
+
+double ULayerRuntime::ObservedGpuRatio(const RunResult& r) const {
+  // Sum observed GPU kernel durations against what the timing model says
+  // they should take under the current plan. The simulation runs on the
+  // same timing model, so the fault-free ratio is exactly 1.0; injected
+  // slowdowns (DVFS/thermal throttling) show up directly as the factor.
+  const Graph& g = prepared_.graph();
+  const ExecConfig& cfg = options_.config;
+  const double launch_us = timing_.soc().gpu.kernel_launch_us;
+  double observed = 0.0;
+  double expected = 0.0;
+  for (const KernelTrace& t : r.trace) {
+    if (t.proc != ProcKind::kGpu || t.node < 0 || t.node >= g.size()) {
+      continue;
+    }
+    const Node& n = g.node(t.node);
+    const NodeAssignment& a = plan_.nodes[static_cast<size_t>(t.node)];
+    const ResolvedSplit split = ResolveSplit(a, n.out_shape.c);
+    const bool coop =
+        a.kind == StepKind::kCooperative && !split.cpu.empty() && !split.gpu.empty();
+    const LayerWork w = coop
+                            ? ComputeWork(g, n, cfg.storage, split.gpu.begin, split.gpu.end)
+                            : ComputeWork(g, n, cfg.storage);
+    observed += t.end_us - t.start_us;
+    expected += launch_us +
+                timing_.KernelBodyUs(w, ProcKind::kGpu, cfg.ComputeFor(ProcKind::kGpu));
+  }
+  return expected > 0.0 ? observed / expected : 0.0;
+}
+
+void ULayerRuntime::ApplyDegradationPolicy(const RunResult& r) {
+  if (!options_.degradation_replan) {
+    return;
+  }
+  DeviceHealth& h = gpu_health_;
+  const DegradationReport& d = r.degradation;
+  const bool failed = d.retries > 0 || d.fallbacks > 0 || d.circuit_open;
+  if (failed) {
+    ++h.consecutive_failures;
+  } else {
+    h.consecutive_failures = 0;
+  }
+  const double ratio = ObservedGpuRatio(r);
+  if (ratio > 0.0) {
+    h.observed_over_predicted = ratio;
+  }
+  if (!h.excluded &&
+      (d.circuit_open || h.consecutive_failures >= options_.replan_after_failures)) {
+    // The GPU is unreliable: open the runtime-level breaker and replan the
+    // whole network CPU-only.
+    h.excluded = true;
+    Replan(/*gpu_available=*/false, /*gpu_time_scale=*/1.0);
+    mode_ = RunMode::kCpuOnly;
+  } else if (!h.excluded && ratio > h.applied_time_scale * options_.throttle_replan_ratio) {
+    // The GPU runs, but slower than planned (thermal throttle): replan with
+    // its latency estimates rescaled by the observed factor.
+    h.applied_time_scale = ratio;
+    Replan(/*gpu_available=*/true, /*gpu_time_scale=*/ratio);
+    if (mode_ == RunMode::kNormal) {
+      mode_ = RunMode::kDegraded;
+    }
+  }
+}
+
+RunResult ULayerRuntime::Run(const Tensor* input) {
+  RunResult r = executor_.Run(plan_, input);
+  ApplyDegradationPolicy(r);
+  r.degradation.replans = replans_;
+  // The runtime's session mode can outrank the single run's view (e.g. a
+  // clean run on an already CPU-only plan).
+  r.degradation.final_mode = std::max(r.degradation.final_mode, mode_);
+  return r;
+}
 
 }  // namespace ulayer

@@ -24,6 +24,28 @@ class ULayerRuntime {
   struct Options {
     ExecConfig config = ExecConfig::ProcessorFriendly();
     Partitioner::Options partitioner;
+
+    // --- Fault tolerance (DESIGN.md Section 10) -----------------------------
+    // Fault plan installed on the executor. When empty, the ULAYER_FAULTS
+    // environment spec is parsed instead (empty plan when unset too).
+    fault::FaultPlan faults;
+    // Replan after this many consecutive runs needing retries/fallbacks.
+    int replan_after_failures = 2;
+    // Replan when the observed-vs-predicted GPU latency ratio exceeds the
+    // currently applied scale by this factor (thermal-throttle detection).
+    double throttle_replan_ratio = 1.25;
+    // Master switch for the degradation policy (health tracking + replans).
+    bool degradation_replan = true;
+  };
+
+  // Per-device health the degradation policy tracks across runs.
+  struct DeviceHealth {
+    int consecutive_failures = 0;  // Runs in a row with retries/fallbacks.
+    // Observed GPU kernel time over the timing model's expectation, from the
+    // last run's KernelTrace (exactly 1.0 fault-free).
+    double observed_over_predicted = 1.0;
+    double applied_time_scale = 1.0;  // gpu_time_scale the current plan used.
+    bool excluded = false;            // Circuit breaker: GPU out of the plan.
   };
 
   // `model` must outlive the runtime.
@@ -38,17 +60,35 @@ class ULayerRuntime {
   const LatencyPredictor& predictor() const { return predictor_; }
   const PreparedModel& prepared() const { return prepared_; }
   const ExecConfig& config() const { return options_.config; }
+  const DeviceHealth& gpu_health() const { return gpu_health_; }
+  RunMode mode() const { return mode_; }
+  int replans() const { return replans_; }
 
-  // Runs the planned network. Functional when `input` != nullptr.
+  // Runs the planned network. Functional when `input` != nullptr. After the
+  // run, the degradation policy inspects the result: repeated failures or an
+  // open circuit breaker exclude the GPU and replan CPU-only; an observed
+  // throttle ratio beyond throttle_replan_ratio replans with GPU latency
+  // estimates rescaled. RunResult::degradation carries the outcome.
   RunResult Run(const Tensor* input = nullptr);
 
  private:
+  // Rebuilds plan_ with degraded-mode partitioner options.
+  void Replan(bool gpu_available, double gpu_time_scale);
+  // Observed/expected GPU kernel time over the run's trace (0 = no GPU work).
+  double ObservedGpuRatio(const RunResult& r) const;
+  void ApplyDegradationPolicy(const RunResult& r);
+
+  const Model* model_;
   Options options_;
   TimingModel timing_;
   PreparedModel prepared_;
   LatencyPredictor predictor_;
   Plan plan_;
   Executor executor_;
+
+  DeviceHealth gpu_health_;
+  RunMode mode_ = RunMode::kNormal;
+  int replans_ = 0;
 };
 
 }  // namespace ulayer

@@ -7,9 +7,9 @@
 // deployment would ship a standard weights container alongside.
 #pragma once
 
-#include <stdexcept>
 #include <string>
 
+#include "common/error.h"
 #include "core/executor.h"
 #include "core/plan.h"
 #include "nn/graph.h"
@@ -17,9 +17,9 @@
 namespace ulayer {
 
 // Thrown by the parser on malformed input.
-class ParseError : public std::runtime_error {
+class ParseError : public Error {
  public:
-  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+  explicit ParseError(const std::string& what) : Error(ErrorCode::kParse, what) {}
 };
 
 // Serializes the graph structure. Node ids equal line order, so the format

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <stdexcept>
 #include <string>
 
+#include "common/error.h"
 #include "parallel/thread_pool.h"
 #include "quant/half.h"
 
@@ -97,8 +97,9 @@ RequantScale ComputeRequantScale(double real_multiplier) {
   // assert, which release builds compile away (leaving garbage shifts and
   // silent corruption).
   if (!std::isfinite(real_multiplier) || real_multiplier <= 0.0) {
-    throw std::domain_error("ComputeRequantScale: multiplier must be positive and finite, got " +
-                            std::to_string(real_multiplier));
+    throw Error(ErrorCode::kQuantization,
+                "ComputeRequantScale: multiplier must be positive and finite, got " +
+                    std::to_string(real_multiplier));
   }
   RequantScale rs;
   int exponent = 0;
@@ -114,9 +115,9 @@ RequantScale ComputeRequantScale(double real_multiplier) {
   rs.multiplier = static_cast<int32_t>(q31);
   rs.shift = -exponent;
   if (rs.shift < -31 || rs.shift > 31) {
-    throw std::domain_error("ComputeRequantScale: multiplier " +
-                            std::to_string(real_multiplier) +
-                            " is out of the representable range [2^-32, 2^31)");
+    throw Error(ErrorCode::kQuantization,
+                "ComputeRequantScale: multiplier " + std::to_string(real_multiplier) +
+                    " is out of the representable range [2^-32, 2^31)");
   }
   return rs;
 }

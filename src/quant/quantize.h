@@ -60,8 +60,8 @@ struct RequantScale {
 };
 
 // Decomposes a positive real multiplier into (multiplier, shift). Throws
-// std::domain_error if the multiplier is non-positive, non-finite, or
-// outside the representable range [2^-32, 2^31).
+// ulayer::Error (kQuantization) if the multiplier is non-positive,
+// non-finite, or outside the representable range [2^-32, 2^31).
 RequantScale ComputeRequantScale(double real_multiplier);
 
 // Rounding doubling high multiply + rounding right shift, exactly the

@@ -56,28 +56,106 @@ double MaxComplete(const std::vector<Event>& waits) {
   return t;
 }
 
+// Maps an injector decision onto the failure status an enqueue returns
+// (slowdown is not a failure; callers apply the factor instead).
+Status FailureStatus(fault::FaultKind kind) {
+  switch (kind) {
+    case fault::FaultKind::kEnqueueFailed:
+      return Status::kEnqueueFailed;
+    case fault::FaultKind::kMapFailed:
+      return Status::kMapFailed;
+    case fault::FaultKind::kDeviceLost:
+      return Status::kDeviceLost;
+    case fault::FaultKind::kTimeout:
+      return Status::kTimeout;
+    case fault::FaultKind::kSlowdown:
+      return Status::kOk;
+  }
+  return Status::kOk;
+}
+
 }  // namespace
 
-Event CommandQueue::EnqueueKernel(double body_us, DType compute, double bytes,
-                                  const std::vector<Event>& waits) {
+std::string_view StatusName(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kEnqueueFailed:
+      return "enqueue-failed";
+    case Status::kMapFailed:
+      return "map-failed";
+    case Status::kDeviceLost:
+      return "device-lost";
+    case Status::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+EnqueueResult CommandQueue::EnqueueKernel(double body_us, DType compute, double bytes,
+                                          const std::vector<Event>& waits) {
   return EnqueueKernelAt(0.0, body_us, compute, bytes, waits);
 }
 
-Event CommandQueue::EnqueueKernelAt(double ready_us, double body_us, DType compute, double bytes,
-                                    const std::vector<Event>& waits) {
+EnqueueResult CommandQueue::EnqueueKernelAt(double ready_us, double body_us, DType compute,
+                                            double bytes, const std::vector<Event>& waits) {
   const double ready = std::max(ready_us, MaxComplete(waits));
+  if (fault::FaultInjector* fi = ctx_->injector_; fi != nullptr) {
+    if (const auto d = fi->OnCall(device_->kind(), fault::OpKind::kKernel, device_->now_us())) {
+      switch (d->kind) {
+        case fault::FaultKind::kSlowdown:
+          body_us *= d->factor;
+          break;
+        case fault::FaultKind::kTimeout: {
+          // The command hangs: the device is occupied for the timeout window
+          // and the caller gets a failure whose event spans it.
+          double start = 0.0;
+          const double end = device_->Schedule(ready, d->timeout_us, compute, 0.0, &start);
+          return EnqueueResult{Event{end, start}, Status::kTimeout};
+        }
+        default:
+          // Fail-fast errors charge nothing; the queue state is untouched.
+          return EnqueueResult{Event{ready, ready}, FailureStatus(d->kind)};
+      }
+    }
+  }
   double start = 0.0;
   const double end = device_->Schedule(ready, device_->spec().kernel_launch_us + body_us,
                                        compute, bytes, &start);
-  return Event{end, start};
+  return EnqueueResult{Event{end, start}, Status::kOk};
 }
 
-Event CommandQueue::EnqueueMap(const Buffer& buffer, MapAccess /*access*/,
-                               const std::vector<Event>& waits) {
+EnqueueResult CommandQueue::EnqueueMap(const Buffer& buffer, MapAccess /*access*/,
+                                       const std::vector<Event>& waits) {
+  return EnqueueMapOp(buffer, fault::OpKind::kMap, waits);
+}
+
+EnqueueResult CommandQueue::EnqueueUnmap(const Buffer& buffer, const std::vector<Event>& waits) {
+  return EnqueueMapOp(buffer, fault::OpKind::kUnmap, waits);
+}
+
+EnqueueResult CommandQueue::EnqueueMapOp(const Buffer& buffer, fault::OpKind op,
+                                         const std::vector<Event>& waits) {
   const double ready = MaxComplete(waits);
   double cost = ctx_->timing_.MapUs();
   if (buffer.flag() == MemFlag::kCopyMode) {
     cost += static_cast<double>(buffer.size()) / (ctx_->soc_.copy_gb_per_s * 1e3);
+  }
+  if (fault::FaultInjector* fi = ctx_->injector_; fi != nullptr) {
+    if (const auto d = fi->OnCall(device_->kind(), op, device_->now_us())) {
+      switch (d->kind) {
+        case fault::FaultKind::kSlowdown:
+          cost *= d->factor;
+          break;
+        case fault::FaultKind::kTimeout: {
+          double start = 0.0;
+          const double end = ctx_->cpu_.Schedule(ready, d->timeout_us, DType::kF32, 0.0, &start);
+          return EnqueueResult{Event{end, start}, Status::kTimeout};
+        }
+        default:
+          return EnqueueResult{Event{ready, ready}, FailureStatus(d->kind)};
+      }
+    }
   }
   // Map/unmap work (cache maintenance or copy) executes on the CPU side.
   double start = 0.0;
@@ -86,11 +164,7 @@ Event CommandQueue::EnqueueMap(const Buffer& buffer, MapAccess /*access*/,
                                              ? static_cast<double>(buffer.size())
                                              : 0.0,
                                          &start);
-  return Event{end, start};
-}
-
-Event CommandQueue::EnqueueUnmap(const Buffer& buffer, const std::vector<Event>& waits) {
-  return EnqueueMap(buffer, MapAccess::kRead, waits);
+  return EnqueueResult{Event{end, start}, Status::kOk};
 }
 
 double Context::SyncPoint() {

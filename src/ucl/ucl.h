@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "soc/spec.h"
 #include "soc/timing.h"
 
@@ -31,6 +32,28 @@ namespace ulayer::ucl {
 struct Event {
   double complete_us = 0.0;
   double start_us = 0.0;
+};
+
+// Outcome of one enqueue call. Mirrors real OpenCL, where every clEnqueue*
+// returns an error code the caller must check: with a FaultInjector attached
+// to the Context, any enqueue can come back failed (DESIGN.md Section 10).
+// Without an injector the status is always kOk and the timeline arithmetic
+// is bit-identical to the pre-fault-injection implementation.
+enum class Status : uint8_t {
+  kOk,
+  kEnqueueFailed,  // The enqueue call itself failed; no timeline charge.
+  kMapFailed,      // Map/unmap failed; no timeline charge.
+  kDeviceLost,     // Device reset; the caller should stop using this queue.
+  kTimeout,        // The command hung: the device was busy until event's end.
+};
+
+std::string_view StatusName(Status s);
+
+struct EnqueueResult {
+  Event event;
+  Status status = Status::kOk;
+
+  bool ok() const { return status == Status::kOk; }
 };
 
 enum class MemFlag : uint8_t {
@@ -105,26 +128,35 @@ class CommandQueue {
   // Enqueues a kernel whose simulated body takes `body_us`; the device's
   // fixed kernel-launch overhead is added automatically. The kernel starts
   // after every event in `waits` completes. `bytes` is the memory traffic
-  // attributed to the kernel (energy accounting).
-  Event EnqueueKernel(double body_us, DType compute, double bytes,
-                      const std::vector<Event>& waits = {});
+  // attributed to the kernel (energy accounting). The result must be
+  // status-checked: with a fault injector attached the enqueue can fail
+  // (kEnqueueFailed/kDeviceLost, no timeline charge), hang until a timeout
+  // (kTimeout, device busy over the window), or run throttled (kOk with a
+  // stretched body).
+  EnqueueResult EnqueueKernel(double body_us, DType compute, double bytes,
+                              const std::vector<Event>& waits = {});
 
   // As above but with an explicit ready time (used to model the host issuing
   // the command at a known point).
-  Event EnqueueKernelAt(double ready_us, double body_us, DType compute, double bytes,
-                        const std::vector<Event>& waits = {});
+  EnqueueResult EnqueueKernelAt(double ready_us, double body_us, DType compute, double bytes,
+                                const std::vector<Event>& waits = {});
 
   // Maps `buffer` for host access. Zero-copy buffers cost cache maintenance
   // only; copy-mode buffers pay size/copy-bandwidth. Asynchronous: returns
-  // an event (the paper maps/unmaps in parallel with CPU-side work).
-  Event EnqueueMap(const Buffer& buffer, MapAccess access, const std::vector<Event>& waits = {});
-  Event EnqueueUnmap(const Buffer& buffer, const std::vector<Event>& waits = {});
+  // an event (the paper maps/unmaps in parallel with CPU-side work). Subject
+  // to map faults (kMapFailed/kDeviceLost/kTimeout) when an injector is set.
+  EnqueueResult EnqueueMap(const Buffer& buffer, MapAccess access,
+                           const std::vector<Event>& waits = {});
+  EnqueueResult EnqueueUnmap(const Buffer& buffer, const std::vector<Event>& waits = {});
 
   // Blocks the host until every command in this queue completes, returning
   // the completion time (clFinish).
   double Finish() const { return device_->now_us(); }
 
  private:
+  EnqueueResult EnqueueMapOp(const Buffer& buffer, fault::OpKind op,
+                             const std::vector<Event>& waits);
+
   Context* ctx_;
   Device* device_;
 };
@@ -161,6 +193,13 @@ class Context {
   // Number of SyncPoint calls since Reset (overhead introspection).
   int sync_count() const { return sync_count_; }
 
+  // Attaches a fault injector consulted by every enqueue call (non-owning;
+  // nullptr detaches). The owner is responsible for ResetRun() — Reset()
+  // deliberately leaves injector state alone so the executor controls the
+  // fault stream's lifetime.
+  void SetFaultInjector(fault::FaultInjector* injector) { injector_ = injector; }
+  fault::FaultInjector* fault_injector() const { return injector_; }
+
   void Reset();
 
  private:
@@ -171,6 +210,7 @@ class Context {
   CommandQueue cpu_queue_;
   CommandQueue gpu_queue_;
   int sync_count_ = 0;
+  fault::FaultInjector* injector_ = nullptr;
 
   friend class CommandQueue;
 };

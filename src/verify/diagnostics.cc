@@ -75,6 +75,12 @@ std::string_view DiagCodeName(DiagCode code) {
       return "config-bad-dtype";
     case DiagCode::kConfigQu8OnFloat:
       return "config-qu8-on-float-storage";
+    case DiagCode::kConfigUnimplementedCompute:
+      return "config-unimplemented-compute";
+    case DiagCode::kConfigNegativeThreads:
+      return "config-negative-threads";
+    case DiagCode::kConfigBadFaultPolicy:
+      return "config-bad-fault-policy";
     case DiagCode::kQuantScaleInvalid:
       return "quant-scale-invalid";
     case DiagCode::kQuantZeroPointRange:

@@ -58,6 +58,13 @@ enum class DiagCode : uint16_t {
   kConfigBadDType = 201,      // C201: kInt32 used as storage/compute dtype.
   kConfigQu8OnFloat = 202,    // C202: QUInt8 compute over float storage
                               //       (no quantization parameters exist).
+  kConfigUnimplementedCompute = 203,  // C203: storage/compute combination no
+                                      //       kernel implements (e.g. F32
+                                      //       storage with F16 compute).
+  kConfigNegativeThreads = 204,  // C204: cpu_threads is negative.
+  kConfigBadFaultPolicy = 205,   // C205: fault recovery knobs out of domain
+                                 //       (negative retries, non-finite or
+                                 //       negative backoff).
 
   // --- Quantization (Q3xx) --------------------------------------------------
   kQuantScaleInvalid = 301,     // Q301: scale is zero, negative or not finite.

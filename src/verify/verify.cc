@@ -148,7 +148,8 @@ std::string RangeStr(const ChannelRange& r) {
 }  // namespace
 
 VerifyError::VerifyError(const std::string& context, Report report)
-    : std::runtime_error(context + ":\n" + report.ToString()), report_(std::move(report)) {}
+    : Error(ErrorCode::kVerify, context + ":\n" + report.ToString()),
+      report_(std::move(report)) {}
 
 void ThrowIfErrors(const std::string& context, const Report& report) {
   if (!report.ok()) {
@@ -241,18 +242,61 @@ Report GraphVerifier::Verify() const {
   return out;
 }
 
-void PlanVerifier::VerifyConfig(Report& out) const {
+void PlanVerifier::VerifyConfig(Report& out) const { out.Merge(VerifyExecConfig(config_)); }
+
+Report VerifyExecConfig(const ExecConfig& config) {
+  Report out;
   const auto bad_dtype = [](DType t) { return t == DType::kInt32; };
-  if (bad_dtype(config_.storage) || bad_dtype(config_.cpu_compute) ||
-      bad_dtype(config_.gpu_compute)) {
+  if (bad_dtype(config.storage) || bad_dtype(config.cpu_compute) ||
+      bad_dtype(config.gpu_compute)) {
     out.Error(DiagCode::kConfigBadDType, -1,
               "kInt32 is an accumulator type, not a storage/compute dtype");
   }
-  if (config_.storage != DType::kQUInt8 &&
-      (config_.cpu_compute == DType::kQUInt8 || config_.gpu_compute == DType::kQUInt8)) {
+  if (config.storage != DType::kQUInt8 &&
+      (config.cpu_compute == DType::kQUInt8 || config.gpu_compute == DType::kQUInt8)) {
     out.Error(DiagCode::kConfigQu8OnFloat, -1,
               "QUInt8 compute requires QUInt8 storage (no quantization params otherwise)");
   }
+  // The kernels implement exactly these storage -> compute combinations:
+  // float storage computes in its own precision; QUInt8 storage computes in
+  // integer math (CPU path) or on-the-fly F16 (GPU path, Section 4.2).
+  const auto implemented = [&](DType compute) {
+    switch (config.storage) {
+      case DType::kF32:
+        return compute == DType::kF32;
+      case DType::kF16:
+        return compute == DType::kF16;
+      case DType::kQUInt8:
+        return compute == DType::kQUInt8 || compute == DType::kF16;
+      case DType::kInt32:
+        return false;  // Already rejected as C201.
+    }
+    return false;
+  };
+  for (const ProcKind proc : {ProcKind::kCpu, ProcKind::kGpu}) {
+    const DType compute = config.ComputeFor(proc);
+    if (!bad_dtype(config.storage) && !bad_dtype(compute) && !implemented(compute)) {
+      std::ostringstream os;
+      os << "no " << (proc == ProcKind::kCpu ? "cpu" : "gpu") << " kernel computes "
+         << DTypeName(compute) << " over " << DTypeName(config.storage) << " storage";
+      out.Error(DiagCode::kConfigUnimplementedCompute, -1, os.str());
+    }
+  }
+  if (config.cpu_threads < 0) {
+    out.Error(DiagCode::kConfigNegativeThreads, -1,
+              "cpu_threads must be >= 0 (0 = automatic), got " +
+                  std::to_string(config.cpu_threads));
+  }
+  if (config.fault_max_retries < 0) {
+    out.Error(DiagCode::kConfigBadFaultPolicy, -1,
+              "fault_max_retries must be >= 0, got " +
+                  std::to_string(config.fault_max_retries));
+  }
+  if (!std::isfinite(config.fault_backoff_us) || config.fault_backoff_us < 0.0) {
+    out.Error(DiagCode::kConfigBadFaultPolicy, -1,
+              "fault_backoff_us must be finite and >= 0");
+  }
+  return out;
 }
 
 void PlanVerifier::VerifyBranchPlans(const Plan& plan, std::vector<int>& branch_proc,

@@ -19,9 +19,9 @@
 // standalone through tools/ulayer_verify.
 #pragma once
 
-#include <stdexcept>
 #include <vector>
 
+#include "common/error.h"
 #include "core/config.h"
 #include "core/plan.h"
 #include "nn/graph.h"
@@ -32,7 +32,7 @@ namespace ulayer {
 
 // Thrown by the Runtime/Executor entry points (ExecConfig::verify) when a
 // verifier pass reports errors. what() embeds the full diagnostic listing.
-class VerifyError : public std::runtime_error {
+class VerifyError : public Error {
  public:
   VerifyError(const std::string& context, Report report);
 
@@ -73,6 +73,13 @@ class PlanVerifier {
 // Convenience wrappers.
 Report VerifyGraph(const Graph& graph);
 Report VerifyPlan(const Graph& graph, const Plan& plan, const ExecConfig& config);
+
+// Checks an ExecConfig in isolation: dtype coherence (C201/C202), that the
+// storage/compute combination is one the kernels implement (C203), thread
+// and fault-recovery knob domains (C204/C205). Run by the Runtime and
+// Executor constructors so a bad config fails at build time, not mid-run;
+// also folded into PlanVerifier::Verify.
+Report VerifyExecConfig(const ExecConfig& config);
 
 // Checks one (scale, zero_point) pair; appends diagnostics to `out`.
 // `what` names the tensor being checked (e.g. "activation", "filter").

@@ -24,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/baselines.h"
+#include "common/error.h"
 #include "core/executor.h"
 #include "core/prepared.h"
 #include "kernels/conv.h"
@@ -528,9 +529,46 @@ TEST(CalibrateGuardTest, ZeroScaleBiasThrows) {
     // Some quantizers clamp the range away from zero; if calibration
     // succeeded the scales were representable and no guard applies.
     SUCCEED();
-  } catch (const std::domain_error&) {
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kQuantization);
     SUCCEED();  // The guard fired instead of UB.
   }
+}
+
+// A mid-run throw must leave the arena and activation pool coherent: the
+// abandoned run's partially written activations cannot bleed into the next
+// run's output (DESIGN.md Section 10 exception safety, arena edition).
+TEST(ArenaTest, ArenaStaysCoherentAfterMidRunThrow) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  Tensor input(Shape(1, 1, 28, 28), DType::kF32);
+  FillUniform(input, 6400, -1.0f, 1.0f);
+
+  ExecConfig cfg = ExecConfig::AllF32();
+  cfg.scratch_arena = true;
+  cfg.fault_cpu_fallback = false;  // Let the fault escape mid-graph.
+  cfg.fault_max_retries = 0;
+  PreparedModel pm(m, cfg);
+  const SocSpec soc = MakeExynos7420();
+  const Plan plan = MakeHalfSplitPlan(m.graph);
+
+  Executor ex(pm, soc);
+  // Fail a GPU slice deep enough into the graph that several activation
+  // buffers are already written when the run aborts.
+  ex.SetFaultPlan(fault::FaultPlan::Parse("gpu.kernel@call:3=enqueue-failed"));
+  EXPECT_THROW(ex.Run(plan, &input), Error);
+
+  ex.SetFaultPlan(fault::FaultPlan{});
+  const RunResult recovered = ex.Run(plan, &input);
+  Executor fresh(pm, soc);
+  const RunResult want = fresh.Run(plan, &input);
+  ASSERT_TRUE(recovered.output.has_value());
+  ASSERT_TRUE(want.output.has_value());
+  ASSERT_EQ(recovered.output->SizeBytes(), want.output->SizeBytes());
+  EXPECT_EQ(std::memcmp(recovered.output->raw(), want.output->raw(),
+                        static_cast<size_t>(want.output->SizeBytes())),
+            0);
+  EXPECT_DOUBLE_EQ(recovered.latency_us, want.latency_us);
 }
 
 }  // namespace

@@ -1,8 +1,11 @@
 #include "core/executor.h"
 
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "baselines/baselines.h"
+#include "common/error.h"
 #include "core/reference.h"
 #include "core/runtime.h"
 #include "tensor/rng.h"
@@ -283,6 +286,77 @@ TEST(ExecutorTest, LatencyNeverBelowCriticalPathOfBusiestDevice) {
     ULayerRuntime rt(m, MakeExynos7880());
     const RunResult r = rt.Run();
     EXPECT_GE(r.latency_us + 1e-6, std::max(r.cpu_busy_us, r.gpu_busy_us)) << m.name;
+  }
+}
+
+// Exception safety (DESIGN.md Section 10): a Run that throws mid-graph must
+// leave the executor reusable — the next clean Run is byte-identical to a
+// run on a freshly constructed executor.
+TEST(ExecutorTest, ThrowMidRunLeavesExecutorReusable) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  Tensor input(Shape(1, 1, 28, 28), DType::kF32);
+  FillUniform(input, 321, -1.0f, 1.0f);
+
+  // Recovery is disabled, so the injected GPU fault escapes as an error.
+  ExecConfig cfg = ExecConfig::AllF32();
+  cfg.fault_cpu_fallback = false;
+  cfg.fault_max_retries = 0;
+  PreparedModel pm(m, cfg);
+  const SocSpec soc = MakeExynos7420();
+  const Plan plan = MakeSingleProcessorPlan(m.graph, ProcKind::kGpu);
+
+  Executor ex(pm, soc);
+  ex.SetFaultPlan(fault::FaultPlan::Parse("gpu.kernel@call:2=enqueue-failed"));
+  EXPECT_THROW(ex.Run(plan, &input), Error);
+
+  // Clear the plan; the next run must match a fresh executor bit for bit.
+  ex.SetFaultPlan(fault::FaultPlan{});
+  const RunResult recovered = ex.Run(plan, &input);
+  Executor fresh(pm, soc);
+  const RunResult want = fresh.Run(plan, &input);
+  EXPECT_DOUBLE_EQ(recovered.latency_us, want.latency_us);
+  EXPECT_DOUBLE_EQ(recovered.total_energy_mj, want.total_energy_mj);
+  EXPECT_EQ(recovered.sync_count, want.sync_count);
+  ASSERT_EQ(recovered.trace.size(), want.trace.size());
+  for (size_t i = 0; i < want.trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(recovered.trace[i].start_us, want.trace[i].start_us);
+    EXPECT_DOUBLE_EQ(recovered.trace[i].end_us, want.trace[i].end_us);
+  }
+  ASSERT_TRUE(recovered.output.has_value());
+  ASSERT_TRUE(want.output.has_value());
+  ASSERT_EQ(recovered.output->SizeBytes(), want.output->SizeBytes());
+  EXPECT_EQ(std::memcmp(recovered.output->raw(), want.output->raw(),
+                        static_cast<size_t>(want.output->SizeBytes())),
+            0);
+  EXPECT_FALSE(recovered.degradation.degraded());
+}
+
+// Keeping the armed fault plan across the throw also works: the injector is
+// rewound at the top of every Run, so each attempt fails identically rather
+// than leaking fired-rule state between runs.
+TEST(ExecutorTest, FaultStreamRewindsAcrossThrowingRuns) {
+  const Model m = MakeAlexNet();
+  ExecConfig cfg = ExecConfig::ProcessorFriendly();
+  cfg.fault_cpu_fallback = false;
+  cfg.fault_max_retries = 0;
+  PreparedModel pm(m, cfg);
+  Executor ex(pm, MakeExynos7420());
+  ex.SetFaultPlan(fault::FaultPlan::Parse("gpu.kernel@call:3=device-lost"));
+  const Plan plan = MakeSingleProcessorPlan(m.graph, ProcKind::kGpu);
+  std::string first_what;
+  for (int i = 0; i < 3; ++i) {
+    try {
+      ex.Run(plan);
+      FAIL() << "expected the armed fault to escape";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kFault);
+      if (i == 0) {
+        first_what = e.what();
+      } else {
+        EXPECT_EQ(std::string(e.what()), first_what) << "identical failure every run";
+      }
+    }
   }
 }
 

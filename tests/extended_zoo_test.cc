@@ -78,19 +78,19 @@ INSTANTIATE_TEST_SUITE_P(Models, ExtendedZoo, ::testing::Range(0, 3));
 TEST(UclProfilingTest, EventStartReflectsQueueBusyTime) {
   ucl::Context ctx(MakeExynos7420());
   ucl::CommandQueue& q = ctx.queue(ProcKind::kGpu);
-  const ucl::Event a = q.EnqueueKernel(100.0, DType::kF16, 0.0);
+  const ucl::Event a = q.EnqueueKernel(100.0, DType::kF16, 0.0).event;
   EXPECT_DOUBLE_EQ(a.start_us, 0.0);
   // Second kernel ready at t=0 but the queue is busy: starts when a ends.
-  const ucl::Event b = q.EnqueueKernel(50.0, DType::kF16, 0.0);
+  const ucl::Event b = q.EnqueueKernel(50.0, DType::kF16, 0.0).event;
   EXPECT_DOUBLE_EQ(b.start_us, a.complete_us);
   EXPECT_GT(b.complete_us, b.start_us);
 }
 
 TEST(UclProfilingTest, DependencyDelaysStartNotJustCompletion) {
   ucl::Context ctx(MakeExynos7420());
-  const ucl::Event gpu = ctx.queue(ProcKind::kGpu).EnqueueKernel(300.0, DType::kF16, 0.0);
+  const ucl::Event gpu = ctx.queue(ProcKind::kGpu).EnqueueKernel(300.0, DType::kF16, 0.0).event;
   const ucl::Event cpu =
-      ctx.queue(ProcKind::kCpu).EnqueueKernel(10.0, DType::kF32, 0.0, {gpu});
+      ctx.queue(ProcKind::kCpu).EnqueueKernel(10.0, DType::kF32, 0.0, {gpu}).event;
   EXPECT_DOUBLE_EQ(cpu.start_us, gpu.complete_us);
 }
 

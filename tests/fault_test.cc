@@ -1,0 +1,593 @@
+// Fault-tolerant execution (DESIGN.md Section 10): fault-spec parsing,
+// deterministic injection, executor recovery (retry / CPU fallback /
+// circuit breaker) and the runtime's degradation policy.
+#include "fault/fault.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "core/runtime.h"
+#include "tensor/tensor.h"
+#include "verify/verify.h"
+
+namespace ulayer {
+namespace {
+
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::FaultRule;
+using fault::OpKind;
+
+Plan MakeHalfSplitPlan(const Graph& g) {
+  Plan plan = MakeSingleProcessorPlan(g, ProcKind::kCpu);
+  for (const Node& n : g.nodes()) {
+    if (n.desc.kind == LayerKind::kInput || n.desc.kind == LayerKind::kSoftmax ||
+        n.desc.kind == LayerKind::kConcat || n.out_shape.c < 2) {
+      continue;
+    }
+    NodeAssignment& a = plan.nodes[static_cast<size_t>(n.id)];
+    a.kind = StepKind::kCooperative;
+    a.cpu_fraction = 0.5;
+  }
+  return plan;
+}
+
+void ExpectSameBytes(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.SizeBytes(), b.SizeBytes());
+  EXPECT_EQ(std::memcmp(a.raw(), b.raw(), static_cast<size_t>(a.SizeBytes())), 0);
+}
+
+// --- Spec parsing -----------------------------------------------------------
+
+TEST(FaultSpecTest, ParseRoundTrips) {
+  const std::string spec =
+      "seed=42;gpu.kernel@call:3=enqueue-failed;gpu.any@prob:0.1=timeout:500;"
+      "cpu.map@node:7@limit:2=map-failed;gpu.kernel=slow:2.5;gpu.unmap=device-lost";
+  const FaultPlan plan = FaultPlan::Parse(spec);
+  EXPECT_EQ(plan.seed, 42u);
+  ASSERT_EQ(plan.rules.size(), 5u);
+  EXPECT_EQ(plan.rules[0].device, ProcKind::kGpu);
+  EXPECT_EQ(plan.rules[0].op, OpKind::kKernel);
+  EXPECT_EQ(plan.rules[0].call, 3);
+  EXPECT_EQ(plan.rules[0].kind, FaultKind::kEnqueueFailed);
+  EXPECT_EQ(plan.rules[1].op, OpKind::kAny);
+  EXPECT_DOUBLE_EQ(plan.rules[1].probability, 0.1);
+  EXPECT_DOUBLE_EQ(plan.rules[1].timeout_us, 500.0);
+  EXPECT_EQ(plan.rules[2].device, ProcKind::kCpu);
+  EXPECT_EQ(plan.rules[2].node, 7);
+  EXPECT_EQ(plan.rules[2].limit, 2);
+  EXPECT_DOUBLE_EQ(plan.rules[3].factor, 2.5);
+  EXPECT_EQ(plan.rules[4].kind, FaultKind::kDeviceLost);
+  // ToString round-trips through Parse.
+  const FaultPlan again = FaultPlan::Parse(plan.ToString());
+  EXPECT_EQ(again.ToString(), plan.ToString());
+  EXPECT_EQ(again.rules.size(), plan.rules.size());
+}
+
+TEST(FaultSpecTest, EmptyAndWhitespaceSpecsAreEmptyPlans) {
+  EXPECT_TRUE(FaultPlan::Parse("").empty());
+  EXPECT_TRUE(FaultPlan::Parse("  \t ").empty());
+  EXPECT_TRUE(FaultPlan::Parse(";;").empty());
+}
+
+TEST(FaultSpecTest, MalformedSpecsThrowTypedParseErrors) {
+  const char* bad[] = {
+      "gpu.kernel",                      // no effect
+      "tpu.kernel=enqueue-failed",       // unknown device
+      "gpu.warp=enqueue-failed",         // unknown op
+      "gpu.kernel=explode",              // unknown effect
+      "gpu.kernel@call:0=device-lost",   // call is 1-based
+      "gpu.kernel@prob:1.5=device-lost", // prob out of (0, 1]
+      "gpu.kernel@prob:abc=device-lost", // malformed value
+      "gpu.kernel@soon=device-lost",     // selector without value
+      "gpu.kernel=timeout",              // timeout needs an argument
+      "gpu.kernel=slow:0.5",             // slow factor must be >= 1
+      "seed=xyz",                        // malformed seed
+  };
+  for (const char* spec : bad) {
+    try {
+      FaultPlan::Parse(spec);
+      FAIL() << "expected parse error for: " << spec;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kParse) << spec;
+      EXPECT_NE(std::string(e.what()).find("fault spec"), std::string::npos) << spec;
+    }
+  }
+}
+
+// --- Injector determinism ---------------------------------------------------
+
+TEST(FaultInjectorTest, ProbabilisticStreamIsSeededAndRepeatable) {
+  const FaultPlan plan = FaultPlan::Parse("seed=7;gpu.kernel@prob:0.3=enqueue-failed");
+  fault::FaultInjector fi(plan);
+  std::vector<int64_t> first;
+  for (int i = 0; i < 64; ++i) {
+    if (fi.OnCall(ProcKind::kGpu, OpKind::kKernel, 0.0).has_value()) {
+      first.push_back(i);
+    }
+  }
+  ASSERT_FALSE(first.empty());
+  ASSERT_LT(first.size(), 64u);
+  fi.ResetRun();
+  std::vector<int64_t> second;
+  for (int i = 0; i < 64; ++i) {
+    if (fi.OnCall(ProcKind::kGpu, OpKind::kKernel, 0.0).has_value()) {
+      second.push_back(i);
+    }
+  }
+  EXPECT_EQ(first, second);
+  // A different seed gives a different trace (overwhelmingly likely).
+  FaultPlan other = plan;
+  other.seed = 8;
+  fault::FaultInjector fi2(other);
+  std::vector<int64_t> third;
+  for (int i = 0; i < 64; ++i) {
+    if (fi2.OnCall(ProcKind::kGpu, OpKind::kKernel, 0.0).has_value()) {
+      third.push_back(i);
+    }
+  }
+  EXPECT_NE(first, third);
+}
+
+TEST(FaultInjectorTest, SelectorsMatchCallNodeAndLimit) {
+  const FaultPlan plan =
+      FaultPlan::Parse("gpu.kernel@call:2=enqueue-failed;gpu.map@node:5@limit:1=map-failed");
+  fault::FaultInjector fi(plan);
+  EXPECT_FALSE(fi.OnCall(ProcKind::kGpu, OpKind::kKernel, 0.0).has_value());
+  EXPECT_TRUE(fi.OnCall(ProcKind::kGpu, OpKind::kKernel, 0.0).has_value());
+  EXPECT_FALSE(fi.OnCall(ProcKind::kGpu, OpKind::kKernel, 0.0).has_value());
+  // Node selector: only fires while the executor tags node 5, and the limit
+  // caps it at one firing.
+  EXPECT_FALSE(fi.OnCall(ProcKind::kGpu, OpKind::kMap, 0.0).has_value());
+  fi.set_current_node(5);
+  EXPECT_TRUE(fi.OnCall(ProcKind::kGpu, OpKind::kMap, 0.0).has_value());
+  EXPECT_FALSE(fi.OnCall(ProcKind::kGpu, OpKind::kMap, 0.0).has_value());
+  ASSERT_EQ(fi.events().size(), 2u);
+  EXPECT_EQ(fi.events()[0].kind, FaultKind::kEnqueueFailed);
+  EXPECT_EQ(fi.events()[1].node, 5);
+}
+
+// --- ucl-level injection ----------------------------------------------------
+
+TEST(UclFaultTest, FailFastFaultsChargeNothing) {
+  ucl::Context ctx(MakeExynos7420());
+  fault::FaultInjector fi(FaultPlan::Parse("gpu.kernel@call:1=enqueue-failed"));
+  ctx.SetFaultInjector(&fi);
+  const ucl::EnqueueResult fail = ctx.queue(ProcKind::kGpu).EnqueueKernel(100.0, DType::kF16, 0.0);
+  EXPECT_FALSE(fail.ok());
+  EXPECT_EQ(fail.status, ucl::Status::kEnqueueFailed);
+  EXPECT_DOUBLE_EQ(ctx.device(ProcKind::kGpu).now_us(), 0.0) << "no timeline charge";
+  const ucl::EnqueueResult ok = ctx.queue(ProcKind::kGpu).EnqueueKernel(100.0, DType::kF16, 0.0);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_GT(ok.event.complete_us, 0.0);
+}
+
+TEST(UclFaultTest, TimeoutOccupiesTheDevice) {
+  ucl::Context ctx(MakeExynos7420());
+  fault::FaultInjector fi(FaultPlan::Parse("gpu.kernel@call:1=timeout:500"));
+  ctx.SetFaultInjector(&fi);
+  const ucl::EnqueueResult res = ctx.queue(ProcKind::kGpu).EnqueueKernel(100.0, DType::kF16, 0.0);
+  EXPECT_EQ(res.status, ucl::Status::kTimeout);
+  EXPECT_DOUBLE_EQ(res.event.complete_us - res.event.start_us, 500.0);
+  EXPECT_DOUBLE_EQ(ctx.device(ProcKind::kGpu).now_us(), 500.0) << "device busy over the window";
+}
+
+TEST(UclFaultTest, SlowdownStretchesTheKernelBody) {
+  const SocSpec soc = MakeExynos7420();
+  ucl::Context plain(soc);
+  const double base = plain.queue(ProcKind::kGpu)
+                          .EnqueueKernel(100.0, DType::kF16, 0.0)
+                          .event.complete_us;
+  ucl::Context throttled(soc);
+  fault::FaultInjector fi(FaultPlan::Parse("gpu.kernel=slow:2"));
+  throttled.SetFaultInjector(&fi);
+  const ucl::EnqueueResult res =
+      throttled.queue(ProcKind::kGpu).EnqueueKernel(100.0, DType::kF16, 0.0);
+  EXPECT_TRUE(res.ok()) << "a throttled kernel still succeeds";
+  EXPECT_DOUBLE_EQ(res.event.complete_us, base + 100.0) << "body doubled, launch unchanged";
+  EXPECT_EQ(fi.slowdown_count(), 1);
+}
+
+TEST(UclFaultTest, MapFaultsHitMapAndUnmapSeparately) {
+  ucl::Context ctx(MakeExynos7420());
+  fault::FaultInjector fi(FaultPlan::Parse("gpu.map@call:1=map-failed"));
+  ctx.SetFaultInjector(&fi);
+  const auto buf = ctx.CreateBuffer(1024, ucl::MemFlag::kAllocHostPtr);
+  EXPECT_EQ(ctx.queue(ProcKind::kGpu).EnqueueMap(*buf, ucl::MapAccess::kRead).status,
+            ucl::Status::kMapFailed);
+  EXPECT_TRUE(ctx.queue(ProcKind::kGpu).EnqueueUnmap(*buf).ok())
+      << "unmap is a separate op class";
+}
+
+// --- Executor recovery ------------------------------------------------------
+
+TEST(FaultExecutorTest, EmptyPlanIsBitIdenticalToNoPlan) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  const Shape in_shape(1, 1, 28, 28);
+  Tensor input(in_shape, DType::kF32);
+  FillUniform(input, 777, -1.0f, 1.0f);
+
+  PreparedModel pm(m, ExecConfig::AllF32());
+  const SocSpec soc = MakeExynos7420();
+  const Plan plan = MakeHalfSplitPlan(m.graph);
+
+  Executor plain(pm, soc);
+  const RunResult a = plain.Run(plan, &input);
+  Executor with_empty(pm, soc);
+  with_empty.SetFaultPlan(FaultPlan{});
+  const RunResult b = with_empty.Run(plan, &input);
+
+  EXPECT_DOUBLE_EQ(a.latency_us, b.latency_us);
+  EXPECT_DOUBLE_EQ(a.total_energy_mj, b.total_energy_mj);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].node, b.trace[i].node);
+    EXPECT_EQ(a.trace[i].proc, b.trace[i].proc);
+    EXPECT_DOUBLE_EQ(a.trace[i].start_us, b.trace[i].start_us);
+    EXPECT_DOUBLE_EQ(a.trace[i].end_us, b.trace[i].end_us);
+  }
+  EXPECT_FALSE(a.degradation.degraded());
+  EXPECT_FALSE(b.degradation.degraded());
+  EXPECT_EQ(b.degradation.final_mode, RunMode::kNormal);
+  ExpectSameBytes(*a.output, *b.output);
+}
+
+TEST(FaultExecutorTest, SeededFaultRunsAreDeterministic) {
+  const Model m = MakeGoogLeNet();
+  PreparedModel pm(m, ExecConfig::ProcessorFriendly());
+  Executor ex(pm, MakeExynos7420());
+  ex.SetFaultPlan(FaultPlan::Parse("seed=11;gpu.any@prob:0.2=enqueue-failed"));
+  const Plan plan = MakeSingleProcessorPlan(m.graph, ProcKind::kGpu);
+  const RunResult a = ex.Run(plan);
+  const RunResult b = ex.Run(plan);
+  EXPECT_GT(a.degradation.faults_injected, 0);
+  EXPECT_DOUBLE_EQ(a.latency_us, b.latency_us);
+  EXPECT_EQ(a.degradation.retries, b.degradation.retries);
+  EXPECT_EQ(a.degradation.fallbacks, b.degradation.fallbacks);
+  EXPECT_EQ(a.degradation.faults_injected, b.degradation.faults_injected);
+  ASSERT_EQ(a.degradation.events.size(), b.degradation.events.size());
+  for (size_t i = 0; i < a.degradation.events.size(); ++i) {
+    EXPECT_EQ(a.degradation.events[i].ToString(), b.degradation.events[i].ToString());
+  }
+}
+
+TEST(FaultExecutorTest, RetriesAreBoundedAndCosted) {
+  const Model m = MakeLeNet5();
+  ExecConfig cfg = ExecConfig::ProcessorFriendly();
+  cfg.fault_max_retries = 3;
+  PreparedModel pm(m, cfg);
+  const SocSpec soc = MakeExynos7420();
+  Executor ex(pm, soc);
+  const Plan plan = MakeSingleProcessorPlan(m.graph, ProcKind::kGpu);
+  const double clean_us = ex.Run(plan).latency_us;
+
+  // The first two attempts of the first GPU kernel fail; the third succeeds.
+  ex.SetFaultPlan(FaultPlan::Parse("gpu.kernel@limit:2=enqueue-failed"));
+  const RunResult r = ex.Run(plan);
+  EXPECT_EQ(r.degradation.retries, 2);
+  EXPECT_EQ(r.degradation.fallbacks, 0);
+  EXPECT_EQ(r.degradation.faults_injected, 2);
+  EXPECT_EQ(r.degradation.final_mode, RunMode::kDegraded);
+  // Backoff is costed on the simulated timeline: 25 + 50 us by default.
+  EXPECT_GT(r.latency_us, clean_us);
+}
+
+TEST(FaultExecutorTest, DeviceLostTripsTheCircuitBreaker) {
+  const Model m = MakeGoogLeNet();
+  PreparedModel pm(m, ExecConfig::ProcessorFriendly());
+  Executor ex(pm, MakeExynos7420());
+  ex.SetFaultPlan(FaultPlan::Parse("gpu.kernel@call:1=device-lost"));
+  const RunResult r = ex.Run(MakeSingleProcessorPlan(m.graph, ProcKind::kGpu));
+  EXPECT_TRUE(r.degradation.circuit_open);
+  EXPECT_EQ(r.degradation.final_mode, RunMode::kCpuOnly);
+  EXPECT_EQ(r.degradation.fallbacks, 1) << "the failing step falls back";
+  EXPECT_GT(r.degradation.rerouted_steps, 0) << "the rest is rerouted";
+  EXPECT_DOUBLE_EQ(r.gpu_busy_us, 0.0) << "fail-fast loss never occupies the GPU";
+  for (const KernelTrace& t : r.trace) {
+    EXPECT_EQ(t.proc, ProcKind::kCpu);
+  }
+}
+
+TEST(FaultExecutorTest, FallbackDisabledThrowsTypedFault) {
+  const Model m = MakeLeNet5();
+  ExecConfig cfg = ExecConfig::ProcessorFriendly();
+  cfg.fault_cpu_fallback = false;
+  cfg.fault_max_retries = 0;
+  PreparedModel pm(m, cfg);
+  Executor ex(pm, MakeExynos7420());
+  ex.SetFaultPlan(FaultPlan::Parse("gpu.kernel@call:1=enqueue-failed"));
+  try {
+    ex.Run(MakeSingleProcessorPlan(m.graph, ProcKind::kGpu));
+    FAIL() << "expected ulayer::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kFault);
+    EXPECT_GE(e.node(), 0);
+    ASSERT_TRUE(e.proc().has_value());
+    EXPECT_EQ(*e.proc(), ProcKind::kGpu);
+  }
+}
+
+// The core robustness guarantee: under any GPU fault spec, recovery
+// reproduces the fault-free output byte for byte (the channel slices
+// partition the output, and with matching CPU/GPU kernel flavors the
+// fallback computes the identical function).
+TEST(FaultExecutorTest, FallbackOutputIsByteIdenticalAcrossZooAndPlans) {
+  const char* specs[] = {
+      "gpu.kernel=enqueue-failed",                 // every GPU kernel fails
+      "seed=3;gpu.any@prob:0.5=enqueue-failed",    // random failures
+      "gpu.kernel@call:2=device-lost",             // breaker mid-run
+      "gpu.kernel@call:1=timeout:200;gpu.map@prob:0.4=map-failed",  // mixed
+  };
+  struct Case {
+    Model model;
+    Shape in_shape;
+  };
+  Case cases[] = {
+      {MakeLeNet5(), Shape(1, 1, 28, 28)},
+      {MakeSqueezeNetV11(1, 64), Shape(1, 3, 64, 64)},
+  };
+  const SocSpec soc = MakeExynos7420();
+  for (Case& c : cases) {
+    c.model.MaterializeWeights();
+    Tensor input(c.in_shape, DType::kF32);
+    FillUniform(input, 4242, -1.0f, 1.0f);
+    PreparedModel pm(c.model, ExecConfig::AllF32());
+    const Plan plans[] = {MakeSingleProcessorPlan(c.model.graph, ProcKind::kGpu),
+                          MakeHalfSplitPlan(c.model.graph)};
+    for (const Plan& plan : plans) {
+      Executor clean(pm, soc);
+      const RunResult want = clean.Run(plan, &input);
+      ASSERT_TRUE(want.output.has_value());
+      for (const char* spec : specs) {
+        Executor faulted(pm, soc);
+        faulted.SetFaultPlan(FaultPlan::Parse(spec));
+        const RunResult got = faulted.Run(plan, &input);
+        ASSERT_TRUE(got.output.has_value()) << c.model.name << " spec=" << spec;
+        ExpectSameBytes(*want.output, *got.output);
+      }
+    }
+  }
+}
+
+// Same guarantee for the QUInt8 integer kernels (AllQU8: both processors run
+// the identical quantized kernel, so the fallback is bit-exact).
+TEST(FaultExecutorTest, QuantizedFallbackIsByteIdentical) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  const Shape in_shape(1, 1, 28, 28);
+  std::vector<Tensor> calib;
+  Tensor t(in_shape, DType::kF32);
+  FillUniform(t, 900, -1.0f, 1.0f);
+  calib.push_back(std::move(t));
+  Tensor input(in_shape, DType::kF32);
+  FillUniform(input, 901, -1.0f, 1.0f);
+
+  PreparedModel pm(m, ExecConfig::AllQU8());
+  pm.Calibrate(calib);
+  const SocSpec soc = MakeExynos7420();
+  const Plan plan = MakeHalfSplitPlan(m.graph);
+  Executor clean(pm, soc);
+  const RunResult want = clean.Run(plan, &input);
+  Executor faulted(pm, soc);
+  faulted.SetFaultPlan(FaultPlan::Parse("gpu.kernel=enqueue-failed"));
+  const RunResult got = faulted.Run(plan, &input);
+  EXPECT_GT(got.degradation.fallbacks, 0);
+  ExpectSameBytes(*want.output, *got.output);
+}
+
+// --- Config validation ------------------------------------------------------
+
+TEST(ExecConfigValidationTest, ReportsTypedDiagnostics) {
+  {
+    ExecConfig bad = ExecConfig::AllF32();
+    bad.gpu_compute = DType::kF16;  // No kernel computes F16 over F32 storage.
+    const Report r = VerifyExecConfig(bad);
+    EXPECT_TRUE(r.Has(DiagCode::kConfigUnimplementedCompute));
+    EXPECT_FALSE(r.ok());
+  }
+  {
+    ExecConfig bad = ExecConfig::AllF32();
+    bad.cpu_threads = -2;
+    const Report r = VerifyExecConfig(bad);
+    EXPECT_TRUE(r.Has(DiagCode::kConfigNegativeThreads));
+  }
+  {
+    ExecConfig bad = ExecConfig::AllF32();
+    bad.fault_max_retries = -1;
+    EXPECT_TRUE(VerifyExecConfig(bad).Has(DiagCode::kConfigBadFaultPolicy));
+  }
+  {
+    ExecConfig bad = ExecConfig::AllF32();
+    bad.fault_backoff_us = -5.0;
+    EXPECT_TRUE(VerifyExecConfig(bad).Has(DiagCode::kConfigBadFaultPolicy));
+  }
+  EXPECT_TRUE(VerifyExecConfig(ExecConfig::AllF32()).ok());
+  EXPECT_TRUE(VerifyExecConfig(ExecConfig::AllF16()).ok());
+  EXPECT_TRUE(VerifyExecConfig(ExecConfig::AllQU8()).ok());
+  EXPECT_TRUE(VerifyExecConfig(ExecConfig::ProcessorFriendly()).ok());
+}
+
+TEST(ExecConfigValidationTest, ConstructorsRejectBadConfigs) {
+  const Model m = MakeLeNet5();
+  ExecConfig bad = ExecConfig::AllF32();
+  bad.cpu_threads = -1;
+  EXPECT_THROW(
+      {
+        PreparedModel pm(m, bad);
+        Executor ex(pm, MakeExynos7420());
+      },
+      VerifyError);
+  ULayerRuntime::Options opts;
+  opts.config = bad;
+  EXPECT_THROW(ULayerRuntime(m, MakeExynos7420(), opts), VerifyError);
+  // VerifyError is a ulayer::Error with the kVerify code.
+  try {
+    PreparedModel pm(m, bad);
+    Executor ex(pm, MakeExynos7420());
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kVerify);
+  }
+}
+
+// --- Runtime degradation policy ---------------------------------------------
+
+TEST(RuntimePolicyTest, DeviceLostReplansCpuOnly) {
+  const Model m = MakeGoogLeNet();
+  ULayerRuntime::Options opts;
+  opts.faults = FaultPlan::Parse("gpu.kernel@call:1=device-lost");
+  ULayerRuntime rt(m, MakeExynos7420(), opts);
+  const RunResult first = rt.Run();
+  EXPECT_TRUE(first.degradation.circuit_open);
+  EXPECT_EQ(rt.mode(), RunMode::kCpuOnly);
+  EXPECT_TRUE(rt.gpu_health().excluded);
+  EXPECT_EQ(rt.replans(), 1);
+  EXPECT_EQ(first.degradation.replans, 1);
+  EXPECT_EQ(first.degradation.final_mode, RunMode::kCpuOnly);
+  // The rebuilt plan never touches the GPU, so the (still armed) fault rule
+  // cannot fire again and the run is clean.
+  const RunResult second = rt.Run();
+  EXPECT_EQ(second.degradation.faults_injected, 0);
+  EXPECT_FALSE(second.degradation.circuit_open);
+  EXPECT_DOUBLE_EQ(second.gpu_busy_us, 0.0);
+  EXPECT_EQ(second.degradation.final_mode, RunMode::kCpuOnly) << "session stays CPU-only";
+  EXPECT_EQ(rt.replans(), 1) << "no further replans";
+  for (const NodeAssignment& a : rt.plan().nodes) {
+    EXPECT_NE(a.kind, StepKind::kCooperative);
+    EXPECT_EQ(a.proc, ProcKind::kCpu);
+  }
+}
+
+TEST(RuntimePolicyTest, RepeatedFailuresExcludeTheGpu) {
+  const Model m = MakeGoogLeNet();
+  ULayerRuntime::Options opts;
+  // Every run's first GPU kernel fails over to the CPU (retries exhausted).
+  opts.faults = FaultPlan::Parse("gpu.kernel@call:1=enqueue-failed;"
+                                 "gpu.kernel@call:2=enqueue-failed;"
+                                 "gpu.kernel@call:3=enqueue-failed;"
+                                 "gpu.kernel@call:4=enqueue-failed");
+  opts.replan_after_failures = 2;
+  ULayerRuntime rt(m, MakeExynos7420(), opts);
+  const RunResult r1 = rt.Run();
+  EXPECT_GT(r1.degradation.fallbacks, 0);
+  EXPECT_EQ(rt.mode(), RunMode::kNormal) << "one bad run is not enough";
+  EXPECT_EQ(rt.gpu_health().consecutive_failures, 1);
+  const RunResult r2 = rt.Run();
+  EXPECT_GT(r2.degradation.fallbacks, 0);
+  EXPECT_EQ(rt.gpu_health().consecutive_failures, 2);
+  EXPECT_EQ(rt.mode(), RunMode::kCpuOnly) << "two consecutive failed runs trip the policy";
+  EXPECT_EQ(rt.replans(), 1);
+}
+
+TEST(RuntimePolicyTest, ThrottleTriggersRescaledReplan) {
+  const Model m = MakeVgg16();
+  ULayerRuntime::Options opts;
+  opts.faults = FaultPlan::Parse("gpu.kernel=slow:2.5");  // persistent throttle
+  ULayerRuntime rt(m, MakeExynos7420(), opts);
+  ASSERT_FALSE(rt.gpu_health().excluded);
+  const RunResult first = rt.Run();
+  EXPECT_GT(first.degradation.slowdowns, 0);
+  EXPECT_GT(rt.gpu_health().observed_over_predicted, 1.25)
+      << "throttle must show in the observed/predicted ratio";
+  EXPECT_EQ(rt.replans(), 1) << "one rescaled replan";
+  EXPECT_GT(rt.gpu_health().applied_time_scale, 1.25);
+  EXPECT_FALSE(rt.gpu_health().excluded) << "throttling degrades, it does not exclude";
+  EXPECT_EQ(rt.mode(), RunMode::kDegraded);
+  // The rescaled plan shifts work to the CPU; the policy converges (the
+  // observed ratio now sits within the applied scale's band).
+  const int replans_after_first = rt.replans();
+  rt.Run();
+  EXPECT_EQ(rt.replans(), replans_after_first) << "policy converged, no replan churn";
+}
+
+TEST(RuntimePolicyTest, FaultFreeRatioIsExactlyOne) {
+  const Model m = MakeVgg16();
+  ULayerRuntime rt(m, MakeExynos7420());
+  rt.Run();
+  EXPECT_DOUBLE_EQ(rt.gpu_health().observed_over_predicted, 1.0)
+      << "the simulation runs on the timing model, so fault-free ratio is exact";
+  EXPECT_EQ(rt.replans(), 0);
+  EXPECT_EQ(rt.mode(), RunMode::kNormal);
+}
+
+// --- Fuzz: mutated specs either parse or throw, and never break recovery ----
+
+TEST(FaultFuzzTest, MutatedSpecsParseOrThrowAndRecoveryHolds) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  const Shape in_shape(1, 1, 28, 28);
+  Tensor input(in_shape, DType::kF32);
+  FillUniform(input, 5150, -1.0f, 1.0f);
+  PreparedModel pm(m, ExecConfig::AllF32());
+  const SocSpec soc = MakeExynos7420();
+  const Plan plan = MakeHalfSplitPlan(m.graph);
+  Executor clean(pm, soc);
+  const RunResult want = clean.Run(plan, &input);
+
+  const std::string base =
+      "seed=9;gpu.kernel@prob:0.3=enqueue-failed;gpu.map@call:2=timeout:50;gpu.any=slow:1.5";
+  const char alphabet[] = "gpu.cpukernlmapy@:;=0123456789-abcdefstw ";
+  uint64_t rng = 0x5eed;
+  const auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  int parsed = 0;
+  int rejected = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string spec = base;
+    const int edits = 1 + static_cast<int>(next() % 4);
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = next() % spec.size();
+      switch (next() % 3) {
+        case 0:  // replace
+          spec[pos] = alphabet[next() % (sizeof(alphabet) - 1)];
+          break;
+        case 1:  // delete
+          spec.erase(pos, 1);
+          break;
+        default:  // insert
+          spec.insert(pos, 1, alphabet[next() % (sizeof(alphabet) - 1)]);
+          break;
+      }
+      if (spec.empty()) {
+        spec = ";";
+      }
+    }
+    FaultPlan fp;
+    try {
+      fp = FaultPlan::Parse(spec);
+      ++parsed;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kParse) << spec;
+      ++rejected;
+      continue;
+    }
+    // Whatever parsed must round-trip and must not break recovery: the run
+    // either completes with a byte-identical output or (cpu-device faults)
+    // throws the typed fault error.
+    EXPECT_EQ(FaultPlan::Parse(fp.ToString()).ToString(), fp.ToString()) << spec;
+    Executor ex(pm, soc);
+    ex.SetFaultPlan(fp);
+    try {
+      const RunResult got = ex.Run(plan, &input);
+      ASSERT_TRUE(got.output.has_value()) << spec;
+      ExpectSameBytes(*want.output, *got.output);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kFault) << spec;
+    }
+  }
+  // The mutator must exercise both outcomes.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+}  // namespace
+}  // namespace ulayer

@@ -2,10 +2,10 @@
 
 #include <cmath>
 #include <limits>
-#include <stdexcept>
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
 #include "tensor/rng.h"
 
 namespace ulayer {
@@ -117,13 +117,20 @@ TEST(RequantTest, RequantizeOneHandlesMultiplierAtLeastOne) {
 }
 
 TEST(RequantTest, InvalidMultipliersThrow) {
-  EXPECT_THROW(ComputeRequantScale(0.0), std::domain_error);
-  EXPECT_THROW(ComputeRequantScale(-0.5), std::domain_error);
-  EXPECT_THROW(ComputeRequantScale(std::numeric_limits<double>::infinity()), std::domain_error);
-  EXPECT_THROW(ComputeRequantScale(std::numeric_limits<double>::quiet_NaN()), std::domain_error);
+  EXPECT_THROW(ComputeRequantScale(0.0), Error);
+  EXPECT_THROW(ComputeRequantScale(-0.5), Error);
+  EXPECT_THROW(ComputeRequantScale(std::numeric_limits<double>::infinity()), Error);
+  EXPECT_THROW(ComputeRequantScale(std::numeric_limits<double>::quiet_NaN()), Error);
   // Magnitudes outside the representable shift range are errors, not UB.
-  EXPECT_THROW(ComputeRequantScale(1e300), std::domain_error);
-  EXPECT_THROW(ComputeRequantScale(1e-300), std::domain_error);
+  EXPECT_THROW(ComputeRequantScale(1e300), Error);
+  EXPECT_THROW(ComputeRequantScale(1e-300), Error);
+  // The typed error carries a stable code callers can route on.
+  try {
+    ComputeRequantScale(0.0);
+    FAIL() << "expected ulayer::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kQuantization);
+  }
 }
 
 TEST(RequantTest, RoundingDoublingHighMulMatchesReference) {

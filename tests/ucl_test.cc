@@ -30,7 +30,7 @@ TEST(DeviceTest, ReadyTimeDefersStart) {
 
 TEST(QueueTest, EnqueueAddsLaunchOverhead) {
   Context ctx = MakeCtx();
-  const Event e = ctx.queue(ProcKind::kGpu).EnqueueKernel(100.0, DType::kF16, 0.0);
+  const Event e = ctx.queue(ProcKind::kGpu).EnqueueKernel(100.0, DType::kF16, 0.0).event;
   EXPECT_DOUBLE_EQ(e.complete_us, ctx.soc().gpu.kernel_launch_us + 100.0);
 }
 
@@ -38,18 +38,18 @@ TEST(QueueTest, InOrderExecutionSerializes) {
   Context ctx = MakeCtx();
   CommandQueue& q = ctx.queue(ProcKind::kCpu);
   const double launch = ctx.soc().cpu.kernel_launch_us;
-  const Event a = q.EnqueueKernel(10.0, DType::kF32, 0.0);
-  const Event b = q.EnqueueKernel(10.0, DType::kF32, 0.0);
+  const Event a = q.EnqueueKernel(10.0, DType::kF32, 0.0).event;
+  const Event b = q.EnqueueKernel(10.0, DType::kF32, 0.0).event;
   EXPECT_DOUBLE_EQ(a.complete_us, launch + 10.0);
   EXPECT_DOUBLE_EQ(b.complete_us, 2 * (launch + 10.0));
 }
 
 TEST(QueueTest, CrossQueueDependencyWaits) {
   Context ctx = MakeCtx();
-  const Event gpu_ev = ctx.queue(ProcKind::kGpu).EnqueueKernel(500.0, DType::kF16, 0.0);
+  const Event gpu_ev = ctx.queue(ProcKind::kGpu).EnqueueKernel(500.0, DType::kF16, 0.0).event;
   // CPU kernel depending on the GPU result starts only after it completes.
   const Event cpu_ev =
-      ctx.queue(ProcKind::kCpu).EnqueueKernel(10.0, DType::kF32, 0.0, {gpu_ev});
+      ctx.queue(ProcKind::kCpu).EnqueueKernel(10.0, DType::kF32, 0.0, {gpu_ev}).event;
   EXPECT_DOUBLE_EQ(cpu_ev.complete_us,
                    gpu_ev.complete_us + ctx.soc().cpu.kernel_launch_us + 10.0);
 }
@@ -66,14 +66,14 @@ TEST(QueueTest, IndependentQueuesOverlap) {
 TEST(QueueTest, EnqueueKernelAtHonorsReadyTime) {
   Context ctx = MakeCtx();
   const Event e =
-      ctx.queue(ProcKind::kGpu).EnqueueKernelAt(250.0, 100.0, DType::kF16, 0.0);
+      ctx.queue(ProcKind::kGpu).EnqueueKernelAt(250.0, 100.0, DType::kF16, 0.0).event;
   EXPECT_DOUBLE_EQ(e.complete_us, 250.0 + ctx.soc().gpu.kernel_launch_us + 100.0);
 }
 
 TEST(BufferTest, ZeroCopyMapCostsCacheMaintenanceOnly) {
   Context ctx = MakeCtx();
   auto buf = ctx.CreateBuffer(1 << 20, MemFlag::kAllocHostPtr);
-  const Event e = ctx.queue(ProcKind::kGpu).EnqueueMap(*buf, MapAccess::kRead);
+  const Event e = ctx.queue(ProcKind::kGpu).EnqueueMap(*buf, MapAccess::kRead).event;
   EXPECT_DOUBLE_EQ(e.complete_us, ctx.soc().map_us);
 }
 
@@ -81,7 +81,7 @@ TEST(BufferTest, CopyModeMapPaysBandwidth) {
   Context ctx = MakeCtx();
   const int64_t size = 4 << 20;
   auto buf = ctx.CreateBuffer(size, MemFlag::kCopyMode);
-  const Event e = ctx.queue(ProcKind::kGpu).EnqueueMap(*buf, MapAccess::kRead);
+  const Event e = ctx.queue(ProcKind::kGpu).EnqueueMap(*buf, MapAccess::kRead).event;
   const double copy_us = static_cast<double>(size) / (ctx.soc().copy_gb_per_s * 1e3);
   EXPECT_DOUBLE_EQ(e.complete_us, ctx.soc().map_us + copy_us);
   EXPECT_GT(e.complete_us, 100.0);  // Copies are expensive; zero-copy isn't.

@@ -11,6 +11,7 @@
 //   ulayer_verify --model googlenet --soc 7880 --config pf
 //   ulayer_verify --graph net.graph --plan net.plan --config qu8
 //   ulayer_verify --model mobilenet --single gpu --print-plan
+//   ulayer_verify --model googlenet --faults "gpu.kernel@call:3=device-lost"
 
 #include <fstream>
 #include <iostream>
@@ -20,8 +21,11 @@
 #include <vector>
 
 #include "baselines/baselines.h"
+#include "common/error.h"
+#include "core/executor.h"
 #include "core/partitioner.h"
 #include "core/predictor.h"
+#include "fault/fault.h"
 #include "io/io.h"
 #include "models/model.h"
 #include "soc/timing.h"
@@ -52,6 +56,13 @@ Options:
                     the ULAYER_CPU_THREADS environment variable)
   --print-plan      dump the plan being verified (ulayer-plan v1)
   --graph-only      verify the graph and stop (no plan)
+  --faults <spec>   after verifying, run a timing-only simulation with this
+                    fault-injection spec (fault/fault.h grammar, same as the
+                    ULAYER_FAULTS environment variable) and print the
+                    resulting DegradationReport to stdout. Examples:
+                      gpu.kernel@call:3=enqueue-failed
+                      seed=42;gpu.any@prob:0.1=timeout:500
+                      gpu.kernel=slow:2.5
   -h, --help        this text
 )";
 
@@ -100,6 +111,8 @@ int main(int argc, char** argv) {
   std::string single_proc;
   std::string soc_name = "7420";
   std::string config_name = "f32";
+  std::string faults_spec;
+  bool run_faults = false;
   int cpu_threads = 0;
   bool l2p = false;
   bool print_plan = false;
@@ -136,6 +149,12 @@ int main(int argc, char** argv) {
       if (cpu_threads < 0) {
         UsageError("--threads wants a non-negative integer");
       }
+    } else if (a == "--faults") {
+      faults_spec = next_arg(i, "--faults");
+      run_faults = true;
+    } else if (a.rfind("--faults=", 0) == 0) {
+      faults_spec = a.substr(std::string("--faults=").size());
+      run_faults = true;
     } else if (a == "--print-plan") {
       print_plan = true;
     } else if (a == "--graph-only") {
@@ -239,5 +258,32 @@ int main(int argc, char** argv) {
   if (!plan_report.diagnostics().empty()) {
     std::cerr << plan_report.ToString();
   }
-  return plan_report.ok() ? 0 : 1;
+  if (!plan_report.ok()) {
+    return 1;
+  }
+
+  // --- Fault-injection simulation (--faults) ---------------------------------
+  if (run_faults) {
+    fault::FaultPlan fault_plan;
+    try {
+      fault_plan = fault::FaultPlan::Parse(faults_spec);
+    } catch (const Error& e) {
+      std::cerr << "ulayer_verify: bad --faults spec: " << e.what() << "\n";
+      return 2;
+    }
+    try {
+      PreparedModel prepared(model, config);
+      Executor executor(prepared, soc);
+      executor.SetFaultPlan(std::move(fault_plan));
+      const RunResult r = executor.Run(plan);
+      std::cout << "fault simulation (" << source << ", plan " << plan_source << ", soc "
+                << soc.name << "): latency " << r.latency_us << " us\n"
+                << r.degradation.ToString();
+    } catch (const Error& e) {
+      std::cerr << "ulayer_verify: fault simulation failed ("
+                << ErrorCodeName(e.code()) << "): " << e.what() << "\n";
+      return 1;
+    }
+  }
+  return 0;
 }
