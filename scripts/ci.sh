@@ -4,7 +4,9 @@
 # kernels reproduce the legacy bytes), ASan/UBSan test run, a TSan run of the
 # threaded kernel/integration tests with a multi-thread CPU budget, a
 # fault-injection stage (fault_test plus the committed scripts/ci_faults.spec
-# driven through ULAYER_FAULTS, under both sanitizers), and clang-tidy over
+# driven through ULAYER_FAULTS, under both sanitizers), an observability
+# stage (traced runs exported as Chrome trace JSON, checked against the T4xx
+# trace invariants, metrics written to BENCH_trace.json), and clang-tidy over
 # src/ (skipped with a notice when clang-tidy is not installed — the
 # reference container ships gcc only).
 #
@@ -24,17 +26,17 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/6] warnings-as-errors build + tier-1 tests"
+echo "==> [1/7] warnings-as-errors build + tier-1 tests"
 cmake -B build-werror -S . -DULAYER_WERROR=ON >/dev/null
 cmake --build build-werror -j "$JOBS"
 ctest --test-dir build-werror --output-on-failure -j "$JOBS"
 
-echo "==> [2/6] kernel benchmark smoke (legacy-vs-optimized byte identity)"
+echo "==> [2/7] kernel benchmark smoke (legacy-vs-optimized byte identity)"
 # Fails if any optimized kernel's output differs from the embedded legacy
 # replica; --quick keeps it to one iteration per case.
 ./build-werror/bench/kernel_bench --quick --out BENCH_kernels.json
 if [ "$SKIP_SANITIZE" -eq 0 ]; then
-  echo "==> [3/6] ASan + UBSan build + tests"
+  echo "==> [3/7] ASan + UBSan build + tests"
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DULAYER_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j "$JOBS"
@@ -44,7 +46,7 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
   ULAYER_CPU_THREADS=4 ASAN_OPTIONS=detect_leaks=1 \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-  echo "==> [4/6] TSan build + threaded kernel/integration tests"
+  echo "==> [4/7] TSan build + threaded kernel/integration tests"
   # TSan is incompatible with ASan, hence the separate build. Force a
   # multi-thread CPU budget so the pool's worker handoffs actually run, even
   # on single-core CI machines.
@@ -54,7 +56,7 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
   ULAYER_CPU_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
     -R 'parallel_test|gemm_test|conv_test|pool_test|elementwise_test|winograd_test|quantize_test|integration_test|executor_test|prepared_test|arena_test|fault_test'
 
-  echo "==> [5/6] fault injection under ASan + TSan (scripts/ci_faults.spec)"
+  echo "==> [5/7] fault injection under ASan + TSan (scripts/ci_faults.spec)"
   # fault_test (its specs are embedded in the tests) runs under both
   # sanitizers with a multi-thread CPU budget; the committed deterministic
   # spec is then driven through the sanitizer-built ulayer_verify fault
@@ -73,22 +75,41 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
   diff fault_report_a.txt fault_report_b.txt
   rm -f fault_report_a.txt fault_report_b.txt
 else
-  echo "==> [3/6] sanitizers skipped (--skip-sanitize)"
-  echo "==> [4/6] TSan skipped (--skip-sanitize)"
-  echo "==> [5/6] fault injection skipped (--skip-sanitize)"
+  echo "==> [3/7] sanitizers skipped (--skip-sanitize)"
+  echo "==> [4/7] TSan skipped (--skip-sanitize)"
+  echo "==> [5/7] fault injection skipped (--skip-sanitize)"
 fi
+
+echo "==> [6/7] observability: trace export + invariant check + metrics"
+# Traced runs of one zoo model — clean and under the committed fault spec —
+# exported as Chrome trace JSON and checked against the T4xx trace
+# invariants (ulayer_verify exits 1 when they fail); the aggregated metrics
+# registry lands in BENCH_trace.json at the repo root. Uses the ASan build
+# when sanitizers are on, so the whole recording/export path runs
+# instrumented.
+FAULT_SPEC="$(grep -v '^#' scripts/ci_faults.spec | tr -d '[:space:]')"
+if [ "$SKIP_SANITIZE" -eq 0 ]; then
+  TRACE_TOOL=./build-asan/tools/ulayer_verify
+else
+  TRACE_TOOL=./build-werror/tools/ulayer_verify
+fi
+ASAN_OPTIONS=detect_leaks=1 "$TRACE_TOOL" --model googlenet --config pf \
+  --trace-out trace_googlenet.json --metrics-out BENCH_trace.json
+ASAN_OPTIONS=detect_leaks=1 "$TRACE_TOOL" --model googlenet --config pf \
+  --faults "$FAULT_SPEC" --trace-out trace_googlenet_faults.json >/dev/null
+rm -f trace_googlenet.json trace_googlenet_faults.json
 
 if [ "$SKIP_TIDY" -eq 0 ]; then
   if command -v clang-tidy >/dev/null 2>&1; then
-    echo "==> [6/6] clang-tidy over src/"
+    echo "==> [7/7] clang-tidy over src/"
     # build-werror exports compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS).
     mapfile -t SOURCES < <(git ls-files 'src/*.cc')
     clang-tidy -p build-werror --quiet "${SOURCES[@]}"
   else
-    echo "==> [6/6] clang-tidy not installed; skipping lint stage"
+    echo "==> [7/7] clang-tidy not installed; skipping lint stage"
   fi
 else
-  echo "==> [6/6] clang-tidy skipped (--skip-tidy)"
+  echo "==> [7/7] clang-tidy skipped (--skip-tidy)"
 fi
 
 echo "CI pipeline passed."

@@ -43,6 +43,15 @@ struct ExecConfig {
   // latency-measurement loops may switch them off.
   bool verify = true;
 
+  // Record a structured RunTrace (src/trace, DESIGN.md Section 11): typed
+  // spans with overhead/fault attribution, queue-depth samples and the
+  // injector's event log, surfaced on RunResult::run_trace and exportable as
+  // Chrome trace-event JSON. The ULAYER_TRACE environment variable (any
+  // value but "0") enables it without touching the config. Off by default:
+  // recording only reads the timelines, so the simulated schedule is
+  // bit-identical either way, but spans cost memory and time to collect.
+  bool trace = false;
+
   // Steady-state memory planning (DESIGN.md Section 9): prepare-time weight
   // caches, a monotonic scratch arena for kernel staging buffers, and
   // liveness-planned activation pooling. Off restores the per-call-allocation

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/error.h"
@@ -30,6 +31,37 @@ ucl::Status MapFailureStatus(fault::FaultKind kind) {
     default:
       return ucl::Status::kMapFailed;
   }
+}
+
+// Exact worst-case KernelTrace entry count for `plan`, derived from its step
+// kinds. A cooperative step completes as a GPU and a CPU entry; a single step
+// as one. With an injector attached, every GPU-touching step can additionally
+// log one annotated failed attempt per allowed try (retries + 1); the
+// fallback re-execution replaces the successful GPU entry, so the bound
+// stays base + attempts.
+size_t TraceCapacity(const Graph& g, const Plan& plan, const ExecConfig& cfg, bool faults) {
+  const size_t per_gpu_fail =
+      faults ? static_cast<size_t>(std::max(cfg.fault_max_retries, 0)) + 1 : 0;
+  size_t cap = 0;
+  for (const Node& n : g.nodes()) {
+    if (n.desc.kind == LayerKind::kInput) {
+      continue;
+    }
+    const NodeAssignment& a = plan.nodes[static_cast<size_t>(n.id)];
+    const bool coop = a.kind == StepKind::kCooperative;
+    cap += coop ? 2 : 1;
+    if (coop || a.proc == ProcKind::kGpu) {
+      cap += per_gpu_fail;
+    }
+  }
+  return cap;
+}
+
+// ULAYER_TRACE enables trace recording without touching the config; any
+// value but "0" counts. Checked per run (getenv does not allocate).
+bool TraceEnvEnabled() {
+  const char* v = std::getenv("ULAYER_TRACE");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
 }
 
 }  // namespace
@@ -121,17 +153,25 @@ void Executor::EnsureMemoryPlan() {
   mem_ready_ = true;
 }
 
-double Executor::ReadyTime(const Node& node, bool on_cpu, bool on_gpu,
-                           const std::vector<NodeDone>& done, int* syncs) const {
+double Executor::ReadyTime(const Node& node, bool on_cpu, bool on_gpu, int* syncs,
+                           trace::TraceSink& sink) const {
   double ready = 0.0;
   for (int in : node.inputs) {
-    const NodeDone& d = done[static_cast<size_t>(in)];
+    const NodeDone& d = done_[static_cast<size_t>(in)];
     double t = d.event.complete_us;
     // If this step needs the data on a device the producer did not run on,
     // the dependency crosses the CPU-GPU boundary and pays one sync.
     const bool needs_sync = (on_cpu && !d.on_cpu) || (on_gpu && !d.on_gpu);
     if (needs_sync) {
-      t += ctx_.timing().SyncUs();
+      const double sync_us = ctx_.timing().SyncUs();
+      // The gap is attributed to the side that lacked the data.
+      if (trace::Span* s = sink.AddSpan(
+              trace::SpanKind::kSync, node.id,
+              (on_cpu && !d.on_cpu) ? ProcKind::kCpu : ProcKind::kGpu, t, t + sync_us)) {
+        s->op = node.desc.kind;
+        s->overhead_us = sync_us;
+      }
+      t += sync_us;
       ++*syncs;
     }
     ready = std::max(ready, t);
@@ -140,8 +180,14 @@ double Executor::ReadyTime(const Node& node, bool on_cpu, bool on_gpu,
 }
 
 RunResult Executor::Run(const Plan& plan, const Tensor* input) {
+  RunResult r;
+  RunInto(plan, input, r);
+  return r;
+}
+
+void Executor::RunInto(const Plan& plan, const Tensor* input, RunResult& out) {
   try {
-    return RunImpl(plan, input);
+    RunImpl(plan, input, out);
   } catch (...) {
     AbortRun();
     throw;
@@ -159,7 +205,7 @@ void Executor::AbortRun() {
   }
 }
 
-RunResult Executor::RunImpl(const Plan& plan, const Tensor* input) {
+void Executor::RunImpl(const Plan& plan, const Tensor* input, RunResult& out) {
   const Graph& g = pm_.graph();
   const ExecConfig& cfg = pm_.config();
   if (cfg.verify) {
@@ -179,15 +225,80 @@ RunResult Executor::RunImpl(const Plan& plan, const Tensor* input) {
   }
   const TimingModel& timing = ctx_.timing();
 
+  // --- Result reset ---------------------------------------------------------
+  // `out` may be a reused result (RunInto): every field is rewritten below
+  // and the vectors are cleared in place so their capacity survives — after
+  // one warm-up run per plan shape, a timing-only run allocates nothing.
+  out.latency_us = 0.0;
+  out.cpu_busy_us = out.gpu_busy_us = 0.0;
+  out.sync_count = 0;
+  out.cpu_energy_mj = out.gpu_energy_mj = out.idle_energy_mj = out.total_energy_mj = 0.0;
+  out.output.reset();
+  out.trace.clear();
+  // Sized from the plan's step kinds and the fault-retry policy, not a flat
+  // graph-size guess: branchy fault-heavy plans used to outgrow the old
+  // g.size() + 16 reservation and reallocate mid-run.
+  out.trace.reserve(TraceCapacity(g, plan, cfg, fi != nullptr));
+  DegradationReport& rep = out.degradation;
+  rep.retries = 0;
+  rep.fallbacks = 0;
+  rep.rerouted_steps = 0;
+  rep.replans = 0;
+  rep.faults_injected = 0;
+  rep.slowdowns = 0;
+  rep.circuit_open = false;
+  rep.final_mode = RunMode::kNormal;
+  rep.events.clear();
+
+  // --- Tracing (DESIGN.md Section 11) ---------------------------------------
+  // The sink is null when tracing is off: every recording call below is a
+  // no-op and the Schedule sequence — hence the simulated timeline — is
+  // bit-identical to an untraced run.
+  const bool tracing = cfg.trace || TraceEnvEnabled();
+  out.run_trace.Clear();
+  out.run_trace.enabled = tracing;
+  trace::TraceSink sink(tracing ? &out.run_trace : nullptr);
+
   // --- Fault recovery state (DESIGN.md Section 10) --------------------------
-  DegradationReport rep;
   bool gpu_lost = false;  // Circuit breaker; open pins the rest CPU-only.
   ucl::Device& cpu_dev = ctx_.device(ProcKind::kCpu);
+
+  // Index of the most recent injected FaultEvent, for linking annotated
+  // spans back to the injector log (-1 when none fired yet).
+  const auto last_fault_event = [&]() -> int {
+    return fi != nullptr && !fi->events().empty() ? static_cast<int>(fi->events().size()) - 1
+                                                  : -1;
+  };
+
+  // Records one completed kernel on the schedule: the KernelTrace entry and,
+  // when tracing, the enriched kernel span. `body_us` is the timing model's
+  // body prediction (pre-throttle), so predicted_us stays the fault-free
+  // expectation the drift table compares against.
+  const auto record_kernel = [&](const Node& n, ProcKind proc, const ucl::Event& ev,
+                                 const LayerWork& w, double body_us, int64_t c_begin,
+                                 int64_t c_end, trace::FaultTag tag, int fault_event) {
+    out.trace.push_back(KernelTrace{n.id, proc, ev.start_us, ev.complete_us, tag});
+    if (trace::Span* s = sink.AddSpan(trace::SpanKind::kKernel, n.id, proc, ev.start_us,
+                                      ev.complete_us)) {
+      const double launch = ctx_.device(proc).spec().kernel_launch_us;
+      s->op = n.desc.kind;
+      s->compute = cfg.ComputeFor(proc);
+      s->c_begin = c_begin;
+      s->c_end = c_end;
+      s->bytes = w.TotalBytes();
+      s->macs = w.macs;
+      s->overhead_us = launch;
+      s->predicted_us = launch + body_us;
+      s->fault = tag;
+      s->fault_event = fault_event;
+    }
+  };
 
   // Enqueues on the CPU queue. The CPU is the last-resort device, so a
   // failure here is unrecoverable and aborts the run.
   const auto must_cpu = [&](const Node& n, double ready, double body, DType compute,
                             double bytes) {
+    sink.QueueDelta(ProcKind::kCpu, ready, +1);
     const ucl::EnqueueResult res =
         ctx_.queue(ProcKind::kCpu).EnqueueKernelAt(ready, body, compute, bytes);
     if (!res.ok()) {
@@ -196,19 +307,39 @@ RunResult Executor::RunImpl(const Plan& plan, const Tensor* input) {
                       std::string(ucl::StatusName(res.status)) + ") with no fallback device",
                   n.id, ProcKind::kCpu);
     }
+    sink.QueueDelta(ProcKind::kCpu, res.event.complete_us, -1);
     return res.event;
   };
 
   // Runs one GPU attempt with bounded exponential backoff between retries.
   // The host thread owns the retry loop, so backoff is charged to the CPU
-  // timeline. Returns nullopt when unrecovered; kDeviceLost also opens the
-  // circuit breaker.
-  const auto retry_gpu = [&](double base,
-                             const auto& attempt) -> std::optional<ucl::Event> {
+  // timeline. Each failed attempt stays on the record — an annotated
+  // KernelTrace entry plus a kAttempt span linked to the injected fault —
+  // instead of silently vanishing from the schedule. Returns nullopt when
+  // unrecovered; kDeviceLost also opens the circuit breaker. `*retried`
+  // reports whether the returned success needed retries.
+  const auto retry_gpu = [&](const Node& n, double base, const auto& attempt,
+                             bool* retried) -> std::optional<ucl::Event> {
+    *retried = false;
     for (int tries = 0;; ++tries) {
+      sink.QueueDelta(ProcKind::kGpu, base, +1);
       const ucl::EnqueueResult res = attempt(base);
+      sink.QueueDelta(ProcKind::kGpu, res.event.complete_us, -1);
       if (res.ok()) {
+        *retried = tries > 0;
         return res.event;
+      }
+      // The aborted attempt: timeouts occupied the device over the event's
+      // window (the injector charged it); fail-fast failures are zero-width.
+      const int fev = last_fault_event();
+      out.trace.push_back(KernelTrace{n.id, ProcKind::kGpu, res.event.start_us,
+                                      res.event.complete_us, trace::FaultTag::kFailedAttempt});
+      if (trace::Span* s = sink.AddSpan(trace::SpanKind::kAttempt, n.id, ProcKind::kGpu,
+                                        res.event.start_us, res.event.complete_us)) {
+        s->op = n.desc.kind;
+        s->compute = cfg.ComputeFor(ProcKind::kGpu);
+        s->fault = trace::FaultTag::kFailedAttempt;
+        s->fault_event = fev;
       }
       if (res.status == ucl::Status::kDeviceLost) {
         gpu_lost = true;
@@ -220,13 +351,19 @@ RunResult Executor::RunImpl(const Plan& plan, const Tensor* input) {
       }
       ++rep.retries;
       const double backoff = std::ldexp(cfg.fault_backoff_us, std::min(tries, 20));
-      base = cpu_dev.Schedule(std::max(base, res.event.complete_us), backoff, DType::kF32, 0.0);
+      double b0 = 0.0;
+      base = cpu_dev.Schedule(std::max(base, res.event.complete_us), backoff, DType::kF32, 0.0,
+                              &b0);
+      if (trace::Span* s =
+              sink.AddSpan(trace::SpanKind::kBackoff, n.id, ProcKind::kCpu, b0, base)) {
+        s->op = n.desc.kind;
+        s->overhead_us = backoff;
+        s->fault_event = fev;
+      }
     }
   };
 
-  std::vector<NodeDone> done(static_cast<size_t>(g.size()));
-  std::vector<KernelTrace> trace;
-  trace.reserve(static_cast<size_t>(g.size()) + 16);
+  done_.assign(static_cast<size_t>(g.size()), NodeDone{});
   int syncs = 0;
 
   // Functional state. With config.scratch_arena the activation tensors are
@@ -254,7 +391,7 @@ RunResult Executor::RunImpl(const Plan& plan, const Tensor* input) {
 
   for (const Node& n : g.nodes()) {
     const NodeAssignment& a = plan.nodes[static_cast<size_t>(n.id)];
-    NodeDone& nd = done[static_cast<size_t>(n.id)];
+    NodeDone& nd = done_[static_cast<size_t>(n.id)];
     if (n.desc.kind == LayerKind::kInput) {
       // The input buffer is zero-copy shared memory: visible to both devices.
       nd = NodeDone{ucl::Event{0.0}, true, true};
@@ -275,24 +412,35 @@ RunResult Executor::RunImpl(const Plan& plan, const Tensor* input) {
                         : a.proc;
     // Open circuit breaker: every remaining GPU-touching step reroutes to a
     // single-processor CPU step.
+    trace::FaultTag tag = trace::FaultTag::kNone;
     if (gpu_lost && (cooperative || proc == ProcKind::kGpu)) {
       cooperative = false;
       proc = ProcKind::kCpu;
       ++rep.rerouted_steps;
+      tag = trace::FaultTag::kRerouted;
     }
     if (!cooperative) {
       const bool gpu_step = proc == ProcKind::kGpu;
-      const double ready = ReadyTime(n, !gpu_step, gpu_step, done, &syncs);
+      const double ready = ReadyTime(n, !gpu_step, gpu_step, &syncs, sink);
       const LayerWork w = ComputeWork(g, n, cfg.storage);
       const double body = timing.KernelBodyUs(w, proc, cfg.ComputeFor(proc), cfg.cpu_threads);
       ucl::Event ev;
       if (gpu_step) {
-        const std::optional<ucl::Event> got = retry_gpu(ready, [&](double b) {
-          return ctx_.queue(ProcKind::kGpu)
-              .EnqueueKernelAt(b, body, cfg.ComputeFor(ProcKind::kGpu), w.TotalBytes());
-        });
+        bool retried = false;
+        const std::optional<ucl::Event> got = retry_gpu(n, ready,
+                                                        [&](double b) {
+                                                          return ctx_.queue(ProcKind::kGpu)
+                                                              .EnqueueKernelAt(
+                                                                  b, body,
+                                                                  cfg.ComputeFor(ProcKind::kGpu),
+                                                                  w.TotalBytes());
+                                                        },
+                                                        &retried);
         if (got.has_value()) {
           ev = *got;
+          if (retried) {
+            tag = trace::FaultTag::kRetried;
+          }
         } else {
           // Retries exhausted (or device lost): re-execute the whole layer
           // on the CPU, paying one sync to move the inputs over.
@@ -304,17 +452,36 @@ RunResult Executor::RunImpl(const Plan& plan, const Tensor* input) {
           }
           ++rep.fallbacks;
           proc = ProcKind::kCpu;
-          const double fb_ready = std::max(ready, cpu_dev.now_us()) + timing.SyncUs();
+          tag = trace::FaultTag::kFallback;
+          const double fb_base = std::max(ready, cpu_dev.now_us());
+          const double fb_ready = fb_base + timing.SyncUs();
           ++syncs;
+          if (trace::Span* s =
+                  sink.AddSpan(trace::SpanKind::kSync, n.id, ProcKind::kCpu, fb_base, fb_ready)) {
+            s->op = n.desc.kind;
+            s->overhead_us = timing.SyncUs();
+            s->fault = trace::FaultTag::kFallback;
+            s->fault_event = last_fault_event();
+          }
           const double fb_body =
               timing.KernelBodyUs(w, ProcKind::kCpu, cfg.ComputeFor(ProcKind::kCpu),
                                   cfg.cpu_threads);
           ev = must_cpu(n, fb_ready, fb_body, cfg.ComputeFor(ProcKind::kCpu), w.TotalBytes());
+          record_kernel(n, ProcKind::kCpu, ev, w, fb_body, 0, oc, tag, last_fault_event());
+          nd = NodeDone{ev, true, false};
+          if (input != nullptr) {
+            if (scratch != nullptr) {
+              scratch->Reset();
+            }
+            ComputeNode(pm_, n.id, proc, act, scratch);
+          }
+          continue;
         }
       } else {
         ev = must_cpu(n, ready, body, cfg.ComputeFor(ProcKind::kCpu), w.TotalBytes());
       }
-      trace.push_back(KernelTrace{n.id, proc, ev.start_us, ev.complete_us});
+      record_kernel(n, proc, ev, w, body, 0, oc, tag,
+                    tag == trace::FaultTag::kNone ? -1 : last_fault_event());
       nd = NodeDone{ev, proc == ProcKind::kCpu, proc == ProcKind::kGpu};
       if (input != nullptr) {
         if (scratch != nullptr) {
@@ -326,7 +493,7 @@ RunResult Executor::RunImpl(const Plan& plan, const Tensor* input) {
     }
 
     // --- Cooperative step: channel-wise workload distribution -------------
-    const double ready = ReadyTime(n, /*on_cpu=*/true, /*on_gpu=*/true, done, &syncs);
+    const double ready = ReadyTime(n, /*on_cpu=*/true, /*on_gpu=*/true, &syncs, sink);
 
     const LayerWork cpu_w = ComputeWork(g, n, cfg.storage, split.cpu.begin, split.cpu.end);
     const LayerWork gpu_w = ComputeWork(g, n, cfg.storage, split.gpu.begin, split.gpu.end);
@@ -335,15 +502,16 @@ RunResult Executor::RunImpl(const Plan& plan, const Tensor* input) {
     // costs the CPU only the enqueue call; synchronous issue blocks the CPU
     // for the whole GPU launch.
     ucl::Device& cpu = ctx_.device(ProcKind::kCpu);
-    double cpu_free;
-    double gpu_ready;
-    if (cfg.async_issue) {
-      cpu_free = cpu.Schedule(ready, kIssueCallUs, DType::kF32, 0.0);
-      gpu_ready = cpu_free;
-    } else {
-      cpu_free = cpu.Schedule(ready, ctx_.device(ProcKind::kGpu).spec().kernel_launch_us,
-                              DType::kF32, 0.0);
-      gpu_ready = cpu_free;
+    const double issue_cost = cfg.async_issue
+                                  ? kIssueCallUs
+                                  : ctx_.device(ProcKind::kGpu).spec().kernel_launch_us;
+    double issue0 = 0.0;
+    double cpu_free = cpu.Schedule(ready, issue_cost, DType::kF32, 0.0, &issue0);
+    double gpu_ready = cpu_free;
+    if (trace::Span* s =
+            sink.AddSpan(trace::SpanKind::kIssue, n.id, ProcKind::kCpu, issue0, cpu_free)) {
+      s->op = n.desc.kind;
+      s->overhead_us = issue_cost;
     }
 
     // Shared-memory handoff: zero-copy buffers pay cache maintenance only
@@ -353,7 +521,14 @@ RunResult Executor::RunImpl(const Plan& plan, const Tensor* input) {
     if (!cfg.zero_copy) {
       const double stage_us =
           timing.MapUs() + gpu_w.input_bytes / (ctx_.soc().copy_gb_per_s * 1e3);
-      cpu_free = cpu.Schedule(cpu_free, stage_us, DType::kF32, gpu_w.input_bytes);
+      double st0 = 0.0;
+      cpu_free = cpu.Schedule(cpu_free, stage_us, DType::kF32, gpu_w.input_bytes, &st0);
+      if (trace::Span* s =
+              sink.AddSpan(trace::SpanKind::kStage, n.id, ProcKind::kCpu, st0, cpu_free)) {
+        s->op = n.desc.kind;
+        s->bytes = gpu_w.input_bytes;
+        s->overhead_us = timing.MapUs();
+      }
       gpu_ready = cpu_free;
     }
 
@@ -371,20 +546,35 @@ RunResult Executor::RunImpl(const Plan& plan, const Tensor* input) {
               case fault::FaultKind::kSlowdown:
                 map_us *= d->factor;
                 break;
-              case fault::FaultKind::kTimeout:
-                return ucl::EnqueueResult{ucl::Event{gr + d->timeout_us, gr},
-                                          ucl::Status::kTimeout};
+              case fault::FaultKind::kTimeout: {
+                // The hung map occupies the GPU until the timeout expires —
+                // charged through Schedule so gpu_busy_us agrees with the
+                // injector's FaultEvent::charged_us (previously the window
+                // moved the clock as pure latency and the busy accounting
+                // silently dropped it).
+                double t0 = 0.0;
+                const double end =
+                    ctx_.device(ProcKind::kGpu).Schedule(gr, d->timeout_us, DType::kF32, 0.0,
+                                                         &t0);
+                return ucl::EnqueueResult{ucl::Event{end, t0}, ucl::Status::kTimeout};
+              }
               default:
                 return ucl::EnqueueResult{ucl::Event{gr, gr}, MapFailureStatus(d->kind)};
             }
           }
+        }
+        if (trace::Span* s =
+                sink.AddSpan(trace::SpanKind::kMap, n.id, ProcKind::kGpu, gr, gr + map_us)) {
+          s->op = n.desc.kind;
+          s->overhead_us = map_us;
         }
         gr += map_us;
       }
       return ctx_.queue(ProcKind::kGpu)
           .EnqueueKernelAt(gr, gpu_body, cfg.ComputeFor(ProcKind::kGpu), gpu_w.TotalBytes());
     };
-    const std::optional<ucl::Event> gpu_ev = retry_gpu(gpu_ready, gpu_attempt);
+    bool gpu_retried = false;
+    const std::optional<ucl::Event> gpu_ev = retry_gpu(n, gpu_ready, gpu_attempt, &gpu_retried);
     // The CPU runs its own slice; its kernel-launch overhead applies.
     const double cpu_body = timing.KernelBodyUs(cpu_w, ProcKind::kCpu,
                                                 cfg.ComputeFor(ProcKind::kCpu), cfg.cpu_threads);
@@ -403,15 +593,27 @@ RunResult Executor::RunImpl(const Plan& plan, const Tensor* input) {
       ++rep.fallbacks;
       const ucl::Event cpu_ev =
           must_cpu(n, cpu_free, cpu_body, cfg.ComputeFor(ProcKind::kCpu), cpu_w.TotalBytes());
+      record_kernel(n, ProcKind::kCpu, cpu_ev, cpu_w, cpu_body, split.cpu.begin, split.cpu.end,
+                    trace::FaultTag::kNone, -1);
       const double fb_ready = cpu_ev.complete_us + timing.SyncUs();
       ++syncs;
+      if (trace::Span* s = sink.AddSpan(trace::SpanKind::kSync, n.id, ProcKind::kCpu,
+                                        cpu_ev.complete_us, fb_ready)) {
+        s->op = n.desc.kind;
+        s->overhead_us = timing.SyncUs();
+        s->fault = trace::FaultTag::kFallback;
+        s->fault_event = last_fault_event();
+      }
       const double fb_body = timing.KernelBodyUs(gpu_w, ProcKind::kCpu,
                                                  cfg.ComputeFor(ProcKind::kCpu),
                                                  cfg.cpu_threads);
       const ucl::Event fb_ev =
           must_cpu(n, fb_ready, fb_body, cfg.ComputeFor(ProcKind::kCpu), gpu_w.TotalBytes());
-      trace.push_back(KernelTrace{n.id, ProcKind::kCpu, cpu_ev.start_us, cpu_ev.complete_us});
-      trace.push_back(KernelTrace{n.id, ProcKind::kCpu, fb_ev.start_us, fb_ev.complete_us});
+      // The re-execution of the GPU's slice is tagged: it is recovery work,
+      // not part of the planned schedule (the old trace logged it as a
+      // second indistinguishable CPU kernel).
+      record_kernel(n, ProcKind::kCpu, fb_ev, gpu_w, fb_body, split.gpu.begin, split.gpu.end,
+                    trace::FaultTag::kFallback, last_fault_event());
       nd = NodeDone{fb_ev, true, false};
       if (input != nullptr) {
         if (scratch != nullptr) {
@@ -431,14 +633,28 @@ RunResult Executor::RunImpl(const Plan& plan, const Tensor* input) {
 
     const ucl::Event cpu_ev =
         must_cpu(n, cpu_free, cpu_body, cfg.ComputeFor(ProcKind::kCpu), cpu_w.TotalBytes());
-    trace.push_back(KernelTrace{n.id, ProcKind::kGpu, gpu_ev->start_us, gpu_ev->complete_us});
-    trace.push_back(KernelTrace{n.id, ProcKind::kCpu, cpu_ev.start_us, cpu_ev.complete_us});
+    record_kernel(n, ProcKind::kGpu, *gpu_ev, gpu_w, gpu_body, split.gpu.begin, split.gpu.end,
+                  gpu_retried ? trace::FaultTag::kRetried : trace::FaultTag::kNone,
+                  gpu_retried ? last_fault_event() : -1);
+    record_kernel(n, ProcKind::kCpu, cpu_ev, cpu_w, cpu_body, split.cpu.begin, split.cpu.end,
+                  trace::FaultTag::kNone, -1);
 
     double merged = std::max(cpu_ev.complete_us, gpu_ev->complete_us);
     if (!cfg.zero_copy) {
       // Stage the GPU's output slice back for CPU visibility.
-      merged = cpu.Schedule(merged, gpu_w.output_bytes / (ctx_.soc().copy_gb_per_s * 1e3),
-                            DType::kF32, gpu_w.output_bytes);
+      const double out_stage_us = gpu_w.output_bytes / (ctx_.soc().copy_gb_per_s * 1e3);
+      double st0 = 0.0;
+      merged = cpu.Schedule(merged, out_stage_us, DType::kF32, gpu_w.output_bytes, &st0);
+      if (trace::Span* s =
+              sink.AddSpan(trace::SpanKind::kStage, n.id, ProcKind::kCpu, st0, merged)) {
+        s->op = n.desc.kind;
+        s->bytes = gpu_w.output_bytes;
+      }
+    }
+    if (trace::Span* s = sink.AddSpan(trace::SpanKind::kSync, n.id, ProcKind::kCpu, merged,
+                                      merged + timing.SyncUs())) {
+      s->op = n.desc.kind;
+      s->overhead_us = timing.SyncUs();
     }
     merged += timing.SyncUs();
     ++syncs;
@@ -463,10 +679,8 @@ RunResult Executor::RunImpl(const Plan& plan, const Tensor* input) {
   }
 
   // --- Result assembly ------------------------------------------------------
-  RunResult r;
-  r.latency_us = ctx_.NowUs();
-  r.trace = std::move(trace);
-  r.sync_count = syncs;
+  out.latency_us = ctx_.NowUs();
+  out.sync_count = syncs;
   const EnergyModel energy(ctx_.soc());
   for (const ProcKind k : {ProcKind::kCpu, ProcKind::kGpu}) {
     const ucl::Device& d = ctx_.device(k);
@@ -476,32 +690,45 @@ RunResult Executor::RunImpl(const Plan& plan, const Tensor* input) {
     }
     e += energy.DramEnergyMj(d.TotalBytes());
     if (k == ProcKind::kCpu) {
-      r.cpu_busy_us = d.TotalBusyUs();
-      r.cpu_energy_mj = e;
+      out.cpu_busy_us = d.TotalBusyUs();
+      out.cpu_energy_mj = e;
     } else {
-      r.gpu_busy_us = d.TotalBusyUs();
-      r.gpu_energy_mj = e;
+      out.gpu_busy_us = d.TotalBusyUs();
+      out.gpu_energy_mj = e;
     }
   }
-  r.idle_energy_mj = energy.IdleEnergyMj(r.latency_us);
-  r.total_energy_mj = r.cpu_energy_mj + r.gpu_energy_mj + r.idle_energy_mj;
+  out.idle_energy_mj = energy.IdleEnergyMj(out.latency_us);
+  out.total_energy_mj = out.cpu_energy_mj + out.gpu_energy_mj + out.idle_energy_mj;
   if (fi != nullptr) {
     rep.faults_injected = static_cast<int64_t>(fi->events().size());
     rep.slowdowns = fi->slowdown_count();
-    rep.events = fi->events();
+    rep.events.assign(fi->events().begin(), fi->events().end());
   }
   rep.final_mode = rep.circuit_open
                        ? RunMode::kCpuOnly
                        : (rep.degraded() ? RunMode::kDegraded : RunMode::kNormal);
-  r.degradation = std::move(rep);
+  if (tracing) {
+    // Ground truth the trace-invariant verifier (VerifyRunTrace) checks the
+    // spans against.
+    trace::RunTrace& rt = out.run_trace;
+    rt.latency_us = out.latency_us;
+    rt.cpu_busy_us = out.cpu_busy_us;
+    rt.gpu_busy_us = out.gpu_busy_us;
+    rt.sync_count = syncs;
+    rt.slowdowns = fi != nullptr ? fi->slowdown_count() : 0;
+    rt.arena_high_water = static_cast<int64_t>(scratch_.high_water());
+    if (fi != nullptr) {
+      rt.fault_events.assign(fi->events().begin(), fi->events().end());
+    }
+    trace::FinalizeQueueDepth(rt);
+  }
   if (input != nullptr) {
     // Pooled activations are views into executor-owned storage; detach the
     // output so the result outlives this run (and the next run's reuse of
     // the pool).
-    const Tensor& out = act[static_cast<size_t>(g.OutputId())];
-    r.output = out.is_view() ? out.Clone() : out;
+    const Tensor& o = act[static_cast<size_t>(g.OutputId())];
+    out.output = o.is_view() ? o.Clone() : o;
   }
-  return r;
 }
 
 }  // namespace ulayer

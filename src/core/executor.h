@@ -21,16 +21,23 @@
 #include "core/prepared.h"
 #include "fault/fault.h"
 #include "memory/arena.h"
+#include "trace/trace.h"
 #include "ucl/ucl.h"
 
 namespace ulayer {
 
 // One kernel occurrence on a device timeline (for tracing/visualization).
+// Fault recovery annotates entries instead of hiding them: a failed GPU
+// attempt appears tagged kFailedAttempt (timeouts span their occupancy
+// window, fail-fast attempts are zero-width), the CPU re-execution of its
+// work is tagged kFallback, and breaker-rerouted steps kRerouted — so
+// gpu_busy_us and the trace tell the same story (DESIGN.md Section 11).
 struct KernelTrace {
   int node = -1;
   ProcKind proc = ProcKind::kCpu;
   double start_us = 0.0;
   double end_us = 0.0;
+  trace::FaultTag tag = trace::FaultTag::kNone;
 };
 
 // How the run ultimately executed (DESIGN.md Section 10).
@@ -82,6 +89,12 @@ struct RunResult {
   // Fault-recovery accounting for this run (all zeros when fault-free).
   DegradationReport degradation;
 
+  // Structured observability trace (DESIGN.md Section 11), recorded when
+  // ExecConfig::trace or ULAYER_TRACE is set; empty (enabled == false)
+  // otherwise. Export with trace::ChromeTraceJson, check invariants with
+  // VerifyRunTrace, aggregate with trace::MetricsRegistry.
+  trace::RunTrace run_trace;
+
   // Network output (softmax probabilities), present in functional runs.
   std::optional<Tensor> output;
 
@@ -112,6 +125,14 @@ class Executor {
   // the executor stays reusable and the next Run is unaffected.
   RunResult Run(const Plan& plan, const Tensor* input = nullptr);
 
+  // Like Run, but writes into a caller-owned result whose vectors keep their
+  // capacity across calls. After one warm-up call per plan shape, a
+  // timing-only RunInto performs no heap allocation (the steady-state
+  // contract of DESIGN.md Section 9, tested in tests/arena_test.cc) —
+  // including cooperative plans with fault recovery and tracing enabled.
+  // Functional runs still allocate for the cloned output tensor.
+  void RunInto(const Plan& plan, const Tensor* input, RunResult& out);
+
  private:
   struct NodeDone {
     ucl::Event event;
@@ -120,9 +141,10 @@ class Executor {
   };
 
   // Dependency ready-time for running `node` on `proc` (or cooperatively on
-  // both when `both` is set), charging cross-device syncs.
-  double ReadyTime(const Node& node, bool on_cpu, bool on_gpu,
-                   const std::vector<NodeDone>& done, int* syncs) const;
+  // both when `both` is set), charging cross-device syncs against done_ and
+  // emitting kSync gap spans on `sink`.
+  double ReadyTime(const Node& node, bool on_cpu, bool on_gpu, int* syncs,
+                   trace::TraceSink& sink) const;
 
   // Prepare-time memory planning (config.scratch_arena functional runs):
   // sizes the kernel scratch arena from a dry run over the graph and packs
@@ -130,8 +152,9 @@ class Executor {
   // once on the first functional Run().
   void EnsureMemoryPlan();
 
-  // Run body; Run wraps it so a mid-run throw leaves the executor reusable.
-  RunResult RunImpl(const Plan& plan, const Tensor* input);
+  // Run body; RunInto wraps it so a mid-run throw leaves the executor
+  // reusable.
+  void RunImpl(const Plan& plan, const Tensor* input, RunResult& out);
   // Restores invariants after a mid-run throw: device timelines and the
   // scratch arena are reset and the injector rewound, so the next Run is
   // byte-identical to one on a fresh executor.
@@ -146,6 +169,10 @@ class Executor {
   std::vector<uint8_t> act_pool_;      // Shared activation storage.
   std::vector<int64_t> act_offsets_;   // Per-node offset into act_pool_.
   bool mem_ready_ = false;
+
+  // Per-node completion state, reused across runs (capacity survives so a
+  // steady-state RunInto never reallocates it).
+  std::vector<NodeDone> done_;
 };
 
 }  // namespace ulayer

@@ -78,6 +78,11 @@ double ULayerRuntime::ObservedGpuRatio(const RunResult& r) const {
     if (t.proc != ProcKind::kGpu || t.node < 0 || t.node >= g.size()) {
       continue;
     }
+    // Aborted GPU attempts now stay on the trace (tagged kFailedAttempt);
+    // they are recovery noise, not evidence about the GPU's kernel speed.
+    if (t.tag == trace::FaultTag::kFailedAttempt) {
+      continue;
+    }
     const Node& n = g.node(t.node);
     const NodeAssignment& a = plan_.nodes[static_cast<size_t>(t.node)];
     const ResolvedSplit split = ResolveSplit(a, n.out_shape.c);

@@ -315,7 +315,8 @@ std::optional<FaultInjector::Decision> FaultInjector::OnCall(ProcKind device, Op
     if (r.kind == FaultKind::kSlowdown) {
       ++slowdowns_;
     } else {
-      events_.push_back(FaultEvent{r.kind, device, op, node_, count, now_us});
+      events_.push_back(FaultEvent{r.kind, device, op, node_, count, now_us,
+                                   r.kind == FaultKind::kTimeout ? r.timeout_us : 0.0});
     }
   }
   return decision;

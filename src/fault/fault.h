@@ -89,6 +89,11 @@ struct FaultEvent {
   int node = -1;         // Graph node the executor tagged, or -1.
   int64_t call = 0;      // (device, op) call count at injection time.
   double at_us = 0.0;    // Device-timeline time of the call.
+  // Device-busy time the fault itself consumed: the timeout window for
+  // kTimeout, 0 for fail-fast kinds. Lets tests audit that timeouts are
+  // charged exactly once and fail-fast faults never charge (the retry
+  // accounting invariant of DESIGN.md Section 11).
+  double charged_us = 0.0;
 
   std::string ToString() const;
 };

@@ -1,0 +1,390 @@
+#include "trace/chrome.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+
+namespace ulayer::trace {
+namespace {
+
+// %.17g survives a strtod round trip bit-exactly for every finite double,
+// which is what lets the tests compare parsed timestamps with ==.
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Str(std::string_view s) { return "\"" + Escape(s) + "\""; }
+
+int SpanTid(const Span& sp) {
+  if (!IsOccupying(sp.kind)) {
+    return kChromeTidGaps;
+  }
+  return sp.proc == ProcKind::kCpu ? kChromeTidCpu : kChromeTidGpu;
+}
+
+std::string SpanName(const Span& sp, const Graph* g) {
+  std::string node = "node" + std::to_string(sp.node);
+  if (g != nullptr && sp.node >= 0 && sp.node < g->size()) {
+    node = g->node(sp.node).desc.name;
+  }
+  if (sp.kind == SpanKind::kKernel || sp.kind == SpanKind::kAttempt) {
+    std::string name = node;
+    if (sp.c_end >= 0) {
+      name += " [" + std::to_string(sp.c_begin) + "," + std::to_string(sp.c_end) + ")";
+    }
+    name += " " + std::string(DTypeName(sp.compute));
+    if (sp.kind == SpanKind::kAttempt) {
+      name = "attempt! " + name;
+    } else if (sp.fault != FaultTag::kNone) {
+      name = std::string(FaultTagName(sp.fault)) + " " + name;
+    }
+    return name;
+  }
+  return std::string(SpanKindName(sp.kind)) + " " + node;
+}
+
+void MetaEvent(std::ostringstream& os, const char* what, int tid, std::string_view name,
+               bool& first) {
+  os << (first ? "\n  " : ",\n  ") << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+     << ",\"name\":" << Str(what) << ",\"args\":{\"name\":" << Str(name) << "}}";
+  first = false;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const RunTrace& rt, const ChromeExportOptions& options) {
+  std::ostringstream os;
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {";
+  os << "\"tool\": \"ulayer\"";
+  if (!options.model.empty()) {
+    os << ", \"model\": " << Str(options.model);
+  }
+  if (!options.soc.empty()) {
+    os << ", \"soc\": " << Str(options.soc);
+  }
+  if (!options.config.empty()) {
+    os << ", \"config\": " << Str(options.config);
+  }
+  os << ", \"latency_us\": " << Num(rt.latency_us) << ", \"cpu_busy_us\": " << Num(rt.cpu_busy_us)
+     << ", \"gpu_busy_us\": " << Num(rt.gpu_busy_us) << ", \"sync_count\": " << rt.sync_count
+     << ", \"slowdowns\": " << rt.slowdowns << ", \"faults\": " << rt.fault_events.size()
+     << ", \"arena_high_water_bytes\": " << rt.arena_high_water << "},\n\"traceEvents\": [";
+
+  bool first = true;
+  MetaEvent(os, "process_name", 0, "ulayer run", first);
+  MetaEvent(os, "thread_name", kChromeTidCpu, "CPU", first);
+  MetaEvent(os, "thread_name", kChromeTidGpu, "GPU", first);
+  MetaEvent(os, "thread_name", kChromeTidGaps, "sync/map gaps", first);
+
+  for (const Span& sp : rt.spans) {
+    os << ",\n  {\"ph\":\"X\",\"pid\":0,\"tid\":" << SpanTid(sp)
+       << ",\"name\":" << Str(SpanName(sp, options.graph))
+       << ",\"cat\":" << Str(SpanKindName(sp.kind)) << ",\"ts\":" << Num(sp.start_us)
+       << ",\"dur\":" << Num(sp.duration_us()) << ",\"args\":{";
+    os << "\"node\":" << sp.node << ",\"proc\":" << Str(sp.proc == ProcKind::kCpu ? "cpu" : "gpu")
+       << ",\"kind\":" << Str(SpanKindName(sp.kind)) << ",\"op\":" << Str(LayerKindName(sp.op))
+       << ",\"dtype\":" << Str(DTypeName(sp.compute));
+    if (sp.c_end >= 0) {
+      os << ",\"c_begin\":" << sp.c_begin << ",\"c_end\":" << sp.c_end;
+    }
+    os << ",\"bytes\":" << Num(sp.bytes) << ",\"macs\":" << Num(sp.macs)
+       << ",\"overhead_us\":" << Num(sp.overhead_us);
+    if (sp.predicted_us > 0.0) {
+      os << ",\"predicted_us\":" << Num(sp.predicted_us);
+    }
+    os << ",\"fault\":" << Str(FaultTagName(sp.fault));
+    if (sp.fault_event >= 0) {
+      os << ",\"fault_event\":" << sp.fault_event;
+      if (static_cast<size_t>(sp.fault_event) < rt.fault_events.size()) {
+        os << ",\"fault_detail\":" << Str(rt.fault_events[static_cast<size_t>(sp.fault_event)]
+                                              .ToString());
+      }
+    }
+    os << "}}";
+  }
+
+  for (const QueueSample& q : rt.queue_depth) {
+    const bool cpu = q.proc == ProcKind::kCpu;
+    os << ",\n  {\"ph\":\"C\",\"pid\":0,\"tid\":" << (cpu ? kChromeTidCpu : kChromeTidGpu)
+       << ",\"name\":" << Str(cpu ? "cpu queue depth" : "gpu queue depth")
+       << ",\"ts\":" << Num(q.t_us) << ",\"args\":{\"outstanding\":" << q.depth << "}}";
+  }
+
+  os << "\n]\n}\n";
+  return os.str();
+}
+
+// --- JSON parsing ------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue v = ParseValue();
+    SkipWs();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& why) {
+    throw Error(ErrorCode::kParse,
+                "json: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      Fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    SkipWs();
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = ParseString();
+        return v;
+      }
+      case 't':
+      case 'f':
+        return ParseKeyword(c == 't' ? "true" : "false", c == 't');
+      case 'n': {
+        JsonValue v = ParseKeyword("null", false);
+        v.kind = JsonValue::Kind::kNull;
+        return v;
+      }
+      default:
+        return ParseNumber();
+    }
+  }
+
+  JsonValue ParseKeyword(std::string_view word, bool value) {
+    if (text_.substr(pos_, word.size()) != word) {
+      Fail("bad keyword");
+    }
+    pos_ += word.size();
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = value;
+    return v;
+  }
+
+  JsonValue ParseNumber() {
+    const size_t begin = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == begin) {
+      Fail("expected a value");
+    }
+    const std::string token(text_.substr(begin, pos_ - begin));
+    char* end = nullptr;
+    const double num = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(num)) {
+      Fail("malformed number '" + token + "'");
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = num;
+    return v;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail("unterminated escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out += e;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+          }
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          char* end = nullptr;
+          const long cp = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4) {
+            Fail("malformed \\u escape");
+          }
+          // The exporter only emits \u00xx control escapes; decode those and
+          // pass anything wider through as '?' (lossy but schema-sufficient).
+          out += cp < 0x80 ? static_cast<char>(cp) : '?';
+          break;
+        }
+        default:
+          Fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(ParseValue());
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return v;
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      SkipWs();
+      std::string key = ParseString();
+      SkipWs();
+      Expect(':');
+      v.members.emplace_back(std::move(key), ParseValue());
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return v;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : members) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+JsonValue ParseJson(std::string_view text) { return JsonParser(text).Parse(); }
+
+}  // namespace ulayer::trace

@@ -1,0 +1,64 @@
+// Chrome trace-event JSON export of a RunTrace (DESIGN.md Section 11).
+//
+// The exported file is the "JSON Object Format" of the Trace Event spec and
+// loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing: one
+// track per device (CPU tid 0, GPU tid 1), a third track for non-occupying
+// latency gaps (syncs, zero-copy maps), and one counter track per device
+// showing outstanding enqueued commands. Span metadata (op kind, kernel
+// flavor, channel slice, bytes, MACs, overheads, fault annotations) rides in
+// each event's args.
+//
+// ParseJson is a minimal strict parser for the subset JSON the exporter
+// emits (objects, arrays, strings, finite numbers, booleans, null); the
+// round-trip tests use it to validate the export schema without an external
+// JSON dependency.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "nn/graph.h"
+#include "trace/trace.h"
+
+namespace ulayer::trace {
+
+struct ChromeExportOptions {
+  const Graph* graph = nullptr;  // Optional: span names use graph node names.
+  std::string_view model;        // otherData annotations (may be empty).
+  std::string_view soc;
+  std::string_view config;
+};
+
+// Renders `rt` as a Chrome trace-event JSON document. Doubles are printed
+// with round-trip precision, so ParseJson(ChromeTraceJson(rt)) reproduces
+// every timestamp bit-exactly.
+std::string ChromeTraceJson(const RunTrace& rt, const ChromeExportOptions& options = {});
+
+// Thread ids used by the exporter (and checked by the schema tests).
+inline constexpr int kChromeTidCpu = 0;
+inline constexpr int kChromeTidGpu = 1;
+inline constexpr int kChromeTidGaps = 2;
+
+// --- Minimal JSON value model ------------------------------------------------
+
+struct JsonValue {
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject, in order
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+// Parses one JSON document (trailing whitespace allowed, nothing else).
+// Throws ulayer::Error(kParse) on malformed input.
+JsonValue ParseJson(std::string_view text);
+
+}  // namespace ulayer::trace

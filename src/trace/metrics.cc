@@ -1,0 +1,137 @@
+#include "trace/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ulayer::trace {
+namespace {
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::Observe(double v) {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  sum += v;
+  ++count;
+}
+
+void MetricsRegistry::Count(std::string_view name, int64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::Observe(std::string_view name, double value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  it->second.Observe(value);
+}
+
+void MetricsRegistry::AddRun(const RunTrace& rt) {
+  Count("runs");
+  Count("spans", static_cast<int64_t>(rt.spans.size()));
+  Count("syncs", rt.sync_count);
+  Count("faults_injected", static_cast<int64_t>(rt.fault_events.size()));
+  Count("slowdowns", rt.slowdowns);
+  Observe("latency_us", rt.latency_us);
+  Observe("cpu_busy_us", rt.cpu_busy_us);
+  Observe("gpu_busy_us", rt.gpu_busy_us);
+  Observe("sync_count", static_cast<double>(rt.sync_count));
+  Observe("arena_high_water_bytes", static_cast<double>(rt.arena_high_water));
+  for (const Span& sp : rt.spans) {
+    const std::string kind(SpanKindName(sp.kind));
+    Observe("span_us." + kind, sp.duration_us());
+    if (sp.overhead_us > 0.0) {
+      Observe("overhead_us." + kind, sp.overhead_us);
+    }
+    switch (sp.kind) {
+      case SpanKind::kKernel: {
+        Observe("kernel_us." + std::string(LayerKindName(sp.op)) + "." +
+                    (sp.proc == ProcKind::kCpu ? "cpu" : "gpu"),
+                sp.duration_us());
+        Count("kernel_bytes", static_cast<int64_t>(sp.bytes));
+        Count("kernel_macs", static_cast<int64_t>(sp.macs));
+        if (sp.fault == FaultTag::kFallback) {
+          Count("fallbacks");
+        } else if (sp.fault == FaultTag::kRerouted) {
+          Count("rerouted_kernels");
+        }
+        break;
+      }
+      case SpanKind::kAttempt:
+        Count("failed_attempts");
+        break;
+      case SpanKind::kBackoff:
+        Count("retries");
+        break;
+      default:
+        break;
+    }
+  }
+  for (const QueueSample& q : rt.queue_depth) {
+    Observe(q.proc == ProcKind::kCpu ? "queue_depth.cpu" : "queue_depth.gpu",
+            static_cast<double>(q.depth));
+  }
+}
+
+int64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const Histogram* MetricsRegistry::histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::ostringstream os;
+  os << "counters:\n";
+  for (const auto& [name, value] : counters_) {
+    os << "  " << name << " = " << value << "\n";
+  }
+  os << "histograms (count / mean / min / max):\n";
+  for (const auto& [name, h] : histograms_) {
+    os << "  " << name << " = " << h.count << " / " << Num(h.mean()) << " / " << Num(h.min)
+       << " / " << Num(h.max) << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"count\": " << h.count
+       << ", \"sum\": " << Num(h.sum) << ", \"mean\": " << Num(h.mean())
+       << ", \"min\": " << Num(h.min) << ", \"max\": " << Num(h.max) << "}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+}  // namespace ulayer::trace

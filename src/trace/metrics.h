@@ -1,0 +1,64 @@
+// MetricsRegistry: counters and histograms aggregated across runs
+// (DESIGN.md Section 11).
+//
+// One registry accumulates any number of RunTraces (AddRun) plus ad-hoc
+// Count/Observe calls, yielding the aggregate view CI trends on: per-op-kind
+// kernel latency per device, sync counts, retry/fallback/reroute totals,
+// arena high-water, queue depth. Exported as a stable-format JSON document
+// (BENCH_trace.json) or a human-readable table.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "trace/trace.h"
+
+namespace ulayer::trace {
+
+// Count / sum / min / max summary of an observed value stream. Enough for
+// trend lines without committing to bucket boundaries.
+struct Histogram {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void Observe(double v);
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+class MetricsRegistry {
+ public:
+  // Monotonic counter increment.
+  void Count(std::string_view name, int64_t delta = 1);
+  // Histogram observation.
+  void Observe(std::string_view name, double value);
+
+  // Folds one run's trace into the registry:
+  //   counters:   runs, spans, syncs, retries, failed_attempts, fallbacks,
+  //               rerouted_kernels, faults_injected, slowdowns,
+  //               kernel_bytes, kernel_macs
+  //   histograms: latency_us, cpu_busy_us, gpu_busy_us, sync_count,
+  //               arena_high_water_bytes, span_us.<kind>,
+  //               kernel_us.<op>.<cpu|gpu>, overhead_us.<kind>,
+  //               queue_depth.<cpu|gpu>
+  void AddRun(const RunTrace& rt);
+
+  int64_t counter(std::string_view name) const;        // 0 when absent.
+  const Histogram* histogram(std::string_view name) const;  // nullptr when absent.
+
+  bool empty() const { return counters_.empty() && histograms_.empty(); }
+
+  // Sorted "name value" / "name count/mean/min/max" lines.
+  std::string ToString() const;
+  // {"counters": {...}, "histograms": {name: {count,sum,mean,min,max}}}.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, int64_t, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace ulayer::trace

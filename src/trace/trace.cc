@@ -1,0 +1,177 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace ulayer::trace {
+
+std::string_view SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kKernel:
+      return "kernel";
+    case SpanKind::kAttempt:
+      return "attempt";
+    case SpanKind::kIssue:
+      return "issue";
+    case SpanKind::kStage:
+      return "stage";
+    case SpanKind::kBackoff:
+      return "backoff";
+    case SpanKind::kSync:
+      return "sync";
+    case SpanKind::kMap:
+      return "map";
+  }
+  return "unknown";
+}
+
+std::string_view FaultTagName(FaultTag tag) {
+  switch (tag) {
+    case FaultTag::kNone:
+      return "none";
+    case FaultTag::kRetried:
+      return "retried";
+    case FaultTag::kFailedAttempt:
+      return "failed-attempt";
+    case FaultTag::kFallback:
+      return "fallback";
+    case FaultTag::kRerouted:
+      return "rerouted";
+  }
+  return "unknown";
+}
+
+bool IsOccupying(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kKernel:
+    case SpanKind::kAttempt:
+    case SpanKind::kIssue:
+    case SpanKind::kStage:
+    case SpanKind::kBackoff:
+      return true;
+    case SpanKind::kSync:
+    case SpanKind::kMap:
+      return false;
+  }
+  return false;
+}
+
+void RunTrace::Clear() {
+  enabled = false;
+  spans.clear();
+  queue_depth.clear();
+  fault_events.clear();
+  latency_us = cpu_busy_us = gpu_busy_us = 0.0;
+  sync_count = 0;
+  slowdowns = 0;
+  arena_high_water = 0;
+}
+
+void FinalizeQueueDepth(RunTrace& rt) {
+  // Enqueues (+1) sort before completions (-1) at equal times: every -1 has
+  // a matching +1 at an earlier-or-equal time, so the cumulative count can
+  // never go negative — including zero-width fail-fast attempts whose
+  // enqueue and completion share a timestamp. Plain sort (not stable_sort,
+  // whose merge buffer would break Run()'s zero-allocation guarantee) is
+  // still deterministic: samples equal under the comparator are identical.
+  std::sort(rt.queue_depth.begin(), rt.queue_depth.end(),
+            [](const QueueSample& a, const QueueSample& b) {
+              if (a.proc != b.proc) {
+                return a.proc == ProcKind::kCpu && b.proc != ProcKind::kCpu;
+              }
+              if (a.t_us != b.t_us) {
+                return a.t_us < b.t_us;
+              }
+              return a.depth > b.depth;
+            });
+  int depth[2] = {0, 0};
+  for (QueueSample& s : rt.queue_depth) {
+    int& d = depth[s.proc == ProcKind::kCpu ? 0 : 1];
+    d += s.depth;
+    s.depth = d;
+  }
+}
+
+Span* TraceSink::AddSpan(SpanKind kind, int node, ProcKind proc, double start_us,
+                         double end_us) {
+  if (rt_ == nullptr) {
+    return nullptr;
+  }
+  rt_->spans.emplace_back();
+  Span& sp = rt_->spans.back();
+  sp.kind = kind;
+  sp.node = node;
+  sp.proc = proc;
+  sp.start_us = start_us;
+  sp.end_us = end_us;
+  return &sp;
+}
+
+void TraceSink::QueueDelta(ProcKind proc, double t_us, int delta) {
+  if (rt_ == nullptr) {
+    return;
+  }
+  rt_->queue_depth.push_back(QueueSample{proc, t_us, delta});
+}
+
+DriftReport BuildDriftReport(const RunTrace& rt) {
+  DriftReport report;
+  double sum[2] = {0.0, 0.0};       // Simulated kernel time per device.
+  double expected[2] = {0.0, 0.0};  // Predicted kernel time per device.
+  for (const Span& sp : rt.spans) {
+    if (sp.kind != SpanKind::kKernel || sp.predicted_us <= 0.0) {
+      continue;
+    }
+    DriftRow row;
+    row.node = sp.node;
+    row.proc = sp.proc;
+    row.op = sp.op;
+    row.fault = sp.fault;
+    row.predicted_us = sp.predicted_us;
+    row.simulated_us = sp.duration_us();
+    row.ratio = row.simulated_us / row.predicted_us;
+    report.max_abs_deviation = std::max(report.max_abs_deviation, std::abs(row.ratio - 1.0));
+    const int d = sp.proc == ProcKind::kCpu ? 0 : 1;
+    sum[d] += row.simulated_us;
+    expected[d] += row.predicted_us;
+    report.rows.push_back(row);
+  }
+  report.cpu_ratio = expected[0] > 0.0 ? sum[0] / expected[0] : 0.0;
+  report.gpu_ratio = expected[1] > 0.0 ? sum[1] / expected[1] : 0.0;
+  const double total_expected = expected[0] + expected[1];
+  report.overall_ratio = total_expected > 0.0 ? (sum[0] + sum[1]) / total_expected : 0.0;
+  return report;
+}
+
+std::string DriftReport::ToString(const Graph* graph) const {
+  std::ostringstream os;
+  os << "predictor drift (simulated / predicted kernel latency)\n";
+  os << std::left << std::setw(24) << "  node" << std::setw(5) << "proc" << std::right
+     << std::setw(14) << "predicted_us" << std::setw(14) << "simulated_us" << std::setw(10)
+     << "ratio"
+     << "  fault\n";
+  for (const DriftRow& r : rows) {
+    std::string name = "node " + std::to_string(r.node);
+    if (graph != nullptr && r.node >= 0 && r.node < graph->size()) {
+      name = graph->node(r.node).desc.name;
+    }
+    os << "  " << std::left << std::setw(22) << name << std::setw(5)
+       << (r.proc == ProcKind::kCpu ? "cpu" : "gpu") << std::right << std::fixed
+       << std::setprecision(3) << std::setw(14) << r.predicted_us << std::setw(14)
+       << r.simulated_us << std::setprecision(6) << std::setw(10) << r.ratio;
+    os.unsetf(std::ios::fixed);
+    if (r.fault != FaultTag::kNone) {
+      os << "  " << FaultTagName(r.fault);
+    }
+    os << "\n";
+  }
+  os << std::fixed << std::setprecision(6);
+  os << "  aggregate: cpu " << cpu_ratio << ", gpu " << gpu_ratio << ", overall "
+     << overall_ratio << ", max |ratio-1| " << std::scientific << std::setprecision(3)
+     << max_abs_deviation << "\n";
+  return os.str();
+}
+
+}  // namespace ulayer::trace

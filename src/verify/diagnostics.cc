@@ -9,7 +9,7 @@ std::string DiagCodeId(DiagCode code) {
   // Keeping the group offset visible makes codes greppable and stable even
   // if groups grow past ten entries.
   const auto v = static_cast<uint16_t>(code);
-  const char prefix = v < 100 ? 'G' : v < 200 ? 'P' : v < 300 ? 'C' : 'Q';
+  const char prefix = v < 100 ? 'G' : v < 200 ? 'P' : v < 300 ? 'C' : v < 400 ? 'Q' : 'T';
   std::ostringstream os;
   os << prefix;
   if (v < 10) {
@@ -85,6 +85,18 @@ std::string_view DiagCodeName(DiagCode code) {
       return "quant-scale-invalid";
     case DiagCode::kQuantZeroPointRange:
       return "quant-zero-point-range";
+    case DiagCode::kTraceNotEnabled:
+      return "trace-not-enabled";
+    case DiagCode::kTraceSpanInvalid:
+      return "trace-span-invalid";
+    case DiagCode::kTraceOverlap:
+      return "trace-overlap";
+    case DiagCode::kTraceBusyMismatch:
+      return "trace-busy-mismatch";
+    case DiagCode::kTraceSyncMismatch:
+      return "trace-sync-mismatch";
+    case DiagCode::kTraceDrift:
+      return "trace-drift";
   }
   return "unknown";
 }

@@ -13,7 +13,8 @@
 namespace ulayer {
 
 // Stable diagnostic codes. Grouped by prefix: G = graph structure,
-// P = plan structure, C = execution config, Q = quantization parameters.
+// P = plan structure, C = execution config, Q = quantization parameters,
+// T = run-trace invariants.
 enum class DiagCode : uint16_t {
   // --- Graph (G0xx) ---------------------------------------------------------
   kGraphEmpty = 1,          // G001: graph has no nodes.
@@ -69,6 +70,19 @@ enum class DiagCode : uint16_t {
   // --- Quantization (Q3xx) --------------------------------------------------
   kQuantScaleInvalid = 301,     // Q301: scale is zero, negative or not finite.
   kQuantZeroPointRange = 302,   // Q302: zero point outside [0, 255].
+
+  // --- Run trace (T4xx) -----------------------------------------------------
+  kTraceNotEnabled = 401,   // T401: verifying a trace that was never recorded.
+  kTraceSpanInvalid = 402,  // T402: malformed span (end < start, negative
+                            //       time/bytes/MACs, bad channel slice).
+  kTraceOverlap = 403,      // T403: two occupying spans overlap on one device
+                            //       (the simulated timelines are in-order).
+  kTraceBusyMismatch = 404, // T404: per-device occupying-span durations do
+                            //       not sum to the reported busy time.
+  kTraceSyncMismatch = 405, // T405: sync spans disagree with RunResult's
+                            //       sync_count.
+  kTraceDrift = 406,        // T406: fault-free kernel span deviates from its
+                            //       timing-model prediction (ratio != 1).
 };
 
 // "G004"-style stable identifier.

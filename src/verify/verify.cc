@@ -1,5 +1,6 @@
 #include "verify/verify.h"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <sstream>
@@ -527,6 +528,84 @@ int ExpectedSyncCount(const Graph& graph, const Plan& plan, const ExecConfig& co
     }
   }
   return syncs;
+}
+
+Report VerifyRunTrace(const trace::RunTrace& rt) {
+  Report out;
+  if (!rt.enabled) {
+    out.Error(DiagCode::kTraceNotEnabled, -1,
+              "run trace was not recorded (enable ExecConfig::trace or ULAYER_TRACE)");
+    return out;
+  }
+  // Durations accumulate once per Schedule call while span sums accumulate
+  // (start + dur) - start, which can differ by round-off; every comparison
+  // below therefore carries a 1e-9 relative tolerance.
+  const auto rel_close = [](double a, double b) {
+    return std::abs(a - b) <= 1e-9 * std::max({std::abs(a), std::abs(b), 1.0});
+  };
+
+  double busy_sum[2] = {0.0, 0.0};
+  int sync_spans = 0;
+  // The executor emits spans in issue order; per device that order is also
+  // time order (the simulated queues are in-order), so the overlap check is
+  // one pass over the previous occupying end time per device.
+  double prev_end[2] = {0.0, 0.0};
+  const bool fault_free = rt.fault_events.empty() && rt.slowdowns == 0;
+  for (size_t i = 0; i < rt.spans.size(); ++i) {
+    const trace::Span& sp = rt.spans[i];
+    const int d = sp.proc == ProcKind::kCpu ? 0 : 1;
+    std::ostringstream at;
+    at << trace::SpanKindName(sp.kind) << " span #" << i << " ["
+       << sp.start_us << ", " << sp.end_us << ")";
+    if (!(sp.end_us >= sp.start_us) || sp.start_us < 0.0 || !std::isfinite(sp.end_us) ||
+        sp.bytes < 0.0 || sp.macs < 0.0 || sp.overhead_us < 0.0 ||
+        (sp.kind == trace::SpanKind::kKernel && sp.c_end >= 0 && sp.c_begin > sp.c_end)) {
+      out.Error(DiagCode::kTraceSpanInvalid, sp.node, at.str() + " is malformed");
+      continue;
+    }
+    if (sp.kind == trace::SpanKind::kSync) {
+      ++sync_spans;
+    }
+    if (!trace::IsOccupying(sp.kind)) {
+      continue;
+    }
+    // Zero-width spans (fail-fast attempts) anchor at the request time, not
+    // the device-queue time: they occupy nothing and cannot overlap.
+    if (sp.duration_us() == 0.0) {
+      continue;
+    }
+    if (sp.start_us < prev_end[d] && !rel_close(sp.start_us, prev_end[d])) {
+      std::ostringstream os;
+      os << at.str() << " overlaps the previous "
+         << (d == 0 ? "cpu" : "gpu") << " span ending at " << prev_end[d];
+      out.Error(DiagCode::kTraceOverlap, sp.node, os.str());
+    }
+    prev_end[d] = std::max(prev_end[d], sp.end_us);
+    busy_sum[d] += sp.duration_us();
+    if (fault_free && sp.kind == trace::SpanKind::kKernel && sp.predicted_us > 0.0 &&
+        !rel_close(sp.duration_us(), sp.predicted_us)) {
+      std::ostringstream os;
+      os << at.str() << " ran " << sp.duration_us() << "us against a fault-free prediction of "
+         << sp.predicted_us << "us (ratio " << sp.duration_us() / sp.predicted_us << ")";
+      out.Error(DiagCode::kTraceDrift, sp.node, os.str());
+    }
+  }
+  for (int d = 0; d < 2; ++d) {
+    const double reported = d == 0 ? rt.cpu_busy_us : rt.gpu_busy_us;
+    if (!rel_close(busy_sum[d], reported)) {
+      std::ostringstream os;
+      os << (d == 0 ? "cpu" : "gpu") << " occupying spans sum to " << busy_sum[d]
+         << "us but the run reported " << reported << "us busy";
+      out.Error(DiagCode::kTraceBusyMismatch, -1, os.str());
+    }
+  }
+  if (sync_spans != rt.sync_count) {
+    std::ostringstream os;
+    os << "trace has " << sync_spans << " sync spans but the run reported " << rt.sync_count
+       << " syncs";
+    out.Error(DiagCode::kTraceSyncMismatch, -1, os.str());
+  }
+  return out;
 }
 
 }  // namespace ulayer

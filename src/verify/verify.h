@@ -26,6 +26,7 @@
 #include "core/plan.h"
 #include "nn/graph.h"
 #include "quant/quantize.h"
+#include "trace/trace.h"
 #include "verify/diagnostics.h"
 
 namespace ulayer {
@@ -94,5 +95,14 @@ Report VerifyActivationQuantization(const Graph& graph, const std::vector<QuantP
 // step). Mirrors Executor::Run's accounting so tests can cross-check
 // RunResult::sync_count against the plan's structure.
 int ExpectedSyncCount(const Graph& graph, const Plan& plan, const ExecConfig& config);
+
+// Trace-invariant verifier (DESIGN.md Section 11, T4xx codes): on one device
+// occupying spans never overlap and their durations sum to the reported busy
+// time, sync spans agree with RunResult::sync_count, every span is
+// well-formed, and — fault-free — each kernel span matches its timing-model
+// prediction to 1e-9 relative tolerance. The trace must carry its run-level
+// ground truth (RunTrace::{cpu,gpu}_busy_us / sync_count), which the
+// executor fills in at the end of every traced run.
+Report VerifyRunTrace(const trace::RunTrace& rt);
 
 }  // namespace ulayer

@@ -571,5 +571,47 @@ TEST(ArenaTest, ArenaStaysCoherentAfterMidRunThrow) {
   EXPECT_DOUBLE_EQ(recovered.latency_us, want.latency_us);
 }
 
+// --- Zero steady-state allocations in Run() ----------------------------------
+
+// A warmed executor's timing-only RunInto must never touch the heap — for an
+// all-cooperative plan, with a fault injector firing (retries, backoff,
+// fallback), and with trace recording enabled. FaultInjector::ResetRun
+// rewinds the RNG and event log at the top of every run, so repeated runs
+// replay the identical fault trace and the warm-up runs size every vector.
+TEST(AllocationCountTest, SteadyStateRunIntoAllocatesNothing) {
+  ScopedThreads threads(1);
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+
+  for (const bool tracing : {false, true}) {
+    ExecConfig cfg = ExecConfig::AllF32();
+    cfg.cpu_threads = 1;
+    cfg.verify = false;  // VerifyPlan builds a fresh Report (allocates).
+    cfg.trace = tracing;
+    PreparedModel pm(m, cfg);
+    Executor ex(pm, MakeExynos7420());
+    const Plan plan = MakeHalfSplitPlan(m.graph);
+    ex.SetFaultPlan(fault::FaultPlan::Parse(
+        "seed=11;gpu.any@prob:0.4=timeout:100;gpu.kernel@call:2=enqueue-failed;"
+        "gpu.kernel@node:3=slow:1.7"));
+
+    RunResult r;
+    ex.RunInto(plan, nullptr, r);  // Warm-up: all capacity growth lands here.
+    ex.RunInto(plan, nullptr, r);
+    ASSERT_GT(r.degradation.retries + r.degradation.fallbacks, 0)
+        << "the spec must inject faults for this test to mean anything";
+    {
+      ScopedAllocCount counter;
+      ex.RunInto(plan, nullptr, r);
+      EXPECT_EQ(counter.count(), 0)
+          << "steady-state Run() must not allocate (trace=" << tracing << ")";
+    }
+    EXPECT_EQ(r.run_trace.enabled, tracing);
+    if (tracing) {
+      EXPECT_FALSE(r.run_trace.spans.empty());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ulayer

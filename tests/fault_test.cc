@@ -3,7 +3,10 @@
 // circuit breaker) and the runtime's degradation policy.
 #include "fault/fault.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -13,6 +16,7 @@
 #include "common/error.h"
 #include "core/runtime.h"
 #include "tensor/tensor.h"
+#include "trace/trace.h"
 #include "verify/verify.h"
 
 namespace ulayer {
@@ -278,6 +282,126 @@ TEST(FaultExecutorTest, RetriesAreBoundedAndCosted) {
   EXPECT_GT(r.latency_us, clean_us);
 }
 
+// --- Retry accounting audit (DESIGN.md Section 11) ---------------------------
+
+// A timed-out enqueue occupies the device over its window; the injector logs
+// that window as FaultEvent::charged_us. The run's gpu_busy_us must equal the
+// fault-free busy time plus exactly the sum of the charged windows — no
+// double-charging, no forgotten map-path timeouts.
+TEST(FaultExecutorTest, TimeoutsChargeTheGpuExactlyOnce) {
+  const Model m = MakeLeNet5();
+  ExecConfig cfg = ExecConfig::ProcessorFriendly();
+  cfg.fault_max_retries = 4;  // Enough headroom: every timeout is retried,
+                              // no fallback re-executes work on the CPU.
+  PreparedModel pm(m, cfg);
+  const SocSpec soc = MakeExynos7420();
+  // Cooperative steps exercise the zero-copy map path too — a GPU-only plan
+  // never maps, and the map-timeout charge was the historical bug.
+  const Plan plan = MakeHalfSplitPlan(m.graph);
+  Executor ex(pm, soc);
+  const double clean_gpu_busy = ex.Run(plan).gpu_busy_us;
+
+  ex.SetFaultPlan(FaultPlan::Parse("gpu.kernel@limit:2=timeout:150;gpu.map@limit:1=timeout:80"));
+  const RunResult r = ex.Run(plan);
+  EXPECT_EQ(r.degradation.fallbacks, 0) << "a fallback would re-time the work";
+  ASSERT_GT(r.degradation.faults_injected, 0);
+  double charged = 0.0;
+  for (const fault::FaultEvent& e : r.degradation.events) {
+    EXPECT_EQ(e.kind, FaultKind::kTimeout);
+    EXPECT_GT(e.charged_us, 0.0) << "timeouts occupy their window";
+    charged += e.charged_us;
+  }
+  EXPECT_DOUBLE_EQ(charged, 2 * 150.0 + 80.0);
+  EXPECT_NEAR(r.gpu_busy_us, clean_gpu_busy + charged, 1e-9 * r.gpu_busy_us)
+      << "busy time must grow by exactly the injector's charged windows";
+}
+
+// Fail-fast faults (enqueue-failed, map-failed, device-lost) never reach the
+// device: the injector charges nothing and gpu_busy_us stays bit-identical
+// to the fault-free run even though the schedule shifted under retries.
+TEST(FaultExecutorTest, FailFastFaultsChargeNoGpuTime) {
+  const Model m = MakeLeNet5();
+  ExecConfig cfg = ExecConfig::ProcessorFriendly();
+  cfg.fault_max_retries = 4;
+  PreparedModel pm(m, cfg);
+  const SocSpec soc = MakeExynos7420();
+  const Plan plan = MakeSingleProcessorPlan(m.graph, ProcKind::kGpu);
+  Executor ex(pm, soc);
+  const double clean_gpu_busy = ex.Run(plan).gpu_busy_us;
+
+  ex.SetFaultPlan(FaultPlan::Parse("gpu.kernel@limit:2=enqueue-failed;gpu.map@limit:1=map-failed"));
+  const RunResult r = ex.Run(plan);
+  EXPECT_EQ(r.degradation.fallbacks, 0);
+  ASSERT_GT(r.degradation.retries, 0);
+  for (const fault::FaultEvent& e : r.degradation.events) {
+    EXPECT_DOUBLE_EQ(e.charged_us, 0.0) << "fail-fast faults must not charge the device";
+  }
+  EXPECT_DOUBLE_EQ(r.gpu_busy_us, clean_gpu_busy)
+      << "retry losses are latency, never device occupancy";
+}
+
+// Regression for the pre-observability accounting bug: a CPU fallback used to
+// appear as two indistinguishable CPU kernel entries, silently dropping the
+// aborted GPU attempt. Under the committed CI fault spec, the trace must keep
+// per-device busy-time accounting coherent (the T401-T406 invariants) and tag
+// recovery work so it is distinguishable from planned work.
+TEST(FaultExecutorTest, BusySpanSumsHoldUnderTheCiFaultSpec) {
+  std::ifstream in(std::string(ULAYER_SOURCE_DIR) + "/scripts/ci_faults.spec");
+  if (!in) {
+    GTEST_SKIP() << "scripts/ci_faults.spec not reachable from the test binary";
+  }
+  std::string spec, line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') {
+      continue;
+    }
+    for (const char c : line) {
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+        spec += c;
+      }
+    }
+  }
+  ASSERT_FALSE(spec.empty());
+
+  const Model m = MakeGoogLeNet();
+  ULayerRuntime::Options opts;
+  opts.config = ExecConfig::ProcessorFriendly();
+  opts.config.trace = true;
+  opts.faults = FaultPlan::Parse(spec);
+  ULayerRuntime rt(m, MakeExynos7420(), opts);
+  const RunResult r = rt.Run();
+  ASSERT_TRUE(r.run_trace.enabled);
+  ASSERT_GT(r.degradation.faults_injected, 0);
+
+  const Report report = VerifyRunTrace(r.run_trace);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+
+  // Manual cross-check of the T404 invariant the verifier enforces: the
+  // occupying spans partition each device's busy time.
+  double busy[2] = {0.0, 0.0};
+  int failed_attempts = 0;
+  int fallbacks = 0;
+  for (const trace::Span& sp : r.run_trace.spans) {
+    if (trace::IsOccupying(sp.kind)) {
+      busy[sp.proc == ProcKind::kCpu ? 0 : 1] += sp.duration_us();
+    }
+    if (sp.fault == trace::FaultTag::kFailedAttempt) {
+      EXPECT_EQ(sp.kind, trace::SpanKind::kAttempt);
+      EXPECT_GE(sp.fault_event, 0) << "attempts link back to the injector log";
+      ++failed_attempts;
+    }
+    if (sp.fault == trace::FaultTag::kFallback && sp.kind == trace::SpanKind::kKernel) {
+      EXPECT_EQ(sp.proc, ProcKind::kCpu) << "fallback re-execution runs on the CPU";
+      ++fallbacks;
+    }
+  }
+  EXPECT_NEAR(busy[0], r.cpu_busy_us, 1e-9 * std::max(1.0, r.cpu_busy_us));
+  EXPECT_NEAR(busy[1], r.gpu_busy_us, 1e-9 * std::max(1.0, r.gpu_busy_us));
+  EXPECT_GT(failed_attempts, 0) << "the spec injects GPU failures";
+  EXPECT_EQ(fallbacks, static_cast<int>(r.degradation.fallbacks))
+      << "every fallback kernel is tagged, none double-counted";
+}
+
 TEST(FaultExecutorTest, DeviceLostTripsTheCircuitBreaker) {
   const Model m = MakeGoogLeNet();
   PreparedModel pm(m, ExecConfig::ProcessorFriendly());
@@ -289,9 +413,18 @@ TEST(FaultExecutorTest, DeviceLostTripsTheCircuitBreaker) {
   EXPECT_EQ(r.degradation.fallbacks, 1) << "the failing step falls back";
   EXPECT_GT(r.degradation.rerouted_steps, 0) << "the rest is rerouted";
   EXPECT_DOUBLE_EQ(r.gpu_busy_us, 0.0) << "fail-fast loss never occupies the GPU";
+  int failed_attempts = 0;
   for (const KernelTrace& t : r.trace) {
-    EXPECT_EQ(t.proc, ProcKind::kCpu);
+    if (t.tag == trace::FaultTag::kFailedAttempt) {
+      // The aborted GPU enqueue stays on the record, zero-width (fail-fast).
+      EXPECT_EQ(t.proc, ProcKind::kGpu);
+      EXPECT_DOUBLE_EQ(t.end_us, t.start_us);
+      ++failed_attempts;
+      continue;
+    }
+    EXPECT_EQ(t.proc, ProcKind::kCpu) << "all completed work ran on the CPU";
   }
+  EXPECT_EQ(failed_attempts, 1) << "one device-lost attempt, annotated";
 }
 
 TEST(FaultExecutorTest, FallbackDisabledThrowsTypedFault) {

@@ -29,6 +29,8 @@
 #include "io/io.h"
 #include "models/model.h"
 #include "soc/timing.h"
+#include "trace/chrome.h"
+#include "trace/metrics.h"
 #include "verify/verify.h"
 
 namespace {
@@ -63,6 +65,16 @@ Options:
                       gpu.kernel@call:3=enqueue-failed
                       seed=42;gpu.any@prob:0.1=timeout:500
                       gpu.kernel=slow:2.5
+  --trace-out <file>
+                    run a traced timing-only simulation (composes with
+                    --faults), check the trace invariants (T4xx codes) and
+                    write Chrome trace-event JSON to <file> — loadable in
+                    Perfetto (ui.perfetto.dev) or chrome://tracing
+  --metrics         as above, but aggregate three runs into a metrics
+                    registry and print it plus the predicted-vs-simulated
+                    drift table to stdout
+  --metrics-out <file>
+                    like --metrics, writing the registry as JSON to <file>
   -h, --help        this text
 )";
 
@@ -113,6 +125,9 @@ int main(int argc, char** argv) {
   std::string config_name = "f32";
   std::string faults_spec;
   bool run_faults = false;
+  std::string trace_out;
+  std::string metrics_out;
+  bool metrics = false;
   int cpu_threads = 0;
   bool l2p = false;
   bool print_plan = false;
@@ -155,6 +170,16 @@ int main(int argc, char** argv) {
     } else if (a.rfind("--faults=", 0) == 0) {
       faults_spec = a.substr(std::string("--faults=").size());
       run_faults = true;
+    } else if (a == "--trace-out") {
+      trace_out = next_arg(i, "--trace-out");
+    } else if (a.rfind("--trace-out=", 0) == 0) {
+      trace_out = a.substr(std::string("--trace-out=").size());
+    } else if (a == "--metrics") {
+      metrics = true;
+    } else if (a == "--metrics-out") {
+      metrics_out = next_arg(i, "--metrics-out");
+    } else if (a.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = a.substr(std::string("--metrics-out=").size());
     } else if (a == "--print-plan") {
       print_plan = true;
     } else if (a == "--graph-only") {
@@ -262,25 +287,80 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // --- Fault-injection simulation (--faults) ---------------------------------
-  if (run_faults) {
+  // --- Simulation (--faults / --trace-out / --metrics) -----------------------
+  const bool want_trace = !trace_out.empty() || metrics || !metrics_out.empty();
+  if (run_faults || want_trace) {
     fault::FaultPlan fault_plan;
-    try {
-      fault_plan = fault::FaultPlan::Parse(faults_spec);
-    } catch (const Error& e) {
-      std::cerr << "ulayer_verify: bad --faults spec: " << e.what() << "\n";
-      return 2;
+    if (run_faults) {
+      try {
+        fault_plan = fault::FaultPlan::Parse(faults_spec);
+      } catch (const Error& e) {
+        std::cerr << "ulayer_verify: bad --faults spec: " << e.what() << "\n";
+        return 2;
+      }
     }
     try {
+      config.trace = want_trace;
       PreparedModel prepared(model, config);
       Executor executor(prepared, soc);
-      executor.SetFaultPlan(std::move(fault_plan));
-      const RunResult r = executor.Run(plan);
-      std::cout << "fault simulation (" << source << ", plan " << plan_source << ", soc "
-                << soc.name << "): latency " << r.latency_us << " us\n"
-                << r.degradation.ToString();
+      if (run_faults) {
+        executor.SetFaultPlan(std::move(fault_plan));
+      }
+      RunResult r = executor.Run(plan);
+      if (run_faults) {
+        std::cout << "fault simulation (" << source << ", plan " << plan_source << ", soc "
+                  << soc.name << "): latency " << r.latency_us << " us\n"
+                  << r.degradation.ToString();
+      }
+      if (want_trace) {
+        const Report trace_report = VerifyRunTrace(r.run_trace);
+        std::cerr << "trace (" << source << ", plan " << plan_source << "): "
+                  << r.run_trace.spans.size() << " spans, " << trace_report.error_count()
+                  << " errors, " << trace_report.warning_count() << " warnings\n";
+        if (!trace_report.diagnostics().empty()) {
+          std::cerr << trace_report.ToString();
+        }
+        if (!trace_report.ok()) {
+          return 1;
+        }
+        if (!trace_out.empty()) {
+          trace::ChromeExportOptions opts;
+          opts.graph = &model.graph;
+          opts.model = source;
+          opts.soc = soc.name;
+          opts.config = config_name;
+          std::ofstream f(trace_out);
+          if (!f) {
+            UsageError("cannot write '" + trace_out + "'");
+          }
+          f << trace::ChromeTraceJson(r.run_trace, opts);
+          std::cerr << "trace written to " << trace_out << "\n";
+        }
+        if (metrics || !metrics_out.empty()) {
+          // Aggregate three runs — deterministic simulation, so the spread is
+          // zero, but the reuse path (RunInto) is the one CI exercises.
+          trace::MetricsRegistry registry;
+          registry.AddRun(r.run_trace);
+          for (int i = 0; i < 2; ++i) {
+            executor.RunInto(plan, nullptr, r);
+            registry.AddRun(r.run_trace);
+          }
+          if (metrics) {
+            std::cout << registry.ToString();
+            std::cout << trace::BuildDriftReport(r.run_trace).ToString(&model.graph);
+          }
+          if (!metrics_out.empty()) {
+            std::ofstream f(metrics_out);
+            if (!f) {
+              UsageError("cannot write '" + metrics_out + "'");
+            }
+            f << registry.ToJson();
+            std::cerr << "metrics written to " << metrics_out << "\n";
+          }
+        }
+      }
     } catch (const Error& e) {
-      std::cerr << "ulayer_verify: fault simulation failed ("
+      std::cerr << "ulayer_verify: simulation failed ("
                 << ErrorCodeName(e.code()) << "): " << e.what() << "\n";
       return 1;
     }
