@@ -130,6 +130,36 @@ void Conv2DQU8(const Tensor& input, const Tensor& filters, const Tensor& bias,
   }
 }
 
+// Frozen replica of the naive F16 GEMM: per-output-element, ascending-k Half
+// accumulation. Bit-identical to the current kernels::GemmF16, but embedded
+// so the via_f16 comparison keeps a fixed baseline when the live kernel is
+// optimized — before this replica existed, Conv2DQU8ViaF16 below resolved to
+// the live GemmF16 and the reported "speedup" was a self-comparison
+// (~1.006x, noise).
+void GemmF16(const Half* a, const Half* b, Half* c, int64_t m, int64_t n, int64_t k,
+             const Half* bias, bool relu) {
+  const Half zero(0.0f);
+  parallel::ParallelFor(
+      0, m, parallel::GrainForOps(static_cast<double>(n) * static_cast<double>(k)),
+      [&](int64_t i_begin, int64_t i_end) {
+        for (int64_t i = i_begin; i < i_end; ++i) {
+          Half* crow = c + i * n;
+          const Half b0 = bias != nullptr ? bias[i] : zero;
+          const Half* arow = a + i * k;
+          for (int64_t j = 0; j < n; ++j) {
+            Half acc = b0;
+            for (int64_t kk = 0; kk < k; ++kk) {
+              acc += arow[kk] * b[kk * n + j];
+            }
+            if (relu && acc < zero) {
+              acc = zero;
+            }
+            crow[j] = acc;
+          }
+        }
+      });
+}
+
 void Conv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
                      const Conv2DParams& p, Tensor& output) {
   const Shape& is = input.shape();
@@ -169,8 +199,8 @@ void Conv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const Tensor& b
                           });
     Im2ColF16(img16.data(), static_cast<int>(is.c), static_cast<int>(is.h),
               static_cast<int>(is.w), p, cols.data());
-    GemmF16(w16.data(), cols.data(), out16.data(), fs.n, spatial, k,
-            bias.empty() ? nullptr : bias16.data(), p.relu);
+    legacy::GemmF16(w16.data(), cols.data(), out16.data(), fs.n, spatial, k,
+                    bias.empty() ? nullptr : bias16.data(), p.relu);
     uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, 0, 0, 0);
     parallel::ParallelFor(0, static_cast<int64_t>(out16.size()), parallel::GrainForOps(1.0),
                           [&](int64_t b, int64_t e) {

@@ -1,0 +1,578 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/compute.h"
+#include "kernels/conv.h"
+#include "kernels/elementwise.h"
+#include "kernels/pool.h"
+#include "memory/shadow.h"
+#include "models/model.h"
+#include "parallel/thread_pool.h"
+
+namespace ulayer {
+namespace analysis {
+namespace {
+
+// PackBuffers / ScratchArena placement alignment (memory/arena.cc).
+constexpr int64_t kPoolAlignment = 64;
+
+std::string RangeStr(const AccessRange& r) {
+  return "[" + std::to_string(r.begin) + ", " + std::to_string(r.end) + ")";
+}
+
+std::string_view ProcName(ProcKind p) { return p == ProcKind::kCpu ? "cpu" : "gpu"; }
+
+// Sorts, drops empties and merges touching/overlapping ranges.
+std::vector<AccessRange> Normalize(std::vector<AccessRange> rs) {
+  rs.erase(std::remove_if(rs.begin(), rs.end(), [](const AccessRange& r) { return r.empty(); }),
+           rs.end());
+  std::sort(rs.begin(), rs.end(),
+            [](const AccessRange& a, const AccessRange& b) { return a.begin < b.begin; });
+  std::vector<AccessRange> out;
+  for (const AccessRange& r : rs) {
+    if (!out.empty() && r.begin <= out.back().end) {
+      out.back().end = std::max(out.back().end, r.end);
+    } else {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::vector<AccessRange> Shift(const std::vector<AccessRange>& rs, int64_t delta) {
+  std::vector<AccessRange> out;
+  out.reserve(rs.size());
+  for (const AccessRange& r : rs) {
+    out.push_back(AccessRange{r.begin + delta, r.end + delta});
+  }
+  return out;
+}
+
+// First intersection of two normalized range lists; empty range when disjoint.
+AccessRange FirstOverlap(const std::vector<AccessRange>& a, const std::vector<AccessRange>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const int64_t lo = std::max(a[i].begin, b[j].begin);
+    const int64_t hi = std::min(a[i].end, b[j].end);
+    if (lo < hi) {
+      return AccessRange{lo, hi};
+    }
+    if (a[i].end < b[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return AccessRange{};
+}
+
+// Every byte of normalized `inner` lies inside normalized `outer`.
+bool Contains(const std::vector<AccessRange>& outer, const std::vector<AccessRange>& inner) {
+  size_t i = 0;
+  for (const AccessRange& r : inner) {
+    while (i < outer.size() && outer[i].end < r.end) {
+      ++i;
+    }
+    if (i == outer.size() || r.begin < outer[i].begin || r.end > outer[i].end) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Equal(const std::vector<AccessRange>& a, const std::vector<AccessRange>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].begin != b[i].begin || a[i].end != b[i].end) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<memory::ShadowRange> ToShadow(const std::vector<AccessRange>& rs) {
+  std::vector<memory::ShadowRange> out;
+  out.reserve(rs.size());
+  for (const AccessRange& r : rs) {
+    out.push_back(memory::ShadowRange{r.begin, r.end});
+  }
+  return out;
+}
+
+// One kernel invocation the executor performs for a plan step: a
+// (node, processor, channel slice) triple. Non-degenerate cooperative steps
+// contribute two units; everything else (kSingle, kBranch, degenerate
+// cooperative) one full-range unit, mirroring Executor::RunImpl.
+struct Unit {
+  int node = -1;
+  ProcKind proc = ProcKind::kCpu;
+  int64_t c0 = 0;
+  int64_t c1 = 0;
+  AccessSpec spec;
+  // Pool-absolute normalized ranges, filled by ResolvePoolRanges.
+  std::vector<AccessRange> writes_abs;
+  std::vector<AccessRange> reads_abs;
+};
+
+struct UnitSet {
+  std::vector<Unit> units;
+  // barrier_prefix[k] = number of merge barriers (non-degenerate cooperative
+  // steps, whose end syncs both device timelines) among nodes [0, k).
+  std::vector<int> barrier_prefix;
+};
+
+UnitSet BuildUnits(const PreparedModel& pm, const Plan& plan, const AnalyzeOptions& opts) {
+  const Graph& g = pm.graph();
+  UnitSet us;
+  us.barrier_prefix.assign(static_cast<size_t>(g.size()) + 1, 0);
+  for (const Node& n : g.nodes()) {
+    bool barrier = false;
+    if (n.desc.kind != LayerKind::kInput) {
+      const NodeAssignment a = static_cast<size_t>(n.id) < plan.nodes.size()
+                                   ? plan.nodes[static_cast<size_t>(n.id)]
+                                   : NodeAssignment{};
+      const int64_t oc = n.out_shape.c;
+      const ResolvedSplit split = ResolveSplit(a, oc);
+      if (a.kind == StepKind::kCooperative && !split.cpu.empty() && !split.gpu.empty()) {
+        barrier = true;
+        us.units.push_back(Unit{n.id, ProcKind::kCpu, split.cpu.begin, split.cpu.end, {}, {}, {}});
+        us.units.push_back(Unit{n.id, ProcKind::kGpu, split.gpu.begin, split.gpu.end, {}, {}, {}});
+      } else {
+        const ProcKind proc = a.kind == StepKind::kCooperative
+                                  ? (split.gpu.empty() ? ProcKind::kCpu : ProcKind::kGpu)
+                                  : a.proc;
+        us.units.push_back(Unit{n.id, proc, 0, oc, {}, {}, {}});
+      }
+    }
+    us.barrier_prefix[static_cast<size_t>(n.id) + 1] =
+        us.barrier_prefix[static_cast<size_t>(n.id)] + (barrier ? 1 : 0);
+  }
+  for (Unit& u : us.units) {
+    u.spec = NodeAccessSpec(pm, u.node, u.proc, u.c0, u.c1);
+    if (opts.spec_transform) {
+      u.spec = opts.spec_transform(u.node, std::move(u.spec));
+    }
+  }
+  return us;
+}
+
+// Whether two units may overlap in time. The two halves of a cooperative
+// step always may. Across nodes i < j (node ids are topological, so no path
+// j -> i exists): they may overlap unless a graph path orders them, a merge
+// barrier in [i, j) syncs both devices between them, or both run on the same
+// in-order device queue.
+bool MayHappenInParallel(const Unit& u, const Unit& v,
+                         const std::vector<std::vector<bool>>& reach,
+                         const std::vector<int>& barrier_prefix) {
+  if (u.node == v.node) {
+    return true;
+  }
+  const size_t i = static_cast<size_t>(std::min(u.node, v.node));
+  const size_t j = static_cast<size_t>(std::max(u.node, v.node));
+  if (reach[i][j]) {
+    return false;
+  }
+  if (barrier_prefix[j] - barrier_prefix[i] > 0) {
+    return false;
+  }
+  return u.proc != v.proc;
+}
+
+// Validates layout shape/alignment/bounds (A602). Returns false when the
+// layout is too malformed to index safely.
+bool CheckLayout(const PreparedModel& pm, const MemoryLayout& layout, Report& report) {
+  const Graph& g = pm.graph();
+  const size_t nn = static_cast<size_t>(g.size());
+  if (layout.offsets.size() != nn || layout.bytes.size() != nn) {
+    report.Error(DiagCode::kPoolIntervalInvalid, -1,
+                 "layout offsets/bytes arrays do not match the graph size");
+    return false;
+  }
+  bool indexable = true;
+  for (const Node& n : g.nodes()) {
+    const size_t id = static_cast<size_t>(n.id);
+    const int64_t bytes = layout.bytes[id];
+    const int64_t expect =
+        n.desc.kind == LayerKind::kInput
+            ? 0
+            : n.out_shape.NumElements() * DTypeSize(pm.ActivationDType(n.id));
+    if (bytes != expect) {
+      report.Error(DiagCode::kPoolIntervalInvalid, n.id,
+                   "pool interval holds " + std::to_string(bytes) +
+                       " bytes but the activation needs " + std::to_string(expect));
+      indexable = false;
+      continue;
+    }
+    if (bytes == 0) {
+      continue;
+    }
+    const int64_t off = layout.offsets[id];
+    if (off < 0 || off + bytes > layout.pool_bytes) {
+      report.Error(DiagCode::kPoolIntervalInvalid, n.id,
+                   "pool interval " + RangeStr(AccessRange{off, off + bytes}) +
+                       " escapes the pool of " + std::to_string(layout.pool_bytes) + " bytes");
+      indexable = false;
+    } else if (off % kPoolAlignment != 0) {
+      report.Error(DiagCode::kPoolIntervalInvalid, n.id,
+                   "pool offset " + std::to_string(off) + " is not " +
+                       std::to_string(kPoolAlignment) + "-byte aligned");
+    }
+  }
+  return indexable;
+}
+
+// Re-proves the pool-sharing rule from the final offsets (A601): buffers of
+// producers i < j may overlap only when every use of i (producer and all
+// consumers, plus the virtual after-the-loop read of the graph output)
+// happens-before j along graph edges.
+void CheckPoolSharing(const PreparedModel& pm, const MemoryLayout& layout,
+                      const std::vector<std::vector<bool>>& reach, Report& report) {
+  const Graph& g = pm.graph();
+  std::vector<std::vector<int>> consumers(static_cast<size_t>(g.size()));
+  for (const Node& n : g.nodes()) {
+    for (const int in : n.inputs) {
+      consumers[static_cast<size_t>(in)].push_back(n.id);
+    }
+  }
+  const auto happens_before = [&](int u, int j) {
+    return u < g.size() && reach[static_cast<size_t>(u)][static_cast<size_t>(j)];
+  };
+  for (int i = 0; i < g.size(); ++i) {
+    const int64_t ib = layout.bytes[static_cast<size_t>(i)];
+    if (ib == 0) {
+      continue;
+    }
+    const int64_t io = layout.offsets[static_cast<size_t>(i)];
+    for (int j = i + 1; j < g.size(); ++j) {
+      const int64_t jb = layout.bytes[static_cast<size_t>(j)];
+      if (jb == 0) {
+        continue;
+      }
+      const int64_t jo = layout.offsets[static_cast<size_t>(j)];
+      if (io + ib <= jo || jo + jb <= io) {
+        continue;  // Disjoint intervals.
+      }
+      bool safe = happens_before(i, j) && i != g.OutputId();
+      if (safe) {
+        for (const int c : consumers[static_cast<size_t>(i)]) {
+          if (!happens_before(c, j)) {
+            safe = false;
+            break;
+          }
+        }
+      }
+      if (!safe) {
+        report.Error(DiagCode::kLivenessUseAfterReassign, j,
+                     "pool bytes of node " + std::to_string(i) + " " +
+                         RangeStr(AccessRange{io, io + ib}) + " are reassigned to node " +
+                         std::to_string(j) + " " + RangeStr(AccessRange{jo, jo + jb}) +
+                         " while a step may still read the previous occupant");
+      }
+    }
+  }
+}
+
+// Per-unit spec checks: A703 (missing), static A503 (declared writes vs the
+// unit's channel slice), A603 (scratch demand vs reservation), A7xx loop
+// checks, and the pool-absolute range resolution used by the race checks.
+void ResolveUnit(const PreparedModel& pm, const MemoryLayout& layout, Unit& u, Report& report) {
+  const Graph& g = pm.graph();
+  const Node& n = g.node(u.node);
+  if (!u.spec.has_spec) {
+    report.Error(DiagCode::kAccessSpecMissing, u.node,
+                 std::string(LayerKindName(n.desc.kind)) +
+                     " node has no AccessSpec: nothing to prove about its memory accesses");
+    return;
+  }
+  const int64_t elem = DTypeSize(pm.ActivationDType(u.node));
+  const std::vector<AccessRange> slice =
+      Normalize(ChannelSliceRanges(n.out_shape, elem, u.c0, u.c1));
+  const std::vector<AccessRange> writes = Normalize(u.spec.writes);
+  if (!Contains(slice, writes)) {
+    report.Error(DiagCode::kWriteOutsideSlice, u.node,
+                 std::string(ProcName(u.proc)) + " slice [" + std::to_string(u.c0) + ", " +
+                     std::to_string(u.c1) + ") declares writes outside its output channel range");
+  }
+  if (u.spec.scratch_bytes > layout.scratch_bytes) {
+    report.Error(DiagCode::kScratchOverflow, u.node,
+                 "declared scratch demand " + std::to_string(u.spec.scratch_bytes) +
+                     " exceeds the planned arena reservation of " +
+                     std::to_string(layout.scratch_bytes) + " bytes");
+  }
+  CheckSpecLoops(u.spec, u.node, report);
+
+  u.writes_abs = Shift(writes, layout.offsets[static_cast<size_t>(u.node)]);
+  std::vector<AccessRange> reads;
+  const size_t n_reads = std::min(u.spec.reads.size(), n.inputs.size());
+  for (size_t i = 0; i < n_reads; ++i) {
+    const int in = n.inputs[i];
+    if (g.node(in).desc.kind == LayerKind::kInput) {
+      continue;  // The network input is an owning tensor outside the pool.
+    }
+    const std::vector<AccessRange> r = Normalize(u.spec.reads[i]);
+    const int64_t in_bytes = layout.bytes[static_cast<size_t>(in)];
+    if (!Contains({AccessRange{0, in_bytes}}, r)) {
+      report.Error(DiagCode::kPoolIntervalInvalid, u.node,
+                   "declared read of input " + std::to_string(in) +
+                       " exceeds that buffer's " + std::to_string(in_bytes) + " bytes");
+      continue;
+    }
+    const std::vector<AccessRange> shifted = Shift(r, layout.offsets[static_cast<size_t>(in)]);
+    reads.insert(reads.end(), shifted.begin(), shifted.end());
+  }
+  u.reads_abs = Normalize(reads);
+}
+
+void CheckRaces(const UnitSet& us, const std::vector<std::vector<bool>>& reach, Report& report) {
+  for (size_t a = 0; a < us.units.size(); ++a) {
+    for (size_t b = a + 1; b < us.units.size(); ++b) {
+      const Unit& u = us.units[a];
+      const Unit& v = us.units[b];
+      if (!MayHappenInParallel(u, v, reach, us.barrier_prefix)) {
+        continue;
+      }
+      const AccessRange ww = FirstOverlap(u.writes_abs, v.writes_abs);
+      if (!ww.empty()) {
+        report.Error(DiagCode::kRaceWriteOverlap, v.node,
+                     "nodes " + std::to_string(u.node) + " (" + std::string(ProcName(u.proc)) +
+                         ") and " + std::to_string(v.node) + " (" +
+                         std::string(ProcName(v.proc)) +
+                         ") may run concurrently and both write pool bytes " + RangeStr(ww));
+      }
+      const AccessRange wr = FirstOverlap(u.writes_abs, v.reads_abs);
+      if (!wr.empty()) {
+        report.Error(DiagCode::kRaceWriteReadOverlap, v.node,
+                     "node " + std::to_string(u.node) + " (" + std::string(ProcName(u.proc)) +
+                         ") may write pool bytes " + RangeStr(wr) + " while node " +
+                         std::to_string(v.node) + " (" + std::string(ProcName(v.proc)) +
+                         ") reads them");
+      }
+      const AccessRange rw = FirstOverlap(v.writes_abs, u.reads_abs);
+      if (!rw.empty()) {
+        report.Error(DiagCode::kRaceWriteReadOverlap, u.node,
+                     "node " + std::to_string(v.node) + " (" + std::string(ProcName(v.proc)) +
+                         ") may write pool bytes " + RangeStr(rw) + " while node " +
+                         std::to_string(u.node) + " (" + std::string(ProcName(u.proc)) +
+                         ") reads them");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AccessSpec NodeAccessSpec(const PreparedModel& pm, int id, ProcKind proc, int64_t c0,
+                          int64_t c1) {
+  const Graph& g = pm.graph();
+  const Node& n = g.node(id);
+  const ExecConfig& cfg = pm.config();
+  const DType storage = cfg.storage;
+  const Shape in_shape = n.inputs.empty() ? n.out_shape : g.node(n.inputs[0]).out_shape;
+  switch (n.desc.kind) {
+    case LayerKind::kInput:
+      return AccessSpec{};
+    case LayerKind::kConv:
+    case LayerKind::kFullyConnected:
+      return Conv2DAccessSpec(storage, cfg.ComputeFor(proc), cfg.per_channel_weights, in_shape,
+                              FilterShape(g, n), n.desc.conv, n.out_shape, c0, c1);
+    case LayerKind::kDepthwiseConv:
+      return DepthwiseConv2DAccessSpec(storage, in_shape, n.desc.conv, n.out_shape, c0, c1);
+    case LayerKind::kPool:
+      return Pool2DAccessSpec(storage, in_shape, n.desc.pool, n.out_shape, c0, c1);
+    case LayerKind::kGlobalAvgPool:
+      return GlobalAvgPoolAccessSpec(storage, in_shape, n.out_shape, c0, c1);
+    case LayerKind::kRelu:
+      return ReluAccessSpec(storage, n.out_shape, c0, c1);
+    case LayerKind::kLrn:
+      return LrnAccessSpec(storage, n.out_shape, n.desc.lrn, c0, c1);
+    case LayerKind::kConcat: {
+      std::vector<Shape> in_shapes;
+      in_shapes.reserve(n.inputs.size());
+      for (const int in : n.inputs) {
+        in_shapes.push_back(g.node(in).out_shape);
+      }
+      return ConcatAccessSpec(in_shapes, storage, n.out_shape);
+    }
+    case LayerKind::kEltwiseAdd:
+      return EltwiseAddAccessSpec(storage, n.out_shape, c0, c1);
+    case LayerKind::kSoftmax:
+      return SoftmaxAccessSpec(storage, n.out_shape);
+  }
+  return AccessSpec{};
+}
+
+void CheckSpecLoops(const AccessSpec& spec, int node_id, Report& report) {
+  std::vector<AccessRange> coverage;
+  bool has_write_loops = false;
+  for (size_t li = 0; li < spec.loops.size(); ++li) {
+    const LoopSpec& loop = spec.loops[li];
+    const std::string tag = "loop " + std::to_string(li);
+    if (loop.end <= loop.begin || loop.bases.empty() || loop.iter_bytes == 0) {
+      continue;  // Writes nothing.
+    }
+    if (loop.grain <= 0 || loop.stride_bytes < 0 || loop.iter_bytes < 0) {
+      report.Error(DiagCode::kChunkCoverageGap, node_id,
+                   tag + ": invalid parameters (grain " + std::to_string(loop.grain) +
+                       ", stride " + std::to_string(loop.stride_bytes) + ", iter " +
+                       std::to_string(loop.iter_bytes) + ")");
+      continue;
+    }
+    // An iteration that writes less than its stride leaves holes between
+    // consecutive iterations: the chunk union cannot equal any contiguous
+    // declared write set.
+    if (!loop.writes_scratch && loop.end - loop.begin > 1 &&
+        loop.iter_bytes < loop.stride_bytes) {
+      report.Error(DiagCode::kChunkCoverageGap, node_id,
+                   tag + ": iterations write " + std::to_string(loop.iter_bytes) +
+                       " bytes at stride " + std::to_string(loop.stride_bytes) +
+                       ", leaving gaps inside the declared write set");
+    }
+    const int64_t chunks = parallel::ChunkCount(loop.begin, loop.end, loop.grain);
+    const int64_t total = chunks * static_cast<int64_t>(loop.bases.size());
+    if (total > (int64_t{1} << 22)) {
+      report.Warn(DiagCode::kChunkWriteOverlap, node_id,
+                  tag + ": " + std::to_string(total) +
+                      " chunk envelopes exceed the enumeration budget; disjointness unproven");
+      continue;
+    }
+    // Envelope of each (chunk, base): [base + first*stride, base +
+    // last*stride + iter). Exact for the affine model when iter <= stride;
+    // iter > stride makes adjacent iterations (and thus adjacent chunks)
+    // overlap, which this check reports.
+    struct Envelope {
+      int64_t begin;
+      int64_t end;
+      int64_t chunk;
+    };
+    std::vector<Envelope> envs;
+    envs.reserve(static_cast<size_t>(total));
+    for (int64_t x = 0; x < chunks; ++x) {
+      const parallel::ChunkRange cr = parallel::ChunkBounds(loop.begin, loop.end, loop.grain, x);
+      for (const int64_t base : loop.bases) {
+        envs.push_back(Envelope{base + cr.begin * loop.stride_bytes,
+                                base + (cr.end - 1) * loop.stride_bytes + loop.iter_bytes, x});
+      }
+    }
+    std::sort(envs.begin(), envs.end(), [](const Envelope& a, const Envelope& b) {
+      return a.begin != b.begin ? a.begin < b.begin : a.chunk < b.chunk;
+    });
+    // Sweep with an open list: any two open envelopes from different chunks
+    // intersect. Legit specs have zero overlap, so the list stays short.
+    std::vector<const Envelope*> open;
+    bool flagged = false;
+    for (const Envelope& e : envs) {
+      open.erase(std::remove_if(open.begin(), open.end(),
+                                [&](const Envelope* o) { return o->end <= e.begin; }),
+                 open.end());
+      for (const Envelope* o : open) {
+        if (o->chunk != e.chunk) {
+          report.Error(DiagCode::kChunkWriteOverlap, node_id,
+                       tag + ": chunks " + std::to_string(o->chunk) + " and " +
+                           std::to_string(e.chunk) + " both write bytes " +
+                           RangeStr(AccessRange{e.begin, std::min(o->end, e.end)}));
+          flagged = true;
+          break;
+        }
+      }
+      if (flagged) {
+        break;
+      }
+      open.push_back(&e);
+    }
+    if (!loop.writes_scratch) {
+      has_write_loops = true;
+      for (const int64_t base : loop.bases) {
+        coverage.push_back(AccessRange{base + loop.begin * loop.stride_bytes,
+                                       base + (loop.end - 1) * loop.stride_bytes +
+                                           loop.iter_bytes});
+      }
+    }
+  }
+  if (has_write_loops && !Equal(Normalize(coverage), Normalize(spec.writes))) {
+    report.Error(DiagCode::kChunkCoverageGap, node_id,
+                 "the union of the declared loop writes does not equal the declared write set");
+  }
+}
+
+Report AnalyzePlan(const PreparedModel& pm, const Plan& plan, const MemoryLayout& layout,
+                   const AnalyzeOptions& opts) {
+  Report report;
+  if (!CheckLayout(pm, layout, report)) {
+    return report;
+  }
+  const std::vector<std::vector<bool>> reach = BuildReachability(pm.graph());
+  CheckPoolSharing(pm, layout, reach, report);
+  UnitSet us = BuildUnits(pm, plan, opts);
+  for (Unit& u : us.units) {
+    ResolveUnit(pm, layout, u, report);
+  }
+  CheckRaces(us, reach, report);
+  return report;
+}
+
+Report AnalyzePlan(const PreparedModel& pm, const Plan& plan, const AnalyzeOptions& opts) {
+  return AnalyzePlan(pm, plan, BuildMemoryLayout(pm), opts);
+}
+
+Report CrossCheckSpecs(const PreparedModel& pm, const Plan& plan, const MemoryLayout& layout,
+                       const Tensor& f32_input, const AnalyzeOptions& opts) {
+  Report report;
+  if (!CheckLayout(pm, layout, report)) {
+    return report;
+  }
+  const Graph& g = pm.graph();
+  UnitSet us = BuildUnits(pm, plan, opts);
+  for (Unit& u : us.units) {
+    // Resolves pool-absolute ranges; static diagnostics land in the same
+    // report so a caller sees both views of an offending spec.
+    ResolveUnit(pm, layout, u, report);
+  }
+
+  std::vector<uint8_t> pool(static_cast<size_t>(layout.pool_bytes), 0);
+  std::vector<Tensor> act(static_cast<size_t>(g.size()));
+  for (const Node& n : g.nodes()) {
+    act[static_cast<size_t>(n.id)] =
+        n.desc.kind == LayerKind::kInput
+            ? pm.PrepareInput(f32_input)
+            : pm.MakeActivationView(n.id, pool.data() + layout.offsets[static_cast<size_t>(n.id)]);
+  }
+  memory::ScratchArena scratch;
+  scratch.Reserve(static_cast<size_t>(layout.scratch_bytes));
+
+  for (const Unit& u : us.units) {
+    if (!u.spec.has_spec) {
+      continue;  // Already reported (A703); cannot bound this kernel's writes.
+    }
+    const std::vector<memory::ShadowRange> allowed_writes =
+        memory::NormalizeRanges(ToShadow(u.writes_abs), layout.pool_bytes);
+    std::vector<AccessRange> rw = u.writes_abs;
+    rw.insert(rw.end(), u.reads_abs.begin(), u.reads_abs.end());
+    const std::vector<memory::ShadowRange> allowed_rw =
+        memory::NormalizeRanges(ToShadow(Normalize(std::move(rw))), layout.pool_bytes);
+
+    const uint64_t pre = memory::ChecksumOutside(pool.data(), layout.pool_bytes, allowed_writes);
+    memory::ShadowPoison(pool.data(), layout.pool_bytes, allowed_rw);
+    scratch.Reset();
+    ComputeNodeSlice(pm, u.node, u.proc, act, u.c0, u.c1, &scratch);
+    memory::ShadowUnpoison(pool.data(), layout.pool_bytes);
+    const uint64_t post = memory::ChecksumOutside(pool.data(), layout.pool_bytes, allowed_writes);
+    if (pre != post) {
+      report.Error(DiagCode::kWriteOutsideSlice, u.node,
+                   std::string(ProcName(u.proc)) + " kernel over slice [" +
+                       std::to_string(u.c0) + ", " + std::to_string(u.c1) +
+                       ") wrote pool bytes outside its declared write set");
+    }
+  }
+  return report;
+}
+
+}  // namespace analysis
+}  // namespace ulayer

@@ -167,7 +167,10 @@ int64_t NodeScratchBytes(const PreparedModel& pm, const Node& n) {
   const ExecConfig& cfg = pm.config();
   const Graph& g = pm.graph();
   const Shape& in_shape = g.node(n.inputs[0]).out_shape;
-  const Shape& filter_shape = pm.Filters(n.id).shape();
+  // Graph-derived filter shape: identical to pm.Filters(n.id).shape() when
+  // weights are materialized, but also available weight-free (the analyzer
+  // and ulayer_verify --analyze size layouts without weights).
+  const Shape filter_shape = FilterShape(g, n);
   // The plan decides at Run() time which processor (hence compute dtype)
   // executes the node; size for the worst case over both.
   int64_t bytes = 0;

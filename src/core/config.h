@@ -58,6 +58,18 @@ struct ExecConfig {
   // path (kept for one release as a byte-identical regression baseline).
   bool scratch_arena = true;
 
+  // Static memory-access analysis (src/analysis, DESIGN.md §12): at the first
+  // functional Run() of each plan, prove the A5xx/A6xx/A7xx invariants of the
+  // packed pool layout against the kernels' declared AccessSpecs and throw
+  // VerifyError on violation. Prepare-time only — the result is cached per
+  // plan fingerprint, so steady-state runs stay allocation-free and
+  // bit-identical. On by default in debug/sanitizer builds, off in release.
+#ifdef NDEBUG
+  bool analyze = false;
+#else
+  bool analyze = true;
+#endif
+
   // --- Fault recovery policy (DESIGN.md Section 10) -------------------------
   // A failed GPU enqueue is retried this many times with exponential backoff
   // before the executor falls back to the CPU.

@@ -4,8 +4,10 @@
 #include <cassert>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
+#include "analysis/analyzer.h"
 #include "common/error.h"
 #include "core/compute.h"
 #include "parallel/thread_pool.h"
@@ -112,45 +114,49 @@ void Executor::EnsureMemoryPlan() {
   if (mem_ready_) {
     return;
   }
-  const Graph& g = pm_.graph();
+  // Scratch sizing, liveness and the concurrency-safe pool packing live in
+  // core/memory_plan.cc so the static analyzer proves invariants about the
+  // exact layout the executor runs over.
+  mem_layout_ = BuildMemoryLayout(pm_);
+  scratch_.Reserve(static_cast<size_t>(mem_layout_.scratch_bytes));
+  act_pool_.assign(static_cast<size_t>(mem_layout_.pool_bytes), 0);
+  mem_ready_ = true;
+}
 
-  // Kernel scratch: worst case over single nodes (the arena is Reset between
-  // kernels, so peak use is one node's staging buffers).
-  int64_t scratch_bytes = 0;
-  for (const Node& n : g.nodes()) {
-    scratch_bytes = std::max(scratch_bytes, NodeScratchBytes(pm_, n));
+void Executor::EnsureAnalyzed(const Plan& plan) {
+  // FNV-1a over every plan field the analyzer's unit extraction consults, so
+  // a steady-state Run with an unchanged plan skips the analysis entirely
+  // (and allocates nothing).
+  uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  for (const NodeAssignment& a : plan.nodes) {
+    mix(static_cast<uint64_t>(a.kind));
+    mix(static_cast<uint64_t>(a.proc));
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(a.cpu_fraction));
+    std::memcpy(&bits, &a.cpu_fraction, sizeof(bits));
+    mix(bits);
+    std::memcpy(&bits, &a.gpu_fraction, sizeof(bits));
+    mix(bits);
+    mix(static_cast<uint64_t>(a.cpu_slice.begin));
+    mix(static_cast<uint64_t>(a.cpu_slice.end));
+    mix(static_cast<uint64_t>(a.gpu_slice.begin));
+    mix(static_cast<uint64_t>(a.gpu_slice.end));
   }
-  scratch_.Reserve(static_cast<size_t>(scratch_bytes));
-
-  // Activation liveness: node ids are topological, so act[i] must stay alive
-  // from its own step until its last consumer's step.
-  std::vector<int64_t> last_use(static_cast<size_t>(g.size()));
-  for (const Node& n : g.nodes()) {
-    last_use[static_cast<size_t>(n.id)] =
-        std::max(last_use[static_cast<size_t>(n.id)], static_cast<int64_t>(n.id));
-    for (int in : n.inputs) {
-      last_use[static_cast<size_t>(in)] =
-          std::max(last_use[static_cast<size_t>(in)], static_cast<int64_t>(n.id));
+  for (const BranchPlan& bp : plan.branch_plans) {
+    for (const ProcKind p : bp.assignment) {
+      mix(static_cast<uint64_t>(p) + 0x9e3779b9ull);
     }
   }
-  // The network output is read (cloned into RunResult) after the node loop.
-  last_use[static_cast<size_t>(g.OutputId())] = g.size();
-
-  std::vector<memory::BufferRequest> reqs(static_cast<size_t>(g.size()));
-  for (const Node& n : g.nodes()) {
-    memory::BufferRequest& r = reqs[static_cast<size_t>(n.id)];
-    r.live_begin = n.id;
-    r.live_end = last_use[static_cast<size_t>(n.id)];
-    // The input tensor stays an owning tensor (PrepareInput); bytes = 0
-    // keeps it out of the pool without perturbing the request indexing.
-    r.bytes = n.desc.kind == LayerKind::kInput
-                  ? 0
-                  : n.out_shape.NumElements() * DTypeSize(pm_.ActivationDType(n.id));
+  if (analyzed_ && analyzed_fp_ == h) {
+    return;
   }
-  const memory::BufferPlan plan = memory::PackBuffers(reqs);
-  act_pool_.assign(static_cast<size_t>(plan.pool_bytes), 0);
-  act_offsets_ = plan.offsets;
-  mem_ready_ = true;
+  ThrowIfErrors("memory-access analysis", analysis::AnalyzePlan(pm_, plan, mem_layout_));
+  analyzed_ = true;
+  analyzed_fp_ = h;
 }
 
 double Executor::ReadyTime(const Node& node, bool on_cpu, bool on_gpu, int* syncs,
@@ -374,6 +380,9 @@ void Executor::RunImpl(const Plan& plan, const Tensor* input, RunResult& out) {
   if (input != nullptr) {
     if (cfg.scratch_arena) {
       EnsureMemoryPlan();
+      if (cfg.analyze) {
+        EnsureAnalyzed(plan);
+      }
       scratch = &scratch_;
     }
     act.resize(static_cast<size_t>(g.size()));
@@ -383,7 +392,7 @@ void Executor::RunImpl(const Plan& plan, const Tensor* input, RunResult& out) {
         act[static_cast<size_t>(n.id)] =
             cfg.scratch_arena
                 ? pm_.MakeActivationView(
-                      n.id, act_pool_.data() + act_offsets_[static_cast<size_t>(n.id)])
+                      n.id, act_pool_.data() + mem_layout_.offsets[static_cast<size_t>(n.id)])
                 : pm_.MakeActivation(n.id);
       }
     }

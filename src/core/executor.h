@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/memory_plan.h"
 #include "core/plan.h"
 #include "core/prepared.h"
 #include "fault/fault.h"
@@ -152,6 +153,12 @@ class Executor {
   // once on the first functional Run().
   void EnsureMemoryPlan();
 
+  // Static memory-access analysis (ExecConfig::analyze, DESIGN.md §12): runs
+  // analysis::AnalyzePlan over the packed layout once per plan fingerprint,
+  // throwing VerifyError on A-series violations. A steady-state Run with an
+  // unchanged plan re-hashes the plan (allocation-free) and returns.
+  void EnsureAnalyzed(const Plan& plan);
+
   // Run body; RunInto wraps it so a mid-run throw leaves the executor
   // reusable.
   void RunImpl(const Plan& plan, const Tensor* input, RunResult& out);
@@ -164,11 +171,15 @@ class Executor {
   ucl::Context ctx_;
   std::unique_ptr<fault::FaultInjector> injector_;
 
-  // Steady-state memory plan (DESIGN.md Section 9).
+  // Steady-state memory plan (DESIGN.md Section 9), built by
+  // core/memory_plan.cc so the analyzer sees the identical layout.
   memory::ScratchArena scratch_;
-  std::vector<uint8_t> act_pool_;      // Shared activation storage.
-  std::vector<int64_t> act_offsets_;   // Per-node offset into act_pool_.
+  std::vector<uint8_t> act_pool_;  // Shared activation storage.
+  MemoryLayout mem_layout_;        // Offsets/bytes/liveness of act_pool_.
   bool mem_ready_ = false;
+  // Plan fingerprint of the last successful EnsureAnalyzed.
+  uint64_t analyzed_fp_ = 0;
+  bool analyzed_ = false;
 
   // Per-node completion state, reused across runs (capacity survives so a
   // steady-state RunInto never reallocates it).

@@ -1,0 +1,108 @@
+#include "core/memory_plan.h"
+
+#include <algorithm>
+
+#include "core/compute.h"
+#include "memory/arena.h"
+
+namespace ulayer {
+
+std::vector<std::vector<bool>> BuildReachability(const Graph& g) {
+  const size_t n = static_cast<size_t>(g.size());
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  // Node ids are topological, so one reverse sweep suffices:
+  // reach[i] = union over consumers c of ({c} | reach[c]).
+  for (int64_t i = static_cast<int64_t>(n) - 1; i >= 0; --i) {
+    std::vector<bool>& ri = reach[static_cast<size_t>(i)];
+    for (const int c : g.Consumers(static_cast<int>(i))) {
+      ri[static_cast<size_t>(c)] = true;
+      const std::vector<bool>& rc = reach[static_cast<size_t>(c)];
+      for (size_t j = 0; j < n; ++j) {
+        if (rc[j]) {
+          ri[j] = true;
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+MemoryLayout BuildMemoryLayout(const PreparedModel& pm) {
+  const Graph& g = pm.graph();
+  MemoryLayout layout;
+
+  layout.scratch_bytes = 0;
+  for (const Node& n : g.nodes()) {
+    layout.scratch_bytes = std::max(layout.scratch_bytes, NodeScratchBytes(pm, n));
+  }
+
+  // Liveness: act[i] must stay alive from its own step until its last
+  // consumer's step; the network output is read after the node loop.
+  layout.last_use.assign(static_cast<size_t>(g.size()), 0);
+  for (const Node& n : g.nodes()) {
+    layout.last_use[static_cast<size_t>(n.id)] =
+        std::max(layout.last_use[static_cast<size_t>(n.id)], static_cast<int64_t>(n.id));
+    for (const int in : n.inputs) {
+      layout.last_use[static_cast<size_t>(in)] =
+          std::max(layout.last_use[static_cast<size_t>(in)], static_cast<int64_t>(n.id));
+    }
+  }
+  layout.last_use[static_cast<size_t>(g.OutputId())] = g.size();
+
+  std::vector<memory::BufferRequest> reqs(static_cast<size_t>(g.size()));
+  layout.bytes.assign(static_cast<size_t>(g.size()), 0);
+  for (const Node& n : g.nodes()) {
+    memory::BufferRequest& r = reqs[static_cast<size_t>(n.id)];
+    r.live_begin = n.id;
+    r.live_end = layout.last_use[static_cast<size_t>(n.id)];
+    // The input tensor stays an owning tensor (PrepareInput); bytes = 0
+    // keeps it out of the pool without perturbing the request indexing.
+    r.bytes = n.desc.kind == LayerKind::kInput
+                  ? 0
+                  : n.out_shape.NumElements() * DTypeSize(pm.ActivationDType(n.id));
+    layout.bytes[static_cast<size_t>(n.id)] = r.bytes;
+  }
+
+  // Concurrency-safe conflict rule: buffers of producers i < j may share
+  // bytes only if EVERY use u of buffer i (the producer itself plus all its
+  // consumers) has a strict graph path u -> j — then u's read is over before
+  // j's write can start on any device timeline. The virtual after-the-loop
+  // read of the graph output has no path anywhere, so the output buffer
+  // never shares.
+  const std::vector<std::vector<bool>> reach = BuildReachability(g);
+  std::vector<std::vector<int>> consumers(static_cast<size_t>(g.size()));
+  for (const Node& n : g.nodes()) {
+    for (const int in : n.inputs) {
+      consumers[static_cast<size_t>(in)].push_back(n.id);
+    }
+  }
+  const auto happens_before = [&](int64_t u, int64_t j) {
+    return u < static_cast<int64_t>(g.size()) &&
+           reach[static_cast<size_t>(u)][static_cast<size_t>(j)];
+  };
+  const auto conflict = [&](size_t a, size_t b) {
+    const size_t i = std::min(a, b);
+    const size_t j = std::max(a, b);
+    if (!happens_before(static_cast<int64_t>(i), static_cast<int64_t>(j))) {
+      return true;  // Producer i itself may still be running alongside j.
+    }
+    // Note c == j conflicts too (happens_before is strict): step j reading
+    // buffer i must not find its own output bytes there.
+    for (const int c : consumers[i]) {
+      if (!happens_before(c, static_cast<int64_t>(j))) {
+        return true;
+      }
+    }
+    if (static_cast<int>(i) == g.OutputId()) {
+      return true;  // Virtual read at step g.size().
+    }
+    return false;
+  };
+
+  const memory::BufferPlan plan = memory::PackBuffers(reqs, conflict);
+  layout.offsets = plan.offsets;
+  layout.pool_bytes = plan.pool_bytes;
+  return layout;
+}
+
+}  // namespace ulayer

@@ -1,0 +1,48 @@
+// Shared activation-pool layout planning (DESIGN.md §9 and §12).
+//
+// The executor and the static memory-access analyzer must agree byte-for-byte
+// on where every activation tensor lives inside the packed pool, so the
+// layout is built here, once, from the PreparedModel alone (weights need not
+// be materialized).
+//
+// Packing uses a CONCURRENCY-SAFE conflict rule, not plain liveness-interval
+// overlap: two buffers may share pool bytes only when every use of the
+// earlier one happens-before the later producer ALONG GRAPH EDGES. Interval
+// overlap alone is unsound here — node ids are topological, but a branch
+// plan executes independent branches concurrently, so a buffer whose
+// interval ended (by id order) can still be read while a concurrent branch
+// writes the bytes it would otherwise recycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/prepared.h"
+
+namespace ulayer {
+
+// reach[i][j] == true when node j is reachable from node i via one or more
+// consumer edges (strict: reach[i][i] is false unless the graph has a cycle,
+// which VerifyGraph rejects).
+std::vector<std::vector<bool>> BuildReachability(const Graph& g);
+
+struct MemoryLayout {
+  // Byte offset of each node's activation inside the pool (index = node id).
+  std::vector<int64_t> offsets;
+  // Pool bytes of each node's activation (0 for the input node, which stays
+  // an owning tensor outside the pool).
+  std::vector<int64_t> bytes;
+  // Last step (node id) that reads each activation; the graph output gets
+  // the virtual step g.size() (it is read after the node loop).
+  std::vector<int64_t> last_use;
+  int64_t pool_bytes = 0;
+  // Worst-case single-node kernel scratch demand (the arena is Reset between
+  // kernels, so the peak is one node's staging buffers).
+  int64_t scratch_bytes = 0;
+};
+
+// Builds the packed activation-pool layout and the scratch reservation for
+// `pm`. Deterministic; works without materialized weights.
+MemoryLayout BuildMemoryLayout(const PreparedModel& pm);
+
+}  // namespace ulayer

@@ -1,0 +1,38 @@
+#include "kernels/access_spec.h"
+
+#include "parallel/thread_pool.h"
+
+namespace ulayer {
+
+LoopSpec ElementwiseLoopSpec(int64_t elems, int64_t elem_bytes, int64_t base_bytes) {
+  LoopSpec loop;
+  loop.begin = 0;
+  loop.end = elems;
+  loop.grain = parallel::GrainForOps(1.0);
+  loop.stride_bytes = elem_bytes;
+  loop.iter_bytes = elem_bytes;
+  loop.bases = {base_bytes};
+  return loop;
+}
+
+std::vector<AccessRange> ChannelSliceRanges(const Shape& s, int64_t elem_bytes, int64_t c_begin,
+                                            int64_t c_end) {
+  std::vector<AccessRange> ranges;
+  ranges.reserve(static_cast<size_t>(s.n));
+  for (int64_t ni = 0; ni < s.n; ++ni) {
+    ranges.push_back(
+        AccessRange{s.Offset(ni, c_begin, 0, 0) * elem_bytes, s.Offset(ni, c_end, 0, 0) * elem_bytes});
+  }
+  return ranges;
+}
+
+std::vector<int64_t> BatchBases(const Shape& s, int64_t elem_bytes) {
+  std::vector<int64_t> bases;
+  bases.reserve(static_cast<size_t>(s.n));
+  for (int64_t ni = 0; ni < s.n; ++ni) {
+    bases.push_back(s.Offset(ni, 0, 0, 0) * elem_bytes);
+  }
+  return bases;
+}
+
+}  // namespace ulayer

@@ -567,4 +567,92 @@ int64_t Conv2DScratchBytes(DType storage, DType compute, const Shape& input_shap
   return 0;
 }
 
+AccessSpec Conv2DAccessSpec(DType storage, DType compute, bool per_channel,
+                            const Shape& input_shape, const Shape& filter_shape,
+                            const Conv2DParams& p, const Shape& out_shape, int64_t oc_begin,
+                            int64_t oc_end) {
+  oc_end = ResolveEnd(oc_end, out_shape.c);
+  const int64_t k = filter_shape.c * filter_shape.h * filter_shape.w;
+  const int64_t spatial = int64_t{out_shape.h} * out_shape.w;
+  const int64_t m = oc_end - oc_begin;
+  const int64_t out_elem = DTypeSize(storage);
+
+  AccessSpec spec;
+  spec.has_spec = true;
+  spec.writes = ChannelSliceRanges(out_shape, out_elem, oc_begin, oc_end);
+  // Dense conv/FC reads every input channel (im2col unfolds the full image).
+  spec.reads.push_back(
+      {AccessRange{0, input_shape.NumElements() * DTypeSize(storage)}});
+  spec.scratch_bytes = Conv2DScratchBytes(storage, compute, input_shape, filter_shape, p);
+
+  if (storage == DType::kF32 || storage == DType::kF16) {
+    // Im2Col fills scratch serially, then the GEMM row loop writes the output.
+    LoopSpec gemm = GemmWriteLoopSpec(storage, m, spatial, k, 0);
+    gemm.bases.clear();
+    for (int64_t ni = 0; ni < out_shape.n; ++ni) {
+      gemm.bases.push_back(out_shape.Offset(ni, oc_begin, 0, 0) * out_elem);
+    }
+    spec.loops.push_back(gemm);
+  } else if (compute == DType::kF16) {
+    // Via-F16 GPU path: the image-dequantize loop and the F16 GEMM write
+    // scratch (img16 / out16); only the final requantize loop touches the
+    // output tensor.
+    LoopSpec img =
+        ElementwiseLoopSpec(input_shape.c * input_shape.h * input_shape.w,
+                            int64_t{sizeof(Half)}, 0);
+    img.writes_scratch = true;
+    spec.loops.push_back(img);
+    LoopSpec gemm = GemmWriteLoopSpec(DType::kF16, m, spatial, k, 0);
+    gemm.writes_scratch = true;
+    spec.loops.push_back(gemm);
+    LoopSpec requant = ElementwiseLoopSpec(m * spatial, 1, 0);
+    requant.bases.clear();
+    for (int64_t ni = 0; ni < out_shape.n; ++ni) {
+      requant.bases.push_back(out_shape.Offset(ni, oc_begin, 0, 0));
+    }
+    spec.loops.push_back(requant);
+  } else if (per_channel) {
+    // Conv2DQU8PerChannel iterates absolute output channels with the
+    // row-tile-aligned grain; channel oc writes its spatial row.
+    LoopSpec loop;
+    loop.begin = oc_begin;
+    loop.end = oc_end;
+    loop.grain = RowTileGrain(static_cast<double>(k) * static_cast<double>(spatial));
+    loop.stride_bytes = spatial;
+    loop.iter_bytes = spatial;
+    loop.bases = BatchBases(out_shape, 1);
+    spec.loops.push_back(loop);
+  } else {
+    LoopSpec gemm = GemmWriteLoopSpec(DType::kQUInt8, m, spatial, k, 0);
+    gemm.bases.clear();
+    for (int64_t ni = 0; ni < out_shape.n; ++ni) {
+      gemm.bases.push_back(out_shape.Offset(ni, oc_begin, 0, 0));
+    }
+    spec.loops.push_back(gemm);
+  }
+  return spec;
+}
+
+AccessSpec DepthwiseConv2DAccessSpec(DType storage, const Shape& input_shape,
+                                     const Conv2DParams& p, const Shape& out_shape,
+                                     int64_t c_begin, int64_t c_end) {
+  c_end = ResolveEnd(c_end, out_shape.c);
+  const int64_t elem = DTypeSize(storage);
+  AccessSpec spec;
+  spec.has_spec = true;
+  spec.writes = ChannelSliceRanges(out_shape, elem, c_begin, c_end);
+  spec.reads.push_back(ChannelSliceRanges(input_shape, elem, c_begin, c_end));
+  LoopSpec loop;
+  loop.begin = c_begin;
+  loop.end = c_end;
+  loop.grain = parallel::GrainForOps(static_cast<double>(out_shape.h) *
+                                     static_cast<double>(out_shape.w) * p.kernel_h *
+                                     p.kernel_w);
+  loop.stride_bytes = out_shape.h * out_shape.w * elem;
+  loop.iter_bytes = out_shape.h * out_shape.w * elem;
+  loop.bases = BatchBases(out_shape, elem);
+  spec.loops.push_back(loop);
+  return spec;
+}
+
 }  // namespace ulayer

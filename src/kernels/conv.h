@@ -15,6 +15,7 @@
 // heap-allocate nothing.
 #pragma once
 
+#include "kernels/access_spec.h"
 #include "kernels/params.h"
 #include "memory/arena.h"
 #include "quant/half.h"
@@ -106,5 +107,25 @@ void DepthwiseConv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const 
 // dry run to size the arena.
 int64_t Conv2DScratchBytes(DType storage, DType compute, const Shape& input_shape,
                            const Shape& filter_shape, const Conv2DParams& p);
+
+// --- Declared access specifications (kernels/access_spec.h) -----------------
+
+// AccessSpec of one dense conv/FC call on output channels [oc_begin, oc_end)
+// under the given storage/compute dtypes. Mirrors the variant dispatch in
+// core/compute.cc (F32/F16 storage; QU8 storage with F16 compute = via-F16
+// GPU path; otherwise integer QU8, per-channel when `per_channel`). Ranges
+// are relative to each tensor's first byte; reads[0] covers the one
+// activation input (weights live outside the activation pool).
+AccessSpec Conv2DAccessSpec(DType storage, DType compute, bool per_channel,
+                            const Shape& input_shape, const Shape& filter_shape,
+                            const Conv2DParams& p, const Shape& out_shape, int64_t oc_begin,
+                            int64_t oc_end);
+
+// AccessSpec of one depthwise conv call: channel c of the output depends
+// only on channel c of the input, so both reads and writes cover exactly
+// channels [c_begin, c_end) of every batch.
+AccessSpec DepthwiseConv2DAccessSpec(DType storage, const Shape& input_shape,
+                                     const Conv2DParams& p, const Shape& out_shape,
+                                     int64_t c_begin, int64_t c_end);
 
 }  // namespace ulayer

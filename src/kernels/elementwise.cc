@@ -297,4 +297,91 @@ void Softmax(const Tensor& input, Tensor& output) {
   }
 }
 
+AccessSpec ReluAccessSpec(DType storage, const Shape& shape, int64_t c_begin, int64_t c_end) {
+  c_end = ResolveEnd(c_end, shape.c);
+  const int64_t elem = DTypeSize(storage);
+  AccessSpec spec;
+  spec.has_spec = true;
+  spec.writes = ChannelSliceRanges(shape, elem, c_begin, c_end);
+  spec.reads.push_back(ChannelSliceRanges(shape, elem, c_begin, c_end));
+  LoopSpec loop = ElementwiseLoopSpec((c_end - c_begin) * shape.h * shape.w, elem, 0);
+  loop.bases.clear();
+  for (int64_t ni = 0; ni < shape.n; ++ni) {
+    loop.bases.push_back(shape.Offset(ni, c_begin, 0, 0) * elem);
+  }
+  spec.loops.push_back(loop);
+  return spec;
+}
+
+AccessSpec LrnAccessSpec(DType storage, const Shape& shape, const LrnParams& p, int64_t c_begin,
+                         int64_t c_end) {
+  c_end = ResolveEnd(c_end, shape.c);
+  const int64_t elem = DTypeSize(storage);
+  const int64_t half_size = p.local_size / 2;
+  AccessSpec spec;
+  spec.has_spec = true;
+  spec.writes = ChannelSliceRanges(shape, elem, c_begin, c_end);
+  spec.reads.push_back(ChannelSliceRanges(shape, elem,
+                                          std::max<int64_t>(0, c_begin - half_size),
+                                          std::min<int64_t>(shape.c, c_end + half_size)));
+  // LrnCore parallelizes over rows: iteration hi writes row hi of every
+  // output channel in [c_begin, c_end) of every batch — one base per (ni, c).
+  LoopSpec loop;
+  loop.begin = 0;
+  loop.end = shape.h;
+  loop.grain = parallel::GrainForOps(static_cast<double>(shape.w) *
+                                     static_cast<double>(c_end - c_begin) * p.local_size);
+  loop.stride_bytes = shape.w * elem;
+  loop.iter_bytes = shape.w * elem;
+  for (int64_t ni = 0; ni < shape.n; ++ni) {
+    for (int64_t c = c_begin; c < c_end; ++c) {
+      loop.bases.push_back(shape.Offset(ni, c, 0, 0) * elem);
+    }
+  }
+  spec.loops.push_back(loop);
+  return spec;
+}
+
+AccessSpec ConcatAccessSpec(const std::vector<Shape>& input_shapes, DType storage,
+                            const Shape& out_shape) {
+  const int64_t elem = DTypeSize(storage);
+  AccessSpec spec;
+  spec.has_spec = true;
+  spec.writes = {AccessRange{0, out_shape.NumElements() * elem}};
+  spec.reads.reserve(input_shapes.size());
+  for (const Shape& is : input_shapes) {
+    spec.reads.push_back({AccessRange{0, is.NumElements() * elem}});
+  }
+  return spec;  // Serial: no parallel loops.
+}
+
+AccessSpec EltwiseAddAccessSpec(DType storage, const Shape& shape, int64_t c_begin,
+                                int64_t c_end) {
+  c_end = ResolveEnd(c_end, shape.c);
+  const int64_t elem = DTypeSize(storage);
+  AccessSpec spec;
+  spec.has_spec = true;
+  spec.writes = ChannelSliceRanges(shape, elem, c_begin, c_end);
+  spec.reads.push_back(ChannelSliceRanges(shape, elem, c_begin, c_end));
+  spec.reads.push_back(ChannelSliceRanges(shape, elem, c_begin, c_end));
+  LoopSpec loop = ElementwiseLoopSpec((c_end - c_begin) * shape.h * shape.w, elem, 0);
+  loop.bases.clear();
+  for (int64_t ni = 0; ni < shape.n; ++ni) {
+    loop.bases.push_back(shape.Offset(ni, c_begin, 0, 0) * elem);
+  }
+  spec.loops.push_back(loop);
+  return spec;
+}
+
+AccessSpec SoftmaxAccessSpec(DType storage, const Shape& shape) {
+  AccessSpec spec;
+  spec.has_spec = true;
+  // Output is always F32 (PreparedModel::ActivationDType); input is read
+  // fully in the storage dtype. Serial: no parallel loops. The QU8/F16
+  // dequantize temp is a per-call heap tensor, not pool memory.
+  spec.writes = {AccessRange{0, shape.NumElements() * int64_t{4}}};
+  spec.reads.push_back({AccessRange{0, shape.NumElements() * DTypeSize(storage)}});
+  return spec;
+}
+
 }  // namespace ulayer

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "kernels/access_spec.h"
 #include "kernels/params.h"
 #include "tensor/tensor.h"
 
@@ -46,5 +47,31 @@ void EltwiseAddQU8(const Tensor& a, const Tensor& b, Tensor& output, bool relu,
 // Softmax across channels (per (n, h, w) position). QUInt8 input is
 // dequantized; output of all variants is F32 class probabilities.
 void Softmax(const Tensor& input, Tensor& output);
+
+// --- Declared access specifications (kernels/access_spec.h) -----------------
+
+// ReLU as the executor runs it (core/compute.cc): copy channels
+// [c_begin, c_end) input -> output, then clamp in place. Reads and writes
+// the channel slice symmetrically.
+AccessSpec ReluAccessSpec(DType storage, const Shape& shape, int64_t c_begin, int64_t c_end);
+
+// LRN writes channels [c_begin, c_end) but reads the input channel window
+// [c_begin - local_size/2, c_end + local_size/2) clamped to [0, C).
+AccessSpec LrnAccessSpec(DType storage, const Shape& shape, const LrnParams& p, int64_t c_begin,
+                         int64_t c_end);
+
+// Concat is serial and never channel-split: reads every input fully, writes
+// the output fully.
+AccessSpec ConcatAccessSpec(const std::vector<Shape>& input_shapes, DType storage,
+                            const Shape& out_shape);
+
+// Element-wise add reads channels [c_begin, c_end) of both operands and
+// writes the same slice of the output.
+AccessSpec EltwiseAddAccessSpec(DType storage, const Shape& shape, int64_t c_begin,
+                                int64_t c_end);
+
+// Softmax is serial and never channel-split; its output is always F32
+// (see PreparedModel::ActivationDType).
+AccessSpec SoftmaxAccessSpec(DType storage, const Shape& shape);
 
 }  // namespace ulayer

@@ -203,4 +203,16 @@ void GemmQU8(const uint8_t* a, int32_t a_zp, const uint8_t* b, int32_t b_zp, uin
       });
 }
 
+LoopSpec GemmWriteLoopSpec(DType dtype, int64_t m, int64_t n, int64_t k, int64_t c_base_bytes) {
+  const double ops = static_cast<double>(n) * static_cast<double>(k);
+  LoopSpec loop;
+  loop.begin = 0;
+  loop.end = m;
+  loop.grain = dtype == DType::kQUInt8 ? RowTileGrain(ops) : parallel::GrainForOps(ops);
+  loop.stride_bytes = n * DTypeSize(dtype);
+  loop.iter_bytes = n * DTypeSize(dtype);
+  loop.bases = {c_base_bytes};
+  return loop;
+}
+
 }  // namespace ulayer

@@ -7,8 +7,10 @@
 
 #include <cstdint>
 
+#include "kernels/access_spec.h"
 #include "quant/half.h"
 #include "quant/quantize.h"
+#include "tensor/dtype.h"
 
 namespace ulayer {
 
@@ -44,5 +46,12 @@ void GemmQU8(const uint8_t* a, int32_t a_zp, const uint8_t* b, int32_t b_zp, uin
              int32_t c_zp, const RequantScale& rs, int64_t m, int64_t n, int64_t k,
              const int32_t* bias = nullptr, bool relu = false,
              const int32_t* a_rowsum = nullptr);
+
+// Declared write loop of the GEMMs above (see kernels/access_spec.h): the
+// row-parallel ParallelFor over [0, m) where row i occupies
+// [c_base_bytes + i*n*elem, +n*elem) of C. `dtype` selects the element size
+// and the grain policy (kQUInt8 uses the row-tile-aligned grain, F32/F16 use
+// GrainForOps(n*k)) — exactly the values the kernels pass to ParallelFor.
+LoopSpec GemmWriteLoopSpec(DType dtype, int64_t m, int64_t n, int64_t k, int64_t c_base_bytes);
 
 }  // namespace ulayer

@@ -53,4 +53,11 @@ void Im2ColQU8(const uint8_t* input, int channels, int height, int width, const 
   Im2ColImpl(input, channels, height, width, p, cols, pad_value);
 }
 
+AccessRange Im2ColWriteRange(int channels, int height, int width, const Conv2DParams& p,
+                             int64_t elem_bytes) {
+  const int64_t rows = static_cast<int64_t>(channels) * p.kernel_h * p.kernel_w;
+  const int64_t out_spatial = static_cast<int64_t>(p.OutH(height)) * p.OutW(width);
+  return AccessRange{0, rows * out_spatial * elem_bytes};
+}
+
 }  // namespace ulayer

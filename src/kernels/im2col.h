@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "kernels/access_spec.h"
 #include "kernels/params.h"
 #include "quant/half.h"
 
@@ -22,5 +23,11 @@ void Im2ColF16(const Half* input, int channels, int height, int width, const Con
 // dequantizes to real 0.
 void Im2ColQU8(const uint8_t* input, int channels, int height, int width, const Conv2DParams& p,
                uint8_t* cols, uint8_t pad_value);
+
+// Declared write range of one Im2Col call into `cols`, relative to the cols
+// buffer: [0, channels*kh*kw * OutH*OutW * elem_bytes). Im2Col is serial, so
+// this is a plain range, not a LoopSpec.
+AccessRange Im2ColWriteRange(int channels, int height, int width, const Conv2DParams& p,
+                             int64_t elem_bytes);
 
 }  // namespace ulayer

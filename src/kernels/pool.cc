@@ -210,4 +210,45 @@ void GlobalAvgPoolQU8(const Tensor& input, Tensor& output, int64_t c_begin, int6
   }
 }
 
+AccessSpec Pool2DAccessSpec(DType storage, const Shape& input_shape, const Pool2DParams& p,
+                            const Shape& out_shape, int64_t c_begin, int64_t c_end) {
+  c_end = ResolveEnd(c_end, out_shape.c);
+  const int64_t elem = DTypeSize(storage);
+  AccessSpec spec;
+  spec.has_spec = true;
+  spec.writes = ChannelSliceRanges(out_shape, elem, c_begin, c_end);
+  spec.reads.push_back(ChannelSliceRanges(input_shape, elem, c_begin, c_end));
+  LoopSpec loop;
+  loop.begin = c_begin;
+  loop.end = c_end;
+  loop.grain = parallel::GrainForOps(static_cast<double>(out_shape.h) *
+                                     static_cast<double>(out_shape.w) * p.kernel_h *
+                                     p.kernel_w);
+  loop.stride_bytes = out_shape.h * out_shape.w * elem;
+  loop.iter_bytes = out_shape.h * out_shape.w * elem;
+  loop.bases = BatchBases(out_shape, elem);
+  spec.loops.push_back(loop);
+  return spec;
+}
+
+AccessSpec GlobalAvgPoolAccessSpec(DType storage, const Shape& input_shape,
+                                   const Shape& out_shape, int64_t c_begin, int64_t c_end) {
+  c_end = ResolveEnd(c_end, out_shape.c);
+  const int64_t elem = DTypeSize(storage);
+  AccessSpec spec;
+  spec.has_spec = true;
+  spec.writes = ChannelSliceRanges(out_shape, elem, c_begin, c_end);
+  spec.reads.push_back(ChannelSliceRanges(input_shape, elem, c_begin, c_end));
+  LoopSpec loop;
+  loop.begin = c_begin;
+  loop.end = c_end;
+  loop.grain = parallel::GrainForOps(static_cast<double>(input_shape.h) *
+                                     static_cast<double>(input_shape.w));
+  loop.stride_bytes = elem;  // Out spatial is 1x1: channel c writes one element.
+  loop.iter_bytes = elem;
+  loop.bases = BatchBases(out_shape, elem);
+  spec.loops.push_back(loop);
+  return spec;
+}
+
 }  // namespace ulayer

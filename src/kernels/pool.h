@@ -3,6 +3,7 @@
 // (paper Section 3.2, Figure 7b).
 #pragma once
 
+#include "kernels/access_spec.h"
 #include "kernels/params.h"
 #include "tensor/tensor.h"
 
@@ -27,5 +28,12 @@ void GlobalAvgPoolF16(const Tensor& input, Tensor& output, int64_t c_begin = 0,
                       int64_t c_end = -1);
 void GlobalAvgPoolQU8(const Tensor& input, Tensor& output, int64_t c_begin = 0,
                       int64_t c_end = -1);
+
+// Declared access specifications (kernels/access_spec.h): pooling reads and
+// writes exactly channels [c_begin, c_end) of every batch.
+AccessSpec Pool2DAccessSpec(DType storage, const Shape& input_shape, const Pool2DParams& p,
+                            const Shape& out_shape, int64_t c_begin, int64_t c_end);
+AccessSpec GlobalAvgPoolAccessSpec(DType storage, const Shape& input_shape,
+                                   const Shape& out_shape, int64_t c_begin, int64_t c_end);
 
 }  // namespace ulayer

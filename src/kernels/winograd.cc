@@ -161,4 +161,31 @@ void WinogradConv2DF32(const Tensor& input, const Tensor& filters, const Tensor&
   });
 }
 
+AccessSpec WinogradConv2DAccessSpec(const Shape& input_shape, const Shape& filter_shape,
+                                    const Conv2DParams& /*p*/, const Shape& out_shape,
+                                    int64_t oc_begin, int64_t oc_end) {
+  if (oc_end < 0) {
+    oc_end = out_shape.c;
+  }
+  const int tiles_h = (static_cast<int>(out_shape.h) + 1) / 2;
+  const int tiles_w = (static_cast<int>(out_shape.w) + 1) / 2;
+  AccessSpec spec;
+  spec.has_spec = true;
+  spec.writes = ChannelSliceRanges(out_shape, int64_t{sizeof(float)}, oc_begin, oc_end);
+  spec.reads.push_back(
+      {AccessRange{0, input_shape.NumElements() * int64_t{sizeof(float)}}});
+  // Iteration oc writes its spatial row of EVERY batch (the batch loop runs
+  // inside each chunk), hence one base per batch on a single loop.
+  LoopSpec loop;
+  loop.begin = oc_begin;
+  loop.end = oc_end;
+  loop.grain = parallel::GrainForOps(static_cast<double>(tiles_h) * tiles_w *
+                                     static_cast<double>(filter_shape.c) * 16.0);
+  loop.stride_bytes = out_shape.h * out_shape.w * int64_t{sizeof(float)};
+  loop.iter_bytes = out_shape.h * out_shape.w * int64_t{sizeof(float)};
+  loop.bases = BatchBases(out_shape, int64_t{sizeof(float)});
+  spec.loops.push_back(loop);
+  return spec;
+}
+
 }  // namespace ulayer

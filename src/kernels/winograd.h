@@ -7,6 +7,7 @@
 // model are provided for algorithm-choice studies (bench/winograd_ablation).
 #pragma once
 
+#include "kernels/access_spec.h"
 #include "kernels/params.h"
 #include "tensor/tensor.h"
 
@@ -21,5 +22,12 @@ bool WinogradApplicable(const Conv2DParams& p);
 void WinogradConv2DF32(const Tensor& input, const Tensor& filters, const Tensor& bias,
                        const Conv2DParams& p, Tensor& output, int64_t oc_begin = 0,
                        int64_t oc_end = -1);
+
+// Declared access specification (kernels/access_spec.h): the oc-parallel
+// loop writes rows [oc_begin, oc_end) of every batch (the batch loop runs
+// inside each chunk) and reads the full input.
+AccessSpec WinogradConv2DAccessSpec(const Shape& input_shape, const Shape& filter_shape,
+                                    const Conv2DParams& p, const Shape& out_shape,
+                                    int64_t oc_begin, int64_t oc_end);
 
 }  // namespace ulayer

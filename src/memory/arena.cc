@@ -55,6 +55,15 @@ void ScratchArena::Reset() {
 }
 
 BufferPlan PackBuffers(const std::vector<BufferRequest>& requests) {
+  return PackBuffers(requests, [&](size_t a, size_t b) {
+    const BufferRequest& r = requests[a];
+    const BufferRequest& q = requests[b];
+    return r.live_begin <= q.live_end && q.live_begin <= r.live_end;
+  });
+}
+
+BufferPlan PackBuffers(const std::vector<BufferRequest>& requests,
+                       const std::function<bool(size_t, size_t)>& conflict) {
   constexpr int64_t kAlign = static_cast<int64_t>(ScratchArena::kAlignment);
   BufferPlan plan;
   plan.offsets.assign(requests.size(), 0);
@@ -76,13 +85,11 @@ BufferPlan PackBuffers(const std::vector<BufferRequest>& requests) {
   for (const size_t idx : order) {
     const BufferRequest& r = requests[idx];
     const int64_t size = std::max<int64_t>(r.bytes, 0);
-    // Collect the occupied ranges of already-placed, liveness-overlapping
-    // buffers, sorted by offset, then scan for the first gap that fits.
+    // Collect the occupied ranges of already-placed, conflicting buffers,
+    // sorted by offset, then scan for the first gap that fits.
     std::vector<std::pair<int64_t, int64_t>> busy;  // [offset, offset+size)
     for (const size_t p : placed) {
-      const BufferRequest& q = requests[p];
-      const bool overlap = r.live_begin <= q.live_end && q.live_begin <= r.live_end;
-      if (overlap) {
+      if (conflict(idx, p)) {
         busy.emplace_back(plan.offsets[p],
                           plan.offsets[p] + std::max<int64_t>(requests[p].bytes, kAlign));
       }

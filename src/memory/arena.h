@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace ulayer::memory {
@@ -99,5 +100,15 @@ struct BufferPlan {
 // assignment, largest buffers first — the standard inference-runtime
 // activation planner (cf. TFLite's memory arena). O(n^2), n = #requests.
 BufferPlan PackBuffers(const std::vector<BufferRequest>& requests);
+
+// Generalized packing: `conflict(a, b)` decides whether requests a and b must
+// occupy disjoint byte ranges (it is queried with a != b and must be
+// symmetric). The interval overload above is this with "liveness intervals
+// overlap"; the executor passes a concurrency-safe predicate that also keeps
+// buffers apart when their uses may overlap in time on the CPU/GPU timelines
+// (see core/memory_plan.h). Placement order and offsets are otherwise
+// identical.
+BufferPlan PackBuffers(const std::vector<BufferRequest>& requests,
+                       const std::function<bool(size_t, size_t)>& conflict);
 
 }  // namespace ulayer::memory

@@ -1,0 +1,102 @@
+#include "memory/shadow.h"
+
+#include <algorithm>
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ULAYER_ASAN 1
+#endif
+#endif
+#if !defined(ULAYER_ASAN) && defined(__SANITIZE_ADDRESS__)
+#define ULAYER_ASAN 1
+#endif
+
+#ifdef ULAYER_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace ulayer::memory {
+
+std::vector<ShadowRange> NormalizeRanges(std::vector<ShadowRange> ranges, int64_t size) {
+  std::vector<ShadowRange> out;
+  out.reserve(ranges.size());
+  for (ShadowRange r : ranges) {
+    r.begin = std::max<int64_t>(r.begin, 0);
+    r.end = std::min<int64_t>(r.end, size);
+    if (r.begin < r.end) {
+      out.push_back(r);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ShadowRange& a, const ShadowRange& b) { return a.begin < b.begin; });
+  size_t w = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (w > 0 && out[i].begin <= out[w - 1].end) {
+      out[w - 1].end = std::max(out[w - 1].end, out[i].end);
+    } else {
+      out[w++] = out[i];
+    }
+  }
+  out.resize(w);
+  return out;
+}
+
+uint64_t ChecksumOutside(const uint8_t* base, int64_t size,
+                         const std::vector<ShadowRange>& allowed) {
+  constexpr uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr uint64_t kPrime = 0x100000001b3ULL;
+  uint64_t h = kOffset;
+  int64_t pos = 0;
+  auto hash_span = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      h = (h ^ base[i]) * kPrime;
+    }
+    // Fold the gap position in as well so a byte value moving between two
+    // equal-valued complement regions still changes the hash.
+    h = (h ^ static_cast<uint64_t>(begin)) * kPrime;
+  };
+  for (const ShadowRange& r : allowed) {
+    hash_span(pos, r.begin);
+    pos = r.end;
+  }
+  hash_span(pos, size);
+  return h;
+}
+
+bool ShadowPoisonActive() {
+#ifdef ULAYER_ASAN
+  return true;
+#else
+  return false;
+#endif
+}
+
+void ShadowPoison(const uint8_t* base, int64_t size, const std::vector<ShadowRange>& allowed) {
+#ifdef ULAYER_ASAN
+  int64_t pos = 0;
+  for (const ShadowRange& r : allowed) {
+    if (pos < r.begin) {
+      ASAN_POISON_MEMORY_REGION(base + pos, static_cast<size_t>(r.begin - pos));
+    }
+    pos = r.end;
+  }
+  if (pos < size) {
+    ASAN_POISON_MEMORY_REGION(base + pos, static_cast<size_t>(size - pos));
+  }
+#else
+  (void)base;
+  (void)size;
+  (void)allowed;
+#endif
+}
+
+void ShadowUnpoison(const uint8_t* base, int64_t size) {
+#ifdef ULAYER_ASAN
+  ASAN_UNPOISON_MEMORY_REGION(base, static_cast<size_t>(size));
+#else
+  (void)base;
+  (void)size;
+#endif
+}
+
+}  // namespace ulayer::memory

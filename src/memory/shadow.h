@@ -1,0 +1,48 @@
+// Shadow instrumentation for the packed activation pool (DESIGN.md §12).
+//
+// The static analyzer (src/analysis) proves per-step read/write byte ranges
+// from declared AccessSpecs; this header provides the *dynamic* cross-check
+// that keeps those declarations honest:
+//
+//  - ChecksumOutside(): a portable FNV-64 hash of every pool byte OUTSIDE a
+//    set of allowed ranges. The cross-check driver hashes the complement of a
+//    step's declared write set before and after running the step — any
+//    mutation outside the declaration changes the hash, so an under-declaring
+//    AccessSpec fails loudly in every build type.
+//  - ShadowPoison()/ShadowUnpoison(): when compiled under AddressSanitizer,
+//    additionally poison the complement of the declared (write ∪ read) set so
+//    an out-of-declaration *access* (not just a surviving mutation) aborts
+//    with a use-after-poison report pinpointing the exact address.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ulayer::memory {
+
+// Half-open byte interval [begin, end) relative to some base pointer.
+struct ShadowRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+
+// Sorts ranges, clamps them to [0, size) and merges overlaps/adjacencies.
+// Returns the normalized disjoint ascending list.
+std::vector<ShadowRange> NormalizeRanges(std::vector<ShadowRange> ranges, int64_t size);
+
+// FNV-1a 64-bit hash of base[0, size) EXCLUDING bytes covered by `allowed`
+// (which must be normalized: disjoint, ascending, clamped to [0, size)).
+uint64_t ChecksumOutside(const uint8_t* base, int64_t size,
+                         const std::vector<ShadowRange>& allowed);
+
+// True when this translation unit is built with AddressSanitizer (and the
+// poison calls below are therefore real).
+bool ShadowPoisonActive();
+
+// Poisons/unpoisons base[0, size) except the bytes covered by `allowed`
+// (normalized as above). No-ops without ASan.
+void ShadowPoison(const uint8_t* base, int64_t size, const std::vector<ShadowRange>& allowed);
+void ShadowUnpoison(const uint8_t* base, int64_t size);
+
+}  // namespace ulayer::memory

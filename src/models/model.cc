@@ -13,7 +13,8 @@ bool IsParameterized(LayerKind k) {
          k == LayerKind::kFullyConnected;
 }
 
-// Filter tensor shape for a parameterized node.
+}  // namespace
+
 Shape FilterShape(const Graph& g, const Node& n) {
   const Shape& in = g.node(n.inputs[0]).out_shape;
   if (n.desc.kind == LayerKind::kDepthwiseConv) {
@@ -21,8 +22,6 @@ Shape FilterShape(const Graph& g, const Node& n) {
   }
   return Shape(n.desc.out_channels, in.c, n.desc.conv.kernel_h, n.desc.conv.kernel_w);
 }
-
-}  // namespace
 
 void Model::MaterializeWeights(uint64_t seed) {
   weights.clear();

@@ -39,6 +39,12 @@ struct Model {
   int64_t ParameterCount() const;
 };
 
+// Filter tensor shape of a parameterized node, derived from the graph alone
+// (no materialized weights needed): depthwise -> [C, 1, KH, KW], conv/FC ->
+// [OC, IC, KH, KW]. Shared by weight materialization, scratch sizing and the
+// static memory-access analyzer.
+Shape FilterShape(const Graph& g, const Node& n);
+
 // --- Model zoo (paper Table 1) ---------------------------------------------
 //
 // `image_hw` scales the input resolution (default: the resolution the

@@ -186,18 +186,29 @@ void ThreadPool::Run(int64_t num_chunks, int threads, FunctionRef<void(int64_t)>
   }
 }
 
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 FunctionRef<void(int64_t, int64_t)> fn) {
+int64_t ChunkCount(int64_t begin, int64_t end, int64_t grain) {
   if (end <= begin) {
-    return;
+    return 0;
   }
   grain = std::max<int64_t>(grain, 1);
-  const int64_t total = end - begin;
-  const int64_t num_chunks = (total + grain - 1) / grain;
+  return (end - begin + grain - 1) / grain;
+}
+
+ChunkRange ChunkBounds(int64_t begin, int64_t end, int64_t grain, int64_t chunk) {
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t b = begin + chunk * grain;
+  return ChunkRange{b, std::min<int64_t>(b + grain, end)};
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 FunctionRef<void(int64_t, int64_t)> fn) {
+  const int64_t num_chunks = ChunkCount(begin, end, grain);
+  if (num_chunks == 0) {
+    return;
+  }
   ThreadPool::Global().Run(num_chunks, CpuThreads(), [&](int64_t chunk) {
-    const int64_t b = begin + chunk * grain;
-    const int64_t e = std::min<int64_t>(b + grain, end);
-    fn(b, e);
+    const ChunkRange c = ChunkBounds(begin, end, grain, chunk);
+    fn(c.begin, c.end);
   });
 }
 

@@ -82,6 +82,23 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
 // the skewed channel counts of real networks.
 int64_t GrainForOps(double ops_per_iteration);
 
+// --- Chunk decomposition (the determinism contract, made inspectable) -------
+// ParallelFor's fixed chunking of [begin, end) with grain `grain`. These are
+// the exact boundaries the dispatch above executes — exposed so the static
+// memory-access analyzer (src/analysis) can prove per-chunk write ranges
+// disjoint for the same decomposition the kernels actually run.
+
+// Number of chunks ParallelFor(begin, end, grain, ...) produces (0 when the
+// range is empty). Grain is clamped to >= 1 exactly as ParallelFor does.
+int64_t ChunkCount(int64_t begin, int64_t end, int64_t grain);
+
+// Half-open iteration range of chunk `chunk` (0-based, < ChunkCount).
+struct ChunkRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+ChunkRange ChunkBounds(int64_t begin, int64_t end, int64_t grain, int64_t chunk);
+
 // The pool behind ParallelFor. Exposed for tests; kernels should only use
 // ParallelFor.
 class ThreadPool {

@@ -9,7 +9,8 @@ std::string DiagCodeId(DiagCode code) {
   // Keeping the group offset visible makes codes greppable and stable even
   // if groups grow past ten entries.
   const auto v = static_cast<uint16_t>(code);
-  const char prefix = v < 100 ? 'G' : v < 200 ? 'P' : v < 300 ? 'C' : v < 400 ? 'Q' : 'T';
+  const char prefix =
+      v < 100 ? 'G' : v < 200 ? 'P' : v < 300 ? 'C' : v < 400 ? 'Q' : v < 500 ? 'T' : 'A';
   std::ostringstream os;
   os << prefix;
   if (v < 10) {
@@ -97,6 +98,24 @@ std::string_view DiagCodeName(DiagCode code) {
       return "trace-sync-mismatch";
     case DiagCode::kTraceDrift:
       return "trace-drift";
+    case DiagCode::kRaceWriteOverlap:
+      return "race-write-overlap";
+    case DiagCode::kRaceWriteReadOverlap:
+      return "race-write-read-overlap";
+    case DiagCode::kWriteOutsideSlice:
+      return "write-outside-slice";
+    case DiagCode::kLivenessUseAfterReassign:
+      return "liveness-use-after-reassign";
+    case DiagCode::kPoolIntervalInvalid:
+      return "pool-interval-invalid";
+    case DiagCode::kScratchOverflow:
+      return "scratch-overflow";
+    case DiagCode::kChunkWriteOverlap:
+      return "chunk-write-overlap";
+    case DiagCode::kChunkCoverageGap:
+      return "chunk-coverage-gap";
+    case DiagCode::kAccessSpecMissing:
+      return "access-spec-missing";
   }
   return "unknown";
 }

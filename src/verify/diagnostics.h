@@ -14,7 +14,7 @@ namespace ulayer {
 
 // Stable diagnostic codes. Grouped by prefix: G = graph structure,
 // P = plan structure, C = execution config, Q = quantization parameters,
-// T = run-trace invariants.
+// T = run-trace invariants, A = static memory-access analysis.
 enum class DiagCode : uint16_t {
   // --- Graph (G0xx) ---------------------------------------------------------
   kGraphEmpty = 1,          // G001: graph has no nodes.
@@ -83,6 +83,30 @@ enum class DiagCode : uint16_t {
                             //       sync_count.
   kTraceDrift = 406,        // T406: fault-free kernel span deviates from its
                             //       timing-model prediction (ratio != 1).
+
+  // --- Memory-access analysis (A5xx races, A6xx liveness, A7xx chunking) ----
+  // Reported by src/analysis: per-step read/write byte ranges are evaluated
+  // from the kernels' AccessSpecs against the packed activation pool.
+  kRaceWriteOverlap = 501,   // A501: two steps that may overlap in time have
+                             //       intersecting write ranges.
+  kRaceWriteReadOverlap = 502,  // A502: a step may write bytes another
+                                //       concurrent step reads.
+  kWriteOutsideSlice = 503,  // A503: a kernel's (declared or observed) writes
+                             //       escape its [c_begin, c_end) output slice.
+  kLivenessUseAfterReassign = 601,  // A601: a pool interval is reused while a
+                                    //       step may still read the previous
+                                    //       occupant.
+  kPoolIntervalInvalid = 602,  // A602: packed-pool interval out of bounds or
+                               //       misaligned.
+  kScratchOverflow = 603,      // A603: a kernel's declared scratch demand
+                               //       exceeds the planned arena reservation
+                               //       (the overflow path heap-allocates).
+  kChunkWriteOverlap = 701,    // A701: ParallelFor chunks of one kernel have
+                               //       intersecting write ranges.
+  kChunkCoverageGap = 702,     // A702: the chunk decomposition does not cover
+                               //       the kernel's declared write set.
+  kAccessSpecMissing = 703,    // A703: splittable compute node without an
+                               //       AccessSpec (nothing to prove).
 };
 
 // "G004"-style stable identifier.

@@ -1,0 +1,418 @@
+// Tests for the plan-level static memory-access analyzer (src/analysis):
+// zoo-wide happy paths, one adversarial fixture per A-series code (malformed
+// plans via explicit cooperative slices, corrupted pack-buffers layouts,
+// under/over-declared AccessSpecs via AnalyzeOptions::spec_transform), the
+// ParallelFor chunk checks in isolation, and the dynamic shadow-poison
+// cross-check both accepting honest specs and catching an under-declared
+// one. Mirrors the malformed-fixture style of tests/verify_test.cc.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/analyzer.h"
+#include "baselines/baselines.h"
+#include "core/memory_plan.h"
+#include "core/runtime.h"
+#include "memory/shadow.h"
+#include "models/model.h"
+#include "tensor/rng.h"
+#include "verify/verify.h"
+
+namespace ulayer {
+namespace {
+
+int Count(const Report& r, DiagCode code) {
+  int n = 0;
+  for (const Diagnostic& d : r.diagnostics()) {
+    n += d.code == code ? 1 : 0;
+  }
+  return n;
+}
+
+std::vector<Model> Zoo() {
+  std::vector<Model> zoo;
+  zoo.push_back(MakeLeNet5());
+  zoo.push_back(MakeAlexNet());
+  zoo.push_back(MakeVgg16());
+  zoo.push_back(MakeGoogLeNet());
+  zoo.push_back(MakeSqueezeNetV11());
+  zoo.push_back(MakeMobileNetV1());
+  zoo.push_back(MakeResNet18());
+  zoo.push_back(MakeResNet50());
+  zoo.push_back(MakeInceptionV3());
+  return zoo;
+}
+
+// input -> stem -> {branch_a, branch_b} -> concat: the smallest graph with
+// two structurally concurrent buffers (a and b have no path between them).
+Model MakeForkModel() {
+  Model m;
+  m.name = "fork";
+  const int in = m.graph.AddInput(Shape(1, 8, 8, 8));
+  const int stem = m.graph.AddConv("stem", in, 8, 3, 1, 1, true);
+  const int a = m.graph.AddConv("branch_a", stem, 8, 3, 1, 1, true);
+  const int b = m.graph.AddConv("branch_b", stem, 8, 3, 1, 1, true);
+  m.graph.AddConcat("cat", {a, b});
+  return m;
+}
+
+// input -> one 3x3 conv: a single execution unit with nonzero scratch demand.
+Model MakeSingleConvModel() {
+  Model m;
+  m.name = "one_conv";
+  const int in = m.graph.AddInput(Shape(1, 4, 8, 8));
+  m.graph.AddConv("conv", in, 4, 3, 1, 1, true);
+  return m;
+}
+
+Plan AllOn(const Graph& g, ProcKind proc) {
+  Plan p;
+  p.nodes.assign(static_cast<size_t>(g.size()), NodeAssignment{StepKind::kSingle, proc});
+  return p;
+}
+
+// --- Happy paths ------------------------------------------------------------
+
+TEST(AnalysisHappyPath, ZooPartitionerPlansAnalyzeClean) {
+  const SocSpec soc = MakeExynos7420();
+  for (const Model& m : Zoo()) {
+    for (const ExecConfig& cfg : {ExecConfig::AllF32(), ExecConfig::ProcessorFriendly()}) {
+      ULayerRuntime::Options opt;
+      opt.config = cfg;
+      ULayerRuntime rt(m, soc, opt);
+      const PreparedModel pm(m, cfg);
+      const Report r = analysis::AnalyzePlan(pm, rt.plan());
+      EXPECT_TRUE(r.ok()) << m.name << "\n" << r.ToString();
+      EXPECT_EQ(r.warning_count(), 0) << m.name << "\n" << r.ToString();
+    }
+  }
+}
+
+TEST(AnalysisHappyPath, BaselinePlansAnalyzeClean) {
+  const ExecConfig cfg = ExecConfig::AllF32();
+  for (const Model& m : Zoo()) {
+    const PreparedModel pm(m, cfg);
+    for (const ProcKind proc : {ProcKind::kCpu, ProcKind::kGpu}) {
+      const Report r = analysis::AnalyzePlan(pm, MakeSingleProcessorPlan(m.graph, proc));
+      EXPECT_TRUE(r.ok()) << m.name << " single-" << ProcKindName(proc) << "\n" << r.ToString();
+    }
+  }
+}
+
+TEST(AnalysisHappyPath, ForkFixtureIsCleanBeforeCorruption) {
+  // The adversarial fixtures below all start from this graph; prove the
+  // uncorrupted layout and plans analyze clean so each fixture's diagnostic
+  // is attributable to its corruption alone.
+  const Model m = MakeForkModel();
+  const PreparedModel pm(m, ExecConfig::AllF32());
+  Plan cross = AllOn(m.graph, ProcKind::kCpu);
+  cross.nodes[3].proc = ProcKind::kGpu;  // branch_b concurrent with branch_a.
+  for (const Plan& plan : {AllOn(m.graph, ProcKind::kCpu), cross}) {
+    const Report r = analysis::AnalyzePlan(pm, plan);
+    EXPECT_TRUE(r.ok()) << r.ToString();
+    EXPECT_EQ(r.diagnostics().size(), 0u) << r.ToString();
+  }
+}
+
+// --- Adversarial fixtures: one distinct A-code each -------------------------
+
+class AdversarialFixture : public ::testing::Test {
+ protected:
+  AdversarialFixture() : model_(MakeForkModel()), pm_(model_, ExecConfig::AllF32()) {}
+
+  const Graph& graph() const { return model_.graph; }
+
+  Model model_;
+  PreparedModel pm_;
+  // Node ids of MakeForkModel, by construction order.
+  static constexpr int kStem = 1;
+  static constexpr int kBranchA = 2;
+  static constexpr int kBranchB = 3;
+  static constexpr int kCat = 4;
+};
+
+TEST_F(AdversarialFixture, A501_OverlappingCoopSliceWrites) {
+  // The two halves of a cooperative step always may run in parallel; slices
+  // that share channel 4 make both halves write that channel's bytes.
+  Plan plan = AllOn(graph(), ProcKind::kCpu);
+  const int64_t c = graph().node(kBranchA).out_shape.c;
+  NodeAssignment& a = plan.nodes[kBranchA];
+  a = NodeAssignment{StepKind::kCooperative, ProcKind::kCpu, 0.5};
+  a.cpu_slice = ChannelRange{0, c / 2 + 1};
+  a.gpu_slice = ChannelRange{c / 2, c};
+  const Report r = analysis::AnalyzePlan(pm_, plan);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(Count(r, DiagCode::kRaceWriteOverlap), 1) << r.ToString();
+  EXPECT_EQ(r.diagnostics().size(), 1u) << r.ToString();
+  EXPECT_EQ(DiagCodeId(DiagCode::kRaceWriteOverlap), "A501");
+}
+
+TEST_F(AdversarialFixture, A502_ConcurrentWriteIntoReadBytes) {
+  // branch_b (GPU) is re-pointed at the stem's pool interval, which the
+  // concurrent branch_a (CPU) reads. The write/read race (A502) and its
+  // layout-level cause — the stem's bytes reassigned while still read
+  // (A601) — are reported together by design.
+  Plan plan = AllOn(graph(), ProcKind::kCpu);
+  plan.nodes[kBranchB].proc = ProcKind::kGpu;
+  MemoryLayout layout = BuildMemoryLayout(pm_);
+  layout.offsets[kBranchB] = layout.offsets[kStem];
+  const Report r = analysis::AnalyzePlan(pm_, plan, layout);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(Count(r, DiagCode::kRaceWriteReadOverlap), 1) << r.ToString();
+  EXPECT_GE(Count(r, DiagCode::kLivenessUseAfterReassign), 1) << r.ToString();
+  EXPECT_EQ(DiagCodeId(DiagCode::kRaceWriteReadOverlap), "A502");
+}
+
+TEST_F(AdversarialFixture, A503_DeclaredWritesEscapeSlice) {
+  // Widen branch_a's declared writes one cache line past its buffer, with a
+  // coherent extra loop so the A7xx coverage checks stay satisfied: only the
+  // writes-inside-slice proof (A503) can object.
+  const int64_t bytes = graph().node(kBranchA).out_shape.NumElements() *
+                        DTypeSize(pm_.ActivationDType(kBranchA));
+  analysis::AnalyzeOptions opts;
+  opts.spec_transform = [bytes](int id, AccessSpec spec) {
+    if (id != kBranchA) {
+      return spec;
+    }
+    spec.writes.push_back(AccessRange{bytes, bytes + 64});
+    LoopSpec extra;
+    extra.begin = 0;
+    extra.end = 1;
+    extra.grain = 1;
+    extra.stride_bytes = 64;
+    extra.iter_bytes = 64;
+    extra.bases = {bytes};
+    spec.loops.push_back(extra);
+    return spec;
+  };
+  const Report r = analysis::AnalyzePlan(pm_, AllOn(graph(), ProcKind::kCpu), opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(Count(r, DiagCode::kWriteOutsideSlice), 1) << r.ToString();
+  EXPECT_EQ(r.diagnostics().size(), 1u) << r.ToString();
+  EXPECT_EQ(DiagCodeId(DiagCode::kWriteOutsideSlice), "A503");
+}
+
+TEST_F(AdversarialFixture, A601_PoolIntervalReusedWhileLive) {
+  // branch_b's interval aliased onto branch_a's: the two producers have no
+  // path between them, so neither happens-before the other and the packing
+  // rule is violated — independently of which processors the plan picks.
+  MemoryLayout layout = BuildMemoryLayout(pm_);
+  layout.offsets[kBranchB] = layout.offsets[kBranchA];
+  const Report r = analysis::AnalyzePlan(pm_, AllOn(graph(), ProcKind::kCpu), layout);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(Count(r, DiagCode::kLivenessUseAfterReassign), 1) << r.ToString();
+  EXPECT_EQ(r.diagnostics().size(), 1u) << r.ToString();
+  EXPECT_EQ(DiagCodeId(DiagCode::kLivenessUseAfterReassign), "A601");
+}
+
+TEST_F(AdversarialFixture, A602_PoolIntervalInvalid) {
+  {  // Interval pushed past the end of the pool.
+    MemoryLayout layout = BuildMemoryLayout(pm_);
+    layout.offsets[kBranchB] = layout.pool_bytes;
+    const Report r = analysis::AnalyzePlan(pm_, AllOn(graph(), ProcKind::kCpu), layout);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(Count(r, DiagCode::kPoolIntervalInvalid), 1) << r.ToString();
+    EXPECT_EQ(r.diagnostics().size(), 1u) << r.ToString();
+  }
+  {  // Interval size disagreeing with the activation's byte count.
+    MemoryLayout layout = BuildMemoryLayout(pm_);
+    layout.bytes[kBranchB] += 1;
+    const Report r = analysis::AnalyzePlan(pm_, AllOn(graph(), ProcKind::kCpu), layout);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(Count(r, DiagCode::kPoolIntervalInvalid), 1) << r.ToString();
+  }
+  {  // Declared read exceeding the producer's buffer.
+    const int64_t stem_bytes =
+        graph().node(kStem).out_shape.NumElements() * DTypeSize(pm_.ActivationDType(kStem));
+    analysis::AnalyzeOptions opts;
+    opts.spec_transform = [stem_bytes](int id, AccessSpec spec) {
+      if (id == kBranchA && !spec.reads.empty()) {
+        spec.reads[0].push_back(AccessRange{0, stem_bytes + 64});
+      }
+      return spec;
+    };
+    const Report r = analysis::AnalyzePlan(pm_, AllOn(graph(), ProcKind::kCpu), opts);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(Count(r, DiagCode::kPoolIntervalInvalid), 1) << r.ToString();
+  }
+  EXPECT_EQ(DiagCodeId(DiagCode::kPoolIntervalInvalid), "A602");
+}
+
+TEST(AdversarialScratch, A603_ScratchDemandExceedsReservation) {
+  // A 3x3 conv stages im2col patches in the arena; shrinking the planned
+  // reservation to zero must trip the scratch-overflow proof.
+  const Model m = MakeSingleConvModel();
+  const PreparedModel pm(m, ExecConfig::AllF32());
+  const int conv = m.graph.OutputId();
+  ASSERT_GT(analysis::NodeAccessSpec(pm, conv, ProcKind::kCpu, 0, m.graph.node(conv).out_shape.c)
+                .scratch_bytes,
+            0);
+  MemoryLayout layout = BuildMemoryLayout(pm);
+  layout.scratch_bytes = 0;
+  const Report r = analysis::AnalyzePlan(pm, AllOn(m.graph, ProcKind::kCpu), layout);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(Count(r, DiagCode::kScratchOverflow), 1) << r.ToString();
+  EXPECT_EQ(r.diagnostics().size(), 1u) << r.ToString();
+  EXPECT_EQ(DiagCodeId(DiagCode::kScratchOverflow), "A603");
+}
+
+TEST(AdversarialLoops, A701_ChunkWritesOverlap) {
+  // Iterations wider than their stride: adjacent ParallelFor chunks write
+  // the same bytes. The declared write set matches the loop union, so only
+  // the disjointness proof can object.
+  AccessSpec spec;
+  spec.has_spec = true;
+  LoopSpec loop;
+  loop.begin = 0;
+  loop.end = 4;
+  loop.grain = 1;
+  loop.stride_bytes = 64;
+  loop.iter_bytes = 128;  // Overhangs into the next iteration's bytes.
+  loop.bases = {0};
+  spec.loops = {loop};
+  spec.writes = {AccessRange{0, 3 * 64 + 128}};
+  Report r;
+  analysis::CheckSpecLoops(spec, /*node_id=*/7, r);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(Count(r, DiagCode::kChunkWriteOverlap), 1) << r.ToString();
+  EXPECT_EQ(r.diagnostics().size(), 1u) << r.ToString();
+  EXPECT_EQ(DiagCodeId(DiagCode::kChunkWriteOverlap), "A701");
+}
+
+TEST(AdversarialLoops, A702_ChunkCoverageGap) {
+  {  // Iterations narrower than their stride leave holes in the write set.
+    AccessSpec spec;
+    spec.has_spec = true;
+    LoopSpec loop;
+    loop.begin = 0;
+    loop.end = 4;
+    loop.grain = 1;
+    loop.stride_bytes = 128;
+    loop.iter_bytes = 64;
+    loop.bases = {0};
+    spec.loops = {loop};
+    spec.writes = {AccessRange{0, 3 * 128 + 64}};
+    Report r;
+    analysis::CheckSpecLoops(spec, /*node_id=*/7, r);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(Count(r, DiagCode::kChunkCoverageGap), 1) << r.ToString();
+    EXPECT_EQ(r.diagnostics().size(), 1u) << r.ToString();
+  }
+  {  // Invalid loop parameters (zero grain) are a coverage failure too.
+    AccessSpec spec;
+    spec.has_spec = true;
+    LoopSpec loop;
+    loop.begin = 0;
+    loop.end = 2;
+    loop.grain = 0;
+    loop.stride_bytes = 1;
+    loop.iter_bytes = 1;
+    loop.bases = {0};
+    spec.loops = {loop};
+    Report r;
+    analysis::CheckSpecLoops(spec, /*node_id=*/7, r);
+    EXPECT_EQ(Count(r, DiagCode::kChunkCoverageGap), 1) << r.ToString();
+  }
+  EXPECT_EQ(DiagCodeId(DiagCode::kChunkCoverageGap), "A702");
+}
+
+TEST_F(AdversarialFixture, A703_AccessSpecMissing) {
+  analysis::AnalyzeOptions opts;
+  opts.spec_transform = [](int id, AccessSpec spec) {
+    if (id == kBranchA) {
+      spec.has_spec = false;
+    }
+    return spec;
+  };
+  const Report r = analysis::AnalyzePlan(pm_, AllOn(graph(), ProcKind::kCpu), opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(Count(r, DiagCode::kAccessSpecMissing), 1) << r.ToString();
+  EXPECT_EQ(r.diagnostics().size(), 1u) << r.ToString();
+  EXPECT_EQ(DiagCodeId(DiagCode::kAccessSpecMissing), "A703");
+}
+
+// The acceptance requirement: each seeded adversarial fixture maps to its
+// own stable diagnostic code.
+TEST(AdversarialFixtures, FixtureCodesAreDistinct) {
+  const std::set<std::string> ids = {
+      DiagCodeId(DiagCode::kRaceWriteOverlap),         DiagCodeId(DiagCode::kRaceWriteReadOverlap),
+      DiagCodeId(DiagCode::kWriteOutsideSlice),        DiagCodeId(DiagCode::kLivenessUseAfterReassign),
+      DiagCodeId(DiagCode::kPoolIntervalInvalid),      DiagCodeId(DiagCode::kScratchOverflow),
+      DiagCodeId(DiagCode::kChunkWriteOverlap),        DiagCodeId(DiagCode::kChunkCoverageGap),
+      DiagCodeId(DiagCode::kAccessSpecMissing)};
+  EXPECT_EQ(ids.size(), 9u);
+}
+
+// --- Dynamic cross-check (shadow poison / checksum) --------------------------
+
+class CrossCheck : public ::testing::Test {
+ protected:
+  CrossCheck() : model_(MakeLeNet5()) {
+    model_.MaterializeWeights();
+    input_ = Tensor(model_.graph.node(0).out_shape, DType::kF32);
+    FillUniform(input_, /*seed=*/42, -1.0f, 1.0f);
+  }
+
+  Model model_;
+  Tensor input_;
+};
+
+TEST_F(CrossCheck, HonestSpecsPassOnLeNet) {
+  const PreparedModel pm(model_, ExecConfig::AllF32());
+  const MemoryLayout layout = BuildMemoryLayout(pm);
+  for (const ProcKind proc : {ProcKind::kCpu, ProcKind::kGpu}) {
+    const Report r =
+        analysis::CrossCheckSpecs(pm, MakeSingleProcessorPlan(model_.graph, proc), layout, input_);
+    EXPECT_TRUE(r.ok()) << "single-" << ProcKindName(proc) << "\n" << r.ToString();
+  }
+}
+
+TEST_F(CrossCheck, CatchesUnderDeclaredSpec) {
+  if (memory::ShadowPoisonActive()) {
+    // Under ASan the under-declared write aborts inside the poisoned region
+    // (the designed failure mode); the checksum path is only observable in
+    // non-ASan builds.
+    GTEST_SKIP() << "shadow poisoning is fatal under ASan by design";
+  }
+  const PreparedModel pm(model_, ExecConfig::AllF32());
+  const MemoryLayout layout = BuildMemoryLayout(pm);
+  int conv = -1;
+  for (const Node& n : model_.graph.nodes()) {
+    if (n.desc.kind == LayerKind::kConv) {
+      conv = n.id;
+      break;
+    }
+  }
+  ASSERT_GE(conv, 0);
+  // Halve the declared write set (with a coherent loop, so every static
+  // check still passes); the kernel still writes its full channel range, so
+  // only the dynamic checksum can notice the under-declaration.
+  const int64_t bytes = model_.graph.node(conv).out_shape.NumElements() *
+                        DTypeSize(pm.ActivationDType(conv));
+  const int64_t half = bytes / 2;
+  analysis::AnalyzeOptions opts;
+  opts.spec_transform = [conv, half](int id, AccessSpec spec) {
+    if (id != conv) {
+      return spec;
+    }
+    spec.writes = {AccessRange{0, half}};
+    LoopSpec loop;
+    loop.begin = 0;
+    loop.end = 1;
+    loop.grain = 1;
+    loop.stride_bytes = half;
+    loop.iter_bytes = half;
+    loop.bases = {0};
+    spec.loops = {loop};
+    return spec;
+  };
+  const Plan plan = MakeSingleProcessorPlan(model_.graph, ProcKind::kCpu);
+  ASSERT_TRUE(analysis::AnalyzePlan(pm, plan, layout, opts).ok())
+      << "the under-declaration must be invisible to the static checks";
+  const Report r = analysis::CrossCheckSpecs(pm, plan, layout, input_, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(Count(r, DiagCode::kWriteOutsideSlice), 1) << r.ToString();
+}
+
+}  // namespace
+}  // namespace ulayer

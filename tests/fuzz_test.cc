@@ -4,7 +4,11 @@
 // cooperative merges on functional runs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "analysis/analyzer.h"
 #include "baselines/baselines.h"
+#include "core/memory_plan.h"
 #include "core/runtime.h"
 #include "io/io.h"
 #include "tensor/rng.h"
@@ -271,6 +275,110 @@ TEST_P(FuzzGraphs, MutatedPlansAreRejectedOrExecutable) {
   // The structurally broken mutants (ratio, overlap, gap, fraction,
   // truncation) can never all slip through.
   EXPECT_GE(rejected, 4);
+}
+
+// Mutates cooperative slice bounds and checks the analyzer's contract: every
+// mutant is either rejected with a typed A-series diagnostic (never a crash),
+// or — when both the plan verifier and the analyzer accept it — executes
+// byte-identically to the single-CPU reference.
+TEST_P(FuzzGraphs, AnalyzerAcceptsOrTypedRejectsMutatedSlices) {
+  Model m = RandomModel(GetParam(), /*max_blocks=*/4, /*image_hw=*/16);
+  m.MaterializeWeights(GetParam());
+  const Graph& g = m.graph;
+  const ExecConfig cfg = ExecConfig::AllF32();
+  PreparedModel pm(m, cfg);
+  Executor ex(pm, MakeExynos7420());
+  Tensor in(g.node(0).out_shape, DType::kF32);
+  FillUniform(in, GetParam() ^ 0x51ce, -1.0f, 1.0f);
+  const RunResult ref = ex.Run(MakeSingleProcessorPlan(g, ProcKind::kCpu), &in);
+  ASSERT_TRUE(ref.output.has_value());
+
+  Rng rng(GetParam() ^ 0xa11ce5);
+  for (int trial = 0; trial < 9; ++trial) {
+    const int id = 1 + static_cast<int>(rng.Below(static_cast<uint64_t>(g.size() - 1)));
+    const int64_t c = g.node(id).out_shape.c;
+    // Split point plus a deterministic sweep over {gap, exact, overlap}.
+    const int64_t s = 1 + static_cast<int64_t>(rng.Below(static_cast<uint64_t>(c)));
+    const int64_t d = trial % 3 - 1;
+    Plan p = MakeSingleProcessorPlan(g, ProcKind::kCpu);
+    NodeAssignment& a = p.nodes[static_cast<size_t>(id)];
+    a.kind = StepKind::kCooperative;
+    a.cpu_fraction = 0.5;
+    a.cpu_slice = ChannelRange{0, std::clamp<int64_t>(s + d, 0, c)};
+    a.gpu_slice = ChannelRange{s, c};
+
+    Report ar;
+    ASSERT_NO_THROW(ar = analysis::AnalyzePlan(pm, p)) << "trial " << trial;
+    for (const Diagnostic& diag : ar.diagnostics()) {
+      EXPECT_EQ(DiagCodeId(diag.code)[0], 'A') << diag.ToString();
+    }
+    const bool overlapping = d > 0 && s + d <= c && s < c;
+    if (overlapping && g.node(id).desc.kind != LayerKind::kConcat &&
+        g.node(id).desc.kind != LayerKind::kSoftmax) {
+      EXPECT_TRUE(ar.Has(DiagCode::kRaceWriteOverlap))
+          << "trial " << trial << " node " << id << "\n" << ar.ToString();
+    }
+    if (VerifyPlan(g, p, cfg).ok() && ar.ok()) {
+      const RunResult got = ex.Run(p, &in);
+      ASSERT_TRUE(got.output.has_value());
+      EXPECT_EQ(MaxAbsDiff(*ref.output, *got.output), 0.0f) << "trial " << trial;
+    }
+  }
+}
+
+// Mutates the packed pool layout itself: the analyzer must reject with a
+// typed A-code or accept — and an accepted layout must also pass the dynamic
+// shadow cross-check (no silent wrong answer either way).
+TEST_P(FuzzGraphs, AnalyzerAcceptsOrTypedRejectsMutatedLayouts) {
+  Model m = RandomModel(GetParam(), /*max_blocks=*/4, /*image_hw=*/16);
+  m.MaterializeWeights(GetParam());
+  const Graph& g = m.graph;
+  PreparedModel pm(m, ExecConfig::AllF32());
+  const Plan plan = MakeSingleProcessorPlan(g, ProcKind::kCpu);
+  const MemoryLayout base = BuildMemoryLayout(pm);
+  Tensor in(g.node(0).out_shape, DType::kF32);
+  FillUniform(in, GetParam() ^ 0x1a1a, -1.0f, 1.0f);
+
+  Rng rng(GetParam() ^ 0x600dcafe);
+  const auto random_buffer = [&] {
+    int id;
+    do {
+      id = 1 + static_cast<int>(rng.Below(static_cast<uint64_t>(g.size() - 1)));
+    } while (base.bytes[static_cast<size_t>(id)] == 0);
+    return static_cast<size_t>(id);
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    MemoryLayout lay = base;
+    const uint64_t mutation = rng.Below(5);
+    bool benign = false;
+    if (mutation == 0) {  // Alias one interval onto another buffer's offset.
+      lay.offsets[random_buffer()] = lay.offsets[random_buffer()];
+    } else if (mutation == 1) {  // Shift an interval by whole cache lines.
+      lay.offsets[random_buffer()] += 64 * static_cast<int64_t>(1 + rng.Below(4));
+    } else if (mutation == 2) {  // Corrupt an interval's size.
+      lay.bytes[random_buffer()] += 64;
+    } else if (mutation == 3) {  // Shrink the scratch reservation.
+      lay.scratch_bytes /= 2;
+    } else {  // Grow the pool: strictly more room must stay accepted.
+      lay.pool_bytes += 4096;
+      benign = true;
+    }
+
+    Report ar;
+    ASSERT_NO_THROW(ar = analysis::AnalyzePlan(pm, plan, lay)) << "trial " << trial;
+    for (const Diagnostic& diag : ar.diagnostics()) {
+      EXPECT_EQ(DiagCodeId(diag.code)[0], 'A') << diag.ToString();
+    }
+    if (benign) {
+      EXPECT_TRUE(ar.ok()) << "trial " << trial << "\n" << ar.ToString();
+    }
+    if (ar.ok()) {
+      Report dynamic;
+      ASSERT_NO_THROW(dynamic = analysis::CrossCheckSpecs(pm, plan, lay, in))
+          << "trial " << trial;
+      EXPECT_TRUE(dynamic.ok()) << "trial " << trial << "\n" << dynamic.ToString();
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzGraphs,

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "baselines/baselines.h"
 #include "common/error.h"
 #include "core/executor.h"
@@ -58,6 +59,11 @@ Options:
                     the ULAYER_CPU_THREADS environment variable)
   --print-plan      dump the plan being verified (ulayer-plan v1)
   --graph-only      verify the graph and stop (no plan)
+  --analyze         additionally run the static memory-access analyzer
+                    (src/analysis, A5xx/A6xx/A7xx codes): packs the
+                    activation pool exactly as the executor would and proves
+                    race/liveness/chunking invariants of this plan over it.
+                    Weight-free — works on bare zoo graphs
   --faults <spec>   after verifying, run a timing-only simulation with this
                     fault-injection spec (fault/fault.h grammar, same as the
                     ULAYER_FAULTS environment variable) and print the
@@ -132,6 +138,7 @@ int main(int argc, char** argv) {
   bool l2p = false;
   bool print_plan = false;
   bool graph_only = false;
+  bool analyze = false;
 
   auto next_arg = [&](int& i, const char* flag) -> std::string {
     if (i + 1 >= argc) {
@@ -184,6 +191,8 @@ int main(int argc, char** argv) {
       print_plan = true;
     } else if (a == "--graph-only") {
       graph_only = true;
+    } else if (a == "--analyze") {
+      analyze = true;
     } else if (a == "-h" || a == "--help") {
       std::cout << kUsage;
       return 0;
@@ -285,6 +294,27 @@ int main(int argc, char** argv) {
   }
   if (!plan_report.ok()) {
     return 1;
+  }
+
+  // --- Static memory-access analysis (--analyze) -----------------------------
+  if (analyze) {
+    try {
+      const PreparedModel prepared(model, config);
+      const Report analysis_report = analysis::AnalyzePlan(prepared, plan);
+      std::cerr << "analysis " << source << " (plan " << plan_source << ", config "
+                << config_name << "): " << analysis_report.error_count() << " errors, "
+                << analysis_report.warning_count() << " warnings\n";
+      if (!analysis_report.diagnostics().empty()) {
+        std::cerr << analysis_report.ToString();
+      }
+      if (!analysis_report.ok()) {
+        return 1;
+      }
+    } catch (const Error& e) {
+      std::cerr << "ulayer_verify: analysis failed (" << ErrorCodeName(e.code())
+                << "): " << e.what() << "\n";
+      return 1;
+    }
   }
 
   // --- Simulation (--faults / --trace-out / --metrics) -----------------------
