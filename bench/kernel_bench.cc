@@ -27,6 +27,9 @@
 #include "kernels/conv.h"
 #include "kernels/gemm.h"
 #include "kernels/im2col.h"
+#include "kernels/pack.h"
+#include "kernels/simd.h"
+#include "kernels/winograd.h"
 #include "memory/arena.h"
 #include "parallel/thread_pool.h"
 #include "quant/half.h"
@@ -211,6 +214,139 @@ void Conv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const Tensor& b
   }
 }
 
+// Frozen replica of the pre-SIMD Winograd F(2x2,3x3) conv: identical
+// transforms, scalar element-wise multiply-accumulate in the transform
+// domain. Bit-identical to the live kernel (the micro-kernel preserves the
+// per-lane ascending-c order), embedded so the comparison keeps a fixed
+// baseline.
+namespace wino {
+
+void TransformFilter(const float* g, float* u) {
+  float t[4][3];
+  for (int c = 0; c < 3; ++c) {
+    const float g0 = g[0 * 3 + c], g1 = g[1 * 3 + c], g2 = g[2 * 3 + c];
+    t[0][c] = g0;
+    t[1][c] = 0.5f * (g0 + g1 + g2);
+    t[2][c] = 0.5f * (g0 - g1 + g2);
+    t[3][c] = g2;
+  }
+  for (int r = 0; r < 4; ++r) {
+    const float t0 = t[r][0], t1 = t[r][1], t2 = t[r][2];
+    u[r * 4 + 0] = t0;
+    u[r * 4 + 1] = 0.5f * (t0 + t1 + t2);
+    u[r * 4 + 2] = 0.5f * (t0 - t1 + t2);
+    u[r * 4 + 3] = t2;
+  }
+}
+
+void TransformInput(const float d[4][4], float* v) {
+  float t[4][4];
+  for (int c = 0; c < 4; ++c) {
+    t[0][c] = d[0][c] - d[2][c];
+    t[1][c] = d[1][c] + d[2][c];
+    t[2][c] = d[2][c] - d[1][c];
+    t[3][c] = d[1][c] - d[3][c];
+  }
+  for (int r = 0; r < 4; ++r) {
+    v[r * 4 + 0] = t[r][0] - t[r][2];
+    v[r * 4 + 1] = t[r][1] + t[r][2];
+    v[r * 4 + 2] = t[r][2] - t[r][1];
+    v[r * 4 + 3] = t[r][1] - t[r][3];
+  }
+}
+
+void TransformOutput(const float* m, float y[2][2]) {
+  float t[2][4];
+  for (int c = 0; c < 4; ++c) {
+    t[0][c] = m[0 * 4 + c] + m[1 * 4 + c] + m[2 * 4 + c];
+    t[1][c] = m[1 * 4 + c] - m[2 * 4 + c] - m[3 * 4 + c];
+  }
+  for (int r = 0; r < 2; ++r) {
+    y[r][0] = t[r][0] + t[r][1] + t[r][2];
+    y[r][1] = t[r][1] - t[r][2] - t[r][3];
+  }
+}
+
+}  // namespace wino
+
+void WinogradConv2DF32(const Tensor& input, const Tensor& filters, const Tensor& bias,
+                       const Conv2DParams& p, Tensor& output) {
+  const Shape& is = input.shape();
+  const Shape& fs = filters.shape();
+  const int out_h = p.OutH(static_cast<int>(is.h));
+  const int out_w = p.OutW(static_cast<int>(is.w));
+  const int64_t ic = is.c;
+  std::vector<float> u(static_cast<size_t>(fs.n * ic * 16));
+  for (int64_t oc = 0; oc < fs.n; ++oc) {
+    for (int64_t c = 0; c < ic; ++c) {
+      wino::TransformFilter(filters.Data<float>() + fs.Offset(oc, c, 0, 0),
+                            u.data() + (oc * ic + c) * 16);
+    }
+  }
+  const int tiles_h = (out_h + 1) / 2;
+  const int tiles_w = (out_w + 1) / 2;
+  const double ops_per_oc =
+      static_cast<double>(tiles_h) * tiles_w * static_cast<double>(ic) * 16.0;
+  parallel::ParallelFor(0, fs.n, parallel::GrainForOps(ops_per_oc), [&](int64_t ob,
+                                                                        int64_t oe) {
+    std::vector<float> v(static_cast<size_t>(ic) * 16);
+    for (int64_t ni = 0; ni < is.n; ++ni) {
+      for (int th = 0; th < tiles_h; ++th) {
+        for (int tw = 0; tw < tiles_w; ++tw) {
+          const int ih0 = th * 2 - p.pad_h;
+          const int iw0 = tw * 2 - p.pad_w;
+          for (int64_t c = 0; c < ic; ++c) {
+            float d[4][4];
+            const float* in_c = input.Data<float>() + is.Offset(ni, c, 0, 0);
+            for (int r = 0; r < 4; ++r) {
+              for (int cc = 0; cc < 4; ++cc) {
+                const int ih = ih0 + r;
+                const int iw = iw0 + cc;
+                d[r][cc] = (ih < 0 || ih >= is.h || iw < 0 || iw >= is.w)
+                               ? 0.0f
+                               : in_c[ih * is.w + iw];
+              }
+            }
+            wino::TransformInput(d, v.data() + c * 16);
+          }
+          for (int64_t oc = ob; oc < oe; ++oc) {
+            float m[16] = {};
+            const float* u_oc = u.data() + oc * ic * 16;
+            for (int64_t c = 0; c < ic; ++c) {
+              const float* uc = u_oc + c * 16;
+              const float* vc = v.data() + c * 16;
+              for (int kidx = 0; kidx < 16; ++kidx) {
+                m[kidx] += uc[kidx] * vc[kidx];
+              }
+            }
+            float y[2][2];
+            wino::TransformOutput(m, y);
+            const float b0 = bias.empty() ? 0.0f : bias.Data<float>()[oc];
+            float* out = output.Data<float>() + output.shape().Offset(ni, oc, 0, 0);
+            for (int r = 0; r < 2; ++r) {
+              const int oh = th * 2 + r;
+              if (oh >= out_h) {
+                continue;
+              }
+              for (int cc = 0; cc < 2; ++cc) {
+                const int ow = tw * 2 + cc;
+                if (ow >= out_w) {
+                  continue;
+                }
+                float val = y[r][cc] + b0;
+                if (p.relu) {
+                  val = std::max(val, 0.0f);
+                }
+                out[oh * out_w + ow] = val;
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
 }  // namespace legacy
 
 namespace {
@@ -237,6 +373,8 @@ struct Operands {
   RequantScale rs;
   std::vector<int32_t> rowsum;
   std::vector<Half> w16, b16;
+  std::vector<uint8_t> w_packed_q;  // Packed filter panels (kernels/pack.h),
+  std::vector<Half> w_packed_16;    // as PreparedModel caches them.
   int64_t m, n, k;
 
   explicit Operands(const ConvCase& c, uint64_t seed) {
@@ -281,6 +419,10 @@ struct Operands {
     for (int64_t i = 0; i < bias_f32.NumElements(); ++i) {
       b16[static_cast<size_t>(i)] = Half(bias_f32.Data<float>()[i]);
     }
+    w_packed_q.resize(static_cast<size_t>(PackedPanelElems(m, k)));
+    PackRowPanels(w_q.Data<uint8_t>(), m, k, w_packed_q.data());
+    w_packed_16.resize(static_cast<size_t>(PackedPanelElems(m, k)));
+    PackRowPanels(w16.data(), m, k, w_packed_16.data());
   }
 
   Tensor MakeOut() const {
@@ -296,6 +438,7 @@ struct Operands {
     aux.scratch = arena;
     aux.requant = &rs;
     aux.filter_rowsum = rowsum.data();
+    aux.filters_packed_qu8 = w_packed_q.data();
     return aux;
   }
 
@@ -304,6 +447,7 @@ struct Operands {
     aux.scratch = arena;
     aux.filters_f16 = w16.data();
     aux.bias_f16 = b16.data();
+    aux.filters_packed_f16 = w_packed_16.data();
     return aux;
   }
 };
@@ -331,6 +475,7 @@ double BestNsPerCall(const std::function<void()>& fn, int iters, int trials) {
 struct Result {
   std::string name;
   int64_t m, n, k;
+  int64_t bytes;  // Raw bytes moved per call — gbps without precision loss.
   double legacy_ns, new_ns, speedup, gbps;
   bool identical;
 };
@@ -364,6 +509,8 @@ int main(int argc, char** argv) {
   // Single-thread: the kernels under test are the per-core primitives; thread
   // scaling is benchmarked elsewhere (fig05/fig16).
   parallel::SetCpuThreads(1);
+  const char* isa = simd::IsaName(simd::ActiveIsa());
+  std::printf("simd isa: %s\n", isa);
 
   // Quick mode still takes the min of two trials: single-shot timings on a
   // busy CI machine are too noisy to gate on.
@@ -378,6 +525,7 @@ int main(int argc, char** argv) {
     r.m = m;
     r.n = n;
     r.k = k;
+    r.bytes = bytes;
     r.legacy_ns = legacy_ns;
     r.new_ns = new_ns;
     r.speedup = legacy_ns / new_ns;
@@ -385,7 +533,7 @@ int main(int argc, char** argv) {
     r.identical = identical;
     results.push_back(r);
     std::printf("%-28s m=%-4lld n=%-5lld k=%-5lld  legacy %10.0f ns  new %10.0f ns  "
-                "speedup %5.2fx  %6.2f GB/s  %s\n",
+                "speedup %5.2fx  %8.4g GB/s  %s\n",
                 name.c_str(), static_cast<long long>(m), static_cast<long long>(n),
                 static_cast<long long>(k), legacy_ns, new_ns, r.speedup, r.gbps,
                 identical ? "bytes-identical" : "MISMATCH");
@@ -414,7 +562,7 @@ int main(int argc, char** argv) {
       const double new_ns = BestNsPerCall(
           [&] {
             GemmQU8(a, a_zp, b.data(), b_zp, c_new.data(), c_zp, ops.rs, m, n, k, bias, true,
-                    ops.rowsum.data());
+                    ops.rowsum.data(), ops.w_packed_q.data());
           },
           iters, trials);
       const bool same = std::memcmp(c_legacy.data(), c_new.data(), c_new.size()) == 0;
@@ -431,12 +579,16 @@ int main(int argc, char** argv) {
       FillUniform(bf, 32, -1.0f, 1.0f);
       std::memcpy(a.data(), af.Data<float>(), a.size() * sizeof(float));
       std::memcpy(b.data(), bf.Data<float>(), b.size() * sizeof(float));
+      std::vector<float> a_packed(static_cast<size_t>(PackedPanelElems(m, k)));
+      PackRowPanels(a.data(), m, k, a_packed.data());
       const double legacy_ns = BestNsPerCall(
           [&] { legacy::GemmF32(a.data(), b.data(), c_legacy.data(), m, n, k, nullptr, true); },
           iters, trials);
       const double new_ns = BestNsPerCall(
-          [&] { GemmF32(a.data(), b.data(), c_new.data(), m, n, k, nullptr, true); }, iters,
-          trials);
+          [&] {
+            GemmF32(a.data(), b.data(), c_new.data(), m, n, k, nullptr, true, a_packed.data());
+          },
+          iters, trials);
       const bool same =
           std::memcmp(c_legacy.data(), c_new.data(), c_new.size() * sizeof(float)) == 0;
       record(std::string("gemm_f32_") + c.name, m, n, k, (m * k + k * n + m * n) * 4,
@@ -494,24 +646,59 @@ int main(int argc, char** argv) {
            ops.m * ops.k + ops.k * ops.n + ops.m * ops.n, legacy_ns, new_ns, same);
   }
 
+  // --- Winograd F(2x2,3x3): scalar transform-domain MAC vs the wino_madd
+  // micro-kernel. F32 end to end (Winograd runs only in the F32 flavor).
+  {
+    const ConvCase& c = kCases[2];  // googlenet_3a_3x3: 3x3 stride-1 pad-1
+    Conv2DParams p;
+    p.kernel_h = p.kernel_w = c.kernel;
+    p.pad_h = p.pad_w = c.pad;
+    p.relu = true;
+    Tensor in(Shape(1, c.ic, c.hw, c.hw), DType::kF32);
+    Tensor w(Shape(c.oc, c.ic, c.kernel, c.kernel), DType::kF32);
+    Tensor bias(Shape(1, c.oc, 1, 1), DType::kF32);
+    FillUniform(in, 41, -1.0f, 1.0f);
+    FillUniform(w, 42, -0.4f, 0.4f);
+    FillUniform(bias, 43, -0.2f, 0.2f);
+    const Shape os(1, c.oc, p.OutH(c.hw), p.OutW(c.hw));
+    Tensor out_legacy(os, DType::kF32);
+    Tensor out_new(os, DType::kF32);
+    const int64_t m = c.oc;
+    const int64_t k = int64_t{c.ic} * c.kernel * c.kernel;
+    const int64_t n = os.h * os.w;
+    const double legacy_ns = BestNsPerCall(
+        [&] { legacy::WinogradConv2DF32(in, w, bias, p, out_legacy); }, 1, quick ? 2 : 3);
+    const double new_ns = BestNsPerCall(
+        [&] { WinogradConv2DF32(in, w, bias, p, out_new); }, 1, quick ? 2 : 3);
+    const bool same = std::memcmp(out_legacy.raw(), out_new.raw(),
+                                  static_cast<size_t>(out_new.SizeBytes())) == 0;
+    record(std::string("winograd_f32_") + c.name, m, n, k, (m * k + k * n + m * n) * 4,
+           legacy_ns, new_ns, same);
+  }
+
   // JSON summary.
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
     return 2;
   }
-  std::fprintf(f, "{\n  \"schema\": \"ulayer-kernel-bench-v1\",\n  \"quick\": %s,\n"
-                  "  \"threads\": 1,\n  \"results\": [\n",
-               quick ? "true" : "false");
+  std::fprintf(f, "{\n  \"schema\": \"ulayer-kernel-bench-v2\",\n  \"isa\": \"%s\",\n"
+                  "  \"quick\": %s,\n  \"threads\": 1,\n  \"results\": [\n",
+               isa, quick ? "true" : "false");
   for (size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
+    // %.6g for gbps: %.3f truncated slow (software-F16) kernels to 0.000.
+    // Each row repeats the run provenance (isa/quick/threads) so rows stay
+    // self-describing when results from different runs are merged.
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"m\": %lld, \"n\": %lld, \"k\": %lld, "
-                 "\"legacy_ns\": %.0f, \"new_ns\": %.0f, \"speedup\": %.3f, "
-                 "\"gbps\": %.3f, \"bytes_identical\": %s}%s\n",
+                 "\"bytes\": %lld, \"legacy_ns\": %.0f, \"new_ns\": %.0f, "
+                 "\"speedup\": %.3f, \"gbps\": %.6g, \"bytes_identical\": %s, "
+                 "\"isa\": \"%s\", \"quick\": %s, \"threads\": 1}%s\n",
                  r.name.c_str(), static_cast<long long>(r.m), static_cast<long long>(r.n),
-                 static_cast<long long>(r.k), r.legacy_ns, r.new_ns, r.speedup, r.gbps,
-                 r.identical ? "true" : "false", i + 1 < results.size() ? "," : "");
+                 static_cast<long long>(r.k), static_cast<long long>(r.bytes), r.legacy_ns,
+                 r.new_ns, r.speedup, r.gbps, r.identical ? "true" : "false", isa,
+                 quick ? "true" : "false", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI pipeline: warnings-as-errors build + tier-1 tests, a kernel-benchmark
 # smoke run (regenerates BENCH_kernels.json and verifies the optimized
-# kernels reproduce the legacy bytes), ASan/UBSan test run, a TSan run of the
+# kernels reproduce the legacy bytes), a forced-scalar rerun of the kernel
+# and analysis suites (ULAYER_SIMD=scalar, exercising the scalar
+# micro-kernels and dispatch fallback), ASan/UBSan test run, a TSan run of the
 # threaded kernel/integration tests with a multi-thread CPU budget, a
 # static memory-access analysis stage (ulayer_verify --analyze across the
 # full zoo x config x partition-plan matrix, which must report zero A-series
@@ -29,17 +31,29 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/9] warnings-as-errors build + tier-1 tests"
+echo "==> [1/10] warnings-as-errors build + tier-1 tests"
 cmake -B build-werror -S . -DULAYER_WERROR=ON >/dev/null
 cmake --build build-werror -j "$JOBS"
 ctest --test-dir build-werror --output-on-failure -j "$JOBS"
 
-echo "==> [2/9] kernel benchmark smoke (legacy-vs-optimized byte identity)"
+echo "==> [2/10] kernel benchmark smoke (legacy-vs-optimized byte identity)"
 # Fails if any optimized kernel's output differs from the embedded legacy
 # replica; --quick keeps it to one iteration per case.
 ./build-werror/bench/kernel_bench --quick --out BENCH_kernels.json
 
-echo "==> [3/9] static memory-access analysis: zoo x config x plan matrix"
+echo "==> [3/10] forced-scalar ISA run (ULAYER_SIMD=scalar dispatch check)"
+# Re-runs the kernel and analysis suites with SIMD dispatch forced to the
+# scalar micro-kernels, then repeats the benchmark byte-identity smoke. The
+# QU8/F32 paths are bit-exact across ISAs by contract, so everything that
+# passed stage [1] must pass unchanged; this catches scalar-tail and
+# dispatch-table regressions that AVX2-only CI would hide.
+ULAYER_SIMD=scalar ctest --test-dir build-werror --output-on-failure -j "$JOBS" \
+  -R 'gemm_test|conv_test|winograd_test|im2col_test|analysis_test|integration_test'
+ULAYER_SIMD=scalar ./build-werror/bench/kernel_bench --quick \
+  --out BENCH_kernels_scalar.json >/dev/null
+rm -f BENCH_kernels_scalar.json
+
+echo "==> [4/10] static memory-access analysis: zoo x config x plan matrix"
 # The A5xx/A6xx/A7xx proofs must hold for every model, quantization config
 # and partition strategy; ulayer_verify exits 1 on any A-series diagnostic.
 for model in lenet5 alexnet vgg16 googlenet squeezenet mobilenet resnet18 resnet50 inceptionv3; do
@@ -53,7 +67,7 @@ for model in lenet5 alexnet vgg16 googlenet squeezenet mobilenet resnet18 resnet
 done
 echo "analyzer matrix clean (9 models x 2 configs x 4 plans)"
 if [ "$SKIP_SANITIZE" -eq 0 ]; then
-  echo "==> [4/9] ASan + UBSan build + tests"
+  echo "==> [5/10] ASan + UBSan build + tests"
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DULAYER_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j "$JOBS"
@@ -63,7 +77,7 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
   ULAYER_CPU_THREADS=4 ASAN_OPTIONS=detect_leaks=1 \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-  echo "==> [5/9] TSan build + threaded kernel/integration tests"
+  echo "==> [6/10] TSan build + threaded kernel/integration tests"
   # TSan is incompatible with ASan, hence the separate build. Force a
   # multi-thread CPU budget so the pool's worker handoffs actually run, even
   # on single-core CI machines.
@@ -73,7 +87,7 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
   ULAYER_CPU_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
     -R 'parallel_test|gemm_test|conv_test|pool_test|elementwise_test|winograd_test|quantize_test|integration_test|executor_test|prepared_test|arena_test|fault_test|analysis_test'
 
-  echo "==> [6/9] fault injection under ASan + TSan (scripts/ci_faults.spec)"
+  echo "==> [7/10] fault injection under ASan + TSan (scripts/ci_faults.spec)"
   # fault_test (its specs are embedded in the tests) runs under both
   # sanitizers with a multi-thread CPU budget; the committed deterministic
   # spec is then driven through the sanitizer-built ulayer_verify fault
@@ -92,12 +106,12 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
   diff fault_report_a.txt fault_report_b.txt
   rm -f fault_report_a.txt fault_report_b.txt
 else
-  echo "==> [4/9] sanitizers skipped (--skip-sanitize)"
-  echo "==> [5/9] TSan skipped (--skip-sanitize)"
-  echo "==> [6/9] fault injection skipped (--skip-sanitize)"
+  echo "==> [5/10] sanitizers skipped (--skip-sanitize)"
+  echo "==> [6/10] TSan skipped (--skip-sanitize)"
+  echo "==> [7/10] fault injection skipped (--skip-sanitize)"
 fi
 
-echo "==> [7/9] observability: trace export + invariant check + metrics"
+echo "==> [8/10] observability: trace export + invariant check + metrics"
 # Traced runs of one zoo model — clean and under the committed fault spec —
 # exported as Chrome trace JSON and checked against the T4xx trace
 # invariants (ulayer_verify exits 1 when they fail); the aggregated metrics
@@ -117,24 +131,24 @@ ASAN_OPTIONS=detect_leaks=1 "$TRACE_TOOL" --model googlenet --config pf \
 rm -f trace_googlenet.json trace_googlenet_faults.json
 
 if command -v clang-format >/dev/null 2>&1; then
-  echo "==> [8/9] clang-format check (.clang-format, check-only)"
+  echo "==> [9/10] clang-format check (.clang-format, check-only)"
   mapfile -t FMT_FILES < <(git ls-files '*.cc' '*.h')
   clang-format --dry-run -Werror "${FMT_FILES[@]}"
 else
-  echo "==> [8/9] clang-format not installed; skipping format check"
+  echo "==> [9/10] clang-format not installed; skipping format check"
 fi
 
 if [ "$SKIP_TIDY" -eq 0 ]; then
   if command -v clang-tidy >/dev/null 2>&1; then
-    echo "==> [9/9] clang-tidy over src/, bench/ and tools/"
+    echo "==> [10/10] clang-tidy over src/, bench/ and tools/"
     # build-werror exports compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS).
     mapfile -t SOURCES < <(git ls-files 'src/*.cc' 'bench/*.cc' 'tools/*.cc')
     clang-tidy -p build-werror --quiet "${SOURCES[@]}"
   else
-    echo "==> [9/9] clang-tidy not installed; skipping lint stage"
+    echo "==> [10/10] clang-tidy not installed; skipping lint stage"
   fi
 else
-  echo "==> [9/9] clang-tidy skipped (--skip-tidy)"
+  echo "==> [10/10] clang-tidy skipped (--skip-tidy)"
 fi
 
 echo "CI pipeline passed."

@@ -25,7 +25,8 @@ void CopyChannelSlice(const Tensor& src, Tensor& dst, int64_t c0, int64_t c1) {
 }  // namespace
 
 void ComputeNodeSlice(const PreparedModel& pm, int id, ProcKind proc, std::vector<Tensor>& act,
-                      int64_t c0, int64_t c1, memory::ScratchArena* scratch) {
+                      int64_t c0, int64_t c1, memory::ScratchArena* scratch,
+                      const Half* staged_cols) {
   const Graph& g = pm.graph();
   const Node& n = g.node(id);
   const ExecConfig& cfg = pm.config();
@@ -44,6 +45,10 @@ void ComputeNodeSlice(const PreparedModel& pm, int id, ProcKind proc, std::vecto
   aux.filter_rowsum = pm.FilterRowSumPtr(id);
   aux.filters_f16 = pm.FiltersF16Ptr(id);
   aux.bias_f16 = pm.BiasF16Ptr(id);
+  aux.filters_packed_qu8 = pm.PackedFiltersQU8Ptr(id);
+  aux.filters_packed_f32 = pm.PackedFiltersF32Ptr(id);
+  aux.filters_packed_f16 = pm.PackedFiltersF16Ptr(id);
+  aux.staged_cols = compute == DType::kF16 ? staged_cols : nullptr;
 
   switch (n.desc.kind) {
     case LayerKind::kInput:
@@ -158,6 +163,20 @@ void ComputeNode(const PreparedModel& pm, int id, ProcKind proc, std::vector<Ten
   ComputeNodeSlice(pm, id, proc, act, 0, pm.graph().node(id).out_shape.c, scratch);
 }
 
+const Half* StageViaF16Cols(const PreparedModel& pm, int id, const std::vector<Tensor>& act,
+                            memory::ScratchArena* arena) {
+  if (arena == nullptr || pm.config().storage != DType::kQUInt8) {
+    return nullptr;
+  }
+  const Graph& g = pm.graph();
+  const Node& n = g.node(id);
+  if (n.desc.kind != LayerKind::kConv && n.desc.kind != LayerKind::kFullyConnected) {
+    return nullptr;
+  }
+  const Tensor& in0 = act[static_cast<size_t>(n.inputs[0])];
+  return Conv2DQU8ViaF16StageCols(in0, FilterShape(g, n), n.desc.conv, arena);
+}
+
 int64_t NodeScratchBytes(const PreparedModel& pm, const Node& n) {
   // Only the dense conv/FC kernels use the scratch arena (im2col and F16
   // staging buffers); everything else computes in place or element-wise.
@@ -177,6 +196,16 @@ int64_t NodeScratchBytes(const PreparedModel& pm, const Node& n) {
   for (const ProcKind proc : {ProcKind::kCpu, ProcKind::kGpu}) {
     bytes = std::max(bytes, Conv2DScratchBytes(cfg.storage, cfg.ComputeFor(proc), in_shape,
                                                filter_shape, n.desc.conv));
+  }
+  // When every cooperative slice of this node would compute in kF16, the
+  // executor stages the input columns once and shares them across slices;
+  // the arena then holds the staging plus the (smaller) per-slice residual.
+  if (cfg.storage == DType::kQUInt8 && cfg.ComputeFor(ProcKind::kCpu) == DType::kF16 &&
+      cfg.ComputeFor(ProcKind::kGpu) == DType::kF16) {
+    bytes = std::max(bytes,
+                     Conv2DViaF16StagedColsBytes(in_shape, filter_shape, n.desc.conv) +
+                         Conv2DScratchBytes(cfg.storage, DType::kF16, in_shape, filter_shape,
+                                            n.desc.conv, /*staged_cols=*/true));
   }
   return bytes;
 }

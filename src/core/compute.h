@@ -24,16 +24,33 @@ namespace ulayer {
 // between kernel invocations. Null: kernels heap-allocate per call (legacy
 // path). The PreparedModel's weight caches are forwarded to the kernels
 // whenever present.
+//
+// `staged_cols`, when non-null, is the via-F16 staged input columns built by
+// StageViaF16Cols for this node — forwarded as ConvAux::staged_cols so the
+// via-F16 conv skips its per-call dequantize + im2col. Only meaningful for
+// dense conv/FC slices whose compute dtype is kF16; ignored otherwise.
 void ComputeNodeSlice(const PreparedModel& pm, int id, ProcKind proc, std::vector<Tensor>& act,
-                      int64_t c0, int64_t c1, memory::ScratchArena* scratch = nullptr);
+                      int64_t c0, int64_t c1, memory::ScratchArena* scratch = nullptr,
+                      const Half* staged_cols = nullptr);
 
 // Convenience: computes the full node on one processor.
 void ComputeNode(const PreparedModel& pm, int id, ProcKind proc, std::vector<Tensor>& act,
                  memory::ScratchArena* scratch = nullptr);
 
+// Builds the via-F16 staged input columns of node `id` into `arena`
+// (kernels/conv.h Conv2DQU8ViaF16StageCols) — the dequantize + im2col
+// producer work every via-F16 slice of the node would otherwise redo
+// identically. Returns null (and allocates nothing) unless the node is a
+// dense conv/FC under QUInt8 storage and `arena` is non-null. The executor
+// calls this once per node when BOTH cooperative slices compute in kF16,
+// takes an arena Mark, and ResetTo()s it between slices.
+const Half* StageViaF16Cols(const PreparedModel& pm, int id, const std::vector<Tensor>& act,
+                            memory::ScratchArena* arena);
+
 // Worst-case scratch bytes one ComputeNodeSlice call on `n` may request, over
-// every processor/compute-dtype this config could route it to. Used by the
-// executor's prepare-time dry run to size its arena.
+// every processor/compute-dtype this config could route it to — including the
+// staged-columns pattern above when this config can trigger it (staging plus
+// the per-slice residual share the arena).
 int64_t NodeScratchBytes(const PreparedModel& pm, const Node& n);
 
 }  // namespace ulayer

@@ -628,14 +628,27 @@ void Executor::RunImpl(const Plan& plan, const Tensor* input, RunResult& out) {
         if (scratch != nullptr) {
           scratch->Reset();
         }
+        // Both fallback slices run the CPU kernel flavor; when that flavor is
+        // via-F16 on both processors' configs, stage the dequantize+im2col
+        // producer once and share it (see StageViaF16Cols).
+        const Half* staged = cfg.ComputeFor(ProcKind::kCpu) == DType::kF16 &&
+                                     cfg.ComputeFor(ProcKind::kGpu) == DType::kF16
+                                 ? StageViaF16Cols(pm_, n.id, act, scratch)
+                                 : nullptr;
+        const memory::ScratchArena::Mark mark =
+            scratch != nullptr ? scratch->MarkPoint() : memory::ScratchArena::Mark{};
         ComputeNodeSlice(pm_, n.id, ProcKind::kCpu, act, split.cpu.begin, split.cpu.end,
-                         scratch);
+                         scratch, staged);
         if (scratch != nullptr) {
-          scratch->Reset();
+          if (staged != nullptr) {
+            scratch->ResetTo(mark);  // Keep the staging, recycle slice scratch.
+          } else {
+            scratch->Reset();
+          }
         }
         // The GPU's slice, computed with the CPU kernel flavor.
         ComputeNodeSlice(pm_, n.id, ProcKind::kCpu, act, split.gpu.begin, split.gpu.end,
-                         scratch);
+                         scratch, staged);
       }
       continue;
     }
@@ -675,15 +688,30 @@ void Executor::RunImpl(const Plan& plan, const Tensor* input, RunResult& out) {
 
     if (input != nullptr) {
       // Both slices run sequentially on this thread; reset between them so
-      // peak arena use is one slice's staging buffers.
+      // peak arena use is one slice's staging buffers. When both slice
+      // flavors compute in kF16 the dequantize+im2col producer is staged
+      // once above a Mark and shared across the slices (the redundant
+      // per-slice recomputation was the via-F16 cooperative bug).
       if (scratch != nullptr) {
         scratch->Reset();
       }
-      ComputeNodeSlice(pm_, n.id, ProcKind::kCpu, act, split.cpu.begin, split.cpu.end, scratch);
+      const Half* staged = cfg.ComputeFor(ProcKind::kCpu) == DType::kF16 &&
+                                   cfg.ComputeFor(ProcKind::kGpu) == DType::kF16
+                               ? StageViaF16Cols(pm_, n.id, act, scratch)
+                               : nullptr;
+      const memory::ScratchArena::Mark mark =
+          scratch != nullptr ? scratch->MarkPoint() : memory::ScratchArena::Mark{};
+      ComputeNodeSlice(pm_, n.id, ProcKind::kCpu, act, split.cpu.begin, split.cpu.end, scratch,
+                       staged);
       if (scratch != nullptr) {
-        scratch->Reset();
+        if (staged != nullptr) {
+          scratch->ResetTo(mark);  // Keep the staging, recycle slice scratch.
+        } else {
+          scratch->Reset();
+        }
       }
-      ComputeNodeSlice(pm_, n.id, ProcKind::kGpu, act, split.gpu.begin, split.gpu.end, scratch);
+      ComputeNodeSlice(pm_, n.id, ProcKind::kGpu, act, split.gpu.begin, split.gpu.end, scratch,
+                       staged);
     }
   }
 

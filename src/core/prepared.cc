@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "core/reference.h"
+#include "kernels/pack.h"
 #include "parallel/thread_pool.h"
 
 namespace ulayer {
@@ -35,6 +36,20 @@ int EffectiveQuantSource(const Graph& g, int id) {
   return n->id;
 }
 
+// Panel packing applies to dense convolutions only. FC layers are GEMV
+// (spatial = 1: the micro-kernel column loop degenerates, so panels buy no
+// reuse) and their classifier matrices dominate parameter count — doubling
+// them in memory for nothing is a bad trade. Depthwise convs never reach the
+// GEMM.
+bool ShouldPackFilters(const Node& n) { return n.desc.kind == LayerKind::kConv; }
+
+template <typename T>
+void PackFilterTensor(const T* w, const Shape& fs, std::vector<T>& out) {
+  const int64_t k = fs.c * fs.h * fs.w;
+  out.resize(static_cast<size_t>(PackedPanelElems(fs.n, k)));
+  PackRowPanels(w, fs.n, k, out.data());
+}
+
 }  // namespace
 
 PreparedModel::PreparedModel(const Model& model, const ExecConfig& config)
@@ -52,10 +67,18 @@ PreparedModel::PreparedModel(const Model& model, const ExecConfig& config)
       case DType::kF32:
         pw.filters = w.filters;
         pw.bias = w.bias;
+        if (config.scratch_arena && ShouldPackFilters(n)) {
+          PackFilterTensor(pw.filters.Data<float>(), pw.filters.shape(),
+                           pw.filters_packed_f32);
+        }
         break;
       case DType::kF16:
         pw.filters = ToF16Tensor(w.filters);
         pw.bias = ToF16Tensor(w.bias);
+        if (config.scratch_arena && ShouldPackFilters(n)) {
+          PackFilterTensor(pw.filters.Data<Half>(), pw.filters.shape(),
+                           pw.filters_packed_f16);
+        }
         break;
       case DType::kQUInt8:
         if (config.per_channel_weights && n.desc.kind != LayerKind::kDepthwiseConv) {
@@ -110,6 +133,14 @@ void PreparedModel::BuildWeightCaches(const Node& n, PreparedWeights& pw) const 
       for (int64_t i = 0; i < bias_f32.NumElements(); ++i) {
         pw.bias_f16[static_cast<size_t>(i)] = Half(bp[i]);
       }
+    }
+  }
+  // Packed panels for the GEMM micro-kernels: the raw quantized filters for
+  // the integer path, and the dequantized F16 cache for the via-F16 path.
+  if (ShouldPackFilters(n)) {
+    PackFilterTensor(w, fs, pw.filters_packed_qu8);
+    if (!pw.filters_f16.empty()) {
+      PackFilterTensor(pw.filters_f16.data(), fs, pw.filters_packed_f16);
     }
   }
 }
@@ -260,6 +291,30 @@ const RequantScale* PreparedModel::RequantPtr(int id) const {
     return nullptr;
   }
   return &it->second.requant;
+}
+
+const uint8_t* PreparedModel::PackedFiltersQU8Ptr(int id) const {
+  const auto it = weights_.find(id);
+  if (it == weights_.end() || it->second.filters_packed_qu8.empty()) {
+    return nullptr;
+  }
+  return it->second.filters_packed_qu8.data();
+}
+
+const float* PreparedModel::PackedFiltersF32Ptr(int id) const {
+  const auto it = weights_.find(id);
+  if (it == weights_.end() || it->second.filters_packed_f32.empty()) {
+    return nullptr;
+  }
+  return it->second.filters_packed_f32.data();
+}
+
+const Half* PreparedModel::PackedFiltersF16Ptr(int id) const {
+  const auto it = weights_.find(id);
+  if (it == weights_.end() || it->second.filters_packed_f16.empty()) {
+    return nullptr;
+  }
+  return it->second.filters_packed_f16.data();
 }
 
 const RequantScale* PreparedModel::PerChannelRequantPtr(int id) const {

@@ -77,6 +77,14 @@ class PreparedModel {
   const RequantScale* RequantPtr(int id) const;
   const RequantScale* PerChannelRequantPtr(int id) const;
 
+  // Packed filter panels (kernels/pack.h) in each dtype the conv kernels
+  // consume; built for dense conv layers only (kConv). FC layers are GEMV
+  // (n = 1) where panels buy nothing and the classifier matrices dominate
+  // model size, and depthwise kernels do not run through the GEMM.
+  const uint8_t* PackedFiltersQU8Ptr(int id) const;
+  const float* PackedFiltersF32Ptr(int id) const;
+  const Half* PackedFiltersF16Ptr(int id) const;
+
  private:
   struct PreparedWeights {
     Tensor filters;   // storage dtype
@@ -88,6 +96,11 @@ class PreparedModel {
     std::vector<Half> filters_f16;   // Dequantized filters, F16 (GPU path).
     std::vector<Half> bias_f16;      // F32 bias converted to F16 (GPU path).
     std::vector<int32_t> filter_rowsum;  // Raw uint8 row sums per out channel.
+    // Packed panels of the filter matrix [OC, IC*KH*KW] (dense conv only;
+    // the dtype matching `filters` plus the F16 pack of filters_f16).
+    std::vector<uint8_t> filters_packed_qu8;
+    std::vector<float> filters_packed_f32;
+    std::vector<Half> filters_packed_f16;
     RequantScale requant;            // Per-tensor multiplier (Calibrate).
     bool has_requant = false;
     std::vector<RequantScale> requant_per_channel;  // Per-channel multipliers.

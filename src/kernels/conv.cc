@@ -6,6 +6,7 @@
 
 #include "kernels/gemm.h"
 #include "kernels/im2col.h"
+#include "kernels/simd.h"
 #include "parallel/thread_pool.h"
 #include "quant/half.h"
 #include "quant/quantize.h"
@@ -23,9 +24,21 @@ int64_t ResolveEnd(int64_t end, int64_t limit) {
 int64_t AlignUp64(int64_t bytes) { return (bytes + 63) & ~int64_t{63}; }
 
 // Mirror of the GEMM blocking (see gemm.cc) for the per-channel kernel.
-constexpr int64_t kRowTile = 4;
+constexpr int64_t kRowTile = simd::kRowTile;
 constexpr int64_t kColTileQ = 256;
-constexpr int64_t kKUnroll = 4;
+
+// Slice view into the prepare-time packed filter panels (kernels/pack.h):
+// panels interleave absolute output channels in groups of kRowTile, so a
+// slice can only enter at a tile boundary. Cooperative split grains are
+// kRowTile-aligned; an odd oc_begin (tests, hand-built plans) falls back to
+// the row-major filters by returning null.
+template <typename T>
+const T* PackedSlice(const T* packed, int64_t oc_begin, int64_t k) {
+  if (packed == nullptr || oc_begin % kRowTile != 0) {
+    return nullptr;
+  }
+  return packed + (oc_begin / kRowTile) * (kRowTile * k);
+}
 
 // Rounds a ParallelFor grain up to a multiple of kRowTile so chunk boundaries
 // do not split row tiles (GrainForOps returns 1 for large per-row op counts).
@@ -82,7 +95,8 @@ void Conv2DF32(const Tensor& input, const Tensor& filters, const Tensor& bias,
               cols.data());
     float* out = output.Data<float>() + output.shape().Offset(ni, oc_begin, 0, 0);
     const float* w = filters.Data<float>() + oc_begin * k;
-    GemmF32(w, cols.data(), out, oc_end - oc_begin, spatial, k, bias_ptr, p.relu);
+    GemmF32(w, cols.data(), out, oc_end - oc_begin, spatial, k, bias_ptr, p.relu,
+            PackedSlice(aux.filters_packed_f32, oc_begin, k));
   }
 }
 
@@ -108,7 +122,8 @@ void Conv2DF16(const Tensor& input, const Tensor& filters, const Tensor& bias,
               cols.data());
     Half* out = output.Data<Half>() + output.shape().Offset(ni, oc_begin, 0, 0);
     const Half* w = filters.Data<Half>() + oc_begin * k;
-    GemmF16(w, cols.data(), out, oc_end - oc_begin, spatial, k, bias_ptr, p.relu);
+    GemmF16(w, cols.data(), out, oc_end - oc_begin, spatial, k, bias_ptr, p.relu,
+            PackedSlice(aux.filters_packed_f16, oc_begin, k));
   }
 }
 
@@ -146,7 +161,8 @@ void Conv2DQU8(const Tensor& input, const Tensor& filters, const Tensor& bias,
     uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, oc_begin, 0, 0);
     const uint8_t* w = filters.Data<uint8_t>() + oc_begin * k;
     GemmQU8(w, filters.zero_point(), cols.data(), input.zero_point(), out, output.zero_point(), rs,
-            oc_end - oc_begin, spatial, k, bias_ptr, p.relu, rowsum);
+            oc_end - oc_begin, spatial, k, bias_ptr, p.relu, rowsum,
+            PackedSlice(aux.filters_packed_qu8, oc_begin, k));
   }
 }
 
@@ -191,6 +207,12 @@ void Conv2DQU8PerChannel(const Tensor& input, const Tensor& filters,
   };
 
   const uint8_t* wdata = filters.Data<uint8_t>();
+  // Absolute-indexed packed panels: chunk starts are oc_begin plus a multiple
+  // of the kRowTile-aligned grain, so every tile start is tile-aligned
+  // whenever oc_begin is.
+  const uint8_t* packed =
+      oc_begin % kRowTile == 0 ? aux.filters_packed_qu8 : nullptr;
+  const simd::GemmMicroKernels& mk = simd::ActiveGemmMicroKernels();
   for (int64_t ni = 0; ni < is.n; ++ni) {
     const uint8_t* img = input.Data<uint8_t>() + ni * is.c * is.h * is.w;
     Im2ColQU8(img, static_cast<int>(is.c), static_cast<int>(is.h), static_cast<int>(is.w), p,
@@ -206,8 +228,22 @@ void Conv2DQU8PerChannel(const Tensor& input, const Tensor& filters,
           int32_t w_zp[kRowTile];
           int32_t srow[kRowTile];  // sum_k (w[oc,k] - w_zp[oc])
           int32_t b0[kRowTile];
+          const uint8_t* w_rows[kRowTile];
           for (int64_t oc0 = ob; oc0 < oe; oc0 += kRowTile) {
             const int64_t rows = std::min(kRowTile, oe - oc0);
+            int64_t w_kstride = 1;
+            if (packed != nullptr) {
+              assert(oc0 % kRowTile == 0);
+              const uint8_t* panel = packed + (oc0 / kRowTile) * (kRowTile * k);
+              for (int64_t r = 0; r < rows; ++r) {
+                w_rows[r] = panel + r;
+              }
+              w_kstride = kRowTile;
+            } else {
+              for (int64_t r = 0; r < rows; ++r) {
+                w_rows[r] = wdata + (oc0 + r) * k;
+              }
+            }
             for (int64_t r = 0; r < rows; ++r) {
               const int64_t oc = oc0 + r;
               w_zp[r] = w_params.channels[static_cast<size_t>(oc)].zero_point;
@@ -215,9 +251,9 @@ void Conv2DQU8PerChannel(const Tensor& input, const Tensor& filters,
               if (aux.filter_rowsum != nullptr) {
                 raw = aux.filter_rowsum[oc];
               } else {
-                const uint8_t* wrow = wdata + oc * k;
+                const uint8_t* wrow = w_rows[r];
                 for (int64_t kk = 0; kk < k; ++kk) {
-                  raw += static_cast<int32_t>(wrow[kk]);
+                  raw += static_cast<int32_t>(wrow[kk * w_kstride]);
                 }
               }
               srow[r] = raw - static_cast<int32_t>(k) * w_zp[r];
@@ -228,38 +264,8 @@ void Conv2DQU8PerChannel(const Tensor& input, const Tensor& filters,
               for (int64_t r = 0; r < rows; ++r) {
                 std::fill(acc[r], acc[r] + jn, b0[r]);
               }
-              int64_t kk = 0;
-              for (; kk + kKUnroll <= k; kk += kKUnroll) {
-                const uint8_t* c0p = cols.data() + kk * spatial + jb;
-                const uint8_t* c1p = c0p + spatial;
-                const uint8_t* c2p = c1p + spatial;
-                const uint8_t* c3p = c2p + spatial;
-                for (int64_t r = 0; r < rows; ++r) {
-                  const uint8_t* wrow = wdata + (oc0 + r) * k + kk;
-                  const int32_t wv0 = static_cast<int32_t>(wrow[0]) - w_zp[r];
-                  const int32_t wv1 = static_cast<int32_t>(wrow[1]) - w_zp[r];
-                  const int32_t wv2 = static_cast<int32_t>(wrow[2]) - w_zp[r];
-                  const int32_t wv3 = static_cast<int32_t>(wrow[3]) - w_zp[r];
-                  int32_t* ar = acc[r];
-                  for (int64_t j = 0; j < jn; ++j) {
-                    ar[j] += wv0 * static_cast<int32_t>(c0p[j]) +
-                             wv1 * static_cast<int32_t>(c1p[j]) +
-                             wv2 * static_cast<int32_t>(c2p[j]) +
-                             wv3 * static_cast<int32_t>(c3p[j]);
-                  }
-                }
-              }
-              for (; kk < k; ++kk) {
-                const uint8_t* crow = cols.data() + kk * spatial + jb;
-                for (int64_t r = 0; r < rows; ++r) {
-                  const int32_t wv =
-                      static_cast<int32_t>(wdata[(oc0 + r) * k + kk]) - w_zp[r];
-                  int32_t* ar = acc[r];
-                  for (int64_t j = 0; j < jn; ++j) {
-                    ar[j] += wv * static_cast<int32_t>(crow[j]);
-                  }
-                }
-              }
+              mk.qu8(w_rows, w_kstride, w_zp, cols.data() + jb, spatial, rows, jn,
+                     k, &acc[0][0], kColTileQ);
               for (int64_t r = 0; r < rows; ++r) {
                 const int64_t oc = oc0 + r;
                 const int32_t corr = in_zp * srow[r];
@@ -302,14 +308,18 @@ void Conv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const Tensor& b
 
   // F16 operands: the PreparedModel cache when available (built once at
   // prepare time), otherwise dequantized into staging buffers per call —
-  // exactly the values a GPU kernel would produce per load.
-  const Half* w16;
+  // exactly the values a GPU kernel would produce per load. The packed
+  // panels hold the same cached Half values in tile order, so when they
+  // apply the per-call dequantization is skipped entirely.
+  const Half* w_packed = PackedSlice(aux.filters_packed_f16, oc_begin, k);
+  const Half* w16 = nullptr;
+  const bool need_w16_staging = aux.filters_f16 == nullptr && w_packed == nullptr;
   ScratchVec<Half> w16_own(
       aux.scratch,
-      aux.filters_f16 != nullptr ? 0 : static_cast<size_t>((oc_end - oc_begin) * k));
+      need_w16_staging ? static_cast<size_t>((oc_end - oc_begin) * k) : 0);
   if (aux.filters_f16 != nullptr) {
     w16 = aux.filters_f16 + oc_begin * k;
-  } else {
+  } else if (need_w16_staging) {
     const uint8_t* wq = filters.Data<uint8_t>() + oc_begin * k;
     const size_t wn = static_cast<size_t>((oc_end - oc_begin) * k);
     for (size_t i = 0; i < wn; ++i) {
@@ -335,22 +345,35 @@ void Conv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const Tensor& b
     }
   }
 
-  ScratchVec<Half> img16(aux.scratch, static_cast<size_t>(is.c * is.h * is.w));
-  ScratchVec<Half> cols(aux.scratch, static_cast<size_t>(k * spatial));
+  // The dequantize+im2col producer: per-call buffers, unless the executor
+  // staged the columns once for the whole node (cooperative slices would
+  // otherwise redo this identically per slice).
+  const Half* staged = aux.staged_cols;
+  ScratchVec<Half> img16(aux.scratch,
+                         staged != nullptr ? 0 : static_cast<size_t>(is.c * is.h * is.w));
+  ScratchVec<Half> cols(aux.scratch,
+                        staged != nullptr ? 0 : static_cast<size_t>(k * spatial));
   ScratchVec<Half> out16(aux.scratch, static_cast<size_t>((oc_end - oc_begin) * spatial));
   const int64_t img_elems = is.c * is.h * is.w;
   const int64_t out_elems = (oc_end - oc_begin) * spatial;
   for (int64_t ni = 0; ni < is.n; ++ni) {
-    const uint8_t* img = input.Data<uint8_t>() + ni * img_elems;
-    parallel::ParallelFor(0, img_elems, parallel::GrainForOps(1.0),
-                          [&](int64_t b, int64_t e) {
-                            for (int64_t i = b; i < e; ++i) {
-                              img16.data()[i] = Half(in_qp.Dequantize(img[i]));
-                            }
-                          });
-    Im2ColF16(img16.data(), static_cast<int>(is.c), static_cast<int>(is.h),
-              static_cast<int>(is.w), p, cols.data());
-    GemmF16(w16, cols.data(), out16.data(), oc_end - oc_begin, spatial, k, bias16, p.relu);
+    const Half* cols_ptr;
+    if (staged != nullptr) {
+      cols_ptr = staged + ni * k * spatial;
+    } else {
+      const uint8_t* img = input.Data<uint8_t>() + ni * img_elems;
+      parallel::ParallelFor(0, img_elems, parallel::GrainForOps(1.0),
+                            [&](int64_t b, int64_t e) {
+                              for (int64_t i = b; i < e; ++i) {
+                                img16.data()[i] = Half(in_qp.Dequantize(img[i]));
+                              }
+                            });
+      Im2ColF16(img16.data(), static_cast<int>(is.c), static_cast<int>(is.h),
+                static_cast<int>(is.w), p, cols.data());
+      cols_ptr = cols.data();
+    }
+    GemmF16(w16, cols_ptr, out16.data(), oc_end - oc_begin, spatial, k, bias16, p.relu,
+            w_packed);
     // Requantize the F16 results back to the shared QUInt8 output buffer.
     uint8_t* out = output.Data<uint8_t>() + output.shape().Offset(ni, oc_begin, 0, 0);
     parallel::ParallelFor(0, out_elems, parallel::GrainForOps(1.0),
@@ -360,6 +383,50 @@ void Conv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const Tensor& b
                             }
                           });
   }
+}
+
+const Half* Conv2DQU8ViaF16StageCols(const Tensor& input, const Shape& filter_shape,
+                                     const Conv2DParams& p,
+                                     memory::ScratchArena* arena) {
+  if (arena == nullptr) {
+    return nullptr;
+  }
+  assert(input.dtype() == DType::kQUInt8);
+  const Shape& is = input.shape();
+  const int out_h = p.OutH(static_cast<int>(is.h));
+  const int out_w = p.OutW(static_cast<int>(is.w));
+  const int64_t k = filter_shape.c * filter_shape.h * filter_shape.w;
+  const int64_t spatial = int64_t{out_h} * out_w;
+  const int64_t img_elems = is.c * is.h * is.w;
+  const QuantParams in_qp{input.scale(), input.zero_point()};
+
+  Half* cols = arena->AllocN<Half>(static_cast<size_t>(is.n * k * spatial));
+  Half* img16 = arena->AllocN<Half>(static_cast<size_t>(img_elems));
+  for (int64_t ni = 0; ni < is.n; ++ni) {
+    const uint8_t* img = input.Data<uint8_t>() + ni * img_elems;
+    // Same dequantize expression and im2col as the per-call path, so the
+    // staged columns are byte-identical to what each slice would rebuild.
+    parallel::ParallelFor(0, img_elems, parallel::GrainForOps(1.0),
+                          [&](int64_t b, int64_t e) {
+                            for (int64_t i = b; i < e; ++i) {
+                              img16[i] = Half(in_qp.Dequantize(img[i]));
+                            }
+                          });
+    Im2ColF16(img16, static_cast<int>(is.c), static_cast<int>(is.h),
+              static_cast<int>(is.w), p, cols + ni * k * spatial);
+  }
+  return cols;
+}
+
+int64_t Conv2DViaF16StagedColsBytes(const Shape& input_shape, const Shape& filter_shape,
+                                    const Conv2DParams& p) {
+  const int out_h = p.OutH(static_cast<int>(input_shape.h));
+  const int out_w = p.OutW(static_cast<int>(input_shape.w));
+  const int64_t k = filter_shape.c * filter_shape.h * filter_shape.w;
+  const int64_t spatial = int64_t{out_h} * out_w;
+  const int64_t img_elems = input_shape.c * input_shape.h * input_shape.w;
+  return AlignUp64(input_shape.n * k * spatial * int64_t{sizeof(Half)}) +
+         AlignUp64(img_elems * int64_t{sizeof(Half)});
 }
 
 namespace {
@@ -537,7 +604,8 @@ void DepthwiseConv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const 
 }
 
 int64_t Conv2DScratchBytes(DType storage, DType compute, const Shape& input_shape,
-                           const Shape& filter_shape, const Conv2DParams& p) {
+                           const Shape& filter_shape, const Conv2DParams& p,
+                           bool staged_cols) {
   const int out_h = p.OutH(static_cast<int>(input_shape.h));
   const int out_w = p.OutW(static_cast<int>(input_shape.w));
   const int64_t k = filter_shape.c * filter_shape.h * filter_shape.w;
@@ -551,11 +619,14 @@ int64_t Conv2DScratchBytes(DType storage, DType compute, const Shape& input_shap
     case DType::kQUInt8: {
       if (compute == DType::kF16) {
         // img16 + cols + out16, plus the w16/bias16 fallbacks for callers
-        // without the prepare-time cache.
+        // without the prepare-time cache. With staged_cols the image and
+        // column buffers come from ConvAux::staged_cols instead.
         const int64_t img_elems = input_shape.c * input_shape.h * input_shape.w;
-        return AlignUp64(img_elems * int64_t{sizeof(Half)}) +
-               AlignUp64(k * spatial * int64_t{sizeof(Half)}) +
-               AlignUp64(oc * spatial * int64_t{sizeof(Half)}) +
+        const int64_t per_call = staged_cols
+                                     ? 0
+                                     : AlignUp64(img_elems * int64_t{sizeof(Half)}) +
+                                           AlignUp64(k * spatial * int64_t{sizeof(Half)});
+        return per_call + AlignUp64(oc * spatial * int64_t{sizeof(Half)}) +
                AlignUp64(oc * k * int64_t{sizeof(Half)}) +
                AlignUp64(oc * int64_t{sizeof(Half)});
       }

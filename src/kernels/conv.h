@@ -47,6 +47,22 @@ struct ConvAux {
   // instead of being rebuilt on every call.
   const Half* filters_f16 = nullptr;
   const Half* bias_f16 = nullptr;
+
+  // Prepare-time packed filter panels (kernels/pack.h): the full filter
+  // matrix [OC, IC*KH*KW] repacked into kRowTile-interleaved panels, indexed
+  // by absolute output channel. Used only when oc_begin is tile-aligned
+  // (cooperative split grains are; odd slices fall back to the row-major
+  // filters). filters_packed_f16 packs the filters_f16 cache above.
+  const uint8_t* filters_packed_qu8 = nullptr;
+  const float* filters_packed_f32 = nullptr;
+  const Half* filters_packed_f16 = nullptr;
+
+  // Via-F16 cooperative staging: the dequantized-and-im2col'd input columns
+  // for ALL batches, [N][IC*KH*KW][OH*OW] in Half, built once per node by
+  // Conv2DQU8ViaF16StageCols. When set, Conv2DQU8ViaF16 skips its per-call
+  // image dequantize + im2col — the producer work both cooperative slices
+  // would otherwise redo identically.
+  const Half* staged_cols = nullptr;
 };
 
 // F32 convolution. filters: [OC, IC, KH, KW]; bias: [OC] (may be empty).
@@ -101,12 +117,30 @@ void DepthwiseConv2DQU8ViaF16(const Tensor& input, const Tensor& filters, const 
                               const Conv2DParams& p, Tensor& output, int64_t c_begin = 0,
                               int64_t c_end = -1, const ConvAux& aux = {});
 
+// Builds the via-F16 staged input columns for all batches into `arena`:
+// dequantizes the QU8 input image to Half and im2cols it, laid out
+// [N][IC*KH*KW][OH*OW]. Pass the result as ConvAux::staged_cols to every
+// cooperative slice of the node (take an arena Mark right after staging and
+// ResetTo it between slices so the staging survives while per-slice scratch
+// is recycled). Returns null when `arena` is null.
+const Half* Conv2DQU8ViaF16StageCols(const Tensor& input, const Shape& filter_shape,
+                                     const Conv2DParams& p,
+                                     memory::ScratchArena* arena);
+
+// Arena bytes Conv2DQU8ViaF16StageCols allocates (cols for all batches plus
+// the Half image staging buffer, with alignment slack).
+int64_t Conv2DViaF16StagedColsBytes(const Shape& input_shape, const Shape& filter_shape,
+                                    const Conv2DParams& p);
+
 // Worst-case scratch-arena bytes one call of the QUInt8/F16/F32 conv kernels
 // may request for the given shapes under `storage`/`compute` dtypes
 // (includes per-buffer alignment slack). Used by the executor's prepare-time
-// dry run to size the arena.
+// dry run to size the arena. With `staged_cols` true, returns the (smaller)
+// per-call need of a via-F16 call that receives ConvAux::staged_cols — the
+// image and column buffers are excluded.
 int64_t Conv2DScratchBytes(DType storage, DType compute, const Shape& input_shape,
-                           const Shape& filter_shape, const Conv2DParams& p);
+                           const Shape& filter_shape, const Conv2DParams& p,
+                           bool staged_cols = false);
 
 // --- Declared access specifications (kernels/access_spec.h) -----------------
 

@@ -3,95 +3,144 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <vector>
 
+#include "kernels/simd.h"
 #include "parallel/thread_pool.h"
 
 namespace ulayer {
 namespace {
 
-// Blocking parameters (DESIGN.md Section 9).
+// Blocking parameters (DESIGN.md Sections 9 and 13).
 //
-// kKUnroll B-panel rows are streamed per pass so each C element is loaded and
-// stored once per kKUnroll k-steps instead of once per k-step — accumulator
-// traffic is the bottleneck of the naive i-k-j loop. The QU8 kernel
-// additionally processes kRowTile A-rows together over kColTileQ-column int32
-// accumulator tiles kept on the stack (1 KB per row: L1-resident, and no
-// per-call heap allocation).
-constexpr int64_t kKUnroll = 4;
-constexpr int64_t kRowTile = 4;
+// All three GEMMs process kRowTile A-rows per micro-kernel tile so each B
+// panel read is amortized over four output rows. The QU8 kernel additionally
+// blocks columns over kColTileQ-wide int32 accumulator tiles kept on the
+// stack (1 KB per row: L1-resident, and no per-call heap allocation). The
+// inner tiles themselves live in kernels/simd.h and are runtime-dispatched
+// to the best available ISA.
+constexpr int64_t kRowTile = simd::kRowTile;
 constexpr int64_t kColTileQ = 256;
 
 // Rounds a ParallelFor grain up to a multiple of kRowTile so chunk boundaries
-// do not split row tiles (GrainForOps returns 1 for large n*k).
+// do not split row tiles (GrainForOps returns 1 for large n*k), then floors it
+// at kMinGrainRows: the cache blocking below amortizes its B panel staging
+// over every row tile of a chunk, so a 4-row chunk (what GrainForOps alone
+// yields on any real layer) would re-stream the panel once per tile and never
+// hit the packed path. 32 rows = 8 row tiles per chunk still splits typical
+// layer oc counts across a multi-core budget, and the grain stays a pure
+// function of the shape — chunk boundaries never depend on the thread count
+// (the determinism contract in parallel/thread_pool.h).
+constexpr int64_t kMinGrainRows = 32;
+
 int64_t RowTileGrain(double ops_per_row) {
   const int64_t g = parallel::GrainForOps(ops_per_row);
-  return ((g + kRowTile - 1) / kRowTile) * kRowTile;
+  const int64_t tiles = ((g + kRowTile - 1) / kRowTile) * kRowTile;
+  return std::max(tiles, kMinGrainRows);
+}
+
+// Resolves the kRowTile row pointers for the tile starting at row i0: either
+// into the packed panel (k-major interleaved groups of kRowTile rows,
+// kernels/pack.h) or into plain row-major A. Returns the element stride
+// between consecutive k values.
+template <typename T>
+int64_t TileRowPointers(const T* a, const T* a_packed, int64_t i0, int64_t rows,
+                        int64_t k, const T* rows_out[]) {
+  if (a_packed != nullptr) {
+    assert(i0 % kRowTile == 0 && "packed panels require tile-aligned rows");
+    const T* panel = a_packed + (i0 / kRowTile) * (kRowTile * k);
+    for (int64_t r = 0; r < rows; ++r) {
+      rows_out[r] = panel + r;
+    }
+    return kRowTile;
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    rows_out[r] = a + (i0 + r) * k;
+  }
+  return 1;
 }
 
 }  // namespace
 
 void GemmF32(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
-             const float* bias, bool relu) {
-  // Rows are independent: parallelize over m. Within a row, k is unrolled by
-  // kKUnroll with one sequential += per term, so for each (i, j) the
-  // accumulation order over k is ascending exactly as in the naive i-k-j
-  // loop and the float results are bit-identical. The naive kernel's av == 0
-  // skip is preserved by diverting to a per-k tail whenever any unrolled
-  // coefficient is zero (skipping matters only for the sign of zero, but the
-  // baseline skipped, so we must too).
+             const float* bias, bool relu, const float* a_packed) {
+  // Rows are independent: parallelize over m in kRowTile groups. Within the
+  // micro-kernel every C element accumulates over ascending k with one
+  // sequential += per term and the naive kernel's av == 0 skip preserved per
+  // (row, k), so float results stay bit-identical to the naive i-k-j loop
+  // regardless of the dispatched ISA (skipping matters only for the sign of
+  // zero, but the baseline skipped, so every variant must too).
+  //
+  // Cache blocking, two levels. Columns: one B panel (k x jtile floats,
+  // jtile capped so a strip fits L1) stays L2-resident across all row tiles
+  // of a chunk — without it the full B matrix streams from memory once per
+  // row tile. k: each micro-kernel call covers a kKStripF32-row strip of B
+  // (kstrip x jtile x 4B ~ 32 KB, L1-resident across the strip's column
+  // sub-blocks; a full-k walk at row stride n*4 costs a TLB miss per touch
+  // on large layers). Blocking only reorders whole (row, column, k-range)
+  // units of work: each C element still accumulates its terms in ascending
+  // k — partial sums round-trip through C exactly — and sees one bias-fill
+  // and one relu, so outputs stay bit-identical to the unblocked loop.
+  //
+  // When the chunk spans enough row tiles to amortize the copy, each B panel
+  // is additionally packed into a contiguous (k x jn) buffer before use: at
+  // large n the strided panel spans one 4 KB page per couple of B rows, so a
+  // k-strip walk touches more pages than the L1 dTLB holds and every row
+  // load stalls on a translation. The packed panel is dense (a 32 KB strip
+  // covers 8 pages) and prefetch-friendly. Packing is pure data movement —
+  // the kernels consume the same values in the same order via ldb.
+  constexpr int64_t kBPanelElems = int64_t{1} << 18;  // 1 MiB of floats.
+  constexpr int64_t kKStripF32 = 64;
+  int64_t jtile = (kBPanelElems / std::max<int64_t>(k, 1)) & ~int64_t{15};
+  jtile = std::min<int64_t>(std::max<int64_t>(jtile, 16), 128);
+  const simd::GemmMicroKernels& mk = simd::ActiveGemmMicroKernels();
   parallel::ParallelFor(
-      0, m, parallel::GrainForOps(static_cast<double>(n) * static_cast<double>(k)),
+      0, m, RowTileGrain(static_cast<double>(n) * static_cast<double>(k)),
       [&](int64_t i_begin, int64_t i_end) {
-        for (int64_t i = i_begin; i < i_end; ++i) {
-          float* crow = c + i * n;
-          const float b0 = bias != nullptr ? bias[i] : 0.0f;
-          std::fill(crow, crow + n, b0);
-          const float* arow = a + i * k;
-          int64_t kk = 0;
-          for (; kk + kKUnroll <= k; kk += kKUnroll) {
-            const float av0 = arow[kk];
-            const float av1 = arow[kk + 1];
-            const float av2 = arow[kk + 2];
-            const float av3 = arow[kk + 3];
-            const float* b0p = b + kk * n;
-            const float* b1p = b0p + n;
-            const float* b2p = b1p + n;
-            const float* b3p = b2p + n;
-            if (av0 != 0.0f && av1 != 0.0f && av2 != 0.0f && av3 != 0.0f) {
-              for (int64_t j = 0; j < n; ++j) {
-                float t = crow[j];
-                t += av0 * b0p[j];
-                t += av1 * b1p[j];
-                t += av2 * b2p[j];
-                t += av3 * b3p[j];
-                crow[j] = t;
-              }
-            } else {
-              for (int64_t u = 0; u < kKUnroll; ++u) {
-                const float av = arow[kk + u];
-                if (av == 0.0f) {
-                  continue;
-                }
-                const float* brow = b + (kk + u) * n;
-                for (int64_t j = 0; j < n; ++j) {
-                  crow[j] += av * brow[j];
-                }
-              }
+        const float* a_rows[kRowTile];
+        const float* a_rows_ks[kRowTile];
+        float* c_rows[kRowTile];
+        const bool pack_b = i_end - i_begin >= 4 * kRowTile;
+        std::vector<float> bpanel(pack_b ? static_cast<size_t>(jtile * k) : 0);
+        for (int64_t jc = 0; jc < n; jc += jtile) {
+          const int64_t jn = std::min(jtile, n - jc);
+          const float* bp = b + jc;
+          int64_t bldb = n;
+          if (pack_b) {
+            for (int64_t kk = 0; kk < k; ++kk) {
+              std::copy_n(b + kk * n + jc, jn, bpanel.data() + kk * jn);
             }
+            bp = bpanel.data();
+            bldb = jn;
           }
-          for (; kk < k; ++kk) {
-            const float av = arow[kk];
-            if (av == 0.0f) {
-              continue;
-            }
-            const float* brow = b + kk * n;
-            for (int64_t j = 0; j < n; ++j) {
-              crow[j] += av * brow[j];
+          // k strips outermost within the column block: one 32 KB B strip
+          // stays L1-resident across every row tile instead of re-streaming
+          // the whole panel from L2 once per tile. Each C element still sees
+          // bias first, then its k terms in ascending order (strips ascend,
+          // kk ascends within a strip), then one relu.
+          for (int64_t i = i_begin; i < i_end; ++i) {
+            float* crow = c + i * n + jc;
+            const float b0 = bias != nullptr ? bias[i] : 0.0f;
+            std::fill(crow, crow + jn, b0);
+          }
+          for (int64_t ks = 0; ks < k; ks += kKStripF32) {
+            const int64_t kn = std::min(kKStripF32, k - ks);
+            for (int64_t i0 = i_begin; i0 < i_end; i0 += kRowTile) {
+              const int64_t rows = std::min(kRowTile, i_end - i0);
+              const int64_t a_kstride = TileRowPointers(a, a_packed, i0, rows, k, a_rows);
+              for (int64_t r = 0; r < rows; ++r) {
+                a_rows_ks[r] = a_rows[r] + ks * a_kstride;
+                c_rows[r] = c + (i0 + r) * n + jc;
+              }
+              mk.f32(a_rows_ks, a_kstride, bp + ks * bldb, bldb, rows, jn, kn, c_rows);
             }
           }
           if (relu) {
-            for (int64_t j = 0; j < n; ++j) {
-              crow[j] = std::max(crow[j], 0.0f);
+            for (int64_t i = i_begin; i < i_end; ++i) {
+              float* crow = c + i * n + jc;
+              for (int64_t j = 0; j < jn; ++j) {
+                crow[j] = std::max(crow[j], 0.0f);
+              }
             }
           }
         }
@@ -99,24 +148,36 @@ void GemmF32(const float* a, const float* b, float* c, int64_t m, int64_t n, int
 }
 
 void GemmF16(const Half* a, const Half* b, Half* c, int64_t m, int64_t n, int64_t k,
-             const Half* bias, bool relu) {
+             const Half* bias, bool relu, const Half* a_packed) {
+  // Same row-tiled structure as GemmF32; the C row doubles as the running
+  // Half accumulator, so per element the op chain is c = RN16(c + RN16(a*b))
+  // over ascending k — exactly the naive register-accumulator sequence, and
+  // the F16C variant implements the identical per-step rounding in hardware.
   const Half zero(0.0f);
+  const simd::GemmMicroKernels& mk = simd::ActiveGemmMicroKernels();
   parallel::ParallelFor(
-      0, m, parallel::GrainForOps(static_cast<double>(n) * static_cast<double>(k)),
+      0, m, RowTileGrain(static_cast<double>(n) * static_cast<double>(k)),
       [&](int64_t i_begin, int64_t i_end) {
-        for (int64_t i = i_begin; i < i_end; ++i) {
-          Half* crow = c + i * n;
-          const Half b0 = bias != nullptr ? bias[i] : zero;
-          const Half* arow = a + i * k;
-          for (int64_t j = 0; j < n; ++j) {
-            Half acc = b0;
-            for (int64_t kk = 0; kk < k; ++kk) {
-              acc += arow[kk] * b[kk * n + j];
+        const Half* a_rows[kRowTile];
+        Half* c_rows[kRowTile];
+        for (int64_t i0 = i_begin; i0 < i_end; i0 += kRowTile) {
+          const int64_t rows = std::min(kRowTile, i_end - i0);
+          for (int64_t r = 0; r < rows; ++r) {
+            c_rows[r] = c + (i0 + r) * n;
+            const Half b0 = bias != nullptr ? bias[i0 + r] : zero;
+            std::fill(c_rows[r], c_rows[r] + n, b0);
+          }
+          const int64_t a_kstride = TileRowPointers(a, a_packed, i0, rows, k, a_rows);
+          mk.f16(a_rows, a_kstride, b, n, rows, n, k, c_rows);
+          if (relu) {
+            for (int64_t r = 0; r < rows; ++r) {
+              Half* crow = c_rows[r];
+              for (int64_t j = 0; j < n; ++j) {
+                if (crow[j] < zero) {
+                  crow[j] = zero;
+                }
+              }
             }
-            if (relu && acc < zero) {
-              acc = zero;
-            }
-            crow[j] = acc;
           }
         }
       });
@@ -124,27 +185,33 @@ void GemmF16(const Half* a, const Half* b, Half* c, int64_t m, int64_t n, int64_
 
 void GemmQU8(const uint8_t* a, int32_t a_zp, const uint8_t* b, int32_t b_zp, uint8_t* c,
              int32_t c_zp, const RequantScale& rs, int64_t m, int64_t n, int64_t k,
-             const int32_t* bias, bool relu, const int32_t* a_rowsum) {
+             const int32_t* bias, bool relu, const int32_t* a_rowsum,
+             const uint8_t* a_packed) {
   // Accumulation bound: every partial sum of (a - a_zp) * b terms is within
   // |bias| + 255*255*k, the same bound as the naive (a-a_zp)(b-b_zp) kernel,
   // because the b_zp correction is applied only after the k loop.
   assert(k <= INT32_MAX / (255 * 255) && "int32 accumulator would overflow");
+  const simd::GemmMicroKernels& mk = simd::ActiveGemmMicroKernels();
   parallel::ParallelFor(
       0, m, RowTileGrain(static_cast<double>(n) * static_cast<double>(k)),
       [&](int64_t i_begin, int64_t i_end) {
         // Stack tiles: no per-chunk heap allocation (DESIGN.md Section 9).
         int32_t acc[kRowTile][kColTileQ];
         int32_t srow[kRowTile];  // Signed row sums: sum_k (a[i,k] - a_zp).
+        int32_t zps[kRowTile];
+        const uint8_t* a_rows[kRowTile];
+        std::fill(zps, zps + kRowTile, a_zp);
         for (int64_t i0 = i_begin; i0 < i_end; i0 += kRowTile) {
           const int64_t rows = std::min(kRowTile, i_end - i0);
+          const int64_t a_kstride = TileRowPointers(a, a_packed, i0, rows, k, a_rows);
           for (int64_t r = 0; r < rows; ++r) {
             int32_t raw = 0;
             if (a_rowsum != nullptr) {
               raw = a_rowsum[i0 + r];
             } else {
-              const uint8_t* arow = a + (i0 + r) * k;
+              const uint8_t* arow = a_rows[r];
               for (int64_t kk = 0; kk < k; ++kk) {
-                raw += static_cast<int32_t>(arow[kk]);
+                raw += static_cast<int32_t>(arow[kk * a_kstride]);
               }
             }
             srow[r] = raw - static_cast<int32_t>(k) * a_zp;
@@ -155,37 +222,8 @@ void GemmQU8(const uint8_t* a, int32_t a_zp, const uint8_t* b, int32_t b_zp, uin
               const int32_t b0 = bias != nullptr ? bias[i0 + r] : 0;
               std::fill(acc[r], acc[r] + jn, b0);
             }
-            int64_t kk = 0;
-            for (; kk + kKUnroll <= k; kk += kKUnroll) {
-              const uint8_t* b0p = b + kk * n + jb;
-              const uint8_t* b1p = b0p + n;
-              const uint8_t* b2p = b1p + n;
-              const uint8_t* b3p = b2p + n;
-              for (int64_t r = 0; r < rows; ++r) {
-                const uint8_t* arow = a + (i0 + r) * k + kk;
-                const int32_t av0 = static_cast<int32_t>(arow[0]) - a_zp;
-                const int32_t av1 = static_cast<int32_t>(arow[1]) - a_zp;
-                const int32_t av2 = static_cast<int32_t>(arow[2]) - a_zp;
-                const int32_t av3 = static_cast<int32_t>(arow[3]) - a_zp;
-                int32_t* ar = acc[r];
-                for (int64_t j = 0; j < jn; ++j) {
-                  ar[j] += av0 * static_cast<int32_t>(b0p[j]) +
-                           av1 * static_cast<int32_t>(b1p[j]) +
-                           av2 * static_cast<int32_t>(b2p[j]) +
-                           av3 * static_cast<int32_t>(b3p[j]);
-                }
-              }
-            }
-            for (; kk < k; ++kk) {
-              const uint8_t* brow = b + kk * n + jb;
-              for (int64_t r = 0; r < rows; ++r) {
-                const int32_t av = static_cast<int32_t>(a[(i0 + r) * k + kk]) - a_zp;
-                int32_t* ar = acc[r];
-                for (int64_t j = 0; j < jn; ++j) {
-                  ar[j] += av * static_cast<int32_t>(brow[j]);
-                }
-              }
-            }
+            mk.qu8(a_rows, a_kstride, zps, b + jb, n, rows, jn, k, &acc[0][0],
+                   kColTileQ);
             for (int64_t r = 0; r < rows; ++r) {
               const int32_t corr = b_zp * srow[r];
               uint8_t* crow = c + (i0 + r) * n + jb;
@@ -208,7 +246,7 @@ LoopSpec GemmWriteLoopSpec(DType dtype, int64_t m, int64_t n, int64_t k, int64_t
   LoopSpec loop;
   loop.begin = 0;
   loop.end = m;
-  loop.grain = dtype == DType::kQUInt8 ? RowTileGrain(ops) : parallel::GrainForOps(ops);
+  loop.grain = RowTileGrain(ops);  // All three GEMMs are row-tiled now.
   loop.stride_bytes = n * DTypeSize(dtype);
   loop.iter_bytes = n * DTypeSize(dtype);
   loop.bases = {c_base_bytes};

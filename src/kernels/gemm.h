@@ -15,16 +15,25 @@
 namespace ulayer {
 
 // C[M,N] = A[M,K] * B[K,N] (+ bias[M] broadcast across columns, if non-null).
-// Blocked over rows and columns so the active C tile and B panel stay
-// cache-resident; per-element accumulation order is unchanged (ascending k),
-// so results are bit-identical to the naive loop.
+// Row-tiled over kernels/simd.h micro-kernels (runtime-dispatched SIMD);
+// per-element accumulation order is unchanged (ascending k, separate
+// mul+add, zero-skip preserved), so results are bit-identical to the naive
+// loop on every ISA.
+//
+// `a_packed`, when non-null, is A repacked into kRowTile-interleaved panels
+// (kernels/pack.h, PackedPanelElems(m, k) elements) — e.g. the prepare-time
+// filter panels cached by PreparedModel. The plain `a` may then be null.
 void GemmF32(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
-             const float* bias = nullptr, bool relu = false);
+             const float* bias = nullptr, bool relu = false,
+             const float* a_packed = nullptr);
 
 // Same contract as GemmF32 but every multiply-accumulate rounds to binary16,
-// emulating a native F16 ALU (accumulator is F16 as on Mali FP16 paths).
+// emulating a native F16 ALU (accumulator is F16 as on Mali FP16 paths): per
+// element c = RN16(c + RN16(a*b)) over ascending k. The AVX2+F16C variant
+// implements the identical per-step rounding in hardware (DESIGN.md §13).
 void GemmF16(const Half* a, const Half* b, Half* c, int64_t m, int64_t n, int64_t k,
-             const Half* bias = nullptr, bool relu = false);
+             const Half* bias = nullptr, bool relu = false,
+             const Half* a_packed = nullptr);
 
 // Quantized GEMM: c_q[M,N] = requantize(sum_k (a[m,k]-a_zp)*(b[k,n]-b_zp)
 //                                        + bias_i32[m]).
@@ -40,18 +49,19 @@ void GemmF16(const Half* a, const Half* b, Half* c, int64_t m, int64_t n, int64_
 // `a_rowsum`, when non-null, holds the precomputed raw row sums
 // sum_k a[m,k] (uint8 values, int32 totals) — e.g. the prepare-time filter
 // row sums cached by PreparedModel. When null they are computed on the fly.
-// Requires k <= INT32_MAX / 255^2 so int32 accumulation cannot overflow
-// (same bound as the naive kernel).
+// `a_packed` is the optional kRowTile-interleaved panel form of A
+// (kernels/pack.h), as for GemmF32. Requires k <= INT32_MAX / 255^2 so int32
+// accumulation cannot overflow (same bound as the naive kernel).
 void GemmQU8(const uint8_t* a, int32_t a_zp, const uint8_t* b, int32_t b_zp, uint8_t* c,
              int32_t c_zp, const RequantScale& rs, int64_t m, int64_t n, int64_t k,
              const int32_t* bias = nullptr, bool relu = false,
-             const int32_t* a_rowsum = nullptr);
+             const int32_t* a_rowsum = nullptr, const uint8_t* a_packed = nullptr);
 
 // Declared write loop of the GEMMs above (see kernels/access_spec.h): the
 // row-parallel ParallelFor over [0, m) where row i occupies
-// [c_base_bytes + i*n*elem, +n*elem) of C. `dtype` selects the element size
-// and the grain policy (kQUInt8 uses the row-tile-aligned grain, F32/F16 use
-// GrainForOps(n*k)) — exactly the values the kernels pass to ParallelFor.
+// [c_base_bytes + i*n*elem, +n*elem) of C. All three GEMMs now use the
+// row-tile-aligned grain (RowTileGrain(n*k)); `dtype` selects the element
+// size — exactly the values the kernels pass to ParallelFor.
 LoopSpec GemmWriteLoopSpec(DType dtype, int64_t m, int64_t n, int64_t k, int64_t c_base_bytes);
 
 }  // namespace ulayer

@@ -1,0 +1,39 @@
+#include "kernels/pack.h"
+
+#include "kernels/simd.h"
+
+namespace ulayer {
+namespace {
+
+template <typename T>
+void PackRowPanelsImpl(const T* a, int64_t rows, int64_t k, T* out) {
+  constexpr int64_t kTile = simd::kRowTile;
+  const T zero{};
+  for (int64_t i0 = 0; i0 < rows; i0 += kTile) {
+    T* panel = out + (i0 / kTile) * (kTile * k);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      for (int64_t r = 0; r < kTile; ++r) {
+        panel[kk * kTile + r] = i0 + r < rows ? a[(i0 + r) * k + kk] : zero;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int64_t PackedPanelElems(int64_t rows, int64_t k) {
+  constexpr int64_t kTile = simd::kRowTile;
+  return ((rows + kTile - 1) / kTile) * kTile * k;
+}
+
+void PackRowPanels(const uint8_t* a, int64_t rows, int64_t k, uint8_t* out) {
+  PackRowPanelsImpl(a, rows, k, out);
+}
+void PackRowPanels(const float* a, int64_t rows, int64_t k, float* out) {
+  PackRowPanelsImpl(a, rows, k, out);
+}
+void PackRowPanels(const Half* a, int64_t rows, int64_t k, Half* out) {
+  PackRowPanelsImpl(a, rows, k, out);
+}
+
+}  // namespace ulayer

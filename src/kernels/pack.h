@@ -1,0 +1,34 @@
+// Prepare-time filter-panel packing (DESIGN.md Section 13).
+//
+// The GEMM micro-kernels read kRowTile A-rows (filter rows) together; with
+// plain row-major filters those reads are k-strided gathers from 4 rows that
+// may sit megabytes apart. Packing interleaves each group of kRowTile rows
+// k-major —
+//   panel[tile][kk][r] = a[(tile*kRowTile + r) * k + kk]
+// — so one tile's worth of A is a single contiguous, cache- and
+// prefetch-friendly stream. Partial final tiles are zero-padded; the
+// micro-kernels only dereference `rows` of the tile's row pointers, so the
+// padding is never read as data, it just keeps the layout uniform.
+//
+// Packing is gemmlowp's packed-LHS design (Jacob et al.) applied at prepare
+// time: filters are constant, so the pack cost is paid once per model, not
+// per call (see PreparedModel).
+#pragma once
+
+#include <cstdint>
+
+#include "quant/half.h"
+
+namespace ulayer {
+
+// Number of T elements a packed panel buffer for `rows` x `k` occupies
+// (rows rounded up to a whole number of kRowTile tiles).
+int64_t PackedPanelElems(int64_t rows, int64_t k);
+
+// Packs row-major a[rows][k] into the interleaved panel layout above.
+// `out` must hold PackedPanelElems(rows, k) elements.
+void PackRowPanels(const uint8_t* a, int64_t rows, int64_t k, uint8_t* out);
+void PackRowPanels(const float* a, int64_t rows, int64_t k, float* out);
+void PackRowPanels(const Half* a, int64_t rows, int64_t k, Half* out);
+
+}  // namespace ulayer

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <vector>
 
+#include "kernels/simd.h"
 #include "parallel/thread_pool.h"
 
 namespace ulayer {
@@ -99,6 +100,7 @@ void WinogradConv2DF32(const Tensor& input, const Tensor& filters, const Tensor&
   // zero sharing). The precomputed `u` is read-only.
   const double ops_per_oc = static_cast<double>(tiles_h) * tiles_w *
                             static_cast<double>(ic) * 16.0;
+  const simd::GemmMicroKernels& mk = simd::ActiveGemmMicroKernels();
   parallel::ParallelFor(oc_begin, oc_end, parallel::GrainForOps(ops_per_oc), [&](
                             int64_t ob, int64_t oe) {
     std::vector<float> v(static_cast<size_t>(ic) * 16);
@@ -122,17 +124,13 @@ void WinogradConv2DF32(const Tensor& input, const Tensor& filters, const Tensor&
             }
             TransformInput(d, v.data() + c * 16);
           }
-          // Element-wise multiply-accumulate in the transform domain.
+          // Element-wise multiply-accumulate in the transform domain. The
+          // micro-kernel keeps the per-lane ascending-c order with separate
+          // mul+add, so m[] stays bit-identical to the scalar loop.
           for (int64_t oc = ob; oc < oe; ++oc) {
             float m[16] = {};
             const float* u_oc = u.data() + (oc - oc_begin) * ic * 16;
-            for (int64_t c = 0; c < ic; ++c) {
-              const float* uc = u_oc + c * 16;
-              const float* vc = v.data() + c * 16;
-              for (int k = 0; k < 16; ++k) {
-                m[k] += uc[k] * vc[k];
-              }
-            }
+            mk.wino_madd(u_oc, v.data(), m, ic);
             float y[2][2];
             TransformOutput(m, y);
             const float b0 = bias.empty() ? 0.0f : bias.Data<float>()[oc];

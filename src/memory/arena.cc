@@ -41,6 +41,14 @@ void* ScratchArena::Alloc(size_t bytes) {
       AlignUp(reinterpret_cast<uintptr_t>(overflow_.back().data()), kAlignment));
 }
 
+void ScratchArena::ResetTo(const Mark& mark) {
+  assert(mark.used <= used_ && mark.overflow_blocks <= overflow_.size() &&
+         mark.overflow_used <= overflow_used_ && "ResetTo with a stale mark");
+  used_ = mark.used;
+  overflow_.resize(mark.overflow_blocks);
+  overflow_used_ = mark.overflow_used;
+}
+
 void ScratchArena::Reset() {
   used_ = 0;
   overflow_used_ = 0;

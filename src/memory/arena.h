@@ -57,6 +57,23 @@ class ScratchArena {
   // mark, so subsequent identical allocation patterns stay in-block.
   void Reset();
 
+  // A rewind point for ResetTo(). Buffers allocated before Mark() survive
+  // ResetTo(mark); buffers allocated after it are discarded (their overflow
+  // blocks, if any, are released). Used by the executor to share staged
+  // producer buffers across cooperative slices while still recycling the
+  // per-slice scratch in between.
+  struct Mark {
+    size_t used = 0;
+    size_t overflow_blocks = 0;
+    size_t overflow_used = 0;
+  };
+  Mark MarkPoint() const { return {used_, overflow_.size(), overflow_used_}; }
+
+  // Rewinds to a previously taken Mark. Unlike Reset(), the main block is
+  // never regrown here (pointers below the mark must stay valid); coalescing
+  // of any surviving overflow blocks happens at the next full Reset().
+  void ResetTo(const Mark& mark);
+
   size_t capacity() const { return capacity_; }
   // Bytes handed out since the last Reset (including alignment padding).
   size_t used() const { return used_ + overflow_used_; }

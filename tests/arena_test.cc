@@ -170,6 +170,63 @@ TEST(ScratchArenaTest, HighWaterIsLifetimeMax) {
   EXPECT_EQ(arena.high_water(), 512u);
 }
 
+TEST(ScratchArenaTest, ResetToRewindsWhilePreservingEarlierBuffers) {
+  ScratchArena arena(4096);
+  uint8_t* staged = arena.AllocN<uint8_t>(256);
+  std::memset(staged, 0x5A, 256);
+  const ScratchArena::Mark mark = arena.MarkPoint();
+  const size_t used_at_mark = arena.used();
+
+  // Per-slice scratch allocated after the mark is recycled by ResetTo...
+  void* slice1 = arena.Alloc(1024);
+  ASSERT_NE(slice1, nullptr);
+  arena.ResetTo(mark);
+  EXPECT_EQ(arena.used(), used_at_mark);
+  // ...so an identical post-mark pattern lands on identical addresses.
+  EXPECT_EQ(arena.Alloc(1024), slice1);
+  arena.ResetTo(mark);
+
+  // The staged buffer below the mark survived both rewinds intact.
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_EQ(staged[i], 0x5A) << i;
+  }
+  EXPECT_EQ(arena.overflow_count(), 0);
+}
+
+TEST(ScratchArenaTest, ResetToReleasesPostMarkOverflowOnly) {
+  ScratchArena arena(256);
+  uint8_t* pre = arena.AllocN<uint8_t>(4096);  // Overflows before the mark.
+  std::memset(pre, 0xC3, 4096);
+  EXPECT_EQ(arena.overflow_count(), 1);
+  const ScratchArena::Mark mark = arena.MarkPoint();
+  const size_t used_at_mark = arena.used();
+
+  // Overflow after the mark is discarded by ResetTo; overflow before the
+  // mark must keep its block (pointers below the mark stay valid).
+  void* post = arena.Alloc(8192);
+  ASSERT_NE(post, nullptr);
+  EXPECT_EQ(arena.overflow_count(), 2);
+  arena.ResetTo(mark);
+  EXPECT_EQ(arena.used(), used_at_mark);
+  for (int i = 0; i < 4096; ++i) {
+    ASSERT_EQ(pre[i], 0xC3) << i;
+  }
+
+  // ResetTo never regrows the main block; coalescing waits for full Reset().
+  EXPECT_LT(arena.capacity(), 4096u);
+  arena.Reset();
+  EXPECT_GE(arena.capacity(), arena.high_water());
+}
+
+TEST(ScratchArenaTest, MarkAtZeroBehavesLikeReset) {
+  ScratchArena arena(1024);
+  const ScratchArena::Mark mark = arena.MarkPoint();
+  void* a = arena.Alloc(512);
+  arena.ResetTo(mark);
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.Alloc(512), a);
+}
+
 // --- PackBuffers -------------------------------------------------------------
 
 // Two requests with overlapping live intervals must occupy disjoint byte

@@ -1,10 +1,14 @@
 #include "kernels/conv.h"
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "kernels/pack.h"
+#include "kernels/simd.h"
+#include "memory/arena.h"
 #include "quant/quantize.h"
 #include "tensor/rng.h"
 
@@ -302,6 +306,138 @@ TEST(DepthwiseConvTest, QU8QuantizedPaddingIsExactZero) {
   for (int64_t i = 0; i < out.NumElements(); ++i) {
     EXPECT_EQ(out.Data<uint8_t>()[i], static_cast<uint8_t>(out_qp.zero_point));
   }
+}
+
+// ---- SIMD dispatch + prepare-time cache equivalence -------------------------
+// The conv drivers must produce byte-identical outputs under every dispatched
+// ISA, with and without packed filter panels, for tile-aligned AND unaligned
+// cooperative oc slices (unaligned slices fall back to row-major filters),
+// and — for the via-F16 path — with and without pre-staged input columns.
+
+class IsaGuard {
+ public:
+  explicit IsaGuard(simd::Isa isa) { simd::ForceIsa(isa); }
+  ~IsaGuard() { simd::ResetForcedIsa(); }
+  IsaGuard(const IsaGuard&) = delete;
+  IsaGuard& operator=(const IsaGuard&) = delete;
+};
+
+struct QU8ConvFixture {
+  Conv2DParams p;
+  Tensor in_q, w_q, bias_f32, bias_i32;
+  QuantParams out_qp;
+  std::vector<uint8_t> w_packed;
+
+  QU8ConvFixture() {
+    p.kernel_h = p.kernel_w = 3;
+    p.pad_h = p.pad_w = 1;
+    p.relu = true;
+    Tensor in(Shape(2, 5, 7, 7), DType::kF32);
+    Tensor w(Shape(11, 5, 3, 3), DType::kF32);  // Odd oc: partial last tile.
+    bias_f32 = Tensor(Shape(1, 11, 1, 1), DType::kF32);
+    FillUniform(in, 51, -1.0f, 1.0f);
+    FillUniform(w, 52, -0.4f, 0.4f);
+    FillUniform(bias_f32, 53, -0.1f, 0.1f);
+    in_q = QuantizeTensor(in, ChooseQuantParams(-1.0f, 1.0f));
+    w_q = QuantizeTensor(w, ChooseQuantParams(-0.4f, 0.4f));
+    bias_i32 = Tensor(bias_f32.shape(), DType::kInt32);
+    for (int64_t i = 0; i < bias_f32.NumElements(); ++i) {
+      bias_i32.Data<int32_t>()[i] = static_cast<int32_t>(
+          std::lround(bias_f32.Data<float>()[i] / (in_q.scale() * w_q.scale())));
+    }
+    out_qp = ChooseQuantParams(-4.0f, 4.0f);
+    const int64_t k = w.shape().c * w.shape().h * w.shape().w;
+    w_packed.resize(static_cast<size_t>(PackedPanelElems(w.shape().n, k)));
+    PackRowPanels(w_q.Data<uint8_t>(), w.shape().n, k, w_packed.data());
+  }
+
+  Tensor MakeOut() const {
+    Tensor out(Shape(2, 11, 7, 7), DType::kQUInt8);
+    out.set_quant_params(out_qp.scale, out_qp.zero_point);
+    return out;
+  }
+};
+
+bool SameBytes(const Tensor& a, const Tensor& b) {
+  return a.SizeBytes() == b.SizeBytes() &&
+         std::memcmp(a.raw(), b.raw(), static_cast<size_t>(a.SizeBytes())) == 0;
+}
+
+TEST(ConvSimdDispatchTest, QU8SlicesByteIdenticalAcrossIsas) {
+  const QU8ConvFixture f;
+  Tensor want = f.MakeOut();
+  {
+    const IsaGuard g(simd::Isa::kScalar);
+    Conv2DQU8(f.in_q, f.w_q, f.bias_i32, f.p, want);
+  }
+  for (const simd::Isa isa : simd::SupportedIsas()) {
+    const IsaGuard g(isa);
+    Tensor got = f.MakeOut();
+    Conv2DQU8(f.in_q, f.w_q, f.bias_i32, f.p, got);
+    EXPECT_TRUE(SameBytes(want, got)) << simd::IsaName(isa);
+
+    // Cooperative slices with packed panels: [0, 8) is tile-aligned and uses
+    // the panels; [8, 11) is the partial tail tile; a [3, 11) split is
+    // unaligned and must silently fall back to the row-major filters.
+    ConvAux aux;
+    aux.filters_packed_qu8 = f.w_packed.data();
+    Tensor sliced = f.MakeOut();
+    Conv2DQU8(f.in_q, f.w_q, f.bias_i32, f.p, sliced, 0, 8, aux);
+    Conv2DQU8(f.in_q, f.w_q, f.bias_i32, f.p, sliced, 8, 11, aux);
+    EXPECT_TRUE(SameBytes(want, sliced)) << simd::IsaName(isa) << " packed slices";
+    Tensor unaligned = f.MakeOut();
+    Conv2DQU8(f.in_q, f.w_q, f.bias_i32, f.p, unaligned, 0, 3, aux);
+    Conv2DQU8(f.in_q, f.w_q, f.bias_i32, f.p, unaligned, 3, 11, aux);
+    EXPECT_TRUE(SameBytes(want, unaligned)) << simd::IsaName(isa) << " unaligned slices";
+  }
+}
+
+TEST(ConvSimdDispatchTest, ViaF16ByteIdenticalAcrossIsas) {
+  const QU8ConvFixture f;
+  Tensor want = f.MakeOut();
+  {
+    const IsaGuard g(simd::Isa::kScalar);
+    Conv2DQU8ViaF16(f.in_q, f.w_q, f.bias_f32, f.p, want);
+  }
+  for (const simd::Isa isa : simd::SupportedIsas()) {
+    const IsaGuard g(isa);
+    Tensor got = f.MakeOut();
+    Conv2DQU8ViaF16(f.in_q, f.w_q, f.bias_f32, f.p, got);
+    EXPECT_TRUE(SameBytes(want, got)) << simd::IsaName(isa);
+    Tensor sliced = f.MakeOut();
+    Conv2DQU8ViaF16(f.in_q, f.w_q, f.bias_f32, f.p, sliced, 0, 4);
+    Conv2DQU8ViaF16(f.in_q, f.w_q, f.bias_f32, f.p, sliced, 4, 11);
+    EXPECT_TRUE(SameBytes(want, sliced)) << simd::IsaName(isa) << " slices";
+  }
+}
+
+TEST(ConvQU8ViaF16Test, StagedColsMatchUnstagedExactly) {
+  // The cooperative staging path (dequantize + im2col hoisted out of the
+  // per-slice calls) must not change a single output byte, for aligned and
+  // unaligned slices alike.
+  const QU8ConvFixture f;
+  Tensor want = f.MakeOut();
+  Conv2DQU8ViaF16(f.in_q, f.w_q, f.bias_f32, f.p, want);
+
+  memory::ScratchArena arena(static_cast<size_t>(
+      Conv2DViaF16StagedColsBytes(f.in_q.shape(), f.w_q.shape(), f.p) +
+      Conv2DScratchBytes(DType::kQUInt8, DType::kF16, f.in_q.shape(), f.w_q.shape(), f.p,
+                         /*staged_cols=*/true)));
+  const Half* staged = Conv2DQU8ViaF16StageCols(f.in_q, f.w_q.shape(), f.p, &arena);
+  ASSERT_NE(staged, nullptr);
+  const memory::ScratchArena::Mark mark = arena.MarkPoint();
+
+  ConvAux aux;
+  aux.scratch = &arena;
+  aux.staged_cols = staged;
+  Tensor got = f.MakeOut();
+  Conv2DQU8ViaF16(f.in_q, f.w_q, f.bias_f32, f.p, got, 0, 4, aux);
+  arena.ResetTo(mark);
+  Conv2DQU8ViaF16(f.in_q, f.w_q, f.bias_f32, f.p, got, 4, 11, aux);
+  EXPECT_TRUE(SameBytes(want, got));
+
+  // Null arena must decline to stage (legacy heap path keeps working).
+  EXPECT_EQ(Conv2DQU8ViaF16StageCols(f.in_q, f.w_q.shape(), f.p, nullptr), nullptr);
 }
 
 }  // namespace

@@ -1,10 +1,13 @@
 #include "kernels/gemm.h"
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "kernels/pack.h"
+#include "kernels/simd.h"
 #include "tensor/rng.h"
 
 namespace ulayer {
@@ -202,6 +205,154 @@ INSTANTIATE_TEST_SUITE_P(Sizes, GemmQU8Property,
                                            std::make_tuple(3, 32, 128),
                                            std::make_tuple(32, 3, 9),
                                            std::make_tuple(8, 64, 27)));
+
+// ---- SIMD dispatch matrix (DESIGN.md Section 13) ----------------------------
+// Every ISA variant must reproduce the scalar reference exactly: the QU8 and
+// F32 outputs byte-identical, the F16 output bit-identical per element. The
+// shapes cover full 4-row tiles, partial tiles, vector-width tails, scalar
+// column tails, single elements and empty ranges; the packed-panel variant
+// must match the row-major one on every ISA too.
+
+class IsaGuard {
+ public:
+  explicit IsaGuard(simd::Isa isa) { simd::ForceIsa(isa); }
+  ~IsaGuard() { simd::ResetForcedIsa(); }
+  IsaGuard(const IsaGuard&) = delete;
+  IsaGuard& operator=(const IsaGuard&) = delete;
+};
+
+struct GemmShape {
+  int64_t m, n, k;
+};
+
+const GemmShape kDispatchShapes[] = {
+    {1, 1, 1},     // single element
+    {3, 5, 7},     // partial row tile + scalar column tail
+    {4, 16, 32},   // exact tiles
+    {5, 257, 40},  // 4+1 rows, 16-wide blocks + 8-block + 1-col tail
+    {8, 260, 33},  // vector tail columns, odd k
+    {0, 8, 8},     // empty m
+    {4, 8, 0},     // empty k (bias passthrough)
+    {7, 129, 65},  // everything misaligned
+    {64, 48, 96},  // several chunks worth of rows
+};
+
+template <typename T>
+bool BytesEqual(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+TEST(SimdDispatchTest, SupportedIsasEndsWithScalar) {
+  const auto isas = simd::SupportedIsas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.back(), simd::Isa::kScalar);
+}
+
+TEST(SimdDispatchTest, F32ByteIdenticalAcrossIsas) {
+  for (const GemmShape& s : kDispatchShapes) {
+    auto a = RandomVec(static_cast<size_t>(s.m * s.k), 11);
+    // Sprinkle exact zeros so the per-(row, k) skip path fires on some rows
+    // while others stay zero-free (the prescanned fast path).
+    for (size_t i = 0; i < a.size(); i += 7) {
+      a[i] = 0.0f;
+    }
+    const auto b = RandomVec(static_cast<size_t>(s.k * s.n), 12);
+    const auto bias = RandomVec(static_cast<size_t>(s.m), 13);
+    std::vector<float> ap(static_cast<size_t>(PackedPanelElems(s.m, s.k)));
+    PackRowPanels(a.data(), s.m, s.k, ap.data());
+    std::vector<float> want(static_cast<size_t>(s.m * s.n));
+    {
+      const IsaGuard g(simd::Isa::kScalar);
+      GemmF32(a.data(), b.data(), want.data(), s.m, s.n, s.k, bias.data(), true);
+    }
+    for (const simd::Isa isa : simd::SupportedIsas()) {
+      const IsaGuard g(isa);
+      EXPECT_EQ(simd::ActiveGemmMicroKernels().isa, isa);
+      std::vector<float> got(want.size(), -1.0f);
+      GemmF32(a.data(), b.data(), got.data(), s.m, s.n, s.k, bias.data(), true);
+      EXPECT_TRUE(BytesEqual(want, got))
+          << simd::IsaName(isa) << " m=" << s.m << " n=" << s.n << " k=" << s.k;
+      std::vector<float> got_packed(want.size(), -2.0f);
+      GemmF32(a.data(), b.data(), got_packed.data(), s.m, s.n, s.k, bias.data(), true,
+              ap.empty() ? nullptr : ap.data());
+      EXPECT_TRUE(BytesEqual(want, got_packed))
+          << simd::IsaName(isa) << " packed m=" << s.m << " n=" << s.n << " k=" << s.k;
+    }
+  }
+}
+
+TEST(SimdDispatchTest, F16BitIdenticalAcrossIsas) {
+  for (const GemmShape& s : kDispatchShapes) {
+    const auto af = RandomVec(static_cast<size_t>(s.m * s.k), 21);
+    const auto bf = RandomVec(static_cast<size_t>(s.k * s.n), 22);
+    const auto biasf = RandomVec(static_cast<size_t>(s.m), 23);
+    std::vector<Half> a(af.size()), b(bf.size()), bias(biasf.size());
+    for (size_t i = 0; i < af.size(); ++i) a[i] = Half(af[i]);
+    for (size_t i = 0; i < bf.size(); ++i) b[i] = Half(bf[i]);
+    for (size_t i = 0; i < biasf.size(); ++i) bias[i] = Half(biasf[i]);
+    std::vector<Half> ap(static_cast<size_t>(PackedPanelElems(s.m, s.k)));
+    PackRowPanels(a.data(), s.m, s.k, ap.data());
+    std::vector<Half> want(static_cast<size_t>(s.m * s.n));
+    {
+      const IsaGuard g(simd::Isa::kScalar);
+      GemmF16(a.data(), b.data(), want.data(), s.m, s.n, s.k, bias.data(), true);
+    }
+    for (const simd::Isa isa : simd::SupportedIsas()) {
+      const IsaGuard g(isa);
+      std::vector<Half> got(want.size(), Half(-1.0f));
+      GemmF16(a.data(), b.data(), got.data(), s.m, s.n, s.k, bias.data(), true);
+      EXPECT_TRUE(BytesEqual(want, got))
+          << simd::IsaName(isa) << " m=" << s.m << " n=" << s.n << " k=" << s.k;
+      std::vector<Half> got_packed(want.size(), Half(-2.0f));
+      GemmF16(a.data(), b.data(), got_packed.data(), s.m, s.n, s.k, bias.data(), true,
+              ap.empty() ? nullptr : ap.data());
+      EXPECT_TRUE(BytesEqual(want, got_packed))
+          << simd::IsaName(isa) << " packed m=" << s.m << " n=" << s.n << " k=" << s.k;
+    }
+  }
+}
+
+TEST(SimdDispatchTest, QU8ByteIdenticalAcrossIsas) {
+  const QuantParams a_qp = ChooseQuantParams(-1.0f, 1.0f);
+  const QuantParams b_qp = ChooseQuantParams(-1.0f, 1.0f);
+  for (const GemmShape& s : kDispatchShapes) {
+    const auto a_real = RandomVec(static_cast<size_t>(s.m * s.k), 31);
+    const auto b_real = RandomVec(static_cast<size_t>(s.k * s.n), 32);
+    std::vector<uint8_t> a(a_real.size()), b(b_real.size());
+    for (size_t i = 0; i < a.size(); ++i) a[i] = a_qp.Quantize(a_real[i]);
+    for (size_t i = 0; i < b.size(); ++i) b[i] = b_qp.Quantize(b_real[i]);
+    std::vector<int32_t> bias(static_cast<size_t>(s.m));
+    for (size_t i = 0; i < bias.size(); ++i) bias[i] = static_cast<int32_t>(i * 3) - 5;
+    const QuantParams c_qp = ChooseQuantParams(-static_cast<float>(s.k) * 0.6f - 1.0f,
+                                               static_cast<float>(s.k) * 0.6f + 1.0f);
+    const RequantScale rs =
+        ComputeRequantScale(static_cast<double>(a_qp.scale) * static_cast<double>(b_qp.scale) /
+                            static_cast<double>(c_qp.scale));
+    std::vector<uint8_t> ap(static_cast<size_t>(PackedPanelElems(s.m, s.k)));
+    PackRowPanels(a.data(), s.m, s.k, ap.data());
+    std::vector<uint8_t> want(static_cast<size_t>(s.m * s.n));
+    {
+      const IsaGuard g(simd::Isa::kScalar);
+      GemmQU8(a.data(), a_qp.zero_point, b.data(), b_qp.zero_point, want.data(),
+              c_qp.zero_point, rs, s.m, s.n, s.k, bias.data(), true);
+    }
+    for (const simd::Isa isa : simd::SupportedIsas()) {
+      const IsaGuard g(isa);
+      std::vector<uint8_t> got(want.size(), 0xAA);
+      GemmQU8(a.data(), a_qp.zero_point, b.data(), b_qp.zero_point, got.data(),
+              c_qp.zero_point, rs, s.m, s.n, s.k, bias.data(), true);
+      EXPECT_TRUE(BytesEqual(want, got))
+          << simd::IsaName(isa) << " m=" << s.m << " n=" << s.n << " k=" << s.k;
+      std::vector<uint8_t> got_packed(want.size(), 0x55);
+      GemmQU8(a.data(), a_qp.zero_point, b.data(), b_qp.zero_point, got_packed.data(),
+              c_qp.zero_point, rs, s.m, s.n, s.k, bias.data(), true, nullptr,
+              ap.empty() ? nullptr : ap.data());
+      EXPECT_TRUE(BytesEqual(want, got_packed))
+          << simd::IsaName(isa) << " packed m=" << s.m << " n=" << s.n << " k=" << s.k;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace ulayer

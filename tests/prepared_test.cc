@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "core/reference.h"
+#include "kernels/pack.h"
 #include "tensor/rng.h"
 
 namespace ulayer {
@@ -134,6 +138,111 @@ TEST(PreparedTest, MakeActivationUsesStorageDtype) {
       EXPECT_EQ(t.dtype(), DType::kQUInt8);
     }
     EXPECT_EQ(t.shape(), n.out_shape);
+  }
+}
+
+// Prepare-time kernel caches (DESIGN.md Section 9/13): under the
+// processor-friendly config every dense conv layer must come out of the
+// constructor with its packed filter panels, F16 operand caches, and filter
+// row sums already built — the conv kernels rely on these cache hits to skip
+// per-call packing/dequantization. FC layers must NOT carry packed panels
+// (GEMV gains nothing and classifier matrices dominate model size), and
+// depthwise convs use neither panels nor row sums.
+TEST(PreparedTest, ZooConvLayersHitPrepareTimeCaches) {
+  struct ZooEntry {
+    const char* name;
+    Model model;
+  };
+  ZooEntry zoo[] = {
+      {"lenet5", MakeLeNet5()},
+      {"squeezenet", MakeSqueezeNetV11()},
+      {"mobilenet", MakeMobileNetV1()},
+      {"googlenet", MakeGoogLeNet()},
+  };
+  for (ZooEntry& z : zoo) {
+    z.model.MaterializeWeights();
+    const PreparedModel pm(z.model, ExecConfig::ProcessorFriendly());
+    int convs = 0, fcs = 0;
+    for (const Node& n : z.model.graph.nodes()) {
+      switch (n.desc.kind) {
+        case LayerKind::kConv: {
+          ++convs;
+          EXPECT_NE(pm.PackedFiltersQU8Ptr(n.id), nullptr)
+              << z.name << ":" << n.desc.name;
+          // GPU compute is F16 under ProcessorFriendly, so the via-F16
+          // operand caches (and their packed form) must exist too.
+          EXPECT_NE(pm.FiltersF16Ptr(n.id), nullptr) << z.name << ":" << n.desc.name;
+          EXPECT_NE(pm.PackedFiltersF16Ptr(n.id), nullptr)
+              << z.name << ":" << n.desc.name;
+          EXPECT_NE(pm.FilterRowSumPtr(n.id), nullptr) << z.name << ":" << n.desc.name;
+          if (!z.model.weights.at(n.id).bias.empty()) {
+            EXPECT_NE(pm.BiasF16Ptr(n.id), nullptr) << z.name << ":" << n.desc.name;
+          }
+          break;
+        }
+        case LayerKind::kFullyConnected:
+          ++fcs;
+          EXPECT_EQ(pm.PackedFiltersQU8Ptr(n.id), nullptr)
+              << z.name << ":" << n.desc.name;
+          EXPECT_EQ(pm.PackedFiltersF16Ptr(n.id), nullptr)
+              << z.name << ":" << n.desc.name;
+          // Row sums and F16 operands are still cached for FC (the GEMM
+          // zero-point hoist and the GPU path both want them).
+          EXPECT_NE(pm.FilterRowSumPtr(n.id), nullptr) << z.name << ":" << n.desc.name;
+          EXPECT_NE(pm.FiltersF16Ptr(n.id), nullptr) << z.name << ":" << n.desc.name;
+          break;
+        case LayerKind::kDepthwiseConv:
+          EXPECT_EQ(pm.PackedFiltersQU8Ptr(n.id), nullptr)
+              << z.name << ":" << n.desc.name;
+          EXPECT_EQ(pm.FilterRowSumPtr(n.id), nullptr) << z.name << ":" << n.desc.name;
+          break;
+        default:
+          break;
+      }
+    }
+    EXPECT_GT(convs, 0) << z.name;
+  }
+}
+
+// The packed QU8 panels cached at prepare time must be byte-identical to what
+// PackRowPanels produces from the quantized filter tensor — kernels treat the
+// cache as a drop-in replacement for packing on the fly.
+TEST(PreparedTest, PackedPanelsMatchOnTheFlyPacking) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  const PreparedModel pm(m, ExecConfig::ProcessorFriendly());
+  for (const Node& n : m.graph.nodes()) {
+    if (n.desc.kind != LayerKind::kConv) {
+      continue;
+    }
+    const Tensor& qf = pm.Filters(n.id);
+    const Shape& fs = qf.shape();
+    const int64_t k = fs.c * fs.h * fs.w;
+    std::vector<uint8_t> expect(static_cast<size_t>(PackedPanelElems(fs.n, k)));
+    PackRowPanels(qf.Data<uint8_t>(), fs.n, k, expect.data());
+    const uint8_t* cached = pm.PackedFiltersQU8Ptr(n.id);
+    ASSERT_NE(cached, nullptr);
+    EXPECT_EQ(std::memcmp(cached, expect.data(), expect.size()), 0) << n.desc.name;
+  }
+}
+
+// With the scratch arena disabled the constructor must skip every cache and
+// the accessors all report misses (kernels fall back to per-call work).
+TEST(PreparedTest, CachesAbsentWithoutScratchArena) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  ExecConfig cfg = ExecConfig::ProcessorFriendly();
+  cfg.scratch_arena = false;
+  const PreparedModel pm(m, cfg);
+  for (const Node& n : m.graph.nodes()) {
+    if (n.desc.kind != LayerKind::kConv && n.desc.kind != LayerKind::kFullyConnected) {
+      continue;
+    }
+    EXPECT_EQ(pm.PackedFiltersQU8Ptr(n.id), nullptr) << n.desc.name;
+    EXPECT_EQ(pm.PackedFiltersF16Ptr(n.id), nullptr) << n.desc.name;
+    EXPECT_EQ(pm.FiltersF16Ptr(n.id), nullptr) << n.desc.name;
+    EXPECT_EQ(pm.FilterRowSumPtr(n.id), nullptr) << n.desc.name;
+    EXPECT_EQ(pm.RequantPtr(n.id), nullptr) << n.desc.name;
   }
 }
 
