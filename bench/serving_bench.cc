@@ -1,0 +1,240 @@
+// Serving-layer load bench: throughput vs p99 under rising offered load
+// (DESIGN.md Section 14).
+//
+// Open-loop load generator over the multi-tenant serving layer (src/serve):
+// for each scenario (single-model and mixed-zoo) it generates deterministic
+// request traces at offered loads swept as multiples of the batch=1
+// saturation rate, replays each trace through two server configurations —
+// batch assembly enabled (batch sizes 1/2/4/8) and forced batch=1 — and
+// reports throughput, exact p50/p99 latency over completed requests, shed
+// fraction and mean batch size. Also reports raw batch efficiency per model
+// (service_us(N) vs N x service_us(1)): the batching win is weight-traffic +
+// per-step launch/sync amortization, so overhead- and FC-dominated networks
+// (LeNet-5, AlexNet at reduced resolution) gain the most while
+// conv-dominated full-resolution networks gain least — both are reported.
+//
+// Timing is the simulated SoC (simulate-only runs; no tensor math), so the
+// bench is deterministic across hosts and thread counts.
+//
+// Flags:
+//   --quick       fewer loads x smaller traces (CI smoke mode)
+//   --out PATH    JSON output path (default: BENCH_serving.json)
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kernels/simd.h"
+#include "parallel/thread_pool.h"
+#include "serve/request.h"
+#include "serve/server.h"
+#include "soc/spec.h"
+
+namespace ulayer {
+namespace {
+
+struct Scenario {
+  std::string name;
+  std::vector<std::string> models;
+  int image_hw = 0;  // 0 = family default resolution.
+};
+
+struct EffRow {
+  std::string model;
+  int image_hw = 0;
+  int batch = 0;
+  double service_us = 0.0;
+  double speedup = 0.0;  // batch * service_us(1) / service_us(batch)
+};
+
+struct Row {
+  std::string scenario;
+  std::string mode;  // "batched" | "batch1"
+  double load_x = 0.0;
+  double offered_rps = 0.0;
+  double throughput_rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double shed_fraction = 0.0;
+  double mean_batch = 0.0;
+  int64_t completed = 0;
+  int64_t shed = 0;
+};
+
+serve::ServerOptions MakeOptions(const Scenario& sc, bool batched) {
+  serve::ServerOptions opts;
+  opts.cache.batch_sizes = batched ? std::vector<int>{1, 2, 4, 8} : std::vector<int>{1};
+  opts.cache.lanes = 2;
+  opts.cache.functional = false;
+  opts.cache.image_hw = sc.image_hw;
+  opts.queue_capacity = 64;
+  opts.admission_control = true;
+  return opts;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const char* isa = simd::IsaName(simd::ActiveIsa());
+  const int threads = parallel::CpuThreads();
+  const SocSpec soc = MakeExynos7420();
+  const ExecConfig config = ExecConfig::ProcessorFriendly();
+
+  // LeNet-5 (launch/sync-overhead-dominated) and AlexNet@64 (FC-weight-
+  // dominated) are the headline batching scenarios; AlexNet@112 and the
+  // mixed zoo sit closer to the conv-dominated regime where per-element MACs
+  // scale with N and batching buys less — reported as-is.
+  const std::vector<Scenario> scenarios = {
+      {"lenet5", {"lenet5"}, 0},
+      {"alexnet64", {"alexnet"}, 64},
+      {"alexnet112", {"alexnet"}, 112},
+      {"mixed112", {"lenet5", "alexnet", "squeezenet"}, 112},
+  };
+  const std::vector<double> loads =
+      quick ? std::vector<double>{1.0, 4.0}
+            : std::vector<double>{0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  const int num_requests = quick ? 200 : 2000;
+
+  std::vector<EffRow> eff;
+  std::set<std::string> eff_seen;  // Mixed scenarios repeat (model, hw) pairs.
+  std::vector<Row> rows;
+
+  std::printf("serving bench: soc=exynos7420 config=pf isa=%s threads=%d %s\n", isa, threads,
+              quick ? "(quick)" : "");
+  for (size_t si = 0; si < scenarios.size(); ++si) {
+    const Scenario& sc = scenarios[si];
+    serve::Server batched(soc, config, MakeOptions(sc, true));
+    serve::Server batch1(soc, config, MakeOptions(sc, false));
+    for (const std::string& m : sc.models) {
+      batched.RegisterModel(m);
+      batch1.RegisterModel(m);
+    }
+
+    // Batch efficiency per model (batched server's prepared entries).
+    double service1_sum = 0.0;
+    double service1_max = 0.0;
+    for (const std::string& m : sc.models) {
+      const double s1 = batched.cache().ServiceUs(m, 1);
+      service1_sum += s1;
+      service1_max = std::max(service1_max, s1);
+      const bool fresh =
+          eff_seen.insert(m + ":" + std::to_string(sc.image_hw)).second;
+      for (int b : batched.cache().batch_sizes()) {
+        EffRow e;
+        e.model = m;
+        e.image_hw = sc.image_hw;
+        e.batch = b;
+        e.service_us = batched.cache().ServiceUs(m, b);
+        e.speedup = static_cast<double>(b) * s1 / e.service_us;
+        if (fresh) {
+          std::printf("  %-12s b=%-2d service=%10.1fus speedup=%5.2fx\n", m.c_str(), b,
+                      e.service_us, e.speedup);
+          eff.push_back(std::move(e));
+        }
+      }
+    }
+    const double service_mean = service1_sum / static_cast<double>(sc.models.size());
+    const double base_rps = 1e6 / service_mean;  // batch=1 saturation rate.
+
+    for (double load : loads) {
+      serve::TraceSpec spec;
+      spec.seed = 42 + si;
+      spec.num_requests = num_requests;
+      spec.duration_us = static_cast<double>(num_requests) * service_mean / load;
+      spec.models = sc.models;
+      spec.sessions = 8;
+      spec.interactive_fraction = 0.5;
+      spec.interactive_deadline_us = 10.0 * service1_max;
+      spec.batch_deadline_us = 50.0 * service1_max;
+      const std::vector<serve::Request> trace = serve::GenerateTrace(spec);
+
+      for (int mode = 0; mode < 2; ++mode) {
+        serve::Server& server = mode == 0 ? batched : batch1;
+        const serve::ServeReport rep = server.Run(trace);
+        Row r;
+        r.scenario = sc.name;
+        r.mode = mode == 0 ? "batched" : "batch1";
+        r.load_x = load;
+        r.offered_rps = base_rps * load;
+        r.throughput_rps = rep.ThroughputRps();
+        r.p50_us = rep.LatencyQuantileUs(0.5);
+        r.p99_us = rep.LatencyQuantileUs(0.99);
+        r.shed_fraction = rep.ShedFraction();
+        r.mean_batch = rep.MeanBatchSize();
+        r.completed = rep.completed;
+        r.shed = rep.shed;
+        std::printf(
+            "  %-10s %-7s load=%4.2fx offered=%8.1f rps tput=%8.1f rps p50=%9.1fus "
+            "p99=%9.1fus shed=%4.1f%% mean_batch=%4.2f\n",
+            sc.name.c_str(), r.mode.c_str(), load, r.offered_rps, r.throughput_rps, r.p50_us,
+            r.p99_us, 100.0 * r.shed_fraction, r.mean_batch);
+        rows.push_back(std::move(r));
+      }
+    }
+    // Headline ratio at the highest load (equal offered load, both modes).
+    const Row& rb = rows[rows.size() - 2];
+    const Row& r1 = rows[rows.size() - 1];
+    std::printf("  %-10s batched/batch1 throughput at %.2fx load: %.2fx\n", sc.name.c_str(),
+                rb.load_x, rb.throughput_rps / r1.throughput_rps);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"schema\": \"ulayer-serving-bench-v1\",\n  \"isa\": \"%s\",\n"
+               "  \"quick\": %s,\n  \"threads\": %d,\n  \"soc\": \"exynos7420\",\n"
+               "  \"config\": \"pf\",\n  \"batch_efficiency\": [\n",
+               isa, quick ? "true" : "false", threads);
+  for (size_t i = 0; i < eff.size(); ++i) {
+    const EffRow& e = eff[i];
+    std::fprintf(f,
+                 "    {\"model\": \"%s\", \"image_hw\": %d, \"batch\": %d, "
+                 "\"service_us\": %.3f, \"speedup_vs_batch1\": %.4f}%s\n",
+                 e.model.c_str(), e.image_hw, e.batch, e.service_us, e.speedup,
+                 i + 1 < eff.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    // Each row repeats the run provenance (isa/quick/threads) so rows stay
+    // self-describing when results from different runs are merged.
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"mode\": \"%s\", \"load_x\": %.3f, "
+                 "\"offered_rps\": %.3f, \"throughput_rps\": %.3f, \"p50_us\": %.3f, "
+                 "\"p99_us\": %.3f, \"shed_fraction\": %.5f, \"mean_batch\": %.4f, "
+                 "\"completed\": %lld, \"shed\": %lld, "
+                 "\"isa\": \"%s\", \"quick\": %s, \"threads\": %d}%s\n",
+                 r.scenario.c_str(), r.mode.c_str(), r.load_x, r.offered_rps, r.throughput_rps,
+                 r.p50_us, r.p99_us, r.shed_fraction, r.mean_batch,
+                 static_cast<long long>(r.completed), static_cast<long long>(r.shed), isa,
+                 quick ? "true" : "false", threads, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", out_path.c_str(), rows.size());
+  return 0;
+}
+
+}  // namespace ulayer
+
+int main(int argc, char** argv) { return ulayer::Main(argc, argv); }

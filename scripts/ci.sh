@@ -9,8 +9,11 @@
 # full zoo x config x partition-plan matrix, which must report zero A-series
 # diagnostics), a fault-injection stage (fault_test plus the committed
 # scripts/ci_faults.spec driven through ULAYER_FAULTS, under both
-# sanitizers), an observability stage (traced runs exported as Chrome trace
-# JSON, checked against the T4xx trace invariants, metrics written to
+# sanitizers), a serving-layer stage (serving_bench --quick regenerating
+# BENCH_serving.json under ASan, plus a cross-thread-count determinism diff
+# of the ulayer_verify --serve-smoke batch/completion logs), an observability
+# stage (traced runs exported as Chrome trace JSON, checked against the T4xx
+# trace invariants, metrics written to
 # BENCH_trace.json), a clang-format check and clang-tidy over src/, bench/
 # and tools/ (both skipped with a notice when the binary is not installed —
 # the reference container ships gcc only).
@@ -31,17 +34,17 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/10] warnings-as-errors build + tier-1 tests"
+echo "==> [1/11] warnings-as-errors build + tier-1 tests"
 cmake -B build-werror -S . -DULAYER_WERROR=ON >/dev/null
 cmake --build build-werror -j "$JOBS"
 ctest --test-dir build-werror --output-on-failure -j "$JOBS"
 
-echo "==> [2/10] kernel benchmark smoke (legacy-vs-optimized byte identity)"
+echo "==> [2/11] kernel benchmark smoke (legacy-vs-optimized byte identity)"
 # Fails if any optimized kernel's output differs from the embedded legacy
 # replica; --quick keeps it to one iteration per case.
 ./build-werror/bench/kernel_bench --quick --out BENCH_kernels.json
 
-echo "==> [3/10] forced-scalar ISA run (ULAYER_SIMD=scalar dispatch check)"
+echo "==> [3/11] forced-scalar ISA run (ULAYER_SIMD=scalar dispatch check)"
 # Re-runs the kernel and analysis suites with SIMD dispatch forced to the
 # scalar micro-kernels, then repeats the benchmark byte-identity smoke. The
 # QU8/F32 paths are bit-exact across ISAs by contract, so everything that
@@ -53,7 +56,7 @@ ULAYER_SIMD=scalar ./build-werror/bench/kernel_bench --quick \
   --out BENCH_kernels_scalar.json >/dev/null
 rm -f BENCH_kernels_scalar.json
 
-echo "==> [4/10] static memory-access analysis: zoo x config x plan matrix"
+echo "==> [4/11] static memory-access analysis: zoo x config x plan matrix"
 # The A5xx/A6xx/A7xx proofs must hold for every model, quantization config
 # and partition strategy; ulayer_verify exits 1 on any A-series diagnostic.
 for model in lenet5 alexnet vgg16 googlenet squeezenet mobilenet resnet18 resnet50 inceptionv3; do
@@ -67,7 +70,7 @@ for model in lenet5 alexnet vgg16 googlenet squeezenet mobilenet resnet18 resnet
 done
 echo "analyzer matrix clean (9 models x 2 configs x 4 plans)"
 if [ "$SKIP_SANITIZE" -eq 0 ]; then
-  echo "==> [5/10] ASan + UBSan build + tests"
+  echo "==> [5/11] ASan + UBSan build + tests"
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DULAYER_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j "$JOBS"
@@ -77,7 +80,7 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
   ULAYER_CPU_THREADS=4 ASAN_OPTIONS=detect_leaks=1 \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-  echo "==> [6/10] TSan build + threaded kernel/integration tests"
+  echo "==> [6/11] TSan build + threaded kernel/integration tests"
   # TSan is incompatible with ASan, hence the separate build. Force a
   # multi-thread CPU budget so the pool's worker handoffs actually run, even
   # on single-core CI machines.
@@ -85,9 +88,9 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
     -DULAYER_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS"
   ULAYER_CPU_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'parallel_test|gemm_test|conv_test|pool_test|elementwise_test|winograd_test|quantize_test|integration_test|executor_test|prepared_test|arena_test|fault_test|analysis_test'
+    -R 'parallel_test|gemm_test|conv_test|pool_test|elementwise_test|winograd_test|quantize_test|integration_test|executor_test|prepared_test|arena_test|fault_test|analysis_test|serve_test'
 
-  echo "==> [7/10] fault injection under ASan + TSan (scripts/ci_faults.spec)"
+  echo "==> [7/11] fault injection under ASan + TSan (scripts/ci_faults.spec)"
   # fault_test (its specs are embedded in the tests) runs under both
   # sanitizers with a multi-thread CPU budget; the committed deterministic
   # spec is then driven through the sanitizer-built ulayer_verify fault
@@ -106,12 +109,31 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
   diff fault_report_a.txt fault_report_b.txt
   rm -f fault_report_a.txt fault_report_b.txt
 else
-  echo "==> [5/10] sanitizers skipped (--skip-sanitize)"
-  echo "==> [6/10] TSan skipped (--skip-sanitize)"
-  echo "==> [7/10] fault injection skipped (--skip-sanitize)"
+  echo "==> [5/11] sanitizers skipped (--skip-sanitize)"
+  echo "==> [6/11] TSan skipped (--skip-sanitize)"
+  echo "==> [7/11] fault injection skipped (--skip-sanitize)"
 fi
 
-echo "==> [8/10] observability: trace export + invariant check + metrics"
+echo "==> [8/11] serving layer: bench smoke + cross-thread determinism"
+# The serving bench replays deterministic request traces through the
+# multi-tenant server (batched vs batch=1) and writes BENCH_serving.json;
+# under sanitizers it runs from the ASan build. The --serve-smoke output
+# (batch composition, execution order and functional output digests) must be
+# byte-identical across CPU thread budgets.
+if [ "$SKIP_SANITIZE" -eq 0 ]; then
+  SERVE_BENCH=./build-asan/bench/serving_bench
+  SERVE_TOOL=./build-asan/tools/ulayer_verify
+else
+  SERVE_BENCH=./build-werror/bench/serving_bench
+  SERVE_TOOL=./build-werror/tools/ulayer_verify
+fi
+ASAN_OPTIONS=detect_leaks=1 "$SERVE_BENCH" --quick --out BENCH_serving.json
+ULAYER_CPU_THREADS=1 ASAN_OPTIONS=detect_leaks=1 "$SERVE_TOOL" --serve-smoke > serve_smoke_t1.txt
+ULAYER_CPU_THREADS=4 ASAN_OPTIONS=detect_leaks=1 "$SERVE_TOOL" --serve-smoke > serve_smoke_t4.txt
+diff serve_smoke_t1.txt serve_smoke_t4.txt
+rm -f serve_smoke_t1.txt serve_smoke_t4.txt
+
+echo "==> [9/11] observability: trace export + invariant check + metrics"
 # Traced runs of one zoo model — clean and under the committed fault spec —
 # exported as Chrome trace JSON and checked against the T4xx trace
 # invariants (ulayer_verify exits 1 when they fail); the aggregated metrics
@@ -131,24 +153,24 @@ ASAN_OPTIONS=detect_leaks=1 "$TRACE_TOOL" --model googlenet --config pf \
 rm -f trace_googlenet.json trace_googlenet_faults.json
 
 if command -v clang-format >/dev/null 2>&1; then
-  echo "==> [9/10] clang-format check (.clang-format, check-only)"
+  echo "==> [10/11] clang-format check (.clang-format, check-only)"
   mapfile -t FMT_FILES < <(git ls-files '*.cc' '*.h')
   clang-format --dry-run -Werror "${FMT_FILES[@]}"
 else
-  echo "==> [9/10] clang-format not installed; skipping format check"
+  echo "==> [10/11] clang-format not installed; skipping format check"
 fi
 
 if [ "$SKIP_TIDY" -eq 0 ]; then
   if command -v clang-tidy >/dev/null 2>&1; then
-    echo "==> [10/10] clang-tidy over src/, bench/ and tools/"
+    echo "==> [11/11] clang-tidy over src/, bench/ and tools/"
     # build-werror exports compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS).
     mapfile -t SOURCES < <(git ls-files 'src/*.cc' 'bench/*.cc' 'tools/*.cc')
     clang-tidy -p build-werror --quiet "${SOURCES[@]}"
   else
-    echo "==> [10/10] clang-tidy not installed; skipping lint stage"
+    echo "==> [11/11] clang-tidy not installed; skipping lint stage"
   fi
 else
-  echo "==> [10/10] clang-tidy skipped (--skip-tidy)"
+  echo "==> [11/11] clang-tidy skipped (--skip-tidy)"
 fi
 
 echo "CI pipeline passed."

@@ -4,6 +4,7 @@ namespace ulayer {
 
 Plan MakeSingleProcessorPlan(const Graph& g, ProcKind proc) {
   Plan plan;
+  plan.batch = g.BatchSize();
   plan.nodes.assign(static_cast<size_t>(g.size()), NodeAssignment{StepKind::kSingle, proc, 1.0});
   return plan;
 }

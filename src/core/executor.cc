@@ -192,12 +192,24 @@ RunResult Executor::Run(const Plan& plan, const Tensor* input) {
 }
 
 void Executor::RunInto(const Plan& plan, const Tensor* input, RunResult& out) {
+  // Single-flight guard: one executor owns one arena / activation pool /
+  // staged via-F16 columns, so a second run entering while one is active
+  // would alias them. Serving layers must pool executors (one per lane)
+  // instead of sharing one across concurrent requests.
+  if (in_flight_.exchange(true, std::memory_order_acq_rel)) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "Executor::RunInto re-entered while a run is in flight; an executor is "
+                "single-flight (its scratch arena and staged columns are per-run state) — "
+                "use one executor per concurrent request");
+  }
   try {
     RunImpl(plan, input, out);
   } catch (...) {
+    in_flight_.store(false, std::memory_order_release);
     AbortRun();
     throw;
   }
+  in_flight_.store(false, std::memory_order_release);
 }
 
 void Executor::AbortRun() {

@@ -12,6 +12,7 @@
 //    staged through bandwidth-priced copies (overhead-ablation path).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -132,6 +133,14 @@ class Executor {
   // contract of DESIGN.md Section 9, tested in tests/arena_test.cc) —
   // including cooperative plans with fault recovery and tracing enabled.
   // Functional runs still allocate for the cloned output tensor.
+  //
+  // Single-flight: an executor services one run at a time — the scratch
+  // arena, packed activation pool and via-F16 staged columns
+  // (StageViaF16Cols) are per-run state keyed by node only, not by request,
+  // so concurrent runs through one executor would alias them. Re-entry while
+  // a run is in flight throws Error(kInvalidArgument). Callers that serve
+  // concurrent requests pool executors (src/serve ExecutorPool: one lane =
+  // one executor) over a const-shared PreparedModel, which IS safe to share.
   void RunInto(const Plan& plan, const Tensor* input, RunResult& out);
 
  private:
@@ -184,6 +193,13 @@ class Executor {
   // Per-node completion state, reused across runs (capacity survives so a
   // steady-state RunInto never reallocates it).
   std::vector<NodeDone> done_;
+
+  // Single-flight guard (see RunInto): set for the duration of a run so
+  // accidental re-entry — e.g. a pooled executor handed to two requests —
+  // fails loudly instead of aliasing the arena and staged columns. Atomic so
+  // the misuse detection itself is race-free (the guard rejects concurrent
+  // callers; it does not make the executor thread-safe).
+  std::atomic<bool> in_flight_{false};
 };
 
 }  // namespace ulayer

@@ -115,6 +115,7 @@ double Partitioner::EstimateBranchGroupUs(const BranchGroup& group,
 
 Plan Partitioner::Build() const {
   Plan plan;
+  plan.batch = graph_.BatchSize();
   plan.nodes.resize(static_cast<size_t>(graph_.size()));
   std::vector<bool> planned(static_cast<size_t>(graph_.size()), false);
 

@@ -79,6 +79,14 @@ struct Plan {
   // Indexed by node id.
   std::vector<NodeAssignment> nodes;
   std::vector<BranchPlan> branch_plans;
+  // Batch size this plan was built (and priced) for. The partitioner and the
+  // baseline builders stamp the graph's input batch here so serving-layer
+  // caches can't pair a plan with a graph of a different N — the timing model
+  // prices MACs and activation traffic per batch element while weight traffic
+  // is batch-invariant, so splits tuned at one N are wrong at another. 0
+  // means "unspecified" (hand-built plans); the verifier only checks a
+  // positive batch against the graph (P115).
+  int64_t batch = 0;
 
   // Fraction of nodes executed cooperatively (reporting).
   double CooperativeFraction() const {

@@ -7,6 +7,7 @@
 // F16/F32 storage it converts weights to the storage dtype.
 #pragma once
 
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -22,6 +23,20 @@ class PreparedModel {
   // Model must outlive the PreparedModel. Weights must be materialized when
   // functional execution or calibration is intended.
   PreparedModel(const Model& model, const ExecConfig& config);
+
+  // Thread-safety contract: a PreparedModel is immutable once prepared. The
+  // constructor and Calibrate() are the only mutators, and both must finish
+  // before the instance is shared. After that, any number of executors may
+  // const-share one instance concurrently — every accessor below returns
+  // references/pointers into caches written at prepare time only (verified by
+  // the TSan concurrent-readers test in tests/prepared_test.cc). Copying and
+  // moving are disabled so a shared instance cannot silently fork and
+  // invalidate the raw cache pointers long-lived callers (the serving-layer
+  // model cache, executor pools) hold into it.
+  PreparedModel(const PreparedModel&) = delete;
+  PreparedModel& operator=(const PreparedModel&) = delete;
+  PreparedModel(PreparedModel&&) = delete;
+  PreparedModel& operator=(PreparedModel&&) = delete;
 
   const Model& model() const { return *model_; }
   const Graph& graph() const { return model_->graph; }
@@ -116,5 +131,11 @@ class PreparedModel {
   std::vector<QuantParams> act_qp_;
   bool calibrated_ = false;
 };
+
+// Compile-time pin of the const-share contract above: executors and serving
+// caches share one prepared instance by reference, so nothing may copy it.
+static_assert(!std::is_copy_constructible_v<PreparedModel> &&
+                  !std::is_copy_assignable_v<PreparedModel>,
+              "PreparedModel is const-shared across executors; copying would fork its caches");
 
 }  // namespace ulayer

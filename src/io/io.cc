@@ -252,6 +252,9 @@ Graph GraphFromText(const std::string& text) {
 std::string PlanToText(const Plan& plan, const Graph& g) {
   std::ostringstream os;
   os << "ulayer-plan v1 for " << g.size() << " nodes\n";
+  if (plan.batch > 0) {
+    os << "batch " << plan.batch << "\n";
+  }
   for (const Node& n : g.nodes()) {
     if (n.desc.kind == LayerKind::kInput) {
       continue;
@@ -322,6 +325,12 @@ Plan PlanFromText(const std::string& text, const Graph& g) {
       return ProcKind::kCpu;
     };
 
+    if (first == "batch") {
+      if (!(ls >> plan.batch) || plan.batch <= 0) {
+        fail("bad batch size");
+      }
+      continue;
+    }
     if (first == "branch-group") {
       std::string idx_tok;
       int fork = -1;

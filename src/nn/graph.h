@@ -81,6 +81,17 @@ class Graph {
   // The last node (by convention the network output).
   int OutputId() const { return size() - 1; }
 
+  // Batch dimension of the first input node (the N every activation in the
+  // graph shares, per shape inference). 1 when the graph has no input node.
+  int64_t BatchSize() const {
+    for (const Node& n : nodes_) {
+      if (n.desc.kind == LayerKind::kInput) {
+        return n.out_shape.n;
+      }
+    }
+    return 1;
+  }
+
   // Adopts `nodes` verbatim: no shape inference, no validity checks.
   // Exists for the GraphVerifier tests, which need graphs the checked Add*
   // API refuses to build (dangling edges, wrong arity, corrupt shapes).

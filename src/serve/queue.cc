@@ -1,0 +1,80 @@
+#include "serve/queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ulayer::serve {
+namespace {
+
+// EDF order with the id as deterministic tiebreaker.
+bool Urgent(const Request& a, const Request& b) {
+  if (a.deadline_us != b.deadline_us) {
+    return a.deadline_us < b.deadline_us;
+  }
+  return a.id < b.id;
+}
+
+}  // namespace
+
+RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity) {
+  interactive_.reserve(capacity);
+  batch_.reserve(capacity);
+}
+
+std::vector<Request>& RequestQueue::ClassOf(Priority p) {
+  return p == Priority::kInteractive ? interactive_ : batch_;
+}
+
+const std::vector<Request>* RequestQueue::HeadClass() const {
+  if (!interactive_.empty()) {
+    return &interactive_;
+  }
+  if (!batch_.empty()) {
+    return &batch_;
+  }
+  return nullptr;
+}
+
+bool RequestQueue::Push(const Request& r) {
+  if (size() >= capacity_) {
+    return false;
+  }
+  std::vector<Request>& q = ClassOf(r.priority);
+  q.insert(std::upper_bound(q.begin(), q.end(), r, Urgent), r);
+  return true;
+}
+
+size_t RequestQueue::size() const { return interactive_.size() + batch_.size(); }
+
+const Request& RequestQueue::Head() const {
+  const std::vector<Request>* q = HeadClass();
+  assert(q != nullptr);
+  return q->front();
+}
+
+Request RequestQueue::PopHead() {
+  std::vector<Request>* q = const_cast<std::vector<Request>*>(HeadClass());
+  assert(q != nullptr);
+  Request r = std::move(q->front());
+  q->erase(q->begin());
+  return r;
+}
+
+void RequestQueue::PopClassInto(size_t n, std::vector<Request>& out) {
+  std::vector<Request>* q = const_cast<std::vector<Request>*>(HeadClass());
+  if (q == nullptr) {
+    return;
+  }
+  const size_t take = std::min(n, q->size());
+  for (size_t i = 0; i < take; ++i) {
+    out.push_back(std::move((*q)[i]));
+  }
+  q->erase(q->begin(), q->begin() + static_cast<ptrdiff_t>(take));
+}
+
+size_t RequestQueue::HeadClassSize() const {
+  const std::vector<Request>* q = HeadClass();
+  return q == nullptr ? 0 : q->size();
+}
+
+}  // namespace ulayer::serve

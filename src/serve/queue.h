@@ -1,0 +1,60 @@
+// Bounded per-family request queue with priority classes + EDF order
+// (DESIGN.md Section 14).
+//
+// Two priority classes (interactive, batch); within a class requests are
+// kept in earliest-deadline-first order with the request id as the
+// deterministic tiebreaker. Capacity is shared across classes: a Push into a
+// full queue is rejected (the caller sheds kShedQueueFull) — bounded queues
+// are the backpressure mechanism, unbounded queueing is exactly the failure
+// mode the SLO scheduler exists to avoid.
+//
+// Implementation: one sorted vector per class. Capacities are small (tens),
+// so ordered insertion is cheap, and with reserve()d storage the queue is
+// allocation-free in steady state.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace ulayer::serve {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity);
+
+  // False when the queue is at capacity (caller sheds the request).
+  bool Push(const Request& r);
+
+  bool empty() const { return size() == 0; }
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  // The most urgent queued request: head of the highest-urgency nonempty
+  // class, i.e. ordered by (priority, deadline, id). Queue must be nonempty.
+  const Request& Head() const;
+
+  // Pops the head request.
+  Request PopHead();
+
+  // Pops up to `n` requests in EDF order from the head's priority class into
+  // `out` (appended; caller clears). Batches never mix classes: a batch
+  // assembled for backlogged low-priority work must not absorb an
+  // interactive request that EDF would have scheduled first anyway.
+  void PopClassInto(size_t n, std::vector<Request>& out);
+
+  // Queued requests of the head's class (batch-assembly bound).
+  size_t HeadClassSize() const;
+
+ private:
+  std::vector<Request>& ClassOf(Priority p);
+  const std::vector<Request>* HeadClass() const;
+
+  size_t capacity_;
+  // Sorted by (deadline_us, id) ascending; index 0 = most urgent.
+  std::vector<Request> interactive_;
+  std::vector<Request> batch_;
+};
+
+}  // namespace ulayer::serve

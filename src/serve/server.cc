@@ -1,0 +1,306 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ulayer::serve {
+namespace {
+
+// (priority, deadline, id) urgency order across family heads.
+bool MoreUrgent(const Request& a, const Request& b) {
+  if (a.priority != b.priority) {
+    return static_cast<uint8_t>(a.priority) < static_cast<uint8_t>(b.priority);
+  }
+  if (a.deadline_us != b.deadline_us) {
+    return a.deadline_us < b.deadline_us;
+  }
+  return a.id < b.id;
+}
+
+std::string FixedUs(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+double ServeReport::LatencyQuantileUs(double p) const {
+  std::vector<double> lat;
+  lat.reserve(completions.size());
+  for (const Completion& c : completions) {
+    if (c.outcome == Outcome::kCompleted) {
+      lat.push_back(c.latency_us);
+    }
+  }
+  if (lat.empty()) {
+    return 0.0;
+  }
+  std::sort(lat.begin(), lat.end());
+  const double rank = std::clamp(p, 0.0, 1.0) * static_cast<double>(lat.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, lat.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return lat[lo] + (lat[hi] - lat[lo]) * frac;
+}
+
+double ServeReport::MeanBatchSize() const {
+  if (batches.empty()) {
+    return 0.0;
+  }
+  int64_t total = 0;
+  for (const BatchRecord& b : batches) {
+    total += b.batch;
+  }
+  return static_cast<double>(total) / static_cast<double>(batches.size());
+}
+
+std::string ServeReport::BatchLog() const {
+  std::ostringstream os;
+  for (const BatchRecord& b : batches) {
+    os << "batch " << b.seq << " model=" << b.model << " n=" << b.batch << " lane=" << b.lane
+       << " start=" << FixedUs(b.start_us) << " end=" << FixedUs(b.end_us) << " ids=";
+    for (size_t i = 0; i < b.ids.size(); ++i) {
+      os << (i > 0 ? "," : "") << b.ids[i];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string ServeReport::CompletionLog() const {
+  std::ostringstream os;
+  for (const Completion& c : completions) {
+    os << "req " << c.id << " " << OutcomeName(c.outcome) << " finish=" << FixedUs(c.finish_us);
+    if (c.outcome == Outcome::kCompleted) {
+      os << " latency=" << FixedUs(c.latency_us) << " batch=" << c.batch_size
+         << " deadline=" << (c.deadline_met ? "met" : "missed");
+      if (c.output_digest != 0) {
+        char d[20];
+        std::snprintf(d, sizeof(d), "%016llx", static_cast<unsigned long long>(c.output_digest));
+        os << " digest=" << d;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Server::Server(const SocSpec& soc, const ExecConfig& config, ServerOptions options)
+    : soc_(soc), options_(std::move(options)), cache_(soc, config, options_.cache) {
+  if (options_.queue_capacity == 0) {
+    throw Error(ErrorCode::kInvalidArgument, "Server: queue_capacity must be positive");
+  }
+  batch_buf_.reserve(static_cast<size_t>(cache_.batch_sizes().back()));
+}
+
+void Server::RegisterModel(const std::string& family) {
+  if (families_.find(family) != families_.end()) {
+    return;
+  }
+  cache_.Register(family);
+  families_.emplace(family,
+                    FamilyState(family, options_.queue_capacity, cache_.UnitUs(family)));
+}
+
+Server::FamilyState& Server::StateOf(const std::string& family) {
+  const auto it = families_.find(family);
+  if (it == families_.end()) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "Server: request for unregistered model '" + family + "'");
+  }
+  return it->second;
+}
+
+bool Server::QueuesEmpty() const {
+  for (const auto& [name, f] : families_) {
+    (void)name;
+    if (!f.queue.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Server::FamilyState* Server::PickFamily() {
+  FamilyState* best = nullptr;
+  for (auto& [name, f] : families_) {
+    (void)name;
+    if (f.queue.empty()) {
+      continue;
+    }
+    if (best == nullptr || MoreUrgent(f.queue.Head(), best->queue.Head())) {
+      best = &f;
+    }
+  }
+  return best;
+}
+
+void Server::Shed(const Request& r, Outcome why, double now, ServeReport& rep,
+                  trace::MetricsRegistry* metrics) {
+  Completion c;
+  c.id = r.id;
+  c.outcome = why;
+  c.finish_us = now;
+  rep.completions.push_back(std::move(c));
+  ++rep.shed;
+  if (metrics != nullptr) {
+    metrics->Count("serve." + std::string(OutcomeName(why)));  // serve.shed-<reason>
+  }
+}
+
+void Server::Admit(const Request& r, double now, ServeReport& rep,
+                   trace::MetricsRegistry* metrics) {
+  FamilyState& f = StateOf(r.model);
+  if (metrics != nullptr) {
+    metrics->Count("serve.requests");
+  }
+  if (f.queue.size() >= f.queue.capacity()) {
+    Shed(r, Outcome::kShedQueueFull, now, rep, metrics);
+    return;
+  }
+  if (options_.admission_control) {
+    const double start = std::max(now, device_free_us_);
+    const double predicted = start + queued_unit_us_ + f.unit_us;
+    if (predicted > r.deadline_us) {
+      Shed(r, Outcome::kShedDeadline, now, rep, metrics);
+      return;
+    }
+  }
+  f.queue.Push(r);  // Capacity checked above.
+  queued_unit_us_ += f.unit_us;
+}
+
+void Server::ExecuteBatch(FamilyState& f, std::vector<Request>& reqs, double now,
+                          ServeReport& rep, trace::MetricsRegistry* metrics) {
+  const int b = static_cast<int>(reqs.size());
+  ModelCache::Entry& e = cache_.entry(f.name, b);
+  const auto lane_idx =
+      static_cast<int>(static_cast<size_t>(reqs[0].session) % e.lanes.size());
+  ModelCache::Lane& lane = *e.lanes[static_cast<size_t>(lane_idx)];
+
+  const bool functional = cache_.options().functional;
+  if (functional) {
+    // Assemble the batch input: each request's payload is generated from its
+    // own seed into the per-image buffer, then copied into its batch row —
+    // so a request's input bytes are identical no matter which batch (or
+    // batch position) it rides in.
+    const int64_t row_bytes = lane.image.SizeBytes();
+    for (int i = 0; i < b; ++i) {
+      FillUniform(lane.image, reqs[static_cast<size_t>(i)].input_seed);
+      std::memcpy(lane.staging.raw() + static_cast<int64_t>(i) * row_bytes, lane.image.raw(),
+                  static_cast<size_t>(row_bytes));
+    }
+  }
+  lane.exec.RunInto(e.plan, functional ? &lane.staging : nullptr, lane.result);
+
+  const double service = lane.result.latency_us;
+  const double end = now + service;
+  device_free_us_ = end;
+
+  BatchRecord br;
+  br.seq = batch_seq_++;
+  br.model = f.name;
+  br.batch = b;
+  br.lane = lane_idx;
+  br.start_us = now;
+  br.end_us = end;
+  br.ids.reserve(reqs.size());
+
+  const Tensor* out = lane.result.output.has_value() ? &*lane.result.output : nullptr;
+  const int64_t out_row_bytes = out != nullptr ? out->SizeBytes() / b : 0;
+  for (int i = 0; i < b; ++i) {
+    const Request& r = reqs[static_cast<size_t>(i)];
+    br.ids.push_back(r.id);
+    Completion c;
+    c.id = r.id;
+    c.outcome = Outcome::kCompleted;
+    c.finish_us = end;
+    c.latency_us = end - r.arrival_us;
+    c.batch_size = b;
+    c.deadline_met = end <= r.deadline_us;
+    if (out != nullptr) {
+      c.output_digest =
+          Fnv1a64(out->raw() + static_cast<int64_t>(i) * out_row_bytes,
+                  static_cast<size_t>(out_row_bytes));
+    }
+    ++rep.completed;
+    rep.deadline_met += c.deadline_met ? 1 : 0;
+    if (metrics != nullptr) {
+      metrics->Count("serve.completed");
+      metrics->Observe("serve.latency_us", c.latency_us);
+    }
+    rep.completions.push_back(std::move(c));
+  }
+  rep.batches.push_back(std::move(br));
+  if (metrics != nullptr) {
+    metrics->Count("serve.batches");
+    metrics->Observe("serve.batch_size", static_cast<double>(b));
+    metrics->Observe("serve.service_us", service);
+    metrics->Observe("serve.queue_depth." + f.name, static_cast<double>(f.queue.size()));
+  }
+}
+
+ServeReport Server::Run(const std::vector<Request>& trace, trace::MetricsRegistry* metrics) {
+  for (size_t i = 0; i + 1 < trace.size(); ++i) {
+    if (trace[i + 1].arrival_us < trace[i].arrival_us) {
+      throw Error(ErrorCode::kInvalidArgument, "Server::Run: trace not sorted by arrival_us");
+    }
+  }
+  for (const Request& r : trace) {
+    StateOf(r.model);  // Throws for unregistered models before any work runs.
+  }
+
+  ServeReport rep;
+  device_free_us_ = 0.0;
+  queued_unit_us_ = 0.0;
+  batch_seq_ = 0;
+  double now = 0.0;
+  size_t idx = 0;
+
+  while (true) {
+    if (QueuesEmpty()) {
+      if (idx >= trace.size()) {
+        break;
+      }
+      now = std::max(now, trace[idx].arrival_us);
+    }
+    now = std::max(now, device_free_us_);
+    while (idx < trace.size() && trace[idx].arrival_us <= now) {
+      Admit(trace[idx], now, rep, metrics);
+      ++idx;
+    }
+    FamilyState* f = PickFamily();
+    if (f == nullptr) {
+      continue;  // Everything admitted this wake was shed; jump to next arrival.
+    }
+    // Expiry shed: EDF surfaces the earliest deadline first, so draining the
+    // head until it is feasible drops exactly the expired ones.
+    while (!f->queue.empty() && f->queue.Head().deadline_us < now) {
+      const Request r = f->queue.PopHead();
+      queued_unit_us_ -= f->unit_us;
+      Shed(r, Outcome::kShedExpired, now, rep, metrics);
+    }
+    if (f->queue.empty()) {
+      continue;
+    }
+    const int b = cache_.LargestBatchLE(static_cast<int64_t>(f->queue.HeadClassSize()));
+    batch_buf_.clear();
+    f->queue.PopClassInto(static_cast<size_t>(b), batch_buf_);
+    queued_unit_us_ -= f->unit_us * static_cast<double>(batch_buf_.size());
+    ExecuteBatch(*f, batch_buf_, now, rep, metrics);
+  }
+
+  for (const Completion& c : rep.completions) {
+    rep.makespan_us = std::max(rep.makespan_us, c.finish_us);
+  }
+  std::sort(rep.completions.begin(), rep.completions.end(),
+            [](const Completion& a, const Completion& b2) { return a.id < b2.id; });
+  return rep;
+}
+
+}  // namespace ulayer::serve

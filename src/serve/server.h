@@ -1,0 +1,147 @@
+// Multi-tenant serving: queue -> batch assembler -> SLO scheduler ->
+// executor pool (DESIGN.md Section 14).
+//
+// The Server replays a request trace through a deterministic discrete-event
+// loop over the simulated SoC: one device complex executes one batch at a
+// time (the ucl timelines are per-executor; serving throughput comes from
+// batching, not from pretending two batches can share the SoC). At every
+// scheduling point it
+//   1. admits arrivals into per-family bounded queues, shedding on
+//      queue-full or predicted deadline infeasibility (admission control),
+//   2. picks the most urgent family head by (priority class, deadline, id),
+//   3. drops queued requests whose deadline already passed (expiry shed),
+//   4. assembles the largest prepared batch size that the head class can
+//      fill (greedy largest-fit, never mixing classes or families),
+//   5. executes it on one pooled executor lane (session-affine) and charges
+//      the simulated service time to the device clock.
+// Everything is ordered by (deadline, id) with std::map-ordered family
+// iteration, so a (trace, config) pair reproduces the identical batch
+// composition, execution order and — in functional mode — byte-identical
+// outputs at any host thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/model_cache.h"
+#include "serve/queue.h"
+#include "serve/request.h"
+#include "trace/metrics.h"
+
+namespace ulayer::serve {
+
+struct ServerOptions {
+  ModelCache::Options cache;     // Batch sizes, lanes, functional, image_hw.
+  size_t queue_capacity = 64;    // Per-family, shared across classes.
+  // Admission control: shed a request at arrival when
+  //   max(now, device_free) + queued_unit_cost + unit_cost(family)
+  // exceeds its deadline — the unit cost prices queued work at max-batch
+  // throughput, so admission reflects what batching can actually absorb.
+  // Off: only queue-full and expiry shedding remain.
+  bool admission_control = true;
+};
+
+// One executed batch, for logs and determinism checks.
+struct BatchRecord {
+  int64_t seq = 0;      // Dispatch order.
+  std::string model;
+  int batch = 0;
+  int lane = 0;
+  double start_us = 0.0;
+  double end_us = 0.0;
+  std::vector<int64_t> ids;  // Member requests, in EDF pop order.
+};
+
+struct ServeReport {
+  std::vector<Completion> completions;  // Sorted by request id.
+  std::vector<BatchRecord> batches;     // In dispatch order.
+  int64_t completed = 0;
+  int64_t shed = 0;
+  int64_t deadline_met = 0;
+  double makespan_us = 0.0;  // Last completion/shed decision time.
+
+  double ThroughputRps() const {
+    return makespan_us > 0.0 ? static_cast<double>(completed) * 1e6 / makespan_us : 0.0;
+  }
+  double ShedFraction() const {
+    const int64_t total = completed + shed;
+    return total > 0 ? static_cast<double>(shed) / static_cast<double>(total) : 0.0;
+  }
+  // Exact latency quantile over completed requests (p in [0,1]); 0 when none
+  // completed. (The MetricsRegistry histogram is the estimated counterpart.)
+  double LatencyQuantileUs(double p) const;
+  double MeanBatchSize() const;
+
+  // Deterministic per-batch text log ("batch 0 model=... n=... ids=...") —
+  // diffing two of these proves identical batch composition and order.
+  std::string BatchLog() const;
+  // Deterministic per-request text log with outcome, latency and (functional
+  // runs) the FNV-1a output digest.
+  std::string CompletionLog() const;
+};
+
+class Server {
+ public:
+  // `config.cpu_threads` is normalized to 0 by the ModelCache (canonical
+  // simulated timing — see model_cache.h); the functional thread budget
+  // still follows ULAYER_CPU_THREADS, and outputs are byte-identical at any
+  // value by the ParallelFor determinism contract.
+  Server(const SocSpec& soc, const ExecConfig& config, ServerOptions options);
+
+  // Prepares the family's (batch-size x lane) execution contexts and creates
+  // its request queue. Idempotent.
+  void RegisterModel(const std::string& family);
+
+  // Installs a fault plan on every executor lane: injected GPU faults are
+  // absorbed per the config's recovery policy, stretching service times
+  // (throughput degrades, shedding engages) while outputs stay correct.
+  void SetFaultPlan(const fault::FaultPlan& plan) { cache_.SetFaultPlan(plan); }
+
+  // Replays `trace` (sorted by arrival_us; every model registered) to
+  // completion. Optionally folds serving metrics into `metrics`:
+  //   counters   serve.requests, serve.completed, serve.shed-<reason>,
+  //              serve.batches
+  //   histograms serve.latency_us, serve.batch_size, serve.service_us,
+  //              serve.queue_depth.<family>
+  // Not thread-safe: one Run at a time per Server.
+  ServeReport Run(const std::vector<Request>& trace,
+                  trace::MetricsRegistry* metrics = nullptr);
+
+  ModelCache& cache() { return cache_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct FamilyState {
+    std::string name;
+    RequestQueue queue;
+    double unit_us = 0.0;  // ServiceUs(b_max)/b_max admission price.
+
+    FamilyState(std::string n, size_t cap, double unit)
+        : name(std::move(n)), queue(cap), unit_us(unit) {}
+  };
+
+  FamilyState& StateOf(const std::string& family);
+  bool QueuesEmpty() const;
+  FamilyState* PickFamily();  // Most urgent head; null when all empty.
+
+  void Admit(const Request& r, double now, ServeReport& rep, trace::MetricsRegistry* metrics);
+  void Shed(const Request& r, Outcome why, double now, ServeReport& rep,
+            trace::MetricsRegistry* metrics);
+  void ExecuteBatch(FamilyState& f, std::vector<Request>& reqs, double now, ServeReport& rep,
+                    trace::MetricsRegistry* metrics);
+
+  SocSpec soc_;
+  ServerOptions options_;
+  ModelCache cache_;
+  std::map<std::string, FamilyState, std::less<>> families_;
+
+  // Per-Run scheduler state.
+  double device_free_us_ = 0.0;
+  double queued_unit_us_ = 0.0;  // Admission price of everything queued.
+  int64_t batch_seq_ = 0;
+  std::vector<Request> batch_buf_;
+};
+
+}  // namespace ulayer::serve

@@ -1,6 +1,7 @@
 #include "trace/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -13,6 +14,27 @@ std::string Num(double v) {
   return buf;
 }
 
+// Bucket index for value v: 0 for v <= 1, otherwise the smallest b with
+// kGrowth^b >= v, saturating into the overflow slot.
+int BucketIndex(double v) {
+  if (!(v > 1.0)) {
+    return 0;
+  }
+  const double b = std::ceil(std::log(v) / std::log(Histogram::kGrowth));
+  if (!(b > 0.0)) {
+    return 0;
+  }
+  if (b >= static_cast<double>(Histogram::kNumBounds)) {
+    return Histogram::kNumBounds;
+  }
+  return static_cast<int>(b);
+}
+
+// Lower edge of bucket b (0 for the catch-all first bucket).
+double BucketLower(int b) { return b == 0 ? 0.0 : std::pow(Histogram::kGrowth, b - 1); }
+
+double BucketUpper(int b) { return std::pow(Histogram::kGrowth, b); }
+
 }  // namespace
 
 void Histogram::Observe(double v) {
@@ -24,6 +46,35 @@ void Histogram::Observe(double v) {
   }
   sum += v;
   ++count;
+  ++buckets[static_cast<size_t>(BucketIndex(v))];
+}
+
+double Histogram::Quantile(double p) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  if (p <= 0.0 || min == max) {
+    return min;
+  }
+  if (p >= 1.0) {
+    return max;
+  }
+  const double target = p * static_cast<double>(count);
+  double cum = 0.0;
+  for (int b = 0; b <= kNumBounds; ++b) {
+    const double in_bucket = static_cast<double>(buckets[static_cast<size_t>(b)]);
+    if (in_bucket <= 0.0) {
+      continue;
+    }
+    if (cum + in_bucket >= target) {
+      const double lo = b > kNumBounds - 1 ? BucketUpper(kNumBounds - 1) : BucketLower(b);
+      const double hi = b > kNumBounds - 1 ? max : BucketUpper(b);
+      const double frac = std::clamp((target - cum) / in_bucket, 0.0, 1.0);
+      return std::clamp(lo + (hi - lo) * frac, min, max);
+    }
+    cum += in_bucket;
+  }
+  return max;
 }
 
 void MetricsRegistry::Count(std::string_view name, int64_t delta) {
@@ -106,10 +157,11 @@ std::string MetricsRegistry::ToString() const {
   for (const auto& [name, value] : counters_) {
     os << "  " << name << " = " << value << "\n";
   }
-  os << "histograms (count / mean / min / max):\n";
+  os << "histograms (count / mean / min / max / p50 / p99):\n";
   for (const auto& [name, h] : histograms_) {
     os << "  " << name << " = " << h.count << " / " << Num(h.mean()) << " / " << Num(h.min)
-       << " / " << Num(h.max) << "\n";
+       << " / " << Num(h.max) << " / " << Num(h.Quantile(0.5)) << " / " << Num(h.Quantile(0.99))
+       << "\n";
   }
   return os.str();
 }
@@ -127,7 +179,8 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& [name, h] : histograms_) {
     os << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"count\": " << h.count
        << ", \"sum\": " << Num(h.sum) << ", \"mean\": " << Num(h.mean())
-       << ", \"min\": " << Num(h.min) << ", \"max\": " << Num(h.max) << "}";
+       << ", \"min\": " << Num(h.min) << ", \"max\": " << Num(h.max)
+       << ", \"p50\": " << Num(h.Quantile(0.5)) << ", \"p99\": " << Num(h.Quantile(0.99)) << "}";
     first = false;
   }
   os << "\n  }\n}\n";

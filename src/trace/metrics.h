@@ -8,6 +8,7 @@
 // (BENCH_trace.json) or a human-readable table.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -17,16 +18,29 @@
 
 namespace ulayer::trace {
 
-// Count / sum / min / max summary of an observed value stream. Enough for
-// trend lines without committing to bucket boundaries.
+// Count / sum / min / max summary of an observed value stream, plus
+// fixed-boundary geometric buckets so quantiles (p50/p99) can be estimated
+// without retaining samples. Bucket b's upper bound is kGrowth^b: bucket 0
+// absorbs everything <= 1 (latencies below 1us, zeros, negatives), the last
+// slot is the overflow bucket. With kGrowth = 1.25 the 96 bounds reach
+// ~1.6e9, covering every stream the registry records (microseconds, bytes,
+// depths) with a worst-case relative quantile error of one bucket ratio.
 struct Histogram {
+  static constexpr int kNumBounds = 96;
+  static constexpr double kGrowth = 1.25;
+
   int64_t count = 0;
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+  std::array<int64_t, kNumBounds + 1> buckets{};  // [0..kNumBounds-1] bounded, last = overflow.
 
   void Observe(double v);
   double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  // Estimated p-quantile (p in [0,1]) by cumulative bucket walk with linear
+  // interpolation inside the landing bucket, clamped to [min, max]. Exact for
+  // degenerate streams (count <= 1 or min == max); 0 when empty.
+  double Quantile(double p) const;
 };
 
 class MetricsRegistry {
@@ -51,9 +65,9 @@ class MetricsRegistry {
 
   bool empty() const { return counters_.empty() && histograms_.empty(); }
 
-  // Sorted "name value" / "name count/mean/min/max" lines.
+  // Sorted "name value" / "name count/mean/min/max/p50/p99" lines.
   std::string ToString() const;
-  // {"counters": {...}, "histograms": {name: {count,sum,mean,min,max}}}.
+  // {"counters": {...}, "histograms": {name: {count,sum,mean,min,max,p50,p99}}}.
   std::string ToJson() const;
 
  private:

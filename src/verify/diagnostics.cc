@@ -72,6 +72,8 @@ std::string_view DiagCodeName(DiagCode code) {
       return "branch-group-invalid";
     case DiagCode::kBranchGroupOverlap:
       return "branch-group-overlap";
+    case DiagCode::kPlanBatchMismatch:
+      return "plan-batch-mismatch";
     case DiagCode::kConfigBadDType:
       return "config-bad-dtype";
     case DiagCode::kConfigQu8OnFloat:

@@ -54,6 +54,8 @@ enum class DiagCode : uint16_t {
                                    //       branch plan (warning).
   kBranchGroupInvalid = 113,       // P113: fork/join/branch node ids invalid.
   kBranchGroupOverlap = 114,       // P114: node claimed by two branch plans.
+  kPlanBatchMismatch = 115,        // P115: plan stamped for a batch size that
+                                   //       differs from the graph's input N.
 
   // --- Config (C2xx) --------------------------------------------------------
   kConfigBadDType = 201,      // C201: kInt32 used as storage/compute dtype.

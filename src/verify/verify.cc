@@ -429,6 +429,12 @@ Report PlanVerifier::Verify(const Plan& plan) const {
     out.Error(DiagCode::kPlanSizeMismatch, -1, os.str());
     return out;  // Per-node indexing below would be unsafe.
   }
+  if (plan.batch > 0 && plan.batch != g.BatchSize()) {
+    std::ostringstream os;
+    os << "plan was built for batch " << plan.batch << " but the graph's input batch is "
+       << g.BatchSize() << "; split ratios priced at one N are invalid at another";
+    out.Error(DiagCode::kPlanBatchMismatch, -1, os.str());
+  }
 
   // Which processor each node was claimed for by a branch plan.
   std::vector<int> branch_proc(static_cast<size_t>(g.size()), kUnclaimed);

@@ -3,10 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <thread>
 #include <vector>
 
+#include "core/executor.h"
+#include "core/partitioner.h"
+#include "core/predictor.h"
 #include "core/reference.h"
 #include "kernels/pack.h"
+#include "soc/timing.h"
 #include "tensor/rng.h"
 
 namespace ulayer {
@@ -256,6 +261,49 @@ TEST(PreparedTest, PrepareInputQuantizesWithInputParams) {
   EXPECT_EQ(q.dtype(), DType::kQUInt8);
   const Tensor back = DequantizeTensor(q);
   EXPECT_LT(MaxAbsDiff(back, inputs[0]), q.scale());
+}
+
+// The thread-safety contract (core/prepared.h): after construction and
+// Calibrate, a PreparedModel is deeply const and may be shared by any number
+// of concurrent reader threads, each running its own Executor — exactly what
+// the serving layer's lane pool does. Run under TSan in CI: any lazily
+// mutated cache inside the "const" surface shows up as a data race here.
+TEST(PreparedTest, ConstSharedAcrossConcurrentExecutors) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  const ExecConfig config = ExecConfig::ProcessorFriendly();  // All caches live.
+  PreparedModel pm(m, config);
+  pm.Calibrate(MakeInputs(Shape(1, 1, 28, 28), 2, 13));
+  const PreparedModel& shared = pm;  // Readers get the const view.
+
+  const TimingModel timing{MakeExynos7420()};
+  const LatencyPredictor predictor(timing, config, {&m.graph});
+  const Plan plan = Partitioner(m.graph, timing, config, predictor).Build();
+
+  constexpr int kReaders = 4;
+  constexpr int kRunsEach = 3;
+  std::vector<std::vector<float>> outputs(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Executor exec(shared, MakeExynos7420());  // One executor per thread.
+      Tensor in(Shape(1, 1, 28, 28), DType::kF32);
+      FillUniform(in, 77);  // Same input everywhere: outputs must agree.
+      for (int run = 0; run < kRunsEach; ++run) {
+        const RunResult r = exec.Run(plan, &in);
+        ASSERT_TRUE(r.output.has_value());
+        const float* p = r.output->Data<float>();
+        outputs[static_cast<size_t>(t)].assign(p, p + r.output->shape().NumElements());
+      }
+    });
+  }
+  for (std::thread& th : readers) {
+    th.join();
+  }
+  for (int t = 1; t < kReaders; ++t) {
+    EXPECT_EQ(outputs[static_cast<size_t>(t)], outputs[0]) << "reader " << t;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,488 @@
+// Tests for the multi-tenant serving layer (src/serve, DESIGN.md Section 14):
+// deterministic trace generation, EDF/priority queueing, SLO-aware admission
+// and shedding, batch assembly economics, byte-identical functional outputs
+// across batch compositions and repeat runs, fault-degraded serving, and the
+// executor single-flight guard the pooled lanes rely on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "core/executor.h"
+#include "core/partitioner.h"
+#include "core/predictor.h"
+#include "fault/fault.h"
+#include "serve/model_cache.h"
+#include "serve/queue.h"
+#include "serve/request.h"
+#include "serve/server.h"
+#include "soc/timing.h"
+#include "tensor/rng.h"
+#include "trace/metrics.h"
+#include "verify/verify.h"
+
+namespace ulayer {
+namespace {
+
+using serve::GenerateTrace;
+using serve::Outcome;
+using serve::Priority;
+using serve::Request;
+using serve::RequestQueue;
+using serve::ServeReport;
+using serve::TraceSpec;
+
+Request MakeReq(int64_t id, double deadline, Priority p = Priority::kInteractive) {
+  Request r;
+  r.id = id;
+  r.model = "lenet5";
+  r.priority = p;
+  r.arrival_us = 0.0;
+  r.deadline_us = deadline;
+  return r;
+}
+
+// --- Trace generation --------------------------------------------------------
+
+TEST(TraceGenTest, DeterministicSortedDenseIds) {
+  TraceSpec spec;
+  spec.seed = 99;
+  spec.num_requests = 50;
+  spec.models = {"lenet5", "alexnet"};
+  const std::vector<Request> a = GenerateTrace(spec);
+  const std::vector<Request> b = GenerateTrace(spec);
+  ASSERT_EQ(a.size(), 50u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, static_cast<int64_t>(i));
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].model, b[i].model);
+    EXPECT_EQ(a[i].arrival_us, b[i].arrival_us);
+    EXPECT_EQ(a[i].input_seed, b[i].input_seed);
+    EXPECT_GT(a[i].deadline_us, a[i].arrival_us);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_us, a[i - 1].arrival_us);
+    }
+  }
+  // A different seed moves the arrivals.
+  spec.seed = 100;
+  const std::vector<Request> c = GenerateTrace(spec);
+  bool any_diff = false;
+  for (size_t i = 0; i < c.size(); ++i) {
+    any_diff = any_diff || c[i].arrival_us != a[i].arrival_us;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TraceGenTest, RespectsClassMixAndModels) {
+  TraceSpec spec;
+  spec.num_requests = 200;
+  spec.models = {"lenet5", "alexnet"};
+  spec.interactive_fraction = 0.25;
+  int interactive = 0;
+  std::map<std::string, int> by_model;
+  for (const Request& r : GenerateTrace(spec)) {
+    interactive += r.priority == Priority::kInteractive ? 1 : 0;
+    ++by_model[r.model];
+  }
+  EXPECT_GT(interactive, 20);
+  EXPECT_LT(interactive, 90);  // ~50 expected at fraction 0.25.
+  EXPECT_GT(by_model["lenet5"], 0);
+  EXPECT_GT(by_model["alexnet"], 0);
+}
+
+// --- Request queue -----------------------------------------------------------
+
+TEST(RequestQueueTest, EdfOrderWithinClassIdTiebreak) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.Push(MakeReq(3, 500.0)));
+  ASSERT_TRUE(q.Push(MakeReq(1, 100.0)));
+  ASSERT_TRUE(q.Push(MakeReq(2, 100.0)));
+  EXPECT_EQ(q.PopHead().id, 1);  // Same deadline as 2: id breaks the tie.
+  EXPECT_EQ(q.PopHead().id, 2);
+  EXPECT_EQ(q.PopHead().id, 3);
+}
+
+TEST(RequestQueueTest, InteractiveClassPreemptsBatchHead) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.Push(MakeReq(0, 100.0, Priority::kBatch)));
+  ASSERT_TRUE(q.Push(MakeReq(1, 900.0, Priority::kInteractive)));
+  // The interactive request heads the queue despite its later deadline.
+  EXPECT_EQ(q.Head().id, 1);
+  EXPECT_EQ(q.HeadClassSize(), 1u);
+  std::vector<Request> out;
+  q.PopClassInto(4, out);  // Must not absorb the batch-class request.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 1);
+  EXPECT_EQ(q.Head().id, 0);
+}
+
+TEST(RequestQueueTest, CapacitySharedAcrossClasses) {
+  RequestQueue q(2);
+  EXPECT_TRUE(q.Push(MakeReq(0, 1.0, Priority::kInteractive)));
+  EXPECT_TRUE(q.Push(MakeReq(1, 1.0, Priority::kBatch)));
+  EXPECT_FALSE(q.Push(MakeReq(2, 1.0, Priority::kInteractive)));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+// --- Model cache -------------------------------------------------------------
+
+TEST(ModelCacheTest, BatchEntriesAndLargestFit) {
+  serve::ModelCache::Options opts;
+  opts.batch_sizes = {1, 2, 4, 8};
+  opts.lanes = 2;
+  serve::ModelCache cache(MakeExynos7420(), ExecConfig::ProcessorFriendly(), opts);
+  cache.Register("lenet5");
+  EXPECT_TRUE(cache.Has("lenet5"));
+  EXPECT_EQ(cache.LargestBatchLE(1), 1);
+  EXPECT_EQ(cache.LargestBatchLE(3), 2);
+  EXPECT_EQ(cache.LargestBatchLE(7), 4);
+  EXPECT_EQ(cache.LargestBatchLE(100), 8);
+
+  // Batching amortizes weight traffic + launch overhead: a batch-8 execution
+  // is far cheaper than eight batch-1 executions, and service time still
+  // rises monotonically with batch size.
+  double prev = 0.0;
+  for (int b : opts.batch_sizes) {
+    const double s = cache.ServiceUs("lenet5", b);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  EXPECT_LT(cache.ServiceUs("lenet5", 8), 8.0 * cache.ServiceUs("lenet5", 1));
+  EXPECT_NEAR(cache.UnitUs("lenet5"), cache.ServiceUs("lenet5", 8) / 8.0, 1e-9);
+}
+
+TEST(ModelCacheTest, NormalizesCpuThreadsForCanonicalTiming) {
+  ExecConfig config = ExecConfig::ProcessorFriendly();
+  config.cpu_threads = 3;
+  serve::ModelCache cache(MakeExynos7420(), config, {});
+  EXPECT_EQ(cache.config().cpu_threads, 0);
+}
+
+// --- Plan batch stamping (verifier P115) -------------------------------------
+
+TEST(PlanBatchTest, VerifierRejectsBatchMismatchedPlan) {
+  const TimingModel timing(MakeExynos7420());
+  const ExecConfig config = ExecConfig::ProcessorFriendly();
+  const Model m4 = serve::MakeZooModel("lenet5", 4);
+  const LatencyPredictor predictor(timing, config, {&m4.graph});
+  Plan plan = Partitioner(m4.graph, timing, config, predictor).Build();
+  EXPECT_EQ(plan.batch, 4);
+  EXPECT_TRUE(VerifyPlan(m4.graph, plan, config).ok());
+
+  // The same plan against the batch-1 graph: split ratios were priced at
+  // batch 4, so the verifier rejects the pairing.
+  const Model m1 = serve::MakeZooModel("lenet5", 1);
+  const Report report = VerifyPlan(m1.graph, plan, config);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(DiagCode::kPlanBatchMismatch));
+}
+
+// --- Serving: batching economics and SLO behavior ----------------------------
+
+serve::ServerOptions SimOptions(std::vector<int> batch_sizes) {
+  serve::ServerOptions opts;
+  opts.cache.batch_sizes = std::move(batch_sizes);
+  opts.cache.lanes = 2;
+  opts.cache.functional = false;
+  opts.queue_capacity = 64;
+  return opts;
+}
+
+TraceSpec OverloadSpec(double service1, double load, int n = 400) {
+  TraceSpec spec;
+  spec.seed = 11;
+  spec.num_requests = n;
+  spec.duration_us = static_cast<double>(n) * service1 / load;
+  spec.interactive_deadline_us = 10.0 * service1;
+  spec.batch_deadline_us = 50.0 * service1;
+  return spec;
+}
+
+TEST(ServerTest, BatchingDoublesThroughputAtOverload) {
+  const SocSpec soc = MakeExynos7420();
+  const ExecConfig config = ExecConfig::ProcessorFriendly();
+  serve::Server batched(soc, config, SimOptions({1, 2, 4, 8}));
+  serve::Server batch1(soc, config, SimOptions({1}));
+  batched.RegisterModel("lenet5");
+  batch1.RegisterModel("lenet5");
+
+  const double service1 = batched.cache().ServiceUs("lenet5", 1);
+  const std::vector<Request> trace = GenerateTrace(OverloadSpec(service1, 4.0));
+  const ServeReport rb = batched.Run(trace);
+  const ServeReport r1 = batch1.Run(trace);
+  EXPECT_GT(rb.MeanBatchSize(), 2.0);
+  EXPECT_GE(rb.ThroughputRps(), 2.0 * r1.ThroughputRps());
+  EXPECT_GT(static_cast<double>(rb.completed), 1.5 * static_cast<double>(r1.completed));
+}
+
+TEST(ServerTest, AdmissionControlBoundsTailLatencyPastSaturation) {
+  const SocSpec soc = MakeExynos7420();
+  const ExecConfig config = ExecConfig::ProcessorFriendly();
+  serve::Server with(soc, config, SimOptions({1, 2, 4, 8}));
+  serve::ServerOptions no_admission = SimOptions({1, 2, 4, 8});
+  no_admission.admission_control = false;
+  no_admission.queue_capacity = 4096;  // Remove backpressure entirely.
+  serve::Server without(soc, config, no_admission);
+  with.RegisterModel("lenet5");
+  without.RegisterModel("lenet5");
+
+  const double service1 = with.cache().ServiceUs("lenet5", 1);
+  const TraceSpec spec = OverloadSpec(service1, 8.0);
+  const std::vector<Request> trace = GenerateTrace(spec);
+  const ServeReport ra = with.Run(trace);
+  const ServeReport rn = without.Run(trace);
+
+  // Past saturation the controller sheds instead of queueing: the p99 of
+  // admitted work stays within the largest SLO budget while the uncontrolled
+  // server's tail grows with the backlog.
+  EXPECT_GT(ra.shed, 0);
+  EXPECT_LE(ra.LatencyQuantileUs(0.99), spec.batch_deadline_us);
+  EXPECT_GT(rn.LatencyQuantileUs(0.99), ra.LatencyQuantileUs(0.99));
+  // Shed outcomes are one of the admission/expiry reasons, never silent.
+  for (const auto& c : ra.completions) {
+    if (c.outcome != Outcome::kCompleted) {
+      EXPECT_TRUE(c.outcome == Outcome::kShedQueueFull ||
+                  c.outcome == Outcome::kShedDeadline || c.outcome == Outcome::kShedExpired);
+    }
+  }
+}
+
+TEST(ServerTest, RunIsRepeatableAndResetsSchedulerState) {
+  const SocSpec soc = MakeExynos7420();
+  serve::Server server(soc, ExecConfig::ProcessorFriendly(), SimOptions({1, 2, 4}));
+  server.RegisterModel("lenet5");
+  const double service1 = server.cache().ServiceUs("lenet5", 1);
+  const std::vector<Request> trace = GenerateTrace(OverloadSpec(service1, 4.0, 120));
+  const ServeReport a = server.Run(trace);
+  const ServeReport b = server.Run(trace);
+  EXPECT_EQ(a.BatchLog(), b.BatchLog());
+  EXPECT_EQ(a.CompletionLog(), b.CompletionLog());
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.makespan_us, b.makespan_us);
+}
+
+TEST(ServerTest, RejectsUnsortedTraceAndUnknownModel) {
+  serve::Server server(MakeExynos7420(), ExecConfig::ProcessorFriendly(), SimOptions({1}));
+  server.RegisterModel("lenet5");
+  std::vector<Request> bad = {MakeReq(0, 10.0), MakeReq(1, 10.0)};
+  bad[0].arrival_us = 5.0;
+  bad[1].arrival_us = 1.0;
+  EXPECT_THROW(server.Run(bad), Error);
+  std::vector<Request> unknown = {MakeReq(0, 10.0)};
+  unknown[0].model = "alexnet";
+  EXPECT_THROW(server.Run(unknown), Error);
+}
+
+TEST(ServerTest, MetricsRegistryWiring) {
+  serve::Server server(MakeExynos7420(), ExecConfig::ProcessorFriendly(),
+                       SimOptions({1, 2, 4}));
+  server.RegisterModel("lenet5");
+  const double service1 = server.cache().ServiceUs("lenet5", 1);
+  trace::MetricsRegistry registry;
+  const ServeReport rep = server.Run(GenerateTrace(OverloadSpec(service1, 4.0, 100)), &registry);
+  const std::string text = registry.ToString();
+  EXPECT_NE(text.find("serve.requests"), std::string::npos);
+  EXPECT_NE(text.find("serve.completed"), std::string::npos);
+  EXPECT_NE(text.find("serve.latency_us"), std::string::npos);
+  EXPECT_NE(text.find("serve.batch_size"), std::string::npos);
+  EXPECT_NE(text.find("serve.queue_depth.lenet5"), std::string::npos);
+  if (rep.shed > 0) {
+    EXPECT_NE(text.find("serve.shed-"), std::string::npos);
+  }
+}
+
+// --- Functional serving: byte-identical outputs ------------------------------
+
+serve::ServerOptions FunctionalOptions(std::vector<int> batch_sizes) {
+  serve::ServerOptions opts;
+  opts.cache.batch_sizes = std::move(batch_sizes);
+  opts.cache.lanes = 2;
+  opts.cache.functional = true;
+  opts.queue_capacity = 64;
+  opts.admission_control = false;  // Nothing sheds: compare every request.
+  return opts;
+}
+
+std::map<int64_t, uint64_t> DigestsById(const ServeReport& rep) {
+  std::map<int64_t, uint64_t> out;
+  for (const auto& c : rep.completions) {
+    if (c.outcome == Outcome::kCompleted) {
+      out[c.id] = c.output_digest;
+    }
+  }
+  return out;
+}
+
+TraceSpec FunctionalSpec(double service1, int n) {
+  TraceSpec spec;
+  spec.seed = 5;
+  spec.num_requests = n;
+  spec.duration_us = static_cast<double>(n) * service1 / 4.0;
+  // Deadlines far beyond the makespan so every request completes in both
+  // serving configurations.
+  spec.interactive_deadline_us = 1e4 * service1;
+  spec.batch_deadline_us = 1e4 * service1;
+  return spec;
+}
+
+TEST(ServerFunctionalTest, BatchedOutputsMatchSequentialByteForByte) {
+  const SocSpec soc = MakeExynos7420();
+  const ExecConfig config = ExecConfig::AllF32();
+  serve::Server batched(soc, config, FunctionalOptions({1, 2, 4}));
+  serve::Server batch1(soc, config, FunctionalOptions({1}));
+  batched.RegisterModel("lenet5");
+  batch1.RegisterModel("lenet5");
+
+  const double service1 = batched.cache().ServiceUs("lenet5", 1);
+  const std::vector<Request> trace = GenerateTrace(FunctionalSpec(service1, 24));
+  const ServeReport rb = batched.Run(trace);
+  const ServeReport r1 = batch1.Run(trace);
+  ASSERT_EQ(rb.completed, 24);
+  ASSERT_EQ(r1.completed, 24);
+  EXPECT_GT(rb.MeanBatchSize(), 1.0);  // Batching actually engaged.
+
+  const auto db = DigestsById(rb);
+  const auto d1 = DigestsById(r1);
+  ASSERT_EQ(db.size(), d1.size());
+  for (const auto& [id, digest] : db) {
+    EXPECT_NE(digest, 0u);
+    EXPECT_EQ(digest, d1.at(id)) << "request " << id
+                                 << ": batched output differs from sequential";
+  }
+}
+
+TEST(ServerFunctionalTest, ProcessorFriendlyConfigServes) {
+  const SocSpec soc = MakeExynos7420();
+  serve::Server server(soc, ExecConfig::ProcessorFriendly(), FunctionalOptions({1, 2, 4}));
+  server.RegisterModel("lenet5");
+  const double service1 = server.cache().ServiceUs("lenet5", 1);
+  const ServeReport a = server.Run(GenerateTrace(FunctionalSpec(service1, 12)));
+  const ServeReport b = server.Run(GenerateTrace(FunctionalSpec(service1, 12)));
+  ASSERT_EQ(a.completed, 12);
+  for (const auto& c : a.completions) {
+    EXPECT_NE(c.output_digest, 0u);
+  }
+  // Repeat runs are byte-identical, digests included.
+  EXPECT_EQ(a.CompletionLog(), b.CompletionLog());
+  EXPECT_EQ(a.BatchLog(), b.BatchLog());
+}
+
+TEST(ServerFunctionalTest, FaultDegradedServingKeepsOutputsCorrect) {
+  const SocSpec soc = MakeExynos7420();
+  const ExecConfig config = ExecConfig::AllF32();
+  serve::Server clean(soc, config, FunctionalOptions({1, 2, 4}));
+  serve::Server faulty(soc, config, FunctionalOptions({1, 2, 4}));
+  clean.RegisterModel("lenet5");
+  faulty.RegisterModel("lenet5");
+  // lenet5's plan is all-CPU at batch 1-4, so throttle the CPU: a thermal
+  // slowdown stretches every kernel body without touching the math.
+  faulty.SetFaultPlan(fault::FaultPlan::Parse("cpu.kernel=slow:4.0"));
+
+  const double service1 = clean.cache().ServiceUs("lenet5", 1);
+  const std::vector<Request> trace = GenerateTrace(FunctionalSpec(service1, 16));
+  const ServeReport rc = clean.Run(trace);
+  const ServeReport rf = faulty.Run(trace);
+  ASSERT_EQ(rc.completed, 16);
+  ASSERT_EQ(rf.completed, 16);
+  // The throttle stretches service times (throughput degrades) ...
+  EXPECT_GT(rf.makespan_us, rc.makespan_us);
+  // ... but never correctness: every request's output bytes are unchanged.
+  const auto dc = DigestsById(rc);
+  const auto df = DigestsById(rf);
+  for (const auto& [id, digest] : dc) {
+    EXPECT_EQ(digest, df.at(id));
+  }
+}
+
+// --- Executor single-flight guard (used by the lane pool) --------------------
+
+TEST(SingleFlightTest, GuardClearsAfterThrowingRun) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  const ExecConfig config = ExecConfig::AllF32();
+  const PreparedModel pm(m, config);
+  const TimingModel timing{MakeExynos7420()};
+  const LatencyPredictor predictor(timing, config, {&m.graph});
+  const Plan plan = Partitioner(m.graph, timing, config, predictor).Build();
+  Executor exec(pm, MakeExynos7420());
+
+  // A CPU enqueue failure is unrecoverable (no fallback device below the
+  // CPU): the run throws mid-flight.
+  exec.SetFaultPlan(fault::FaultPlan::Parse("cpu.kernel@call:1=enqueue-failed"));
+  Tensor in(Shape(1, 1, 28, 28), DType::kF32);
+  FillUniform(in, 42);
+  RunResult r;
+  EXPECT_THROW(exec.RunInto(plan, &in, r), Error);
+  // The guard (and the arena/timelines) must be reset: a fault-free run on
+  // the same executor succeeds and matches a fresh executor byte for byte.
+  exec.SetFaultPlan(fault::FaultPlan{});
+  exec.RunInto(plan, &in, r);
+  Executor fresh(pm, MakeExynos7420());
+  const RunResult expect = fresh.Run(plan, &in);
+  EXPECT_EQ(r.latency_us, expect.latency_us);
+  ASSERT_TRUE(r.output.has_value() && expect.output.has_value());
+  EXPECT_EQ(serve::Fnv1a64(r.output->raw(), static_cast<size_t>(r.output->SizeBytes())),
+            serve::Fnv1a64(expect.output->raw(),
+                           static_cast<size_t>(expect.output->SizeBytes())));
+}
+
+TEST(SingleFlightTest, ConcurrentSecondRunIsRejected) {
+  // Two threads race into one executor: the atomic guard admits one run at a
+  // time and rejects a concurrent entry with kInvalidArgument. The workload
+  // is sized so one functional run spans many scheduler timeslices (tens of
+  // milliseconds) — even on a single-core host the other thread gets
+  // scheduled mid-run and collides. Both threads retry until a collision and
+  // a completion have each been observed (in practice the first round).
+  Model m = serve::MakeZooModel("alexnet", 4, 64);
+  m.MaterializeWeights();
+  const ExecConfig config = ExecConfig::AllF32();
+  const PreparedModel pm(m, config);
+  const TimingModel timing{MakeExynos7420()};
+  const LatencyPredictor predictor(timing, config, {&m.graph});
+  const Plan plan = Partitioner(m.graph, timing, config, predictor).Build();
+  Executor exec(pm, MakeExynos7420());
+
+  Tensor in(m.graph.nodes()[0].out_shape, DType::kF32);
+  FillUniform(in, 7);
+  std::atomic<bool> go{false};
+  std::atomic<int> ready{0};
+  std::atomic<int> completed{0};
+  std::atomic<int> rejected{0};
+  auto attempt = [&](RunResult& r) {
+    ready.fetch_add(1);
+    while (!go.load()) {
+    }
+    for (int k = 0; k < 50 && (completed.load() == 0 || rejected.load() == 0); ++k) {
+      try {
+        exec.RunInto(plan, &in, r);
+        completed.fetch_add(1);
+      } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+        rejected.fetch_add(1);
+      }
+    }
+  };
+  RunResult r1;
+  RunResult r2;
+  std::thread t1(attempt, std::ref(r1));
+  std::thread t2(attempt, std::ref(r2));
+  while (ready.load() < 2) {
+  }
+  go.store(true);
+  t1.join();
+  t2.join();
+  EXPECT_GE(completed.load(), 1);
+  EXPECT_GE(rejected.load(), 1);
+  // Rejections left the executor usable.
+  RunResult r3;
+  exec.RunInto(plan, &in, r3);
+  EXPECT_GT(r3.latency_us, 0.0);
+}
+
+}  // namespace
+}  // namespace ulayer

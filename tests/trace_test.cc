@@ -370,5 +370,79 @@ TEST(MetricsRegistryTest, AggregatesRunsAndExportsJson) {
   EXPECT_NE(registry.ToString().find("custom_counter"), std::string::npos);
 }
 
+// Histogram::Quantile estimates from fixed geometric buckets (growth 1.25):
+// any estimate is within one bucket ratio of the true quantile, i.e. a 25%
+// relative error bound, regardless of observation order.
+TEST(HistogramQuantileTest, UniformSequenceWithinBucketResolution) {
+  trace::Histogram h;
+  for (int v = 1; v <= 1000; ++v) {
+    h.Observe(static_cast<double>(v));
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0);
+  const double p50 = h.Quantile(0.5);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GT(p50, 500.0 / 1.25);
+  EXPECT_LT(p50, 500.0 * 1.25);
+  EXPECT_GT(p99, 990.0 / 1.25);
+  EXPECT_LT(p99, 990.0 * 1.25);
+  EXPECT_LE(p50, p99);  // Quantiles are monotone in p.
+  // Estimates never escape the observed range.
+  EXPECT_GE(h.Quantile(0.001), 1.0);
+  EXPECT_LE(h.Quantile(0.999), 1000.0);
+}
+
+TEST(HistogramQuantileTest, DegenerateCases) {
+  trace::Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+
+  trace::Histogram one;
+  one.Observe(42.0);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(one.Quantile(1.0), 42.0);
+
+  trace::Histogram same;  // min == max: exact at every p.
+  for (int i = 0; i < 10; ++i) {
+    same.Observe(7.5);
+  }
+  EXPECT_DOUBLE_EQ(same.Quantile(0.99), 7.5);
+
+  // Values at/below the first bound and beyond the last (overflow bucket)
+  // still clamp into [min, max].
+  trace::Histogram wide;
+  wide.Observe(0.25);
+  wide.Observe(1e12);
+  EXPECT_GE(wide.Quantile(0.01), 0.25);
+  EXPECT_LE(wide.Quantile(0.99), 1e12);
+}
+
+TEST(HistogramQuantileTest, BimodalSeparatesModes) {
+  trace::Histogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.Observe(10.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Observe(10000.0);
+  }
+  EXPECT_LT(h.Quantile(0.5), 15.0);
+  EXPECT_GT(h.Quantile(0.95), 1000.0);
+}
+
+TEST(HistogramQuantileTest, JsonAndTableExportCarryQuantiles) {
+  trace::MetricsRegistry registry;
+  for (int v = 1; v <= 100; ++v) {
+    registry.Observe("latency_us", static_cast<double>(v));
+  }
+  const JsonValue doc = ParseJson(registry.ToJson());
+  const JsonValue* lat = doc.Find("histograms")->Find("latency_us");
+  ASSERT_NE(lat, nullptr);
+  ASSERT_NE(lat->Find("p50"), nullptr);
+  ASSERT_NE(lat->Find("p99"), nullptr);
+  EXPECT_GT(lat->Find("p50")->number, 50.0 / 1.25);
+  EXPECT_LT(lat->Find("p50")->number, 50.0 * 1.25);
+  EXPECT_NE(registry.ToString().find("p99"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ulayer

@@ -29,6 +29,8 @@
 #include "fault/fault.h"
 #include "io/io.h"
 #include "models/model.h"
+#include "serve/request.h"
+#include "serve/server.h"
 #include "soc/timing.h"
 #include "trace/chrome.h"
 #include "trace/metrics.h"
@@ -81,6 +83,12 @@ Options:
                     drift table to stdout
   --metrics-out <file>
                     like --metrics, writing the registry as JSON to <file>
+  --serve-smoke     ignore model/plan flags and run a small functional
+                    serving smoke: a deterministic LeNet-5 request trace
+                    through the multi-tenant server (src/serve), printing the
+                    batch log and per-request completion log (with FNV-1a
+                    output digests) to stdout. The output is byte-identical
+                    at any ULAYER_CPU_THREADS value — CI diffs two runs
   -h, --help        this text
 )";
 
@@ -139,6 +147,7 @@ int main(int argc, char** argv) {
   bool print_plan = false;
   bool graph_only = false;
   bool analyze = false;
+  bool serve_smoke = false;
 
   auto next_arg = [&](int& i, const char* flag) -> std::string {
     if (i + 1 >= argc) {
@@ -193,6 +202,8 @@ int main(int argc, char** argv) {
       graph_only = true;
     } else if (a == "--analyze") {
       analyze = true;
+    } else if (a == "--serve-smoke") {
+      serve_smoke = true;
     } else if (a == "-h" || a == "--help") {
       std::cout << kUsage;
       return 0;
@@ -200,6 +211,55 @@ int main(int argc, char** argv) {
       UsageError("unknown argument '" + a + "'");
     }
   }
+  // --- Serving smoke (--serve-smoke) -----------------------------------------
+  if (serve_smoke) {
+    ExecConfig config = MakeConfig(config_name);
+    config.cpu_threads = cpu_threads;
+    SocSpec soc;
+    if (soc_name == "7420") {
+      soc = MakeExynos7420();
+    } else if (soc_name == "7880") {
+      soc = MakeExynos7880();
+    } else {
+      UsageError("unknown SoC '" + soc_name + "' (want 7420|7880)");
+    }
+    try {
+      serve::ServerOptions opts;
+      opts.cache.batch_sizes = {1, 2, 4};
+      opts.cache.lanes = 2;
+      opts.cache.functional = true;  // Real tensor math -> output digests.
+      opts.queue_capacity = 16;
+      serve::Server server(soc, config, opts);
+      server.RegisterModel("lenet5");
+      if (run_faults) {
+        server.SetFaultPlan(fault::FaultPlan::Parse(faults_spec));
+      }
+      serve::TraceSpec spec;
+      spec.seed = 7;
+      spec.num_requests = 24;
+      spec.models = {"lenet5"};
+      spec.sessions = 4;
+      // 4x the batch=1 saturation rate with tight interactive deadlines:
+      // forces multi-request batches and some shedding, so the smoke
+      // exercises both outcome paths.
+      const double service1 = server.cache().ServiceUs("lenet5", 1);
+      spec.duration_us = 24.0 * service1 / 4.0;
+      spec.interactive_deadline_us = 5.0 * service1;
+      spec.batch_deadline_us = 25.0 * service1;
+      const serve::ServeReport rep = server.Run(serve::GenerateTrace(spec));
+      std::cout << rep.BatchLog() << rep.CompletionLog();
+      std::cout << "serve-smoke lenet5 (soc " << soc.name << ", config " << config_name
+                << "): completed " << rep.completed << ", shed " << rep.shed
+                << ", deadline-met " << rep.deadline_met << ", mean batch "
+                << rep.MeanBatchSize() << "\n";
+      return 0;
+    } catch (const Error& e) {
+      std::cerr << "ulayer_verify: serve-smoke failed (" << ErrorCodeName(e.code())
+                << "): " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   if (model_name.empty() == graph_path.empty()) {
     UsageError("pick exactly one of --model / --graph");
   }
