@@ -1,0 +1,264 @@
+// Distributed split-inference bench: latency scaling, pipeline throughput
+// and fault-recovery overhead over the simulated cluster (DESIGN.md §15).
+//
+// Three sections, all deterministic (simulated link/worker timelines):
+//   scaling   - single-item latency of the channel-distribution plan as the
+//               worker count grows, per zoo model. Links are what a SoC
+//               never pays, so small models stop scaling (or regress) early
+//               while conv-heavy models keep absorbing workers.
+//   pipeline  - throughput of the stage-partitioned plan streaming a burst
+//               of items, vs the channel plan run back-to-back.
+//   faults    - functional runs under committed fault specs (worker death,
+//               message drops, both) with the output digest checked against
+//               the fault-free run at every node count: recovery must be
+//               byte-identical, faults may only cost latency.
+//
+// Flags:
+//   --quick       fewer models x node counts (CI smoke mode)
+//   --out PATH    JSON output path (default: BENCH_net.json)
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "kernels/simd.h"
+#include "net/coordinator.h"
+#include "parallel/thread_pool.h"
+#include "serve/model_cache.h"
+
+namespace ulayer {
+namespace {
+
+struct ScaleRow {
+  std::string model;
+  int nodes = 0;
+  double latency_us = 0.0;
+  double speedup_vs_1 = 0.0;
+  int64_t messages = 0;
+  int64_t wire_bytes = 0;
+};
+
+struct PipeRow {
+  std::string model;
+  int nodes = 0;
+  int items = 0;
+  double channel_tput_s = 0.0;   // Channel plan, items run back-to-back.
+  double pipeline_tput_s = 0.0;  // Stage-partitioned plan, items streamed.
+  double bottleneck_us = 0.0;
+};
+
+struct FaultRow {
+  std::string model;
+  int nodes = 0;
+  std::string spec;
+  double latency_us = 0.0;
+  double overhead_x = 0.0;  // vs the fault-free run at the same node count.
+  int reroutes = 0;
+  int retransmits = 0;
+  int worker_deaths = 0;
+  bool digest_match = false;
+  bool verify_ok = false;
+};
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_net.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const char* isa = simd::IsaName(simd::ActiveIsa());
+  const int threads = parallel::CpuThreads();
+  const ExecConfig config = ExecConfig::ProcessorFriendly();
+
+  struct ModelSel {
+    std::string family;
+    int image_hw = 0;
+  };
+  const std::vector<ModelSel> scale_models =
+      quick ? std::vector<ModelSel>{{"lenet5", 0}, {"alexnet", 64}}
+            : std::vector<ModelSel>{{"lenet5", 0}, {"alexnet", 64}, {"squeezenet", 112},
+                                    {"mobilenet", 112}};
+  const std::vector<int> node_counts =
+      quick ? std::vector<int>{1, 2, 3} : std::vector<int>{1, 2, 3, 4, 6};
+  const int pipe_items = quick ? 8 : 32;
+
+  std::vector<ScaleRow> scale_rows;
+  std::vector<PipeRow> pipe_rows;
+  std::vector<FaultRow> fault_rows;
+
+  std::printf("net bench: config=pf isa=%s threads=%d %s\n", isa, threads,
+              quick ? "(quick)" : "");
+
+  // --- scaling + pipeline (timing-only; no weights needed) -------------------
+  for (const ModelSel& sel : scale_models) {
+    const Model model = serve::MakeZooModel(sel.family, 1, sel.image_hw);
+    const PreparedModel prepared(model, config);
+    const std::string label =
+        sel.image_hw > 0 ? sel.family + "@" + std::to_string(sel.image_hw) : sel.family;
+    double latency1 = 0.0;
+    for (int n : node_counts) {
+      const net::ClusterSpec cluster = net::MakeUniformCluster(n);
+      const net::NetPartitioner part(model.graph, cluster);
+      net::Coordinator coord(prepared, cluster);
+      const net::NetRunResult r = coord.Run(part.Build());
+      if (n == node_counts.front()) {
+        latency1 = r.latency_us;
+      }
+      ScaleRow row;
+      row.model = label;
+      row.nodes = n;
+      row.latency_us = r.latency_us;
+      row.speedup_vs_1 = latency1 / r.latency_us;
+      row.messages = r.wire_messages;
+      row.wire_bytes = r.wire_bytes;
+      std::printf("  scale %-14s n=%d latency=%10.1fus speedup=%5.2fx msgs=%4lld wire=%9lldB\n",
+                  label.c_str(), n, row.latency_us, row.speedup_vs_1,
+                  static_cast<long long>(row.messages), static_cast<long long>(row.wire_bytes));
+      scale_rows.push_back(std::move(row));
+
+      if (n >= 2) {
+        const net::NetPlan pipe = part.BuildPipeline(n);
+        const net::PipelineResult pr = coord.RunPipeline(pipe, pipe_items);
+        PipeRow prow;
+        prow.model = label;
+        prow.nodes = n;
+        prow.items = pipe_items;
+        prow.channel_tput_s = 1e6 / r.latency_us;
+        prow.pipeline_tput_s = pr.throughput_per_s;
+        prow.bottleneck_us = pr.bottleneck_us;
+        std::printf("  pipe  %-14s n=%d items=%d channel=%8.1f/s pipeline=%8.1f/s "
+                    "bottleneck=%9.1fus\n",
+                    label.c_str(), n, pipe_items, prow.channel_tput_s, prow.pipeline_tput_s,
+                    prow.bottleneck_us);
+        pipe_rows.push_back(std::move(prow));
+      }
+    }
+  }
+
+  // --- fault recovery (functional; byte-identity is the headline) -----------
+  const std::vector<ModelSel> fault_models =
+      quick ? std::vector<ModelSel>{{"lenet5", 0}}
+            : std::vector<ModelSel>{{"lenet5", 0}, {"alexnet", 64}};
+  const std::vector<std::string> fault_specs = {
+      "seed=7;net.worker@id:1=death",
+      "seed=7;net.link@id:0@prob:0.3=drop",
+      "seed=7;net.link@id:0@call:2=drop;net.worker@id:1=death",
+  };
+  const std::vector<int> fault_nodes = quick ? std::vector<int>{2, 3} : std::vector<int>{2, 3, 4};
+  for (const ModelSel& sel : fault_models) {
+    Model model = serve::MakeZooModel(sel.family, 1, sel.image_hw);
+    model.MaterializeWeights();
+    PreparedModel prepared(model, config);
+    if (config.storage == DType::kQUInt8) {
+      std::vector<Tensor> calib;
+      for (int i = 0; i < 2; ++i) {
+        Tensor t(model.graph.node(0).out_shape, DType::kF32);
+        FillUniform(t, 0xca11 + static_cast<uint64_t>(i));
+        calib.push_back(std::move(t));
+      }
+      prepared.Calibrate(calib);
+    }
+    Tensor input(model.graph.node(0).out_shape, DType::kF32);
+    FillUniform(input, 0x5eed);
+    const std::string label =
+        sel.image_hw > 0 ? sel.family + "@" + std::to_string(sel.image_hw) : sel.family;
+    for (int n : fault_nodes) {
+      const net::ClusterSpec cluster = net::MakeUniformCluster(n);
+      // Even distribution so every worker participates and faults engage.
+      const net::NetPlan plan = net::MakeEvenPlan(model.graph, n);
+      net::Coordinator coord(prepared, cluster);
+      const net::NetRunResult clean = coord.Run(plan, &input);
+      for (const std::string& spec : fault_specs) {
+        coord.SetFaultPlan(fault::FaultPlan::Parse(spec));
+        const net::NetRunResult r = coord.Run(plan, &input);
+        coord.SetFaultPlan(fault::FaultPlan{});
+        FaultRow row;
+        row.model = label;
+        row.nodes = n;
+        row.spec = spec;
+        row.latency_us = r.latency_us;
+        row.overhead_x = r.latency_us / clean.latency_us;
+        row.reroutes = r.degradation.reroutes;
+        row.retransmits = r.degradation.retransmits;
+        row.worker_deaths = r.degradation.worker_deaths;
+        row.digest_match = r.output_digest == clean.output_digest;
+        row.verify_ok = net::VerifyNetRun(model.graph, cluster, r).ok();
+        std::printf("  fault %-14s n=%d %-48s latency=%10.1fus overhead=%5.2fx "
+                    "reroutes=%d retrans=%d digest=%s verify=%s\n",
+                    label.c_str(), n, spec.c_str(), row.latency_us, row.overhead_x, row.reroutes,
+                    row.retransmits, row.digest_match ? "match" : "MISMATCH",
+                    row.verify_ok ? "ok" : "FAIL");
+        fault_rows.push_back(std::move(row));
+      }
+    }
+  }
+
+  bool all_match = true;
+  for (const FaultRow& row : fault_rows) {
+    all_match = all_match && row.digest_match && row.verify_ok;
+  }
+  std::printf("fault recovery byte-identity: %s\n", all_match ? "all match" : "MISMATCH");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"schema\": \"ulayer-net-bench-v1\",\n  \"isa\": \"%s\",\n"
+               "  \"quick\": %s,\n  \"threads\": %d,\n  \"config\": \"pf\",\n"
+               "  \"scaling\": [\n",
+               isa, quick ? "true" : "false", threads);
+  for (size_t i = 0; i < scale_rows.size(); ++i) {
+    const ScaleRow& r = scale_rows[i];
+    std::fprintf(f,
+                 "    {\"model\": \"%s\", \"nodes\": %d, \"latency_us\": %.3f, "
+                 "\"speedup_vs_1\": %.4f, \"messages\": %lld, \"wire_bytes\": %lld}%s\n",
+                 r.model.c_str(), r.nodes, r.latency_us, r.speedup_vs_1,
+                 static_cast<long long>(r.messages), static_cast<long long>(r.wire_bytes),
+                 i + 1 < scale_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"pipeline\": [\n");
+  for (size_t i = 0; i < pipe_rows.size(); ++i) {
+    const PipeRow& r = pipe_rows[i];
+    std::fprintf(f,
+                 "    {\"model\": \"%s\", \"nodes\": %d, \"items\": %d, "
+                 "\"channel_tput_s\": %.3f, \"pipeline_tput_s\": %.3f, "
+                 "\"bottleneck_us\": %.3f}%s\n",
+                 r.model.c_str(), r.nodes, r.items, r.channel_tput_s, r.pipeline_tput_s,
+                 r.bottleneck_us, i + 1 < pipe_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"faults\": [\n");
+  for (size_t i = 0; i < fault_rows.size(); ++i) {
+    const FaultRow& r = fault_rows[i];
+    std::fprintf(f,
+                 "    {\"model\": \"%s\", \"nodes\": %d, \"spec\": \"%s\", "
+                 "\"latency_us\": %.3f, \"overhead_x\": %.4f, \"reroutes\": %d, "
+                 "\"retransmits\": %d, \"worker_deaths\": %d, \"digest_match\": %s, "
+                 "\"verify_ok\": %s}%s\n",
+                 r.model.c_str(), r.nodes, r.spec.c_str(), r.latency_us, r.overhead_x,
+                 r.reroutes, r.retransmits, r.worker_deaths, r.digest_match ? "true" : "false",
+                 r.verify_ok ? "true" : "false", i + 1 < fault_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu scaling, %zu pipeline, %zu fault rows)\n", out_path.c_str(),
+              scale_rows.size(), pipe_rows.size(), fault_rows.size());
+  return all_match ? 0 : 1;
+}
+
+}  // namespace ulayer
+
+int main(int argc, char** argv) { return ulayer::Main(argc, argv); }

@@ -29,6 +29,11 @@ std::string FormatNumber(double v) {
   return os.str();
 }
 
+bool IsNetKind(FaultKind kind) {
+  return kind == FaultKind::kDrop || kind == FaultKind::kDelay ||
+         kind == FaultKind::kPartition || kind == FaultKind::kWorkerDeath;
+}
+
 }  // namespace
 
 std::string_view FaultKindName(FaultKind kind) {
@@ -43,6 +48,14 @@ std::string_view FaultKindName(FaultKind kind) {
       return "timeout";
     case FaultKind::kSlowdown:
       return "slow";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kWorkerDeath:
+      return "death";
   }
   return "unknown";
 }
@@ -61,9 +74,28 @@ std::string_view OpKindName(OpKind op) {
   return "unknown";
 }
 
+std::string_view FaultTargetName(FaultTarget target) {
+  switch (target) {
+    case FaultTarget::kDevice:
+      return "device";
+    case FaultTarget::kNetLink:
+      return "net.link";
+    case FaultTarget::kNetWorker:
+      return "net.worker";
+  }
+  return "unknown";
+}
+
 std::string FaultRule::ToString() const {
   std::ostringstream os;
-  os << (device == ProcKind::kCpu ? "cpu" : "gpu") << "." << OpKindName(op);
+  if (target == FaultTarget::kDevice) {
+    os << (device == ProcKind::kCpu ? "cpu" : "gpu") << "." << OpKindName(op);
+  } else {
+    os << FaultTargetName(target);
+  }
+  if (net_id >= 0) {
+    os << "@id:" << net_id;
+  }
   if (node >= 0) {
     os << "@node:" << node;
   }
@@ -81,14 +113,21 @@ std::string FaultRule::ToString() const {
     os << ":" << FormatNumber(timeout_us);
   } else if (kind == FaultKind::kSlowdown) {
     os << ":" << FormatNumber(factor);
+  } else if (kind == FaultKind::kDelay) {
+    os << ":" << FormatNumber(delay_us);
   }
   return os.str();
 }
 
 std::string FaultEvent::ToString() const {
   std::ostringstream os;
-  os << FaultKindName(kind) << " on " << (device == ProcKind::kCpu ? "cpu" : "gpu") << "."
-     << OpKindName(op) << " call " << call;
+  os << FaultKindName(kind) << " on ";
+  if (target == FaultTarget::kDevice) {
+    os << (device == ProcKind::kCpu ? "cpu" : "gpu") << "." << OpKindName(op);
+  } else {
+    os << FaultTargetName(target) << ":" << net_id;
+  }
+  os << " call " << call;
   if (node >= 0) {
     os << " (node " << node << ")";
   }
@@ -133,32 +172,40 @@ FaultPlan FaultPlan::Parse(const std::string& spec) {
     const std::string effect = item.substr(eq + 1);
     FaultRule rule;
 
-    // Target: device '.' op, then '@'-separated selectors.
+    // Target: device '.' op (or 'net' '.' link|worker), then '@'-separated
+    // selectors.
     const size_t at = lhs.find('@');
     const std::string target = lhs.substr(0, at);
     const size_t dot = target.find('.');
     if (dot == std::string::npos) {
-      ParseFail(spec, "target '" + target + "' wants <device>.<op>");
+      ParseFail(spec, "target '" + target + "' wants <device>.<op> or net.<link|worker>");
     }
     const std::string dev = target.substr(0, dot);
     const std::string op = target.substr(dot + 1);
-    if (dev == "cpu") {
-      rule.device = ProcKind::kCpu;
-    } else if (dev == "gpu") {
-      rule.device = ProcKind::kGpu;
+    if (dev == "cpu" || dev == "gpu") {
+      rule.target = FaultTarget::kDevice;
+      rule.device = dev == "cpu" ? ProcKind::kCpu : ProcKind::kGpu;
+      if (op == "kernel") {
+        rule.op = OpKind::kKernel;
+      } else if (op == "map") {
+        rule.op = OpKind::kMap;
+      } else if (op == "unmap") {
+        rule.op = OpKind::kUnmap;
+      } else if (op == "any") {
+        rule.op = OpKind::kAny;
+      } else {
+        ParseFail(spec, "unknown op '" + op + "' (want kernel|map|unmap|any)");
+      }
+    } else if (dev == "net") {
+      if (op == "link") {
+        rule.target = FaultTarget::kNetLink;
+      } else if (op == "worker") {
+        rule.target = FaultTarget::kNetWorker;
+      } else {
+        ParseFail(spec, "unknown net target '" + op + "' (want link|worker)");
+      }
     } else {
-      ParseFail(spec, "unknown device '" + dev + "' (want cpu|gpu)");
-    }
-    if (op == "kernel") {
-      rule.op = OpKind::kKernel;
-    } else if (op == "map") {
-      rule.op = OpKind::kMap;
-    } else if (op == "unmap") {
-      rule.op = OpKind::kUnmap;
-    } else if (op == "any") {
-      rule.op = OpKind::kAny;
-    } else {
-      ParseFail(spec, "unknown op '" + op + "' (want kernel|map|unmap|any)");
+      ParseFail(spec, "unknown device '" + dev + "' (want cpu|gpu|net)");
     }
 
     size_t sel_pos = at;
@@ -181,8 +228,10 @@ FaultPlan FaultPlan::Parse(const std::string& spec) {
           rule.probability = std::stod(value);
         } else if (key == "limit") {
           rule.limit = std::stoll(value);
+        } else if (key == "id") {
+          rule.net_id = std::stoi(value);
         } else {
-          ParseFail(spec, "unknown selector '" + key + "' (want node|call|prob|limit)");
+          ParseFail(spec, "unknown selector '" + key + "' (want node|call|prob|limit|id)");
         }
       } catch (const Error&) {
         throw;
@@ -191,7 +240,11 @@ FaultPlan FaultPlan::Parse(const std::string& spec) {
       }
       sel_pos = next;
     }
-    if (rule.node < -1 || rule.call == 0 || rule.call < -1 || rule.limit < -1 ||
+    if (rule.net_id >= 0 && rule.target == FaultTarget::kDevice) {
+      ParseFail(spec, "selector '@id' in '" + item + "' wants a net.link/net.worker target");
+    }
+    if (rule.node < -1 || rule.net_id < -1 || rule.call == 0 || rule.call < -1 ||
+        rule.limit < -1 ||
         (rule.probability >= 0.0 &&
          !(rule.probability > 0.0 && rule.probability <= 1.0))) {
       ParseFail(spec, "selector out of domain in '" + item +
@@ -227,10 +280,37 @@ FaultPlan FaultPlan::Parse(const std::string& spec) {
         ParseFail(spec, "slow wants a factor >= 1");
       }
       rule.factor = earg;
+    } else if (ename == "drop") {
+      rule.kind = FaultKind::kDrop;
+    } else if (ename == "delay") {
+      rule.kind = FaultKind::kDelay;
+      if (!has_arg || !(earg >= 0.0) || !std::isfinite(earg)) {
+        ParseFail(spec, "delay wants a non-negative microsecond argument");
+      }
+      rule.delay_us = earg;
+    } else if (ename == "partition") {
+      rule.kind = FaultKind::kPartition;
+    } else if (ename == "death") {
+      rule.kind = FaultKind::kWorkerDeath;
     } else {
       ParseFail(spec, "unknown effect '" + ename +
                           "' (want enqueue-failed|map-failed|device-lost|timeout:<us>|"
-                          "slow:<factor>)");
+                          "slow:<factor>|drop|delay:<us>|partition|death)");
+    }
+    // Effects are target-specific: device kinds need a device timeline,
+    // drop/delay/partition a link, death a worker.
+    if (rule.target == FaultTarget::kDevice && IsNetKind(rule.kind)) {
+      ParseFail(spec, "effect '" + ename + "' in '" + item +
+                          "' wants a net.link/net.worker target");
+    }
+    if (rule.target == FaultTarget::kNetLink && rule.kind == FaultKind::kWorkerDeath) {
+      ParseFail(spec, "effect 'death' in '" + item + "' wants a net.worker target");
+    }
+    if (rule.target == FaultTarget::kNetWorker && rule.kind != FaultKind::kWorkerDeath) {
+      ParseFail(spec, "net.worker in '" + item + "' only supports the 'death' effect");
+    }
+    if (rule.target != FaultTarget::kDevice && !IsNetKind(rule.kind)) {
+      ParseFail(spec, "effect '" + ename + "' in '" + item + "' wants a cpu/gpu target");
     }
     plan.rules.push_back(rule);
   }
@@ -258,10 +338,12 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) { ResetRun
 
 void FaultInjector::ResetRun() {
   rng_state_ = plan_.seed;
-  for (auto& per_device : counts_) {
-    for (int64_t& c : per_device) {
-      c = 0;
-    }
+  // Zero in place rather than clear(): the key set is stable across runs of
+  // one plan, so warmed steady-state runs never allocate map nodes (the
+  // allocation-count contract of tests/arena_test.cc).
+  for (auto& [key, count] : counts_) {
+    (void)key;
+    count = 0;
   }
   fired_.assign(plan_.rules.size(), 0);
   events_.clear();
@@ -269,8 +351,11 @@ void FaultInjector::ResetRun() {
   node_ = -1;
 }
 
-int64_t& FaultInjector::CallCount(ProcKind device, OpKind op) {
-  return counts_[device == ProcKind::kCpu ? 0 : 1][static_cast<int>(op)];
+int64_t& FaultInjector::CallCount(FaultTarget target, int instance, OpKind op) {
+  const uint32_t key = (static_cast<uint32_t>(target) << 24) |
+                       ((static_cast<uint32_t>(instance) & 0xffffu) << 8) |
+                       static_cast<uint32_t>(op);
+  return counts_[key];  // Zero-initialized on first touch.
 }
 
 double FaultInjector::NextUniform() {
@@ -279,11 +364,13 @@ double FaultInjector::NextUniform() {
 
 std::optional<FaultInjector::Decision> FaultInjector::OnCall(ProcKind device, OpKind op,
                                                              double now_us) {
-  const int64_t count = ++CallCount(device, op);
+  const int dev_instance = device == ProcKind::kCpu ? 0 : 1;
+  const int64_t count = ++CallCount(FaultTarget::kDevice, dev_instance, op);
   std::optional<Decision> decision;
   for (size_t i = 0; i < plan_.rules.size(); ++i) {
     const FaultRule& r = plan_.rules[i];
-    if (r.device != device || (r.op != OpKind::kAny && r.op != op)) {
+    if (r.target != FaultTarget::kDevice || r.device != device ||
+        (r.op != OpKind::kAny && r.op != op)) {
       continue;
     }
     if (r.limit >= 0 && fired_[i] >= r.limit) {
@@ -294,10 +381,11 @@ std::optional<FaultInjector::Decision> FaultInjector::OnCall(ProcKind device, Op
     }
     // kAny rules with a @call selector count calls across all op classes.
     const int64_t matched_calls =
-        r.op == OpKind::kAny ? CallCount(device, OpKind::kKernel) +
-                                   CallCount(device, OpKind::kMap) +
-                                   CallCount(device, OpKind::kUnmap)
-                             : count;
+        r.op == OpKind::kAny
+            ? CallCount(FaultTarget::kDevice, dev_instance, OpKind::kKernel) +
+                  CallCount(FaultTarget::kDevice, dev_instance, OpKind::kMap) +
+                  CallCount(FaultTarget::kDevice, dev_instance, OpKind::kUnmap)
+            : count;
     if (r.call >= 0 && r.call != matched_calls) {
       continue;
     }
@@ -311,13 +399,69 @@ std::optional<FaultInjector::Decision> FaultInjector::OnCall(ProcKind device, Op
       continue;  // First matching rule wins; later rules still draw above.
     }
     ++fired_[i];
-    decision = Decision{r.kind, r.timeout_us, r.factor};
+    decision = Decision{r.kind, r.timeout_us, r.factor, r.delay_us};
     if (r.kind == FaultKind::kSlowdown) {
       ++slowdowns_;
     } else {
-      events_.push_back(FaultEvent{r.kind, device, op, node_, count, now_us,
-                                   r.kind == FaultKind::kTimeout ? r.timeout_us : 0.0});
+      FaultEvent ev;
+      ev.kind = r.kind;
+      ev.target = FaultTarget::kDevice;
+      ev.device = device;
+      ev.op = op;
+      ev.node = node_;
+      ev.call = count;
+      ev.at_us = now_us;
+      ev.charged_us = r.kind == FaultKind::kTimeout ? r.timeout_us : 0.0;
+      events_.push_back(ev);
     }
+  }
+  return decision;
+}
+
+std::optional<FaultInjector::Decision> FaultInjector::OnNetCall(FaultTarget target, int id,
+                                                                double now_us) {
+  // Count the call on both the per-id timeline (specific-id rules) and the
+  // per-target aggregate (any-id rules), so `net.link@call:3` means "the
+  // 3rd message on any link" while `net.link@id:1@call:3` means "worker 1's
+  // 3rd message".
+  const int64_t id_count = ++CallCount(target, id, OpKind::kKernel);
+  const int64_t any_count = ++CallCount(target, kAnyInstance, OpKind::kKernel);
+  std::optional<Decision> decision;
+  for (size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& r = plan_.rules[i];
+    if (r.target != target) {
+      continue;
+    }
+    if (r.net_id >= 0 && r.net_id != id) {
+      continue;
+    }
+    if (r.limit >= 0 && fired_[i] >= r.limit) {
+      continue;
+    }
+    if (r.node >= 0 && r.node != node_) {
+      continue;
+    }
+    const int64_t matched_calls = r.net_id >= 0 ? id_count : any_count;
+    if (r.call >= 0 && r.call != matched_calls) {
+      continue;
+    }
+    if (r.probability >= 0.0 && NextUniform() >= r.probability) {
+      continue;
+    }
+    if (decision.has_value()) {
+      continue;  // First matching rule wins; later rules still draw above.
+    }
+    ++fired_[i];
+    decision = Decision{r.kind, r.timeout_us, r.factor, r.delay_us};
+    FaultEvent ev;
+    ev.kind = r.kind;
+    ev.target = target;
+    ev.net_id = id;
+    ev.node = node_;
+    ev.call = id_count;
+    ev.at_us = now_us;
+    ev.charged_us = r.kind == FaultKind::kDelay ? r.delay_us : 0.0;
+    events_.push_back(ev);
   }
   return decision;
 }

@@ -6,9 +6,8 @@
 #include <limits>
 
 namespace ulayer::multi {
-namespace {
 
-bool Splittable(LayerKind k) {
+bool SplittableLayer(LayerKind k) {
   switch (k) {
     case LayerKind::kConv:
     case LayerKind::kDepthwiseConv:
@@ -27,7 +26,6 @@ bool Splittable(LayerKind k) {
   return false;
 }
 
-// Work of the fraction-f output-channel slice of `node` (QUInt8 storage).
 LayerWork SliceWork(const Graph& g, const Node& node, double fraction) {
   const int64_t c = node.out_shape.c;
   const int64_t c_end =
@@ -36,7 +34,36 @@ LayerWork SliceWork(const Graph& g, const Node& node, double fraction) {
   return ComputeWork(g, node, DType::kQUInt8, 0, c_end);
 }
 
-}  // namespace
+std::vector<std::vector<double>> FractionGrid(size_t n, double step) {
+  std::vector<std::vector<double>> grid;
+  const int steps = static_cast<int>(std::lround(1.0 / step));
+  std::vector<int> parts(n, 0);
+  auto recurse = [&](auto&& self, size_t idx, int remaining) -> void {
+    if (idx + 1 == n) {
+      parts[idx] = remaining;
+      int active = 0;
+      for (int p : parts) {
+        active += p > 0 ? 1 : 0;
+      }
+      if (active >= 2) {
+        std::vector<double> fractions(n);
+        for (size_t i = 0; i < n; ++i) {
+          fractions[i] = static_cast<double>(parts[i]) * step;
+        }
+        grid.push_back(std::move(fractions));
+      }
+      return;
+    }
+    for (int p = 0; p <= remaining; ++p) {
+      parts[idx] = p;
+      self(self, idx + 1, remaining - p);
+    }
+  };
+  if (n > 0) {
+    recurse(recurse, 0, steps);
+  }
+  return grid;
+}
 
 MultiSoc MakeExynos7420Multi() {
   const SocSpec base = MakeExynos7420();
@@ -109,34 +136,11 @@ std::vector<MultiAssignment> MultiPartitioner::CandidateAssignments(bool splitta
     return out;
   }
   // All grid compositions summing to 1 with >= 2 active processors.
-  const int steps = static_cast<int>(std::lround(1.0 / options_.grid_step));
-  std::vector<int> parts(n, 0);
-  // Recursive enumeration of compositions of `steps` into n parts.
-  std::vector<MultiAssignment> grid;
-  auto recurse = [&](auto&& self, size_t idx, int remaining) -> void {
-    if (idx + 1 == n) {
-      parts[idx] = remaining;
-      int active = 0;
-      for (int p : parts) {
-        active += p > 0 ? 1 : 0;
-      }
-      if (active >= 2) {
-        MultiAssignment a;
-        a.fractions.resize(n);
-        for (size_t i = 0; i < n; ++i) {
-          a.fractions[i] = static_cast<double>(parts[i]) * options_.grid_step;
-        }
-        grid.push_back(std::move(a));
-      }
-      return;
-    }
-    for (int p = 0; p <= remaining; ++p) {
-      parts[idx] = p;
-      self(self, idx + 1, remaining - p);
-    }
-  };
-  recurse(recurse, 0, steps);
-  out.insert(out.end(), grid.begin(), grid.end());
+  for (std::vector<double>& fractions : FractionGrid(n, options_.grid_step)) {
+    MultiAssignment a;
+    a.fractions = std::move(fractions);
+    out.push_back(std::move(a));
+  }
   return out;
 }
 
@@ -214,7 +218,7 @@ MultiPlan MultiPartitioner::Build() const {
       continue;
     }
     double best_cost = std::numeric_limits<double>::infinity();
-    for (const MultiAssignment& a : CandidateAssignments(Splittable(node.desc.kind))) {
+    for (const MultiAssignment& a : CandidateAssignments(SplittableLayer(node.desc.kind))) {
       const double cost = EstimateNodeUs(node, a);
       if (cost < best_cost) {
         best_cost = cost;

@@ -1,0 +1,180 @@
+// Fault-tolerant coordinator-worker execution over simulated links
+// (DESIGN.md Section 15).
+//
+// The coordinator owns the ground-truth activations and walks the graph in
+// topological order. For each node a NetPlan row names the workers (and
+// output-channel fractions) that compute it: the coordinator broadcasts any
+// producer tensor a worker does not yet hold (wire-serialized, MTU
+// fragmented, priced on the worker's link timeline), each worker computes
+// its channel slice, returns it as a wire message, and the coordinator
+// scatters the slices back together. Non-splittable nodes (input, concat,
+// softmax) and all-zero rows run on the coordinator itself.
+//
+// Fault tolerance (same FaultPlan/seeded-stream machinery as the device
+// layer): every message attempt consults net.link rules (drop -> bounded
+// exponential-backoff retransmit; delay -> late arrival; partition -> the
+// link goes down for the run) and every slice assignment consults net.worker
+// rules (death). A worker that dies, partitions away, or exhausts its
+// retransmit budget is detected after the cluster's heartbeat timeout and
+// its channel slice is re-routed to the surviving workers — or, with nobody
+// left, to the coordinator. Because every node computes slices with the
+// same deterministic CPU-flavor kernels over one shared PreparedModel,
+// any disjoint re-partition merges byte-identically: a recovered run's
+// output digest equals the fault-free run's, and the damage shows up only
+// in latency and the NetDegradation report.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/prepared.h"
+#include "fault/fault.h"
+#include "net/link.h"
+#include "net/partition.h"
+#include "trace/metrics.h"
+#include "verify/diagnostics.h"
+
+namespace ulayer::net {
+
+enum class MessageKind : uint8_t {
+  kInput,   // Coordinator -> worker: a full producer tensor broadcast.
+  kResult,  // Worker -> coordinator: a computed output-channel slice.
+};
+
+// One message on a link timeline, after retransmits resolved.
+struct MessageRecord {
+  int64_t seq = 0;
+  MessageKind kind = MessageKind::kInput;
+  int worker = -1;       // Link id (== worker id).
+  int node = -1;         // Graph node the tensor belongs to.
+  int64_t c_begin = 0;   // Channel range carried (full tensor for kInput).
+  int64_t c_end = 0;
+  int64_t bytes = 0;     // Wire bytes (header + payload), per attempt.
+  int64_t frags = 0;     // MTU fragments per attempt.
+  int attempts = 0;      // 1 = first try delivered; attempts-1 retransmits.
+  double send_us = 0.0;  // Link-departure time of the last attempt.
+  double arrive_us = 0.0;  // Delivery time; < 0 when never delivered.
+  bool delivered = false;
+  bool to_worker = false;  // Direction (kInput: true, kResult: false).
+};
+
+// One slice computation on a worker (or the coordinator, worker == -1).
+struct SliceRecord {
+  int node = -1;
+  int worker = -1;       // -1 = coordinator.
+  int64_t c_begin = 0;
+  int64_t c_end = 0;
+  double start_us = 0.0;
+  double end_us = 0.0;
+  bool rerouted = false;   // Recovery work for a lost worker's slice.
+  bool delivered = true;   // False: computed but the result never arrived.
+};
+
+// What recovery did during one distributed run; all zeros when fault-free.
+struct NetDegradation {
+  int retransmits = 0;         // Message attempts beyond each first send.
+  int reroutes = 0;            // Slices moved off a lost worker.
+  int worker_deaths = 0;       // net.worker death faults fired.
+  int partitions = 0;          // Links that went down for the run.
+  int delays = 0;              // Delayed message deliveries.
+  int heartbeat_timeouts = 0;  // Lost-worker detections (each charges the
+                               // cluster heartbeat window to latency).
+  int64_t faults_injected = 0;
+  std::vector<fault::FaultEvent> events;  // Injector log, in order.
+
+  bool degraded() const {
+    return retransmits > 0 || reroutes > 0 || worker_deaths > 0 || partitions > 0 ||
+           delays > 0 || heartbeat_timeouts > 0;
+  }
+  std::string ToString() const;
+};
+
+struct NetRunResult {
+  double latency_us = 0.0;
+
+  std::vector<double> worker_busy_us;  // Compute time per worker.
+  double coordinator_busy_us = 0.0;    // Local compute + merges.
+  int64_t wire_messages = 0;
+  int64_t wire_bytes = 0;  // Sum over delivered and lost attempts.
+
+  std::vector<MessageRecord> messages;  // In send order.
+  std::vector<SliceRecord> slices;      // In completion-record order.
+
+  // End-of-run worker state; death_us is +inf for survivors, else the
+  // cluster time the coordinator declared the worker lost.
+  std::vector<bool> worker_alive;
+  std::vector<double> death_us;
+
+  NetDegradation degradation;
+
+  // Functional runs: the network output and its FNV-1a digest. The digest is
+  // the byte-identity contract: equal across node counts, thread counts and
+  // any recovered fault schedule.
+  std::optional<Tensor> output;
+  uint64_t output_digest = 0;
+
+  double latency_ms() const { return latency_us * 1e-3; }
+};
+
+// Timing-only pipeline replay of a stream of inputs (NetPlanKind::kPipeline).
+struct PipelineResult {
+  int items = 0;
+  double makespan_us = 0.0;      // First send to last output arrival.
+  double bottleneck_us = 0.0;    // Slowest stage (compute + boundary I/O).
+  double throughput_per_s = 0.0;
+  std::vector<double> stage_busy_us;
+  int64_t wire_bytes = 0;
+};
+
+class Coordinator {
+ public:
+  // `pm` must outlive the coordinator and (for functional runs) must be
+  // calibrated per its storage dtype, exactly like Executor.
+  Coordinator(const PreparedModel& pm, ClusterSpec cluster);
+
+  // Installs (or with an empty plan removes) the fault plan consulted by
+  // every message attempt and slice assignment. Reset at the top of each
+  // Run, so every run sees the same deterministic fault stream.
+  void SetFaultPlan(fault::FaultPlan plan);
+  const fault::FaultInjector* injector() const { return injector_.get(); }
+
+  // Executes one inference under `plan`. Functional when `input` is non-null
+  // (tensor values move over the wire and the output digest is computed);
+  // timing-only otherwise — both price identical message sequences, so the
+  // fault trace of a timing run predicts the functional one exactly.
+  NetRunResult Run(const NetPlan& plan, const Tensor* input = nullptr);
+
+  // Streams `items` back-to-back inputs through a pipeline plan
+  // (timing-only; stage timelines and link occupancy overlap across items).
+  PipelineResult RunPipeline(const NetPlan& plan, int items);
+
+  const ClusterSpec& cluster() const { return cluster_; }
+
+ private:
+  const PreparedModel& pm_;
+  ClusterSpec cluster_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+};
+
+// N-series invariants over one finished run (DESIGN.md Section 15):
+//   N801 delivered slices exactly partition [0, C_out) per sliced node
+//   N802 no channel range is delivered twice for one node
+//   N803 retransmit accounting: sum(attempts-1) == degradation.retransmits,
+//        attempts <= max_retransmits+1, undelivered traffic only for lost
+//        workers
+//   N804 message sanity: positive bytes, frags == ceil(bytes/mtu), arrival
+//        respects the link's propagation latency, worker ids in range
+//   N805 nothing runs on a worker after its recorded death time
+Report VerifyNetRun(const Graph& g, const ClusterSpec& cluster, const NetRunResult& r);
+
+// Folds one run into `m` under the net.* namespace:
+//   counters:   net.runs, net.messages, net.bytes, net.retransmits,
+//               net.drops, net.reroutes, net.worker_deaths, net.partitions,
+//               net.delays, net.heartbeat_timeouts, net.faults_injected
+//   histograms: net.latency_us, net.msg_bytes, net.msg_us, net.slice_us
+void AddNetRun(trace::MetricsRegistry& m, const NetRunResult& r);
+
+}  // namespace ulayer::net

@@ -1,0 +1,20 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+#include "net/wire.h"
+
+namespace ulayer::net {
+
+Delivery Link::Send(double ready_us, int64_t bytes) {
+  Delivery d;
+  d.frags = FragmentCount(bytes, spec_.mtu_bytes);
+  d.depart_us = std::max(ready_us, busy_until_);
+  d.occupancy_us = static_cast<double>(d.frags) * spec_.per_packet_us +
+                   static_cast<double>(bytes) / (spec_.gb_per_s * 1e3);
+  busy_until_ = d.depart_us + d.occupancy_us;
+  d.arrive_us = busy_until_ + spec_.latency_us;
+  return d;
+}
+
+}  // namespace ulayer::net

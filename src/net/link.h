@@ -1,0 +1,51 @@
+// Deterministic point-to-point link simulator (DESIGN.md Section 15).
+//
+// Each worker connects to the coordinator over one half-duplex link with a
+// bandwidth, a propagation latency, an MTU and a fixed per-packet overhead.
+// A link is a virtual busy timeline, exactly like the ucl device timelines:
+// a message occupies the link for its serialization time (per-packet
+// overhead x fragment count + bytes / bandwidth) starting no earlier than
+// both the sender's ready time and the link's previous departure, and
+// arrives one propagation latency after the occupancy ends. No wall clock,
+// no randomness: the same send sequence always yields the same timeline.
+#pragma once
+
+#include <cstdint>
+
+namespace ulayer::net {
+
+struct LinkSpec {
+  double gb_per_s = 1.0;       // Serialization bandwidth (1 GB/s = 1e3 B/us).
+  double latency_us = 100.0;   // One-way propagation latency.
+  int64_t mtu_bytes = 1472;    // Fragment payload bound (Ethernet-ish).
+  double per_packet_us = 1.0;  // Fixed per-fragment overhead (headers, ACK).
+};
+
+// When a message departed and arrived.
+struct Delivery {
+  double depart_us = 0.0;     // Serialization start on the link.
+  double occupancy_us = 0.0;  // Link busy time (serialization + per-packet).
+  double arrive_us = 0.0;     // depart + occupancy + propagation latency.
+  int64_t frags = 0;          // MTU fragments the message was split into.
+};
+
+class Link {
+ public:
+  explicit Link(LinkSpec spec) : spec_(spec) {}
+
+  // Transmits `bytes` no earlier than `ready_us`, advancing the busy
+  // timeline. Both directions share the timeline (half-duplex).
+  Delivery Send(double ready_us, int64_t bytes);
+
+  // Rewinds the busy timeline to 0 (top of a run).
+  void Reset() { busy_until_ = 0.0; }
+
+  const LinkSpec& spec() const { return spec_; }
+  double busy_until() const { return busy_until_; }
+
+ private:
+  LinkSpec spec_;
+  double busy_until_ = 0.0;
+};
+
+}  // namespace ulayer::net

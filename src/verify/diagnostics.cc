@@ -9,8 +9,13 @@ std::string DiagCodeId(DiagCode code) {
   // Keeping the group offset visible makes codes greppable and stable even
   // if groups grow past ten entries.
   const auto v = static_cast<uint16_t>(code);
-  const char prefix =
-      v < 100 ? 'G' : v < 200 ? 'P' : v < 300 ? 'C' : v < 400 ? 'Q' : v < 500 ? 'T' : 'A';
+  const char prefix = v < 100   ? 'G'
+                      : v < 200 ? 'P'
+                      : v < 300 ? 'C'
+                      : v < 400 ? 'Q'
+                      : v < 500 ? 'T'
+                      : v < 800 ? 'A'
+                                : 'N';
   std::ostringstream os;
   os << prefix;
   if (v < 10) {
@@ -118,6 +123,16 @@ std::string_view DiagCodeName(DiagCode code) {
       return "chunk-coverage-gap";
     case DiagCode::kAccessSpecMissing:
       return "access-spec-missing";
+    case DiagCode::kNetSliceCoverage:
+      return "net-slice-coverage";
+    case DiagCode::kNetDoubleDelivery:
+      return "net-double-delivery";
+    case DiagCode::kNetRetransmitMismatch:
+      return "net-retransmit-mismatch";
+    case DiagCode::kNetMessageInvalid:
+      return "net-message-invalid";
+    case DiagCode::kNetDeadWorkerActivity:
+      return "net-dead-worker-activity";
   }
   return "unknown";
 }

@@ -1,0 +1,297 @@
+// Tensor-slice wire format (DESIGN.md Section 15): encode/decode round-trips
+// across dtypes and odd shapes, channel-split boundary behaviour, MTU
+// fragmentation/reassembly, and the golden byte layout that pins the format.
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "tensor/tensor.h"
+
+namespace ulayer {
+namespace {
+
+using net::DecodeTensorSlice;
+using net::EncodeTensorSlice;
+using net::Fragment;
+using net::FragmentCount;
+using net::FragmentMessage;
+using net::ReassembleMessage;
+using net::ScatterSlice;
+using net::WireSlice;
+
+// Deterministic non-trivial byte pattern; works for any dtype since the wire
+// layer is byte-exact and never interprets elements.
+Tensor MakePatterned(Shape shape, DType dtype, uint8_t salt) {
+  Tensor t(shape, dtype);
+  uint8_t* raw = t.raw();
+  for (int64_t i = 0; i < t.SizeBytes(); ++i) {
+    raw[i] = static_cast<uint8_t>((i * 37 + salt) & 0xff);
+  }
+  return t;
+}
+
+void ExpectSameBytes(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.SizeBytes(), b.SizeBytes());
+  EXPECT_EQ(std::memcmp(a.raw(), b.raw(), static_cast<size_t>(a.SizeBytes())), 0);
+}
+
+void ExpectParseError(const std::vector<uint8_t>& msg, const std::string& label) {
+  try {
+    DecodeTensorSlice(msg);
+    FAIL() << "expected kParse for " << label;
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParse) << label;
+  }
+}
+
+// --- Encode/decode round-trips ----------------------------------------------
+
+TEST(WireTest, FullTensorRoundTripsAcrossDTypesAndOddShapes) {
+  const DType dtypes[] = {DType::kQUInt8, DType::kF16, DType::kF32};
+  const Shape shapes[] = {Shape(1, 1, 1, 1), Shape(2, 3, 5, 7), Shape(1, 16, 1, 1),
+                          Shape(3, 5, 2, 2), Shape(1, 7, 13, 1)};
+  uint8_t salt = 1;
+  for (DType dtype : dtypes) {
+    for (const Shape& shape : shapes) {
+      Tensor src = MakePatterned(shape, dtype, salt++);
+      src.set_quant_params(0.0625f, 17);
+      const std::vector<uint8_t> msg = EncodeTensorSlice(src, 42, 0, shape.c);
+      EXPECT_EQ(static_cast<int64_t>(msg.size()),
+                net::WireSliceBytes(shape, dtype, 0, shape.c));
+      const WireSlice slice = DecodeTensorSlice(msg);
+      EXPECT_EQ(slice.node, 42);
+      EXPECT_EQ(slice.shape, shape);
+      EXPECT_EQ(slice.dtype, dtype);
+      EXPECT_EQ(slice.c_begin, 0);
+      EXPECT_EQ(slice.c_end, shape.c);
+      EXPECT_FLOAT_EQ(slice.scale, 0.0625f);
+      EXPECT_EQ(slice.zero_point, 17);
+      Tensor dst(shape, dtype);
+      ScatterSlice(slice, dst);
+      ExpectSameBytes(src, dst);
+    }
+  }
+}
+
+TEST(WireTest, ChannelSplitSlicesReassembleTheTensorByteIdentically) {
+  // The coordinator's merge path: disjoint channel slices, scattered into one
+  // tensor, must restore it exactly — including multi-batch rows and a
+  // channel count the split does not divide evenly.
+  const Shape shape(2, 7, 3, 5);
+  for (DType dtype : {DType::kQUInt8, DType::kF16, DType::kF32}) {
+    const Tensor src = MakePatterned(shape, dtype, 99);
+    const int64_t bounds[] = {0, 2, 3, 7};  // Uneven on purpose.
+    Tensor dst(shape, dtype);
+    dst.Zero();
+    for (size_t i = 0; i + 1 < std::size(bounds); ++i) {
+      const std::vector<uint8_t> msg = EncodeTensorSlice(src, 5, bounds[i], bounds[i + 1]);
+      ScatterSlice(DecodeTensorSlice(msg), dst);
+    }
+    ExpectSameBytes(src, dst);
+  }
+}
+
+TEST(WireTest, EncodeRejectsEmptyAndOutOfRangeSlices) {
+  const Tensor t = MakePatterned(Shape(1, 4, 2, 2), DType::kF32, 3);
+  const int64_t bad[][2] = {{-1, 2}, {2, 2}, {3, 2}, {0, 5}, {4, 4}};
+  for (const auto& range : bad) {
+    EXPECT_THROW(EncodeTensorSlice(t, 0, range[0], range[1]), Error)
+        << "[" << range[0] << ", " << range[1] << ")";
+  }
+  // Scatter rejects a mismatched target.
+  const WireSlice slice = DecodeTensorSlice(EncodeTensorSlice(t, 0, 0, 4));
+  Tensor wrong_shape(Shape(1, 4, 2, 3), DType::kF32);
+  EXPECT_THROW(ScatterSlice(slice, wrong_shape), Error);
+  Tensor wrong_dtype(Shape(1, 4, 2, 2), DType::kF16);
+  EXPECT_THROW(ScatterSlice(slice, wrong_dtype), Error);
+}
+
+TEST(WireTest, DecodeRejectsCorruptMessagesWithTypedParseErrors) {
+  const Tensor t = MakePatterned(Shape(1, 3, 2, 2), DType::kQUInt8, 7);
+  const std::vector<uint8_t> good = EncodeTensorSlice(t, 1, 0, 3);
+  ASSERT_NO_THROW(DecodeTensorSlice(good));
+
+  std::vector<uint8_t> truncated_header(good.begin(), good.begin() + 20);
+  ExpectParseError(truncated_header, "truncated header");
+
+  std::vector<uint8_t> bad_magic = good;
+  bad_magic[0] ^= 0xff;
+  ExpectParseError(bad_magic, "bad magic");
+
+  std::vector<uint8_t> bad_version = good;
+  bad_version[4] = 0x7f;
+  ExpectParseError(bad_version, "bad version");
+
+  std::vector<uint8_t> bad_dtype = good;
+  bad_dtype[6] = 0xee;
+  ExpectParseError(bad_dtype, "bad dtype");
+
+  std::vector<uint8_t> bad_shape = good;
+  bad_shape[16] = 0;  // c = 0.
+  ExpectParseError(bad_shape, "invalid shape");
+
+  std::vector<uint8_t> bad_range = good;
+  bad_range[36] = 9;  // c_end = 9 > c = 3.
+  ExpectParseError(bad_range, "channel range out of shape");
+
+  std::vector<uint8_t> bad_payload_decl = good;
+  bad_payload_decl[52] = static_cast<uint8_t>(bad_payload_decl[52] + 1);
+  ExpectParseError(bad_payload_decl, "declared payload size mismatch");
+
+  std::vector<uint8_t> short_payload = good;
+  short_payload.pop_back();
+  ExpectParseError(short_payload, "short payload");
+
+  std::vector<uint8_t> long_payload = good;
+  long_payload.push_back(0);
+  ExpectParseError(long_payload, "trailing bytes");
+}
+
+// --- Golden byte layout ------------------------------------------------------
+
+TEST(WireTest, GoldenByteLayoutIsPinned) {
+  // Shape (1, 2, 2, 2) QUInt8 with bytes 0..7; slice [1, 2) of node 7 with
+  // scale 0.5 and zero point 3. Any change to this layout is a wire-format
+  // break and must bump kWireVersion.
+  Tensor t(Shape(1, 2, 2, 2), DType::kQUInt8);
+  for (int64_t i = 0; i < t.SizeBytes(); ++i) {
+    t.raw()[i] = static_cast<uint8_t>(i);
+  }
+  t.set_quant_params(0.5f, 3);
+  const std::vector<uint8_t> msg = EncodeTensorSlice(t, 7, 1, 2);
+  const uint8_t golden[] = {
+      0x31, 0x57, 0x4c, 0x75,                          // magic "1WLu"
+      0x01, 0x00,                                      // version 1
+      0x02,                                            // dtype kQUInt8
+      0x00,                                            // reserved
+      0x07, 0x00, 0x00, 0x00,                          // node 7
+      0x01, 0x00, 0x00, 0x00,                          // n = 1
+      0x02, 0x00, 0x00, 0x00,                          // c = 2
+      0x02, 0x00, 0x00, 0x00,                          // h = 2
+      0x02, 0x00, 0x00, 0x00,                          // w = 2
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // c_begin = 1
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // c_end = 2
+      0x00, 0x00, 0x00, 0x3f,                          // scale 0.5f bits
+      0x03, 0x00, 0x00, 0x00,                          // zero_point 3
+      0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload_bytes = 4
+      0x04, 0x05, 0x06, 0x07,                          // channel 1 payload
+  };
+  ASSERT_EQ(msg.size(), sizeof(golden));
+  EXPECT_EQ(std::memcmp(msg.data(), golden, sizeof(golden)), 0);
+}
+
+// --- MTU fragmentation -------------------------------------------------------
+
+TEST(WireTest, FragmentationRoundTripsInAnyOrder) {
+  std::vector<uint8_t> msg(10);
+  std::iota(msg.begin(), msg.end(), uint8_t{0});
+  EXPECT_EQ(FragmentCount(10, 3), 4);
+  EXPECT_EQ(FragmentCount(9, 3), 3);
+  EXPECT_EQ(FragmentCount(0, 3), 0);
+  EXPECT_EQ(FragmentCount(1, 1 << 20), 1);
+
+  std::vector<Fragment> frags = FragmentMessage(77, msg, 3);
+  ASSERT_EQ(frags.size(), 4u);
+  EXPECT_EQ(frags[0].bytes.size(), 3u);
+  EXPECT_EQ(frags[3].bytes.size(), 1u);  // Tail fragment carries the rest.
+  for (size_t i = 0; i < frags.size(); ++i) {
+    EXPECT_EQ(frags[i].seq, 77u);
+    EXPECT_EQ(frags[i].index, i);
+    EXPECT_EQ(frags[i].count, 4u);
+  }
+  // Reassembly accepts any order.
+  std::reverse(frags.begin(), frags.end());
+  EXPECT_EQ(ReassembleMessage(frags), msg);
+  std::swap(frags[0], frags[2]);
+  EXPECT_EQ(ReassembleMessage(frags), msg);
+  // An MTU larger than the message yields one fragment.
+  const std::vector<Fragment> one = FragmentMessage(5, msg, 1024);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(ReassembleMessage(one), msg);
+  EXPECT_THROW(FragmentMessage(1, msg, 0), Error);
+}
+
+TEST(WireTest, ReassemblyRejectsGapsDuplicatesAndMixedSequences) {
+  std::vector<uint8_t> msg(8);
+  std::iota(msg.begin(), msg.end(), uint8_t{0});
+  const std::vector<Fragment> frags = FragmentMessage(9, msg, 3);
+  ASSERT_EQ(frags.size(), 3u);
+
+  const auto expect_parse = [](const std::vector<Fragment>& fs, const std::string& label) {
+    try {
+      ReassembleMessage(fs);
+      FAIL() << "expected kParse for " << label;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kParse) << label;
+    }
+  };
+
+  expect_parse({}, "empty set");
+
+  std::vector<Fragment> gap = {frags[0], frags[2]};
+  expect_parse(gap, "missing fragment");
+
+  std::vector<Fragment> dup = frags;
+  dup[2] = dup[0];  // Same count of fragments, index 0 twice, index 2 gone.
+  expect_parse(dup, "duplicate fragment");
+
+  std::vector<Fragment> mixed = frags;
+  mixed[1].seq = 10;
+  expect_parse(mixed, "mixed sequence numbers");
+
+  std::vector<Fragment> bad_count = frags;
+  bad_count[1].count = 7;
+  expect_parse(bad_count, "inconsistent counts");
+
+  std::vector<Fragment> bad_index = frags;
+  bad_index[1].index = 5;
+  expect_parse(bad_index, "index out of range");
+
+  // Fragment payload sizes are not re-derived: reassembly is a pure
+  // order/completeness check, so the happy path still holds afterwards.
+  EXPECT_EQ(ReassembleMessage(frags), msg);
+}
+
+TEST(WireTest, EncodedSliceSurvivesMtuFragmentation) {
+  // End-to-end transport path of the coordinator: encode, fragment at the
+  // default link MTU, reassemble, decode, scatter.
+  const Shape shape(2, 6, 16, 16);
+  const Tensor src = MakePatterned(shape, DType::kF16, 21);
+  const std::vector<uint8_t> msg = EncodeTensorSlice(src, 3, 2, 5);
+  ASSERT_GT(static_cast<int64_t>(msg.size()), 1472);
+  std::vector<Fragment> frags = FragmentMessage(1, msg, 1472);
+  EXPECT_EQ(static_cast<int64_t>(frags.size()),
+            FragmentCount(static_cast<int64_t>(msg.size()), 1472));
+  std::rotate(frags.begin(), frags.begin() + 1, frags.end());
+  const WireSlice slice = DecodeTensorSlice(ReassembleMessage(frags));
+  Tensor dst(shape, DType::kF16);
+  dst.Zero();
+  ScatterSlice(slice, dst);
+  // Only channels [2, 5) were carried; compare the slice region per batch.
+  const int64_t esize = DTypeSize(DType::kF16);
+  const int64_t row_bytes = 3 * shape.h * shape.w * esize;
+  for (int64_t ni = 0; ni < shape.n; ++ni) {
+    const int64_t off = shape.Offset(ni, 2, 0, 0) * esize;
+    EXPECT_EQ(std::memcmp(dst.raw() + off, src.raw() + off, static_cast<size_t>(row_bytes)), 0);
+  }
+}
+
+TEST(WireTest, Fnv1a64IsStableAndSensitive) {
+  const uint8_t a[] = {1, 2, 3, 4};
+  const uint8_t b[] = {1, 2, 3, 5};
+  EXPECT_EQ(net::Fnv1a64(a, sizeof(a)), net::Fnv1a64(a, sizeof(a)));
+  EXPECT_NE(net::Fnv1a64(a, sizeof(a)), net::Fnv1a64(b, sizeof(b)));
+  // Empty input returns the basis — chaining starts from the previous digest.
+  EXPECT_EQ(net::Fnv1a64(a, 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(net::Fnv1a64(a, 0, 123u), 123u);
+}
+
+}  // namespace
+}  // namespace ulayer
