@@ -80,6 +80,22 @@ std::string_view RunModeName(RunMode mode) {
   return "unknown";
 }
 
+int RunModeSeverity(RunMode mode) {
+  switch (mode) {
+    case RunMode::kNormal:
+      return 0;
+    case RunMode::kDegraded:
+      return 1;
+    case RunMode::kCpuOnly:
+      return 2;
+  }
+  return 0;
+}
+
+RunMode CombineRunMode(RunMode a, RunMode b) {
+  return RunModeSeverity(b) > RunModeSeverity(a) ? b : a;
+}
+
 std::string DegradationReport::ToString() const {
   std::ostringstream os;
   os << "mode: " << RunModeName(final_mode) << "\nfaults injected: " << faults_injected

@@ -51,6 +51,12 @@ enum class RunMode : uint8_t {
 
 std::string_view RunModeName(RunMode mode);
 
+// Explicit severity lattice kNormal < kDegraded < kCpuOnly. Combining run
+// modes must go through these — not std::max over the raw enum — so the
+// ranking survives any reordering of the enumerators.
+int RunModeSeverity(RunMode mode);
+RunMode CombineRunMode(RunMode a, RunMode b);
+
 // What fault recovery did during a run: injected faults, retries, CPU
 // fallbacks, steps rerouted after the circuit breaker opened, and (at the
 // runtime level) replans. All zeros on a fault-free run.

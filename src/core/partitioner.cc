@@ -29,8 +29,13 @@ bool Splittable(LayerKind k) {
   return false;
 }
 
+// Mirrors predictor.cc: c == 0 would make std::clamp's hi < lo (UB), so
+// degenerate nodes map to the empty range.
 int64_t FractionChannels(const Node& node, double fraction) {
   const int64_t c = node.out_shape.c;
+  if (c <= 0) {
+    return 0;
+  }
   return std::clamp<int64_t>(static_cast<int64_t>(std::llround(fraction * static_cast<double>(c))),
                              1, c);
 }

@@ -12,8 +12,13 @@ namespace {
 constexpr double kMinSampleUs = 1e-9;
 
 // Channel range covering the leading `fraction` of a node's output channels.
+// A corrupt graph can carry c == 0 (zero output channels); std::clamp with
+// hi < lo is UB, so such nodes map to the empty range instead.
 int64_t FractionChannels(const Node& node, double fraction) {
   const int64_t c = node.out_shape.c;
+  if (c <= 0) {
+    return 0;
+  }
   return std::clamp<int64_t>(static_cast<int64_t>(std::llround(fraction * static_cast<double>(c))),
                              1, c);
 }
@@ -78,6 +83,9 @@ double LatencyPredictor::MeasureUs(const Graph& g, const Node& node, ProcKind pr
     return 0.0;
   }
   const int64_t c_end = FractionChannels(node, fraction);
+  if (c_end <= 0) {
+    return 0.0;
+  }
   const LayerWork w = ComputeWork(g, node, config_.storage, 0, c_end);
   return timing_.KernelLatencyUs(w, proc, config_.ComputeFor(proc), config_.cpu_threads);
 }
@@ -146,13 +154,19 @@ double LatencyPredictor::PredictUs(const Graph& g, const Node& node, ProcKind pr
   if (fraction <= 0.0 || node.desc.kind == LayerKind::kInput) {
     return 0.0;
   }
+  const double correction = corrections_.Get(node.desc.kind, proc);
   const Coeffs& c = CoeffsFor(node.desc.kind, proc);
   if (!c.fitted) {
-    return MeasureUs(g, node, proc, fraction);
+    const double t = MeasureUs(g, node, proc, fraction);
+    return correction != 1.0 ? correction * t : t;
   }
   const int64_t c_end = FractionChannels(node, fraction);
+  if (c_end <= 0) {
+    return 0.0;
+  }
   const LayerWork w = ComputeWork(g, node, config_.storage, 0, c_end);
-  return std::exp(c.a + c.b * std::log1p(w.macs) + c.c * std::log1p(w.TotalBytes()));
+  const double t = std::exp(c.a + c.b * std::log1p(w.macs) + c.c * std::log1p(w.TotalBytes()));
+  return correction != 1.0 ? correction * t : t;
 }
 
 LatencyPredictor::Fidelity LatencyPredictor::Evaluate(const Graph& g) const {

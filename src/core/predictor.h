@@ -13,6 +13,7 @@
 #include <array>
 #include <vector>
 
+#include "core/adapt.h"
 #include "core/config.h"
 #include "nn/graph.h"
 #include "soc/timing.h"
@@ -40,6 +41,20 @@ class LatencyPredictor {
   };
   Fidelity Evaluate(const Graph& g) const;
 
+  // Online drift corrections (DESIGN.md Section 16). PredictUs multiplies
+  // the regression estimate by the per-(kind, proc) correction; an identity
+  // table (the initial state) leaves predictions bit-identical to the
+  // uncorrected path.
+  const CorrectionTable& corrections() const { return corrections_; }
+  // EWMA step of one cell toward an observed simulated/predicted ratio.
+  void UpdateCorrection(LayerKind kind, ProcKind proc, double observed_ratio, double alpha) {
+    corrections_.Update(kind, proc, observed_ratio, alpha);
+  }
+  // Deterministic replay: capture the correction state and restore it later
+  // to re-run the exact same prediction sequence.
+  CorrectionTable SnapshotCorrections() const { return corrections_; }
+  void RestoreCorrections(const CorrectionTable& t) { corrections_ = t; }
+
  private:
   struct Coeffs {
     double a = 0.0, b = 0.0, c = 0.0;
@@ -55,6 +70,7 @@ class LatencyPredictor {
   TimingModel timing_;
   ExecConfig config_;
   std::array<std::array<Coeffs, 2>, kKinds> coeffs_{};
+  CorrectionTable corrections_;
 };
 
 }  // namespace ulayer

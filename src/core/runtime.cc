@@ -1,25 +1,46 @@
 #include "core/runtime.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "soc/work.h"
+#include "trace/trace.h"
 #include "verify/verify.h"
 
 namespace ulayer {
 
+ULayerRuntime::Options ULayerRuntime::NormalizeOptions(Options options) {
+  // The adaptation loop consumes BuildDriftReport, which needs the
+  // structured trace; recording is deterministic and allocation-stable, so
+  // forcing it on changes no simulated timeline.
+  if (options.adapt.enabled) {
+    options.config.trace = true;
+  }
+  return options;
+}
+
 ULayerRuntime::ULayerRuntime(const Model& model, const SocSpec& soc, Options options)
     : model_(&model),
-      options_(std::move(options)),
+      options_(NormalizeOptions(std::move(options))),
       timing_(soc),
       prepared_(model, options_.config),
       predictor_(timing_, options_.config, {&model.graph}),
       plan_(Partitioner(model.graph, timing_, options_.config, predictor_, options_.partitioner)
                 .Build()),
-      executor_(prepared_, soc) {
+      executor_(prepared_, soc),
+      plan_cache_(options_.adapt.enabled ? options_.adapt.plan_cache_capacity : 0) {
+  partitioner_builds_ = 1;  // The initializer's Build above.
   if (options_.config.verify) {
     ThrowIfErrors("graph verification failed for " + model.name, VerifyGraph(model.graph));
     ThrowIfErrors("plan verification failed for " + model.name,
                   VerifyPlan(model.graph, plan_, options_.config));
+  }
+  if (options_.adapt.enabled) {
+    // Seed the cache with the healthy-state plan so the first recovery back
+    // to baseline health is already a hit.
+    plan_cache_.Insert(MakeCacheKey(options_.partitioner.gpu_available,
+                                    options_.partitioner.gpu_time_scale),
+                       plan_);
   }
   // Install the fault plan: explicit options win; otherwise the
   // ULAYER_FAULTS environment spec (empty plan when unset).
@@ -52,23 +73,66 @@ void ULayerRuntime::Calibrate(const std::vector<Tensor>& inputs) {
   ThrowIfErrors("quantization verification failed for " + prepared_.model().name, report);
 }
 
+void ULayerRuntime::SetFaultPlan(fault::FaultPlan faults) {
+  executor_.SetFaultPlan(std::move(faults));
+}
+
 void ULayerRuntime::Replan(bool gpu_available, double gpu_time_scale) {
+  ++partitioner_builds_;
   Partitioner::Options popts = options_.partitioner;
   popts.gpu_available = gpu_available;
   popts.gpu_time_scale = gpu_time_scale;
-  plan_ = Partitioner(model_->graph, timing_, options_.config, predictor_, popts).Build();
+  // Build and verify into a local: if verification (or the observer hook)
+  // throws, the runtime keeps its current plan and stays usable.
+  Plan next = Partitioner(model_->graph, timing_, options_.config, predictor_, popts).Build();
   if (options_.config.verify) {
     ThrowIfErrors("replanned plan verification failed for " + model_->name,
-                  VerifyPlan(model_->graph, plan_, options_.config));
+                  VerifyPlan(model_->graph, next, options_.config));
   }
+  if (options_.on_replan) {
+    options_.on_replan(next);
+  }
+  plan_ = std::move(next);
   ++replans_;
 }
 
-double ULayerRuntime::ObservedGpuRatio(const RunResult& r) const {
+PlanCacheKey ULayerRuntime::MakeCacheKey(bool gpu_available, double gpu_time_scale) const {
+  PlanCacheKey key;
+  key.gpu_available = gpu_available;
+  key.scale_bucket = CorrectionTable::BucketOf(gpu_time_scale, options_.adapt.bucket_growth);
+  key.correction_fp = predictor_.corrections().Fingerprint(options_.adapt.bucket_growth);
+  return key;
+}
+
+void ULayerRuntime::InstallPlan(bool gpu_available, double gpu_time_scale) {
+  if (!options_.adapt.enabled || plan_cache_.capacity() == 0) {
+    Replan(gpu_available, gpu_time_scale);
+    return;
+  }
+  const PlanCacheKey key = MakeCacheKey(gpu_available, gpu_time_scale);
+  if (const Plan* cached = plan_cache_.Lookup(key)) {
+    // O(1) hot path: no Partitioner::Build. Copy before the hook so a
+    // throwing observer leaves both the cache and plan_ untouched.
+    Plan next = *cached;
+    if (options_.on_replan) {
+      options_.on_replan(next);
+    }
+    plan_ = std::move(next);
+    ++replans_;
+    return;
+  }
+  Replan(gpu_available, gpu_time_scale);
+  plan_cache_.Insert(key, plan_);
+}
+
+std::optional<double> ULayerRuntime::ObservedGpuRatio(const RunResult& r) const {
   // Sum observed GPU kernel durations against what the timing model says
   // they should take under the current plan. The simulation runs on the
   // same timing model, so the fault-free ratio is exactly 1.0; injected
   // slowdowns (DVFS/thermal throttling) show up directly as the factor.
+  // nullopt when the plan ran no GPU kernels: a CPU-only or heavily
+  // rescaled plan yields no evidence about the GPU, and the caller must not
+  // mistake silence for health (or for sickness).
   const Graph& g = prepared_.graph();
   const ExecConfig& cfg = options_.config;
   const double launch_us = timing_.soc().gpu.kernel_launch_us;
@@ -95,7 +159,10 @@ double ULayerRuntime::ObservedGpuRatio(const RunResult& r) const {
     expected += launch_us +
                 timing_.KernelBodyUs(w, ProcKind::kGpu, cfg.ComputeFor(ProcKind::kGpu));
   }
-  return expected > 0.0 ? observed / expected : 0.0;
+  if (expected <= 0.0) {
+    return std::nullopt;
+  }
+  return observed / expected;
 }
 
 void ULayerRuntime::ApplyDegradationPolicy(const RunResult& r) {
@@ -110,35 +177,235 @@ void ULayerRuntime::ApplyDegradationPolicy(const RunResult& r) {
   } else {
     h.consecutive_failures = 0;
   }
-  const double ratio = ObservedGpuRatio(r);
-  if (ratio > 0.0) {
-    h.observed_over_predicted = ratio;
+  const std::optional<double> ratio = ObservedGpuRatio(r);
+  h.evidence_last_run = ratio.has_value();
+  if (ratio) {
+    h.observed_over_predicted = *ratio;
   }
+
+  // Probe verdict: the run just executed the one-run optimistic plan.
+  if (h.probing) {
+    h.probing = false;
+    h.runs_since_probe = 0;
+    if (failed) {
+      // The GPU is still unreliable: back out of the plan.
+      h.excluded = true;
+      InstallPlan(/*gpu_available=*/false, /*gpu_time_scale=*/1.0);
+      mode_ = RunMode::kCpuOnly;
+      return;
+    }
+    // Clean probe: the GPU rejoins at full trust. Fall through so a device
+    // that recovered from faults but still runs slow re-degrades on this
+    // run's own throttle evidence.
+    h.excluded = false;
+    h.applied_time_scale = 1.0;
+    h.clean_below_scale_runs = 0;
+    mode_ = RunMode::kNormal;
+  }
+
   if (!h.excluded &&
       (d.circuit_open || h.consecutive_failures >= options_.replan_after_failures)) {
     // The GPU is unreliable: open the runtime-level breaker and replan the
     // whole network CPU-only.
     h.excluded = true;
-    Replan(/*gpu_available=*/false, /*gpu_time_scale=*/1.0);
+    h.clean_below_scale_runs = 0;
+    h.runs_since_probe = 0;
+    InstallPlan(/*gpu_available=*/false, /*gpu_time_scale=*/1.0);
     mode_ = RunMode::kCpuOnly;
-  } else if (!h.excluded && ratio > h.applied_time_scale * options_.throttle_replan_ratio) {
+    return;
+  }
+
+  if (h.excluded) {
+    // Probation: a CPU-only plan yields no GPU evidence, so recovery can
+    // only be discovered by periodically risking one optimistic probe run.
+    if (options_.gpu_probe_interval > 0 &&
+        ++h.runs_since_probe >= options_.gpu_probe_interval) {
+      h.probing = true;
+      h.runs_since_probe = 0;
+      InstallPlan(/*gpu_available=*/true, /*gpu_time_scale=*/1.0);
+      // mode_ stays kCpuOnly until the probe's verdict.
+    }
+    return;
+  }
+
+  if (options_.adapt.enabled) {
+    // The correction table subsumes the scalar throttle factor: letting
+    // both react would double-count the slowdown (scale * correction).
+    // Failure/breaker/probation handling above stays active either way.
+    return;
+  }
+
+  if (ratio && *ratio > h.applied_time_scale * options_.throttle_replan_ratio) {
     // The GPU runs, but slower than planned (thermal throttle): replan with
     // its latency estimates rescaled by the observed factor.
-    h.applied_time_scale = ratio;
-    Replan(/*gpu_available=*/true, /*gpu_time_scale=*/ratio);
+    h.applied_time_scale = *ratio;
+    h.clean_below_scale_runs = 0;
+    InstallPlan(/*gpu_available=*/true, /*gpu_time_scale=*/*ratio);
     if (mode_ == RunMode::kNormal) {
       mode_ = RunMode::kDegraded;
     }
+    return;
   }
+
+  if (h.applied_time_scale > 1.0) {
+    if (!ratio) {
+      // A heavily rescaled plan may schedule no GPU work at all; without
+      // evidence the throttle would ratchet forever. Probe like the
+      // breaker path.
+      if (options_.gpu_probe_interval > 0 &&
+          ++h.runs_since_probe >= options_.gpu_probe_interval) {
+        h.probing = true;
+        h.runs_since_probe = 0;
+        InstallPlan(/*gpu_available=*/true, /*gpu_time_scale=*/1.0);
+      }
+      return;
+    }
+    h.runs_since_probe = 0;
+    if (!failed && *ratio < h.applied_time_scale / options_.throttle_replan_ratio) {
+      // The throttle eased. Demand the same run-count of consistent
+      // evidence the failure path demands before churning the plan.
+      if (++h.clean_below_scale_runs >= options_.replan_after_failures) {
+        const double next_scale = std::max(*ratio, 1.0);
+        h.applied_time_scale = next_scale;
+        h.clean_below_scale_runs = 0;
+        InstallPlan(/*gpu_available=*/true, /*gpu_time_scale=*/next_scale);
+        mode_ = next_scale > 1.0 ? RunMode::kDegraded : RunMode::kNormal;
+      }
+    } else {
+      h.clean_below_scale_runs = 0;
+    }
+  }
+}
+
+void ULayerRuntime::ApplyAdaptation(const RunResult& r) {
+  if (!r.run_trace.enabled) {
+    return;
+  }
+  const trace::DriftAggregate agg = trace::AggregateDrift(trace::BuildDriftReport(r.run_trace));
+  if (!agg.has_evidence) {
+    return;
+  }
+  // Duration-weighted relative deviation of this run's observed ratios
+  // against the corrections the plan was predicted with (pre-update): the
+  // residual the EWMA has not absorbed yet. On a stationary fault schedule
+  // this series is monotonically non-increasing (H903).
+  double dev = 0.0;
+  double weight = 0.0;
+  for (const trace::DriftCell& cell : agg.cells) {
+    const double correction = predictor_.corrections().Get(cell.op, cell.proc);
+    dev += cell.predicted_us * std::abs(cell.ratio / correction - 1.0);
+    weight += cell.predicted_us;
+  }
+  const double relative = weight > 0.0 ? dev / weight : 0.0;
+  last_relative_deviation_ = relative;
+  drift_history_.push_back(relative);
+  for (const trace::DriftCell& cell : agg.cells) {
+    predictor_.UpdateCorrection(cell.op, cell.proc, cell.ratio, options_.adapt.ewma_alpha);
+  }
+  // Throttling (DVFS, thermal) is a device-wide effect, but a rescaled plan
+  // can stop scheduling some op kinds on the affected processor entirely —
+  // their cells would then freeze at a stale correction and pin the plan
+  // away from that processor forever. Steer every cell the run did NOT
+  // observe toward its processor's duration-weighted aggregate ratio, so
+  // all of a device's cells track its health in lockstep. Processors with
+  // no evidence at all this run are left untouched: silence about a device
+  // is not evidence about it.
+  for (const ProcKind proc : {ProcKind::kCpu, ProcKind::kGpu}) {
+    double num = 0.0;
+    double den = 0.0;
+    for (const trace::DriftCell& cell : agg.cells) {
+      if (cell.proc == proc) {
+        num += cell.predicted_us * cell.ratio;
+        den += cell.predicted_us;
+      }
+    }
+    if (den <= 0.0) {
+      continue;
+    }
+    const double proc_ratio = num / den;
+    for (size_t k = 0; k < static_cast<size_t>(kLayerKindCount); ++k) {
+      const LayerKind kind = static_cast<LayerKind>(k);
+      const bool observed = std::any_of(
+          agg.cells.begin(), agg.cells.end(),
+          [&](const trace::DriftCell& c) { return c.op == kind && c.proc == proc; });
+      if (!observed) {
+        predictor_.UpdateCorrection(kind, proc, proc_ratio, options_.adapt.ewma_alpha);
+      }
+    }
+  }
+  // The device state quantizes back to baseline once the corrections carry
+  // an identity-bucket fingerprint and the scalar scale buckets to 0.
+  const CorrectionTable identity;
+  const double growth = options_.adapt.bucket_growth;
+  const bool baseline =
+      predictor_.corrections().Fingerprint(growth) == identity.Fingerprint(growth) &&
+      CorrectionTable::BucketOf(gpu_health_.applied_time_scale, growth) == 0;
+  if (relative > options_.adapt.drift_replan_threshold) {
+    ++drift_streak_;
+  } else {
+    drift_streak_ = 0;
+  }
+  if (drift_streak_ >= options_.adapt.sustained_runs) {
+    replan_pending_ = true;
+    drift_streak_ = 0;
+  }
+  if (replan_pending_) {
+    // Install first, clear after: if the replan throws (verification or a
+    // hook), the pending flag survives and the next evidence run retries
+    // instead of silently running on the stale plan.
+    InstallPlan(/*gpu_available=*/!gpu_health_.excluded, gpu_health_.applied_time_scale);
+    replan_pending_ = false;
+    if (!gpu_health_.excluded) {
+      mode_ = baseline ? RunMode::kNormal : RunMode::kDegraded;
+    }
+    return;
+  }
+  // Drift is quiescent. The EWMA keeps decaying after the last sustained
+  // replan, so the installed plan can be left a few percent off the true
+  // optimum; once the table is back in the baseline bucket, snap to the
+  // seeded baseline plan (an O(1) cache hit on the constructor's entry).
+  if (mode_ == RunMode::kDegraded && !gpu_health_.excluded && baseline) {
+    InstallPlan(/*gpu_available=*/true, gpu_health_.applied_time_scale);
+    mode_ = RunMode::kNormal;
+  }
+}
+
+ULayerRuntime::AdaptSnapshot ULayerRuntime::Snapshot() const {
+  AdaptSnapshot snap;
+  snap.corrections = predictor_.SnapshotCorrections();
+  snap.health = gpu_health_;
+  snap.mode = mode_;
+  snap.plan = plan_;
+  snap.replans = replans_;
+  snap.drift_streak = drift_streak_;
+  snap.replan_pending = replan_pending_;
+  snap.last_relative_deviation = last_relative_deviation_;
+  snap.drift_history = drift_history_;
+  return snap;
+}
+
+void ULayerRuntime::Restore(const AdaptSnapshot& snap) {
+  predictor_.RestoreCorrections(snap.corrections);
+  gpu_health_ = snap.health;
+  mode_ = snap.mode;
+  plan_ = snap.plan;
+  replans_ = snap.replans;
+  drift_streak_ = snap.drift_streak;
+  replan_pending_ = snap.replan_pending;
+  last_relative_deviation_ = snap.last_relative_deviation;
+  drift_history_ = snap.drift_history;
 }
 
 RunResult ULayerRuntime::Run(const Tensor* input) {
   RunResult r = executor_.Run(plan_, input);
   ApplyDegradationPolicy(r);
+  if (options_.adapt.enabled) {
+    ApplyAdaptation(r);
+  }
   r.degradation.replans = replans_;
   // The runtime's session mode can outrank the single run's view (e.g. a
   // clean run on an already CPU-only plan).
-  r.degradation.final_mode = std::max(r.degradation.final_mode, mode_);
+  r.degradation.final_mode = CombineRunMode(r.degradation.final_mode, mode_);
   return r;
 }
 

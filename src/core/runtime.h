@@ -10,10 +10,20 @@
 //   ULayerRuntime rt2(model, MakeExynos7420());
 //   rt2.Calibrate(calibration_inputs);
 //   RunResult r2 = rt2.Run(&input);
+//
+// Beyond one-shot execution the runtime closes the adaptation loop
+// (DESIGN.md Section 16): each run's drift report feeds the predictor's
+// correction table, sustained drift triggers a replan, and plans are cached
+// by quantized device-health state so a revisited health state replans
+// without a Partitioner::Build().
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <optional>
+#include <vector>
 
+#include "core/adapt.h"
 #include "core/executor.h"
 #include "core/partitioner.h"
 
@@ -21,6 +31,25 @@ namespace ulayer {
 
 class ULayerRuntime {
  public:
+  // Knobs of the drift-adaptation loop. Off by default: with `enabled`
+  // false the runtime behaves exactly like the pre-adaptation policy
+  // (scalar throttle factor, no correction table, no plan cache).
+  struct AdaptOptions {
+    bool enabled = false;
+    // EWMA weight of each run's observed per-cell ratio.
+    double ewma_alpha = 0.5;
+    // Replan when the duration-weighted relative deviation (observed ratio
+    // vs current correction) stays above this...
+    double drift_replan_threshold = 0.10;
+    // ...for this many consecutive runs.
+    int sustained_runs = 2;
+    // Log-space quantization step for cache keys and correction
+    // fingerprints: scales within half a step bucket together.
+    double bucket_growth = 1.05;
+    // Plan-cache entries (0 disables caching).
+    size_t plan_cache_capacity = 8;
+  };
+
   struct Options {
     ExecConfig config = ExecConfig::ProcessorFriendly();
     Partitioner::Options partitioner;
@@ -29,23 +58,45 @@ class ULayerRuntime {
     // Fault plan installed on the executor. When empty, the ULAYER_FAULTS
     // environment spec is parsed instead (empty plan when unset too).
     fault::FaultPlan faults;
-    // Replan after this many consecutive runs needing retries/fallbacks.
+    // Replan after this many consecutive runs needing retries/fallbacks;
+    // also the number of consecutive clean below-scale runs before a
+    // throttled plan recovers to a lower scale.
     int replan_after_failures = 2;
     // Replan when the observed-vs-predicted GPU latency ratio exceeds the
-    // currently applied scale by this factor (thermal-throttle detection).
+    // currently applied scale by this factor (thermal-throttle detection);
+    // recover when it falls below applied_time_scale / this factor.
     double throttle_replan_ratio = 1.25;
     // Master switch for the degradation policy (health tracking + replans).
     bool degradation_replan = true;
+    // Probation: after this many runs without GPU evidence (breaker open,
+    // or a rescaled plan that schedules no GPU work), replan optimistically
+    // for one probe run and judge the GPU on its outcome. 0 disables.
+    int gpu_probe_interval = 8;
+
+    AdaptOptions adapt;
+
+    // Observability/test seam: called with every replanned plan after it
+    // verifies but before it is installed. A throwing hook aborts the
+    // install (the runtime keeps its current plan and stays usable).
+    std::function<void(const Plan&)> on_replan;
   };
 
   // Per-device health the degradation policy tracks across runs.
   struct DeviceHealth {
     int consecutive_failures = 0;  // Runs in a row with retries/fallbacks.
     // Observed GPU kernel time over the timing model's expectation, from the
-    // last run's KernelTrace (exactly 1.0 fault-free).
+    // last run with GPU evidence (exactly 1.0 fault-free).
     double observed_over_predicted = 1.0;
+    // False when the last run scheduled no GPU kernels: the ratio above is
+    // stale history, not evidence about the GPU's current speed.
+    bool evidence_last_run = false;
     double applied_time_scale = 1.0;  // gpu_time_scale the current plan used.
     bool excluded = false;            // Circuit breaker: GPU out of the plan.
+    // Two-way throttle tracking: clean runs in a row whose observed ratio
+    // fell below applied_time_scale / throttle_replan_ratio.
+    int clean_below_scale_runs = 0;
+    int runs_since_probe = 0;  // Evidence-free runs since the last probe.
+    bool probing = false;      // The current plan is a one-run GPU probe.
   };
 
   // `model` must outlive the runtime.
@@ -64,19 +115,73 @@ class ULayerRuntime {
   RunMode mode() const { return mode_; }
   int replans() const { return replans_; }
 
+  // Adaptation-loop observability.
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  // Full Partitioner::Build() invocations, including the constructor's
+  // initial build. replans_ - (partitioner_builds_ - 1) replans were served
+  // from the cache.
+  int64_t partitioner_builds() const { return partitioner_builds_; }
+  // Duration-weighted relative drift deviation per adapted run (the series
+  // VerifyDriftConvergence checks over a stationary scenario).
+  const std::vector<double>& drift_history() const { return drift_history_; }
+  double last_relative_deviation() const { return last_relative_deviation_; }
+
+  // Swaps the executor's fault plan between runs (multi-phase schedules:
+  // throttle ramps, recovery scenarios).
+  void SetFaultPlan(fault::FaultPlan faults);
+  void set_on_replan(std::function<void(const Plan&)> hook) {
+    options_.on_replan = std::move(hook);
+  }
+
+  // Deterministic replay: the complete adaptive state of the runtime at a
+  // point in its run sequence. Restoring it and re-running the same inputs
+  // under the same fault plans reproduces the original runs exactly. The
+  // plan cache is not captured: cached plans equal freshly built ones by
+  // determinism, so only hit/miss statistics can differ after a Restore.
+  struct AdaptSnapshot {
+    CorrectionTable corrections;
+    DeviceHealth health;
+    RunMode mode = RunMode::kNormal;
+    Plan plan;
+    int replans = 0;
+    int drift_streak = 0;
+    bool replan_pending = false;
+    double last_relative_deviation = 0.0;
+    std::vector<double> drift_history;
+  };
+  AdaptSnapshot Snapshot() const;
+  void Restore(const AdaptSnapshot& snap);
+
   // Runs the planned network. Functional when `input` != nullptr. After the
   // run, the degradation policy inspects the result: repeated failures or an
-  // open circuit breaker exclude the GPU and replan CPU-only; an observed
-  // throttle ratio beyond throttle_replan_ratio replans with GPU latency
-  // estimates rescaled. RunResult::degradation carries the outcome.
+  // open circuit breaker exclude the GPU and replan CPU-only (with periodic
+  // probation probes so a recovered GPU rejoins); an observed throttle ratio
+  // beyond throttle_replan_ratio replans with GPU latency estimates
+  // rescaled, and sustained clean runs below the applied scale replan back
+  // down. With adaptation enabled, the run's drift report additionally
+  // updates the predictor's correction table and sustained drift replans
+  // through the health-keyed plan cache. RunResult::degradation carries the
+  // outcome.
   RunResult Run(const Tensor* input = nullptr);
 
  private:
-  // Rebuilds plan_ with degraded-mode partitioner options.
+  // Rebuilds plan_ with degraded-mode partitioner options (one
+  // Partitioner::Build + verify + install).
   void Replan(bool gpu_available, double gpu_time_scale);
-  // Observed/expected GPU kernel time over the run's trace (0 = no GPU work).
-  double ObservedGpuRatio(const RunResult& r) const;
+  // Replan through the plan cache: O(1) install on a health-key hit, full
+  // Replan + cache insert on a miss. Falls back to Replan with adaptation
+  // off.
+  void InstallPlan(bool gpu_available, double gpu_time_scale);
+  PlanCacheKey MakeCacheKey(bool gpu_available, double gpu_time_scale) const;
+  // Observed/expected GPU kernel time over the run's trace; nullopt when the
+  // run produced no GPU evidence (no GPU kernels scheduled).
+  std::optional<double> ObservedGpuRatio(const RunResult& r) const;
   void ApplyDegradationPolicy(const RunResult& r);
+  // Feeds the run's drift aggregate into the correction table and replans
+  // on sustained drift.
+  void ApplyAdaptation(const RunResult& r);
+
+  static Options NormalizeOptions(Options options);
 
   const Model* model_;
   Options options_;
@@ -89,6 +194,16 @@ class ULayerRuntime {
   DeviceHealth gpu_health_;
   RunMode mode_ = RunMode::kNormal;
   int replans_ = 0;
+
+  PlanCache plan_cache_;
+  int64_t partitioner_builds_ = 0;
+  int drift_streak_ = 0;
+  // Set when sustained drift demands a replan, cleared only after one
+  // succeeds: a throwing install (verification, observer hook) retries on
+  // the next evidence run instead of silently running on the stale plan.
+  bool replan_pending_ = false;
+  double last_relative_deviation_ = 0.0;
+  std::vector<double> drift_history_;
 };
 
 }  // namespace ulayer

@@ -145,6 +145,53 @@ DriftReport BuildDriftReport(const RunTrace& rt) {
   return report;
 }
 
+DriftAggregate AggregateDrift(const DriftReport& report) {
+  DriftAggregate agg;
+  // Fixed-shape accumulators keep the cell order (op, proc) independent of
+  // span interleaving.
+  struct Acc {
+    double predicted = 0.0;
+    double simulated = 0.0;
+    int samples = 0;
+  };
+  Acc acc[kLayerKindCount][2] = {};
+  double total_predicted = 0.0;
+  double total_simulated = 0.0;
+  for (const DriftRow& row : report.rows) {
+    if (row.fault == FaultTag::kFallback || row.fault == FaultTag::kRerouted) {
+      continue;  // Ran on a different processor than planned.
+    }
+    if (row.predicted_us <= 0.0) {
+      continue;
+    }
+    Acc& a = acc[static_cast<size_t>(row.op)][row.proc == ProcKind::kCpu ? 0 : 1];
+    a.predicted += row.predicted_us;
+    a.simulated += row.simulated_us;
+    ++a.samples;
+    total_predicted += row.predicted_us;
+    total_simulated += row.simulated_us;
+  }
+  for (int op = 0; op < kLayerKindCount; ++op) {
+    for (int pi = 0; pi < 2; ++pi) {
+      const Acc& a = acc[op][pi];
+      if (a.samples == 0 || a.predicted <= 0.0) {
+        continue;
+      }
+      DriftCell cell;
+      cell.op = static_cast<LayerKind>(op);
+      cell.proc = pi == 0 ? ProcKind::kCpu : ProcKind::kGpu;
+      cell.predicted_us = a.predicted;
+      cell.simulated_us = a.simulated;
+      cell.samples = a.samples;
+      cell.ratio = a.simulated / a.predicted;
+      agg.cells.push_back(cell);
+    }
+  }
+  agg.has_evidence = !agg.cells.empty();
+  agg.overall_ratio = total_predicted > 0.0 ? total_simulated / total_predicted : 0.0;
+  return agg;
+}
+
 std::string DriftReport::ToString(const Graph* graph) const {
   std::ostringstream os;
   os << "predictor drift (simulated / predicted kernel latency)\n";

@@ -170,4 +170,34 @@ struct DriftReport {
 // excluded: an aborted attempt has no meaningful prediction).
 DriftReport BuildDriftReport(const RunTrace& rt);
 
+// --- Drift aggregation for the adaptation loop -------------------------------
+
+// Duration-weighted drift of one (layer kind, processor) cell: the shape the
+// predictor's correction table consumes (DESIGN.md Section 16).
+struct DriftCell {
+  LayerKind op = LayerKind::kInput;
+  ProcKind proc = ProcKind::kCpu;
+  double predicted_us = 0.0;  // Sum of predictions over contributing rows.
+  double simulated_us = 0.0;  // Sum of simulated durations.
+  int samples = 0;
+  double ratio = 0.0;  // simulated / predicted.
+};
+
+struct DriftAggregate {
+  // Non-empty cells, ordered by (op, proc) — deterministic regardless of
+  // span interleaving.
+  std::vector<DriftCell> cells;
+  double overall_ratio = 0.0;
+  // False when no row contributed (e.g. a CPU-only run with prediction-less
+  // spans): callers must not treat ratios as evidence then.
+  bool has_evidence = false;
+};
+
+// Collapses a drift report into per-(op, proc) cells. Rows whose work moved
+// to a different processor than planned (kFallback, kRerouted) are excluded:
+// their ratio measures the reroute penalty, not the drift of the processor
+// that ran them. kNone and kRetried rows are included — a retry storm IS
+// drift the correction table should absorb.
+DriftAggregate AggregateDrift(const DriftReport& report);
+
 }  // namespace ulayer::trace

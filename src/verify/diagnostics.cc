@@ -15,7 +15,8 @@ std::string DiagCodeId(DiagCode code) {
                       : v < 400 ? 'Q'
                       : v < 500 ? 'T'
                       : v < 800 ? 'A'
-                                : 'N';
+                      : v < 900 ? 'N'
+                                : 'H';
   std::ostringstream os;
   os << prefix;
   if (v < 10) {
@@ -133,6 +134,12 @@ std::string_view DiagCodeName(DiagCode code) {
       return "net-message-invalid";
     case DiagCode::kNetDeadWorkerActivity:
       return "net-dead-worker-activity";
+    case DiagCode::kAdaptCorrectionInvalid:
+      return "adapt-correction-invalid";
+    case DiagCode::kAdaptCacheIncoherent:
+      return "adapt-cache-incoherent";
+    case DiagCode::kAdaptNotConverging:
+      return "adapt-not-converging";
   }
   return "unknown";
 }

@@ -15,7 +15,8 @@ namespace ulayer {
 // Stable diagnostic codes. Grouped by prefix: G = graph structure,
 // P = plan structure, C = execution config, Q = quantization parameters,
 // T = run-trace invariants, A = static memory-access analysis,
-// N = distributed (net-layer) run invariants.
+// N = distributed (net-layer) run invariants, H = adaptation-loop
+// (device-health) invariants.
 enum class DiagCode : uint16_t {
   // --- Graph (G0xx) ---------------------------------------------------------
   kGraphEmpty = 1,          // G001: graph has no nodes.
@@ -129,6 +130,19 @@ enum class DiagCode : uint16_t {
   kNetDeadWorkerActivity = 805,  // N805: a slice was computed by (or a
                                  //       message delivered to/from) a worker
                                  //       after its recorded death time.
+
+  // --- Adaptation-loop invariants (H9xx) ------------------------------------
+  // Reported by VerifyCorrectionTable / VerifyPlanCache /
+  // VerifyDriftConvergence (DESIGN.md Section 16).
+  kAdaptCorrectionInvalid = 901,  // H901: correction factor non-finite,
+                                  //       non-positive, or outside the
+                                  //       [kMinScale, kMaxScale] sanity band.
+  kAdaptCacheIncoherent = 902,    // H902: cached plan contradicts its health
+                                  //       key (GPU work under gpu=0, invalid
+                                  //       plan, or duplicate keys).
+  kAdaptNotConverging = 903,      // H903: drift-deviation series is not
+                                  //       monotonically non-increasing, or
+                                  //       its final value exceeds tolerance.
 };
 
 // "G004"-style stable identifier.

@@ -614,4 +614,74 @@ Report VerifyRunTrace(const trace::RunTrace& rt) {
   return out;
 }
 
+Report VerifyCorrectionTable(const CorrectionTable& table) {
+  Report out;
+  for (int kind = 0; kind < kLayerKindCount; ++kind) {
+    for (const ProcKind proc : {ProcKind::kCpu, ProcKind::kGpu}) {
+      const double scale = table.Get(static_cast<LayerKind>(kind), proc);
+      if (std::isfinite(scale) && scale >= CorrectionTable::kMinScale &&
+          scale <= CorrectionTable::kMaxScale) {
+        continue;
+      }
+      std::ostringstream os;
+      os << "correction " << LayerKindName(static_cast<LayerKind>(kind)) << "/"
+         << ProcKindName(proc) << " = " << scale << " outside [" << CorrectionTable::kMinScale
+         << ", " << CorrectionTable::kMaxScale << "]";
+      out.Error(DiagCode::kAdaptCorrectionInvalid, -1, os.str());
+    }
+  }
+  return out;
+}
+
+Report VerifyPlanCache(const Graph& graph, const PlanCache& cache, const ExecConfig& config) {
+  Report out;
+  const auto& entries = cache.entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const PlanCache::Entry& e = entries[i];
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      if (entries[j].key == e.key) {
+        out.Error(DiagCode::kAdaptCacheIncoherent, -1,
+                  "duplicate cache key {" + e.key.ToString() + "}");
+      }
+    }
+    const Report plan_report = VerifyPlan(graph, e.plan, config);
+    if (!plan_report.ok()) {
+      out.Error(DiagCode::kAdaptCacheIncoherent, -1,
+                "cached plan for {" + e.key.ToString() +
+                    "} fails plan verification: " + plan_report.ToString());
+    }
+    if (!e.key.gpu_available) {
+      for (size_t n = 0; n < e.plan.nodes.size(); ++n) {
+        const NodeAssignment& a = e.plan.nodes[n];
+        if (a.kind == StepKind::kCooperative || a.proc == ProcKind::kGpu) {
+          std::ostringstream os;
+          os << "plan cached under {" << e.key.ToString() << "} schedules GPU work";
+          out.Error(DiagCode::kAdaptCacheIncoherent, static_cast<int>(n), os.str());
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Report VerifyDriftConvergence(const std::vector<double>& deviations, double tolerance,
+                              double slack) {
+  Report out;
+  for (size_t i = 1; i < deviations.size(); ++i) {
+    if (deviations[i] > deviations[i - 1] + slack) {
+      std::ostringstream os;
+      os << "drift deviation rose from " << deviations[i - 1] << " (run " << i - 1 << ") to "
+         << deviations[i] << " (run " << i << ")";
+      out.Error(DiagCode::kAdaptNotConverging, -1, os.str());
+    }
+  }
+  if (!deviations.empty() && deviations.back() > tolerance) {
+    std::ostringstream os;
+    os << "final drift deviation " << deviations.back() << " exceeds tolerance " << tolerance;
+    out.Error(DiagCode::kAdaptNotConverging, -1, os.str());
+  }
+  return out;
+}
+
 }  // namespace ulayer

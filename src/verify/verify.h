@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "core/adapt.h"
 #include "core/config.h"
 #include "core/plan.h"
 #include "nn/graph.h"
@@ -104,5 +105,25 @@ int ExpectedSyncCount(const Graph& graph, const Plan& plan, const ExecConfig& co
 // ground truth (RunTrace::{cpu,gpu}_busy_us / sync_count), which the
 // executor fills in at the end of every traced run.
 Report VerifyRunTrace(const trace::RunTrace& rt);
+
+// --- Adaptation-loop invariants (DESIGN.md Section 16, H9xx codes) -----------
+
+// H901: every correction factor is finite, positive, and inside the
+// [CorrectionTable::kMinScale, kMaxScale] sanity band. The table's own
+// setters clamp, so a violation means corrupted state (e.g. a bad Restore).
+Report VerifyCorrectionTable(const CorrectionTable& table);
+
+// H902: every cached plan is coherent with the health key it is stored
+// under — a gpu_available=false key holds a plan with no GPU or cooperative
+// work, every plan passes PlanVerifier against (graph, config), and no key
+// appears twice.
+Report VerifyPlanCache(const Graph& graph, const PlanCache& cache, const ExecConfig& config);
+
+// H903: the per-run drift-deviation series of a stationary scenario (e.g.
+// the committed throttle ramp) is monotonically non-increasing within
+// `slack` and ends at or below `tolerance` — the EWMA correction loop must
+// converge, not oscillate.
+Report VerifyDriftConvergence(const std::vector<double>& deviations, double tolerance,
+                              double slack = 1e-9);
 
 }  // namespace ulayer

@@ -1,0 +1,531 @@
+// The closed adaptation loop (DESIGN.md Section 16): drift-fed correction
+// table, health-keyed plan cache, two-way throttle recovery and the H9xx
+// invariants.
+#include "core/adapt.h"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "core/runtime.h"
+#include "io/io.h"
+#include "tensor/tensor.h"
+#include "verify/verify.h"
+
+namespace ulayer {
+namespace {
+
+using fault::FaultPlan;
+
+constexpr const char* kThrottleSpec = "gpu.kernel=slow:2.5";
+
+ULayerRuntime::Options AdaptiveOptions() {
+  ULayerRuntime::Options opts;
+  opts.adapt.enabled = true;
+  return opts;
+}
+
+// Sum of per-run latencies over `runs` consecutive runs.
+double RunTotalUs(ULayerRuntime& rt, int runs, std::vector<double>* latencies = nullptr) {
+  double total = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    const RunResult r = rt.Run();
+    total += r.latency_us;
+    if (latencies != nullptr) {
+      latencies->push_back(r.latency_us);
+    }
+  }
+  return total;
+}
+
+// --- CorrectionTable ---------------------------------------------------------
+
+TEST(CorrectionTableTest, StartsIdentityAndClampsUpdates) {
+  CorrectionTable t;
+  EXPECT_TRUE(t.IsIdentity());
+  EXPECT_DOUBLE_EQ(t.Get(LayerKind::kConv, ProcKind::kGpu), 1.0);
+
+  t.Update(LayerKind::kConv, ProcKind::kGpu, 3.0, 0.5);
+  EXPECT_DOUBLE_EQ(t.Get(LayerKind::kConv, ProcKind::kGpu), 2.0);
+  EXPECT_FALSE(t.IsIdentity());
+  // Other cells are untouched.
+  EXPECT_DOUBLE_EQ(t.Get(LayerKind::kConv, ProcKind::kCpu), 1.0);
+  EXPECT_DOUBLE_EQ(t.Get(LayerKind::kPool, ProcKind::kGpu), 1.0);
+
+  // Non-finite / non-positive observations are ignored; huge ones clamp.
+  t.Update(LayerKind::kConv, ProcKind::kGpu, -1.0, 0.5);
+  t.Update(LayerKind::kConv, ProcKind::kGpu, 0.0, 0.5);
+  EXPECT_DOUBLE_EQ(t.Get(LayerKind::kConv, ProcKind::kGpu), 2.0);
+  t.Set(LayerKind::kConv, ProcKind::kGpu, 1e9);
+  EXPECT_DOUBLE_EQ(t.Get(LayerKind::kConv, ProcKind::kGpu), CorrectionTable::kMaxScale);
+  t.Set(LayerKind::kConv, ProcKind::kGpu, 1e-9);
+  EXPECT_DOUBLE_EQ(t.Get(LayerKind::kConv, ProcKind::kGpu), CorrectionTable::kMinScale);
+}
+
+TEST(CorrectionTableTest, FingerprintQuantizesByBucket) {
+  const double growth = 1.05;
+  CorrectionTable a;
+  CorrectionTable b;
+  EXPECT_EQ(a.Fingerprint(growth), b.Fingerprint(growth));
+
+  // Scales within half a growth step of each other share a bucket.
+  a.Set(LayerKind::kConv, ProcKind::kGpu, 2.5);
+  b.Set(LayerKind::kConv, ProcKind::kGpu, 2.52);
+  EXPECT_EQ(CorrectionTable::BucketOf(2.5, growth), CorrectionTable::BucketOf(2.52, growth));
+  EXPECT_EQ(a.Fingerprint(growth), b.Fingerprint(growth));
+
+  // A different bucket changes the fingerprint.
+  b.Set(LayerKind::kConv, ProcKind::kGpu, 3.0);
+  EXPECT_NE(a.Fingerprint(growth), b.Fingerprint(growth));
+
+  EXPECT_EQ(CorrectionTable::BucketOf(1.0, growth), 0);
+  EXPECT_GT(CorrectionTable::BucketOf(1.5, growth), 0);
+  EXPECT_LT(CorrectionTable::BucketOf(0.5, growth), 0);
+}
+
+TEST(CorrectionTableTest, ToStringListsOnlyNonIdentityCells) {
+  CorrectionTable t;
+  EXPECT_EQ(t.ToString(), "identity");
+  t.Set(LayerKind::kConv, ProcKind::kGpu, 2.5);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("conv"), std::string::npos);
+  EXPECT_NE(s.find("gpu"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+// --- PlanCache ---------------------------------------------------------------
+
+Plan TaggedPlan(int64_t batch) {
+  Plan p;
+  p.batch = batch;  // Distinguishes cached plans in this unit test.
+  return p;
+}
+
+TEST(PlanCacheTest, HitMissEvictionAreDeterministic) {
+  PlanCache cache(2);
+  const PlanCacheKey k1{true, 0, 0x1};
+  const PlanCacheKey k2{true, 5, 0x2};
+  const PlanCacheKey k3{false, 0, 0x3};
+
+  EXPECT_EQ(cache.Lookup(k1), nullptr);
+  cache.Insert(k1, TaggedPlan(1));
+  cache.Insert(k2, TaggedPlan(2));
+  ASSERT_NE(cache.Lookup(k1), nullptr);
+  EXPECT_EQ(cache.Lookup(k1)->batch, 1);
+
+  // k1 was just used, so inserting k3 evicts k2 (LRU).
+  cache.Insert(k3, TaggedPlan(3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup(k2), nullptr);
+  ASSERT_NE(cache.Lookup(k3), nullptr);
+  EXPECT_EQ(cache.Lookup(k3)->batch, 3);
+
+  const PlanCacheStats& s = cache.stats();
+  EXPECT_EQ(s.insertions, 3);
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_EQ(s.hits, 4);
+  EXPECT_EQ(s.misses, 2);
+
+  // Re-inserting an existing key replaces in place, no eviction.
+  cache.Insert(k3, TaggedPlan(4));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup(k3)->batch, 4);
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
+  PlanCache cache(0);
+  cache.Insert(PlanCacheKey{}, TaggedPlan(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(PlanCacheKey{}), nullptr);
+}
+
+// --- Mode lattice (satellite: no std::max over raw enum values) -------------
+
+TEST(RunModeLatticeTest, PinsTheSeverityRanking) {
+  EXPECT_LT(RunModeSeverity(RunMode::kNormal), RunModeSeverity(RunMode::kDegraded));
+  EXPECT_LT(RunModeSeverity(RunMode::kDegraded), RunModeSeverity(RunMode::kCpuOnly));
+  EXPECT_EQ(CombineRunMode(RunMode::kNormal, RunMode::kDegraded), RunMode::kDegraded);
+  EXPECT_EQ(CombineRunMode(RunMode::kDegraded, RunMode::kNormal), RunMode::kDegraded);
+  EXPECT_EQ(CombineRunMode(RunMode::kCpuOnly, RunMode::kDegraded), RunMode::kCpuOnly);
+  EXPECT_EQ(CombineRunMode(RunMode::kNormal, RunMode::kNormal), RunMode::kNormal);
+}
+
+// --- Drift convergence under a persistent throttle ---------------------------
+
+TEST(AdaptationTest, CorrectionTableConvergesUnderSlowFaults) {
+  const Model m = MakeGoogLeNet();
+  ULayerRuntime::Options opts = AdaptiveOptions();
+  opts.faults = FaultPlan::Parse(kThrottleSpec);
+  ULayerRuntime rt(m, MakeExynos7420(), opts);
+
+  RunTotalUs(rt, 8);
+  ASSERT_EQ(rt.drift_history().size(), 8u);
+  // The EWMA must converge monotonically on a stationary fault schedule and
+  // end within the 5% acceptance band (H903).
+  EXPECT_TRUE(VerifyDriftConvergence(rt.drift_history(), 0.05, 1e-9).ok())
+      << VerifyDriftConvergence(rt.drift_history(), 0.05, 1e-9).ToString();
+  EXPECT_LE(rt.last_relative_deviation(), 0.05);
+  EXPECT_GT(rt.replans(), 0) << "sustained drift must trigger a replan";
+  // The throttle shows up in the GPU corrections, not the CPU ones.
+  EXPECT_GT(rt.predictor().corrections().Get(LayerKind::kConv, ProcKind::kGpu), 1.5);
+  EXPECT_DOUBLE_EQ(rt.predictor().corrections().Get(LayerKind::kConv, ProcKind::kCpu), 1.0);
+  // H901: the table stays inside the sanity band throughout.
+  EXPECT_TRUE(VerifyCorrectionTable(rt.predictor().corrections()).ok());
+  // H902: every cached plan is coherent with its key.
+  EXPECT_TRUE(VerifyPlanCache(m.graph, rt.plan_cache(), rt.config()).ok())
+      << VerifyPlanCache(m.graph, rt.plan_cache(), rt.config()).ToString();
+}
+
+// The committed deliverable scenario: baseline -> throttle -> recovery.
+// Adaptive replanning must beat the static plan while throttled, and after
+// the throttle clears latency must return to within 2% of a never-throttled
+// runtime.
+TEST(AdaptationTest, ThrottleRampAdaptiveBeatsStaticAndRecovers) {
+  const Model m = MakeGoogLeNet();
+  const SocSpec soc = MakeExynos7420();
+  constexpr int kBaseline = 2;
+  constexpr int kThrottled = 6;
+  constexpr int kRecovery = 8;
+
+  ULayerRuntime adaptive(m, soc, AdaptiveOptions());
+  ULayerRuntime::Options static_opts;
+  static_opts.degradation_replan = false;
+  ULayerRuntime static_rt(m, soc, static_opts);
+  ULayerRuntime never_throttled(m, soc);
+
+  // Phase 1: clean baseline. Identical plans, identical latency.
+  const double adaptive_base = RunTotalUs(adaptive, kBaseline) / kBaseline;
+  const double static_base = RunTotalUs(static_rt, kBaseline) / kBaseline;
+  EXPECT_DOUBLE_EQ(adaptive_base, static_base);
+  EXPECT_EQ(adaptive.replans(), 0);
+
+  // Phase 2: thermal throttle. The adaptive runtime learns the slowdown and
+  // shifts work to the CPU; the static runtime keeps the stale split.
+  adaptive.SetFaultPlan(FaultPlan::Parse(kThrottleSpec));
+  static_rt.SetFaultPlan(FaultPlan::Parse(kThrottleSpec));
+  const double adaptive_throttled = RunTotalUs(adaptive, kThrottled);
+  const double static_throttled = RunTotalUs(static_rt, kThrottled);
+  EXPECT_LT(adaptive_throttled, static_throttled)
+      << "adaptive replanning must beat the static plan under throttle";
+  EXPECT_GT(adaptive.replans(), 0);
+  // Convergence within the throttle phase: deviations from its onset are
+  // monotone non-increasing and end within 5% (H903).
+  const std::vector<double> throttle_devs(adaptive.drift_history().begin() + kBaseline,
+                                          adaptive.drift_history().end());
+  EXPECT_TRUE(VerifyDriftConvergence(throttle_devs, 0.05).ok())
+      << VerifyDriftConvergence(throttle_devs, 0.05).ToString();
+
+  // Phase 3: the throttle clears. Corrections decay back toward identity
+  // and the plan returns to (near) the baseline split.
+  adaptive.SetFaultPlan(FaultPlan());
+  never_throttled.SetFaultPlan(FaultPlan());
+  std::vector<double> recovery_lat;
+  RunTotalUs(adaptive, kRecovery, &recovery_lat);
+  std::vector<double> clean_lat;
+  RunTotalUs(never_throttled, kRecovery, &clean_lat);
+  EXPECT_LE(recovery_lat.back(), clean_lat.back() * 1.02)
+      << "post-recovery latency must return to within 2% of never-throttled";
+  EXPECT_LE(adaptive.last_relative_deviation(), 0.05);
+  EXPECT_TRUE(VerifyCorrectionTable(adaptive.predictor().corrections()).ok());
+}
+
+// --- Functional byte-identity with adaptation on/off -------------------------
+
+TEST(AdaptationTest, FunctionalDigestsAreIdenticalAdaptOnAndOff) {
+  Model m = MakeLeNet5();
+  m.MaterializeWeights();
+  Tensor input(Shape(1, 1, 28, 28), DType::kF32);
+  FillUniform(input, 4242, -1.0f, 1.0f);
+
+  ULayerRuntime::Options off;
+  off.config = ExecConfig::AllF32();
+  off.faults = FaultPlan::Parse(kThrottleSpec);
+  ULayerRuntime rt_off(m, MakeExynos7420(), off);
+
+  ULayerRuntime::Options on = off;
+  on.adapt.enabled = true;
+  ULayerRuntime rt_on(m, MakeExynos7420(), on);
+
+  // Multiple runs so the adaptive runtime actually replans in between: the
+  // functional output must not depend on the plan (the established
+  // byte-identity invariant) nor on the adaptation machinery.
+  for (int i = 0; i < 4; ++i) {
+    const RunResult a = rt_off.Run(&input);
+    const RunResult b = rt_on.Run(&input);
+    ASSERT_TRUE(a.output.has_value());
+    ASSERT_TRUE(b.output.has_value());
+    ASSERT_EQ(a.output->SizeBytes(), b.output->SizeBytes());
+    EXPECT_EQ(std::memcmp(a.output->raw(), b.output->raw(),
+                          static_cast<size_t>(a.output->SizeBytes())),
+              0)
+        << "run " << i;
+  }
+}
+
+// --- Plan cache on the runtime ----------------------------------------------
+
+TEST(AdaptationTest, CacheHitServesReplanWithoutPartitionerBuild) {
+  const Model m = MakeGoogLeNet();
+  ULayerRuntime::Options opts = AdaptiveOptions();
+  // Coarse buckets: the small residual corrections after recovery quantize
+  // to the identity fingerprint, so returning to health hits the seeded
+  // baseline-key entry.
+  opts.adapt.bucket_growth = 2.0;
+  ULayerRuntime rt(m, MakeExynos7420(), opts);
+  const std::string baseline_plan = PlanToText(rt.plan(), m.graph);
+  EXPECT_EQ(rt.partitioner_builds(), 1) << "constructor build only";
+  EXPECT_EQ(rt.plan_cache().stats().insertions, 1) << "baseline plan seeded";
+
+  rt.SetFaultPlan(FaultPlan::Parse(kThrottleSpec));
+  RunTotalUs(rt, 6);
+  const int64_t builds_after_throttle = rt.partitioner_builds();
+  const int replans_after_throttle = rt.replans();
+  EXPECT_GT(replans_after_throttle, 0);
+  EXPECT_GT(builds_after_throttle, 1) << "a new health state misses the cache and builds";
+
+  rt.SetFaultPlan(FaultPlan());
+  RunTotalUs(rt, 8);
+  EXPECT_GT(rt.replans(), replans_after_throttle) << "recovery must replan";
+  EXPECT_GT(rt.plan_cache().stats().hits, 0)
+      << "the recovery replan must hit the cached baseline plan";
+  // Every installed plan is either a fresh build or a cache hit that
+  // performed no Partitioner::Build (the constructor's build is not a
+  // replan).
+  EXPECT_EQ(rt.replans(),
+            static_cast<int>(rt.partitioner_builds() - 1 + rt.plan_cache().stats().hits))
+      << "replans = builds + cache hits";
+  EXPECT_EQ(PlanToText(rt.plan(), m.graph), baseline_plan)
+      << "recovered health must restore the baseline plan";
+  EXPECT_TRUE(VerifyPlanCache(m.graph, rt.plan_cache(), rt.config()).ok());
+}
+
+// --- Snapshot / Restore replay ----------------------------------------------
+
+TEST(AdaptationTest, RestoredSnapshotReplaysIdentically) {
+  const Model m = MakeGoogLeNet();
+  ULayerRuntime::Options opts = AdaptiveOptions();
+  opts.faults = FaultPlan::Parse(kThrottleSpec);
+  ULayerRuntime rt(m, MakeExynos7420(), opts);
+
+  RunTotalUs(rt, 3);
+  const ULayerRuntime::AdaptSnapshot snap = rt.Snapshot();
+
+  std::vector<double> first;
+  RunTotalUs(rt, 5, &first);
+  const CorrectionTable end_corrections = rt.predictor().SnapshotCorrections();
+  const int end_replans = rt.replans();
+  const std::string end_plan = PlanToText(rt.plan(), m.graph);
+
+  rt.Restore(snap);
+  EXPECT_EQ(rt.replans(), snap.replans);
+  std::vector<double> second;
+  RunTotalUs(rt, 5, &second);
+
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i], second[i]) << "replayed run " << i;
+  }
+  EXPECT_EQ(rt.predictor().SnapshotCorrections(), end_corrections);
+  EXPECT_EQ(rt.replans(), end_replans);
+  EXPECT_EQ(PlanToText(rt.plan(), m.graph), end_plan);
+}
+
+// --- Exception safety: a throwing replan leaves the runtime usable ----------
+
+TEST(AdaptationTest, ThrowingReplanHookLeavesRuntimeUsable) {
+  const Model m = MakeGoogLeNet();
+  ULayerRuntime::Options opts = AdaptiveOptions();
+  opts.faults = FaultPlan::Parse(kThrottleSpec);
+  ULayerRuntime rt(m, MakeExynos7420(), opts);
+  const std::string plan_before = PlanToText(rt.plan(), m.graph);
+
+  rt.set_on_replan([](const Plan&) { throw Error(ErrorCode::kVerify, "injected hook failure"); });
+  bool threw = false;
+  for (int i = 0; i < 4 && !threw; ++i) {
+    try {
+      rt.Run();
+    } catch (const Error&) {
+      threw = true;
+    }
+  }
+  ASSERT_TRUE(threw) << "sustained drift must reach the replan hook";
+  EXPECT_EQ(PlanToText(rt.plan(), m.graph), plan_before)
+      << "a failed replan must not install a partial plan";
+  EXPECT_EQ(rt.replans(), 0);
+
+  // With the hook removed the loop resumes: the runtime was not corrupted.
+  rt.set_on_replan(nullptr);
+  const RunResult r = rt.Run();
+  EXPECT_GT(r.latency_us, 0.0);
+  RunTotalUs(rt, 3);
+  EXPECT_GT(rt.replans(), 0);
+  EXPECT_TRUE(VerifyCorrectionTable(rt.predictor().corrections()).ok());
+}
+
+// --- Two-way throttle ratchet (satellite 1, adaptation off) -----------------
+
+TEST(ThrottleRecoveryTest, ThrottleThenRecoverReturnsToOriginalSplit) {
+  const Model m = MakeVgg16();
+  ULayerRuntime rt(m, MakeExynos7420());
+  const std::string original_plan = PlanToText(rt.plan(), m.graph);
+
+  // Throttle: the scalar policy rescales GPU estimates upward (one replan).
+  rt.SetFaultPlan(FaultPlan::Parse(kThrottleSpec));
+  rt.Run();
+  rt.Run();
+  EXPECT_GT(rt.gpu_health().applied_time_scale, 1.25);
+  EXPECT_EQ(rt.mode(), RunMode::kDegraded);
+  const int replans_throttled = rt.replans();
+  EXPECT_GE(replans_throttled, 1);
+  EXPECT_NE(PlanToText(rt.plan(), m.graph), original_plan);
+
+  // Recovery: the observed ratio returns to 1.0. After
+  // replan_after_failures (default 2) consecutive clean below-scale runs
+  // the policy replans back down — the ratchet turns both ways.
+  rt.SetFaultPlan(FaultPlan());
+  rt.Run();
+  EXPECT_EQ(rt.gpu_health().clean_below_scale_runs, 1);
+  EXPECT_EQ(rt.replans(), replans_throttled) << "one clean run is not enough";
+  rt.Run();
+  EXPECT_DOUBLE_EQ(rt.gpu_health().applied_time_scale, 1.0);
+  EXPECT_EQ(rt.replans(), replans_throttled + 1);
+  EXPECT_EQ(rt.mode(), RunMode::kNormal);
+  EXPECT_EQ(PlanToText(rt.plan(), m.graph), original_plan)
+      << "recovered health must restore the original split";
+  // Stable afterwards: no churn.
+  rt.Run();
+  EXPECT_EQ(rt.replans(), replans_throttled + 1);
+}
+
+TEST(ThrottleRecoveryTest, ProbationProbeRejoinsRecoveredGpu) {
+  const Model m = MakeGoogLeNet();
+  ULayerRuntime::Options opts;
+  opts.gpu_probe_interval = 2;
+  opts.faults = FaultPlan::Parse("gpu.kernel@call:1=device-lost");
+  ULayerRuntime rt(m, MakeExynos7420(), opts);
+  const std::string original_plan = PlanToText(rt.plan(), m.graph);
+
+  rt.Run();
+  EXPECT_TRUE(rt.gpu_health().excluded);
+  EXPECT_EQ(rt.mode(), RunMode::kCpuOnly);
+
+  // The device recovers, but a CPU-only plan yields no GPU evidence — only
+  // the periodic probe can discover it.
+  rt.SetFaultPlan(FaultPlan());
+  rt.Run();  // CPU-only, no evidence.
+  EXPECT_FALSE(rt.gpu_health().evidence_last_run);
+  EXPECT_TRUE(rt.gpu_health().excluded);
+  rt.Run();  // Probation clock expires: next plan is an optimistic probe.
+  EXPECT_TRUE(rt.gpu_health().probing);
+  rt.Run();  // The probe run is clean: the GPU rejoins.
+  EXPECT_FALSE(rt.gpu_health().probing);
+  EXPECT_FALSE(rt.gpu_health().excluded);
+  EXPECT_EQ(rt.mode(), RunMode::kNormal);
+  EXPECT_EQ(PlanToText(rt.plan(), m.graph), original_plan);
+}
+
+TEST(ThrottleRecoveryTest, FailedProbeReopensTheBreaker) {
+  const Model m = MakeGoogLeNet();
+  ULayerRuntime::Options opts;
+  opts.gpu_probe_interval = 1;
+  // Every GPU-touching run keeps dying: the first kernel call of each run.
+  opts.faults = FaultPlan::Parse("gpu.kernel@call:1=device-lost");
+  ULayerRuntime rt(m, MakeExynos7420(), opts);
+
+  rt.Run();
+  EXPECT_TRUE(rt.gpu_health().excluded);
+  rt.Run();  // Schedules the probe.
+  EXPECT_TRUE(rt.gpu_health().probing);
+  rt.Run();  // Probe run dies again: back to CPU-only.
+  EXPECT_FALSE(rt.gpu_health().probing);
+  EXPECT_TRUE(rt.gpu_health().excluded);
+  EXPECT_EQ(rt.mode(), RunMode::kCpuOnly);
+  for (const NodeAssignment& a : rt.plan().nodes) {
+    EXPECT_NE(a.kind, StepKind::kCooperative);
+    EXPECT_EQ(a.proc, ProcKind::kCpu);
+  }
+}
+
+// --- Stale-health tracking (satellite 3) -------------------------------------
+
+TEST(ThrottleRecoveryTest, CpuOnlyRunsCarryNoGpuEvidence) {
+  const Model m = MakeGoogLeNet();
+  ULayerRuntime::Options opts;
+  // Order matters: the first matching rule wins, so the scoped device-lost
+  // rule must precede the blanket slowdown.
+  opts.faults = FaultPlan::Parse("gpu.kernel@call:1=device-lost;gpu.kernel=slow:2.5");
+  ULayerRuntime rt(m, MakeExynos7420(), opts);
+  rt.Run();
+  ASSERT_TRUE(rt.gpu_health().excluded);
+  const double last_ratio = rt.gpu_health().observed_over_predicted;
+
+  // CPU-only run: the GPU-era ratio is retained as history, but the run is
+  // explicitly marked evidence-free instead of smuggling a 0.0 sentinel.
+  rt.SetFaultPlan(FaultPlan());
+  rt.Run();
+  EXPECT_FALSE(rt.gpu_health().evidence_last_run);
+  EXPECT_DOUBLE_EQ(rt.gpu_health().observed_over_predicted, last_ratio);
+}
+
+// --- H-series verifier negatives ---------------------------------------------
+
+TEST(AdaptVerifyTest, CorrectionTableOutOfBandIsH901) {
+  // The table's own setters clamp, so corrupt state can only be observed
+  // through a hand-built struct — mimic one via Restore on a predictor? The
+  // verifier is the unit under test here, so check the clean path and the
+  // series checker instead; out-of-band values cannot be constructed through
+  // the public API (which is the point of the clamp).
+  CorrectionTable t;
+  EXPECT_TRUE(VerifyCorrectionTable(t).ok());
+  t.Set(LayerKind::kConv, ProcKind::kGpu, CorrectionTable::kMaxScale);
+  EXPECT_TRUE(VerifyCorrectionTable(t).ok()) << "the band edges are legal";
+}
+
+TEST(AdaptVerifyTest, IncoherentCacheIsH902) {
+  const Model m = MakeLeNet5();
+  const ExecConfig config = ExecConfig::ProcessorFriendly();
+  PlanCache cache(4);
+
+  // A GPU-touching plan filed under a gpu_available=false key.
+  Plan gpu_plan = MakeSingleProcessorPlan(m.graph, ProcKind::kGpu);
+  PlanCacheKey no_gpu_key;
+  no_gpu_key.gpu_available = false;
+  cache.Insert(no_gpu_key, gpu_plan);
+  const Report r = VerifyPlanCache(m.graph, cache, config);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.Has(DiagCode::kAdaptCacheIncoherent));
+
+  // A structurally invalid plan under any key.
+  PlanCache cache2(4);
+  Plan bad = MakeSingleProcessorPlan(m.graph, ProcKind::kCpu);
+  bad.nodes.pop_back();  // Size mismatch.
+  cache2.Insert(PlanCacheKey{}, bad);
+  EXPECT_TRUE(VerifyPlanCache(m.graph, cache2, config).Has(DiagCode::kAdaptCacheIncoherent));
+
+  // Coherent cache verifies clean.
+  PlanCache cache3(4);
+  cache3.Insert(PlanCacheKey{}, MakeSingleProcessorPlan(m.graph, ProcKind::kCpu));
+  EXPECT_TRUE(VerifyPlanCache(m.graph, cache3, config).ok());
+}
+
+TEST(AdaptVerifyTest, NonConvergingSeriesIsH903) {
+  EXPECT_TRUE(VerifyDriftConvergence({1.5, 0.4, 0.1, 0.03}, 0.05).ok());
+  EXPECT_TRUE(VerifyDriftConvergence({}, 0.05).ok());
+
+  const Report rising = VerifyDriftConvergence({0.4, 0.1, 0.2, 0.03}, 0.05);
+  EXPECT_FALSE(rising.ok());
+  EXPECT_TRUE(rising.Has(DiagCode::kAdaptNotConverging));
+
+  const Report high_tail = VerifyDriftConvergence({1.5, 0.4, 0.2}, 0.05);
+  EXPECT_FALSE(high_tail.ok());
+  EXPECT_TRUE(high_tail.Has(DiagCode::kAdaptNotConverging));
+}
+
+}  // namespace
+}  // namespace ulayer

@@ -119,6 +119,55 @@ TEST(PredictorTest, NonFiniteSamplesAreSkipped) {
   }
 }
 
+TEST(PredictorTest, ZeroChannelNodeIsFreeNotUB) {
+  // A corrupt graph can carry out_shape.c == 0; FractionChannels used to
+  // call std::clamp(x, 1, 0) on it — hi < lo is UB. Such nodes must price
+  // as free instead (and never reach ComputeWork with a bogus slice).
+  Node in;
+  in.id = 0;
+  in.desc.kind = LayerKind::kInput;
+  in.desc.name = "in";
+  in.out_shape = Shape(1, 4, 8, 8);
+  Node zero;
+  zero.id = 1;
+  zero.desc.kind = LayerKind::kRelu;
+  zero.desc.name = "zero-c";
+  zero.inputs = {0};
+  zero.out_shape = Shape(1, 0, 8, 8);  // Degenerate: zero output channels.
+  const Graph g = Graph::UncheckedFromNodes({in, zero});
+
+  const TimingModel tm(MakeExynos7420());
+  // Fitting over the corrupt graph must not trip UB either.
+  const LatencyPredictor pred(tm, ExecConfig::AllF32(), {&g});
+  for (const ProcKind proc : {ProcKind::kCpu, ProcKind::kGpu}) {
+    for (const double f : {0.25, 0.5, 1.0}) {
+      EXPECT_DOUBLE_EQ(pred.PredictUs(g, g.node(1), proc, f), 0.0);
+    }
+  }
+}
+
+TEST(PredictorTest, CorrectionsScalePredictions) {
+  const Model m = MakeVgg16();
+  const TimingModel tm(MakeExynos7420());
+  LatencyPredictor pred(tm, ExecConfig::AllF32(), {&m.graph});
+  const Node& conv = m.graph.node(1);
+  const double base = pred.PredictUs(m.graph, conv, ProcKind::kGpu);
+  ASSERT_GT(base, 0.0);
+
+  // EWMA toward an observed 3x slowdown with alpha 1 jumps straight there.
+  pred.UpdateCorrection(LayerKind::kConv, ProcKind::kGpu, 3.0, 1.0);
+  EXPECT_DOUBLE_EQ(pred.PredictUs(m.graph, conv, ProcKind::kGpu), 3.0 * base);
+  // Other cells are untouched.
+  EXPECT_DOUBLE_EQ(pred.corrections().Get(LayerKind::kConv, ProcKind::kCpu), 1.0);
+
+  // Snapshot/Restore round-trips the exact prediction state.
+  const CorrectionTable snap = pred.SnapshotCorrections();
+  pred.UpdateCorrection(LayerKind::kConv, ProcKind::kGpu, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(pred.PredictUs(m.graph, conv, ProcKind::kGpu), base);
+  pred.RestoreCorrections(snap);
+  EXPECT_DOUBLE_EQ(pred.PredictUs(m.graph, conv, ProcKind::kGpu), 3.0 * base);
+}
+
 TEST(PredictorTest, UnseenKindFallsBackToMeasurement) {
   // Train only on a conv-free graph; predicting a conv must still work (the
   // fallback queries the timing model directly).

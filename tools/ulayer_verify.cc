@@ -26,6 +26,7 @@
 #include "core/executor.h"
 #include "core/partitioner.h"
 #include "core/predictor.h"
+#include "core/runtime.h"
 #include "fault/fault.h"
 #include "io/io.h"
 #include "models/model.h"
@@ -101,6 +102,16 @@ Options:
                     The digest line is byte-identical at any node count,
                     thread count or recoverable fault spec — CI diffs them
   --net-nodes <n>   worker count for --net-smoke (default 2)
+  --adapt           ignore plan flags and run the closed adaptation loop
+                    (timing-only) over a committed throttle ramp: 4 clean
+                    baseline runs, 6 runs under the --faults spec (default
+                    gpu.kernel=slow:2.5), 8 clean recovery runs. Drives an
+                    adaptive runtime (drift-fed predictor corrections +
+                    health-keyed plan cache) against a static one pinned to
+                    its profile-time plan, prints per-run latencies, the
+                    correction table, plan-cache statistics and the H-series
+                    verdicts (H9xx codes). The output is byte-identical at
+                    any ULAYER_CPU_THREADS value — CI diffs two runs
   -h, --help        this text
 )";
 
@@ -161,6 +172,7 @@ int main(int argc, char** argv) {
   bool analyze = false;
   bool serve_smoke = false;
   bool net_smoke = false;
+  bool adapt_smoke = false;
   int net_nodes = 2;
 
   auto next_arg = [&](int& i, const char* flag) -> std::string {
@@ -220,6 +232,8 @@ int main(int argc, char** argv) {
       serve_smoke = true;
     } else if (a == "--net-smoke") {
       net_smoke = true;
+    } else if (a == "--adapt") {
+      adapt_smoke = true;
     } else if (a == "--net-nodes") {
       try {
         net_nodes = std::stoi(next_arg(i, "--net-nodes"));
@@ -375,6 +389,91 @@ int main(int argc, char** argv) {
       return 0;
     } catch (const Error& e) {
       std::cerr << "ulayer_verify: net-smoke failed (" << ErrorCodeName(e.code())
+                << "): " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  // --- Adaptation loop smoke (--adapt) ---------------------------------------
+  if (adapt_smoke) {
+    ExecConfig config = MakeConfig(config_name);
+    config.cpu_threads = cpu_threads;
+    SocSpec soc;
+    if (soc_name == "7420") {
+      soc = MakeExynos7420();
+    } else if (soc_name == "7880") {
+      soc = MakeExynos7880();
+    } else {
+      UsageError("unknown SoC '" + soc_name + "' (want 7420|7880)");
+    }
+    const std::string spec = run_faults ? faults_spec : "gpu.kernel=slow:2.5";
+    fault::FaultPlan throttle;
+    try {
+      throttle = fault::FaultPlan::Parse(spec);
+    } catch (const Error& e) {
+      std::cerr << "ulayer_verify: bad --faults spec: " << e.what() << "\n";
+      return 2;
+    }
+    try {
+      const Model model = MakeZooModel(model_name.empty() ? "googlenet" : model_name);
+      ULayerRuntime::Options aopts;
+      aopts.config = config;
+      aopts.adapt.enabled = true;
+      ULayerRuntime adaptive(model, soc, aopts);
+      ULayerRuntime::Options sopts;
+      sopts.config = config;
+      sopts.degradation_replan = false;
+      ULayerRuntime static_rt(model, soc, sopts);
+      const std::string baseline_plan = PlanToText(adaptive.plan(), model.graph);
+
+      std::cout << "adapt " << model.name << " (soc " << soc.name << ", config "
+                << config_name << "): throttle spec \"" << spec << "\"\n";
+      const auto phase = [&](const char* name, const fault::FaultPlan& plan, int runs) {
+        adaptive.SetFaultPlan(plan);
+        static_rt.SetFaultPlan(plan);
+        for (int i = 0; i < runs; ++i) {
+          char line[160];
+          const double a = adaptive.Run().latency_us;
+          const double s = static_rt.Run().latency_us;
+          std::snprintf(line, sizeof(line),
+                        "  %-8s run %d: adaptive %12.1f us  static %12.1f us  dev %.4f  %s",
+                        name, i, a, s, adaptive.last_relative_deviation(),
+                        std::string(RunModeName(adaptive.mode())).c_str());
+          std::cout << line << "\n";
+        }
+      };
+      phase("baseline", fault::FaultPlan(), 4);
+      const size_t throttle_begin = adaptive.drift_history().size();
+      phase("throttle", throttle, 6);
+      const size_t throttle_end = adaptive.drift_history().size();
+      phase("recovery", fault::FaultPlan(), 8);
+
+      std::cout << "correction table:\n" << adaptive.predictor().corrections().ToString()
+                << "\n";
+      const PlanCacheStats cs = adaptive.plan_cache().stats();
+      std::cout << "plan cache: " << cs.hits << " hits, " << cs.misses << " misses, "
+                << cs.insertions << " insertions, " << cs.evictions << " evictions; "
+                << adaptive.partitioner_builds() << " partitioner builds, "
+                << adaptive.replans() << " replans\n";
+      std::cout << "plan restored to baseline: "
+                << (PlanToText(adaptive.plan(), model.graph) == baseline_plan ? "yes" : "no")
+                << "\n";
+
+      Report report = VerifyCorrectionTable(adaptive.predictor().corrections());
+      report.Merge(VerifyPlanCache(model.graph, adaptive.plan_cache(), adaptive.config()));
+      const std::vector<double> throttle_devs(
+          adaptive.drift_history().begin() + static_cast<long>(throttle_begin),
+          adaptive.drift_history().begin() + static_cast<long>(throttle_end));
+      report.Merge(VerifyDriftConvergence(throttle_devs, 0.05));
+      std::cerr << "adapt (" << model.name << ", config " << config_name
+                << "): " << report.error_count() << " errors, " << report.warning_count()
+                << " warnings\n";
+      if (!report.diagnostics().empty()) {
+        std::cerr << report.ToString();
+      }
+      return report.ok() ? 0 : 1;
+    } catch (const Error& e) {
+      std::cerr << "ulayer_verify: adapt smoke failed (" << ErrorCodeName(e.code())
                 << "): " << e.what() << "\n";
       return 1;
     }
